@@ -1,0 +1,53 @@
+//! Experiment bench E4 — §3 correctness: the device-vs-golden comparison at
+//! the paper's tolerances (acc 0.05 %, jerk 0.2 % of a typical force
+//! magnitude), plus timing of the comparison machinery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbody::accuracy::compare_forces;
+use nbody::force::{ForceKernel, ReferenceKernel};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::validate::validation_suite;
+use nbody_tt::DeviceForcePipeline;
+use tensix::{Device, DeviceConfig};
+
+fn e4_report(_c: &mut Criterion) {
+    let device = Device::new(0, DeviceConfig::default());
+    let rows = validation_suite(&device, 1024).expect("suite");
+    eprintln!("=== E4 accuracy (paper: acc within 0.05%, jerk within 0.2%) ===");
+    for r in &rows {
+        eprintln!(
+            "{:<14} N={:<5} acc {:.3e} jerk {:.3e} -> {}",
+            r.workload,
+            r.n,
+            r.comparison.max_acc_error,
+            r.comparison.max_jerk_error,
+            if r.passes() { "PASS" } else { "FAIL" }
+        );
+    }
+    assert!(rows.iter().all(nbody_tt::ValidationRow::passes));
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let n = 256;
+    let sys = plummer(PlummerConfig { n, seed: 3, ..PlummerConfig::default() });
+    let device = Device::new(0, DeviceConfig::default());
+    let pipeline = DeviceForcePipeline::new(Arc::clone(&device), n, 0.01, 1).unwrap();
+    let golden = ReferenceKernel::new(0.01).compute(&sys);
+
+    let mut group = c.benchmark_group("e4_accuracy");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("device_eval_plus_compare_n256", |b| {
+        b.iter(|| {
+            let dev = pipeline.evaluate(&sys).unwrap();
+            compare_forces(&golden, &dev)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e4_report, bench_validation);
+criterion_main!(benches);

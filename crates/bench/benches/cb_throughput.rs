@@ -1,0 +1,54 @@
+//! Microbenchmark: circular-buffer producer/consumer throughput across
+//! threads, by ring depth — the synchronization fabric of the paper's
+//! read/compute/write pipeline (double-buffering ablation).
+
+use std::thread;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensix::cb::{CircularBuffer, CircularBufferConfig};
+use tensix::tile::Tile;
+use tensix::DataFormat;
+
+fn stream_tiles(cb: &CircularBuffer, count: usize) {
+    thread::scope(|scope| {
+        let producer = cb.clone();
+        scope.spawn(move || {
+            let t = Tile::splat(DataFormat::Float32, 1.0);
+            for _ in 0..count {
+                producer.reserve_back(1);
+                producer.write_tile(&t);
+                producer.push_back(1);
+            }
+        });
+        let consumer = cb.clone();
+        scope.spawn(move || {
+            for _ in 0..count {
+                consumer.wait_front(1);
+                let _t = consumer.peek_tile(0);
+                consumer.pop_front(1);
+            }
+        });
+    });
+}
+
+fn bench_cb(c: &mut Criterion) {
+    let tiles = 512;
+    let mut group = c.benchmark_group("cb_throughput");
+    group.throughput(Throughput::Elements(tiles as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for depth in [1usize, 2, 4, 8, 16] {
+        group.bench_function(BenchmarkId::new("pages", depth), |b| {
+            b.iter(|| {
+                let cb =
+                    CircularBuffer::new(CircularBufferConfig::new(depth, DataFormat::Float32));
+                stream_tiles(&cb, tiles);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cb);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation bench: replicated (paper) vs broadcast-optimized source data
+//! movement. Arithmetic is identical (bit-for-bit asserted by tests); the
+//! difference is DRAM/PCIe traffic, the optimization the paper's §5 flags
+//! as future work. Reports functional throughput plus the model's
+//! paper-scale projection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::perf_model::paper_run;
+use nbody_tt::{BroadcastForcePipeline, DeviceForcePipeline};
+use tensix::{Device, DeviceConfig};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let n = 512;
+    let sys = plummer(PlummerConfig { n, seed: 9, ..PlummerConfig::default() });
+    let mut group = c.benchmark_group("data_movement_ablation");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(6));
+
+    let dev_rep = Device::new(0, DeviceConfig::default());
+    let replicated = DeviceForcePipeline::new(Arc::clone(&dev_rep), n, 0.01, 1).unwrap();
+    group.bench_function(BenchmarkId::new("replicated", n), |b| {
+        b.iter(|| replicated.evaluate(&sys).unwrap());
+    });
+
+    let dev_bc = Device::new(0, DeviceConfig::default());
+    let broadcast = BroadcastForcePipeline::new(Arc::clone(&dev_bc), n, 0.01, 1).unwrap();
+    group.bench_function(BenchmarkId::new("broadcast", n), |b| {
+        b.iter(|| broadcast.evaluate(&sys).unwrap());
+    });
+    group.finish();
+
+    eprintln!("functional NoC traffic per eval at N={n}:");
+    let evals_rep = replicated.timing().evaluations.max(1);
+    let evals_bc = broadcast.timing().evaluations.max(1);
+    eprintln!("  replicated: {:.1} MB", dev_rep.noc().total_bytes() as f64 / evals_rep as f64 / 1e6);
+    eprintln!("  broadcast:  {:.3} MB", dev_bc.noc().total_bytes() as f64 / evals_bc as f64 / 1e6);
+
+    let run = paper_run();
+    eprintln!(
+        "paper-scale projection: replicated {:.1} s -> broadcast {:.1} s ({:.2}x speedup over CPU)",
+        run.accel_seconds(),
+        run.accel_seconds_optimized(),
+        run.cpu_seconds() / run.accel_seconds_optimized(),
+    );
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

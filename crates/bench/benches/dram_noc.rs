@@ -1,0 +1,65 @@
+//! Microbenchmark: DRAM page traffic and NoC transaction accounting — the
+//! substrate behind the reader/writer kernels' streaming.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tensix::tile::Tile;
+use tensix::{CostModel, DataFormat, DramModel, NocId, NocModel};
+
+fn bench_dram(c: &mut Criterion) {
+    let dram = DramModel::new();
+    let id = dram.allocate(DataFormat::Float32, 256).unwrap();
+    let tile = Tile::splat(DataFormat::Float32, 1.0);
+    for p in 0..256 {
+        dram.write_tile(id, p, &tile).unwrap();
+    }
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Bytes(4096));
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("write_tile", |b| {
+        let mut p = 0usize;
+        b.iter(|| {
+            dram.write_tile(id, p % 256, &tile).unwrap();
+            p += 1;
+        });
+    });
+    group.bench_function("read_tile", |b| {
+        let mut p = 0usize;
+        b.iter(|| {
+            let t = dram.read_tile(id, p % 256).unwrap();
+            p += 1;
+            t
+        });
+    });
+    group.finish();
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let noc = NocModel::new();
+    let model = CostModel::default();
+    let mut group = c.benchmark_group("noc");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("read_accounting", |b| {
+        b.iter(|| noc.read(&model, NocId::Noc0, 4096, 3));
+    });
+    group.bench_function("concurrent_accounting_x4", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..64 {
+                            noc.write(&model, NocId::Noc1, 4096, 2);
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_noc);
+criterion_main!(benches);

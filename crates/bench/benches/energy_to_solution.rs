@@ -1,0 +1,50 @@
+//! Experiment bench E3 — Fig. 5: regenerates the energy-to-solution
+//! distributions, the 1.80× ratio and the peak-power comparison, and times
+//! the energy-integration pipeline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tt_harness::{default_run, run_fig5};
+use tt_telemetry::energy::integrate_samples;
+use tt_telemetry::sample::PowerSample;
+use tt_telemetry::stats::mean;
+
+fn fig5_report(_c: &mut Criterion) {
+    let run = default_run();
+    let r = run_fig5(&run, 0x0515);
+    eprintln!("=== E3 / Fig. 5 (paper vs measured) ===");
+    eprintln!(
+        "accel energy: paper 71.56 kJ (71.23-71.81) | measured {:.2} kJ over {} runs",
+        mean(&r.accel_energy_kj),
+        r.accel_energy_kj.len()
+    );
+    eprintln!(
+        "cpu energy:   paper 128.89 kJ (127.29-131.36) | measured {:.2} kJ over {} runs",
+        mean(&r.cpu_energy_kj),
+        r.cpu_energy_kj.len()
+    );
+    eprintln!("energy ratio: paper 1.80x | measured {:.2}x", r.energy_ratio);
+    eprintln!(
+        "peak power:   paper ~260 W vs ~210 W | measured {:.0} W vs {:.0} W",
+        r.accel_peak_w, r.cpu_peak_w
+    );
+}
+
+fn bench_integration(c: &mut Criterion) {
+    // A job's worth of 1 Hz samples (sleep + sim + sleep ≈ 913 s).
+    let samples: Vec<PowerSample> = (0..913)
+        .map(|i| PowerSample { t: i as f64, watts: 30.0 + (i % 7) as f64 })
+        .collect();
+    let mut group = c.benchmark_group("fig5_energy_integration");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("discrete_integral_sim_window", |b| {
+        b.iter(|| integrate_samples(&samples, 120.0, 793.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5_report, bench_integration);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmark: force + jerk kernel implementations, pairs/second.
+//!
+//! The comparison axis of the paper: FP64 golden reference, scalar FP32,
+//! SIMD FP32 (AVX-512 stand-in), the threaded driver, and the full device
+//! pipeline (functional simulation — note the simulator's wall time is not
+//! the device's virtual time; the modeled device time is reported by the
+//! `time_to_solution` bench instead).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::force::{ForceKernel, ReferenceKernel, ScalarMixedKernel, SimdKernel, ThreadedKernel};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::DeviceForcePipeline;
+use tensix::{Device, DeviceConfig};
+
+fn bench_cpu_kernels(c: &mut Criterion) {
+    let n = 512;
+    let sys = plummer(PlummerConfig { n, seed: 1, ..PlummerConfig::default() });
+    let eps = 0.01;
+    let mut group = c.benchmark_group("force_kernels_cpu");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("reference_f64", n), |b| {
+        let k = ReferenceKernel::new(eps);
+        b.iter(|| k.compute(&sys));
+    });
+    group.bench_function(BenchmarkId::new("scalar_f32", n), |b| {
+        let k = ScalarMixedKernel::new(eps);
+        b.iter(|| k.compute(&sys));
+    });
+    group.bench_function(BenchmarkId::new("simd_f32x16", n), |b| {
+        let k = SimdKernel::new(eps);
+        b.iter(|| k.compute(&sys));
+    });
+    group.bench_function(BenchmarkId::new("threaded_simd_x4", n), |b| {
+        let k = ThreadedKernel::new(SimdKernel::new(eps), 4);
+        b.iter(|| k.compute(&sys));
+    });
+    group.finish();
+}
+
+fn bench_device_pipeline(c: &mut Criterion) {
+    let n = 256;
+    let sys = plummer(PlummerConfig { n, seed: 2, ..PlummerConfig::default() });
+    let device = Device::new(0, DeviceConfig::default());
+    let pipeline = DeviceForcePipeline::new(Arc::clone(&device), n, 0.01, 1).unwrap();
+    let mut group = c.benchmark_group("force_kernels_device_sim");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function(BenchmarkId::new("wormhole_functional", n), |b| {
+        b.iter(|| pipeline.evaluate(&sys).unwrap());
+    });
+    group.finish();
+
+    let t = pipeline.timing();
+    eprintln!(
+        "device virtual time per evaluation at N={n}: {:.3} ms (modeled, 1 core)",
+        t.device_seconds / t.evaluations as f64 * 1e3
+    );
+}
+
+criterion_group!(benches, bench_cpu_kernels, bench_device_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment bench E2 — Fig. 4: regenerates the four-card power time
+//! series of one representative job, verifies the qualitative features the
+//! paper describes, and times the tt-smi sampling path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tensix::{Device, DeviceConfig, PowerState};
+use tt_harness::{default_run, run_fig4};
+use tt_telemetry::stats::{max, mean, min};
+use tt_telemetry::TtSmiSampler;
+
+fn fig4_report(_c: &mut Criterion) {
+    let run = default_run();
+    let r = run_fig4(&run, 0x0f14);
+    let (t0, t1) = r.sim_window;
+    eprintln!("=== E2 / Fig. 4 (paper vs measured) ===");
+    for s in &r.card_series {
+        let idle: Vec<f64> = s.window(2.0, t0 - 2.0).iter().map(|p| p.watts).collect();
+        let sim: Vec<f64> = s.window(t0 + 2.0, t1 - 2.0).iter().map(|p| p.watts).collect();
+        eprintln!(
+            "{}: idle {:.1} W (paper 10-11) | sim [{:.1}, {:.1}] W (paper: unused <20, active 26-33)",
+            s.label,
+            mean(&idle),
+            min(&sim),
+            max(&sim),
+        );
+    }
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let devices: Vec<_> = (0..4).map(|id| Device::new(id, DeviceConfig::default())).collect();
+    for (i, d) in devices.iter().enumerate() {
+        d.record_power(PowerState::Idle, 120.0);
+        d.record_power(
+            if i == 3 { PowerState::ComputeActive } else { PowerState::PoweredUnused },
+            300.0,
+        );
+        d.record_power(PowerState::PostRunIdle, 120.0);
+    }
+    let sampler = TtSmiSampler::new(devices, 1.0);
+    let mut group = c.benchmark_group("fig4_ttsmi");
+    group.throughput(Throughput::Elements(4 * 540));
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("sample_full_job_4_cards_1hz", |b| {
+        b.iter(|| sampler.sample_job(540.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig4_report, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment bench E6 — the paper's stated next step: multi-device strong
+//! and weak scaling from the calibrated model, plus a functional check that
+//! splitting the outer loop across more Tensix cores shortens the modeled
+//! device time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::{DeviceForcePipeline, WormholePerfModel};
+use tensix::{Device, DeviceConfig};
+use tt_harness::{default_run, run_scaling};
+
+fn e6_report(_c: &mut Criterion) {
+    let r = run_scaling(&default_run());
+    eprintln!("=== E6 scaling (model, paper-scale N) ===");
+    let t1 = r.strong[0].1;
+    for (d, t) in &r.strong {
+        eprintln!("strong: {d} device(s) -> {t:.1} s (speedup {:.2}x)", t1 / t);
+    }
+    for (d, n, t) in &r.weak {
+        eprintln!("weak:   {d} device(s), N = {n} -> {t:.1} s");
+    }
+}
+
+fn bench_core_scaling_functional(c: &mut Criterion) {
+    // Functional: 2 target tiles over 1 vs 2 cores; virtual device time
+    // should roughly halve while wall time reflects simulator threading.
+    let n = 2048;
+    let sys = plummer(PlummerConfig { n, seed: 5, ..PlummerConfig::default() });
+    let mut group = c.benchmark_group("core_scaling_functional");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for cores in [1usize, 2] {
+        let device = Device::new(0, DeviceConfig::default());
+        let pipeline = DeviceForcePipeline::new(Arc::clone(&device), n, 0.01, cores).unwrap();
+        group.bench_function(BenchmarkId::new("cores", cores), |b| {
+            b.iter(|| pipeline.evaluate(&sys).unwrap());
+        });
+        let t = pipeline.timing();
+        eprintln!(
+            "cores = {cores}: modeled device time/eval {:.2} ms",
+            t.device_seconds / t.evaluations as f64 * 1e3
+        );
+    }
+    group.finish();
+
+    // Analytic cross-check at paper N.
+    let m64 = WormholePerfModel::default();
+    let m128 = WormholePerfModel { cores: 128, ..m64 };
+    eprintln!(
+        "model: eval at N=102400 with 64 cores {:.3} s, 128 cores {:.3} s",
+        m64.eval_seconds(102_400),
+        m128.eval_seconds(102_400)
+    );
+}
+
+criterion_group!(benches, e6_report, bench_core_scaling_functional);
+criterion_main!(benches);

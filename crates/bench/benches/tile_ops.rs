@@ -1,0 +1,74 @@
+//! Microbenchmark: SFPU/FPU tile operations (the instruction mix of the
+//! force compute kernel), in tiles/second of functional simulation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tensix::cost::ComputeCosts;
+use tensix::sfpu::{apply_binary, apply_mad, apply_unary, BinaryOp, UnaryOp};
+use tensix::tile::Tile;
+use tensix::{fpu, DataFormat};
+
+fn tile(v: f32) -> Tile {
+    Tile::splat(DataFormat::Float32, v)
+}
+
+fn bench_sfpu(c: &mut Criterion) {
+    let costs = ComputeCosts::default();
+    let mut group = c.benchmark_group("sfpu_ops");
+    group.throughput(Throughput::Elements(1024));
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+
+    for (name, op) in [
+        ("square", UnaryOp::Square),
+        ("rsqrt_precise", UnaryOp::Rsqrt),
+        ("rsqrt_fast", UnaryOp::RsqrtFast),
+        ("recip", UnaryOp::Recip),
+    ] {
+        group.bench_function(name, |b| {
+            let mut t = tile(2.5);
+            b.iter(|| apply_unary(&costs, op, &mut t));
+        });
+    }
+    group.bench_function("sub_binary", |b| {
+        let mut a = tile(5.0);
+        let rhs = tile(1.0);
+        b.iter(|| apply_binary(&costs, BinaryOp::Sub, &mut a, &rhs));
+    });
+    group.bench_function("mad", |b| {
+        let a = tile(2.0);
+        let x = tile(3.0);
+        let mut acc = tile(0.0);
+        b.iter(|| apply_mad(&costs, &a, &x, &mut acc));
+    });
+    group.finish();
+}
+
+fn bench_fpu(c: &mut Criterion) {
+    let costs = ComputeCosts::default();
+    let mut group = c.benchmark_group("fpu_ops");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("eltwise_sub", |b| {
+        let a = tile(5.0);
+        let rhs = tile(2.0);
+        let mut out = tile(0.0);
+        b.iter(|| fpu::eltwise_binary(&costs, BinaryOp::Sub, &a, &rhs, &mut out));
+    });
+    group.bench_function("matmul_32x32", |b| {
+        let a = tile(1.0);
+        let rhs = tile(2.0);
+        let mut out = tile(0.0);
+        b.iter(|| fpu::matmul_tiles(&costs, &a, &rhs, &mut out, false));
+    });
+    group.bench_function("reduce_rows", |b| {
+        let a = tile(1.0);
+        let mut out = tile(0.0);
+        b.iter(|| fpu::reduce_rows(&costs, &a, 1.0, &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sfpu, bench_fpu);
+criterion_main!(benches);

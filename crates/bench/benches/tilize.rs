@@ -1,0 +1,49 @@
+//! Microbenchmark: host-side tilize/untilize and the Fig.-2 layout
+//! transforms (packing, source replication) — the staging cost the
+//! perf model charges to the host.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::{tilize_particles, HostArrays};
+use tensix::tile::{pack_vector, tilize, untilize};
+use tensix::DataFormat;
+
+fn bench_tilize_matrix(c: &mut Criterion) {
+    let (rows, cols) = (128, 128);
+    let vals: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+    let mut group = c.benchmark_group("tilize_matrix");
+    group.throughput(Throughput::Bytes((rows * cols * 4) as u64));
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("tilize_128x128", |b| {
+        b.iter(|| tilize(DataFormat::Float32, &vals, rows, cols));
+    });
+    let tiles = tilize(DataFormat::Float32, &vals, rows, cols);
+    group.bench_function("untilize_128x128", |b| {
+        b.iter(|| untilize(&tiles, rows, cols));
+    });
+    group.bench_function("pack_vector_16k", |b| {
+        b.iter(|| pack_vector(DataFormat::Float32, &vals, 0.0));
+    });
+    group.finish();
+}
+
+fn bench_particle_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("particle_layout");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for n in [1024usize, 4096] {
+        let sys = plummer(PlummerConfig { n, seed: 8, ..PlummerConfig::default() });
+        let arrays = HostArrays::from_system(&sys);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("fig2_layout", n), |b| {
+            b.iter(|| tilize_particles(&arrays));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tilize_matrix, bench_particle_layout);
+criterion_main!(benches);

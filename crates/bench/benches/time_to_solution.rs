@@ -1,0 +1,48 @@
+//! Experiment bench E1 — Fig. 3: regenerates the time-to-solution
+//! distributions (50 accelerated submissions + 49 CPU jobs through the
+//! campaign machinery) and reports the paper-vs-measured headline numbers
+//! once, alongside Criterion timing of the campaign generator itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_harness::{default_run, run_fig3};
+use tt_telemetry::stats::{mean, std_dev};
+
+fn fig3_report(_c: &mut Criterion) {
+    let run = default_run();
+    let r = run_fig3(&run, 0x5c25);
+    eprintln!("=== E1 / Fig. 3 (paper vs measured) ===");
+    eprintln!(
+        "accel time: paper 301.40 +/- 0.24 s | measured {:.2} +/- {:.2} s over {} runs",
+        mean(&r.accel_times),
+        std_dev(&r.accel_times),
+        r.accel_times.len()
+    );
+    eprintln!(
+        "cpu time:   paper 672.90 +/- 7.83 s | measured {:.2} +/- {:.2} s over {} runs",
+        mean(&r.cpu_times),
+        std_dev(&r.cpu_times),
+        r.cpu_times.len()
+    );
+    eprintln!("speedup:    paper 2.23x | measured {:.2}x", r.speedup);
+    eprintln!("census:     paper 26/50 | measured {}/{}", r.accel_succeeded, r.accel_submitted);
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let run = default_run();
+    let mut group = c.benchmark_group("fig3_campaign");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("fifty_plus_fortynine_jobs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_fig3(&run, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig3_report, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,476 @@
+//! Broadcast-optimized force pipeline — the ablation for the paper's
+//! stated next step ("modify and optimize the code").
+//!
+//! The paper's published kernel replicates the particle data into `N`
+//! broadcast tiles in DRAM ("we create copies of the data, organized into N
+//! tiles"), which makes the inner loop trivially element-wise but multiplies
+//! the DRAM/PCIe footprint of the source view by 1024×: at N = 102 400 each
+//! force evaluation uploads ~2.9 GB.
+//!
+//! The optimized pipeline here keeps the *packed* source view (⌈N/1024⌉
+//! tiles per quantity) and produces the per-particle broadcasts on the fly
+//! inside the compute kernel, using the unpacker's stride-0 addressing
+//! (`copy_tile_lane_broadcast` / `sub_tiles_lane_bcast`). The arithmetic —
+//! and therefore the results, bit for bit — is identical to the replicated
+//! pipeline; only the data movement changes:
+//!
+//! | view | DRAM source tiles | PCIe per eval (N = 102 400) |
+//! |---|---|---|
+//! | replicated (paper) | 7 N | ≈2.94 GB |
+//! | broadcast (this)   | 7 ⌈N/1024⌉ | ≈3.7 MB |
+//!
+//! `perf_model::RunModel::accel_seconds_optimized` quantifies the paper-
+//! scale effect; the `data_movement` bench compares both pipelines
+//! functionally.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nbody::particle::{Forces, ParticleSystem};
+use tensix::cb::CircularBufferConfig;
+use tensix::grid::CoreRangeSet;
+use tensix::tile::{pack_vector, TILE_ELEMS};
+use tensix::{DataFormat, Device, NocId, Result, Tile};
+use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
+use ttmetal::{Buffer, BufferRef, CommandQueue, ComputeCtx, ComputeKernel, DataMovementCtx, DataMovementKernel, Program};
+
+use crate::kernels::{args, WriterKernel};
+use crate::layout::{split_tiles_to_cores, HostArrays, PAD_POSITION};
+use crate::pipeline::PipelineTiming;
+
+/// Reader for the broadcast pipeline: target tiles as before, but the
+/// source view is the *packed* tiles, re-read once per target tile.
+struct BcastReaderKernel {
+    targets: [BufferRef; 6],
+    /// Packed source buffers `[m, x, y, z, vx, vy, vz]`, ⌈n/1024⌉ tiles.
+    sources: [BufferRef; 7],
+}
+
+impl DataMovementKernel for BcastReaderKernel {
+    fn run(&self, ctx: &mut DataMovementCtx) {
+        let start = ctx.arg(args::START_TILE) as usize;
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        let src_tiles = ctx.arg(args::NUM_SOURCES) as usize; // packed tiles here
+        for tile in start..start + count {
+            for buf in self.targets {
+                ctx.read_page_to_cb(IN0, buf, tile);
+            }
+            for s in 0..src_tiles {
+                for buf in self.sources {
+                    ctx.read_page_to_cb(IN1, buf, s);
+                }
+            }
+        }
+    }
+}
+
+/// Compute kernel: identical arithmetic to the replicated pipeline, with
+/// the broadcast tiles generated from packed source tiles via stride-0
+/// unpacks instead of read from DRAM.
+struct BcastForceComputeKernel {
+    eps_squared: f32,
+}
+
+const DX: usize = 0;
+
+impl BcastForceComputeKernel {
+    #[allow(clippy::too_many_lines)]
+    fn interact_lane(&self, ctx: &mut ComputeCtx, lane: usize) {
+        // --- Phase A: displacements from lane broadcasts -----------------
+        ctx.tile_regs_acquire();
+        for axis in 0..6 {
+            // IN1 pages: [m, x, y, z, vx, vy, vz]; IN0: [x, y, z, vx, vy, vz].
+            ctx.sub_tiles_lane_bcast(IN1, IN0, 1 + axis, axis, lane, DX + axis);
+        }
+        ctx.tile_regs_commit();
+        ctx.cb_reserve_back(INTERMED0, 6);
+        for k in 0..6 {
+            ctx.pack_tile(k, INTERMED0);
+        }
+        ctx.cb_push_back(INTERMED0, 6);
+        ctx.tile_regs_release();
+        ctx.cb_wait_front(INTERMED0, 6);
+
+        // --- Phase B: w and rv3 (same instruction sequence as kernels.rs) -
+        ctx.tile_regs_acquire();
+        ctx.copy_tile(INTERMED0, 0, 0);
+        ctx.square_tile(0);
+        ctx.copy_tile(INTERMED0, 1, 1);
+        ctx.square_tile(1);
+        ctx.copy_tile(INTERMED0, 2, 2);
+        ctx.square_tile(2);
+        ctx.add_binary_tile(0, 1);
+        ctx.add_binary_tile(0, 2);
+        ctx.scale_tile(0, 1.0, self.eps_squared);
+        ctx.rsqrt_tile(0);
+        ctx.copy_dst_tile(0, 1);
+        ctx.square_tile(1);
+        ctx.copy_dst_tile(1, 2);
+        ctx.mul_binary_tile(2, 0);
+        ctx.copy_tile_lane_broadcast(IN1, 0, lane, 3); // m_j
+        ctx.mul_binary_tile(2, 3);
+        ctx.mul_tiles(INTERMED0, INTERMED0, 0, 3, 4);
+        ctx.mul_tiles(INTERMED0, INTERMED0, 1, 4, 5);
+        ctx.mul_tiles(INTERMED0, INTERMED0, 2, 5, 6);
+        ctx.add_binary_tile(4, 5);
+        ctx.add_binary_tile(4, 6);
+        ctx.mul_binary_tile(4, 1);
+        ctx.scale_tile(4, 3.0, 0.0);
+        ctx.tile_regs_commit();
+        ctx.cb_reserve_back(INTERMED1, 2);
+        ctx.pack_tile(2, INTERMED1);
+        ctx.pack_tile(4, INTERMED1);
+        ctx.cb_push_back(INTERMED1, 2);
+        ctx.tile_regs_release();
+        ctx.cb_wait_front(INTERMED1, 2);
+
+        // --- Phase C1: acceleration accumulation -------------------------
+        ctx.cb_wait_front(INTERMED2, 6);
+        ctx.cb_reserve_back(INTERMED2, 6);
+        ctx.tile_regs_acquire();
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED2, axis, axis);
+        }
+        ctx.copy_tile(INTERMED1, 0, 6);
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED0, DX + axis, 7);
+            ctx.mad_binary_tile(7, 6, axis);
+        }
+        ctx.tile_regs_commit();
+        for axis in 0..3 {
+            ctx.pack_tile(axis, INTERMED2);
+        }
+        ctx.cb_push_back(INTERMED2, 3);
+        ctx.tile_regs_release();
+
+        // --- Phase C2: jerk accumulation ----------------------------------
+        ctx.tile_regs_acquire();
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED2, 3 + axis, axis);
+        }
+        ctx.copy_tile(INTERMED1, 0, 3);
+        ctx.copy_tile(INTERMED1, 1, 4);
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED0, DX + axis, 5);
+            ctx.mul_binary_tile(5, 4);
+            ctx.negative_tile(5);
+            ctx.copy_tile(INTERMED0, DX + 3 + axis, 6);
+            ctx.add_binary_tile(5, 6);
+            ctx.mad_binary_tile(5, 3, axis);
+        }
+        ctx.tile_regs_commit();
+        for axis in 0..3 {
+            ctx.pack_tile(axis, INTERMED2);
+        }
+        ctx.cb_push_back(INTERMED2, 3);
+        ctx.tile_regs_release();
+
+        ctx.cb_pop_front(INTERMED2, 6);
+        ctx.cb_pop_front(INTERMED0, 6);
+        ctx.cb_pop_front(INTERMED1, 2);
+    }
+}
+
+impl ComputeKernel for BcastForceComputeKernel {
+    fn run(&self, ctx: &mut ComputeCtx) {
+        assert!(self.eps_squared > 0.0, "device force kernel requires softening > 0");
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        let src_tiles = ctx.arg(args::NUM_SOURCES) as usize;
+        for _tile in 0..count {
+            ctx.cb_wait_front(IN0, 6);
+
+            ctx.cb_reserve_back(INTERMED2, 6);
+            ctx.tile_regs_acquire();
+            for k in 0..6 {
+                ctx.fill_tile(k, 0.0);
+            }
+            ctx.tile_regs_commit();
+            for k in 0..6 {
+                ctx.pack_tile(k, INTERMED2);
+            }
+            ctx.cb_push_back(INTERMED2, 6);
+            ctx.tile_regs_release();
+
+            for _s in 0..src_tiles {
+                ctx.cb_wait_front(IN1, 7);
+                // Zero-mass padding lanes contribute nothing, so the lane
+                // loop always runs the full tile.
+                for lane in 0..TILE_ELEMS {
+                    self.interact_lane(ctx, lane);
+                }
+                ctx.cb_pop_front(IN1, 7);
+            }
+
+            ctx.cb_wait_front(INTERMED2, 6);
+            ctx.cb_reserve_back(OUT0, 6);
+            ctx.tile_regs_acquire();
+            for k in 0..6 {
+                ctx.copy_tile(INTERMED2, k, k);
+            }
+            ctx.tile_regs_commit();
+            for k in 0..6 {
+                ctx.pack_tile(k, OUT0);
+            }
+            ctx.cb_push_back(OUT0, 6);
+            ctx.tile_regs_release();
+            ctx.cb_pop_front(INTERMED2, 6);
+            ctx.cb_pop_front(IN0, 6);
+        }
+    }
+}
+
+/// The broadcast-optimized pipeline. API mirrors
+/// [`crate::pipeline::DeviceForcePipeline`].
+pub struct BroadcastForcePipeline {
+    device: Arc<Device>,
+    queue: Mutex<CommandQueue>,
+    program: Program,
+    n: usize,
+    eps: f64,
+    target_bufs: [Buffer; 6],
+    source_bufs: [Buffer; 7],
+    output_bufs: [Buffer; 6],
+    timing: Mutex<PipelineTiming>,
+}
+
+impl BroadcastForcePipeline {
+    /// Build the optimized pipeline.
+    ///
+    /// # Errors
+    /// DRAM exhaustion.
+    ///
+    /// # Panics
+    /// Same contract as the replicated pipeline (`n > 0`, `eps > 0`,
+    /// `1 <= num_cores <= 64`).
+    pub fn new(device: Arc<Device>, n: usize, eps: f64, num_cores: usize) -> Result<Self> {
+        assert!(n > 0, "empty system");
+        assert!(eps > 0.0, "device force kernel requires softening > 0");
+        let grid = device.grid();
+        assert!(
+            num_cores > 0 && num_cores <= grid.num_cores(),
+            "core count {num_cores} outside 1..={}",
+            grid.num_cores()
+        );
+        let f = DataFormat::Float32;
+        let num_tiles = n.div_ceil(TILE_ELEMS);
+        let mk = |count: usize| Buffer::new(&device, f, count);
+        let target_bufs =
+            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+        // Packed source view: ⌈n/1024⌉ tiles per quantity, not n.
+        let source_bufs = [
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+        ];
+        let output_bufs =
+            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+
+        let cores = CoreRangeSet::first_n(num_cores, grid.x);
+        let mut program = Program::new();
+        program.add_circular_buffer(cores.clone(), IN0, CircularBufferConfig::new(6, f));
+        program.add_circular_buffer(cores.clone(), IN1, CircularBufferConfig::new(14, f));
+        program.add_circular_buffer(cores.clone(), INTERMED0, CircularBufferConfig::new(6, f));
+        program.add_circular_buffer(cores.clone(), INTERMED1, CircularBufferConfig::new(2, f));
+        program.add_circular_buffer(cores.clone(), INTERMED2, CircularBufferConfig::new(12, f));
+        program.add_circular_buffer(cores.clone(), OUT0, CircularBufferConfig::new(12, f));
+
+        let reader = program.add_data_movement_kernel(
+            "bcast-reader",
+            cores.clone(),
+            NocId::Noc0,
+            Arc::new(BcastReaderKernel {
+                targets: target_bufs.each_ref().map(Buffer::reference),
+                sources: source_bufs.each_ref().map(Buffer::reference),
+            }),
+        );
+        let compute = program.add_compute_kernel(
+            "bcast-force-compute",
+            cores.clone(),
+            f,
+            Arc::new(BcastForceComputeKernel { eps_squared: (eps * eps) as f32 }),
+        );
+        let writer = program.add_data_movement_kernel(
+            "writer",
+            cores.clone(),
+            NocId::Noc1,
+            Arc::new(WriterKernel { outputs: output_bufs.each_ref().map(Buffer::reference) }),
+        );
+        let split = split_tiles_to_cores(num_tiles, num_cores);
+        for (core, (start, count)) in cores.iter().zip(split) {
+            // NUM_SOURCES carries the packed tile count here.
+            let kargs = vec![start as u32, count as u32, num_tiles as u32];
+            program.set_runtime_args(reader, core, kargs.clone());
+            program.set_runtime_args(compute, core, kargs.clone());
+            program.set_runtime_args(writer, core, kargs);
+        }
+
+        Ok(BroadcastForcePipeline {
+            queue: Mutex::new(CommandQueue::new(Arc::clone(&device))),
+            device,
+            program,
+            n,
+            eps,
+            target_bufs,
+            source_bufs,
+            output_bufs,
+            timing: Mutex::new(PipelineTiming::default()),
+        })
+    }
+
+    /// The device this pipeline runs on.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Softening length.
+    #[must_use]
+    pub fn softening(&self) -> f64 {
+        self.eps
+    }
+
+    /// Accumulated timing.
+    #[must_use]
+    pub fn timing(&self) -> PipelineTiming {
+        *self.timing.lock()
+    }
+
+    /// Run one force + jerk evaluation.
+    ///
+    /// # Errors
+    /// Kernel faults or DRAM errors.
+    ///
+    /// # Panics
+    /// Panics on a particle-count mismatch.
+    pub fn evaluate(&self, system: &ParticleSystem) -> Result<Forces> {
+        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        let arrays = HostArrays::from_system(system);
+        let f = DataFormat::Float32;
+        // Packed (not replicated) source tiles; padding = zero mass parked
+        // far away, so padded lanes contribute nothing.
+        let packed: [Vec<Tile>; 7] = [
+            pack_vector(f, &arrays.mass, 0.0),
+            pack_vector(f, &arrays.pos[0], PAD_POSITION),
+            pack_vector(f, &arrays.pos[1], PAD_POSITION),
+            pack_vector(f, &arrays.pos[2], PAD_POSITION),
+            pack_vector(f, &arrays.vel[0], 0.0),
+            pack_vector(f, &arrays.vel[1], 0.0),
+            pack_vector(f, &arrays.vel[2], 0.0),
+        ];
+        let targets: [Vec<Tile>; 6] = [
+            pack_vector(f, &arrays.pos[0], PAD_POSITION),
+            pack_vector(f, &arrays.pos[1], PAD_POSITION),
+            pack_vector(f, &arrays.pos[2], PAD_POSITION),
+            pack_vector(f, &arrays.vel[0], 0.0),
+            pack_vector(f, &arrays.vel[1], 0.0),
+            pack_vector(f, &arrays.vel[2], 0.0),
+        ];
+
+        let mut queue = self.queue.lock();
+        for (buf, tiles) in self.target_bufs.iter().zip(&targets) {
+            queue.enqueue_write_buffer(buf, tiles)?;
+        }
+        for (buf, tiles) in self.source_bufs.iter().zip(&packed) {
+            queue.enqueue_write_buffer(buf, tiles)?;
+        }
+        let report = queue.enqueue_program(&self.program)?;
+        let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
+        for buf in &self.output_bufs {
+            result_tiles.push(queue.enqueue_read_buffer(buf)?);
+        }
+        {
+            let mut t = self.timing.lock();
+            t.device_seconds += report.seconds;
+            t.io_seconds = queue.io_seconds();
+            t.evaluations += 1;
+            t.last_eval_cycles = report
+                .timings
+                .iter()
+                .filter(|k| k.label == "bcast-force-compute")
+                .map(|k| k.cycles)
+                .max()
+                .unwrap_or(0);
+        }
+        drop(queue);
+
+        let mut forces = Forces::zeros(self.n);
+        for axis in 0..3 {
+            let acc = tensix::tile::unpack_vector(&result_tiles[axis], self.n);
+            let jerk = tensix::tile::unpack_vector(&result_tiles[3 + axis], self.n);
+            for i in 0..self.n {
+                forces.acc[i][axis] = f64::from(acc[i]);
+                forces.jerk[i][axis] = f64::from(jerk[i]);
+            }
+        }
+        Ok(forces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DeviceForcePipeline;
+    use nbody::accuracy::compare_forces;
+    use nbody::force::ForceKernel;
+    use nbody::ic::{plummer, PlummerConfig};
+    use nbody::ReferenceKernel;
+    use tensix::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Device::new(0, DeviceConfig::default())
+    }
+
+    #[test]
+    fn matches_replicated_pipeline_bit_for_bit() {
+        // Same arithmetic, same order — only the data movement differs.
+        let n = 300;
+        let sys = plummer(PlummerConfig { n, seed: 120, ..PlummerConfig::default() });
+        let eps = 0.02;
+        let replicated =
+            DeviceForcePipeline::new(device(), n, eps, 1).unwrap().evaluate(&sys).unwrap();
+        let broadcast =
+            BroadcastForcePipeline::new(device(), n, eps, 1).unwrap().evaluate(&sys).unwrap();
+        assert_eq!(replicated.acc, broadcast.acc);
+        assert_eq!(replicated.jerk, broadcast.jerk);
+    }
+
+    #[test]
+    fn passes_paper_tolerances() {
+        let n = 1200;
+        let sys = plummer(PlummerConfig { n, seed: 121, ..PlummerConfig::default() });
+        let eps = 0.01;
+        let p = BroadcastForcePipeline::new(device(), n, eps, 2).unwrap();
+        let dev = p.evaluate(&sys).unwrap();
+        let golden = ReferenceKernel::new(eps).compute(&sys);
+        let cmp = compare_forces(&golden, &dev);
+        assert!(cmp.passes(), "acc {:.2e} jerk {:.2e}", cmp.max_acc_error, cmp.max_jerk_error);
+    }
+
+    #[test]
+    fn moves_a_thousand_times_less_source_data() {
+        let n = 2048;
+        let sys = plummer(PlummerConfig { n, seed: 122, ..PlummerConfig::default() });
+
+        let dev_rep = device();
+        let rep = DeviceForcePipeline::new(Arc::clone(&dev_rep), n, 0.01, 1).unwrap();
+        rep.evaluate(&sys).unwrap();
+        let rep_noc = dev_rep.noc().total_bytes();
+
+        let dev_bc = device();
+        let bc = BroadcastForcePipeline::new(Arc::clone(&dev_bc), n, 0.01, 1).unwrap();
+        bc.evaluate(&sys).unwrap();
+        let bc_noc = dev_bc.noc().total_bytes();
+
+        assert!(
+            rep_noc > 100 * bc_noc,
+            "replicated moved {rep_noc} B vs broadcast {bc_noc} B"
+        );
+        // PCIe side shrinks too.
+        assert!(rep.timing().io_seconds > 50.0 * bc.timing().io_seconds);
+    }
+}

@@ -1,0 +1,257 @@
+//! The read / compute / write kernels of the force pipeline.
+//!
+//! Section 3 of the paper: "The data flow is organized across three compute
+//! kernels. The read kernel loads the original particle data from DRAM and
+//! formats it into tiles stored in CBs. It is implemented as a double
+//! for-loop, where the outer loop reads the particle data in a tiled manner,
+//! and the inner loop reads the replicated tiles used in the subsequent
+//! computation. The compute kernel then performs the gravitational force and
+//! jerk calculations by consuming the tiled data in a manner consistent with
+//! the read kernel. After the computation is complete, the write kernel
+//! transfers the results back to DRAM."
+//!
+//! Because the FP32 dst register file holds only 8 tiles, the compute kernel
+//! stages its reusable intermediates — the displacement components
+//! (dx, dy, dz, dvx, dvy, dvz) and the scalar fields w = m/s³ and
+//! 3(d·dv)/s² — in L1 circular buffers, exactly the register-spill
+//! workaround the paper describes. Transcendentals run on the SFPU
+//! (`rsqrt_tile`), element-wise subtraction on the FPU (`sub_tiles`).
+//!
+//! CB roles (per core):
+//!
+//! | CB          | contents                          | pages |
+//! |-------------|-----------------------------------|-------|
+//! | `IN0`       | target bundle (x y z vx vy vz)    | 6     |
+//! | `IN1`       | source bundle (m x y z vx vy vz)  | 14    |
+//! | `INTERMED0` | displacements (dx dy dz dvx dvy dvz) | 6  |
+//! | `INTERMED1` | w, rv3                            | 2     |
+//! | `INTERMED2` | accumulator ring (ax ay az jx jy jz) | 12 |
+//! | `OUT0`      | results per target tile           | 12    |
+
+use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
+use ttmetal::{BufferRef, ComputeCtx, ComputeKernel, DataMovementCtx, DataMovementKernel};
+
+/// Runtime-arg slots shared by all three kernels.
+pub mod args {
+    /// First target tile owned by this core.
+    pub const START_TILE: usize = 0;
+    /// Number of target tiles owned by this core.
+    pub const TILE_COUNT: usize = 1;
+    /// Total number of source particles (= broadcast tiles).
+    pub const NUM_SOURCES: usize = 2;
+}
+
+/// Displacement CB page order.
+const DX: usize = 0;
+const DY: usize = 1;
+const DZ: usize = 2;
+const DVX: usize = 3;
+const DVY: usize = 4;
+const DVZ: usize = 5;
+
+/// The read kernel: double loop, outer over this core's target tiles, inner
+/// over every replicated source tile.
+pub struct ReaderKernel {
+    /// Target-view buffers `[x, y, z, vx, vy, vz]`.
+    pub targets: [BufferRef; 6],
+    /// Source-broadcast buffers `[m, x, y, z, vx, vy, vz]`.
+    pub sources: [BufferRef; 7],
+}
+
+impl DataMovementKernel for ReaderKernel {
+    fn run(&self, ctx: &mut DataMovementCtx) {
+        let start = ctx.arg(args::START_TILE) as usize;
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        let num_sources = ctx.arg(args::NUM_SOURCES) as usize;
+        for tile in start..start + count {
+            // Outer loop: the packed target tile of each quantity.
+            for buf in self.targets {
+                ctx.read_page_to_cb(IN0, buf, tile);
+            }
+            // Inner loop: the replicated (broadcast) source tiles.
+            for j in 0..num_sources {
+                for buf in self.sources {
+                    ctx.read_page_to_cb(IN1, buf, j);
+                }
+            }
+        }
+    }
+}
+
+/// The compute kernel: force and jerk in FP32 on the Tensix math pipeline.
+pub struct ForceComputeKernel {
+    /// Squared Plummer softening (FP32), added to every pair distance. Must
+    /// be positive: the device pipeline has no self-interaction branch, the
+    /// softened r² keeps the diagonal finite.
+    pub eps_squared: f32,
+}
+
+impl ForceComputeKernel {
+    /// Per-source-tile inner body. Separated for readability; one call
+    /// evaluates 1024 target lanes against source particle `j`.
+    fn interact(&self, ctx: &mut ComputeCtx) {
+        ctx.cb_wait_front(IN1, 7);
+
+        // --- Phase A: displacements into the staging CB -----------------
+        // dx = xj − xi and the velocity analogues; FPU sub_tiles.
+        ctx.tile_regs_acquire();
+        ctx.sub_tiles(IN1, IN0, 1, 0, DX);
+        ctx.sub_tiles(IN1, IN0, 2, 1, DY);
+        ctx.sub_tiles(IN1, IN0, 3, 2, DZ);
+        ctx.sub_tiles(IN1, IN0, 4, 3, DVX);
+        ctx.sub_tiles(IN1, IN0, 5, 4, DVY);
+        ctx.sub_tiles(IN1, IN0, 6, 5, DVZ);
+        ctx.tile_regs_commit();
+        ctx.cb_reserve_back(INTERMED0, 6);
+        for k in 0..6 {
+            ctx.pack_tile(k, INTERMED0);
+        }
+        ctx.cb_push_back(INTERMED0, 6);
+        ctx.tile_regs_release();
+        ctx.cb_wait_front(INTERMED0, 6);
+
+        // --- Phase B: w = m/s³ and rv3 = 3 (d·dv)/s² ---------------------
+        ctx.tile_regs_acquire();
+        ctx.copy_tile(INTERMED0, DX, 0);
+        ctx.square_tile(0);
+        ctx.copy_tile(INTERMED0, DY, 1);
+        ctx.square_tile(1);
+        ctx.copy_tile(INTERMED0, DZ, 2);
+        ctx.square_tile(2);
+        ctx.add_binary_tile(0, 1);
+        ctx.add_binary_tile(0, 2);
+        ctx.scale_tile(0, 1.0, self.eps_squared); // s² = r² + ε²
+        ctx.rsqrt_tile(0); // 1/s
+        ctx.copy_dst_tile(0, 1);
+        ctx.square_tile(1); // 1/s²
+        ctx.copy_dst_tile(1, 2);
+        ctx.mul_binary_tile(2, 0); // 1/s³
+        ctx.copy_tile(IN1, 0, 3); // m_j
+        ctx.mul_binary_tile(2, 3); // w = m_j / s³
+        ctx.mul_tiles(INTERMED0, INTERMED0, DX, DVX, 4);
+        ctx.mul_tiles(INTERMED0, INTERMED0, DY, DVY, 5);
+        ctx.mul_tiles(INTERMED0, INTERMED0, DZ, DVZ, 6);
+        ctx.add_binary_tile(4, 5);
+        ctx.add_binary_tile(4, 6); // d·dv
+        ctx.mul_binary_tile(4, 1); // (d·dv)/s²
+        ctx.scale_tile(4, 3.0, 0.0); // rv3
+        ctx.tile_regs_commit();
+        ctx.cb_reserve_back(INTERMED1, 2);
+        ctx.pack_tile(2, INTERMED1); // w
+        ctx.pack_tile(4, INTERMED1); // rv3
+        ctx.cb_push_back(INTERMED1, 2);
+        ctx.tile_regs_release();
+        ctx.cb_wait_front(INTERMED1, 2);
+
+        // --- Phase C1: acceleration accumulation -------------------------
+        // acc_a += w · d_a, reading the old accumulators from the ring.
+        ctx.cb_wait_front(INTERMED2, 6);
+        ctx.cb_reserve_back(INTERMED2, 6);
+        ctx.tile_regs_acquire();
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED2, axis, axis);
+        }
+        ctx.copy_tile(INTERMED1, 0, 6); // w
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED0, DX + axis, 7);
+            ctx.mad_binary_tile(7, 6, axis);
+        }
+        ctx.tile_regs_commit();
+        for axis in 0..3 {
+            ctx.pack_tile(axis, INTERMED2);
+        }
+        ctx.cb_push_back(INTERMED2, 3);
+        ctx.tile_regs_release();
+
+        // --- Phase C2: jerk accumulation ----------------------------------
+        // jerk_a += w · (dv_a − rv3 · d_a).
+        ctx.tile_regs_acquire();
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED2, 3 + axis, axis); // old jerk accumulators
+        }
+        ctx.copy_tile(INTERMED1, 0, 3); // w
+        ctx.copy_tile(INTERMED1, 1, 4); // rv3
+        for axis in 0..3 {
+            ctx.copy_tile(INTERMED0, DX + axis, 5);
+            ctx.mul_binary_tile(5, 4); // rv3 · d_a
+            ctx.negative_tile(5);
+            ctx.copy_tile(INTERMED0, DVX + axis, 6);
+            ctx.add_binary_tile(5, 6); // dv_a − rv3 · d_a
+            ctx.mad_binary_tile(5, 3, axis);
+        }
+        ctx.tile_regs_commit();
+        for axis in 0..3 {
+            ctx.pack_tile(axis, INTERMED2);
+        }
+        ctx.cb_push_back(INTERMED2, 3);
+        ctx.tile_regs_release();
+
+        // Retire this source's staging data and the old accumulators.
+        ctx.cb_pop_front(INTERMED2, 6);
+        ctx.cb_pop_front(INTERMED0, 6);
+        ctx.cb_pop_front(INTERMED1, 2);
+        ctx.cb_pop_front(IN1, 7);
+    }
+}
+
+impl ComputeKernel for ForceComputeKernel {
+    fn run(&self, ctx: &mut ComputeCtx) {
+        assert!(self.eps_squared > 0.0, "device force kernel requires softening > 0");
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        let num_sources = ctx.arg(args::NUM_SOURCES) as usize;
+        for _tile in 0..count {
+            ctx.cb_wait_front(IN0, 6);
+
+            // Zero the six accumulators.
+            ctx.cb_reserve_back(INTERMED2, 6);
+            ctx.tile_regs_acquire();
+            for k in 0..6 {
+                ctx.fill_tile(k, 0.0);
+            }
+            ctx.tile_regs_commit();
+            for k in 0..6 {
+                ctx.pack_tile(k, INTERMED2);
+            }
+            ctx.cb_push_back(INTERMED2, 6);
+            ctx.tile_regs_release();
+
+            for _j in 0..num_sources {
+                self.interact(ctx);
+            }
+
+            // Drain the final accumulators to the output CB.
+            ctx.cb_wait_front(INTERMED2, 6);
+            ctx.cb_reserve_back(OUT0, 6);
+            ctx.tile_regs_acquire();
+            for k in 0..6 {
+                ctx.copy_tile(INTERMED2, k, k);
+            }
+            ctx.tile_regs_commit();
+            for k in 0..6 {
+                ctx.pack_tile(k, OUT0);
+            }
+            ctx.cb_push_back(OUT0, 6);
+            ctx.tile_regs_release();
+            ctx.cb_pop_front(INTERMED2, 6);
+            ctx.cb_pop_front(IN0, 6);
+        }
+    }
+}
+
+/// The write kernel: results back to DRAM.
+pub struct WriterKernel {
+    /// Output buffers `[ax, ay, az, jx, jy, jz]`.
+    pub outputs: [BufferRef; 6],
+}
+
+impl DataMovementKernel for WriterKernel {
+    fn run(&self, ctx: &mut DataMovementCtx) {
+        let start = ctx.arg(args::START_TILE) as usize;
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        for tile in start..start + count {
+            for buf in self.outputs {
+                ctx.write_cb_to_page(OUT0, buf, tile);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fig. 2 data organization: particles → tiles.
+//!
+//! Two tile views of the particle data feed the device pipeline:
+//!
+//! * **target tiles** — each per-axis quantity packed 1024 particles per
+//!   tile ("the column tiles ... distributed across Tensix cores");
+//! * **source broadcast tiles** — "we create copies of the data, organized
+//!   into N tiles, where each tile holds 1024 elements": tile `j` holds
+//!   particle `j`'s value in all 1024 lanes, so one element-wise tile op
+//!   evaluates particle `j` against 1024 targets at once.
+//!
+//! Padding: the tail of the last target tile is filled with zero-mass
+//! particles parked at a remote position, so they neither contribute force
+//! (mass 0) nor produce NaNs (nonzero distance to every real particle).
+
+use nbody::particle::ParticleSystem;
+use tensix::tile::{pack_vector, Tile, TILE_ELEMS};
+use tensix::DataFormat;
+
+/// Position far from any sane cluster coordinate, used for padding lanes.
+pub const PAD_POSITION: f32 = 1.0e6;
+
+/// Per-axis particle quantities in FP32, the host-side staging format.
+#[derive(Debug, Clone)]
+pub struct HostArrays {
+    /// Particle count (unpadded).
+    pub n: usize,
+    /// Masses.
+    pub mass: Vec<f32>,
+    /// Position components.
+    pub pos: [Vec<f32>; 3],
+    /// Velocity components.
+    pub vel: [Vec<f32>; 3],
+}
+
+impl HostArrays {
+    /// Convert the FP64 master state to FP32 arrays (the host side of the
+    /// mixed-precision split).
+    #[must_use]
+    pub fn from_system(system: &ParticleSystem) -> Self {
+        let n = system.len();
+        let comp = |axis: usize, src: &[[f64; 3]]| -> Vec<f32> {
+            src.iter().map(|v| v[axis] as f32).collect()
+        };
+        HostArrays {
+            n,
+            mass: system.mass.iter().map(|m| *m as f32).collect(),
+            pos: [comp(0, &system.pos), comp(1, &system.pos), comp(2, &system.pos)],
+            vel: [comp(0, &system.vel), comp(1, &system.vel), comp(2, &system.vel)],
+        }
+    }
+
+    /// Number of target tiles: ⌈n / 1024⌉.
+    #[must_use]
+    pub fn num_target_tiles(&self) -> usize {
+        self.n.div_ceil(TILE_ELEMS)
+    }
+}
+
+/// The seven tiled quantities shipped to DRAM, in both views.
+#[derive(Debug)]
+pub struct TiledParticles {
+    /// Particle count (unpadded).
+    pub n: usize,
+    /// Packed target tiles, one vec of ⌈n/1024⌉ tiles per quantity:
+    /// `[x, y, z, vx, vy, vz]`.
+    pub targets: [Vec<Tile>; 6],
+    /// Source broadcast tiles, one vec of `n` tiles per quantity:
+    /// `[m, x, y, z, vx, vy, vz]`.
+    pub sources: [Vec<Tile>; 7],
+}
+
+/// Build one broadcast tile per value: tile `j` = `splat(values[j])`.
+#[must_use]
+pub fn broadcast_tiles(format: DataFormat, values: &[f32]) -> Vec<Tile> {
+    values.iter().map(|v| Tile::splat(format, *v)).collect()
+}
+
+/// Tilize the host arrays into both views (FP32 tiles — "the Tenstorrent
+/// Wormhole accelerator supports up to FP32").
+#[must_use]
+pub fn tilize_particles(arrays: &HostArrays) -> TiledParticles {
+    let f = DataFormat::Float32;
+    let targets = [
+        pack_vector(f, &arrays.pos[0], PAD_POSITION),
+        pack_vector(f, &arrays.pos[1], PAD_POSITION),
+        pack_vector(f, &arrays.pos[2], PAD_POSITION),
+        pack_vector(f, &arrays.vel[0], 0.0),
+        pack_vector(f, &arrays.vel[1], 0.0),
+        pack_vector(f, &arrays.vel[2], 0.0),
+    ];
+    let sources = [
+        broadcast_tiles(f, &arrays.mass),
+        broadcast_tiles(f, &arrays.pos[0]),
+        broadcast_tiles(f, &arrays.pos[1]),
+        broadcast_tiles(f, &arrays.pos[2]),
+        broadcast_tiles(f, &arrays.vel[0]),
+        broadcast_tiles(f, &arrays.vel[1]),
+        broadcast_tiles(f, &arrays.vel[2]),
+    ];
+    TiledParticles { n: arrays.n, targets, sources }
+}
+
+/// Unpack per-axis result tiles (acceleration or jerk components) back to
+/// `n` FP32 values per axis.
+#[must_use]
+pub fn untile_results(tiles: &[Vec<Tile>; 3], n: usize) -> [Vec<f32>; 3] {
+    [
+        tensix::tile::unpack_vector(&tiles[0], n),
+        tensix::tile::unpack_vector(&tiles[1], n),
+        tensix::tile::unpack_vector(&tiles[2], n),
+    ]
+}
+
+/// Split `num_tiles` target tiles across `num_cores` cores as evenly as
+/// possible: returns `(start_tile, count)` per core, front-loaded like
+/// TT-Metalium's `split_work_to_cores`.
+#[must_use]
+pub fn split_tiles_to_cores(num_tiles: usize, num_cores: usize) -> Vec<(usize, usize)> {
+    assert!(num_cores > 0, "need at least one core");
+    let base = num_tiles / num_cores;
+    let extra = num_tiles % num_cores;
+    let mut out = Vec::with_capacity(num_cores);
+    let mut start = 0;
+    for c in 0..num_cores {
+        let count = base + usize::from(c < extra);
+        out.push((start, count));
+        start += count;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::ic::{plummer, PlummerConfig};
+
+    fn sys(n: usize) -> ParticleSystem {
+        plummer(PlummerConfig { n, seed: 80, ..PlummerConfig::default() })
+    }
+
+    #[test]
+    fn host_arrays_mirror_system() {
+        let s = sys(100);
+        let h = HostArrays::from_system(&s);
+        assert_eq!(h.n, 100);
+        assert_eq!(h.mass.len(), 100);
+        assert_eq!(h.pos[2][7], s.pos[7][2] as f32);
+        assert_eq!(h.vel[0][99], s.vel[99][0] as f32);
+        assert_eq!(h.num_target_tiles(), 1);
+    }
+
+    #[test]
+    fn target_tiles_are_padded() {
+        let s = sys(100);
+        let t = tilize_particles(&HostArrays::from_system(&s));
+        assert_eq!(t.targets[0].len(), 1);
+        // Lane 100 onward is the parking position.
+        assert_eq!(t.targets[0][0].as_slice()[100], PAD_POSITION);
+        assert_eq!(t.targets[3][0].as_slice()[100], 0.0);
+        // Real lanes hold the particle data.
+        assert_eq!(t.targets[1][0].as_slice()[5], s.pos[5][1] as f32);
+    }
+
+    #[test]
+    fn source_tiles_broadcast_each_particle() {
+        let s = sys(70);
+        let t = tilize_particles(&HostArrays::from_system(&s));
+        assert_eq!(t.sources[0].len(), 70, "one broadcast tile per particle");
+        let j = 42;
+        let tile = &t.sources[1][j];
+        let expected = s.pos[j][0] as f32;
+        assert!(tile.as_slice().iter().all(|v| *v == expected));
+        // Mass tile broadcasts the mass.
+        assert!(t.sources[0][j].as_slice().iter().all(|v| *v == s.mass[j] as f32));
+    }
+
+    #[test]
+    fn multi_tile_targets() {
+        let s = sys(2048 + 10);
+        let t = tilize_particles(&HostArrays::from_system(&s));
+        assert_eq!(t.targets[0].len(), 3);
+        assert_eq!(t.sources[0].len(), 2058);
+    }
+
+    #[test]
+    fn untile_roundtrip() {
+        let s = sys(1500);
+        let h = HostArrays::from_system(&s);
+        let t = tilize_particles(&h);
+        let back = untile_results(
+            &[t.targets[0].clone(), t.targets[1].clone(), t.targets[2].clone()],
+            1500,
+        );
+        assert_eq!(back[0], h.pos[0]);
+        assert_eq!(back[2], h.pos[2]);
+    }
+
+    #[test]
+    fn work_split_even_and_frontloaded() {
+        assert_eq!(split_tiles_to_cores(8, 4), vec![(0, 2), (2, 2), (4, 2), (6, 2)]);
+        assert_eq!(split_tiles_to_cores(5, 3), vec![(0, 2), (2, 2), (4, 1)]);
+        assert_eq!(split_tiles_to_cores(2, 4), vec![(0, 1), (1, 1), (2, 0), (2, 0)]);
+        let split = split_tiles_to_cores(100, 64);
+        assert_eq!(split.iter().map(|(_, c)| c).sum::<usize>(), 100);
+        assert_eq!(split[0].1, 2);
+        assert_eq!(split[63].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = split_tiles_to_cores(4, 0);
+    }
+}

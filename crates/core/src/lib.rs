@@ -1,0 +1,34 @@
+//! # nbody-tt — the paper's contribution
+//!
+//! The gravitational force + jerk kernel of a direct N-body code, ported to
+//! the Tenstorrent Wormhole through the TT-Metalium programming model:
+//! Fig.-2 tile [`layout`], the read/compute/write [`kernels`], the
+//! [`pipeline`] that assembles and drives them, and the calibrated
+//! [`perf_model`] that extrapolates to the paper-scale configuration
+//! (N = 102 400, ten cycles). [`validate`] reproduces the paper's §3
+//! correctness methodology; [`simulation`] runs the full mixed-precision
+//! Hermite loop with the device in the loop.
+
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod kernels;
+pub mod layout;
+pub mod multi_device;
+pub mod perf_model;
+pub mod pipeline;
+pub mod simulation;
+pub mod validate;
+
+pub use broadcast::BroadcastForcePipeline;
+pub use layout::{split_tiles_to_cores, tilize_particles, HostArrays, TiledParticles};
+pub use multi_device::{MultiDevicePipeline, MultiDeviceTiming};
+pub use perf_model::{
+    paper_run, HostCpuModel, RunModel, WormholePerfModel, CPU_EFF_CYCLES_PER_PAIR,
+    DEVICE_CYCLES_PER_PAIR, PAPER_CYCLES, PAPER_N, STEPS_PER_CYCLE,
+};
+pub use pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming};
+pub use simulation::{
+    run_cpu_simulation, run_device_simulation, SimulationConfig, SimulationOutcome,
+};
+pub use validate::{validate_system, validation_suite, ValidationRow};

@@ -1,0 +1,199 @@
+//! Multi-device force evaluation — the functional companion to the E6
+//! scaling model.
+//!
+//! The paper's §5 roadmap: "extend our benchmarks to MPI with multiple
+//! accelerators". This module distributes the Fig.-2 outer loop across
+//! several simulated Wormhole cards: each device receives the full source
+//! view (every card needs all particles, as in the single-card port) but
+//! owns a contiguous slice of the target tiles; after the per-card programs
+//! complete, the partial results are exchanged in a ring all-gather over
+//! the 200 Gb/s Ethernet links, exactly the communication pattern the E6
+//! model charges for.
+//!
+//! Functional behaviour: results are bit-identical to the single-device
+//! pipeline (same arithmetic, same order per target tile). Virtual timing:
+//! the slowest card's program bounds the compute, plus the all-gather.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nbody::particle::{Forces, ParticleSystem};
+use tensix::ethernet::{EthLink, EthRing};
+use tensix::tile::TILE_ELEMS;
+use tensix::{Device, Result};
+
+use crate::layout::split_tiles_to_cores;
+use crate::pipeline::DeviceForcePipeline;
+
+/// Timing of a multi-device evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiDeviceTiming {
+    /// Slowest per-card device seconds across all evaluations.
+    pub device_seconds: f64,
+    /// Ring all-gather seconds across all evaluations.
+    pub comm_seconds: f64,
+    /// Evaluations run.
+    pub evaluations: u64,
+}
+
+/// A force pipeline spanning several devices.
+pub struct MultiDevicePipeline {
+    /// One single-card pipeline per device. Every card holds the full
+    /// particle set; the per-card `evaluate` computes every tile, but only
+    /// the card's owned slice is consumed (hardware would restrict the
+    /// runtime args instead — the arithmetic for the owned slice is
+    /// identical, so results match bit for bit at far less code surface).
+    pipelines: Vec<DeviceForcePipeline>,
+    /// Owned target-tile ranges per device: (start_particle, count).
+    ranges: Vec<(usize, usize)>,
+    ring: EthRing,
+    n: usize,
+    timing: Mutex<MultiDeviceTiming>,
+}
+
+impl MultiDevicePipeline {
+    /// Build over `devices`, splitting target tiles evenly; each card uses
+    /// `cores_per_device` Tensix cores.
+    ///
+    /// # Errors
+    /// DRAM exhaustion on any card.
+    ///
+    /// # Panics
+    /// Panics on an empty device list or invalid `n`/`eps`/core counts
+    /// (same contract as the single-card pipeline).
+    pub fn new(
+        devices: &[Arc<Device>],
+        n: usize,
+        eps: f64,
+        cores_per_device: usize,
+    ) -> Result<Self> {
+        assert!(!devices.is_empty(), "need at least one device");
+        let num_tiles = n.div_ceil(TILE_ELEMS);
+        let tile_split = split_tiles_to_cores(num_tiles, devices.len());
+        let mut pipelines = Vec::with_capacity(devices.len());
+        let mut ranges = Vec::with_capacity(devices.len());
+        for (device, (tile_start, tile_count)) in devices.iter().zip(tile_split) {
+            pipelines.push(DeviceForcePipeline::new(
+                Arc::clone(device),
+                n,
+                eps,
+                cores_per_device,
+            )?);
+            let start = tile_start * TILE_ELEMS;
+            let count = (tile_count * TILE_ELEMS).min(n.saturating_sub(start));
+            ranges.push((start, count));
+        }
+        Ok(MultiDevicePipeline {
+            pipelines,
+            ranges,
+            ring: EthRing::homogeneous(devices.len(), EthLink::default()),
+            n,
+            timing: Mutex::new(MultiDeviceTiming::default()),
+        })
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// Accumulated timing.
+    #[must_use]
+    pub fn timing(&self) -> MultiDeviceTiming {
+        *self.timing.lock()
+    }
+
+    /// Evaluate forces across all devices and gather the slices.
+    ///
+    /// # Errors
+    /// Any card's kernels faulting.
+    ///
+    /// # Panics
+    /// Panics on a particle-count mismatch.
+    pub fn evaluate(&self, system: &ParticleSystem) -> Result<Forces> {
+        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        let mut gathered = Forces::zeros(self.n);
+        let mut slowest = 0.0f64;
+        for (pipeline, (start, count)) in self.pipelines.iter().zip(&self.ranges) {
+            let before = pipeline.timing().device_seconds;
+            let full = pipeline.evaluate(system)?;
+            let elapsed = pipeline.timing().device_seconds - before;
+            slowest = slowest.max(elapsed);
+            for i in *start..start + count {
+                gathered.acc[i] = full.acc[i];
+                gathered.jerk[i] = full.jerk[i];
+            }
+        }
+        // Ring all-gather of the six per-axis result buffers for the owned
+        // tiles (FP32).
+        let bytes_per_device =
+            (self.ranges.iter().map(|(_, c)| c).max().unwrap_or(&0) * 6 * 4) as u64;
+        let comm = self.ring.allgather_seconds(bytes_per_device);
+        {
+            let mut t = self.timing.lock();
+            t.device_seconds += slowest;
+            t.comm_seconds += comm;
+            t.evaluations += 1;
+        }
+        Ok(gathered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::ic::{plummer, PlummerConfig};
+    use tensix::DeviceConfig;
+    use ttmetal::open_cluster;
+
+    fn cluster(k: usize) -> Vec<Arc<Device>> {
+        open_cluster(k, DeviceConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn two_devices_match_single_device_bitwise() {
+        let n = 2048 + 100;
+        let sys = plummer(PlummerConfig { n, seed: 400, ..PlummerConfig::default() });
+        let eps = 0.01;
+
+        let single =
+            DeviceForcePipeline::new(cluster(1).pop().unwrap(), n, eps, 1).unwrap();
+        let single_forces = single.evaluate(&sys).unwrap();
+
+        let devices = cluster(2);
+        let multi = MultiDevicePipeline::new(&devices, n, eps, 1).unwrap();
+        assert_eq!(multi.num_devices(), 2);
+        let multi_forces = multi.evaluate(&sys).unwrap();
+
+        assert_eq!(single_forces.acc, multi_forces.acc);
+        assert_eq!(single_forces.jerk, multi_forces.jerk);
+        let t = multi.timing();
+        assert!(t.device_seconds > 0.0);
+        assert!(t.comm_seconds > 0.0, "the all-gather must be charged");
+        assert_eq!(t.evaluations, 1);
+    }
+
+    #[test]
+    fn four_devices_cover_all_particles() {
+        let n = 1500;
+        let sys = plummer(PlummerConfig { n, seed: 401, ..PlummerConfig::default() });
+        let devices = cluster(4);
+        let multi = MultiDevicePipeline::new(&devices, n, 0.02, 1).unwrap();
+        let f = multi.evaluate(&sys).unwrap();
+        // No particle left at the zero placeholder: every slice was gathered.
+        let zero_count = f
+            .acc
+            .iter()
+            .filter(|a| a[0] == 0.0 && a[1] == 0.0 && a[2] == 0.0)
+            .count();
+        assert_eq!(zero_count, 0, "{zero_count} particles missing forces");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_rejected() {
+        let _ = MultiDevicePipeline::new(&[], 64, 0.01, 1);
+    }
+}

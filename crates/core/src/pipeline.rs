@@ -1,0 +1,436 @@
+//! Program assembly and host-side driving of the force pipeline.
+//!
+//! [`DeviceForcePipeline`] owns the DRAM buffers, the three kernels and the
+//! command queue for one device, and exposes a force evaluation that (1)
+//! tilizes the FP64 state to FP32, (2) ships it to DRAM, (3) runs the
+//! read/compute/write program across the selected Tensix cores with the
+//! outer loop split per core as in Fig. 2, and (4) reads back and
+//! un-tilizes acceleration and jerk.
+//!
+//! [`DeviceForceKernel`] wraps the pipeline behind the physics crate's
+//! `ForceKernel` trait so the Hermite integrator can drive the device
+//! exactly like a CPU kernel — the paper's mixed-precision split.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nbody::force::ForceKernel;
+use nbody::particle::{Forces, ParticleSystem};
+use tensix::cb::CircularBufferConfig;
+use tensix::grid::CoreRangeSet;
+use tensix::{DataFormat, Device, NocId, Result, Tile};
+use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
+use ttmetal::{Buffer, CommandQueue, Program};
+
+use crate::kernels::{ForceComputeKernel, ReaderKernel, WriterKernel};
+use crate::layout::{split_tiles_to_cores, tilize_particles, HostArrays};
+
+/// Accumulated virtual-time cost of the evaluations run so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineTiming {
+    /// Device seconds across all force programs.
+    pub device_seconds: f64,
+    /// Host↔device transfer seconds (PCIe).
+    pub io_seconds: f64,
+    /// Number of force evaluations.
+    pub evaluations: u64,
+    /// Compute-kernel cycles of the slowest core in the most recent
+    /// evaluation.
+    pub last_eval_cycles: u64,
+}
+
+/// The assembled force+jerk pipeline on one Wormhole device.
+pub struct DeviceForcePipeline {
+    device: Arc<Device>,
+    queue: Mutex<CommandQueue>,
+    program: Program,
+    n: usize,
+    eps: f64,
+    num_cores: usize,
+    format: DataFormat,
+    target_bufs: [Buffer; 6],
+    source_bufs: [Buffer; 7],
+    output_bufs: [Buffer; 6],
+    timing: Mutex<PipelineTiming>,
+}
+
+impl DeviceForcePipeline {
+    /// Build the pipeline for `n` particles with Plummer softening `eps` on
+    /// the first `num_cores` Tensix cores.
+    ///
+    /// # Errors
+    /// DRAM exhaustion (the replicated source view needs `7 n` tiles).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `eps <= 0` (the device kernel has no
+    /// self-interaction branch), or `num_cores` is 0 or exceeds the grid.
+    pub fn new(device: Arc<Device>, n: usize, eps: f64, num_cores: usize) -> Result<Self> {
+        Self::new_with_format(device, n, eps, num_cores, DataFormat::Float32)
+    }
+
+    /// Build the pipeline with an explicit storage format for DRAM buffers
+    /// and circular buffers (dst math is always FP32; lower-precision
+    /// storage quantizes on every pack, exactly as on hardware).
+    ///
+    /// The paper runs FP32 — "the Tenstorrent Wormhole accelerator supports
+    /// up to FP32" — and this constructor exists to quantify why: BF16
+    /// storage fails the paper's accuracy tolerances (see the accuracy
+    /// harness's ablation rows).
+    ///
+    /// # Errors
+    /// DRAM exhaustion.
+    ///
+    /// # Panics
+    /// Same contract as [`DeviceForcePipeline::new`].
+    pub fn new_with_format(
+        device: Arc<Device>,
+        n: usize,
+        eps: f64,
+        num_cores: usize,
+        format: DataFormat,
+    ) -> Result<Self> {
+        assert!(n > 0, "empty system");
+        assert!(eps > 0.0, "device force kernel requires softening > 0");
+        let grid = device.grid();
+        assert!(
+            num_cores > 0 && num_cores <= grid.num_cores(),
+            "core count {num_cores} outside 1..={}",
+            grid.num_cores()
+        );
+        let f = format;
+        let num_tiles = n.div_ceil(tensix::TILE_ELEMS);
+
+        let mk = |count: usize| Buffer::new(&device, f, count);
+        let target_bufs =
+            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+        let source_bufs =
+            [mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?];
+        let output_bufs =
+            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+
+        let cores = CoreRangeSet::first_n(num_cores, grid.x);
+        let program = build_program(
+            &cores,
+            &target_bufs,
+            &source_bufs,
+            &output_bufs,
+            eps,
+            num_tiles,
+            n,
+            num_cores,
+            format,
+        );
+
+        Ok(DeviceForcePipeline {
+            queue: Mutex::new(CommandQueue::new(Arc::clone(&device))),
+            device,
+            program,
+            n,
+            eps,
+            num_cores,
+            format,
+            target_bufs,
+            source_bufs,
+            output_bufs,
+            timing: Mutex::new(PipelineTiming::default()),
+        })
+    }
+
+    /// The device this pipeline runs on.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Particle count the pipeline was built for.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Softening length.
+    #[must_use]
+    pub fn softening(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of Tensix cores in use.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Storage format of the pipeline's buffers and CBs.
+    #[must_use]
+    pub fn format(&self) -> DataFormat {
+        self.format
+    }
+
+    /// Accumulated timing.
+    #[must_use]
+    pub fn timing(&self) -> PipelineTiming {
+        *self.timing.lock()
+    }
+
+    /// Run one force + jerk evaluation for `system`.
+    ///
+    /// # Errors
+    /// Kernel faults or DRAM errors.
+    ///
+    /// # Panics
+    /// Panics if `system.len()` differs from the pipeline's `n`.
+    pub fn evaluate(&self, system: &ParticleSystem) -> Result<Forces> {
+        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        let arrays = HostArrays::from_system(system);
+        let tiled = tilize_particles(&arrays);
+
+        let mut queue = self.queue.lock();
+        for (buf, tiles) in self.target_bufs.iter().zip(&tiled.targets) {
+            queue.enqueue_write_buffer(buf, tiles)?;
+        }
+        for (buf, tiles) in self.source_bufs.iter().zip(&tiled.sources) {
+            queue.enqueue_write_buffer(buf, tiles)?;
+        }
+
+        let report = queue.enqueue_program(&self.program)?;
+
+        let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
+        for buf in &self.output_bufs {
+            result_tiles.push(queue.enqueue_read_buffer(buf)?);
+        }
+
+        {
+            let mut t = self.timing.lock();
+            t.device_seconds += report.seconds;
+            t.io_seconds = queue.io_seconds();
+            t.evaluations += 1;
+            t.last_eval_cycles = report
+                .timings
+                .iter()
+                .filter(|k| k.label == "force-compute")
+                .map(|k| k.cycles)
+                .max()
+                .unwrap_or(0);
+        }
+        drop(queue);
+
+        // Un-tilize: FP32 device results promoted to the FP64 state.
+        let mut forces = Forces::zeros(self.n);
+        for axis in 0..3 {
+            let acc = tensix::tile::unpack_vector(&result_tiles[axis], self.n);
+            let jerk = tensix::tile::unpack_vector(&result_tiles[3 + axis], self.n);
+            for i in 0..self.n {
+                forces.acc[i][axis] = f64::from(acc[i]);
+                forces.jerk[i][axis] = f64::from(jerk[i]);
+            }
+        }
+        Ok(forces)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_program(
+    cores: &CoreRangeSet,
+    targets: &[Buffer; 6],
+    sources: &[Buffer; 7],
+    outputs: &[Buffer; 6],
+    eps: f64,
+    num_tiles: usize,
+    n: usize,
+    num_cores: usize,
+    format: DataFormat,
+) -> Program {
+    let f = format;
+    let mut program = Program::new();
+    program.add_circular_buffer(cores.clone(), IN0, CircularBufferConfig::new(6, f));
+    program.add_circular_buffer(cores.clone(), IN1, CircularBufferConfig::new(14, f));
+    program.add_circular_buffer(cores.clone(), INTERMED0, CircularBufferConfig::new(6, f));
+    program.add_circular_buffer(cores.clone(), INTERMED1, CircularBufferConfig::new(2, f));
+    program.add_circular_buffer(cores.clone(), INTERMED2, CircularBufferConfig::new(12, f));
+    program.add_circular_buffer(cores.clone(), OUT0, CircularBufferConfig::new(12, f));
+
+    let reader = program.add_data_movement_kernel(
+        "reader",
+        cores.clone(),
+        NocId::Noc0,
+        Arc::new(ReaderKernel {
+            targets: targets.each_ref().map(Buffer::reference),
+            sources: sources.each_ref().map(Buffer::reference),
+        }),
+    );
+    let compute = program.add_compute_kernel(
+        "force-compute",
+        cores.clone(),
+        f,
+        Arc::new(ForceComputeKernel { eps_squared: (eps * eps) as f32 }),
+    );
+    let writer = program.add_data_movement_kernel(
+        "writer",
+        cores.clone(),
+        NocId::Noc1,
+        Arc::new(WriterKernel { outputs: outputs.each_ref().map(Buffer::reference) }),
+    );
+
+    let split = split_tiles_to_cores(num_tiles, num_cores);
+    for (core, (start, count)) in cores.iter().zip(split) {
+        let args = vec![start as u32, count as u32, n as u32];
+        program.set_runtime_args(reader, core, args.clone());
+        program.set_runtime_args(compute, core, args.clone());
+        program.set_runtime_args(writer, core, args);
+    }
+    program
+}
+
+/// The device pipeline behind the physics crate's `ForceKernel` trait.
+pub struct DeviceForceKernel {
+    pipeline: DeviceForcePipeline,
+}
+
+impl DeviceForceKernel {
+    /// Wrap a pipeline.
+    #[must_use]
+    pub fn new(pipeline: DeviceForcePipeline) -> Self {
+        DeviceForceKernel { pipeline }
+    }
+
+    /// The wrapped pipeline (for timing queries).
+    #[must_use]
+    pub fn pipeline(&self) -> &DeviceForcePipeline {
+        &self.pipeline
+    }
+}
+
+impl ForceKernel for DeviceForceKernel {
+    fn name(&self) -> &'static str {
+        "tenstorrent-wormhole"
+    }
+
+    fn softening(&self) -> f64 {
+        self.pipeline.softening()
+    }
+
+    fn compute(&self, system: &ParticleSystem) -> Forces {
+        self.pipeline
+            .evaluate(system)
+            .unwrap_or_else(|e| panic!("device force evaluation failed: {e}"))
+    }
+
+    fn compute_range(&self, system: &ParticleSystem, i0: usize, i1: usize) -> Forces {
+        // The device always evaluates every target tile; ranges slice the
+        // full result (the trait exists for CPU-side work splitting).
+        let full = self.compute(system);
+        Forces {
+            acc: full.acc[i0..i1].to_vec(),
+            jerk: full.jerk[i0..i1].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::accuracy::compare_forces;
+    use nbody::force::ReferenceKernel;
+    use nbody::ic::{plummer, PlummerConfig};
+    use tensix::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Device::new(0, DeviceConfig::default())
+    }
+
+    #[test]
+    fn single_tile_cluster_matches_golden() {
+        let sys = plummer(PlummerConfig { n: 96, seed: 90, ..PlummerConfig::default() });
+        let eps = 0.01;
+        let pipeline = DeviceForcePipeline::new(device(), sys.len(), eps, 1).unwrap();
+        let dev = pipeline.evaluate(&sys).unwrap();
+        let golden = ReferenceKernel::new(eps).compute(&sys);
+        let cmp = compare_forces(&golden, &dev);
+        assert!(
+            cmp.passes(),
+            "acc err {:.2e}, jerk err {:.2e}",
+            cmp.max_acc_error,
+            cmp.max_jerk_error
+        );
+        let t = pipeline.timing();
+        assert_eq!(t.evaluations, 1);
+        assert!(t.device_seconds > 0.0);
+        assert!(t.last_eval_cycles > 0);
+    }
+
+    #[test]
+    fn multi_core_multi_tile_matches_golden() {
+        // 3 target tiles over 2 cores: exercises the Fig. 2 distribution.
+        let n = 2048 + 512;
+        let sys = plummer(PlummerConfig { n, seed: 91, ..PlummerConfig::default() });
+        let eps = 0.02;
+        let pipeline = DeviceForcePipeline::new(device(), n, eps, 2).unwrap();
+        let dev = pipeline.evaluate(&sys).unwrap();
+        let golden = ReferenceKernel::new(eps).compute(&sys);
+        let cmp = compare_forces(&golden, &dev);
+        assert!(
+            cmp.passes(),
+            "acc err {:.2e}, jerk err {:.2e}",
+            cmp.max_acc_error,
+            cmp.max_jerk_error
+        );
+    }
+
+    #[test]
+    fn kernel_trait_roundtrip() {
+        let sys = plummer(PlummerConfig { n: 64, seed: 92, ..PlummerConfig::default() });
+        let k = DeviceForceKernel::new(
+            DeviceForcePipeline::new(device(), 64, 0.05, 1).unwrap(),
+        );
+        assert_eq!(k.name(), "tenstorrent-wormhole");
+        assert_eq!(k.softening(), 0.05);
+        let full = k.compute(&sys);
+        let part = k.compute_range(&sys, 10, 20);
+        assert_eq!(part.len(), 10);
+        assert_eq!(part.acc[0], full.acc[10]);
+    }
+
+    #[test]
+    fn bf16_storage_fails_paper_tolerances() {
+        // The precision ablation behind the paper's FP32 choice: with BF16
+        // tiles (7-bit mantissas) the force errors blow two orders past the
+        // 0.05 % tolerance.
+        let sys = plummer(PlummerConfig { n: 128, seed: 94, ..PlummerConfig::default() });
+        let eps = 0.01;
+        let fp32 = DeviceForcePipeline::new(device(), 128, eps, 1).unwrap();
+        let bf16 = DeviceForcePipeline::new_with_format(
+            device(),
+            128,
+            eps,
+            1,
+            DataFormat::Float16b,
+        )
+        .unwrap();
+        assert_eq!(bf16.format(), DataFormat::Float16b);
+        let golden = ReferenceKernel::new(eps).compute(&sys);
+        let cmp32 = compare_forces(&golden, &fp32.evaluate(&sys).unwrap());
+        let cmp16 = compare_forces(&golden, &bf16.evaluate(&sys).unwrap());
+        assert!(cmp32.passes());
+        assert!(
+            !cmp16.passes(),
+            "BF16 must fail the paper tolerance (acc err {:.2e})",
+            cmp16.max_acc_error
+        );
+        assert!(cmp16.max_acc_error > 20.0 * cmp32.max_acc_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "softening > 0")]
+    fn zero_softening_rejected() {
+        let _ = DeviceForcePipeline::new(device(), 64, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline built for")]
+    fn wrong_particle_count_rejected() {
+        let sys = plummer(PlummerConfig { n: 32, seed: 93, ..PlummerConfig::default() });
+        let pipeline = DeviceForcePipeline::new(device(), 64, 0.01, 1).unwrap();
+        let _ = pipeline.evaluate(&sys);
+    }
+}

@@ -1,0 +1,7 @@
+fn main() {
+    let run = tt_harness::default_run();
+    for seed in [1001u64, 1002, 1003, 2024, 5150, 7777] {
+        let r = tt_harness::run_fig3(&run, seed);
+        println!("seed {seed}: {}", r.accel_succeeded);
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment E8 — clock-rate sensitivity (extension): the question of the
+//! authors' companion study on "clock rate adjustment for energy-efficient
+//! GPU-accelerated real-world codes", asked of the Wormhole. Sweeps the
+//! Tensix clock through the calibrated model and reports time,
+//! whole-system energy and active-card energy.
+
+use std::fs;
+use std::path::Path;
+
+use tt_harness::default_run;
+
+fn main() {
+    let run = default_run();
+    println!("=== E8: Tensix clock-rate sweep (model) ===\n");
+    println!(" clock | time (s) | system energy (kJ) | active-card energy (kJ)");
+    let mut csv = String::from("clock_scale,time_s,system_energy_kj,card_energy_kj\n");
+    let mut best_card = (f64::INFINITY, 0.0);
+    for i in 0..=10 {
+        let s = 0.6 + 0.08 * f64::from(i);
+        let t = run.accel_seconds_at_clock(s);
+        let e_sys = run.accel_energy_at_clock(s) / 1e3;
+        let e_card = run.active_card_energy_at_clock(s) / 1e3;
+        if e_card < best_card.0 {
+            best_card = (e_card, s);
+        }
+        println!("  {s:.2} | {t:>8.1} | {e_sys:>18.2} | {e_card:>22.3}");
+        csv.push_str(&format!("{s:.2},{t:.2},{e_sys:.3},{e_card:.4}\n"));
+    }
+    println!(
+        "\nfindings: system energy is race-to-idle (static host + idle-card power dominate),\n\
+         while the active card alone has a DVFS sweet spot near {:.2}x clock ({:.3} kJ).",
+        best_card.1, best_card.0
+    );
+    fs::create_dir_all("results").ok();
+    fs::write(Path::new("results/clock_sweep.csv"), csv).ok();
+    println!("raw data written to results/clock_sweep.csv");
+}

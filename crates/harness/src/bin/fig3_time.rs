@@ -1,0 +1,48 @@
+//! Experiment E1 — Fig. 3: time-to-solution distributions.
+//!
+//! Submits 50 accelerated jobs (reset failures included, as in the paper's
+//! campaign) and 49 CPU jobs, prints both histograms with their means, the
+//! census, and the paper-vs-measured table.
+
+use std::fs;
+use std::path::Path;
+
+use tt_harness::{default_run, render_histogram, render_table, run_fig3, Comparison};
+use tt_telemetry::stats::{mean, std_dev};
+
+fn main() {
+    let run = default_run();
+    let result = run_fig3(&run, 0x5c25);
+
+    println!("=== E1 / Fig. 3: time-to-solution ===\n");
+    println!(
+        "census: {} accelerated jobs submitted, {} completed ({} failed at device reset); \
+         49 CPU jobs, all completed\n",
+        result.accel_submitted,
+        result.accel_succeeded,
+        result.accel_submitted - result.accel_succeeded
+    );
+    println!("{}", render_histogram("Fig 3(a): device + CPU", &result.accel_times, 9, "s"));
+    println!("{}", render_histogram("Fig 3(b): CPU only", &result.cpu_times, 9, "s"));
+
+    let rows = vec![
+        Comparison::new("time-to-solution accel (mean)", 301.40, mean(&result.accel_times), "s"),
+        Comparison::new("time-to-solution accel (std)", 0.24, std_dev(&result.accel_times), "s"),
+        Comparison::new("time-to-solution CPU (mean)", 672.90, mean(&result.cpu_times), "s"),
+        Comparison::new("time-to-solution CPU (std)", 7.83, std_dev(&result.cpu_times), "s"),
+        Comparison::new("speedup", 2.23, result.speedup, "x"),
+        Comparison::new("accel jobs completed", 26.0, result.accel_succeeded as f64, "jobs"),
+    ];
+    println!("{}", render_table("paper vs measured", &rows, 0.30));
+
+    fs::create_dir_all("results").ok();
+    let mut csv = String::from("kind,time_to_solution_s\n");
+    for t in &result.accel_times {
+        csv.push_str(&format!("accel,{t:.4}\n"));
+    }
+    for t in &result.cpu_times {
+        csv.push_str(&format!("cpu,{t:.4}\n"));
+    }
+    fs::write(Path::new("results/fig3_time_to_solution.csv"), csv).ok();
+    println!("raw data written to results/fig3_time_to_solution.csv");
+}

@@ -1,0 +1,51 @@
+//! Experiment E2 — Fig. 4: power time series of the four Tenstorrent cards
+//! during one representative accelerated job (device 3 active), sampled at
+//! 1 Hz by the tt-smi emulation, with the simulation start/end marked.
+
+use std::fs;
+use std::path::Path;
+
+use tt_harness::{default_run, render_timeseries, run_fig4};
+use tt_telemetry::csvio;
+use tt_telemetry::stats::{max, mean};
+
+fn main() {
+    let run = default_run();
+    let result = run_fig4(&run, 0x0f14);
+    let (t0, t1) = result.sim_window;
+
+    println!("=== E2 / Fig. 4: card power during one job ===\n");
+    println!(
+        "{}",
+        render_timeseries(
+            "power absorbed by the four Tenstorrent cards",
+            &result.card_series,
+            &[t0, t1],
+            100,
+            16,
+        )
+    );
+
+    for s in &result.card_series {
+        let idle: Vec<f64> = s.window(2.0, t0 - 2.0).iter().map(|p| p.watts).collect();
+        let simw: Vec<f64> = s.window(t0 + 2.0, t1 - 2.0).iter().map(|p| p.watts).collect();
+        let post: Vec<f64> =
+            s.window(t1 + 2.0, t1 + 118.0).iter().map(|p| p.watts).collect();
+        println!(
+            "{}: idle {:.1} W | simulation mean {:.1} W peak {:.1} W | post-run idle {:.1} W",
+            s.label,
+            mean(&idle),
+            mean(&simw),
+            max(&simw),
+            mean(&post),
+        );
+    }
+    println!(
+        "\npaper checkpoints: idle 10-11 W; unused-but-powered < 20 W; active 26-33 W; \
+         post-run idle slightly elevated until reset"
+    );
+
+    fs::create_dir_all("results").ok();
+    csvio::write_csv(Path::new("results/fig4_power_timeseries.csv"), &result.card_series).ok();
+    println!("raw data written to results/fig4_power_timeseries.csv");
+}

@@ -1,0 +1,44 @@
+//! Experiment E3 — Fig. 5: energy-to-solution distributions, the 1.80×
+//! energy ratio, and the peak-power comparison (≈260 W vs ≈210 W).
+
+use std::fs;
+use std::path::Path;
+
+use tt_harness::{default_run, render_histogram, render_table, run_fig5, Comparison};
+use tt_telemetry::stats::{max, mean, min};
+
+fn main() {
+    let run = default_run();
+    let result = run_fig5(&run, 0x0515);
+
+    println!("=== E3 / Fig. 5: energy-to-solution ===\n");
+    println!(
+        "{}",
+        render_histogram("Fig 5(a): device + CPU", &result.accel_energy_kj, 9, "kJ")
+    );
+    println!("{}", render_histogram("Fig 5(b): CPU only", &result.cpu_energy_kj, 9, "kJ"));
+
+    let rows = vec![
+        Comparison::new("energy accel (mean)", 71.56, mean(&result.accel_energy_kj), "kJ"),
+        Comparison::new("energy accel (min)", 71.23, min(&result.accel_energy_kj), "kJ"),
+        Comparison::new("energy accel (max)", 71.81, max(&result.accel_energy_kj), "kJ"),
+        Comparison::new("energy CPU (mean)", 128.89, mean(&result.cpu_energy_kj), "kJ"),
+        Comparison::new("energy CPU (min)", 127.29, min(&result.cpu_energy_kj), "kJ"),
+        Comparison::new("energy CPU (max)", 131.36, max(&result.cpu_energy_kj), "kJ"),
+        Comparison::new("energy ratio", 1.80, result.energy_ratio, "x"),
+        Comparison::new("peak power accel", 260.0, result.accel_peak_w, "W"),
+        Comparison::new("peak power CPU", 210.0, result.cpu_peak_w, "W"),
+    ];
+    println!("{}", render_table("paper vs measured", &rows, 0.10));
+
+    fs::create_dir_all("results").ok();
+    let mut csv = String::from("kind,energy_kj\n");
+    for e in &result.accel_energy_kj {
+        csv.push_str(&format!("accel,{e:.4}\n"));
+    }
+    for e in &result.cpu_energy_kj {
+        csv.push_str(&format!("cpu,{e:.4}\n"));
+    }
+    fs::write(Path::new("results/fig5_energy_to_solution.csv"), csv).ok();
+    println!("raw data written to results/fig5_energy_to_solution.csv");
+}

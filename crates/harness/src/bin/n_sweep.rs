@@ -1,0 +1,40 @@
+//! Experiment E7 — the paper's follow-up question: how does the comparison
+//! evolve with the number of particles? Sweeps N through the calibrated
+//! model for both codes, locating the CPU/device crossover and the
+//! asymptotic speedup.
+
+use std::fs;
+use std::path::Path;
+
+use tt_harness::{default_run, run_n_sweep, sweep_crossover};
+
+fn main() {
+    let run = default_run();
+    let points = run_n_sweep(&run);
+
+    println!("=== E7: particle-count sweep (per Hermite step) ===\n");
+    println!("       N | accel (s/step) | cpu (s/step) | speedup");
+    for p in &points {
+        let marker = if p.n == 102_400 { "  <- paper configuration" } else { "" };
+        println!(
+            "  {:>6} | {:>14.5} | {:>12.5} | {:>6.2}x{marker}",
+            p.n, p.accel_step_s, p.cpu_step_s, p.speedup
+        );
+    }
+    match sweep_crossover(&points) {
+        Some(n) => println!("\nCPU still wins at N <= {n}; the device wins beyond."),
+        None => println!("\nthe device wins across the whole grid."),
+    }
+    println!(
+        "small-N overhead: PCIe + host staging dominate until the 64 Tensix cores \
+         have enough target tiles to amortize them."
+    );
+
+    fs::create_dir_all("results").ok();
+    let mut csv = String::from("n,accel_step_s,cpu_step_s,speedup\n");
+    for p in &points {
+        csv.push_str(&format!("{},{:.6},{:.6},{:.4}\n", p.n, p.accel_step_s, p.cpu_step_s, p.speedup));
+    }
+    fs::write(Path::new("results/n_sweep.csv"), csv).ok();
+    println!("raw data written to results/n_sweep.csv");
+}

@@ -1,0 +1,44 @@
+//! Experiment E6 — the paper's stated next step: strong and weak scaling
+//! over multiple Wormhole cards connected by 200 Gb/s Ethernet links,
+//! estimated from the calibrated model (devices split the Fig.-2 outer loop;
+//! results are all-gathered around the ring each step).
+
+use std::fs;
+use std::path::Path;
+
+use tt_harness::{default_run, run_scaling};
+
+fn main() {
+    let run = default_run();
+    let result = run_scaling(&run);
+
+    println!("=== E6: multi-device scaling (paper §5 perspectives) ===\n");
+    println!("strong scaling, N = {}:", run.n);
+    println!("  devices | time (s) | speedup | efficiency");
+    let t1 = result.strong[0].1;
+    for (d, t) in &result.strong {
+        println!(
+            "  {d:>7} | {t:>8.1} | {:>7.2} | {:>9.1}%",
+            t1 / t,
+            100.0 * t1 / t / *d as f64
+        );
+    }
+
+    println!("\nweak scaling (pair work per device held constant, N grows as sqrt(devices)):");
+    println!("  devices |       N | time (s) | efficiency");
+    let tw1 = result.weak[0].2;
+    for (d, n, t) in &result.weak {
+        println!("  {d:>7} | {n:>7} | {t:>8.1} | {:>9.1}%", 100.0 * tw1 / t);
+    }
+
+    fs::create_dir_all("results").ok();
+    let mut csv = String::from("mode,devices,n,time_s\n");
+    for (d, t) in &result.strong {
+        csv.push_str(&format!("strong,{d},{},{t:.3}\n", run.n));
+    }
+    for (d, n, t) in &result.weak {
+        csv.push_str(&format!("weak,{d},{n},{t:.3}\n"));
+    }
+    fs::write(Path::new("results/scaling.csv"), csv).ok();
+    println!("\nraw data written to results/scaling.csv");
+}

@@ -1,0 +1,28 @@
+//! # tt-harness — experiment harness for every figure and table
+//!
+//! Regenerates the paper's evaluation artifacts from the simulator stack:
+//! Fig. 3 (time-to-solution histograms + the 26/50 census), Fig. 4 (card
+//! power time series), Fig. 5 (energy-to-solution histograms and peak
+//! powers), the §3 accuracy table, and the multi-device scaling extension.
+//! [`experiments`] holds the runnable experiments, [`plot`] the ASCII
+//! figure renderers, [`report`] the paper-vs-measured tables and [`specs`]
+//! the bridge from the calibrated run model to campaign job specs.
+//!
+//! Binaries (`cargo run -p tt-harness --bin <name>`): `fig3_time`,
+//! `fig4_power`, `fig5_energy`, `accuracy_table`, `scaling`,
+//! `campaign_summary`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod specs;
+
+pub use experiments::{
+    default_run, run_fig3, run_fig4, run_fig5, run_n_sweep, run_scaling, sweep_crossover,
+    Fig3Result, Fig4Result, Fig5Result, ScalingResult, SweepPoint,
+};
+pub use plot::{render_histogram, render_timeseries};
+pub use report::{all_within, render_table, Comparison};
+pub use specs::{accel_spec, cpu_spec, ACCEL_TIME_JITTER, CPU_TIME_JITTER, RESET_FAILURE_PROB};

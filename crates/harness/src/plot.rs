@@ -1,0 +1,132 @@
+//! ASCII rendering of the paper's figures.
+//!
+//! The harness reproduces figure *data*; these renderers make the shape
+//! visible in a terminal — histograms with counts per bin (Figs. 3 and 5)
+//! and multi-trace time series (Fig. 4).
+
+use tt_telemetry::sample::SampleSeries;
+use tt_telemetry::stats::{max, mean, min, std_dev, Histogram};
+
+/// Render a histogram with a header carrying mean ± σ (the red dashed line
+/// of Figs. 3/5 is the mean).
+#[must_use]
+pub fn render_histogram(title: &str, xs: &[f64], bins: usize, unit: &str) -> String {
+    assert!(!xs.is_empty(), "no data to plot");
+    let h = Histogram::auto(xs, bins);
+    let m = mean(xs);
+    let sd = std_dev(xs);
+    let mut out = format!(
+        "{title}\n  n = {}, mean = {m:.2} {unit}, std = {sd:.2} {unit}, range = [{:.2}, {:.2}]\n",
+        xs.len(),
+        min(xs),
+        max(xs),
+    );
+    let peak = h.counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in h.counts.iter().enumerate() {
+        let bar_len = (c as usize * 40).div_ceil(peak as usize);
+        let center = h.bin_center(i);
+        let marker = {
+            let width = (h.hi - h.lo) / h.counts.len() as f64;
+            if (center - m).abs() <= width / 2.0 { " <- mean" } else { "" }
+        };
+        out.push_str(&format!(
+            "  {center:>10.2} | {}{} {c}{marker}\n",
+            "#".repeat(bar_len),
+            if c > 0 && bar_len == 0 { "#" } else { "" },
+        ));
+    }
+    out
+}
+
+/// Render multiple power traces over a common time axis, one glyph per
+/// series ('0'–'9'), with vertical markers at `events` (Fig. 4's simulation
+/// start/end lines).
+#[must_use]
+pub fn render_timeseries(
+    title: &str,
+    series: &[SampleSeries],
+    events: &[f64],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(!series.is_empty(), "no series to plot");
+    assert!(width >= 10 && height >= 4, "canvas too small");
+    let t_max = series
+        .iter()
+        .filter_map(|s| s.samples.last().map(|p| p.t))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let w_max = series.iter().map(SampleSeries::peak).fold(10.0f64, f64::max) * 1.05;
+
+    let mut canvas = vec![vec![' '; width]; height];
+    // Event markers first so traces draw over them.
+    for &e in events {
+        let col = ((e / t_max) * (width - 1) as f64) as usize;
+        for row in canvas.iter_mut() {
+            row[col.min(width - 1)] = '|';
+        }
+    }
+    for (si, s) in series.iter().enumerate() {
+        let glyph = char::from_digit((si % 10) as u32, 10).unwrap_or('*');
+        for p in &s.samples {
+            let col = ((p.t / t_max) * (width - 1) as f64) as usize;
+            let row = height - 1 - ((p.watts / w_max) * (height - 1) as f64) as usize;
+            canvas[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = format!("{title}\n  y: 0..{w_max:.0} W, x: 0..{t_max:.0} s\n");
+    for (i, row) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{w_max:>6.0}")
+        } else if i == height - 1 {
+            format!("{:>6.0}", 0.0)
+        } else {
+            "      ".to_string()
+        };
+        out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str("        legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{} = {}  ", si % 10, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_render_contains_stats() {
+        let xs: Vec<f64> = (0..50).map(|i| 300.0 + (i % 7) as f64 * 0.1).collect();
+        let s = render_histogram("Fig 3(a)", &xs, 8, "s");
+        assert!(s.contains("Fig 3(a)"));
+        assert!(s.contains("n = 50"));
+        assert!(s.contains("mean = 300.29"));
+        assert!(s.contains("<- mean"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_histogram_panics() {
+        let _ = render_histogram("x", &[], 4, "s");
+    }
+
+    #[test]
+    fn timeseries_renders_all_series() {
+        let mut a = SampleSeries::new("device0");
+        let mut b = SampleSeries::new("device3");
+        for i in 0..100 {
+            a.push(i as f64, 10.0);
+            b.push(i as f64 + 0.1, 30.0);
+        }
+        let s = render_timeseries("Fig 4", &[a, b], &[20.0, 80.0], 60, 10);
+        assert!(s.contains("Fig 4"));
+        assert!(s.contains('0') && s.contains('1'));
+        assert!(s.contains('|'), "event markers");
+        assert!(s.contains("device3"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Paper-vs-measured reporting.
+//!
+//! Every experiment binary emits rows comparing its measured quantity to the
+//! value the paper reports; EXPERIMENTS.md is assembled from these tables.
+
+use std::fmt::Write as _;
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Metric name ("time-to-solution (accel)", …).
+    pub metric: String,
+    /// Paper value.
+    pub paper: f64,
+    /// Our measured/modeled value.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: String,
+}
+
+impl Comparison {
+    /// Build a row.
+    #[must_use]
+    pub fn new(metric: &str, paper: f64, measured: f64, unit: &str) -> Self {
+        Comparison {
+            metric: metric.to_string(),
+            paper,
+            measured,
+            unit: unit.to_string(),
+        }
+    }
+
+    /// Relative deviation |measured − paper| / |paper|.
+    #[must_use]
+    pub fn deviation(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper.abs()
+    }
+
+    /// Whether the deviation stays within `frac`.
+    #[must_use]
+    pub fn within(&self, frac: f64) -> bool {
+        self.deviation() <= frac
+    }
+}
+
+/// Render a comparison table.
+#[must_use]
+pub fn render_table(title: &str, rows: &[Comparison], tolerance: f64) -> String {
+    let mut out = format!(
+        "{title}\n{:<34} | {:>12} | {:>12} | {:>6} | {:>7} | ok?\n{}\n",
+        "metric",
+        "paper",
+        "measured",
+        "unit",
+        "dev %",
+        "-".repeat(88)
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} | {:>12.4} | {:>12.4} | {:>6} | {:>6.2}% | {}",
+            r.metric,
+            r.paper,
+            r.measured,
+            r.unit,
+            r.deviation() * 100.0,
+            if r.within(tolerance) { "yes" } else { "NO" },
+        );
+    }
+    out
+}
+
+/// Whether every row is within tolerance.
+#[must_use]
+pub fn all_within(rows: &[Comparison], tolerance: f64) -> bool {
+    rows.iter().all(|r| r.within(tolerance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_and_within() {
+        let c = Comparison::new("speedup", 2.23, 2.21, "x");
+        assert!((c.deviation() - 0.02 / 2.23).abs() < 1e-12);
+        assert!(c.within(0.05));
+        assert!(!c.within(0.001));
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![
+            Comparison::new("time (accel)", 301.40, 302.8, "s"),
+            Comparison::new("time (cpu)", 672.90, 671.0, "s"),
+        ];
+        let t = render_table("E1", &rows, 0.02);
+        assert!(t.contains("E1"));
+        assert!(t.contains("time (accel)"));
+        assert!(t.contains("yes"));
+        assert!(all_within(&rows, 0.02));
+        assert!(!all_within(&rows, 0.001));
+    }
+}

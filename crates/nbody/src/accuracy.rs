@@ -1,0 +1,143 @@
+//! Accuracy comparison against the golden reference.
+//!
+//! Section 3 of the paper: "We ensure that discrepancies are within
+//! acceptable tolerance levels for floating-point arithmetic, with each
+//! acceleration and jerk component within 0.05% and 0.2% of a typical force
+//! magnitude, respectively, relative to the double-precision result." This
+//! module implements that exact check: component-wise absolute errors,
+//! normalized by the mean magnitude of the reference quantity.
+
+use crate::particle::Forces;
+
+/// Paper tolerance for acceleration components: 0.05% of the typical
+/// acceleration magnitude.
+pub const ACC_TOLERANCE: f64 = 5.0e-4;
+/// Paper tolerance for jerk components: 0.2% of the typical jerk magnitude.
+pub const JERK_TOLERANCE: f64 = 2.0e-3;
+
+/// Outcome of a force comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForceComparison {
+    /// Typical (mean) acceleration magnitude of the reference.
+    pub typical_acc: f64,
+    /// Typical (mean) jerk magnitude of the reference.
+    pub typical_jerk: f64,
+    /// Largest |Δa component| / typical_acc.
+    pub max_acc_error: f64,
+    /// Largest |Δȧ component| / typical_jerk.
+    pub max_jerk_error: f64,
+    /// Root-mean-square of the normalized acceleration component errors.
+    pub rms_acc_error: f64,
+    /// Root-mean-square of the normalized jerk component errors.
+    pub rms_jerk_error: f64,
+}
+
+impl ForceComparison {
+    /// Whether the comparison meets the paper's tolerances.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.max_acc_error <= ACC_TOLERANCE && self.max_jerk_error <= JERK_TOLERANCE
+    }
+}
+
+fn mean_magnitude(vals: &[[f64; 3]]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.iter().map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()).sum::<f64>()
+        / vals.len() as f64
+}
+
+/// Compare `test` forces against the FP64 `reference`.
+///
+/// # Panics
+/// Panics on length mismatch or an identically-zero reference.
+#[must_use]
+pub fn compare_forces(reference: &Forces, test: &Forces) -> ForceComparison {
+    assert_eq!(reference.len(), test.len(), "force sets cover different particle counts");
+    let typical_acc = mean_magnitude(&reference.acc);
+    assert!(typical_acc > 0.0, "reference acceleration is identically zero");
+    // A cold system (all velocities zero) has identically zero jerk; fall
+    // back to the acceleration scale so the comparison stays meaningful.
+    let mut typical_jerk = mean_magnitude(&reference.jerk);
+    if typical_jerk == 0.0 {
+        typical_jerk = typical_acc;
+    }
+
+    let mut max_a: f64 = 0.0;
+    let mut max_j: f64 = 0.0;
+    let mut sum_a2 = 0.0;
+    let mut sum_j2 = 0.0;
+    let n_comp = (3 * reference.len()) as f64;
+    for i in 0..reference.len() {
+        for c in 0..3 {
+            let ea = (test.acc[i][c] - reference.acc[i][c]).abs() / typical_acc;
+            let ej = (test.jerk[i][c] - reference.jerk[i][c]).abs() / typical_jerk;
+            max_a = max_a.max(ea);
+            max_j = max_j.max(ej);
+            sum_a2 += ea * ea;
+            sum_j2 += ej * ej;
+        }
+    }
+    ForceComparison {
+        typical_acc,
+        typical_jerk,
+        max_acc_error: max_a,
+        max_jerk_error: max_j,
+        rms_acc_error: (sum_a2 / n_comp).sqrt(),
+        rms_jerk_error: (sum_j2 / n_comp).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{ForceKernel, ReferenceKernel, ScalarMixedKernel, SimdKernel};
+    use crate::ic::{plummer, PlummerConfig};
+
+    #[test]
+    fn identical_forces_have_zero_error() {
+        let sys = plummer(PlummerConfig { n: 64, seed: 70, ..PlummerConfig::default() });
+        let f = ReferenceKernel::new(1e-3).compute(&sys);
+        let cmp = compare_forces(&f, &f.clone());
+        assert_eq!(cmp.max_acc_error, 0.0);
+        assert_eq!(cmp.rms_jerk_error, 0.0);
+        assert!(cmp.passes());
+    }
+
+    #[test]
+    fn fp32_kernels_pass_paper_tolerances() {
+        let sys = plummer(PlummerConfig { n: 512, seed: 71, ..PlummerConfig::default() });
+        let golden = ReferenceKernel::new(1e-3).compute(&sys);
+        for f in [
+            ScalarMixedKernel::new(1e-3).compute(&sys),
+            SimdKernel::new(1e-3).compute(&sys),
+        ] {
+            let cmp = compare_forces(&golden, &f);
+            assert!(
+                cmp.passes(),
+                "acc {:.2e} (tol {ACC_TOLERANCE:.0e}), jerk {:.2e} (tol {JERK_TOLERANCE:.0e})",
+                cmp.max_acc_error,
+                cmp.max_jerk_error
+            );
+            assert!(cmp.rms_acc_error <= cmp.max_acc_error);
+        }
+    }
+
+    #[test]
+    fn detectably_wrong_forces_fail() {
+        let sys = plummer(PlummerConfig { n: 64, seed: 72, ..PlummerConfig::default() });
+        let golden = ReferenceKernel::new(1e-3).compute(&sys);
+        let mut bad = golden.clone();
+        bad.acc[10][1] += 0.01 * compare_forces(&golden, &golden).typical_acc.max(1.0);
+        let cmp = compare_forces(&golden, &bad);
+        assert!(!cmp.passes());
+        assert!(cmp.max_acc_error > ACC_TOLERANCE);
+    }
+
+    #[test]
+    #[should_panic(expected = "different particle counts")]
+    fn length_mismatch_panics() {
+        let _ = compare_forces(&Forces::zeros(3), &Forces::zeros(4));
+    }
+}

@@ -1,0 +1,177 @@
+//! Conserved-quantity diagnostics.
+//!
+//! Direct N-body work validates integrators through energy and angular
+//! momentum conservation; the relative energy error is the standard quality
+//! metric for the Hermite scheme and is asserted throughout the test suite.
+
+use crate::particle::{ParticleSystem, Vec3, G};
+
+/// Total kinetic energy T = ½ Σ m v².
+#[must_use]
+pub fn kinetic_energy(system: &ParticleSystem) -> f64 {
+    system
+        .mass
+        .iter()
+        .zip(&system.vel)
+        .map(|(m, v)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+        .sum()
+}
+
+/// Total potential energy W = −G Σ_{i<j} m_i m_j / √(r² + ε²), with Plummer
+/// softening `eps`.
+#[must_use]
+pub fn potential_energy(system: &ParticleSystem, eps: f64) -> f64 {
+    let n = system.len();
+    let e2 = eps * eps;
+    let mut w = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sub(system.pos[j], system.pos[i]);
+            let r = (dot(d, d) + e2).sqrt();
+            w -= G * system.mass[i] * system.mass[j] / r;
+        }
+    }
+    w
+}
+
+/// Total energy E = T + W.
+#[must_use]
+pub fn total_energy(system: &ParticleSystem, eps: f64) -> f64 {
+    kinetic_energy(system) + potential_energy(system, eps)
+}
+
+/// Virial ratio Q = −T / W (0.5 in equilibrium).
+#[must_use]
+pub fn virial_ratio(system: &ParticleSystem, eps: f64) -> f64 {
+    -kinetic_energy(system) / potential_energy(system, eps)
+}
+
+/// Total angular momentum L = Σ m (r × v).
+#[must_use]
+pub fn angular_momentum(system: &ParticleSystem) -> Vec3 {
+    let mut l = [0.0; 3];
+    for ((m, r), v) in system.mass.iter().zip(&system.pos).zip(&system.vel) {
+        l[0] += m * (r[1] * v[2] - r[2] * v[1]);
+        l[1] += m * (r[2] * v[0] - r[0] * v[2]);
+        l[2] += m * (r[0] * v[1] - r[1] * v[0]);
+    }
+    l
+}
+
+/// Relative energy error |(E − E₀)/E₀|.
+///
+/// # Panics
+/// Panics when the reference energy is zero.
+#[must_use]
+pub fn relative_energy_error(e: f64, e0: f64) -> f64 {
+    assert!(e0 != 0.0, "reference energy must be nonzero");
+    ((e - e0) / e0).abs()
+}
+
+/// Lagrangian radius: radius enclosing `fraction` of the total mass, about
+/// the center of mass (10%, 50%, 90% radii are the standard cluster
+/// structure diagnostics).
+///
+/// # Panics
+/// Panics unless `0 < fraction <= 1` and the system is non-empty.
+#[must_use]
+pub fn lagrangian_radius(system: &ParticleSystem, fraction: f64) -> f64 {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(!system.is_empty(), "empty system has no Lagrangian radii");
+    let com = system.center_of_mass();
+    let mut by_radius: Vec<(f64, f64)> = system
+        .pos
+        .iter()
+        .zip(&system.mass)
+        .map(|(p, m)| {
+            let d = sub(*p, com);
+            (dot(d, d).sqrt(), *m)
+        })
+        .collect();
+    by_radius.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let target = fraction * system.total_mass();
+    let mut cum = 0.0;
+    for (r, m) in &by_radius {
+        cum += m;
+        if cum >= target {
+            return *r;
+        }
+    }
+    by_radius.last().map(|(r, _)| *r).unwrap_or(0.0)
+}
+
+fn sub(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn dot(a: Vec3, b: Vec3) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two unit-mass particles at distance 2 with tangential speeds 0.25:
+    /// T = 2·(½·0.0625) = 0.0625, W = −1/2.
+    fn pair() -> ParticleSystem {
+        let mut s = ParticleSystem::with_capacity(2);
+        s.push(1.0, [1.0, 0.0, 0.0], [0.0, 0.25, 0.0]);
+        s.push(1.0, [-1.0, 0.0, 0.0], [0.0, -0.25, 0.0]);
+        s
+    }
+
+    #[test]
+    fn kinetic_and_potential_analytic() {
+        let s = pair();
+        assert!((kinetic_energy(&s) - 0.0625).abs() < 1e-15);
+        assert!((potential_energy(&s, 0.0) + 0.5).abs() < 1e-15);
+        assert!((total_energy(&s, 0.0) + 0.4375).abs() < 1e-15);
+        assert!((virial_ratio(&s, 0.0) - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn softening_weakens_potential() {
+        let s = pair();
+        let hard = potential_energy(&s, 0.0);
+        let soft = potential_energy(&s, 1.0);
+        assert!(soft > hard, "softened potential is shallower");
+        // ε = 1, r = 2 ⇒ W = −1/√5.
+        assert!((soft + 1.0 / 5.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn angular_momentum_analytic() {
+        let s = pair();
+        let l = angular_momentum(&s);
+        // Each particle: |r × v| = 1 · 0.25 about z, same sign.
+        assert!((l[2] - 0.5).abs() < 1e-15);
+        assert_eq!(l[0], 0.0);
+        assert_eq!(l[1], 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_energy_error(-0.25, -0.25), 0.0);
+        assert!((relative_energy_error(-0.2525, -0.25) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn relative_error_zero_reference_panics() {
+        let _ = relative_energy_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn lagrangian_radius_of_pair() {
+        let s = pair();
+        assert!((lagrangian_radius(&s, 0.5) - 1.0).abs() < 1e-15);
+        assert!((lagrangian_radius(&s, 1.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1]")]
+    fn lagrangian_fraction_checked() {
+        let _ = lagrangian_radius(&pair(), 1.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! FP64 golden-reference kernel.
+//!
+//! "This CPU-based calculation serves as the 'golden reference' for
+//! accuracy" — a naive double-precision O(N²) evaluation of
+//!
+//! aᵢ = G Σⱼ mⱼ rᵢⱼ / (rᵢⱼ² + ε²)^{3/2}
+//! jᵢ = G Σⱼ mⱼ [ vᵢⱼ / s³ − 3 (rᵢⱼ·vᵢⱼ) rᵢⱼ / s⁵ ],  s² = rᵢⱼ² + ε²
+//!
+//! with rᵢⱼ = rⱼ − rᵢ, vᵢⱼ = vⱼ − vᵢ.
+
+use crate::force::ForceKernel;
+use crate::particle::{Forces, ParticleSystem, G};
+
+/// Double-precision brute-force kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceKernel {
+    eps: f64,
+}
+
+impl ReferenceKernel {
+    /// Kernel with Plummer softening `eps`.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        ReferenceKernel { eps }
+    }
+}
+
+impl ForceKernel for ReferenceKernel {
+    fn name(&self) -> &'static str {
+        "reference-f64"
+    }
+
+    fn softening(&self) -> f64 {
+        self.eps
+    }
+
+    fn compute_range(&self, system: &ParticleSystem, i0: usize, i1: usize) -> Forces {
+        assert!(i0 <= i1 && i1 <= system.len(), "invalid range {i0}..{i1}");
+        let n = system.len();
+        let e2 = self.eps * self.eps;
+        let mut out = Forces::zeros(i1 - i0);
+        for i in i0..i1 {
+            let pi = system.pos[i];
+            let vi = system.vel[i];
+            let mut acc = [0.0f64; 3];
+            let mut jerk = [0.0f64; 3];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dx = system.pos[j][0] - pi[0];
+                let dy = system.pos[j][1] - pi[1];
+                let dz = system.pos[j][2] - pi[2];
+                let dvx = system.vel[j][0] - vi[0];
+                let dvy = system.vel[j][1] - vi[1];
+                let dvz = system.vel[j][2] - vi[2];
+                let r2 = dx * dx + dy * dy + dz * dz + e2;
+                let rinv = 1.0 / r2.sqrt();
+                let rinv2 = rinv * rinv;
+                let mr3 = G * system.mass[j] * rinv * rinv2;
+                let rv3 = 3.0 * (dx * dvx + dy * dvy + dz * dvz) * rinv2;
+                acc[0] += mr3 * dx;
+                acc[1] += mr3 * dy;
+                acc[2] += mr3 * dz;
+                jerk[0] += mr3 * (dvx - rv3 * dx);
+                jerk[1] += mr3 * (dvy - rv3 * dy);
+                jerk[2] += mr3 * (dvz - rv3 * dz);
+            }
+            out.acc[i - i0] = acc;
+            out.jerk[i - i0] = jerk;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_body(separation: f64) -> ParticleSystem {
+        let mut s = ParticleSystem::with_capacity(2);
+        s.push(2.0, [separation / 2.0, 0.0, 0.0], [0.0, 0.1, 0.0]);
+        s.push(1.0, [-separation / 2.0, 0.0, 0.0], [0.0, -0.2, 0.0]);
+        s
+    }
+
+    #[test]
+    fn two_body_acceleration_analytic() {
+        let s = two_body(2.0);
+        let f = ReferenceKernel::new(0.0).compute(&s);
+        // |a₀| = G m₁ / r² = 1/4 pointing −x; |a₁| = G m₀ / r² = 2/4 = 0.5 +x.
+        assert!((f.acc[0][0] + 0.25).abs() < 1e-15);
+        assert!((f.acc[1][0] - 0.5).abs() < 1e-15);
+        assert_eq!(f.acc[0][1], 0.0);
+    }
+
+    #[test]
+    fn two_body_jerk_analytic() {
+        // Pure tangential relative velocity: d·dv = 0·dvx + ... with d along
+        // x and dv along y: r·v = 0 ⇒ jerk = m dv / r³.
+        let s = two_body(2.0);
+        let f = ReferenceKernel::new(0.0).compute(&s);
+        // Particle 0: dv = v1 − v0 = (0,−0.3,0); m1 = 1, r³ = 8.
+        assert!((f.jerk[0][1] + 0.3 / 8.0).abs() < 1e-15);
+        assert_eq!(f.jerk[0][0], 0.0);
+        // Particle 1: dv = (0, 0.3, 0); m0 = 2.
+        assert!((f.jerk[1][1] - 2.0 * 0.3 / 8.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn radial_motion_jerk() {
+        // Head-on approach: d = (r,0,0), dv = (−u,0,0):
+        // jerk_x = m(−u + 3u)/r³ = 2mu/r³ > 0 — the attraction toward the
+        // approaching neighbour strengthens.
+        let mut s = ParticleSystem::with_capacity(2);
+        s.push(1.0, [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]);
+        s.push(1.0, [2.0, 0.0, 0.0], [-0.4, 0.0, 0.0]);
+        let f = ReferenceKernel::new(0.0).compute(&s);
+        let expected = 2.0 * 1.0 * 0.4 / 8.0; // 2 m u / r³
+        assert!((f.jerk[0][0] - expected).abs() < 1e-15, "{}", f.jerk[0][0]);
+    }
+
+    #[test]
+    fn momentum_conservation() {
+        // Σ mᵢ aᵢ = 0 by Newton's third law.
+        let s = two_body(3.0);
+        let f = ReferenceKernel::new(0.1).compute(&s);
+        for c in 0..3 {
+            let p: f64 = s.mass.iter().zip(&f.acc).map(|(m, a)| m * a[c]).sum();
+            assert!(p.abs() < 1e-15, "net force component {c} = {p}");
+        }
+    }
+
+    #[test]
+    fn softening_caps_close_encounters() {
+        let mut s = ParticleSystem::with_capacity(2);
+        s.push(1.0, [0.0, 0.0, 0.0], [0.0; 3]);
+        s.push(1.0, [1e-9, 0.0, 0.0], [0.0; 3]);
+        let hard = ReferenceKernel::new(0.0).compute(&s);
+        let soft = ReferenceKernel::new(0.01).compute(&s);
+        assert!(hard.acc[0][0].abs() > 1e17);
+        assert!(soft.acc[0][0].abs() < 1e4);
+    }
+
+    #[test]
+    fn single_particle_feels_nothing() {
+        let mut s = ParticleSystem::with_capacity(1);
+        s.push(1.0, [1.0, 2.0, 3.0], [0.1, 0.2, 0.3]);
+        let f = ReferenceKernel::new(0.0).compute(&s);
+        assert_eq!(f.acc[0], [0.0; 3]);
+        assert_eq!(f.jerk[0], [0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let s = two_body(1.0);
+        let _ = ReferenceKernel::new(0.0).compute_range(&s, 1, 5);
+    }
+}

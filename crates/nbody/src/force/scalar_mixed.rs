@@ -1,0 +1,141 @@
+//! Mixed-precision scalar kernel.
+//!
+//! The inner O(N²) loop in FP32 — the precision the Wormhole computes in —
+//! with FP64 state converted on entry and results promoted on exit. This is
+//! the scalar anchor for the mixed-precision scheme: the SIMD kernel and the
+//! device pipeline must both agree with the FP64 reference to the same
+//! tolerance this kernel does.
+
+use crate::force::ForceKernel;
+use crate::particle::{Forces, ParticleSystem};
+
+/// Scalar FP32 force + jerk kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarMixedKernel {
+    eps: f64,
+}
+
+impl ScalarMixedKernel {
+    /// Kernel with Plummer softening `eps`.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        ScalarMixedKernel { eps }
+    }
+}
+
+impl ForceKernel for ScalarMixedKernel {
+    fn name(&self) -> &'static str {
+        "scalar-f32"
+    }
+
+    fn softening(&self) -> f64 {
+        self.eps
+    }
+
+    fn compute_range(&self, system: &ParticleSystem, i0: usize, i1: usize) -> Forces {
+        assert!(i0 <= i1 && i1 <= system.len(), "invalid range {i0}..{i1}");
+        let n = system.len();
+        // One-time FP64 → FP32 conversion of the source data (the host does
+        // the same before shipping tiles to the device).
+        let m: Vec<f32> = system.mass.iter().map(|v| *v as f32).collect();
+        let px: Vec<f32> = system.pos.iter().map(|p| p[0] as f32).collect();
+        let py: Vec<f32> = system.pos.iter().map(|p| p[1] as f32).collect();
+        let pz: Vec<f32> = system.pos.iter().map(|p| p[2] as f32).collect();
+        let vx: Vec<f32> = system.vel.iter().map(|v| v[0] as f32).collect();
+        let vy: Vec<f32> = system.vel.iter().map(|v| v[1] as f32).collect();
+        let vz: Vec<f32> = system.vel.iter().map(|v| v[2] as f32).collect();
+        let e2 = (self.eps * self.eps) as f32;
+
+        let mut out = Forces::zeros(i1 - i0);
+        for i in i0..i1 {
+            let (xi, yi, zi) = (px[i], py[i], pz[i]);
+            let (ui, vi, wi) = (vx[i], vy[i], vz[i]);
+            let mut ax = 0.0f32;
+            let mut ay = 0.0f32;
+            let mut az = 0.0f32;
+            let mut jx = 0.0f32;
+            let mut jy = 0.0f32;
+            let mut jz = 0.0f32;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dx = px[j] - xi;
+                let dy = py[j] - yi;
+                let dz = pz[j] - zi;
+                let dvx = vx[j] - ui;
+                let dvy = vy[j] - vi;
+                let dvz = vz[j] - wi;
+                let r2 = dx * dx + dy * dy + dz * dz + e2;
+                let rinv = 1.0 / r2.sqrt();
+                let rinv2 = rinv * rinv;
+                let mr3 = m[j] * rinv * rinv2;
+                let rv3 = 3.0 * (dx * dvx + dy * dvy + dz * dvz) * rinv2;
+                ax += mr3 * dx;
+                ay += mr3 * dy;
+                az += mr3 * dz;
+                jx += mr3 * (dvx - rv3 * dx);
+                jy += mr3 * (dvy - rv3 * dy);
+                jz += mr3 * (dvz - rv3 * dz);
+            }
+            out.acc[i - i0] = [f64::from(ax), f64::from(ay), f64::from(az)];
+            out.jerk[i - i0] = [f64::from(jx), f64::from(jy), f64::from(jz)];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::ReferenceKernel;
+    use crate::ic::{plummer, PlummerConfig};
+
+    #[test]
+    fn matches_reference_at_fp32_accuracy() {
+        let sys = plummer(PlummerConfig { n: 128, seed: 20, ..PlummerConfig::default() });
+        let golden = ReferenceKernel::new(1e-3).compute(&sys);
+        let mixed = ScalarMixedKernel::new(1e-3).compute(&sys);
+        let typ_a = golden
+            .acc
+            .iter()
+            .map(|a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt())
+            .sum::<f64>()
+            / sys.len() as f64;
+        let typ_j = golden
+            .jerk
+            .iter()
+            .map(|j| (j[0] * j[0] + j[1] * j[1] + j[2] * j[2]).sqrt())
+            .sum::<f64>()
+            / sys.len() as f64;
+        for i in 0..sys.len() {
+            for c in 0..3 {
+                let ea = (mixed.acc[i][c] - golden.acc[i][c]).abs() / typ_a;
+                let ej = (mixed.jerk[i][c] - golden.jerk[i][c]).abs() / typ_j;
+                // Paper tolerances: 0.05% (acc), 0.2% (jerk).
+                assert!(ea < 5e-4, "acc err {ea} at particle {i}");
+                assert!(ej < 2e-3, "jerk err {ej} at particle {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_body_exact_in_fp32() {
+        let mut s = ParticleSystem::with_capacity(2);
+        s.push(1.0, [1.0, 0.0, 0.0], [0.0; 3]);
+        s.push(1.0, [-1.0, 0.0, 0.0], [0.0; 3]);
+        let f = ScalarMixedKernel::new(0.0).compute(&s);
+        assert_eq!(f.acc[0][0], -0.25);
+        assert_eq!(f.acc[1][0], 0.25);
+    }
+
+    #[test]
+    fn momentum_conserved_to_fp32() {
+        let sys = plummer(PlummerConfig { n: 200, seed: 21, ..PlummerConfig::default() });
+        let f = ScalarMixedKernel::new(1e-4).compute(&sys);
+        for c in 0..3 {
+            let p: f64 = sys.mass.iter().zip(&f.acc).map(|(m, a)| m * a[c]).sum();
+            assert!(p.abs() < 1e-4, "net force {p}");
+        }
+    }
+}

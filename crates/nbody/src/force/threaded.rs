@@ -1,0 +1,116 @@
+//! OpenMP-style thread-parallel force driver.
+//!
+//! The paper's CPU reference is "parallelized using MPI and OpenMP" with the
+//! outer force loop split across 32 threads. [`ThreadedKernel`] reproduces
+//! that structure: it wraps any inner [`ForceKernel`] and distributes
+//! contiguous slices of the outer loop over scoped OS threads (static
+//! scheduling, like `#pragma omp parallel for` with even chunks).
+
+use crate::force::ForceKernel;
+use crate::particle::{Forces, ParticleSystem};
+
+/// Thread-parallel wrapper over an inner kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedKernel<K> {
+    inner: K,
+    num_threads: usize,
+}
+
+impl<K: ForceKernel> ThreadedKernel<K> {
+    /// Wrap `inner`, running the outer loop on `num_threads` threads.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`.
+    #[must_use]
+    pub fn new(inner: K, num_threads: usize) -> Self {
+        assert!(num_threads > 0, "need at least one thread");
+        ThreadedKernel { inner, num_threads }
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+impl<K: ForceKernel> ForceKernel for ThreadedKernel<K> {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn softening(&self) -> f64 {
+        self.inner.softening()
+    }
+
+    fn compute_range(&self, system: &ParticleSystem, i0: usize, i1: usize) -> Forces {
+        assert!(i0 <= i1 && i1 <= system.len(), "invalid range {i0}..{i1}");
+        let count = i1 - i0;
+        if count == 0 {
+            return Forces::zeros(0);
+        }
+        let threads = self.num_threads.min(count);
+        let chunk = count.div_ceil(threads);
+
+        let mut partials: Vec<Option<Forces>> = (0..threads).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (t, slot) in partials.iter_mut().enumerate() {
+                let lo = (i0 + t * chunk).min(i1);
+                let hi = (lo + chunk).min(i1);
+                let inner = &self.inner;
+                scope.spawn(move || {
+                    *slot = Some(inner.compute_range(system, lo, hi));
+                });
+            }
+        });
+
+        let mut out = Forces::zeros(0);
+        for partial in partials.into_iter().flatten() {
+            out.acc.extend_from_slice(&partial.acc);
+            out.jerk.extend_from_slice(&partial.jerk);
+        }
+        debug_assert_eq!(out.len(), count);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::ReferenceKernel;
+    use crate::ic::{plummer, PlummerConfig};
+
+    #[test]
+    fn identical_to_serial_for_any_thread_count() {
+        let sys = plummer(PlummerConfig { n: 97, seed: 40, ..PlummerConfig::default() });
+        let serial = ReferenceKernel::new(1e-4).compute(&sys);
+        for threads in [1, 2, 3, 7, 16, 97, 200] {
+            let par = ThreadedKernel::new(ReferenceKernel::new(1e-4), threads).compute(&sys);
+            assert_eq!(par.acc, serial.acc, "{threads} threads");
+            assert_eq!(par.jerk, serial.jerk, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn subranges_work() {
+        let sys = plummer(PlummerConfig { n: 50, seed: 41, ..PlummerConfig::default() });
+        let k = ThreadedKernel::new(ReferenceKernel::new(0.0), 4);
+        let serial = ReferenceKernel::new(0.0).compute_range(&sys, 10, 40);
+        let par = k.compute_range(&sys, 10, 40);
+        assert_eq!(par.acc, serial.acc);
+        assert_eq!(par.len(), 30);
+    }
+
+    #[test]
+    fn empty_range_ok() {
+        let sys = plummer(PlummerConfig { n: 8, seed: 42, ..PlummerConfig::default() });
+        let k = ThreadedKernel::new(ReferenceKernel::new(0.0), 4);
+        assert_eq!(k.compute_range(&sys, 3, 3).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = ThreadedKernel::new(ReferenceKernel::new(0.0), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Cold-collapse initial conditions.
+//!
+//! A uniform sphere with zero velocities: the system free-falls, forms a
+//! dense core and virializes. Cold collapse is the classic stress test for a
+//! direct-summation code's close-encounter handling (it maximizes the
+//! dynamic range the FP32 device kernel must survive) and one of the
+//! domain-specific example workloads.
+
+use super::uniform::{uniform_sphere, UniformConfig};
+use crate::particle::ParticleSystem;
+
+/// Sample a cold (zero-velocity) uniform sphere of unit mass and the given
+/// radius.
+///
+/// # Panics
+/// Panics if `n == 0` or the radius is not positive.
+#[must_use]
+pub fn cold_collapse(n: usize, seed: u64, radius: f64) -> ParticleSystem {
+    uniform_sphere(UniformConfig { n, seed, radius, virial_ratio: 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics;
+
+    #[test]
+    fn starts_cold() {
+        let s = cold_collapse(800, 7, 1.5);
+        assert_eq!(s.len(), 800);
+        assert_eq!(diagnostics::kinetic_energy(&s), 0.0);
+        assert!(diagnostics::potential_energy(&s, 0.0) < 0.0);
+    }
+
+    #[test]
+    fn com_frame() {
+        let s = cold_collapse(500, 8, 1.0);
+        for k in 0..3 {
+            assert!(s.center_of_mass()[k].abs() < 1e-12);
+        }
+    }
+}

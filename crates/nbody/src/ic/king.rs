@@ -1,0 +1,345 @@
+//! King-model initial conditions.
+//!
+//! The King (1966) model is the standard description of tidally truncated
+//! globular clusters: a lowered isothermal sphere with distribution
+//! function f(E) ∝ e^{−E/σ²} − 1 for bound energies. The single parameter
+//! W₀ (central dimensionless potential) sets the concentration; W₀ ≈ 3–12
+//! covers observed clusters. Unlike the Plummer sphere it has a finite
+//! tidal radius, making it the more realistic workload for cluster studies.
+//!
+//! Construction: integrate the scaled Poisson equation
+//!
+//!   (r̃² W′)′ = −9 r̃² ρ₁(W) / ρ₁(W₀),
+//!   ρ₁(W) = e^W erf(√W) − √(4W/π) (1 + 2W/3)
+//!
+//! outward from W(0) = W₀ until W → 0 (the tidal radius), then sample radii
+//! from the cumulative mass profile and speeds from the lowered-Maxwellian
+//! f(E) at the local potential by rejection. The final system is rescaled
+//! to Hénon units (G = M = 1, E = −1/4).
+
+use rand::Rng;
+
+use super::{random_direction, rng};
+use crate::diagnostics;
+use crate::particle::ParticleSystem;
+
+/// King generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KingConfig {
+    /// Number of particles.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Central dimensionless potential W₀ (3–12 sensible).
+    pub w0: f64,
+}
+
+impl Default for KingConfig {
+    fn default() -> Self {
+        KingConfig { n: 1024, seed: 0, w0: 6.0 }
+    }
+}
+
+/// erf via Abramowitz & Stegun 7.1.26 (|error| < 1.5e-7, ample for IC
+/// generation).
+fn erf(x: f64) -> f64 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Scaled King density ρ₁(W) (zero for W ≤ 0).
+fn rho1(w: f64) -> f64 {
+    if w <= 0.0 {
+        return 0.0;
+    }
+    let sw = w.sqrt();
+    w.exp() * erf(sw) - (4.0 * w / std::f64::consts::PI).sqrt() * (1.0 + 2.0 * w / 3.0)
+}
+
+/// The solved dimensionless King profile.
+#[derive(Debug, Clone)]
+pub struct KingProfile {
+    /// Scaled radii r̃ (King radii).
+    pub r: Vec<f64>,
+    /// Dimensionless potential W(r̃).
+    pub w: Vec<f64>,
+    /// Cumulative mass (arbitrary units, monotone).
+    pub cumulative_mass: Vec<f64>,
+    /// Tidal radius in King radii.
+    pub tidal_radius: f64,
+    /// Concentration c = log₁₀(r_t / r₀).
+    pub concentration: f64,
+}
+
+/// Solve the King ODE for central potential `w0` (RK4, adaptive-ish fixed
+/// fine step).
+///
+/// # Panics
+/// Panics for non-positive `w0` or if the profile fails to truncate (never
+/// happens for W₀ ≤ 16).
+#[must_use]
+pub fn solve_king_profile(w0: f64) -> KingProfile {
+    assert!(w0 > 0.0, "W0 must be positive");
+    assert!(w0 <= 16.0, "W0 beyond tabulated range");
+    let rho0 = rho1(w0);
+    let h = 1.0e-3;
+
+    // State: y = W, z = r² W'; z' = −9 r² ρ₁(W)/ρ₁(W₀).
+    let mut r = 1.0e-6;
+    let mut y = w0 - 1.5 * (r * r) * 1.0; // series start: W ≈ W₀ − (3/2)(ρ/ρ₀)(r²/…) ≈ W₀ − 1.5 r²
+    let mut z = -3.0 * r * r * r; // matching z = r² W' for the series
+    let mut rs = vec![0.0, r];
+    let mut ws = vec![w0, y];
+    let mut mass = vec![0.0, rho1(y) * r * r * r / 3.0];
+
+    let deriv = |r: f64, y: f64, z: f64| -> (f64, f64) {
+        let wp = if r > 0.0 { z / (r * r) } else { 0.0 };
+        (wp, -9.0 * r * r * rho1(y) / rho0)
+    };
+
+    let mut steps = 0u64;
+    while y > 0.0 && steps < 10_000_000 {
+        let (k1y, k1z) = deriv(r, y, z);
+        let (k2y, k2z) = deriv(r + h / 2.0, y + h / 2.0 * k1y, z + h / 2.0 * k1z);
+        let (k3y, k3z) = deriv(r + h / 2.0, y + h / 2.0 * k2y, z + h / 2.0 * k2z);
+        let (k4y, k4z) = deriv(r + h, y + h * k3y, z + h * k3z);
+        y += h / 6.0 * (k1y + 2.0 * k2y + 2.0 * k3y + k4y);
+        z += h / 6.0 * (k1z + 2.0 * k2z + 2.0 * k3z + k4z);
+        r += h;
+        steps += 1;
+        if y <= 0.0 {
+            break;
+        }
+        // Thin the stored profile (every 10th step) to keep tables small.
+        if steps.is_multiple_of(10) {
+            rs.push(r);
+            ws.push(y);
+            // dM = ρ r² dr, accumulated with the thinned step.
+            let dm = rho1(y) * r * r * (10.0 * h);
+            mass.push(mass.last().unwrap() + dm);
+        }
+    }
+    assert!(y <= 0.0, "King profile failed to truncate (W0 = {w0})");
+    let tidal = r;
+    KingProfile {
+        concentration: tidal.log10(),
+        tidal_radius: tidal,
+        r: rs,
+        w: ws,
+        cumulative_mass: mass,
+    }
+}
+
+impl KingProfile {
+    /// W at scaled radius `r` (linear interpolation; 0 outside).
+    #[must_use]
+    pub fn w_at(&self, r: f64) -> f64 {
+        if r >= self.tidal_radius {
+            return 0.0;
+        }
+        match self.r.binary_search_by(|x| x.total_cmp(&r)) {
+            Ok(i) => self.w[i],
+            Err(0) => self.w[0],
+            Err(i) if i >= self.r.len() => 0.0,
+            Err(i) => {
+                let f = (r - self.r[i - 1]) / (self.r[i] - self.r[i - 1]);
+                self.w[i - 1] * (1.0 - f) + self.w[i] * f
+            }
+        }
+    }
+
+    /// Radius enclosing mass fraction `u ∈ [0,1]` (inverse transform).
+    #[must_use]
+    pub fn radius_of_mass_fraction(&self, u: f64) -> f64 {
+        let total = *self.cumulative_mass.last().unwrap();
+        let target = u.clamp(0.0, 1.0) * total;
+        match self
+            .cumulative_mass
+            .binary_search_by(|x| x.total_cmp(&target))
+        {
+            Ok(i) => self.r[i],
+            Err(0) => self.r[0],
+            Err(i) if i >= self.r.len() => self.tidal_radius,
+            Err(i) => {
+                let lo = self.cumulative_mass[i - 1];
+                let hi = self.cumulative_mass[i];
+                let f = if hi > lo { (target - lo) / (hi - lo) } else { 0.0 };
+                self.r[i - 1] * (1.0 - f) + self.r[i] * f
+            }
+        }
+    }
+}
+
+/// Sample a King model in Hénon units (G = M = 1, E = −1/4, COM frame).
+///
+/// # Panics
+/// Panics if `n == 0` or `w0` is out of range.
+#[must_use]
+pub fn king(config: KingConfig) -> ParticleSystem {
+    assert!(config.n > 0, "cannot sample an empty cluster");
+    let profile = solve_king_profile(config.w0);
+    let mut rng = rng(config.seed);
+    let mut system = ParticleSystem::with_capacity(config.n);
+    let mass = 1.0 / config.n as f64;
+
+    for _ in 0..config.n {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let r = profile.radius_of_mass_fraction(u);
+        let w = profile.w_at(r);
+
+        // Speed from f ∝ v² (e^{W − v²/2} − 1) with v in units of √2 σ-ish
+        // scaled coordinates: u_kin = v²/2 must stay below W.
+        let v_max = (2.0 * w).sqrt();
+        let g_max = {
+            // Bound the envelope by sampling the density on a coarse grid.
+            let mut m = 0.0f64;
+            for k in 0..32 {
+                let v = v_max * (k as f64 + 0.5) / 32.0;
+                m = m.max(v * v * ((w - v * v / 2.0).exp() - 1.0));
+            }
+            m * 1.1
+        };
+        let v = if w > 1e-9 && g_max > 0.0 {
+            loop {
+                let v: f64 = rng.gen_range(0.0..v_max);
+                let g = v * v * ((w - v * v / 2.0).exp() - 1.0);
+                if rng.gen_range(0.0..g_max) < g {
+                    break v;
+                }
+            }
+        } else {
+            0.0
+        };
+
+        let rd = random_direction(&mut rng);
+        let vd = random_direction(&mut rng);
+        system.push(mass, [r * rd[0], r * rd[1], r * rd[2]], [v * vd[0], v * vd[1], v * vd[2]]);
+    }
+    system.to_com_frame();
+
+    // Rescale to Hénon units. The sampling coordinates (King radii, σ
+    // velocities) are not self-consistently gravitating under G = M = 1, so
+    // impose the two physical constraints directly: virial equilibrium
+    // (Q′ = −T′/W′ = ½ — King models are in equilibrium) and E′ = −¼.
+    // With lengths scaled by α and velocities by β: W′ = W/α, T′ = β² T,
+    // giving α = 2|W| and β = 1/(2√T).
+    let t = diagnostics::kinetic_energy(&system);
+    let w_pot = diagnostics::potential_energy(&system, 0.0);
+    let alpha = 2.0 * w_pot.abs();
+    let beta = 1.0 / (2.0 * t.sqrt());
+    for p in &mut system.pos {
+        for c in p.iter_mut() {
+            *c *= alpha;
+        }
+    }
+    for v in &mut system.vel {
+        for c in v.iter_mut() {
+            *c *= beta;
+        }
+    }
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{total_energy, virial_ratio};
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rho1_limits() {
+        assert_eq!(rho1(0.0), 0.0);
+        assert_eq!(rho1(-1.0), 0.0);
+        // Small-W expansion: ρ₁ ≈ (8/15)√(W⁵/π)·... — positive and tiny.
+        assert!(rho1(0.01) > 0.0 && rho1(0.01) < 1e-3);
+        assert!(rho1(6.0) > rho1(3.0), "density grows with W");
+    }
+
+    #[test]
+    fn concentration_grows_with_w0() {
+        let c3 = solve_king_profile(3.0).concentration;
+        let c6 = solve_king_profile(6.0).concentration;
+        let c9 = solve_king_profile(9.0).concentration;
+        assert!(c3 < c6 && c6 < c9, "c(W0): {c3:.2} {c6:.2} {c9:.2}");
+        // Published values: c(W0=3) ≈ 0.67, c(W0=6) ≈ 1.26, c(W0=9) ≈ 2.12.
+        assert!((c3 - 0.67).abs() < 0.15, "c(3) = {c3}");
+        assert!((c6 - 1.26).abs() < 0.2, "c(6) = {c6}");
+        assert!((c9 - 2.12).abs() < 0.3, "c(9) = {c9}");
+    }
+
+    #[test]
+    fn profile_monotone() {
+        let p = solve_king_profile(6.0);
+        for win in p.w.windows(2) {
+            assert!(win[1] <= win[0] + 1e-12, "W must decrease outward");
+        }
+        for win in p.cumulative_mass.windows(2) {
+            assert!(win[1] >= win[0], "mass must accumulate");
+        }
+        assert!((p.w_at(0.0) - 6.0).abs() < 1e-6);
+        assert_eq!(p.w_at(p.tidal_radius * 2.0), 0.0);
+        assert!(p.radius_of_mass_fraction(1.0) <= p.tidal_radius);
+        assert!(p.radius_of_mass_fraction(0.0) < p.radius_of_mass_fraction(0.9));
+    }
+
+    #[test]
+    fn sampled_cluster_is_henon_normalized() {
+        let s = king(KingConfig { n: 3000, seed: 1, w0: 6.0 });
+        assert_eq!(s.len(), 3000);
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        let e = total_energy(&s, 0.0);
+        assert!((e + 0.25).abs() < 5e-3, "E = {e}");
+        for c in s.center_of_mass() {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn near_virial_equilibrium() {
+        let s = king(KingConfig { n: 4000, seed: 2, w0: 5.0 });
+        let q = virial_ratio(&s, 0.0);
+        assert!((0.4..0.6).contains(&q), "virial ratio {q}");
+    }
+
+    #[test]
+    fn bounded_extent() {
+        // All particles inside the (rescaled) tidal radius: the defining
+        // King feature vs. the infinite Plummer sphere.
+        let s = king(KingConfig { n: 2000, seed: 3, w0: 6.0 });
+        let r_max = s
+            .pos
+            .iter()
+            .map(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt())
+            .fold(0.0f64, f64::max);
+        // Hénon-rescaled tidal radius for W0 = 6 sits near 5–8 length units.
+        assert!(r_max < 12.0, "particle at r = {r_max} beyond any sane tidal radius");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = king(KingConfig { n: 200, seed: 9, w0: 6.0 });
+        let b = king(KingConfig { n: 200, seed: 9, w0: 6.0 });
+        assert_eq!(a.pos, b.pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "W0 must be positive")]
+    fn invalid_w0_rejected() {
+        let _ = solve_king_profile(0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Plummer-sphere initial conditions.
+//!
+//! The Plummer model is the standard equilibrium start for star-cluster
+//! simulations: density ρ(r) ∝ (1 + r²/a²)^{−5/2}, with analytic inversions
+//! for both the mass profile and (via von Neumann rejection) the isotropic
+//! velocity distribution — the classic Aarseth, Hénon & Wielen (1974)
+//! recipe.
+
+use rand::Rng;
+
+use super::{random_direction, rng};
+use crate::particle::ParticleSystem;
+
+/// Plummer scale radius giving a unit virial radius in Hénon units:
+/// a = 3π/16.
+pub const PLUMMER_SCALE: f64 = 3.0 * std::f64::consts::PI / 16.0;
+
+/// Plummer generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlummerConfig {
+    /// Number of particles.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Radial truncation in units of the scale radius (the distribution has
+    /// infinite extent; clusters are conventionally cut around 10 a).
+    pub truncation: f64,
+    /// Equal particle masses summing to 1 when `true` (the usual choice for
+    /// timing studies, and what an `O(N²)` kernel benchmark wants).
+    pub equal_mass: bool,
+}
+
+impl Default for PlummerConfig {
+    fn default() -> Self {
+        PlummerConfig { n: 1024, seed: 0, truncation: 10.0, equal_mass: true }
+    }
+}
+
+/// Sample a Plummer sphere in Hénon units (G = M = 1, virial radius 1),
+/// shifted to the center-of-mass frame.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn plummer(config: PlummerConfig) -> ParticleSystem {
+    assert!(config.n > 0, "cannot sample an empty cluster");
+    let mut rng = rng(config.seed);
+    let a = PLUMMER_SCALE;
+    let r_max = config.truncation * a;
+    // Only accept mass-fractions whose radius lands inside the truncation,
+    // i.e. X < M(r_max).
+    let x_max = {
+        let u = r_max / a;
+        u.powi(3) / (1.0 + u * u).powf(1.5)
+    };
+
+    let mut system = ParticleSystem::with_capacity(config.n);
+    let mass = 1.0 / config.n as f64;
+    for i in 0..config.n {
+        // Radius by inverting the cumulative mass profile
+        // M(r) = (r/a)³ (1 + (r/a)²)^{−3/2}  ⇒  r = a (X^{−2/3} − 1)^{−1/2}.
+        let x: f64 = rng.gen_range(f64::EPSILON..x_max);
+        let r = a / (x.powf(-2.0 / 3.0) - 1.0).sqrt();
+
+        // Speed by rejection: P(q) ∝ q² (1 − q²)^{7/2}, q = v / v_esc,
+        // max of the density is at q² = 2/9.
+        let g_max = (2.0f64 / 9.0) * (7.0f64 / 9.0).powf(3.5) * 1.1;
+        let q = loop {
+            let q: f64 = rng.gen_range(0.0..1.0);
+            let g = q * q * (1.0 - q * q).powf(3.5);
+            if rng.gen_range(0.0..g_max) < g {
+                break q;
+            }
+        };
+        // φ(r) = −1/√(r² + a²)  ⇒  v_esc = √(−2φ).
+        let v_esc = (2.0 / (r * r + a * a).sqrt()).sqrt();
+        let speed = q * v_esc;
+
+        let rd = random_direction(&mut rng);
+        let vd = random_direction(&mut rng);
+        let m = if config.equal_mass {
+            mass
+        } else {
+            // Simple Salpeter-like spread over a decade, renormalized below.
+            mass * rng.gen_range(0.3..3.0)
+        };
+        system.push(m, [r * rd[0], r * rd[1], r * rd[2]], [
+            speed * vd[0],
+            speed * vd[1],
+            speed * vd[2],
+        ]);
+        let _ = i;
+    }
+    if !config.equal_mass {
+        let total = system.total_mass();
+        for m in &mut system.mass {
+            *m /= total;
+        }
+    }
+    system.to_com_frame();
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics;
+
+    #[test]
+    fn mass_normalized_to_unity() {
+        let s = plummer(PlummerConfig { n: 2000, seed: 1, ..PlummerConfig::default() });
+        assert_eq!(s.len(), 2000);
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_masses_also_normalized() {
+        let s = plummer(PlummerConfig {
+            n: 500,
+            seed: 2,
+            equal_mass: false,
+            ..PlummerConfig::default()
+        });
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        let min = s.mass.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = s.mass.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 2.0, "mass spectrum should have spread");
+    }
+
+    #[test]
+    fn com_frame() {
+        let s = plummer(PlummerConfig { n: 1000, seed: 3, ..PlummerConfig::default() });
+        let com = s.center_of_mass();
+        let vcom = s.com_velocity();
+        for k in 0..3 {
+            assert!(com[k].abs() < 1e-10);
+            assert!(vcom[k].abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn radii_respect_truncation() {
+        let cfg = PlummerConfig { n: 3000, seed: 4, truncation: 8.0, ..PlummerConfig::default() };
+        let s = plummer(cfg);
+        // COM shift moves things slightly; allow 1%.
+        let r_max = cfg.truncation * PLUMMER_SCALE * 1.01;
+        for p in &s.pos {
+            let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            assert!(r <= r_max, "particle at r = {r} beyond truncation {r_max}");
+        }
+    }
+
+    #[test]
+    fn half_mass_radius_matches_plummer() {
+        // Analytic: r_h = a / sqrt(2^{2/3} − 1) ≈ 1.3048 a ≈ 0.7686.
+        let s = plummer(PlummerConfig { n: 20_000, seed: 5, ..PlummerConfig::default() });
+        let mut radii: Vec<f64> =
+            s.pos.iter().map(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()).collect();
+        radii.sort_by(f64::total_cmp);
+        let r_h = radii[radii.len() / 2];
+        let expected = PLUMMER_SCALE / (2.0f64.powf(2.0 / 3.0) - 1.0).sqrt();
+        assert!(
+            (r_h - expected).abs() / expected < 0.05,
+            "half-mass radius {r_h} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn near_virial_equilibrium() {
+        // Q = −T/W should be close to 0.5 for an equilibrium model.
+        let s = plummer(PlummerConfig { n: 4000, seed: 6, ..PlummerConfig::default() });
+        let q = diagnostics::virial_ratio(&s, 0.0);
+        assert!((0.42..0.58).contains(&q), "virial ratio {q}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = plummer(PlummerConfig { n: 100, seed: 9, ..PlummerConfig::default() });
+        let b = plummer(PlummerConfig { n: 100, seed: 9, ..PlummerConfig::default() });
+        let c = plummer(PlummerConfig { n: 100, seed: 10, ..PlummerConfig::default() });
+        assert_eq!(a.pos, b.pos);
+        assert_ne!(a.pos, c.pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn zero_particles_panics() {
+        let _ = plummer(PlummerConfig { n: 0, ..PlummerConfig::default() });
+    }
+}

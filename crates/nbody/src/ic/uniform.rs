@@ -1,0 +1,138 @@
+//! Homogeneous-sphere initial conditions.
+//!
+//! A uniform-density sphere with isotropic Maxwellian velocities scaled to a
+//! chosen virial ratio. Useful as a simple, analytically checkable workload
+//! and as the warm start for collapse experiments.
+
+use rand::Rng;
+
+use super::{random_direction, rng};
+use crate::diagnostics;
+use crate::particle::ParticleSystem;
+
+/// Uniform-sphere generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformConfig {
+    /// Number of particles.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Sphere radius in N-body length units.
+    pub radius: f64,
+    /// Target virial ratio Q = −T/W (0.5 = equilibrium, 0 = cold).
+    pub virial_ratio: f64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        UniformConfig { n: 1024, seed: 0, radius: 1.0, virial_ratio: 0.5 }
+    }
+}
+
+/// Sample a uniform sphere of unit total mass with equal-mass particles,
+/// velocities rescaled so the initial virial ratio matches the request,
+/// in the center-of-mass frame.
+///
+/// # Panics
+/// Panics if `n == 0`, the radius is not positive, or the virial ratio is
+/// negative.
+#[must_use]
+pub fn uniform_sphere(config: UniformConfig) -> ParticleSystem {
+    assert!(config.n > 0, "cannot sample an empty sphere");
+    assert!(config.radius > 0.0, "radius must be positive");
+    assert!(config.virial_ratio >= 0.0, "virial ratio must be non-negative");
+    let mut rng = rng(config.seed);
+    let mut system = ParticleSystem::with_capacity(config.n);
+    let mass = 1.0 / config.n as f64;
+    for _ in 0..config.n {
+        // r ∝ u^{1/3} gives uniform density.
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let r = config.radius * u.cbrt();
+        let d = random_direction(&mut rng);
+        // Provisional unit-scale Maxwellian speed (rescaled below).
+        let v: f64 = if config.virial_ratio > 0.0 {
+            let g: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+            g.abs() + 0.1
+        } else {
+            0.0
+        };
+        let vd = random_direction(&mut rng);
+        system.push(mass, [r * d[0], r * d[1], r * d[2]], [v * vd[0], v * vd[1], v * vd[2]]);
+    }
+    system.to_com_frame();
+
+    if config.virial_ratio > 0.0 {
+        // Rescale speeds so that Q = −T/W exactly.
+        let w = diagnostics::potential_energy(&system, 0.0);
+        let t = diagnostics::kinetic_energy(&system);
+        let target_t = -config.virial_ratio * w;
+        let scale = (target_t / t).sqrt();
+        for v in &mut system.vel {
+            for comp in v.iter_mut() {
+                *comp *= scale;
+            }
+        }
+    }
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_inside_radius() {
+        let cfg = UniformConfig { n: 2000, seed: 1, radius: 2.0, ..UniformConfig::default() };
+        let s = uniform_sphere(cfg);
+        for p in &s.pos {
+            let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            assert!(r <= cfg.radius * 1.02, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn density_is_uniform() {
+        // Half the mass should sit inside r = R / 2^{1/3}.
+        let cfg = UniformConfig { n: 20_000, seed: 2, radius: 1.0, ..UniformConfig::default() };
+        let s = uniform_sphere(cfg);
+        let r_half = 1.0 / 2.0f64.cbrt();
+        let inside = s
+            .pos
+            .iter()
+            .filter(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt() < r_half)
+            .count();
+        let frac = inside as f64 / s.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "half-mass fraction {frac}");
+    }
+
+    #[test]
+    fn virial_ratio_hits_target() {
+        for q_target in [0.25, 0.5, 1.0] {
+            let s = uniform_sphere(UniformConfig {
+                n: 3000,
+                seed: 3,
+                virial_ratio: q_target,
+                ..UniformConfig::default()
+            });
+            let q = diagnostics::virial_ratio(&s, 0.0);
+            assert!((q - q_target).abs() < 1e-6, "Q = {q}, target {q_target}");
+        }
+    }
+
+    #[test]
+    fn cold_option_has_zero_kinetic_energy() {
+        let s = uniform_sphere(UniformConfig {
+            n: 500,
+            seed: 4,
+            virial_ratio: 0.0,
+            ..UniformConfig::default()
+        });
+        assert_eq!(diagnostics::kinetic_energy(&s), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn bad_radius_panics() {
+        let _ = uniform_sphere(UniformConfig { radius: 0.0, ..UniformConfig::default() });
+    }
+}

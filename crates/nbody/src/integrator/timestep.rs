@@ -1,0 +1,88 @@
+//! Time-step selection.
+//!
+//! Production Hermite codes choose steps from the force and its derivative.
+//! With only acceleration and jerk available (the quantities the device
+//! computes), the first-order Aarseth criterion is dt = η |a| / |ȧ|; the
+//! shared (global) step is the minimum over particles, which is what a
+//! shared-timestep O(N²) code like the paper's benchmark uses.
+
+use crate::particle::{ParticleSystem, Vec3};
+
+fn norm(v: Vec3) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+/// Per-particle Aarseth-style step: η |a| / |ȧ| (clamped to `dt_max` and to
+/// a floor of `1e-8` to survive pathological states).
+///
+/// # Panics
+/// Panics unless `eta` and `dt_max` are positive.
+#[must_use]
+pub fn aarseth_timestep(acc: Vec3, jerk: Vec3, eta: f64, dt_max: f64) -> f64 {
+    assert!(eta > 0.0 && dt_max > 0.0, "eta and dt_max must be positive");
+    let a = norm(acc);
+    let j = norm(jerk);
+    if j == 0.0 {
+        return dt_max;
+    }
+    (eta * a / j).clamp(1e-8, dt_max)
+}
+
+/// Shared (global) step: the minimum per-particle step over the system.
+/// Requires `system.acc` / `system.jerk` to be current.
+///
+/// # Panics
+/// Panics unless `eta` and `dt_max` are positive.
+#[must_use]
+pub fn shared_timestep(system: &ParticleSystem, eta: f64, dt_max: f64) -> f64 {
+    system
+        .acc
+        .iter()
+        .zip(&system.jerk)
+        .map(|(a, j)| aarseth_timestep(*a, *j, eta, dt_max))
+        .fold(dt_max, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{ForceKernel, ReferenceKernel};
+    use crate::ic::{plummer, PlummerConfig};
+
+    #[test]
+    fn zero_jerk_gives_dt_max() {
+        assert_eq!(aarseth_timestep([1.0, 0.0, 0.0], [0.0; 3], 0.01, 0.5), 0.5);
+    }
+
+    #[test]
+    fn step_shrinks_with_jerk() {
+        let fast = aarseth_timestep([1.0, 0.0, 0.0], [100.0, 0.0, 0.0], 0.02, 1.0);
+        let slow = aarseth_timestep([1.0, 0.0, 0.0], [1.0, 0.0, 0.0], 0.02, 1.0);
+        assert!(fast < slow);
+        assert!((slow - 0.02).abs() < 1e-15);
+        assert!((fast - 0.0002).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        assert_eq!(aarseth_timestep([1e-20, 0.0, 0.0], [1e20, 0.0, 0.0], 0.01, 1.0), 1e-8);
+        assert_eq!(aarseth_timestep([1e20, 0.0, 0.0], [1e-20, 0.0, 0.0], 0.01, 0.25), 0.25);
+    }
+
+    #[test]
+    fn shared_step_reasonable_for_cluster() {
+        let mut s = plummer(PlummerConfig { n: 256, seed: 60, ..PlummerConfig::default() });
+        let f = ReferenceKernel::new(0.01).compute(&s);
+        s.set_forces(f.acc, f.jerk);
+        let dt = shared_timestep(&s, 0.02, 1.0);
+        // For a virialized cluster this lands well below the crossing time
+        // but above the pathological floor.
+        assert!(dt > 1e-6 && dt < 0.5, "shared dt = {dt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_eta_panics() {
+        let _ = aarseth_timestep([1.0, 0.0, 0.0], [1.0, 0.0, 0.0], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Particle system state.
+//!
+//! Master state is double precision, structure-of-arrays: the mixed-precision
+//! scheme of the paper keeps positions, velocities and the integrator in FP64
+//! on the host and only evaluates forces in FP32 (on the device or in the
+//! SIMD CPU kernel).
+
+/// A 3-vector alias used throughout the physics code.
+pub type Vec3 = [f64; 3];
+
+/// Gravitational constant in N-body (Hénon) units.
+pub const G: f64 = 1.0;
+
+/// SoA particle state.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleSystem {
+    /// Masses.
+    pub mass: Vec<f64>,
+    /// Positions.
+    pub pos: Vec<Vec3>,
+    /// Velocities.
+    pub vel: Vec<Vec3>,
+    /// Current accelerations (filled by a force kernel).
+    pub acc: Vec<Vec3>,
+    /// Current jerks — first time derivatives of acceleration (filled by a
+    /// force kernel; required by the 4th-order Hermite integrator).
+    pub jerk: Vec<Vec3>,
+    /// Simulation time in N-body units.
+    pub time: f64,
+}
+
+impl ParticleSystem {
+    /// Empty system with capacity for `n` particles.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        ParticleSystem {
+            mass: Vec::with_capacity(n),
+            pos: Vec::with_capacity(n),
+            vel: Vec::with_capacity(n),
+            acc: Vec::with_capacity(n),
+            jerk: Vec::with_capacity(n),
+            time: 0.0,
+        }
+    }
+
+    /// Append one particle (acceleration and jerk start at zero).
+    pub fn push(&mut self, mass: f64, pos: Vec3, vel: Vec3) {
+        self.mass.push(mass);
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.acc.push([0.0; 3]);
+        self.jerk.push([0.0; 3]);
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Whether the system is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Total mass.
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Center of mass position.
+    #[must_use]
+    pub fn center_of_mass(&self) -> Vec3 {
+        let m = self.total_mass();
+        let mut com = [0.0; 3];
+        for (mi, p) in self.mass.iter().zip(&self.pos) {
+            for k in 0..3 {
+                com[k] += mi * p[k];
+            }
+        }
+        if m > 0.0 {
+            for c in &mut com {
+                *c /= m;
+            }
+        }
+        com
+    }
+
+    /// Center-of-mass velocity.
+    #[must_use]
+    pub fn com_velocity(&self) -> Vec3 {
+        let m = self.total_mass();
+        let mut v = [0.0; 3];
+        for (mi, vi) in self.mass.iter().zip(&self.vel) {
+            for k in 0..3 {
+                v[k] += mi * vi[k];
+            }
+        }
+        if m > 0.0 {
+            for c in &mut v {
+                *c /= m;
+            }
+        }
+        v
+    }
+
+    /// Shift to the center-of-mass frame (zero COM position and velocity) —
+    /// standard initial-condition hygiene for cluster simulations.
+    pub fn to_com_frame(&mut self) {
+        let com = self.center_of_mass();
+        let vcom = self.com_velocity();
+        for p in &mut self.pos {
+            for k in 0..3 {
+                p[k] -= com[k];
+            }
+        }
+        for v in &mut self.vel {
+            for k in 0..3 {
+                v[k] -= vcom[k];
+            }
+        }
+    }
+
+    /// Overwrite acceleration and jerk (used by integrators after a force
+    /// evaluation).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_forces(&mut self, acc: Vec<Vec3>, jerk: Vec<Vec3>) {
+        assert_eq!(acc.len(), self.len(), "acceleration length mismatch");
+        assert_eq!(jerk.len(), self.len(), "jerk length mismatch");
+        self.acc = acc;
+        self.jerk = jerk;
+    }
+}
+
+/// Result of one force evaluation: acceleration and jerk for every particle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forces {
+    /// Accelerations.
+    pub acc: Vec<Vec3>,
+    /// Jerks.
+    pub jerk: Vec<Vec3>,
+}
+
+impl Forces {
+    /// Zero forces for `n` particles.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Forces { acc: vec![[0.0; 3]; n], jerk: vec![[0.0; 3]; n] }
+    }
+
+    /// Number of particles covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Whether empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_body() -> ParticleSystem {
+        let mut s = ParticleSystem::with_capacity(2);
+        s.push(1.0, [1.0, 0.0, 0.0], [0.0, 0.5, 0.0]);
+        s.push(3.0, [-1.0, 0.0, 0.0], [0.0, -0.5, 0.0]);
+        s
+    }
+
+    #[test]
+    fn push_and_len() {
+        let s = two_body();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.acc.len(), 2);
+        assert_eq!(s.jerk.len(), 2);
+        assert_eq!(s.total_mass(), 4.0);
+    }
+
+    #[test]
+    fn center_of_mass() {
+        let s = two_body();
+        let com = s.center_of_mass();
+        // (1*1 + 3*(-1)) / 4 = -0.5.
+        assert!((com[0] + 0.5).abs() < 1e-15);
+        assert_eq!(com[1], 0.0);
+    }
+
+    #[test]
+    fn com_frame_zeroes_both() {
+        let mut s = two_body();
+        s.to_com_frame();
+        let com = s.center_of_mass();
+        let vcom = s.com_velocity();
+        for k in 0..3 {
+            assert!(com[k].abs() < 1e-15);
+            assert!(vcom[k].abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_system_com_is_origin() {
+        let s = ParticleSystem::default();
+        assert_eq!(s.center_of_mass(), [0.0; 3]);
+        assert_eq!(s.com_velocity(), [0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_forces_checks_length() {
+        let mut s = two_body();
+        s.set_forces(vec![[0.0; 3]; 1], vec![[0.0; 3]; 1]);
+    }
+
+    #[test]
+    fn forces_zeros() {
+        let f = Forces::zeros(5);
+        assert_eq!(f.len(), 5);
+        assert!(!f.is_empty());
+        assert_eq!(f.acc[4], [0.0; 3]);
+    }
+}

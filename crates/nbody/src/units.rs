@@ -1,0 +1,116 @@
+//! N-body (Hénon) units and physical conversions.
+//!
+//! Star-cluster codes work in the standard N-body unit system: G = 1, total
+//! mass M = 1, total energy E = −1/4, which fixes the virial radius at 1 and
+//! the crossing time at 2√2. Converting to physical units requires choosing
+//! a mass scale and a length scale; the helpers here do the bookkeeping for
+//! interpreting simulations of real clusters.
+
+/// Newton's constant in SI, m³ kg⁻¹ s⁻².
+pub const G_SI: f64 = 6.674_30e-11;
+/// One solar mass in kg.
+pub const MSUN_KG: f64 = 1.988_47e30;
+/// One parsec in metres.
+pub const PARSEC_M: f64 = 3.085_677_581_49e16;
+/// Seconds per megayear.
+pub const MYR_S: f64 = 3.155_76e13;
+
+/// Standard N-body total energy.
+pub const HENON_ENERGY: f64 = -0.25;
+/// Crossing time in Hénon units: t_cr = GM^{5/2} / (−4E)^{3/2} = 2√2.
+pub const HENON_CROSSING_TIME: f64 = 2.828_427_124_746_190_3;
+
+/// A choice of physical scales pinning N-body units to a real cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitSystem {
+    /// Mass unit in solar masses (the cluster's total mass).
+    pub mass_msun: f64,
+    /// Length unit in parsecs (the cluster's virial radius).
+    pub length_pc: f64,
+}
+
+impl UnitSystem {
+    /// Scales for a typical dense star cluster: 10⁵ M⊙ within a 1 pc virial
+    /// radius — the kind of system the paper's gravitational-wave-progenitor
+    /// motivation targets.
+    #[must_use]
+    pub fn dense_cluster() -> Self {
+        UnitSystem { mass_msun: 1.0e5, length_pc: 1.0 }
+    }
+
+    /// Time unit in seconds: T = sqrt(L³ / (G M)).
+    #[must_use]
+    pub fn time_unit_s(&self) -> f64 {
+        let m = self.mass_msun * MSUN_KG;
+        let l = self.length_pc * PARSEC_M;
+        (l.powi(3) / (G_SI * m)).sqrt()
+    }
+
+    /// Time unit in megayears.
+    #[must_use]
+    pub fn time_unit_myr(&self) -> f64 {
+        self.time_unit_s() / MYR_S
+    }
+
+    /// Velocity unit in km/s: V = L / T.
+    #[must_use]
+    pub fn velocity_unit_kms(&self) -> f64 {
+        self.length_pc * PARSEC_M / self.time_unit_s() / 1.0e3
+    }
+
+    /// Convert a time span from N-body units to megayears.
+    #[must_use]
+    pub fn to_myr(&self, t_nbody: f64) -> f64 {
+        t_nbody * self.time_unit_myr()
+    }
+
+    /// Convert a length from N-body units to parsecs.
+    #[must_use]
+    pub fn to_pc(&self, l_nbody: f64) -> f64 {
+        l_nbody * self.length_pc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_time_constant() {
+        // t_cr = G M^{5/2} (2|E|)^{-3/2} = 2 sqrt(2) with E = −1/4, M = G = 1.
+        let e: f64 = HENON_ENERGY;
+        let tcr = (2.0 * e.abs()).powf(-1.5);
+        assert!((tcr - HENON_CROSSING_TIME).abs() < 1e-12);
+        assert!((HENON_CROSSING_TIME - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_cluster_time_unit_is_sub_myr() {
+        // 10^5 Msun in 1 pc: T = sqrt(L^3/GM) ≈ 0.047 Myr.
+        let u = UnitSystem::dense_cluster();
+        let t = u.time_unit_myr();
+        assert!((0.02..0.1).contains(&t), "time unit {t} Myr");
+    }
+
+    #[test]
+    fn velocity_unit_plausible() {
+        // Dense cluster: ~21 km/s scale velocity.
+        let u = UnitSystem::dense_cluster();
+        let v = u.velocity_unit_kms();
+        assert!((10.0..40.0).contains(&v), "velocity unit {v} km/s");
+    }
+
+    #[test]
+    fn conversions_scale_linearly() {
+        let u = UnitSystem::dense_cluster();
+        assert!((u.to_myr(2.0) - 2.0 * u.time_unit_myr()).abs() < 1e-12);
+        assert_eq!(u.to_pc(3.0), 3.0);
+    }
+
+    #[test]
+    fn heavier_cluster_has_shorter_time_unit() {
+        let light = UnitSystem { mass_msun: 1.0e4, length_pc: 1.0 };
+        let heavy = UnitSystem { mass_msun: 1.0e6, length_pc: 1.0 };
+        assert!(heavy.time_unit_myr() < light.time_unit_myr());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on physics invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use nbody::diagnostics::{angular_momentum, total_energy};
+use nbody::force::{ForceKernel, ReferenceKernel, ScalarMixedKernel, SimdKernel, ThreadedKernel};
+use nbody::ic::{plummer, uniform_sphere, PlummerConfig, UniformConfig};
+use nbody::integrator::{Hermite4, Integrator, Leapfrog};
+use nbody::particle::ParticleSystem;
+
+fn arb_system(max_n: usize) -> impl Strategy<Value = ParticleSystem> {
+    (2..max_n).prop_flat_map(|n| {
+        (
+            vec(0.01f64..2.0, n),
+            vec(-3.0f64..3.0, 3 * n),
+            vec(-1.0f64..1.0, 3 * n),
+        )
+            .prop_map(move |(mass, pos, vel)| {
+                let mut s = ParticleSystem::with_capacity(n);
+                for i in 0..n {
+                    s.push(
+                        mass[i],
+                        [pos[3 * i], pos[3 * i + 1], pos[3 * i + 2]],
+                        [vel[3 * i], vel[3 * i + 1], vel[3 * i + 2]],
+                    );
+                }
+                s
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Newton's third law: the mass-weighted sum of accelerations vanishes
+    /// for arbitrary (softened) systems, in every kernel.
+    #[test]
+    fn momentum_conservation(sys in arb_system(40), eps in 0.01f64..0.5) {
+        let typical = |f: &nbody::Forces| {
+            f.acc.iter().map(|a| (a[0]*a[0]+a[1]*a[1]+a[2]*a[2]).sqrt()).sum::<f64>()
+                / f.len() as f64
+        };
+        let kernels: Vec<Box<dyn ForceKernel>> = vec![
+            Box::new(ReferenceKernel::new(eps)),
+            Box::new(ScalarMixedKernel::new(eps)),
+            Box::new(SimdKernel::new(eps)),
+        ];
+        for k in kernels {
+            let f = k.compute(&sys);
+            let scale = typical(&f).max(1e-12);
+            for c in 0..3 {
+                let p: f64 = sys.mass.iter().zip(&f.acc).map(|(m, a)| m * a[c]).sum();
+                prop_assert!(
+                    p.abs() / (scale * sys.total_mass()) < 1e-3,
+                    "{}: net force {p} (typical {scale})", k.name()
+                );
+            }
+        }
+    }
+
+    /// Jerk antisymmetry: mass-weighted jerk also sums to ~0.
+    #[test]
+    fn jerk_momentum_conservation(sys in arb_system(30), eps in 0.05f64..0.5) {
+        let f = ReferenceKernel::new(eps).compute(&sys);
+        let scale = f
+            .jerk
+            .iter()
+            .map(|j| (j[0]*j[0]+j[1]*j[1]+j[2]*j[2]).sqrt())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        for c in 0..3 {
+            let p: f64 = sys.mass.iter().zip(&f.jerk).map(|(m, j)| m * j[c]).sum();
+            prop_assert!(p.abs() / scale < 1e-10, "net jerk {p} vs scale {scale}");
+        }
+    }
+
+    /// The threaded kernel is bit-identical to its inner kernel for any
+    /// thread count.
+    #[test]
+    fn threaded_equals_serial(sys in arb_system(25), threads in 1usize..9) {
+        let serial = ReferenceKernel::new(0.1).compute(&sys);
+        let par = ThreadedKernel::new(ReferenceKernel::new(0.1), threads).compute(&sys);
+        prop_assert_eq!(serial.acc, par.acc);
+        prop_assert_eq!(serial.jerk, par.jerk);
+    }
+
+    /// Plummer sampling: unit mass, COM at origin, bound for every seed.
+    #[test]
+    fn plummer_invariants(seed in 0u64..500, n in 16usize..200) {
+        let s = plummer(PlummerConfig { n, seed, ..PlummerConfig::default() });
+        prop_assert!((s.total_mass() - 1.0).abs() < 1e-10);
+        let com = s.center_of_mass();
+        for c in com {
+            prop_assert!(c.abs() < 1e-9);
+        }
+        prop_assert!(total_energy(&s, 0.0) < 0.0, "cluster must be bound");
+    }
+
+    /// Uniform-sphere virial rescaling hits any requested target.
+    #[test]
+    fn uniform_virial_targets(seed in 0u64..200, q in 0.05f64..1.8) {
+        let s = uniform_sphere(UniformConfig { n: 128, seed, virial_ratio: q, ..Default::default() });
+        let t = nbody::diagnostics::kinetic_energy(&s);
+        let w = nbody::diagnostics::potential_energy(&s, 0.0);
+        prop_assert!(((-t / w) - q).abs() < 1e-6, "Q = {}", -t / w);
+    }
+
+    /// One Hermite step conserves angular momentum to high order for
+    /// arbitrary softened systems and small steps.
+    #[test]
+    fn hermite_step_angular_momentum(seed in 0u64..100) {
+        let mut s = plummer(PlummerConfig { n: 24, seed, ..PlummerConfig::default() });
+        let integ = Hermite4::new(ReferenceKernel::new(0.1));
+        let l0 = angular_momentum(&s);
+        integ.initialize(&mut s);
+        integ.step(&mut s, 1.0 / 1024.0);
+        let l1 = angular_momentum(&s);
+        for c in 0..3 {
+            prop_assert!((l1[c] - l0[c]).abs() < 1e-9, "dL = {}", l1[c] - l0[c]);
+        }
+    }
+
+    /// Leapfrog is time-reversible: stepping forward then backward returns
+    /// the initial state to rounding accuracy.
+    #[test]
+    fn leapfrog_time_reversible(seed in 0u64..100) {
+        let mut s = plummer(PlummerConfig { n: 16, seed, ..PlummerConfig::default() });
+        let s0 = s.clone();
+        let integ = Leapfrog::new(ReferenceKernel::new(0.05));
+        integ.initialize(&mut s);
+        let dt = 1.0 / 256.0;
+        for _ in 0..4 { integ.step(&mut s, dt); }
+        // Reverse velocities and step the same distance.
+        for v in &mut s.vel { for c in v.iter_mut() { *c = -*c; } }
+        let back = Leapfrog::new(ReferenceKernel::new(0.05));
+        back.initialize(&mut s);
+        for _ in 0..4 { back.step(&mut s, dt); }
+        for i in 0..s.len() {
+            for c in 0..3 {
+                prop_assert!(
+                    (s.pos[i][c] - s0.pos[i][c]).abs() < 1e-10,
+                    "particle {i} axis {c}: {} vs {}", s.pos[i][c], s0.pos[i][c]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Discrete energy integration of sampled power.
+//!
+//! "The energy-to-solution for each Wormhole card is calculated as the
+//! discrete integral of power over the simulation time (excluding the sleep
+//! phases)."
+
+use crate::sample::PowerSample;
+
+/// Left-rectangle discrete integral of a sample series over `[t0, t1)`, J.
+/// Each sample's power is held until the next sample (or `t1`).
+#[must_use]
+pub fn integrate_samples(samples: &[PowerSample], t0: f64, t1: f64) -> f64 {
+    let window: Vec<&PowerSample> =
+        samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
+    let mut e = 0.0;
+    for (i, s) in window.iter().enumerate() {
+        let next_t = window.get(i + 1).map_or(t1, |n| n.t);
+        e += s.watts * (next_t - s.t);
+    }
+    // Lead-in: the power before the first in-window sample applies from t0.
+    if let Some(first) = window.first() {
+        if let Some(prev) = samples.iter().rev().find(|s| s.t < t0) {
+            e += prev.watts * (first.t - t0);
+        }
+    }
+    e
+}
+
+/// Trapezoidal variant (second-order accurate for smooth power).
+#[must_use]
+pub fn integrate_samples_trapezoid(samples: &[PowerSample], t0: f64, t1: f64) -> f64 {
+    let window: Vec<&PowerSample> =
+        samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
+    let mut e = 0.0;
+    for pair in window.windows(2) {
+        e += 0.5 * (pair[0].watts + pair[1].watts) * (pair[1].t - pair[0].t);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(dt: f64, n: usize, f: impl Fn(f64) -> f64) -> Vec<PowerSample> {
+        (0..n).map(|i| PowerSample { t: i as f64 * dt, watts: f(i as f64 * dt) }).collect()
+    }
+
+    #[test]
+    fn constant_power_exact() {
+        let s = series(1.0, 100, |_| 50.0);
+        let e = integrate_samples(&s, 0.0, 99.0);
+        assert!((e - 50.0 * 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_excludes_sleep_phases() {
+        // 10 W for t<100 ("sleep"), 30 W for 100..=200, 10 W after.
+        let s = series(1.0, 300, |t| if (100.0..200.0).contains(&t) { 30.0 } else { 10.0 });
+        let e = integrate_samples(&s, 100.0, 200.0);
+        assert!((e - 3000.0).abs() < 30.0 + 1e-9, "energy {e}");
+        // The full-job integral is much larger.
+        let full = integrate_samples(&s, 0.0, 299.0);
+        assert!(full > e + 1500.0);
+    }
+
+    #[test]
+    fn trapezoid_exact_on_ramp() {
+        // P = t sampled at t = 0..10; the window [0, 10) keeps samples
+        // 0..=9, so the trapezoid covers [0, 9] and must equal ∫₀⁹ t dt.
+        let s = series(1.0, 11, |t| t);
+        let trap = integrate_samples_trapezoid(&s, 0.0, 10.0);
+        assert!((trap - 40.5).abs() < 1e-12, "trap {trap}");
+        // The left-rectangle rule underestimates a rising ramp.
+        let rect = integrate_samples(&s, 0.0, 10.0);
+        assert!(rect < 50.0 && rect > 40.0, "rect {rect}");
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let s = series(1.0, 10, |_| 5.0);
+        assert_eq!(integrate_samples(&s, 100.0, 200.0), 0.0);
+        assert_eq!(integrate_samples_trapezoid(&s, 100.0, 200.0), 0.0);
+    }
+}

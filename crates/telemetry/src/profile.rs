@@ -1,0 +1,140 @@
+//! Piecewise-constant host power profiles.
+//!
+//! The host CPU's power over a job is a sequence of phases (idle during the
+//! sleeps, loaded during the simulation). The profile provides an exact
+//! energy integral (backing the RAPL counters) and a noisy instantaneous
+//! sample (what a 1 Hz poller sees).
+
+/// Piecewise-constant power with deterministic sampling noise.
+#[derive(Debug, Clone, Default)]
+pub struct HostPowerProfile {
+    /// (duration, watts) segments, in order.
+    segments: Vec<(f64, f64)>,
+    seed: u64,
+    /// Fractional amplitude of sampling wobble (default 1.5%).
+    pub noise_frac: f64,
+}
+
+impl HostPowerProfile {
+    /// Empty profile with a noise seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        HostPowerProfile { segments: Vec::new(), seed, noise_frac: 0.015 }
+    }
+
+    /// Append a segment of `duration` seconds at `watts`.
+    ///
+    /// # Panics
+    /// Panics on negative duration or power.
+    pub fn push(&mut self, watts: f64, duration: f64) {
+        assert!(duration >= 0.0 && watts >= 0.0, "negative segment");
+        self.segments.push((duration, watts));
+    }
+
+    /// Total length of the profile.
+    #[must_use]
+    pub fn end_time(&self) -> f64 {
+        self.segments.iter().map(|(d, _)| d).sum()
+    }
+
+    /// Exact mean power at `t` (last segment extends; 0 for empty).
+    #[must_use]
+    pub fn mean_power_at(&self, t: f64) -> f64 {
+        let mut start = 0.0;
+        let mut last = 0.0;
+        for (d, w) in &self.segments {
+            if t >= start && t < start + d {
+                return *w;
+            }
+            start += d;
+            last = *w;
+        }
+        last
+    }
+
+    /// Noisy instantaneous power at `t` — what a userspace sampler reads.
+    #[must_use]
+    pub fn power_at(&self, t: f64) -> f64 {
+        let base = self.mean_power_at(t);
+        base * (1.0 + self.noise_frac * self.wobble(t))
+    }
+
+    /// Exact energy integral over `[t0, t1]`, J.
+    #[must_use]
+    pub fn energy_between(&self, t0: f64, t1: f64) -> f64 {
+        let mut start = 0.0;
+        let mut e = 0.0;
+        for (d, w) in &self.segments {
+            let end = start + d;
+            let overlap = (end.min(t1) - start.max(t0)).max(0.0);
+            e += overlap * w;
+            start = end;
+        }
+        // Extend the final segment for queries past the end.
+        if t1 > start {
+            if let Some((_, w)) = self.segments.last() {
+                e += (t1 - start.max(t0)).max(0.0) * w;
+            }
+        }
+        e
+    }
+
+    /// Deterministic wobble in [−1, 1].
+    fn wobble(&self, t: f64) -> f64 {
+        let q = (t * 4.0).floor() as i64 as u64;
+        let mut h = q ^ self.seed.rotate_left(23) ^ 0x2545_f491_4f6c_dd1d;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h as f64 / u64::MAX as f64) * 2.0 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> HostPowerProfile {
+        let mut p = HostPowerProfile::new(5);
+        p.push(100.0, 10.0);
+        p.push(200.0, 5.0);
+        p
+    }
+
+    #[test]
+    fn mean_power_per_segment() {
+        let p = two_phase();
+        assert_eq!(p.mean_power_at(0.0), 100.0);
+        assert_eq!(p.mean_power_at(9.99), 100.0);
+        assert_eq!(p.mean_power_at(12.0), 200.0);
+        assert_eq!(p.mean_power_at(99.0), 200.0, "last segment extends");
+        assert_eq!(p.end_time(), 15.0);
+    }
+
+    #[test]
+    fn energy_integral_exact() {
+        let p = two_phase();
+        assert!((p.energy_between(0.0, 15.0) - 2000.0).abs() < 1e-9);
+        assert!((p.energy_between(5.0, 12.0) - (500.0 + 400.0)).abs() < 1e-9);
+        assert!((p.energy_between(14.0, 20.0) - 1200.0).abs() < 1e-9, "extension");
+        assert_eq!(p.energy_between(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn sampled_power_is_noisy_but_unbiased() {
+        let p = two_phase();
+        let samples: Vec<f64> = (0..1000).map(|i| p.power_at(i as f64 * 0.01)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!(samples.iter().any(|s| (s - 100.0).abs() > 0.1), "noise present");
+        for s in &samples {
+            assert!((s - 100.0).abs() <= 100.0 * 0.016, "bounded noise");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative segment")]
+    fn negative_duration_panics() {
+        HostPowerProfile::new(0).push(10.0, -1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Power samples and sample series.
+
+/// One timestamped power reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Virtual timestamp, seconds since job start.
+    pub t: f64,
+    /// Instantaneous power, watts.
+    pub watts: f64,
+}
+
+/// A labelled series of samples from one rail (a card, a CPU package, the
+/// whole server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSeries {
+    /// Rail label ("device0", "pkg1", "server", …).
+    pub label: String,
+    /// Samples, ascending in time.
+    pub samples: Vec<PowerSample>,
+}
+
+impl SampleSeries {
+    /// Empty series.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        SampleSeries { label: label.into(), samples: Vec::new() }
+    }
+
+    /// Append a sample (must be after the last one).
+    ///
+    /// # Panics
+    /// Panics if timestamps go backwards.
+    pub fn push(&mut self, t: f64, watts: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(t > last.t, "samples must be time-ordered ({t} after {})", last.t);
+        }
+        self.samples.push(PowerSample { t, watts });
+    }
+
+    /// Power values only.
+    #[must_use]
+    pub fn watts(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.watts).collect()
+    }
+
+    /// Samples falling inside `[t0, t1)`.
+    #[must_use]
+    pub fn window(&self, t0: f64, t1: f64) -> Vec<PowerSample> {
+        self.samples.iter().copied().filter(|s| s.t >= t0 && s.t < t1).collect()
+    }
+
+    /// Peak power over the whole series.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|s| s.watts).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_window() {
+        let mut s = SampleSeries::new("device0");
+        for i in 0..10 {
+            s.push(i as f64, 10.0 + i as f64);
+        }
+        assert_eq!(s.samples.len(), 10);
+        let w = s.window(3.0, 6.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].t, 3.0);
+        assert_eq!(s.peak(), 19.0);
+        assert_eq!(s.watts()[0], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_push_panics() {
+        let mut s = SampleSeries::new("x");
+        s.push(1.0, 1.0);
+        s.push(0.5, 1.0);
+    }
+}

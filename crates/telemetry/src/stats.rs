@@ -1,0 +1,159 @@
+//! Statistics helpers for the measurement campaign.
+
+use rand::Rng;
+
+/// Sample mean.
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of an empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator), 0 for a single sample.
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Minimum (empty-safe: returns +∞).
+#[must_use]
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum (empty-safe: returns −∞).
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// A standard-normal draw via Box–Muller (rand's distributions crate is not
+/// among the approved dependencies).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower edge.
+    pub lo: f64,
+    /// Upper edge.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Samples outside the range.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Histogram of `xs` with `bins` equal bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `bins > 0` and `hi > lo`.
+    #[must_use]
+    pub fn build(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty histogram range");
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0;
+        let width = (hi - lo) / bins as f64;
+        for &x in xs {
+            if x < lo || x >= hi {
+                outliers += 1;
+            } else {
+                let b = (((x - lo) / width) as usize).min(bins - 1);
+                counts[b] += 1;
+            }
+        }
+        Histogram { lo, hi, counts, outliers }
+    }
+
+    /// Histogram auto-ranged to the sample with a small margin.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    #[must_use]
+    pub fn auto(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "histogram of an empty sample");
+        let (lo, hi) = (min(xs), max(xs));
+        let margin = ((hi - lo) * 0.05).max(1e-9);
+        Self::build(xs, lo - margin, hi + margin, bins)
+    }
+
+    /// Total in-range samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Centre of bin `i`.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.1380899).abs() < 1e-6);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(min(&xs), 2.0);
+        assert_eq!(max(&xs), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn mean_empty_panics() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    fn normal_draws_have_unit_variance() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.03, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.03, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let xs = [0.5, 1.5, 1.6, 2.5, 9.0, -1.0];
+        let h = Histogram::build(&xs, 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 4);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_histogram_covers_all() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::auto(&xs, 10);
+        assert_eq!(h.outliers, 0);
+        assert_eq!(h.total(), 100);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests on the measurement substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tt_telemetry::csvio::{from_csv, to_csv};
+use tt_telemetry::energy::integrate_samples;
+use tt_telemetry::profile::HostPowerProfile;
+use tt_telemetry::rapl::{read_energy_perf, RaplDomain};
+use tt_telemetry::sample::SampleSeries;
+use tt_telemetry::stats::{mean, std_dev, Histogram};
+
+fn arb_profile() -> impl Strategy<Value = HostPowerProfile> {
+    (0u64..1000, vec((10.0f64..300.0, 1.0f64..400.0), 1..6)).prop_map(|(seed, segments)| {
+        let mut p = HostPowerProfile::new(seed);
+        for (watts, dur) in segments {
+            p.push(watts, dur);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy is additive over adjacent windows.
+    #[test]
+    fn profile_energy_additive(p in arb_profile(), split in 0.0f64..1.0) {
+        let end = p.end_time();
+        let mid = split * end;
+        let total = p.energy_between(0.0, end);
+        let parts = p.energy_between(0.0, mid) + p.energy_between(mid, end);
+        prop_assert!((total - parts).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// The perf-style RAPL reader recovers the true energy for any profile
+    /// regardless of how many times the 32-bit counter wraps.
+    #[test]
+    fn perf_rapl_reader_exact(p in arb_profile()) {
+        let d = RaplDomain::new("pkg", &p, 1.0);
+        let end = p.end_time();
+        // The 1 Hz poller only observes energy up to its last sample.
+        let last_poll = end.floor();
+        let truth = d.true_energy(0.0, last_poll);
+        let read = read_energy_perf(&d, 0.0, end, 1.0);
+        // Quantization: one RAPL count is 2^-16 J; 1 J slack is generous.
+        prop_assert!((read - truth).abs() < 1.0, "read {read} vs {truth}");
+    }
+
+    /// Discrete integration of a constant-power series equals P × T.
+    #[test]
+    fn constant_power_integral(watts in 1.0f64..500.0, secs in 5usize..400) {
+        let mut s = SampleSeries::new("rail");
+        for i in 0..secs {
+            s.push(i as f64, watts);
+        }
+        let e = integrate_samples(&s.samples, 0.0, (secs - 1) as f64);
+        let expected = watts * (secs - 1) as f64;
+        prop_assert!((e - expected).abs() < 1e-12 * expected.max(1.0));
+    }
+
+    /// CSV round-trips arbitrary series to 4-decimal precision.
+    #[test]
+    fn csv_roundtrip(watts in vec(0.0f64..1000.0, 1..200)) {
+        let mut s = SampleSeries::new("deviceX");
+        for (i, w) in watts.iter().enumerate() {
+            s.push(i as f64, *w);
+        }
+        let back = from_csv(&to_csv(&[s.clone()]));
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(back[0].samples.len(), watts.len());
+        for (a, b) in s.samples.iter().zip(&back[0].samples) {
+            prop_assert!((a.watts - b.watts).abs() <= 5e-5);
+            prop_assert!((a.t - b.t).abs() <= 5e-4);
+        }
+    }
+
+    /// Histograms never lose samples: counts + outliers = n.
+    #[test]
+    fn histogram_conserves_samples(xs in vec(-100.0f64..100.0, 1..300), bins in 1usize..20) {
+        let h = Histogram::build(&xs, -50.0, 50.0, bins);
+        prop_assert_eq!(h.total() + h.outliers, xs.len() as u64);
+    }
+
+    /// Shifting a sample shifts the mean and leaves the deviation alone.
+    #[test]
+    fn stats_shift_invariance(xs in vec(-50.0f64..50.0, 2..100), shift in -10.0f64..10.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted) - mean(&xs) - shift).abs() < 1e-9);
+        prop_assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,430 @@
+//! Software-managed circular buffers (CBs).
+//!
+//! CBs are the producer/consumer channels between the data-movement and
+//! compute kernels of a Tensix core. The paper's pipeline hinges on their
+//! four control primitives, which we reproduce with identical semantics:
+//!
+//! * `cb_reserve_back(n)` — producer blocks until `n` pages are free, then
+//!   reserves them (back-pressure: prevents overwriting unconsumed data);
+//! * `cb_push_back(n)` — producer publishes `n` previously written pages;
+//! * `cb_wait_front(n)` — consumer blocks until `n` pages are visible;
+//! * `cb_pop_front(n)` — consumer releases `n` pages.
+//!
+//! One page holds one tile. The simulator backs each CB with a real
+//! mutex/condvar channel so kernels running on separate OS threads exhibit
+//! genuine overlap of computation and communication, exactly like the
+//! dataflow execution model described in the paper.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::dtype::DataFormat;
+use crate::tile::Tile;
+
+/// How long a blocked CB primitive waits before declaring the pipeline
+/// deadlocked. Real hardware would hang; the simulator fails loudly instead.
+pub const CB_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Static configuration of one circular buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircularBufferConfig {
+    /// Capacity in pages (tiles). Double buffering uses 2, deeper pipelines
+    /// more.
+    pub num_pages: usize,
+    /// Element format of each page.
+    pub format: DataFormat,
+}
+
+impl CircularBufferConfig {
+    /// Construct a config.
+    ///
+    /// # Panics
+    /// Panics if `num_pages` is zero.
+    #[must_use]
+    pub fn new(num_pages: usize, format: DataFormat) -> Self {
+        assert!(num_pages > 0, "a circular buffer needs at least one page");
+        CircularBufferConfig { num_pages, format }
+    }
+
+    /// Total L1 bytes this CB occupies.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.num_pages * self.format.tile_bytes()
+    }
+}
+
+/// Lifetime statistics of a CB, for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CbStats {
+    /// Pages ever published by the producer.
+    pub pages_pushed: u64,
+    /// Pages ever released by the consumer.
+    pub pages_popped: u64,
+    /// Maximum simultaneous occupancy (visible + reserved pages).
+    pub max_occupancy: usize,
+    /// Times `reserve_back` had to block.
+    pub producer_stalls: u64,
+    /// Times `wait_front` had to block.
+    pub consumer_stalls: u64,
+}
+
+#[derive(Debug)]
+struct CbState {
+    /// Published pages, front = oldest.
+    visible: VecDeque<Tile>,
+    /// Pages written into reserved space but not yet published.
+    staged: VecDeque<Tile>,
+    /// Pages currently reserved by the producer (staged.len() <= reserved).
+    reserved: usize,
+    stats: CbStats,
+    /// Set when the owning program is torn down mid-flight; wakes blocked
+    /// kernels with a panic instead of deadlocking.
+    poisoned: bool,
+}
+
+/// A circular buffer shared between the kernels of one core.
+///
+/// Cloning the handle is cheap (an `Arc`); all clones refer to the same ring.
+#[derive(Debug, Clone)]
+pub struct CircularBuffer {
+    config: CircularBufferConfig,
+    inner: Arc<(Mutex<CbState>, Condvar)>,
+}
+
+impl CircularBuffer {
+    /// Create an empty CB.
+    #[must_use]
+    pub fn new(config: CircularBufferConfig) -> Self {
+        CircularBuffer {
+            config,
+            inner: Arc::new((
+                Mutex::new(CbState {
+                    visible: VecDeque::with_capacity(config.num_pages),
+                    staged: VecDeque::new(),
+                    reserved: 0,
+                    stats: CbStats::default(),
+                    poisoned: false,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// This CB's configuration.
+    #[must_use]
+    pub fn config(&self) -> CircularBufferConfig {
+        self.config
+    }
+
+    /// Block until `n` pages are free, then reserve them for the producer.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the capacity (would deadlock on hardware), if the
+    /// CB is poisoned, or after [`CB_DEADLOCK_TIMEOUT`] of no progress.
+    pub fn reserve_back(&self, n: usize) {
+        assert!(
+            n <= self.config.num_pages,
+            "cb_reserve_back({n}) exceeds capacity {} — permanent hang on hardware",
+            self.config.num_pages
+        );
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        let mut stalled = false;
+        while st.visible.len() + st.reserved + n > self.config.num_pages {
+            assert!(!st.poisoned, "circular buffer poisoned while reserving");
+            stalled = true;
+            let timed_out = cvar.wait_for(&mut st, CB_DEADLOCK_TIMEOUT).timed_out();
+            assert!(!timed_out, "cb_reserve_back({n}) deadlocked (capacity {})", self.config.num_pages);
+        }
+        if stalled {
+            st.stats.producer_stalls += 1;
+        }
+        st.reserved += n;
+        let occ = st.visible.len() + st.reserved;
+        st.stats.max_occupancy = st.stats.max_occupancy.max(occ);
+    }
+
+    /// Write one tile into the reserved region (producer side, after
+    /// [`CircularBuffer::reserve_back`]). The tile is quantized to the CB's
+    /// format, modelling the packer.
+    ///
+    /// # Panics
+    /// Panics if no reserved space remains.
+    pub fn write_tile(&self, tile: &Tile) {
+        let (lock, _) = &*self.inner;
+        let mut st = lock.lock();
+        assert!(
+            st.staged.len() < st.reserved,
+            "write_tile without reserved space (staged {}, reserved {})",
+            st.staged.len(),
+            st.reserved
+        );
+        let converted =
+            if tile.format() == self.config.format { tile.clone() } else { tile.convert(self.config.format) };
+        st.staged.push_back(converted);
+    }
+
+    /// Publish `n` pages previously written with [`CircularBuffer::write_tile`].
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` pages are staged.
+    pub fn push_back(&self, n: usize) {
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        assert!(
+            st.staged.len() >= n && st.reserved >= n,
+            "cb_push_back({n}) without matching reserve/write (staged {}, reserved {})",
+            st.staged.len(),
+            st.reserved
+        );
+        for _ in 0..n {
+            let t = st.staged.pop_front().expect("staged length checked");
+            st.visible.push_back(t);
+        }
+        st.reserved -= n;
+        st.stats.pages_pushed += n as u64;
+        cvar.notify_all();
+    }
+
+    /// Block until `n` pages are visible to the consumer.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the capacity, if poisoned, or on timeout.
+    pub fn wait_front(&self, n: usize) {
+        assert!(
+            n <= self.config.num_pages,
+            "cb_wait_front({n}) exceeds capacity {} — permanent hang on hardware",
+            self.config.num_pages
+        );
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        let mut stalled = false;
+        while st.visible.len() < n {
+            assert!(!st.poisoned, "circular buffer poisoned while waiting");
+            stalled = true;
+            let timed_out = cvar.wait_for(&mut st, CB_DEADLOCK_TIMEOUT).timed_out();
+            assert!(!timed_out, "cb_wait_front({n}) deadlocked");
+        }
+        if stalled {
+            st.stats.consumer_stalls += 1;
+        }
+    }
+
+    /// Read the `idx`-th visible page (0 = oldest) without consuming it.
+    /// Mirrors the compute kernel's `get_tile`/unpacker access after
+    /// `cb_wait_front`.
+    ///
+    /// # Panics
+    /// Panics if fewer than `idx + 1` pages are visible (call
+    /// [`CircularBuffer::wait_front`] first).
+    #[must_use]
+    pub fn peek_tile(&self, idx: usize) -> Tile {
+        let (lock, _) = &*self.inner;
+        let st = lock.lock();
+        st.visible
+            .get(idx)
+            .unwrap_or_else(|| {
+                panic!("peek_tile({idx}) with only {} visible pages", st.visible.len())
+            })
+            .clone()
+    }
+
+    /// Release `n` pages from the front.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` pages are visible.
+    pub fn pop_front(&self, n: usize) {
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        assert!(
+            st.visible.len() >= n,
+            "cb_pop_front({n}) with only {} visible pages",
+            st.visible.len()
+        );
+        st.visible.drain(..n);
+        st.stats.pages_popped += n as u64;
+        cvar.notify_all();
+    }
+
+    /// Pages currently visible to the consumer.
+    #[must_use]
+    pub fn pages_visible(&self) -> usize {
+        self.inner.0.lock().visible.len()
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> CbStats {
+        self.inner.0.lock().stats
+    }
+
+    /// Poison the CB, waking and panicking any blocked kernel. Used on
+    /// abnormal program teardown.
+    pub fn poison(&self) {
+        let (lock, cvar) = &*self.inner;
+        lock.lock().poisoned = true;
+        cvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn cb(pages: usize) -> CircularBuffer {
+        CircularBuffer::new(CircularBufferConfig::new(pages, DataFormat::Float32))
+    }
+
+    fn tile(v: f32) -> Tile {
+        Tile::splat(DataFormat::Float32, v)
+    }
+
+    #[test]
+    fn config_bytes() {
+        let c = CircularBufferConfig::new(4, DataFormat::Float32);
+        assert_eq!(c.total_bytes(), 4 * 4096);
+        let c = CircularBufferConfig::new(2, DataFormat::Float16b);
+        assert_eq!(c.total_bytes(), 2 * 2048);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let cb = cb(4);
+        cb.reserve_back(2);
+        cb.write_tile(&tile(1.0));
+        cb.write_tile(&tile(2.0));
+        cb.push_back(2);
+        cb.wait_front(2);
+        assert_eq!(cb.peek_tile(0).get(0, 0), 1.0);
+        assert_eq!(cb.peek_tile(1).get(0, 0), 2.0);
+        cb.pop_front(1);
+        assert_eq!(cb.peek_tile(0).get(0, 0), 2.0);
+        cb.pop_front(1);
+        assert_eq!(cb.pages_visible(), 0);
+    }
+
+    #[test]
+    fn producer_blocks_until_consumer_pops() {
+        let c = cb(2);
+        c.reserve_back(2);
+        c.write_tile(&tile(1.0));
+        c.write_tile(&tile(2.0));
+        c.push_back(2);
+
+        let c2 = c.clone();
+        let producer = thread::spawn(move || {
+            // Blocks: ring is full.
+            c2.reserve_back(1);
+            c2.write_tile(&tile(3.0));
+            c2.push_back(1);
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(c.pages_visible(), 2, "third page must not be published yet");
+        c.wait_front(1);
+        c.pop_front(1);
+        producer.join().unwrap();
+        c.wait_front(2);
+        assert_eq!(c.peek_tile(1).get(0, 0), 3.0);
+        assert!(c.stats().producer_stalls >= 1);
+    }
+
+    #[test]
+    fn consumer_blocks_until_producer_pushes() {
+        let c = cb(2);
+        let c2 = c.clone();
+        let consumer = thread::spawn(move || {
+            c2.wait_front(1);
+            let t = c2.peek_tile(0);
+            c2.pop_front(1);
+            t.get(0, 0)
+        });
+        thread::sleep(Duration::from_millis(50));
+        c.reserve_back(1);
+        c.write_tile(&tile(7.0));
+        c.push_back(1);
+        assert_eq!(consumer.join().unwrap(), 7.0);
+        assert!(c.stats().consumer_stalls >= 1);
+    }
+
+    #[test]
+    fn pipeline_through_small_cb_preserves_all_pages() {
+        // Stream 100 tiles through a 2-page CB; back-pressure must not drop
+        // or duplicate any page.
+        let c = cb(2);
+        let prod = c.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                prod.reserve_back(1);
+                prod.write_tile(&tile(i as f32));
+                prod.push_back(1);
+            }
+        });
+        let cons = c.clone();
+        let consumer = thread::spawn(move || {
+            let mut seen = Vec::new();
+            for _ in 0..100 {
+                cons.wait_front(1);
+                seen.push(cons.peek_tile(0).get(0, 0));
+                cons.pop_front(1);
+            }
+            seen
+        });
+        producer.join().unwrap();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, (0..100).map(|i| i as f32).collect::<Vec<_>>());
+        let stats = c.stats();
+        assert_eq!(stats.pages_pushed, 100);
+        assert_eq!(stats.pages_popped, 100);
+        assert!(stats.max_occupancy <= 2);
+    }
+
+    #[test]
+    fn cb_quantizes_to_its_format() {
+        let c = CircularBuffer::new(CircularBufferConfig::new(1, DataFormat::Float16b));
+        c.reserve_back(1);
+        c.write_tile(&Tile::splat(DataFormat::Float32, 1.0 + 1.0 / 1024.0));
+        c.push_back(1);
+        c.wait_front(1);
+        assert_eq!(c.peek_tile(0).get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn reserving_more_than_capacity_panics() {
+        cb(2).reserve_back(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching reserve")]
+    fn push_without_reserve_panics() {
+        cb(2).push_back(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without reserved space")]
+    fn write_without_reserve_panics() {
+        cb(2).write_tile(&tile(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only 0 visible")]
+    fn pop_empty_panics() {
+        cb(2).pop_front(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poison_wakes_blocked_consumer() {
+        let c = cb(1);
+        let c2 = c.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            c2.poison();
+        });
+        c.wait_front(1); // should panic once poisoned
+    }
+}

@@ -1,0 +1,143 @@
+//! ERISC / Ethernet subsystem.
+//!
+//! Each Wormhole carries two QSFP-DD ports at up to 200 Gb/s for chip-to-chip
+//! and card-to-card traffic; the n300 itself is two chips joined by such
+//! links. The N-body port in the paper uses a single device, but its stated
+//! next step is multi-accelerator MPI scaling — the harness's scaling
+//! extension (experiment E6) uses this model to estimate the halo-exchange
+//! cost of distributing particles across cards.
+
+/// Bandwidth of one Ethernet port in bytes per second (200 Gb/s).
+pub const ETH_PORT_BYTES_PER_S: f64 = 200.0e9 / 8.0;
+
+/// One-way latency of an ERISC hop in seconds (link + ERISC forwarding).
+pub const ETH_LATENCY_S: f64 = 1.0e-6;
+
+/// A point-to-point Ethernet link between two devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EthLink {
+    /// Usable bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// One-way latency, seconds.
+    pub latency: f64,
+}
+
+impl Default for EthLink {
+    fn default() -> Self {
+        EthLink { bandwidth: ETH_PORT_BYTES_PER_S, latency: ETH_LATENCY_S }
+    }
+}
+
+impl EthLink {
+    /// Time to move `bytes` across the link.
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// A ring of `n` devices connected by Ethernet links — the topology
+/// TT-Metalium builds for multi-card systems (each n300 exposes two ports).
+#[derive(Debug, Clone)]
+pub struct EthRing {
+    links: Vec<EthLink>,
+}
+
+impl EthRing {
+    /// A homogeneous ring of `n` devices.
+    ///
+    /// # Panics
+    /// Panics for `n == 0`.
+    #[must_use]
+    pub fn homogeneous(n: usize, link: EthLink) -> Self {
+        assert!(n > 0, "a ring needs at least one device");
+        EthRing { links: vec![link; n] }
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Time for an all-gather of `bytes_per_device` around the ring
+    /// (ring algorithm: `n − 1` steps, each moving one device's share).
+    #[must_use]
+    pub fn allgather_seconds(&self, bytes_per_device: u64) -> f64 {
+        let n = self.links.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        let slowest = self
+            .links
+            .iter()
+            .map(|l| l.transfer_seconds(bytes_per_device))
+            .fold(0.0f64, f64::max);
+        slowest * (n - 1) as f64
+    }
+
+    /// Time for a ring all-reduce of `bytes` (reduce-scatter + all-gather:
+    /// `2 (n − 1)` steps on `bytes / n` chunks).
+    #[must_use]
+    pub fn allreduce_seconds(&self, bytes: u64) -> f64 {
+        let n = self.links.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        let chunk = bytes.div_ceil(n as u64);
+        let slowest =
+            self.links.iter().map(|l| l.transfer_seconds(chunk)).fold(0.0f64, f64::max);
+        slowest * 2.0 * (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_bandwidth_is_200gbps() {
+        let l = EthLink::default();
+        // 25 GB at 25 GB/s ≈ 1 s.
+        assert!((l.transfer_seconds(25_000_000_000) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let l = EthLink::default();
+        let t = l.transfer_seconds(64);
+        assert!(t > ETH_LATENCY_S && t < 2.0 * ETH_LATENCY_S);
+    }
+
+    #[test]
+    fn single_device_ring_needs_no_communication() {
+        let ring = EthRing::homogeneous(1, EthLink::default());
+        assert_eq!(ring.allgather_seconds(1_000_000), 0.0);
+        assert_eq!(ring.allreduce_seconds(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn allgather_scales_with_ring_size() {
+        let two = EthRing::homogeneous(2, EthLink::default());
+        let four = EthRing::homogeneous(4, EthLink::default());
+        let t2 = two.allgather_seconds(10_000_000);
+        let t4 = four.allgather_seconds(10_000_000);
+        assert!(t4 > t2);
+        assert!((t4 / t2 - 3.0).abs() < 0.01, "(n-1) steps: 3 vs 1");
+    }
+
+    #[test]
+    fn allreduce_twice_the_steps_on_smaller_chunks() {
+        let ring = EthRing::homogeneous(4, EthLink::default());
+        let bytes = 100_000_000u64;
+        let ar = ring.allreduce_seconds(bytes);
+        let ag = ring.allgather_seconds(bytes / 4);
+        assert!((ar / ag - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_ring_panics() {
+        let _ = EthRing::homogeneous(0, EthLink::default());
+    }
+}

@@ -1,0 +1,226 @@
+//! FPU — the Tensix tensor (matrix) engine.
+//!
+//! The FPU consumes the `srcA`/`srcB` source registers (each holding up to
+//! 1024 single-precision values, i.e. one tile) and writes results to dst.
+//! Besides dense matmul it provides the element-wise binary tile ops that
+//! TT-Metalium exposes as `add_tiles` / `sub_tiles` / `mul_tiles`, broadcast
+//! variants, and row/column reductions — the building blocks the N-body
+//! compute kernel mixes with SFPU transcendentals.
+
+use crate::cost::ComputeCosts;
+use crate::sfpu::{binary_scalar, BinaryOp};
+use crate::tile::{Tile, TILE_DIM};
+
+/// Broadcast dimension for `*_tiles_bcast` operations: which part of srcB is
+/// replicated across the tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastDim {
+    /// srcB's first row is broadcast down all rows.
+    Row,
+    /// srcB's first column is broadcast across all columns.
+    Col,
+    /// srcB's element (0,0) is broadcast everywhere.
+    Scalar,
+}
+
+/// Dense tile matmul: `a (32×32) × b (32×32)`, accumulating into `acc` when
+/// `accumulate` is set (matmul with dst accumulation). Returns cycle cost.
+pub fn matmul_tiles(
+    costs: &ComputeCosts,
+    a: &Tile,
+    b: &Tile,
+    acc: &mut Tile,
+    accumulate: bool,
+) -> u64 {
+    let (va, vb) = (a.as_slice(), b.as_slice());
+    let out = acc.as_mut_slice();
+    for i in 0..TILE_DIM {
+        for j in 0..TILE_DIM {
+            let mut sum = if accumulate { out[i * TILE_DIM + j] } else { 0.0 };
+            for k in 0..TILE_DIM {
+                sum = va[i * TILE_DIM + k].mul_add(vb[k * TILE_DIM + j], sum);
+            }
+            out[i * TILE_DIM + j] = sum;
+        }
+    }
+    costs.issue_overhead + costs.fpu_matmul
+}
+
+/// Element-wise binary op through the FPU datapath (`sub_tiles` etc.):
+/// `out = op(a, b)`. Returns cycle cost.
+pub fn eltwise_binary(costs: &ComputeCosts, op: BinaryOp, a: &Tile, b: &Tile, out: &mut Tile) -> u64 {
+    let (va, vb) = (a.as_slice(), b.as_slice());
+    for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(va.iter().zip(vb.iter())) {
+        *o = binary_scalar(op, *x, *y);
+    }
+    costs.issue_overhead + costs.fpu_eltwise
+}
+
+/// Element-wise binary op with srcB broadcast (`sub_tiles_bcast` etc.).
+/// Returns cycle cost.
+pub fn eltwise_binary_bcast(
+    costs: &ComputeCosts,
+    op: BinaryOp,
+    dim: BroadcastDim,
+    a: &Tile,
+    b: &Tile,
+    out: &mut Tile,
+) -> u64 {
+    let va = a.as_slice();
+    for i in 0..TILE_DIM {
+        for j in 0..TILE_DIM {
+            let bv = match dim {
+                BroadcastDim::Row => b.get(0, j),
+                BroadcastDim::Col => b.get(i, 0),
+                BroadcastDim::Scalar => b.get(0, 0),
+            };
+            out.as_mut_slice()[i * TILE_DIM + j] = binary_scalar(op, va[i * TILE_DIM + j], bv);
+        }
+    }
+    costs.issue_overhead + costs.fpu_eltwise
+}
+
+/// Reduce a tile along rows (summing each row into column 0 of the output)
+/// scaled by `scale` — mirrors `reduce_tile` with a scaler tile. Returns
+/// cycle cost.
+pub fn reduce_rows(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+    let o = out.as_mut_slice();
+    o.fill(0.0);
+    for i in 0..TILE_DIM {
+        let mut sum = 0.0f32;
+        for j in 0..TILE_DIM {
+            sum += a.get(i, j);
+        }
+        o[i * TILE_DIM] = sum * scale;
+    }
+    costs.issue_overhead + costs.fpu_reduce
+}
+
+/// Reduce a tile along columns (summing each column into row 0). Returns
+/// cycle cost.
+pub fn reduce_cols(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+    let o = out.as_mut_slice();
+    o.fill(0.0);
+    for (j, slot) in o.iter_mut().enumerate().take(TILE_DIM) {
+        let mut sum = 0.0f32;
+        for i in 0..TILE_DIM {
+            sum += a.get(i, j);
+        }
+        *slot = sum * scale;
+    }
+    costs.issue_overhead + costs.fpu_reduce
+}
+
+/// Full-tile sum (both dimensions), returned as a scalar in out(0,0).
+pub fn reduce_full(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+    let total: f32 = a.as_slice().iter().sum();
+    out.as_mut_slice().fill(0.0);
+    out.as_mut_slice()[0] = total * scale;
+    costs.issue_overhead + costs.fpu_reduce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataFormat;
+
+    fn costs() -> ComputeCosts {
+        ComputeCosts::default()
+    }
+
+    fn identity_tile() -> Tile {
+        let mut t = Tile::zeros(DataFormat::Float32);
+        for i in 0..TILE_DIM {
+            t.set(i, i, 1.0);
+        }
+        t
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = identity_tile();
+        let vals: Vec<f32> = (0..1024).map(|i| (i % 97) as f32).collect();
+        let b = Tile::from_rowmajor(DataFormat::Float32, &vals);
+        let mut out = Tile::zeros(DataFormat::Float32);
+        matmul_tiles(&costs(), &a, &b, &mut out, false);
+        assert_eq!(out.as_slice()[..], b.as_slice()[..]);
+    }
+
+    #[test]
+    fn matmul_accumulate() {
+        let a = identity_tile();
+        let b = Tile::splat(DataFormat::Float32, 2.0);
+        let mut out = Tile::splat(DataFormat::Float32, 1.0);
+        matmul_tiles(&costs(), &a, &b, &mut out, true);
+        assert_eq!(out.get(4, 7), 3.0);
+        // Without accumulation the old contents are discarded.
+        matmul_tiles(&costs(), &a, &b, &mut out, false);
+        assert_eq!(out.get(4, 7), 2.0);
+    }
+
+    #[test]
+    fn matmul_ones_sums_columns() {
+        // ones(32x32) * b sums each column of b into every row.
+        let ones = Tile::splat(DataFormat::Float32, 1.0);
+        let mut b = Tile::zeros(DataFormat::Float32);
+        for i in 0..TILE_DIM {
+            b.set(i, 0, (i + 1) as f32); // column 0 = 1..32
+        }
+        let mut out = Tile::zeros(DataFormat::Float32);
+        matmul_tiles(&costs(), &ones, &b, &mut out, false);
+        assert_eq!(out.get(0, 0), (32 * 33 / 2) as f32);
+        assert_eq!(out.get(31, 0), (32 * 33 / 2) as f32);
+        assert_eq!(out.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn eltwise_binary_sub() {
+        let a = Tile::splat(DataFormat::Float32, 10.0);
+        let b = Tile::splat(DataFormat::Float32, 4.0);
+        let mut out = Tile::zeros(DataFormat::Float32);
+        eltwise_binary(&costs(), BinaryOp::Sub, &a, &b, &mut out);
+        assert_eq!(out.get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn broadcast_row_col_scalar() {
+        let a = Tile::zeros(DataFormat::Float32);
+        let mut b = Tile::zeros(DataFormat::Float32);
+        b.set(0, 0, 5.0);
+        b.set(0, 3, 7.0);
+        b.set(3, 0, 9.0);
+        let mut out = Tile::zeros(DataFormat::Float32);
+
+        eltwise_binary_bcast(&costs(), BinaryOp::Add, BroadcastDim::Row, &a, &b, &mut out);
+        assert_eq!(out.get(17, 3), 7.0, "row 0 broadcast down");
+
+        eltwise_binary_bcast(&costs(), BinaryOp::Add, BroadcastDim::Col, &a, &b, &mut out);
+        assert_eq!(out.get(3, 29), 9.0, "col 0 broadcast across");
+
+        eltwise_binary_bcast(&costs(), BinaryOp::Add, BroadcastDim::Scalar, &a, &b, &mut out);
+        assert_eq!(out.get(31, 31), 5.0, "element (0,0) everywhere");
+    }
+
+    #[test]
+    fn reduce_rows_and_cols() {
+        let mut a = Tile::zeros(DataFormat::Float32);
+        for j in 0..TILE_DIM {
+            a.set(j, 5, 2.0); // col 5 = 2.0 everywhere ...
+            a.set(2, j, 1.0); // ... except (2,5), overwritten to 1.0
+        }
+        let mut out = Tile::zeros(DataFormat::Float32);
+        reduce_rows(&costs(), &a, 1.0, &mut out);
+        assert_eq!(out.get(2, 0), 32.0, "row 2 is all ones");
+        reduce_cols(&costs(), &a, 0.5, &mut out);
+        assert_eq!(out.get(0, 5), (31.0 * 2.0 + 1.0) * 0.5);
+    }
+
+    #[test]
+    fn reduce_full_sums_everything() {
+        let a = Tile::splat(DataFormat::Float32, 0.25);
+        let mut out = Tile::zeros(DataFormat::Float32);
+        reduce_full(&costs(), &a, 2.0, &mut out);
+        assert_eq!(out.get(0, 0), 1024.0 * 0.25 * 2.0);
+        assert_eq!(out.get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Core coordinates and core ranges on the Tensix grid.
+//!
+//! A Wormhole chip exposes its 64 usable Tensix cores as an 8×8 *logical* grid
+//! (the physical die has extra rows/columns for DRAM, Ethernet and PCIe tiles,
+//! and one or two harvested Tensix rows; TT-Metalium hides harvesting behind
+//! the logical coordinate space, and so do we).
+
+use std::fmt;
+
+/// Logical coordinate of a core on the chip grid: `x` is the column,
+/// `y` is the row, both zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreCoord {
+    /// Column.
+    pub x: usize,
+    /// Row.
+    pub y: usize,
+}
+
+impl CoreCoord {
+    /// Construct a coordinate.
+    #[must_use]
+    pub const fn new(x: usize, y: usize) -> Self {
+        CoreCoord { x, y }
+    }
+}
+
+impl fmt::Display for CoreCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(x={},y={})", self.x, self.y)
+    }
+}
+
+/// An inclusive rectangle of cores, `start` top-left, `end` bottom-right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreRange {
+    /// Top-left corner (inclusive).
+    pub start: CoreCoord,
+    /// Bottom-right corner (inclusive).
+    pub end: CoreCoord,
+}
+
+impl CoreRange {
+    /// Construct a range; normalizes so `start <= end` in both axes.
+    #[must_use]
+    pub fn new(a: CoreCoord, b: CoreCoord) -> Self {
+        CoreRange {
+            start: CoreCoord::new(a.x.min(b.x), a.y.min(b.y)),
+            end: CoreCoord::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A single-core range.
+    #[must_use]
+    pub fn single(c: CoreCoord) -> Self {
+        CoreRange { start: c, end: c }
+    }
+
+    /// Number of cores covered.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        (self.end.x - self.start.x + 1) * (self.end.y - self.start.y + 1)
+    }
+
+    /// Whether `c` lies inside the rectangle.
+    #[must_use]
+    pub fn contains(&self, c: CoreCoord) -> bool {
+        c.x >= self.start.x && c.x <= self.end.x && c.y >= self.start.y && c.y <= self.end.y
+    }
+
+    /// Iterate cores row-major (y outer, x inner) — the order TT-Metalium
+    /// uses when distributing per-core work and runtime args.
+    pub fn iter(&self) -> impl Iterator<Item = CoreCoord> + '_ {
+        let (x0, x1, y0, y1) = (self.start.x, self.end.x, self.start.y, self.end.y);
+        (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| CoreCoord::new(x, y)))
+    }
+}
+
+/// A set of disjoint core ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreRangeSet {
+    ranges: Vec<CoreRange>,
+}
+
+impl CoreRangeSet {
+    /// Build from ranges.
+    ///
+    /// # Panics
+    /// Panics if any two ranges overlap (TT-Metalium rejects overlapping
+    /// ranges in a kernel's core spec).
+    #[must_use]
+    pub fn new(ranges: Vec<CoreRange>) -> Self {
+        for (i, a) in ranges.iter().enumerate() {
+            for b in &ranges[i + 1..] {
+                let overlap = a.start.x <= b.end.x
+                    && b.start.x <= a.end.x
+                    && a.start.y <= b.end.y
+                    && b.start.y <= a.end.y;
+                assert!(!overlap, "core ranges {a:?} and {b:?} overlap");
+            }
+        }
+        CoreRangeSet { ranges }
+    }
+
+    /// The first `n` cores of an `width`-wide grid, filled row-major.
+    /// Mirrors `num_cores_to_corerangeset` in TT-Metalium.
+    #[must_use]
+    pub fn first_n(n: usize, width: usize) -> Self {
+        assert!(n > 0 && width > 0);
+        let full_rows = n / width;
+        let rem = n % width;
+        let mut ranges = Vec::new();
+        if full_rows > 0 {
+            ranges.push(CoreRange::new(
+                CoreCoord::new(0, 0),
+                CoreCoord::new(width - 1, full_rows - 1),
+            ));
+        }
+        if rem > 0 {
+            ranges.push(CoreRange::new(
+                CoreCoord::new(0, full_rows),
+                CoreCoord::new(rem - 1, full_rows),
+            ));
+        }
+        CoreRangeSet::new(ranges)
+    }
+
+    /// Total cores covered.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.ranges.iter().map(CoreRange::num_cores).sum()
+    }
+
+    /// Whether `c` is in any range.
+    #[must_use]
+    pub fn contains(&self, c: CoreCoord) -> bool {
+        self.ranges.iter().any(|r| r.contains(c))
+    }
+
+    /// Iterate all cores, range by range, each row-major.
+    pub fn iter(&self) -> impl Iterator<Item = CoreCoord> + '_ {
+        self.ranges.iter().flat_map(CoreRange::iter)
+    }
+
+    /// The underlying ranges.
+    #[must_use]
+    pub fn ranges(&self) -> &[CoreRange] {
+        &self.ranges
+    }
+}
+
+/// Static description of a chip's compute grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSize {
+    /// Columns of Tensix cores.
+    pub x: usize,
+    /// Rows of Tensix cores.
+    pub y: usize,
+}
+
+impl GridSize {
+    /// The Wormhole logical compute grid: 8×8 = 64 Tensix cores per chip.
+    pub const WORMHOLE: GridSize = GridSize { x: 8, y: 8 };
+
+    /// Total cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.x * self.y
+    }
+
+    /// Whether a coordinate is on the grid.
+    #[must_use]
+    pub fn contains(&self, c: CoreCoord) -> bool {
+        c.x < self.x && c.y < self.y
+    }
+
+    /// Full-grid range.
+    #[must_use]
+    pub fn full_range(&self) -> CoreRange {
+        CoreRange::new(CoreCoord::new(0, 0), CoreCoord::new(self.x - 1, self.y - 1))
+    }
+
+    /// Flatten a coordinate to a linear index (row-major).
+    ///
+    /// # Panics
+    /// Panics if the coordinate is off-grid.
+    #[must_use]
+    pub fn index_of(&self, c: CoreCoord) -> usize {
+        assert!(self.contains(c), "core {c} outside {}x{} grid", self.x, self.y);
+        c.y * self.x + c.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wormhole_grid_is_64_cores() {
+        assert_eq!(GridSize::WORMHOLE.num_cores(), 64);
+    }
+
+    #[test]
+    fn range_normalizes_and_counts() {
+        let r = CoreRange::new(CoreCoord::new(3, 2), CoreCoord::new(1, 5));
+        assert_eq!(r.start, CoreCoord::new(1, 2));
+        assert_eq!(r.end, CoreCoord::new(3, 5));
+        assert_eq!(r.num_cores(), 3 * 4);
+    }
+
+    #[test]
+    fn range_iter_row_major() {
+        let r = CoreRange::new(CoreCoord::new(0, 0), CoreCoord::new(1, 1));
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                CoreCoord::new(0, 0),
+                CoreCoord::new(1, 0),
+                CoreCoord::new(0, 1),
+                CoreCoord::new(1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = CoreRange::new(CoreCoord::new(1, 1), CoreCoord::new(3, 3));
+        assert!(r.contains(CoreCoord::new(2, 2)));
+        assert!(!r.contains(CoreCoord::new(0, 2)));
+        assert!(!r.contains(CoreCoord::new(2, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_rejected() {
+        let _ = CoreRangeSet::new(vec![
+            CoreRange::new(CoreCoord::new(0, 0), CoreCoord::new(2, 2)),
+            CoreRange::new(CoreCoord::new(2, 2), CoreCoord::new(4, 4)),
+        ]);
+    }
+
+    #[test]
+    fn first_n_exact_rows() {
+        let s = CoreRangeSet::first_n(16, 8);
+        assert_eq!(s.num_cores(), 16);
+        assert!(s.contains(CoreCoord::new(7, 1)));
+        assert!(!s.contains(CoreCoord::new(0, 2)));
+    }
+
+    #[test]
+    fn first_n_partial_row() {
+        let s = CoreRangeSet::first_n(11, 8);
+        assert_eq!(s.num_cores(), 11);
+        assert!(s.contains(CoreCoord::new(2, 1)));
+        assert!(!s.contains(CoreCoord::new(3, 1)));
+        let cores: Vec<_> = s.iter().collect();
+        assert_eq!(cores.len(), 11);
+    }
+
+    #[test]
+    fn grid_index_roundtrip() {
+        let g = GridSize::WORMHOLE;
+        assert_eq!(g.index_of(CoreCoord::new(0, 0)), 0);
+        assert_eq!(g.index_of(CoreCoord::new(7, 7)), 63);
+        assert_eq!(g.index_of(CoreCoord::new(3, 2)), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn grid_index_off_grid_panics() {
+        let _ = GridSize::WORMHOLE.index_of(CoreCoord::new(8, 0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-core L1 SRAM allocator.
+//!
+//! Each Tensix core has 1.5 MB of SRAM holding kernel binaries, circular
+//! buffer storage and scratch data. The simulator models it as a bump
+//! allocator with explicit free, sufficient for TT-Metalium's usage pattern
+//! (CBs are allocated at program configuration time and all freed together
+//! when the program is torn down).
+
+use crate::error::{Result, TensixError};
+use crate::grid::CoreCoord;
+
+/// L1 capacity per Tensix core: 1.5 MB.
+pub const L1_SIZE: usize = 1536 * 1024;
+
+/// Bytes reserved at the base of L1 for firmware + kernel binaries, mirroring
+/// the unusable region TT-Metalium reports.
+pub const L1_RESERVED: usize = 100 * 1024;
+
+/// One allocated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Region {
+    /// Start byte address within L1.
+    pub addr: usize,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+/// Allocator over one core's L1.
+#[derive(Debug)]
+pub struct L1Allocator {
+    core: CoreCoord,
+    /// Next free address (bump pointer).
+    top: usize,
+    /// Live allocations, used for free-all and accounting.
+    live: Vec<L1Region>,
+}
+
+impl L1Allocator {
+    /// New allocator for `core`, with the firmware region pre-reserved.
+    #[must_use]
+    pub fn new(core: CoreCoord) -> Self {
+        L1Allocator { core, top: L1_RESERVED, live: Vec::new() }
+    }
+
+    /// Allocate `len` bytes aligned to 32 B (NoC alignment requirement).
+    ///
+    /// # Errors
+    /// [`TensixError::L1OutOfMemory`] if the region does not fit.
+    pub fn alloc(&mut self, len: usize) -> Result<L1Region> {
+        let addr = align_up(self.top, 32);
+        let end = addr.checked_add(len).ok_or(TensixError::L1OutOfMemory {
+            core: self.core,
+            requested: len,
+            available: self.available(),
+        })?;
+        if end > L1_SIZE {
+            return Err(TensixError::L1OutOfMemory {
+                core: self.core,
+                requested: len,
+                available: self.available(),
+            });
+        }
+        self.top = end;
+        let region = L1Region { addr, len };
+        self.live.push(region);
+        Ok(region)
+    }
+
+    /// Bytes still allocatable.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        L1_SIZE - align_up(self.top, 32).min(L1_SIZE)
+    }
+
+    /// Bytes currently allocated (excluding the firmware reservation).
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.live.iter().map(|r| r.len).sum()
+    }
+
+    /// Number of live regions.
+    #[must_use]
+    pub fn num_regions(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Release every allocation (program teardown).
+    pub fn free_all(&mut self) {
+        self.live.clear();
+        self.top = L1_RESERVED;
+    }
+}
+
+fn align_up(v: usize, align: usize) -> usize {
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> L1Allocator {
+        L1Allocator::new(CoreCoord::new(0, 0))
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut a = alloc();
+        let r1 = a.alloc(100).unwrap();
+        let r2 = a.alloc(100).unwrap();
+        assert_eq!(r1.addr % 32, 0);
+        assert_eq!(r2.addr % 32, 0);
+        assert!(r2.addr >= r1.addr + r1.len);
+        assert_eq!(a.num_regions(), 2);
+        assert_eq!(a.used(), 200);
+    }
+
+    #[test]
+    fn firmware_region_reserved() {
+        let mut a = alloc();
+        let r = a.alloc(8).unwrap();
+        assert!(r.addr >= L1_RESERVED);
+    }
+
+    #[test]
+    fn exhausting_l1_errors() {
+        let mut a = alloc();
+        // Fill almost everything.
+        a.alloc(L1_SIZE - L1_RESERVED - 1024).unwrap();
+        let err = a.alloc(4096).unwrap_err();
+        match err {
+            TensixError::L1OutOfMemory { requested, available, .. } => {
+                assert_eq!(requested, 4096);
+                assert!(available < 4096);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_all_resets() {
+        let mut a = alloc();
+        a.alloc(1000).unwrap();
+        a.alloc(2000).unwrap();
+        a.free_all();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.available(), L1_SIZE - L1_RESERVED);
+        // Can re-allocate the full space again.
+        a.alloc(L1_SIZE - L1_RESERVED).unwrap();
+    }
+
+    #[test]
+    fn capacity_is_1_5_mb() {
+        assert_eq!(L1_SIZE, 1_572_864);
+    }
+}

@@ -1,0 +1,164 @@
+//! Network-on-Chip model.
+//!
+//! Each Tensix core interfaces with two NoCs (NoC 0 and NoC 1) through its
+//! two routers. Data-movement kernels issue asynchronous read/write
+//! transactions against DRAM banks or other cores' L1 and later wait on a
+//! barrier. The model is functional-plus-accounting: transfers complete
+//! immediately (the CB layer provides the real synchronization), while byte
+//! counts and computed cycle costs feed the timing model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cost::CostModel;
+use crate::grid::CoreCoord;
+
+/// Which of the two NoCs a transaction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocId {
+    /// NoC 0 — conventionally used for reads by the RISC-V NC core.
+    Noc0,
+    /// NoC 1 — conventionally used for writes by the RISC-V B core.
+    Noc1,
+}
+
+/// Aggregate NoC statistics.
+#[derive(Debug, Default)]
+pub struct NocStats {
+    read_bytes: [AtomicU64; 2],
+    write_bytes: [AtomicU64; 2],
+    transactions: [AtomicU64; 2],
+}
+
+/// The NoC subsystem of one device.
+#[derive(Debug, Default)]
+pub struct NocModel {
+    stats: NocStats,
+}
+
+impl NocModel {
+    /// Fresh NoC model.
+    #[must_use]
+    pub fn new() -> Self {
+        NocModel::default()
+    }
+
+    /// Manhattan hop count between two cores on the grid (the NoC is a
+    /// torus, but TT-Metalium routes dimension-ordered without wraparound
+    /// for unicast, which Manhattan distance approximates well).
+    #[must_use]
+    pub fn hops(a: CoreCoord, b: CoreCoord) -> usize {
+        a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+    }
+
+    /// Account an async read of `bytes` over `noc` spanning `hops` routers;
+    /// returns the cycle cost to charge the issuing data-movement core.
+    pub fn read(&self, model: &CostModel, noc: NocId, bytes: usize, hops: usize) -> u64 {
+        let i = noc as usize;
+        self.stats.read_bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats.transactions[i].fetch_add(1, Ordering::Relaxed);
+        model.noc_transfer_cycles(bytes, hops)
+    }
+
+    /// Account an async write; returns the cycle cost.
+    pub fn write(&self, model: &CostModel, noc: NocId, bytes: usize, hops: usize) -> u64 {
+        let i = noc as usize;
+        self.stats.write_bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats.transactions[i].fetch_add(1, Ordering::Relaxed);
+        model.noc_transfer_cycles(bytes, hops)
+    }
+
+    /// Bytes read so far on `noc`.
+    #[must_use]
+    pub fn read_bytes(&self, noc: NocId) -> u64 {
+        self.stats.read_bytes[noc as usize].load(Ordering::Relaxed)
+    }
+
+    /// Bytes written so far on `noc`.
+    #[must_use]
+    pub fn write_bytes(&self, noc: NocId) -> u64 {
+        self.stats.write_bytes[noc as usize].load(Ordering::Relaxed)
+    }
+
+    /// Transactions issued on `noc`.
+    #[must_use]
+    pub fn transactions(&self, noc: NocId) -> u64 {
+        self.stats.transactions[noc as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved on both NoCs.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes(NocId::Noc0)
+            + self.read_bytes(NocId::Noc1)
+            + self.write_bytes(NocId::Noc0)
+            + self.write_bytes(NocId::Noc1)
+    }
+
+    /// Zero all counters.
+    pub fn reset_stats(&self) {
+        for i in 0..2 {
+            self.stats.read_bytes[i].store(0, Ordering::Relaxed);
+            self.stats.write_bytes[i].store(0, Ordering::Relaxed);
+            self.stats.transactions[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_count_is_manhattan() {
+        assert_eq!(NocModel::hops(CoreCoord::new(0, 0), CoreCoord::new(3, 4)), 7);
+        assert_eq!(NocModel::hops(CoreCoord::new(5, 2), CoreCoord::new(1, 2)), 4);
+        assert_eq!(NocModel::hops(CoreCoord::new(2, 2), CoreCoord::new(2, 2)), 0);
+    }
+
+    #[test]
+    fn read_write_accounting_split_by_noc() {
+        let noc = NocModel::new();
+        let m = CostModel::default();
+        noc.read(&m, NocId::Noc0, 4096, 2);
+        noc.write(&m, NocId::Noc1, 2048, 1);
+        noc.write(&m, NocId::Noc1, 2048, 1);
+        assert_eq!(noc.read_bytes(NocId::Noc0), 4096);
+        assert_eq!(noc.read_bytes(NocId::Noc1), 0);
+        assert_eq!(noc.write_bytes(NocId::Noc1), 4096);
+        assert_eq!(noc.transactions(NocId::Noc0), 1);
+        assert_eq!(noc.transactions(NocId::Noc1), 2);
+        assert_eq!(noc.total_bytes(), 8192);
+        noc.reset_stats();
+        assert_eq!(noc.total_bytes(), 0);
+    }
+
+    #[test]
+    fn cycle_cost_grows_with_distance() {
+        let noc = NocModel::new();
+        let m = CostModel::default();
+        let near = noc.read(&m, NocId::Noc0, 4096, 0);
+        let far = noc.read(&m, NocId::Noc0, 4096, 14);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn concurrent_accounting_is_consistent() {
+        use std::sync::Arc;
+        let noc = Arc::new(NocModel::new());
+        let m = CostModel::default();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let n = Arc::clone(&noc);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    n.read(&m, NocId::Noc0, 64, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(noc.read_bytes(NocId::Noc0), 8 * 1000 * 64);
+        assert_eq!(noc.transactions(NocId::Noc0), 8000);
+    }
+}

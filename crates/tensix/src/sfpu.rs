@@ -1,0 +1,276 @@
+//! SFPU — the wide SIMD engine of a Tensix core.
+//!
+//! The SFPU executes general-purpose vector math on dst register tiles:
+//! element-wise unary ops (including the transcendentals the force kernel
+//! needs: `rsqrt`, `square`, reciprocal), element-wise binary ops between two
+//! dst tiles (`sub_binary_tile` and friends from the paper), and fused
+//! multiply-add for accumulation. All arithmetic is IEEE `f32`, the highest
+//! precision the Wormhole supports.
+//!
+//! `rsqrt` ships in two variants mirroring TT-Metalium: a *precise* one and a
+//! *fast* approximate one (hardware Newton–Raphson refinement of an initial
+//! guess), so accuracy studies can quantify the trade-off.
+
+use crate::cost::ComputeCosts;
+use crate::tile::{Tile, TILE_ELEMS};
+
+/// Element-wise unary SFPU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// x²
+    Square,
+    /// √x
+    Sqrt,
+    /// 1/√x (precise variant)
+    Rsqrt,
+    /// 1/√x (fast approximate variant, ~1e-6 relative error)
+    RsqrtFast,
+    /// 1/x
+    Recip,
+    /// eˣ
+    Exp,
+    /// ln x
+    Log,
+    /// |x|
+    Abs,
+    /// −x
+    Neg,
+    /// x · 2ᵏ handled via [`apply_unary_scaled`]; plain copy here.
+    Identity,
+}
+
+/// Element-wise binary SFPU operations between two dst tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// a + b
+    Add,
+    /// a − b
+    Sub,
+    /// a · b
+    Mul,
+    /// min(a, b)
+    Min,
+    /// max(a, b)
+    Max,
+}
+
+/// Fast inverse square root as implemented by SFPU microcode: bit-trick
+/// initial guess + two Newton–Raphson iterations.
+#[must_use]
+pub fn rsqrt_fast(x: f32) -> f32 {
+    if x <= 0.0 {
+        return if x == 0.0 { f32::INFINITY } else { f32::NAN };
+    }
+    let i = 0x5f37_59df_u32.wrapping_sub(x.to_bits() >> 1);
+    let mut y = f32::from_bits(i);
+    let half = 0.5 * x;
+    y *= 1.5 - half * y * y;
+    y *= 1.5 - half * y * y;
+    y
+}
+
+/// Scalar semantics of a unary op (f32, device precision).
+#[must_use]
+pub fn unary_scalar(op: UnaryOp, x: f32) -> f32 {
+    match op {
+        UnaryOp::Square => x * x,
+        UnaryOp::Sqrt => x.sqrt(),
+        UnaryOp::Rsqrt => 1.0 / x.sqrt(),
+        UnaryOp::RsqrtFast => rsqrt_fast(x),
+        UnaryOp::Recip => 1.0 / x,
+        UnaryOp::Exp => x.exp(),
+        UnaryOp::Log => x.ln(),
+        UnaryOp::Abs => x.abs(),
+        UnaryOp::Neg => -x,
+        UnaryOp::Identity => x,
+    }
+}
+
+/// Scalar semantics of a binary op (f32, device precision).
+#[must_use]
+pub fn binary_scalar(op: BinaryOp, a: f32, b: f32) -> f32 {
+    match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Min => a.min(b),
+        BinaryOp::Max => a.max(b),
+    }
+}
+
+/// Apply a unary op in place to every lane of a dst tile. Returns the cycle
+/// cost.
+pub fn apply_unary(costs: &ComputeCosts, op: UnaryOp, tile: &mut Tile) -> u64 {
+    for lane in tile.as_mut_slice().iter_mut() {
+        *lane = unary_scalar(op, *lane);
+    }
+    costs.issue_overhead + unary_cost(costs, op)
+}
+
+/// Apply `tile[i] = op(tile[i]) * scale + bias` in one pass (used for
+/// softening and unit conversions without extra tile traffic).
+pub fn apply_unary_scaled(
+    costs: &ComputeCosts,
+    op: UnaryOp,
+    tile: &mut Tile,
+    scale: f32,
+    bias: f32,
+) -> u64 {
+    for lane in tile.as_mut_slice().iter_mut() {
+        *lane = unary_scalar(op, *lane) * scale + bias;
+    }
+    costs.issue_overhead + unary_cost(costs, op) + costs.sfpu_mad
+}
+
+/// Apply a binary op lane-wise: `a[i] = op(a[i], b[i])`. Returns cycle cost.
+pub fn apply_binary(costs: &ComputeCosts, op: BinaryOp, a: &mut Tile, b: &Tile) -> u64 {
+    let bs = b.as_slice();
+    for (x, y) in a.as_mut_slice().iter_mut().zip(bs.iter()) {
+        *x = binary_scalar(op, *x, *y);
+    }
+    costs.issue_overhead + costs.sfpu_simple
+}
+
+/// Fused multiply-add: `acc[i] += a[i] * b[i]`. Returns cycle cost.
+pub fn apply_mad(costs: &ComputeCosts, a: &Tile, b: &Tile, acc: &mut Tile) -> u64 {
+    let (va, vb) = (a.as_slice(), b.as_slice());
+    for i in 0..TILE_ELEMS {
+        let out = &mut acc.as_mut_slice()[i];
+        *out = va[i].mul_add(vb[i], *out);
+    }
+    costs.issue_overhead + costs.sfpu_mad
+}
+
+/// Fill every lane with a constant (`fill_tile` LLK).
+pub fn apply_fill(costs: &ComputeCosts, tile: &mut Tile, value: f32) -> u64 {
+    for lane in tile.as_mut_slice().iter_mut() {
+        *lane = value;
+    }
+    costs.issue_overhead + costs.sfpu_simple
+}
+
+/// Cycle cost of a unary op per tile.
+#[must_use]
+pub fn unary_cost(costs: &ComputeCosts, op: UnaryOp) -> u64 {
+    match op {
+        UnaryOp::Square | UnaryOp::Abs | UnaryOp::Neg | UnaryOp::Identity => costs.sfpu_simple,
+        UnaryOp::RsqrtFast => costs.sfpu_transcendental / 2,
+        UnaryOp::Sqrt | UnaryOp::Rsqrt | UnaryOp::Recip | UnaryOp::Exp | UnaryOp::Log => {
+            costs.sfpu_transcendental
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataFormat;
+
+    fn costs() -> ComputeCosts {
+        ComputeCosts::default()
+    }
+
+    fn ramp_tile() -> Tile {
+        let vals: Vec<f32> = (1..=TILE_ELEMS).map(|i| i as f32).collect();
+        Tile::from_rowmajor(DataFormat::Float32, &vals)
+    }
+
+    #[test]
+    fn square_matches_scalar() {
+        let mut t = ramp_tile();
+        let cycles = apply_unary(&costs(), UnaryOp::Square, &mut t);
+        assert_eq!(t.get(0, 2), 9.0);
+        assert_eq!(cycles, 4 + 32);
+    }
+
+    #[test]
+    fn rsqrt_precise_matches_f32() {
+        let mut t = Tile::splat(DataFormat::Float32, 4.0);
+        apply_unary(&costs(), UnaryOp::Rsqrt, &mut t);
+        assert_eq!(t.get(0, 0), 0.5);
+    }
+
+    #[test]
+    fn rsqrt_fast_within_1e5_relative() {
+        let mut x = 1e-6f32;
+        while x < 1e12 {
+            let approx = rsqrt_fast(x);
+            let exact = 1.0 / x.sqrt();
+            let rel = ((approx - exact) / exact).abs();
+            assert!(rel < 1e-5, "rel {rel} at {x}");
+            x *= 9.7;
+        }
+    }
+
+    #[test]
+    fn rsqrt_fast_edge_cases() {
+        assert_eq!(rsqrt_fast(0.0), f32::INFINITY);
+        assert!(rsqrt_fast(-1.0).is_nan());
+    }
+
+    #[test]
+    fn transcendental_costs_more() {
+        let c = costs();
+        let mut t = Tile::splat(DataFormat::Float32, 2.0);
+        let simple = apply_unary(&c, UnaryOp::Square, &mut t);
+        let tr = apply_unary(&c, UnaryOp::Rsqrt, &mut t);
+        assert!(tr > simple);
+        // Fast rsqrt is cheaper than precise.
+        let fast = apply_unary(&c, UnaryOp::RsqrtFast, &mut t);
+        assert!(fast < tr);
+    }
+
+    #[test]
+    fn binary_sub_is_the_paper_sub_binary_tile() {
+        let mut a = Tile::splat(DataFormat::Float32, 5.0);
+        let b = Tile::splat(DataFormat::Float32, 2.0);
+        apply_binary(&costs(), BinaryOp::Sub, &mut a, &b);
+        assert_eq!(a.get(3, 3), 3.0);
+    }
+
+    #[test]
+    fn binary_ops_all_lanes() {
+        let mut a = ramp_tile();
+        let b = ramp_tile();
+        apply_binary(&costs(), BinaryOp::Mul, &mut a, &b);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 3), 16.0);
+        let mut mn = ramp_tile();
+        apply_binary(&costs(), BinaryOp::Min, &mut mn, &Tile::splat(DataFormat::Float32, 10.0));
+        assert_eq!(mn.get(0, 0), 1.0);
+        assert_eq!(mn.get(31, 31), 10.0);
+    }
+
+    #[test]
+    fn mad_accumulates() {
+        let a = Tile::splat(DataFormat::Float32, 2.0);
+        let b = Tile::splat(DataFormat::Float32, 3.0);
+        let mut acc = Tile::splat(DataFormat::Float32, 1.0);
+        apply_mad(&costs(), &a, &b, &mut acc);
+        assert_eq!(acc.get(0, 0), 7.0);
+        apply_mad(&costs(), &a, &b, &mut acc);
+        assert_eq!(acc.get(5, 5), 13.0);
+    }
+
+    #[test]
+    fn unary_scaled_fuses() {
+        let mut t = Tile::splat(DataFormat::Float32, 3.0);
+        apply_unary_scaled(&costs(), UnaryOp::Square, &mut t, 2.0, 1.0);
+        assert_eq!(t.get(0, 0), 19.0);
+    }
+
+    #[test]
+    fn fill_sets_all_lanes() {
+        let mut t = ramp_tile();
+        apply_fill(&costs(), &mut t, -4.25);
+        assert!(t.as_slice().iter().all(|v| *v == -4.25));
+    }
+
+    #[test]
+    fn exp_log_inverse() {
+        let mut t = Tile::splat(DataFormat::Float32, 2.5);
+        apply_unary(&costs(), UnaryOp::Log, &mut t);
+        apply_unary(&costs(), UnaryOp::Exp, &mut t);
+        assert!((t.get(0, 0) - 2.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,333 @@
+//! 32×32 tiles — the unit of data movement and compute on the Wormhole.
+//!
+//! A tile is a 32×32 matrix of scalars. In DRAM and L1 a tile is stored
+//! *tilized*: split into four 16×16 faces (top-left, top-right, bottom-left,
+//! bottom-right), each face row-major, faces concatenated. Tilizing makes each
+//! tile contiguous in memory, which is what enables the efficient DRAM/NoC
+//! streaming the paper relies on.
+//!
+//! The simulator keeps live tile values as `f32` and applies the storage
+//! format's quantization on construction/packing, so FP32 tiles are exact and
+//! BF16/FP16 tiles carry representative rounding error.
+
+use crate::dtype::DataFormat;
+
+/// Elements along one side of a tile.
+pub const TILE_DIM: usize = 32;
+/// Elements in a full tile.
+pub const TILE_ELEMS: usize = TILE_DIM * TILE_DIM;
+/// Elements along one side of a face.
+pub const FACE_DIM: usize = 16;
+/// Elements in one face.
+pub const FACE_ELEMS: usize = FACE_DIM * FACE_DIM;
+
+/// A 32×32 tile of scalars in a given storage format.
+///
+/// Internally values are stored in *row-major* order (not tilized); the
+/// tilized byte layout is produced on demand by [`Tile::to_tilized`] and
+/// consumed by [`Tile::from_tilized`].
+#[derive(Clone, Debug)]
+pub struct Tile {
+    format: DataFormat,
+    data: Box<[f32; TILE_ELEMS]>,
+}
+
+impl Tile {
+    /// A tile of zeros.
+    #[must_use]
+    pub fn zeros(format: DataFormat) -> Self {
+        Tile { format, data: Box::new([0.0; TILE_ELEMS]) }
+    }
+
+    /// A tile with every element equal to `v` (quantized to `format`).
+    #[must_use]
+    pub fn splat(format: DataFormat, v: f32) -> Self {
+        let q = format.quantize(v);
+        Tile { format, data: Box::new([q; TILE_ELEMS]) }
+    }
+
+    /// Build a tile from exactly [`TILE_ELEMS`] row-major values, quantizing
+    /// to the storage format.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != 1024`.
+    #[must_use]
+    pub fn from_rowmajor(format: DataFormat, values: &[f32]) -> Self {
+        assert_eq!(values.len(), TILE_ELEMS, "a tile holds exactly 1024 elements");
+        let mut data = Box::new([0.0; TILE_ELEMS]);
+        for (d, v) in data.iter_mut().zip(values) {
+            *d = format.quantize(*v);
+        }
+        Tile { format, data }
+    }
+
+    /// Storage format of this tile.
+    #[must_use]
+    pub fn format(&self) -> DataFormat {
+        self.format
+    }
+
+    /// Row-major element view.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32; TILE_ELEMS] {
+        &self.data
+    }
+
+    /// Mutable row-major element view. Callers are responsible for writing
+    /// format-representable values (compute units quantize on pack).
+    pub fn as_mut_slice(&mut self) -> &mut [f32; TILE_ELEMS] {
+        &mut self.data
+    }
+
+    /// Element at matrix position (`row`, `col`).
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * TILE_DIM + col]
+    }
+
+    /// Set element at matrix position (`row`, `col`), quantizing to the
+    /// storage format.
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        self.data[row * TILE_DIM + col] = self.format.quantize(v);
+    }
+
+    /// Re-quantize every element to `format` and change the storage format.
+    #[must_use]
+    pub fn convert(&self, format: DataFormat) -> Tile {
+        let mut out = Tile::zeros(format);
+        for (o, v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = format.quantize(*v);
+        }
+        out
+    }
+
+    /// Produce the tilized (face-ordered) value sequence: face 0 (rows 0–15,
+    /// cols 0–15), face 1 (rows 0–15, cols 16–31), face 2, face 3, each face
+    /// row-major.
+    #[must_use]
+    pub fn to_tilized(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(TILE_ELEMS);
+        for face in 0..4 {
+            let row0 = (face / 2) * FACE_DIM;
+            let col0 = (face % 2) * FACE_DIM;
+            for r in 0..FACE_DIM {
+                for c in 0..FACE_DIM {
+                    out.push(self.get(row0 + r, col0 + c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstruct a tile from a tilized value sequence.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != 1024`.
+    #[must_use]
+    pub fn from_tilized(format: DataFormat, values: &[f32]) -> Self {
+        assert_eq!(values.len(), TILE_ELEMS, "a tile holds exactly 1024 elements");
+        let mut tile = Tile::zeros(format);
+        let mut it = values.iter();
+        for face in 0..4 {
+            let row0 = (face / 2) * FACE_DIM;
+            let col0 = (face % 2) * FACE_DIM;
+            for r in 0..FACE_DIM {
+                for c in 0..FACE_DIM {
+                    tile.set(row0 + r, col0 + c, *it.next().expect("length checked"));
+                }
+            }
+        }
+        tile
+    }
+
+    /// Packed size of this tile in bytes.
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.format.tile_bytes()
+    }
+}
+
+/// Tilize a row-major matrix of `rows × cols` values (both multiples of 32)
+/// into a row of tiles, tile-row-major: the tile covering matrix rows 0–31 and
+/// cols 0–31 first, then cols 32–63, etc.
+///
+/// This is the host-side `tilize` operation TT-Metalium performs before
+/// writing tensors to DRAM.
+///
+/// # Panics
+/// Panics unless `rows` and `cols` are nonzero multiples of 32 and
+/// `values.len() == rows * cols`.
+#[must_use]
+pub fn tilize(format: DataFormat, values: &[f32], rows: usize, cols: usize) -> Vec<Tile> {
+    assert!(rows > 0 && rows.is_multiple_of(TILE_DIM), "rows must be a multiple of 32");
+    assert!(cols > 0 && cols.is_multiple_of(TILE_DIM), "cols must be a multiple of 32");
+    assert_eq!(values.len(), rows * cols);
+    let tile_rows = rows / TILE_DIM;
+    let tile_cols = cols / TILE_DIM;
+    let mut tiles = Vec::with_capacity(tile_rows * tile_cols);
+    for tr in 0..tile_rows {
+        for tc in 0..tile_cols {
+            let mut tile = Tile::zeros(format);
+            for r in 0..TILE_DIM {
+                let src = (tr * TILE_DIM + r) * cols + tc * TILE_DIM;
+                for c in 0..TILE_DIM {
+                    tile.set(r, c, values[src + c]);
+                }
+            }
+            tiles.push(tile);
+        }
+    }
+    tiles
+}
+
+/// Inverse of [`tilize`]: reassemble the row-major matrix from its tiles.
+///
+/// # Panics
+/// Panics unless the tile count matches `rows/32 * cols/32`.
+#[must_use]
+pub fn untilize(tiles: &[Tile], rows: usize, cols: usize) -> Vec<f32> {
+    assert!(rows.is_multiple_of(TILE_DIM) && cols.is_multiple_of(TILE_DIM));
+    let tile_cols = cols / TILE_DIM;
+    assert_eq!(tiles.len(), (rows / TILE_DIM) * tile_cols);
+    let mut out = vec![0.0f32; rows * cols];
+    for (i, tile) in tiles.iter().enumerate() {
+        let tr = i / tile_cols;
+        let tc = i % tile_cols;
+        for r in 0..TILE_DIM {
+            let dst = (tr * TILE_DIM + r) * cols + tc * TILE_DIM;
+            for c in 0..TILE_DIM {
+                out[dst + c] = tile.get(r, c);
+            }
+        }
+    }
+    out
+}
+
+/// Pack a flat vector of length `n` into `ceil(n / 1024)` tiles, padding the
+/// tail with `pad`. This is the 1-D packing the N-body port uses: "organized
+/// into tiles, where each tile holds 1024 elements".
+#[must_use]
+pub fn pack_vector(format: DataFormat, values: &[f32], pad: f32) -> Vec<Tile> {
+    let mut tiles = Vec::with_capacity(values.len().div_ceil(TILE_ELEMS));
+    for chunk in values.chunks(TILE_ELEMS) {
+        let mut buf = [pad; TILE_ELEMS];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        tiles.push(Tile::from_rowmajor(format, &buf));
+    }
+    tiles
+}
+
+/// Inverse of [`pack_vector`]: flatten tiles and truncate to `n` values.
+#[must_use]
+pub fn unpack_vector(tiles: &[Tile], n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(tiles.len() * TILE_ELEMS);
+    for t in tiles {
+        out.extend_from_slice(t.as_slice());
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn splat_and_get() {
+        let t = Tile::splat(DataFormat::Float32, 3.25);
+        assert_eq!(t.get(0, 0), 3.25);
+        assert_eq!(t.get(31, 31), 3.25);
+    }
+
+    #[test]
+    fn from_rowmajor_roundtrip() {
+        let vals = ramp(TILE_ELEMS);
+        let t = Tile::from_rowmajor(DataFormat::Float32, &vals);
+        assert_eq!(t.as_slice()[..], vals[..]);
+        assert_eq!(t.get(1, 0), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1024")]
+    fn from_rowmajor_wrong_len_panics() {
+        let _ = Tile::from_rowmajor(DataFormat::Float32, &[0.0; 100]);
+    }
+
+    #[test]
+    fn tilized_face_order() {
+        let vals = ramp(TILE_ELEMS);
+        let t = Tile::from_rowmajor(DataFormat::Float32, &vals);
+        let tz = t.to_tilized();
+        // First face element = matrix (0,0); second face starts at (0,16).
+        assert_eq!(tz[0], 0.0);
+        assert_eq!(tz[FACE_ELEMS], 16.0);
+        // Third face starts at (16, 0) = 16*32.
+        assert_eq!(tz[2 * FACE_ELEMS], 512.0);
+        // Fourth face starts at (16,16).
+        assert_eq!(tz[3 * FACE_ELEMS], 528.0);
+    }
+
+    #[test]
+    fn tilized_roundtrip() {
+        let vals = ramp(TILE_ELEMS);
+        let t = Tile::from_rowmajor(DataFormat::Float32, &vals);
+        let back = Tile::from_tilized(DataFormat::Float32, &t.to_tilized());
+        assert_eq!(back.as_slice()[..], vals[..]);
+    }
+
+    #[test]
+    fn tilize_untilize_identity() {
+        let (rows, cols) = (64, 96);
+        let vals = ramp(rows * cols);
+        let tiles = tilize(DataFormat::Float32, &vals, rows, cols);
+        assert_eq!(tiles.len(), 2 * 3);
+        assert_eq!(untilize(&tiles, rows, cols), vals);
+    }
+
+    #[test]
+    fn tilize_tile_ordering() {
+        let (rows, cols) = (32, 64);
+        let vals = ramp(rows * cols);
+        let tiles = tilize(DataFormat::Float32, &vals, rows, cols);
+        // Second tile covers cols 32..64 of row 0.
+        assert_eq!(tiles[1].get(0, 0), 32.0);
+    }
+
+    #[test]
+    fn bf16_tile_quantizes() {
+        let t = Tile::splat(DataFormat::Float16b, 1.0 + 1.0 / 1024.0);
+        // 1.0009765625 is not bf16-representable; snaps to 1.0.
+        assert_eq!(t.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn convert_changes_format_and_precision() {
+        let t = Tile::splat(DataFormat::Float32, 1.0 + 1.0 / 1024.0);
+        let b = t.convert(DataFormat::Float16b);
+        assert_eq!(b.format(), DataFormat::Float16b);
+        assert_eq!(b.get(5, 5), 1.0);
+        assert_eq!(b.packed_bytes(), 2048);
+    }
+
+    #[test]
+    fn pack_vector_pads_tail() {
+        let vals = ramp(1500);
+        let tiles = pack_vector(DataFormat::Float32, &vals, 0.0);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[1].as_slice()[1500 - 1024 - 1], vals[1500 - 1]);
+        assert_eq!(tiles[1].as_slice()[1500 - 1024], 0.0, "tail is padded");
+        assert_eq!(unpack_vector(&tiles, 1500), vals);
+    }
+
+    #[test]
+    fn pack_vector_exact_multiple() {
+        let vals = ramp(2048);
+        let tiles = pack_vector(DataFormat::Float32, &vals, -1.0);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(unpack_vector(&tiles, 2048), vals);
+    }
+}

@@ -1,0 +1,722 @@
+//! Kernel execution contexts — the in-kernel API surface.
+//!
+//! [`DataMovementCtx`] exposes what `dataflow_api.h` gives a reader/writer
+//! kernel: NoC async reads/writes against interleaved DRAM buffers and the
+//! consumer/producer halves of the CB protocol. [`ComputeCtx`] exposes the
+//! compute-kernel LLK calls the paper names (`sub_binary_tile`,
+//! `square_tile`, `rsqrt_tile`, `copy_tile`, `pack_tile`, …) plus the
+//! `tile_regs_*` dst-ownership protocol.
+//!
+//! Every operation charges its cycle cost to the context's counter; the
+//! queue aggregates counters into the device's virtual time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tensix::cb::CircularBuffer;
+use tensix::dst::DstRegisters;
+use tensix::fpu;
+use tensix::grid::CoreCoord;
+use tensix::sfpu::{self, BinaryOp, UnaryOp};
+use tensix::srcreg::{SrcReg, SrcRegisters};
+use tensix::{CycleCounter, DataFormat, Device, NocId, Tile};
+
+use crate::buffer::BufferRef;
+use crate::semaphore::Semaphore;
+
+/// Map of CB index → instantiated circular buffer for one core.
+pub type CbMap = HashMap<u8, CircularBuffer>;
+
+/// Map of semaphore index → instantiated semaphore for one core.
+pub type SemMap = HashMap<u8, Semaphore>;
+
+fn sem_of(sems: &SemMap, core: CoreCoord, index: u8) -> &Semaphore {
+    sems.get(&index).unwrap_or_else(|| {
+        panic!("semaphore {index} is not configured on core {core}")
+    })
+}
+
+fn cb_of(cbs: &CbMap, core: CoreCoord, index: u8) -> &CircularBuffer {
+    cbs.get(&index).unwrap_or_else(|| {
+        panic!("circular buffer {index} is not configured on core {core}")
+    })
+}
+
+/// Context handed to a [`crate::kernel::DataMovementKernel`].
+pub struct DataMovementCtx {
+    device: Arc<Device>,
+    core: CoreCoord,
+    noc: NocId,
+    cbs: CbMap,
+    sems: SemMap,
+    args: Vec<u32>,
+    counter: CycleCounter,
+}
+
+impl DataMovementCtx {
+    pub(crate) fn new(
+        device: Arc<Device>,
+        core: CoreCoord,
+        noc: NocId,
+        cbs: CbMap,
+        sems: SemMap,
+        args: Vec<u32>,
+    ) -> Self {
+        DataMovementCtx { device, core, noc, cbs, sems, args, counter: CycleCounter::new() }
+    }
+
+    /// `noc_semaphore_set`: overwrite semaphore `index` on this core.
+    pub fn noc_semaphore_set(&mut self, index: u8, value: u32) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        sem_of(&self.sems, self.core, index).set(value);
+    }
+
+    /// `noc_semaphore_inc`: add to semaphore `index` on this core.
+    pub fn noc_semaphore_inc(&mut self, index: u8, delta: u32) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        sem_of(&self.sems, self.core, index).inc(delta);
+    }
+
+    /// `noc_semaphore_wait`: block until semaphore `index` equals `target`.
+    pub fn noc_semaphore_wait(&mut self, index: u8, target: u32) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        sem_of(&self.sems, self.core, index).wait(target);
+    }
+
+    /// The core this kernel instance runs on.
+    #[must_use]
+    pub fn core(&self) -> CoreCoord {
+        self.core
+    }
+
+    /// Per-core runtime arguments (`get_arg_val<uint32_t>` equivalent).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range — matching the UB a real kernel would
+    /// hit, but loudly.
+    #[must_use]
+    pub fn arg(&self, i: usize) -> u32 {
+        *self.args.get(i).unwrap_or_else(|| {
+            panic!("runtime arg {i} missing on core {} ({} provided)", self.core, self.args.len())
+        })
+    }
+
+    /// Number of runtime args.
+    #[must_use]
+    pub fn num_args(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Cycles accumulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.counter.cycles()
+    }
+
+    pub(crate) fn take_cycles(&self) -> u64 {
+        self.counter.cycles()
+    }
+
+    /// Async NoC read of one tile page from an interleaved DRAM buffer
+    /// (`noc_async_read_tile`). Returns the tile; the matching barrier is
+    /// implicit (the simulator completes transfers eagerly but charges the
+    /// full cost).
+    ///
+    /// # Panics
+    /// Panics on out-of-range pages (a hardware kernel would fetch garbage).
+    #[must_use]
+    pub fn noc_async_read_tile(&mut self, buf: BufferRef, page: usize) -> Tile {
+        let bytes = buf.format.tile_bytes();
+        // DRAM banks sit on the chip perimeter; charge a representative hop
+        // count from this core to the bank for page's channel.
+        let hops = 2 + tensix::dram::DramModel::channel_of_page(page) % 4;
+        let cycles = self.device.noc().read(self.device.costs(), self.noc, bytes, hops);
+        self.counter.add(cycles);
+        self.device
+            .dram()
+            .read_tile(buf.id, page)
+            .unwrap_or_else(|e| panic!("noc_async_read_tile({page}): {e}"))
+    }
+
+    /// Async NoC write of one tile page to an interleaved DRAM buffer
+    /// (`noc_async_write_tile`).
+    ///
+    /// # Panics
+    /// Panics on out-of-range pages.
+    pub fn noc_async_write_tile(&mut self, buf: BufferRef, page: usize, tile: &Tile) {
+        let bytes = buf.format.tile_bytes();
+        let hops = 2 + tensix::dram::DramModel::channel_of_page(page) % 4;
+        let cycles = self.device.noc().write(self.device.costs(), self.noc, bytes, hops);
+        self.counter.add(cycles);
+        self.device
+            .dram()
+            .write_tile(buf.id, page, tile)
+            .unwrap_or_else(|e| panic!("noc_async_write_tile({page}): {e}"));
+    }
+
+    /// `noc_async_read_barrier` / `noc_async_write_barrier`: waits for
+    /// outstanding transactions. Functionally a no-op here (transfers are
+    /// eager); charges a small synchronization cost.
+    pub fn noc_barrier(&mut self) {
+        self.counter.add(self.device.costs().compute.cb_op);
+    }
+
+    /// Producer: block until `n` pages are free in `cb` and reserve them.
+    pub fn cb_reserve_back(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).reserve_back(n);
+    }
+
+    /// Producer: write one tile into space reserved in `cb`.
+    pub fn cb_write_tile(&mut self, cb: u8, tile: &Tile) {
+        self.counter.add(self.device.costs().compute.unpack_tile);
+        cb_of(&self.cbs, self.core, cb).write_tile(tile);
+    }
+
+    /// Producer: publish `n` written pages.
+    pub fn cb_push_back(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).push_back(n);
+    }
+
+    /// Consumer: block until `n` pages are visible.
+    pub fn cb_wait_front(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).wait_front(n);
+    }
+
+    /// Consumer: read the `idx`-th visible page without consuming.
+    #[must_use]
+    pub fn cb_peek_tile(&mut self, cb: u8, idx: usize) -> Tile {
+        self.counter.add(self.device.costs().compute.unpack_tile);
+        cb_of(&self.cbs, self.core, cb).peek_tile(idx)
+    }
+
+    /// Consumer: release `n` pages.
+    pub fn cb_pop_front(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).pop_front(n);
+    }
+
+    /// Convenience reader idiom: reserve, NoC-read a DRAM page into the CB,
+    /// push. One call per tile keeps reader kernels close to the TT-Metalium
+    /// originals without the pointer plumbing.
+    pub fn read_page_to_cb(&mut self, cb: u8, buf: BufferRef, page: usize) {
+        self.cb_reserve_back(cb, 1);
+        let tile = self.noc_async_read_tile(buf, page);
+        self.noc_barrier();
+        self.cb_write_tile(cb, &tile);
+        self.cb_push_back(cb, 1);
+    }
+
+    /// Convenience writer idiom: wait on a CB page, NoC-write it to DRAM,
+    /// pop.
+    pub fn write_cb_to_page(&mut self, cb: u8, buf: BufferRef, page: usize) {
+        self.cb_wait_front(cb, 1);
+        let tile = self.cb_peek_tile(cb, 0);
+        self.noc_async_write_tile(buf, page, &tile);
+        self.noc_barrier();
+        self.cb_pop_front(cb, 1);
+    }
+}
+
+/// Context handed to a [`crate::kernel::ComputeKernel`].
+pub struct ComputeCtx {
+    device: Arc<Device>,
+    core: CoreCoord,
+    cbs: CbMap,
+    sems: SemMap,
+    args: Vec<u32>,
+    dst: DstRegisters,
+    src: SrcRegisters,
+    counter: CycleCounter,
+}
+
+impl ComputeCtx {
+    pub(crate) fn new(
+        device: Arc<Device>,
+        core: CoreCoord,
+        format: DataFormat,
+        cbs: CbMap,
+        sems: SemMap,
+        args: Vec<u32>,
+    ) -> Self {
+        ComputeCtx {
+            device,
+            core,
+            cbs,
+            sems,
+            args,
+            dst: DstRegisters::new(format),
+            src: SrcRegisters::new(),
+            counter: CycleCounter::new(),
+        }
+    }
+
+    /// `noc_semaphore_inc` from the compute kernel.
+    pub fn noc_semaphore_inc(&mut self, index: u8, delta: u32) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        sem_of(&self.sems, self.core, index).inc(delta);
+    }
+
+    /// `noc_semaphore_wait` from the compute kernel.
+    pub fn noc_semaphore_wait(&mut self, index: u8, target: u32) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        sem_of(&self.sems, self.core, index).wait(target);
+    }
+
+    /// The core this kernel instance runs on.
+    #[must_use]
+    pub fn core(&self) -> CoreCoord {
+        self.core
+    }
+
+    /// Per-core runtime arguments.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn arg(&self, i: usize) -> u32 {
+        *self.args.get(i).unwrap_or_else(|| {
+            panic!("runtime arg {i} missing on core {} ({} provided)", self.core, self.args.len())
+        })
+    }
+
+    /// Cycles accumulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.counter.cycles()
+    }
+
+    pub(crate) fn take_cycles(&self) -> u64 {
+        self.counter.cycles()
+    }
+
+    /// Dst capacity in tiles for the active math format (16 in BF16, 8 in
+    /// FP32 — the paper's register-budget constraint).
+    #[must_use]
+    pub fn dst_capacity(&self) -> usize {
+        self.dst.capacity()
+    }
+
+    // --- CB protocol (consumer/producer sides used by compute) ---
+
+    /// Block until `n` pages are visible in `cb`.
+    pub fn cb_wait_front(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).wait_front(n);
+    }
+
+    /// Release `n` pages from `cb`.
+    pub fn cb_pop_front(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).pop_front(n);
+    }
+
+    /// Reserve `n` pages in `cb` for packing results.
+    pub fn cb_reserve_back(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).reserve_back(n);
+    }
+
+    /// Publish `n` packed pages.
+    pub fn cb_push_back(&mut self, cb: u8, n: usize) {
+        self.counter.add(self.device.costs().compute.cb_op);
+        cb_of(&self.cbs, self.core, cb).push_back(n);
+    }
+
+    // --- dst register protocol ---
+
+    /// `tile_regs_acquire`: MATH takes the dst file.
+    pub fn tile_regs_acquire(&mut self) {
+        self.dst.acquire();
+    }
+
+    /// `tile_regs_commit` + `tile_regs_wait`: hand dst to PACK.
+    pub fn tile_regs_commit(&mut self) {
+        self.dst.commit();
+    }
+
+    /// `tile_regs_release`: PACK frees dst.
+    pub fn tile_regs_release(&mut self) {
+        self.dst.release();
+    }
+
+    // --- unpack/pack ---
+
+    /// `copy_tile`: unpack the `idx`-th visible page of `cb` into dst
+    /// segment `dst_idx`.
+    pub fn copy_tile(&mut self, cb: u8, idx: usize, dst_idx: usize) {
+        let tile = cb_of(&self.cbs, self.core, cb).peek_tile(idx);
+        self.counter.add(self.device.costs().compute.copy_tile);
+        self.dst.write(dst_idx, tile).unwrap_or_else(|e| panic!("copy_tile: {e}"));
+    }
+
+    /// Lane-broadcast unpack: fill dst segment `dst_idx` with element `lane`
+    /// (row-major index) of the `idx`-th visible page of `cb`.
+    ///
+    /// Hardware story: the unpacker's address generator can re-read the same
+    /// datum with stride 0, filling srcA with a broadcast of one scalar —
+    /// the trick that lets an optimized kernel evaluate 1024 targets against
+    /// source particle `lane` without materializing replicated tiles in
+    /// DRAM. Costs one unpack pass.
+    ///
+    /// # Panics
+    /// Panics if `lane >= 1024`.
+    pub fn copy_tile_lane_broadcast(&mut self, cb: u8, idx: usize, lane: usize, dst_idx: usize) {
+        assert!(lane < tensix::TILE_ELEMS, "lane {lane} out of range");
+        let src = cb_of(&self.cbs, self.core, cb).peek_tile(idx);
+        let value = src.as_slice()[lane];
+        let costs = self.device.costs().compute;
+        self.counter.add(costs.issue_overhead + costs.unpack_tile);
+        let tile = Tile::splat(self.dst.format(), value);
+        self.dst.write(dst_idx, tile).unwrap_or_else(|e| panic!("lane broadcast: {e}"));
+    }
+
+    /// Fused lane-broadcast subtraction:
+    /// `dst = broadcast(cb_src[i_src][lane]) − cb_tgt[i_tgt]` — the
+    /// displacement computation of the broadcast-optimized force kernel
+    /// (srcA loaded with stride 0, srcB with the target tile, FPU subtract).
+    ///
+    /// # Panics
+    /// Panics if `lane >= 1024`.
+    pub fn sub_tiles_lane_bcast(
+        &mut self,
+        cb_src: u8,
+        cb_tgt: u8,
+        i_src: usize,
+        i_tgt: usize,
+        lane: usize,
+        dst: usize,
+    ) {
+        assert!(lane < tensix::TILE_ELEMS, "lane {lane} out of range");
+        let src = cb_of(&self.cbs, self.core, cb_src).peek_tile(i_src);
+        let tgt = cb_of(&self.cbs, self.core, cb_tgt).peek_tile(i_tgt);
+        let costs = self.device.costs().compute;
+        // Stride-0 unpack of the source lane into srcA, full unpack of the
+        // target tile into srcB.
+        self.counter.add(self.src.unpack_lane_broadcast(&costs, SrcReg::A, &src, lane));
+        self.counter.add(self.src.unpack_tile(&costs, SrcReg::B, tgt));
+        let (sa, sb) = (
+            self.src.read(SrcReg::A).unwrap_or_else(|e| panic!("sub lane bcast: {e}")).clone(),
+            self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("sub lane bcast: {e}")).clone(),
+        );
+        let mut out = Tile::zeros(self.dst.format());
+        self.counter.add(fpu::eltwise_binary(&costs, BinaryOp::Sub, &sa, &sb, &mut out));
+        self.dst.write(dst, out).unwrap_or_else(|e| panic!("sub lane bcast: {e}"));
+    }
+
+    /// `pack_tile`: move dst segment `dst_idx` into space reserved in `cb`.
+    /// Requires [`ComputeCtx::tile_regs_commit`] first.
+    pub fn pack_tile(&mut self, dst_idx: usize, cb: u8) {
+        let tile = self.dst.read_pack(dst_idx).unwrap_or_else(|e| panic!("pack_tile: {e}"));
+        self.counter.add(self.device.costs().compute.pack_tile);
+        cb_of(&self.cbs, self.core, cb).write_tile(&tile);
+    }
+
+    // --- FPU element-wise binary ops from CBs (add_tiles / sub_tiles /
+    //     mul_tiles) ---
+
+    fn fpu_binary(&mut self, op: BinaryOp, cb_a: u8, cb_b: u8, ia: usize, ib: usize, dst: usize) {
+        // UNPACK: CB pages into srcA/srcB; MATH: FPU consumes the pair.
+        let a = cb_of(&self.cbs, self.core, cb_a).peek_tile(ia);
+        let b = cb_of(&self.cbs, self.core, cb_b).peek_tile(ib);
+        let costs = self.device.costs().compute;
+        self.counter.add(self.src.unpack_tile(&costs, SrcReg::A, a));
+        self.counter.add(self.src.unpack_tile(&costs, SrcReg::B, b));
+        let mut out = Tile::zeros(self.dst.format());
+        let (sa, sb) = (
+            self.src.read(SrcReg::A).unwrap_or_else(|e| panic!("fpu binary: {e}")).clone(),
+            self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("fpu binary: {e}")).clone(),
+        );
+        self.counter.add(fpu::eltwise_binary(&costs, op, &sa, &sb, &mut out));
+        self.dst.write(dst, out).unwrap_or_else(|e| panic!("fpu binary: {e}"));
+    }
+
+    /// `add_tiles(cb_a, cb_b, ia, ib, dst)`.
+    pub fn add_tiles(&mut self, cb_a: u8, cb_b: u8, ia: usize, ib: usize, dst: usize) {
+        self.fpu_binary(BinaryOp::Add, cb_a, cb_b, ia, ib, dst);
+    }
+
+    /// `sub_tiles(cb_a, cb_b, ia, ib, dst)` — the paper's element-wise
+    /// displacement computation.
+    pub fn sub_tiles(&mut self, cb_a: u8, cb_b: u8, ia: usize, ib: usize, dst: usize) {
+        self.fpu_binary(BinaryOp::Sub, cb_a, cb_b, ia, ib, dst);
+    }
+
+    /// `mul_tiles(cb_a, cb_b, ia, ib, dst)`.
+    pub fn mul_tiles(&mut self, cb_a: u8, cb_b: u8, ia: usize, ib: usize, dst: usize) {
+        self.fpu_binary(BinaryOp::Mul, cb_a, cb_b, ia, ib, dst);
+    }
+
+    /// Dense tile matmul from CBs with optional dst accumulation
+    /// (`matmul_tiles`).
+    pub fn matmul_tiles(
+        &mut self,
+        cb_a: u8,
+        cb_b: u8,
+        ia: usize,
+        ib: usize,
+        dst: usize,
+        accumulate: bool,
+    ) {
+        let a = cb_of(&self.cbs, self.core, cb_a).peek_tile(ia);
+        let b = cb_of(&self.cbs, self.core, cb_b).peek_tile(ib);
+        let costs = self.device.costs().compute;
+        self.counter.add(self.src.unpack_tile(&costs, SrcReg::A, a));
+        self.counter.add(self.src.unpack_tile(&costs, SrcReg::B, b));
+        let mut acc = if accumulate {
+            self.dst.read_math(dst).unwrap_or_else(|e| panic!("matmul acc: {e}"))
+        } else {
+            Tile::zeros(self.dst.format())
+        };
+        let (sa, sb) = (
+            self.src.read(SrcReg::A).unwrap_or_else(|e| panic!("matmul: {e}")).clone(),
+            self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("matmul: {e}")).clone(),
+        );
+        self.counter.add(fpu::matmul_tiles(&costs, &sa, &sb, &mut acc, accumulate));
+        self.dst.write(dst, acc).unwrap_or_else(|e| panic!("matmul: {e}"));
+    }
+
+    // --- SFPU ops on dst ---
+
+    fn sfpu_unary(&mut self, op: UnaryOp, dst: usize) {
+        let costs = self.device.costs().compute;
+        let tile = self.dst.modify(dst).unwrap_or_else(|e| panic!("sfpu unary: {e}"));
+        let cycles = sfpu::apply_unary(&costs, op, tile);
+        self.counter.add(cycles);
+    }
+
+    /// `square_tile(dst)` — x².
+    pub fn square_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Square, dst);
+    }
+
+    /// `sqrt_tile(dst)`.
+    pub fn sqrt_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Sqrt, dst);
+    }
+
+    /// `rsqrt_tile(dst)` — precise variant.
+    pub fn rsqrt_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Rsqrt, dst);
+    }
+
+    /// `rsqrt_tile(dst)` — fast approximate variant.
+    pub fn rsqrt_tile_fast(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::RsqrtFast, dst);
+    }
+
+    /// `recip_tile(dst)` — 1/x.
+    pub fn recip_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Recip, dst);
+    }
+
+    /// `exp_tile(dst)`.
+    pub fn exp_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Exp, dst);
+    }
+
+    /// `abs_tile(dst)`.
+    pub fn abs_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Abs, dst);
+    }
+
+    /// `negative_tile(dst)`.
+    pub fn negative_tile(&mut self, dst: usize) {
+        self.sfpu_unary(UnaryOp::Neg, dst);
+    }
+
+    fn sfpu_binary(&mut self, op: BinaryOp, dst_a: usize, dst_b: usize) {
+        let b = self.dst.read_math(dst_b).unwrap_or_else(|e| panic!("sfpu binary: {e}"));
+        let costs = self.device.costs().compute;
+        let a = self.dst.modify(dst_a).unwrap_or_else(|e| panic!("sfpu binary: {e}"));
+        let cycles = sfpu::apply_binary(&costs, op, a, &b);
+        self.counter.add(cycles);
+    }
+
+    /// `add_binary_tile(dst_a, dst_b)`: dst_a += dst_b.
+    pub fn add_binary_tile(&mut self, dst_a: usize, dst_b: usize) {
+        self.sfpu_binary(BinaryOp::Add, dst_a, dst_b);
+    }
+
+    /// `sub_binary_tile(dst_a, dst_b)`: dst_a -= dst_b — named in the paper.
+    pub fn sub_binary_tile(&mut self, dst_a: usize, dst_b: usize) {
+        self.sfpu_binary(BinaryOp::Sub, dst_a, dst_b);
+    }
+
+    /// `mul_binary_tile(dst_a, dst_b)`: dst_a *= dst_b.
+    pub fn mul_binary_tile(&mut self, dst_a: usize, dst_b: usize) {
+        self.sfpu_binary(BinaryOp::Mul, dst_a, dst_b);
+    }
+
+    /// Fused multiply-accumulate across dst segments:
+    /// `dst_acc += dst_a * dst_b` (SFPU MAD).
+    pub fn mad_binary_tile(&mut self, dst_a: usize, dst_b: usize, dst_acc: usize) {
+        let a = self.dst.read_math(dst_a).unwrap_or_else(|e| panic!("mad: {e}"));
+        let b = self.dst.read_math(dst_b).unwrap_or_else(|e| panic!("mad: {e}"));
+        let costs = self.device.costs().compute;
+        let acc = self.dst.modify(dst_acc).unwrap_or_else(|e| panic!("mad: {e}"));
+        let cycles = sfpu::apply_mad(&costs, &a, &b, acc);
+        self.counter.add(cycles);
+    }
+
+    /// SFPU register move: copy dst segment `src` into dst segment `dst`
+    /// (`copy_dest_values` LLK).
+    pub fn copy_dst_tile(&mut self, src: usize, dst: usize) {
+        let tile = self.dst.read_math(src).unwrap_or_else(|e| panic!("copy_dst_tile: {e}"));
+        let costs = self.device.costs().compute;
+        self.counter.add(costs.issue_overhead + costs.sfpu_simple);
+        self.dst.write(dst, tile).unwrap_or_else(|e| panic!("copy_dst_tile: {e}"));
+    }
+
+    /// `fill_tile(dst, value)`: set every lane of a dst segment.
+    pub fn fill_tile(&mut self, dst: usize, value: f32) {
+        let costs = self.device.costs().compute;
+        let mut tile = Tile::zeros(self.dst.format());
+        let cycles = sfpu::apply_fill(&costs, &mut tile, value);
+        self.counter.add(cycles);
+        self.dst.write(dst, tile).unwrap_or_else(|e| panic!("fill_tile: {e}"));
+    }
+
+    /// Multiply a dst segment by a scalar and add a bias in one SFPU pass
+    /// (`binop_with_scalar` family).
+    pub fn scale_tile(&mut self, dst: usize, scale: f32, bias: f32) {
+        let costs = self.device.costs().compute;
+        let tile = self.dst.modify(dst).unwrap_or_else(|e| panic!("scale_tile: {e}"));
+        let cycles = sfpu::apply_unary_scaled(&costs, UnaryOp::Identity, tile, scale, bias);
+        self.counter.add(cycles);
+    }
+
+    /// Debug accessor for tests: read a dst segment during MATH.
+    #[must_use]
+    pub fn debug_dst(&self, dst: usize) -> Tile {
+        self.dst.read_math(dst).expect("debug_dst")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensix::cb::CircularBufferConfig;
+    use tensix::DeviceConfig;
+
+    fn mk_compute_ctx() -> ComputeCtx {
+        let dev = Device::new(0, DeviceConfig::default());
+        let mut cbs = CbMap::new();
+        let cfg = CircularBufferConfig::new(4, DataFormat::Float32);
+        cbs.insert(0, CircularBuffer::new(cfg));
+        cbs.insert(1, CircularBuffer::new(cfg));
+        cbs.insert(16, CircularBuffer::new(cfg));
+        ComputeCtx::new(dev, CoreCoord::new(0, 0), DataFormat::Float32, cbs, SemMap::new(), vec![3, 7])
+    }
+
+    fn feed(ctx: &ComputeCtx, cb: u8, v: f32) {
+        let c = ctx.cbs.get(&cb).unwrap();
+        c.reserve_back(1);
+        c.write_tile(&Tile::splat(DataFormat::Float32, v));
+        c.push_back(1);
+    }
+
+    #[test]
+    fn args_accessible() {
+        let ctx = mk_compute_ctx();
+        assert_eq!(ctx.arg(0), 3);
+        assert_eq!(ctx.arg(1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime arg 2 missing")]
+    fn missing_arg_panics() {
+        let _ = mk_compute_ctx().arg(2);
+    }
+
+    #[test]
+    fn sub_square_rsqrt_pipeline() {
+        // The inner pattern of the force kernel: dx = xi - xj; dx²; 1/√(…).
+        let mut ctx = mk_compute_ctx();
+        feed(&ctx, 0, 5.0);
+        feed(&ctx, 1, 1.0);
+        ctx.cb_wait_front(0, 1);
+        ctx.cb_wait_front(1, 1);
+        ctx.tile_regs_acquire();
+        ctx.sub_tiles(0, 1, 0, 0, 0); // 4.0
+        ctx.square_tile(0); // 16.0
+        ctx.rsqrt_tile(0); // 0.25
+        assert_eq!(ctx.debug_dst(0).get(0, 0), 0.25);
+        ctx.tile_regs_commit();
+        ctx.cb_reserve_back(16, 1);
+        ctx.pack_tile(0, 16);
+        ctx.cb_push_back(16, 1);
+        ctx.tile_regs_release();
+        ctx.cb_pop_front(0, 1);
+        ctx.cb_pop_front(1, 1);
+        let out = ctx.cbs.get(&16).unwrap();
+        out.wait_front(1);
+        assert_eq!(out.peek_tile(0).get(0, 0), 0.25);
+        assert!(ctx.cycles() > 0);
+    }
+
+    #[test]
+    fn dst_binary_and_mad() {
+        let mut ctx = mk_compute_ctx();
+        feed(&ctx, 0, 2.0);
+        feed(&ctx, 1, 3.0);
+        ctx.cb_wait_front(0, 1);
+        ctx.cb_wait_front(1, 1);
+        ctx.tile_regs_acquire();
+        ctx.copy_tile(0, 0, 0);
+        ctx.copy_tile(1, 0, 1);
+        ctx.fill_tile(2, 10.0);
+        ctx.mad_binary_tile(0, 1, 2); // 10 + 6 = 16
+        assert_eq!(ctx.debug_dst(2).get(0, 0), 16.0);
+        ctx.mul_binary_tile(0, 1); // 6
+        assert_eq!(ctx.debug_dst(0).get(0, 0), 6.0);
+        ctx.sub_binary_tile(0, 1); // 3
+        assert_eq!(ctx.debug_dst(0).get(0, 0), 3.0);
+        ctx.add_binary_tile(0, 1); // 6
+        assert_eq!(ctx.debug_dst(0).get(0, 0), 6.0);
+        ctx.scale_tile(0, 0.5, 1.0); // 4
+        assert_eq!(ctx.debug_dst(0).get(0, 0), 4.0);
+        ctx.tile_regs_commit();
+        ctx.tile_regs_release();
+    }
+
+    #[test]
+    fn matmul_from_cbs() {
+        let mut ctx = mk_compute_ctx();
+        feed(&ctx, 0, 1.0); // all-ones
+        feed(&ctx, 1, 2.0);
+        ctx.cb_wait_front(0, 1);
+        ctx.cb_wait_front(1, 1);
+        ctx.tile_regs_acquire();
+        ctx.matmul_tiles(0, 1, 0, 0, 0, false);
+        // (1*2) summed over k=32 = 64 in every cell.
+        assert_eq!(ctx.debug_dst(0).get(3, 3), 64.0);
+        ctx.matmul_tiles(0, 1, 0, 0, 0, true);
+        assert_eq!(ctx.debug_dst(0).get(3, 3), 128.0);
+        ctx.tile_regs_commit();
+        ctx.tile_regs_release();
+    }
+
+    #[test]
+    #[should_panic(expected = "not configured")]
+    fn unknown_cb_panics() {
+        let mut ctx = mk_compute_ctx();
+        ctx.cb_wait_front(9, 1);
+    }
+
+    #[test]
+    fn fp32_dst_capacity_enforced_via_ctx() {
+        let mut ctx = mk_compute_ctx();
+        assert_eq!(ctx.dst_capacity(), 8);
+        ctx.tile_regs_acquire();
+        for i in 0..8 {
+            ctx.fill_tile(i, 1.0);
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.fill_tile(8, 1.0);
+        }));
+        assert!(r.is_err(), "9th FP32 dst tile must fault");
+    }
+}

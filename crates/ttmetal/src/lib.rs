@@ -1,0 +1,40 @@
+//! # ttmetal — a TT-Metalium-style programming interface
+//!
+//! Rust rendition of the TT-Metalium SDK surface the paper's N-body port
+//! uses, running against the `tensix` Wormhole simulator:
+//!
+//! * [`host`] — `create_device` / `open_cluster` / `close_device`, with the
+//!   paper's reset-failure mode;
+//! * [`buffer`] — interleaved DRAM buffers and kernel-side [`BufferRef`]s;
+//! * [`program`] — kernels, circular-buffer declarations, runtime args;
+//! * [`kernel`] — the [`DataMovementKernel`] / [`ComputeKernel`] traits and
+//!   CB index conventions;
+//! * [`context`] — the in-kernel API: `cb_wait_front` / `cb_pop_front` /
+//!   `cb_reserve_back` / `cb_push_back`, NoC async reads/writes,
+//!   `copy_tile` / `pack_tile`, FPU `sub_tiles`-style binaries, and SFPU
+//!   calls (`square_tile`, `rsqrt_tile`, `sub_binary_tile`, …);
+//! * [`queue`] — `EnqueueWriteBuffer` / `EnqueueReadBuffer` /
+//!   `EnqueueProgram` / `Finish` with per-program timing reports.
+//!
+//! Each kernel instance runs on a dedicated OS thread, so the
+//! read → compute → write dataflow genuinely overlaps through the circular
+//! buffers, with real back-pressure — the execution model Section 2 of the
+//! paper describes.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod context;
+pub mod host;
+pub mod kernel;
+pub mod program;
+pub mod queue;
+pub mod semaphore;
+
+pub use buffer::{Buffer, BufferRef};
+pub use context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
+pub use host::{close_device, create_device, open_cluster};
+pub use kernel::{cb_index, ComputeFn, ComputeKernel, DataMovementKernel};
+pub use program::{KernelId, Program};
+pub use queue::{CommandQueue, ProgramReport, PCIE_BYTES_PER_S};
+pub use semaphore::Semaphore;

@@ -1,0 +1,254 @@
+//! Programs: kernels + circular buffer configuration + runtime args.
+//!
+//! A [`Program`] mirrors TT-Metalium's `Program` object: it declares which
+//! circular buffers exist on which cores, which kernels run where, and the
+//! per-core runtime arguments. It is inert until enqueued on a
+//! [`crate::queue::CommandQueue`]; the same program can be enqueued many
+//! times (the N-body driver enqueues the force program once per Hermite
+//! step).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tensix::cb::CircularBufferConfig;
+use tensix::grid::{CoreCoord, CoreRangeSet};
+use tensix::{DataFormat, NocId};
+
+use crate::kernel::{cb_index, ComputeKernel, DataMovementKernel};
+
+/// Handle to a kernel added to a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelId(pub(crate) usize);
+
+pub(crate) enum KernelBody {
+    DataMovement { noc: NocId, kernel: Arc<dyn DataMovementKernel> },
+    Compute { format: DataFormat, kernel: Arc<dyn ComputeKernel> },
+}
+
+pub(crate) struct KernelEntry {
+    pub label: String,
+    pub cores: CoreRangeSet,
+    pub body: KernelBody,
+    /// Per-core runtime args; `common_args` apply to cores without a
+    /// specific entry.
+    pub runtime_args: HashMap<CoreCoord, Vec<u32>>,
+    pub common_args: Vec<u32>,
+}
+
+/// Circular buffer declaration.
+pub(crate) struct CbEntry {
+    pub index: u8,
+    pub cores: CoreRangeSet,
+    pub config: CircularBufferConfig,
+}
+
+/// Semaphore declaration (`CreateSemaphore`).
+pub(crate) struct SemEntry {
+    pub index: u8,
+    pub cores: CoreRangeSet,
+    pub initial: u32,
+}
+
+/// A device program under construction.
+#[derive(Default)]
+pub struct Program {
+    pub(crate) kernels: Vec<KernelEntry>,
+    pub(crate) cbs: Vec<CbEntry>,
+    pub(crate) sems: Vec<SemEntry>,
+}
+
+impl Program {
+    /// Empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Declare circular buffer `index` with `config` on every core in
+    /// `cores` (`CreateCircularBuffer`).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range CB index or a duplicate declaration for the
+    /// same index/range.
+    pub fn add_circular_buffer(
+        &mut self,
+        cores: CoreRangeSet,
+        index: u8,
+        config: CircularBufferConfig,
+    ) {
+        assert!(
+            (index as usize) < cb_index::NUM_CBS,
+            "CB index {index} out of range (0..{})",
+            cb_index::NUM_CBS
+        );
+        for existing in &self.cbs {
+            if existing.index == index {
+                let dup = existing.cores.iter().any(|c| cores.contains(c));
+                assert!(!dup, "CB {index} declared twice for overlapping cores");
+            }
+        }
+        self.cbs.push(CbEntry { index, cores, config });
+    }
+
+    /// Declare semaphore `index` initialized to `initial` on every core in
+    /// `cores` (`CreateSemaphore`). Each core gets its own counter, as on
+    /// hardware (semaphores live in core-local L1).
+    ///
+    /// # Panics
+    /// Panics on a duplicate declaration for overlapping cores.
+    pub fn add_semaphore(&mut self, cores: CoreRangeSet, index: u8, initial: u32) {
+        for existing in &self.sems {
+            if existing.index == index {
+                let dup = existing.cores.iter().any(|c| cores.contains(c));
+                assert!(!dup, "semaphore {index} declared twice for overlapping cores");
+            }
+        }
+        self.sems.push(SemEntry { index, cores, initial });
+    }
+
+    /// Add a data-movement kernel on `cores`, bound to `noc`
+    /// (`CreateKernel` with a `DataMovementConfig`).
+    pub fn add_data_movement_kernel(
+        &mut self,
+        label: impl Into<String>,
+        cores: CoreRangeSet,
+        noc: NocId,
+        kernel: Arc<dyn DataMovementKernel>,
+    ) -> KernelId {
+        self.kernels.push(KernelEntry {
+            label: label.into(),
+            cores,
+            body: KernelBody::DataMovement { noc, kernel },
+            runtime_args: HashMap::new(),
+            common_args: Vec::new(),
+        });
+        KernelId(self.kernels.len() - 1)
+    }
+
+    /// Add a compute kernel on `cores` with math format `format`
+    /// (`CreateKernel` with a `ComputeConfig`).
+    pub fn add_compute_kernel(
+        &mut self,
+        label: impl Into<String>,
+        cores: CoreRangeSet,
+        format: DataFormat,
+        kernel: Arc<dyn ComputeKernel>,
+    ) -> KernelId {
+        self.kernels.push(KernelEntry {
+            label: label.into(),
+            cores,
+            body: KernelBody::Compute { format, kernel },
+            runtime_args: HashMap::new(),
+            common_args: Vec::new(),
+        });
+        KernelId(self.kernels.len() - 1)
+    }
+
+    /// Set per-core runtime args for one kernel (`SetRuntimeArgs`).
+    ///
+    /// # Panics
+    /// Panics if `core` is not in the kernel's core set.
+    pub fn set_runtime_args(&mut self, kernel: KernelId, core: CoreCoord, args: Vec<u32>) {
+        let entry = &mut self.kernels[kernel.0];
+        assert!(
+            entry.cores.contains(core),
+            "core {core} is not in the core set of kernel '{}'",
+            entry.label
+        );
+        entry.runtime_args.insert(core, args);
+    }
+
+    /// Set args shared by every core of the kernel
+    /// (`SetCommonRuntimeArgs`). Per-core args, when present, take
+    /// precedence.
+    pub fn set_common_runtime_args(&mut self, kernel: KernelId, args: Vec<u32>) {
+        self.kernels[kernel.0].common_args = args;
+    }
+
+    /// Number of kernels.
+    #[must_use]
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// L1 bytes of CB storage this program needs on `core`.
+    #[must_use]
+    pub fn cb_bytes_on_core(&self, core: CoreCoord) -> usize {
+        self.cbs
+            .iter()
+            .filter(|e| e.cores.contains(core))
+            .map(|e| e.config.total_bytes())
+            .sum()
+    }
+
+    pub(crate) fn args_for(&self, kernel: &KernelEntry, core: CoreCoord) -> Vec<u32> {
+        kernel.runtime_args.get(&core).cloned().unwrap_or_else(|| kernel.common_args.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DataMovementCtx;
+    use tensix::grid::CoreRange;
+
+    fn cores(n: usize) -> CoreRangeSet {
+        CoreRangeSet::first_n(n, 8)
+    }
+
+    fn noop_dm() -> Arc<dyn DataMovementKernel> {
+        Arc::new(|_ctx: &mut DataMovementCtx| {})
+    }
+
+    #[test]
+    fn build_program_with_cbs_and_kernels() {
+        let mut p = Program::new();
+        let cfg = CircularBufferConfig::new(2, DataFormat::Float32);
+        p.add_circular_buffer(cores(4), cb_index::IN0, cfg);
+        p.add_circular_buffer(cores(4), cb_index::OUT0, cfg);
+        let k = p.add_data_movement_kernel("reader", cores(4), NocId::Noc0, noop_dm());
+        p.set_common_runtime_args(k, vec![1, 2]);
+        p.set_runtime_args(k, CoreCoord::new(0, 0), vec![9]);
+        assert_eq!(p.num_kernels(), 1);
+        assert_eq!(p.cb_bytes_on_core(CoreCoord::new(0, 0)), 2 * 2 * 4096);
+        assert_eq!(p.cb_bytes_on_core(CoreCoord::new(7, 7)), 0);
+        // Per-core args override common args.
+        assert_eq!(p.args_for(&p.kernels[0], CoreCoord::new(0, 0)), vec![9]);
+        assert_eq!(p.args_for(&p.kernels[0], CoreCoord::new(1, 0)), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_cb_rejected() {
+        let mut p = Program::new();
+        let cfg = CircularBufferConfig::new(2, DataFormat::Float32);
+        p.add_circular_buffer(cores(4), cb_index::IN0, cfg);
+        p.add_circular_buffer(cores(2), cb_index::IN0, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cb_index_range_checked() {
+        let mut p = Program::new();
+        p.add_circular_buffer(cores(1), 32, CircularBufferConfig::new(1, DataFormat::Float32));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the core set")]
+    fn runtime_args_for_foreign_core_rejected() {
+        let mut p = Program::new();
+        let k = p.add_data_movement_kernel("reader", cores(2), NocId::Noc0, noop_dm());
+        p.set_runtime_args(k, CoreCoord::new(5, 5), vec![]);
+    }
+
+    #[test]
+    fn disjoint_core_sets_can_share_cb_index() {
+        let mut p = Program::new();
+        let cfg = CircularBufferConfig::new(1, DataFormat::Float32);
+        let a = CoreRangeSet::new(vec![CoreRange::single(CoreCoord::new(0, 0))]);
+        let b = CoreRangeSet::new(vec![CoreRange::single(CoreCoord::new(1, 0))]);
+        p.add_circular_buffer(a, cb_index::IN0, cfg);
+        p.add_circular_buffer(b, cb_index::IN0, cfg); // fine: disjoint
+        assert_eq!(p.cbs.len(), 2);
+    }
+}

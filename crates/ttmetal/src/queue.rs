@@ -1,0 +1,442 @@
+//! Command queue: host↔device transfers and program execution.
+//!
+//! Mirrors TT-Metalium's `CommandQueue` (`EnqueueWriteBuffer`,
+//! `EnqueueReadBuffer`, `EnqueueProgram`, `Finish`). One simplification: in
+//! the simulator `enqueue_program` executes synchronously and returns a
+//! [`ProgramReport`]; `finish` therefore only reports accumulated virtual
+//! time. The *device-side* concurrency the paper relies on — reader, compute
+//! and writer kernels overlapping through CBs across many cores — is real:
+//! each kernel instance runs on its own OS thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use tensix::cb::CircularBuffer;
+use tensix::clock::{program_seconds, KernelTiming};
+use tensix::grid::CoreCoord;
+use tensix::{Device, Result, TensixError, Tile};
+
+use crate::buffer::Buffer;
+use crate::context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
+use crate::program::{KernelBody, Program};
+use crate::semaphore::Semaphore;
+
+/// Effective host↔device bandwidth over PCIe 4.0 x16, bytes/s.
+pub const PCIE_BYTES_PER_S: f64 = 24.0e9;
+
+/// Outcome of one program execution.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Device time of the program: the slowest kernel instance, since the
+    /// pipeline overlaps everything else.
+    pub seconds: f64,
+    /// Per-kernel-instance timings.
+    pub timings: Vec<KernelTiming>,
+}
+
+/// The command queue of one device.
+pub struct CommandQueue {
+    device: Arc<Device>,
+    io_seconds: f64,
+    program_seconds: f64,
+}
+
+impl CommandQueue {
+    /// Queue for `device`.
+    #[must_use]
+    pub fn new(device: Arc<Device>) -> Self {
+        CommandQueue { device, io_seconds: 0.0, program_seconds: 0.0 }
+    }
+
+    /// The device this queue drives.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// `EnqueueWriteBuffer`: move tilized host data into a DRAM buffer.
+    ///
+    /// # Errors
+    /// If `tiles` exceeds the buffer, or on DRAM faults.
+    pub fn enqueue_write_buffer(&mut self, buffer: &Buffer, tiles: &[Tile]) -> Result<()> {
+        if tiles.len() > buffer.num_tiles() {
+            return Err(TensixError::InvalidAddress {
+                addr: tiles.len() as u64,
+                context: "enqueue_write_buffer past end of buffer",
+            });
+        }
+        let r = buffer.reference();
+        for (page, tile) in tiles.iter().enumerate() {
+            self.device.dram().write_tile(r.id, page, tile)?;
+        }
+        self.io_seconds += (tiles.len() * r.format.tile_bytes()) as f64 / PCIE_BYTES_PER_S;
+        Ok(())
+    }
+
+    /// `EnqueueReadBuffer`: read the whole buffer back to the host.
+    ///
+    /// # Errors
+    /// On DRAM faults.
+    pub fn enqueue_read_buffer(&mut self, buffer: &Buffer) -> Result<Vec<Tile>> {
+        let r = buffer.reference();
+        let mut out = Vec::with_capacity(r.num_tiles);
+        for page in 0..r.num_tiles {
+            out.push(self.device.dram().read_tile(r.id, page)?);
+        }
+        self.io_seconds += (r.num_tiles * r.format.tile_bytes()) as f64 / PCIE_BYTES_PER_S;
+        Ok(out)
+    }
+
+    /// `EnqueueProgram`: instantiate CBs, launch every kernel instance on its
+    /// own thread, join, and aggregate timing.
+    ///
+    /// # Errors
+    /// [`TensixError::L1OutOfMemory`] if the CB configuration does not fit,
+    /// or [`TensixError::KernelFault`] if any kernel panicked (the remaining
+    /// kernels are woken via CB poisoning).
+    pub fn enqueue_program(&mut self, program: &Program) -> Result<ProgramReport> {
+        let grid = self.device.grid();
+
+        // Instantiate circular buffers per core and allocate their L1.
+        let mut core_cbs: Vec<(CoreCoord, CbMap)> = Vec::new();
+        let mut all_cbs: Vec<CircularBuffer> = Vec::new();
+        for entry in &program.cbs {
+            for core in entry.cores.iter() {
+                if let Err(e) = self.device.alloc_l1(core, entry.config.total_bytes()) {
+                    // Roll back partial CB allocations before surfacing.
+                    self.device.free_all_l1();
+                    return Err(e);
+                }
+                let cb = CircularBuffer::new(entry.config);
+                all_cbs.push(cb.clone());
+                match core_cbs.iter_mut().find(|(c, _)| *c == core) {
+                    Some((_, map)) => {
+                        map.insert(entry.index, cb);
+                    }
+                    None => {
+                        let mut map = CbMap::new();
+                        map.insert(entry.index, cb);
+                        core_cbs.push((core, map));
+                    }
+                }
+            }
+        }
+        let cbs_for = |core: CoreCoord| -> CbMap {
+            core_cbs
+                .iter()
+                .find(|(c, _)| *c == core)
+                .map(|(_, m)| m.clone())
+                .unwrap_or_default()
+        };
+
+        // Instantiate per-core semaphores.
+        let mut core_sems: Vec<(CoreCoord, SemMap)> = Vec::new();
+        for entry in &program.sems {
+            for core in entry.cores.iter() {
+                let sem = Semaphore::new(entry.initial);
+                match core_sems.iter_mut().find(|(c, _)| *c == core) {
+                    Some((_, map)) => {
+                        map.insert(entry.index, sem);
+                    }
+                    None => {
+                        let mut map = SemMap::new();
+                        map.insert(entry.index, sem);
+                        core_sems.push((core, map));
+                    }
+                }
+            }
+        }
+        let sems_for = |core: CoreCoord| -> SemMap {
+            core_sems
+                .iter()
+                .find(|(c, _)| *c == core)
+                .map(|(_, m)| m.clone())
+                .unwrap_or_default()
+        };
+
+        // Launch one thread per kernel instance.
+        type KernelOutcome = (KernelTiming, Option<String>);
+        let mut handles: Vec<thread::JoinHandle<KernelOutcome>> = Vec::new();
+        for entry in &program.kernels {
+            for core in entry.cores.iter() {
+                let device = Arc::clone(&self.device);
+                let label = entry.label.clone();
+                let args = program.args_for(entry, core);
+                let cbs = cbs_for(core);
+                let sems = sems_for(core);
+                let core_index = grid.index_of(core);
+                let poison_set = all_cbs.clone();
+                let handle = match &entry.body {
+                    KernelBody::DataMovement { noc, kernel } => {
+                        let noc = *noc;
+                        let kernel = Arc::clone(kernel);
+                        thread::spawn(move || {
+                            let mut ctx =
+                                DataMovementCtx::new(device, core, noc, cbs, sems, args);
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
+                            let fault = outcome.err().map(|e| {
+                                for cb in &poison_set {
+                                    cb.poison();
+                                }
+                                panic_message(&label, core, e.as_ref())
+                            });
+                            (
+                                KernelTiming { label, core_index, cycles: ctx.take_cycles() },
+                                fault,
+                            )
+                        })
+                    }
+                    KernelBody::Compute { format, kernel } => {
+                        let format = *format;
+                        let kernel = Arc::clone(kernel);
+                        thread::spawn(move || {
+                            let mut ctx =
+                                ComputeCtx::new(device, core, format, cbs, sems, args);
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
+                            let fault = outcome.err().map(|e| {
+                                for cb in &poison_set {
+                                    cb.poison();
+                                }
+                                panic_message(&label, core, e.as_ref())
+                            });
+                            (
+                                KernelTiming { label, core_index, cycles: ctx.take_cycles() },
+                                fault,
+                            )
+                        })
+                    }
+                };
+                handles.push(handle);
+            }
+        }
+
+        let mut timings = Vec::with_capacity(handles.len());
+        let mut faults = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok((timing, fault)) => {
+                    timings.push(timing);
+                    if let Some(msg) = fault {
+                        faults.push(msg);
+                    }
+                }
+                Err(_) => faults.push("kernel thread aborted".to_string()),
+            }
+        }
+
+        // Program teardown frees CB storage.
+        self.device.free_all_l1();
+
+        if !faults.is_empty() {
+            return Err(TensixError::KernelFault { message: faults.join("; ") });
+        }
+        let seconds = program_seconds(self.device.costs(), &timings);
+        self.program_seconds += seconds;
+        Ok(ProgramReport { seconds, timings })
+    }
+
+    /// `Finish`: total virtual seconds of everything enqueued so far
+    /// (host I/O + program execution).
+    #[must_use]
+    pub fn finish(&self) -> f64 {
+        self.io_seconds + self.program_seconds
+    }
+
+    /// Virtual seconds spent on host↔device transfers.
+    #[must_use]
+    pub fn io_seconds(&self) -> f64 {
+        self.io_seconds
+    }
+
+    /// Virtual seconds spent executing programs.
+    #[must_use]
+    pub fn program_seconds(&self) -> f64 {
+        self.program_seconds
+    }
+}
+
+fn panic_message(label: &str, core: CoreCoord, e: &(dyn std::any::Any + Send)) -> String {
+    let detail = e
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .unwrap_or("unknown panic");
+    format!("kernel '{label}' on core {core}: {detail}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DataMovementCtx;
+    use crate::kernel::{cb_index, ComputeFn};
+    use tensix::cb::CircularBufferConfig;
+    use tensix::grid::CoreRangeSet;
+    use tensix::{DataFormat, DeviceConfig, NocId};
+
+    fn device() -> Arc<Device> {
+        Device::new(0, DeviceConfig::default())
+    }
+
+    #[test]
+    fn write_then_read_buffer_roundtrip() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let buf = Buffer::new(&dev, DataFormat::Float32, 3).unwrap();
+        let tiles: Vec<Tile> =
+            (0..3).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
+        q.enqueue_write_buffer(&buf, &tiles).unwrap();
+        let back = q.enqueue_read_buffer(&buf).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[2].get(0, 0), 2.0);
+        assert!(q.io_seconds() > 0.0);
+    }
+
+    #[test]
+    fn write_past_end_errors() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let buf = Buffer::new(&dev, DataFormat::Float32, 1).unwrap();
+        let tiles = vec![Tile::zeros(DataFormat::Float32); 2];
+        assert!(q.enqueue_write_buffer(&buf, &tiles).is_err());
+    }
+
+    /// A three-kernel pipeline doubling every tile of a buffer: the same
+    /// reader → compute → writer shape as the paper's force pipeline.
+    #[test]
+    fn three_stage_pipeline_doubles_buffer() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let n_tiles = 8usize;
+        let input = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let output = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let tiles: Vec<Tile> =
+            (0..n_tiles).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
+        q.enqueue_write_buffer(&input, &tiles).unwrap();
+
+        let cores = CoreRangeSet::first_n(2, 8); // two cores, 4 tiles each
+        let mut p = Program::new();
+        let cb_cfg = CircularBufferConfig::new(2, DataFormat::Float32);
+        p.add_circular_buffer(cores.clone(), cb_index::IN0, cb_cfg);
+        p.add_circular_buffer(cores.clone(), cb_index::OUT0, cb_cfg);
+
+        let inref = input.reference();
+        let outref = output.reference();
+
+        let reader = p.add_data_movement_kernel(
+            "reader",
+            cores.clone(),
+            NocId::Noc0,
+            Arc::new(move |ctx: &mut DataMovementCtx| {
+                let start = ctx.arg(0) as usize;
+                let count = ctx.arg(1) as usize;
+                for page in start..start + count {
+                    ctx.read_page_to_cb(cb_index::IN0, inref, page);
+                }
+            }),
+        );
+        let compute = p.add_compute_kernel(
+            "double",
+            cores.clone(),
+            DataFormat::Float32,
+            Arc::new(ComputeFn(move |ctx: &mut ComputeCtx| {
+                let count = ctx.arg(1) as usize;
+                for _ in 0..count {
+                    ctx.cb_wait_front(cb_index::IN0, 1);
+                    ctx.tile_regs_acquire();
+                    ctx.copy_tile(cb_index::IN0, 0, 0);
+                    ctx.scale_tile(0, 2.0, 0.0);
+                    ctx.tile_regs_commit();
+                    ctx.cb_reserve_back(cb_index::OUT0, 1);
+                    ctx.pack_tile(0, cb_index::OUT0);
+                    ctx.cb_push_back(cb_index::OUT0, 1);
+                    ctx.tile_regs_release();
+                    ctx.cb_pop_front(cb_index::IN0, 1);
+                }
+            })),
+        );
+        let writer = p.add_data_movement_kernel(
+            "writer",
+            cores.clone(),
+            NocId::Noc1,
+            Arc::new(move |ctx: &mut DataMovementCtx| {
+                let start = ctx.arg(0) as usize;
+                let count = ctx.arg(1) as usize;
+                for page in start..start + count {
+                    ctx.write_cb_to_page(cb_index::OUT0, outref, page);
+                }
+            }),
+        );
+
+        for (i, core) in cores.iter().enumerate() {
+            let args = vec![(i * 4) as u32, 4];
+            p.set_runtime_args(reader, core, args.clone());
+            p.set_runtime_args(compute, core, args.clone());
+            p.set_runtime_args(writer, core, args);
+        }
+
+        let report = q.enqueue_program(&p).unwrap();
+        assert!(report.seconds > 0.0);
+        assert_eq!(report.timings.len(), 6); // 3 kernels × 2 cores
+
+        let result = q.enqueue_read_buffer(&output).unwrap();
+        for (i, tile) in result.iter().enumerate() {
+            assert_eq!(tile.get(0, 0), 2.0 * i as f32, "tile {i}");
+        }
+        // L1 was freed at teardown.
+        assert_eq!(dev.l1_used(CoreCoord::new(0, 0)), 0);
+        assert!(q.finish() >= report.seconds);
+    }
+
+    #[test]
+    fn kernel_panic_becomes_fault_and_unblocks_pipeline() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let cores = CoreRangeSet::first_n(1, 8);
+        let mut p = Program::new();
+        let cb_cfg = CircularBufferConfig::new(2, DataFormat::Float32);
+        p.add_circular_buffer(cores.clone(), cb_index::IN0, cb_cfg);
+
+        // The consumer waits forever on a producer that dies immediately.
+        p.add_data_movement_kernel(
+            "dying-producer",
+            cores.clone(),
+            NocId::Noc0,
+            Arc::new(|_ctx: &mut DataMovementCtx| panic!("injected failure")),
+        );
+        p.add_compute_kernel(
+            "blocked-consumer",
+            cores.clone(),
+            DataFormat::Float32,
+            Arc::new(ComputeFn(|ctx: &mut ComputeCtx| {
+                ctx.cb_wait_front(cb_index::IN0, 1);
+            })),
+        );
+
+        let err = q.enqueue_program(&p).unwrap_err();
+        match err {
+            TensixError::KernelFault { message } => {
+                assert!(message.contains("injected failure"), "{message}");
+            }
+            other => panic!("expected KernelFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cb_config_too_large_for_l1_errors() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let cores = CoreRangeSet::first_n(1, 8);
+        let mut p = Program::new();
+        // 400 FP32 pages = 1.6 MB > 1.5 MB L1.
+        p.add_circular_buffer(
+            cores,
+            cb_index::IN0,
+            CircularBufferConfig::new(400, DataFormat::Float32),
+        );
+        let err = q.enqueue_program(&p).unwrap_err();
+        assert!(matches!(err, TensixError::L1OutOfMemory { .. }), "{err:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Semaphores — TT-Metalium's second synchronization primitive.
+//!
+//! Besides circular buffers, kernels coordinate through L1 semaphores:
+//! `CreateSemaphore` allocates a 32-bit counter per core, and kernels use
+//! `noc_semaphore_set` / `noc_semaphore_inc` / `noc_semaphore_wait` to
+//! implement barriers and producer tokens (real multi-core kernels use them
+//! for multicast hand-shakes). The simulator backs each with a
+//! mutex+condvar counter; waits carry the same deadlock watchdog as CBs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// How long a blocked wait lasts before the simulator declares a deadlock.
+pub const SEM_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One L1 semaphore (a 32-bit counter). Clones share the counter.
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    inner: Arc<(Mutex<u32>, Condvar)>,
+}
+
+impl Semaphore {
+    /// Semaphore initialized to `initial`.
+    #[must_use]
+    pub fn new(initial: u32) -> Self {
+        Semaphore { inner: Arc::new((Mutex::new(initial), Condvar::new())) }
+    }
+
+    /// `noc_semaphore_set`: overwrite the counter.
+    pub fn set(&self, value: u32) {
+        let (lock, cvar) = &*self.inner;
+        *lock.lock() = value;
+        cvar.notify_all();
+    }
+
+    /// `noc_semaphore_inc`: add `delta` (wrapping, as the 32-bit counter
+    /// does on hardware).
+    pub fn inc(&self, delta: u32) {
+        let (lock, cvar) = &*self.inner;
+        let mut v = lock.lock();
+        *v = v.wrapping_add(delta);
+        cvar.notify_all();
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        *self.inner.0.lock()
+    }
+
+    /// `noc_semaphore_wait`: block until the counter equals `target`.
+    ///
+    /// # Panics
+    /// Panics after [`SEM_DEADLOCK_TIMEOUT`] without reaching the target.
+    pub fn wait(&self, target: u32) {
+        let (lock, cvar) = &*self.inner;
+        let mut v = lock.lock();
+        while *v != target {
+            let timed_out = cvar.wait_for(&mut v, SEM_DEADLOCK_TIMEOUT).timed_out();
+            assert!(!timed_out, "noc_semaphore_wait({target}) deadlocked at value {}", *v);
+        }
+    }
+
+    /// Wait until the counter is at least `target` (the common token
+    /// pattern).
+    ///
+    /// # Panics
+    /// Panics on deadlock timeout.
+    pub fn wait_min(&self, target: u32) {
+        let (lock, cvar) = &*self.inner;
+        let mut v = lock.lock();
+        while *v < target {
+            let timed_out = cvar.wait_for(&mut v, SEM_DEADLOCK_TIMEOUT).timed_out();
+            assert!(!timed_out, "noc_semaphore_wait_min({target}) deadlocked at {}", *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn set_inc_value() {
+        let s = Semaphore::new(0);
+        assert_eq!(s.value(), 0);
+        s.inc(3);
+        assert_eq!(s.value(), 3);
+        s.set(1);
+        assert_eq!(s.value(), 1);
+        s.inc(u32::MAX);
+        assert_eq!(s.value(), 0, "wraps like the 32-bit hardware counter");
+    }
+
+    #[test]
+    fn wait_blocks_until_target() {
+        let s = Semaphore::new(0);
+        let s2 = s.clone();
+        let waiter = thread::spawn(move || {
+            s2.wait(4);
+            s2.value()
+        });
+        thread::sleep(Duration::from_millis(30));
+        s.inc(2);
+        thread::sleep(Duration::from_millis(10));
+        assert!(!waiter.is_finished(), "must still be blocked at 2");
+        s.inc(2);
+        assert_eq!(waiter.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn producer_token_barrier() {
+        // Four producers each post a token; a consumer proceeds at 4 —
+        // the multicast-receiver handshake pattern.
+        let s = Semaphore::new(0);
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = s.clone();
+                scope.spawn(move || p.inc(1));
+            }
+            let c = s.clone();
+            scope.spawn(move || c.wait_min(4)).join().unwrap();
+        });
+        assert_eq!(s.value(), 4);
+    }
+}

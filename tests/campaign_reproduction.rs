@@ -1,0 +1,87 @@
+//! Statistical reproduction of the paper's campaign: experiments E1
+//! (Fig. 3), E3 (Fig. 5) and E5 (the reset census), asserted against the
+//! paper's reported numbers with bands reflecting finite campaign sizes.
+
+use tt_harness::{default_run, run_fig3, run_fig5};
+use tt_telemetry::stats::{max, mean, min, std_dev};
+
+#[test]
+fn e1_time_to_solution_distributions() {
+    let run = default_run();
+    let r = run_fig3(&run, 1002);
+
+    // Census: 50 submitted, ~26 completed (paper), all 49 CPU jobs fine.
+    assert_eq!(r.accel_submitted, 50);
+    assert!((15..=35).contains(&r.accel_succeeded), "census {}", r.accel_succeeded);
+    assert_eq!(r.cpu_times.len(), 49);
+
+    // Means: paper 301.40 ± 0.24 s and 672.90 ± 7.83 s.
+    let am = mean(&r.accel_times);
+    let cm = mean(&r.cpu_times);
+    assert!((am - 301.40).abs() < 2.0, "accel mean {am}");
+    assert!((cm - 672.90).abs() < 10.0, "cpu mean {cm}");
+
+    // Spread ordering: "time-to-solution for CPU-based simulations exhibits
+    // a higher standard deviation".
+    let a_sd = std_dev(&r.accel_times);
+    let c_sd = std_dev(&r.cpu_times);
+    assert!(a_sd < 1.0, "accel std {a_sd}");
+    assert!(c_sd > 3.0 && c_sd < 15.0, "cpu std {c_sd}");
+    assert!(c_sd / cm > 5.0 * a_sd / am, "relative spreads must be paper-ordered");
+
+    // Speedup: paper 2.23×.
+    assert!((r.speedup - 2.23).abs() < 0.12, "speedup {}", r.speedup);
+}
+
+#[test]
+fn e3_energy_to_solution_distributions() {
+    let run = default_run();
+    let r = run_fig5(&run, 2002);
+
+    let am = mean(&r.accel_energy_kj);
+    let cm = mean(&r.cpu_energy_kj);
+    // Paper: 71.56 ± 0.13 kJ (range 71.23–71.81) and 128.89 ± 1.52 kJ
+    // (range 127.29–131.36).
+    assert!((am - 71.56).abs() < 3.5, "accel energy {am} kJ");
+    assert!((cm - 128.89).abs() < 6.5, "cpu energy {cm} kJ");
+    assert!((r.energy_ratio - 1.80).abs() < 0.15, "ratio {}", r.energy_ratio);
+
+    // Ranges stay tight for accel, wider for cpu, as in the paper.
+    let a_range = max(&r.accel_energy_kj) - min(&r.accel_energy_kj);
+    let c_range = max(&r.cpu_energy_kj) - min(&r.cpu_energy_kj);
+    assert!(a_range < 2.0, "accel range {a_range}");
+    assert!(c_range > a_range, "cpu energies must vary more");
+
+    // Peak power: ≈260 W vs ≈210 W, and the ordering is strict.
+    assert!(r.accel_peak_w > r.cpu_peak_w);
+    assert!((r.accel_peak_w - 260.0).abs() < 25.0, "accel peak {}", r.accel_peak_w);
+    assert!((r.cpu_peak_w - 210.0).abs() < 25.0, "cpu peak {}", r.cpu_peak_w);
+}
+
+#[test]
+fn census_rate_converges_to_paper_probability() {
+    // Aggregate several campaigns: the job failure rate must converge to
+    // 24/50 = 0.48.
+    let run = default_run();
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for seed in 0..6 {
+        let r = run_fig3(&run, 3000 + seed);
+        ok += r.accel_succeeded;
+        total += r.accel_submitted;
+    }
+    let rate = 1.0 - ok as f64 / total as f64;
+    assert!((rate - 0.48).abs() < 0.1, "aggregate failure rate {rate}");
+}
+
+#[test]
+fn campaigns_are_seed_reproducible() {
+    let run = default_run();
+    let a = run_fig3(&run, 42);
+    let b = run_fig3(&run, 42);
+    assert_eq!(a.accel_succeeded, b.accel_succeeded);
+    assert_eq!(a.accel_times, b.accel_times);
+    assert_eq!(a.cpu_times, b.cpu_times);
+    let c = run_fig3(&run, 43);
+    assert_ne!(a.accel_times, c.accel_times, "different seeds, different campaigns");
+}

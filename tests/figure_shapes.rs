@@ -1,0 +1,85 @@
+//! Shape checks on the generated figures: the Fig. 4 band structure, the
+//! histogram renderers, CSV persistence of the raw samples, and the E6
+//! scaling curves.
+
+use tt_harness::{
+    default_run, render_histogram, render_timeseries, run_fig3, run_fig4, run_scaling,
+};
+use tt_telemetry::csvio;
+use tt_telemetry::stats::mean;
+
+#[test]
+fn fig4_reproduces_every_described_feature() {
+    let run = default_run();
+    let r = run_fig4(&run, 77);
+    let (t0, t1) = r.sim_window;
+    assert_eq!(r.card_series.len(), 4, "power recorded for all four cards");
+
+    for (id, s) in r.card_series.iter().enumerate() {
+        // "While idle, before the simulation starts, the cards consume
+        // between 10 and 11 W."
+        let pre: Vec<f64> = s.window(2.0, t0 - 2.0).iter().map(|p| p.watts).collect();
+        assert!(mean(&pre) > 9.8 && mean(&pre) < 11.2, "card {id} pre-idle {}", mean(&pre));
+
+        let sim: Vec<f64> = s.window(t0 + 2.0, t1 - 2.0).iter().map(|p| p.watts).collect();
+        if id == 3 {
+            // "the active device shows fluctuations between 26 and 33 W"
+            assert!(sim.iter().all(|w| (25.0..34.0).contains(w)), "active card band");
+            assert!(sim.iter().any(|w| *w > 31.0) && sim.iter().any(|w| *w < 28.0));
+        } else {
+            // "unused devices maintain a steady power consumption below 20 W"
+            assert!(sim.iter().all(|w| *w < 20.0), "card {id} must stay below 20 W");
+            assert!(mean(&sim) > 14.0, "but clearly above idle");
+        }
+
+        // "power consumption of all four cards drops sharply" after the end,
+        // to values "similar to, but not exactly equal to" the pre-job idle.
+        let post: Vec<f64> = s.window(t1 + 2.0, t1 + 110.0).iter().map(|p| p.watts).collect();
+        assert!(mean(&post) < 14.0, "card {id} post-run {}", mean(&post));
+        assert!(
+            mean(&post) > mean(&pre) + 0.4,
+            "card {id}: post-run idle must be slightly elevated"
+        );
+    }
+}
+
+#[test]
+fn fig4_renders_and_roundtrips_csv() {
+    let run = default_run();
+    let r = run_fig4(&run, 11);
+    let plot = render_timeseries("fig4", &r.card_series, &[r.sim_window.0, r.sim_window.1], 80, 12);
+    assert!(plot.contains("device0") && plot.contains("device3"));
+
+    let text = csvio::to_csv(&r.card_series);
+    let back = csvio::from_csv(&text);
+    assert_eq!(back.len(), 4);
+    assert_eq!(back[2].samples.len(), r.card_series[2].samples.len());
+    let orig = r.card_series[1].samples[10];
+    let rt = back[1].samples[10];
+    assert!((orig.watts - rt.watts).abs() < 1e-3, "CSV keeps 4 decimals");
+}
+
+#[test]
+fn fig3_histograms_are_well_formed() {
+    let run = default_run();
+    let r = run_fig3(&run, 55);
+    let a = render_histogram("accel", &r.accel_times, 9, "s");
+    let c = render_histogram("cpu", &r.cpu_times, 9, "s");
+    assert!(a.contains("mean = 30"), "accel mean near 301 s:\n{a}");
+    assert!(c.contains("mean = 67"), "cpu mean near 673 s:\n{c}");
+    assert!(a.contains("<- mean"));
+}
+
+#[test]
+fn e6_scaling_curves() {
+    let r = run_scaling(&default_run());
+    // Strong scaling: monotone improvement, sublinear efficiency.
+    for w in r.strong.windows(2) {
+        assert!(w[1].1 < w[0].1, "strong scaling must improve: {:?}", r.strong);
+    }
+    let eff4 = r.strong[0].1 / r.strong[3].1 / 4.0;
+    assert!(eff4 > 0.3 && eff4 < 1.0, "4-device efficiency {eff4}");
+    // Weak scaling: N grows as sqrt(d) so time should grow mildly.
+    let growth = r.weak[3].2 / r.weak[0].2;
+    assert!(growth < 2.5, "weak-scaling time growth {growth}");
+}
