@@ -41,8 +41,7 @@ fn bench_cb(c: &mut Criterion) {
     for depth in [1usize, 2, 4, 8, 16] {
         group.bench_function(BenchmarkId::new("pages", depth), |b| {
             b.iter(|| {
-                let cb =
-                    CircularBuffer::new(CircularBufferConfig::new(depth, DataFormat::Float32));
+                let cb = CircularBuffer::new(CircularBufferConfig::new(depth, DataFormat::Float32));
                 stream_tiles(&cb, tiles);
             });
         });

@@ -37,7 +37,10 @@ fn bench_pipelines(c: &mut Criterion) {
     eprintln!("functional NoC traffic per eval at N={n}:");
     let evals_rep = replicated.timing().evaluations.max(1);
     let evals_bc = broadcast.timing().evaluations.max(1);
-    eprintln!("  replicated: {:.1} MB", dev_rep.noc().total_bytes() as f64 / evals_rep as f64 / 1e6);
+    eprintln!(
+        "  replicated: {:.1} MB",
+        dev_rep.noc().total_bytes() as f64 / evals_rep as f64 / 1e6
+    );
     eprintln!("  broadcast:  {:.3} MB", dev_bc.noc().total_bytes() as f64 / evals_bc as f64 / 1e6);
 
     let run = paper_run();

@@ -33,9 +33,8 @@ fn fig5_report(_c: &mut Criterion) {
 
 fn bench_integration(c: &mut Criterion) {
     // A job's worth of 1 Hz samples (sleep + sim + sleep ≈ 913 s).
-    let samples: Vec<PowerSample> = (0..913)
-        .map(|i| PowerSample { t: i as f64, watts: 30.0 + (i % 7) as f64 })
-        .collect();
+    let samples: Vec<PowerSample> =
+        (0..913).map(|i| PowerSample { t: i as f64, watts: 30.0 + (i % 7) as f64 }).collect();
     let mut group = c.benchmark_group("fig5_energy_integration");
     group.throughput(Throughput::Elements(samples.len() as u64));
     group.sample_size(50);

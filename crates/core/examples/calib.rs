@@ -1,7 +1,7 @@
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::DeviceForcePipeline;
 use std::sync::Arc;
 use tensix::{Device, DeviceConfig};
-use nbody_tt::DeviceForcePipeline;
-use nbody::ic::{plummer, PlummerConfig};
 
 fn main() {
     let n = 1024;

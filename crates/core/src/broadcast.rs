@@ -33,7 +33,10 @@ use tensix::grid::CoreRangeSet;
 use tensix::tile::{pack_vector, TILE_ELEMS};
 use tensix::{DataFormat, Device, NocId, Result, Tile};
 use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
-use ttmetal::{Buffer, BufferRef, CommandQueue, ComputeCtx, ComputeKernel, DataMovementCtx, DataMovementKernel, Program};
+use ttmetal::{
+    Buffer, BufferRef, CommandQueue, ComputeCtx, ComputeKernel, DataMovementCtx,
+    DataMovementKernel, Program,
+};
 
 use crate::kernels::{args, WriterKernel};
 use crate::layout::{split_tiles_to_cores, HostArrays, PAD_POSITION};
@@ -255,8 +258,14 @@ impl BroadcastForcePipeline {
         let f = DataFormat::Float32;
         let num_tiles = n.div_ceil(TILE_ELEMS);
         let mk = |count: usize| Buffer::new(&device, f, count);
-        let target_bufs =
-            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+        let target_bufs = [
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+        ];
         // Packed source view: ⌈n/1024⌉ tiles per quantity, not n.
         let source_bufs = [
             mk(num_tiles)?,
@@ -267,8 +276,14 @@ impl BroadcastForcePipeline {
             mk(num_tiles)?,
             mk(num_tiles)?,
         ];
-        let output_bufs =
-            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+        let output_bufs = [
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+        ];
 
         let cores = CoreRangeSet::first_n(num_cores, grid.x);
         let mut program = Program::new();
@@ -466,10 +481,7 @@ mod tests {
         bc.evaluate(&sys).unwrap();
         let bc_noc = dev_bc.noc().total_bytes();
 
-        assert!(
-            rep_noc > 100 * bc_noc,
-            "replicated moved {rep_noc} B vs broadcast {bc_noc} B"
-        );
+        assert!(rep_noc > 100 * bc_noc, "replicated moved {rep_noc} B vs broadcast {bc_noc} B");
         // PCIe side shrinks too.
         assert!(rep.timing().io_seconds > 50.0 * bc.timing().io_seconds);
     }

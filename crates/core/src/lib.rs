@@ -27,8 +27,9 @@ pub use perf_model::{
     paper_run, HostCpuModel, RunModel, WormholePerfModel, CPU_EFF_CYCLES_PER_PAIR,
     DEVICE_CYCLES_PER_PAIR, PAPER_CYCLES, PAPER_N, STEPS_PER_CYCLE,
 };
-pub use pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming};
+pub use pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming, RetryPolicy};
 pub use simulation::{
-    run_cpu_simulation, run_device_simulation, SimulationConfig, SimulationOutcome,
+    run_cpu_simulation, run_device_simulation, run_device_simulation_resilient, RecoveryConfig,
+    ResilientOutcome, SimulationConfig, SimulationOutcome,
 };
 pub use validate::{validate_system, validation_suite, ValidationRow};

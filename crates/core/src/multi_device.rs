@@ -21,7 +21,8 @@ use parking_lot::Mutex;
 use nbody::particle::{Forces, ParticleSystem};
 use tensix::ethernet::{EthLink, EthRing};
 use tensix::tile::TILE_ELEMS;
-use tensix::{Device, Result};
+use tensix::{Device, Result, TensixError};
+use ttmetal::LaunchError;
 
 use crate::layout::split_tiles_to_cores;
 use crate::pipeline::DeviceForcePipeline;
@@ -31,10 +32,13 @@ use crate::pipeline::DeviceForcePipeline;
 pub struct MultiDeviceTiming {
     /// Slowest per-card device seconds across all evaluations.
     pub device_seconds: f64,
-    /// Ring all-gather seconds across all evaluations.
+    /// Ring all-gather seconds across all evaluations, including link-flap
+    /// retransmits.
     pub comm_seconds: f64,
     /// Evaluations run.
     pub evaluations: u64,
+    /// Cards replaced by a spare after a device loss or a dead link.
+    pub failovers: u64,
 }
 
 /// A force pipeline spanning several devices.
@@ -45,10 +49,16 @@ pub struct MultiDevicePipeline {
     /// runtime args instead — the arithmetic for the owned slice is
     /// identical, so results match bit for bit at far less code surface).
     pipelines: Vec<DeviceForcePipeline>,
+    /// The card behind each pipeline slot (for fault rolls and failover).
+    devices: Vec<Arc<Device>>,
+    /// Idle cards that can take over a failed slot.
+    spares: Vec<Arc<Device>>,
     /// Owned target-tile ranges per device: (start_particle, count).
     ranges: Vec<(usize, usize)>,
     ring: EthRing,
     n: usize,
+    eps: f64,
+    cores_per_device: usize,
     timing: Mutex<MultiDeviceTiming>,
 }
 
@@ -68,27 +78,46 @@ impl MultiDevicePipeline {
         eps: f64,
         cores_per_device: usize,
     ) -> Result<Self> {
+        Self::with_spares(devices, &[], n, eps, cores_per_device)
+    }
+
+    /// Like [`Self::new`], but with `spares`: idle cards that
+    /// [`Self::evaluate_checked`] promotes into a slot whose card fell off
+    /// the bus or whose ERISC link went down.
+    ///
+    /// # Errors
+    /// DRAM exhaustion on any active card (spares allocate nothing until
+    /// promoted).
+    ///
+    /// # Panics
+    /// Same contract as [`Self::new`].
+    pub fn with_spares(
+        devices: &[Arc<Device>],
+        spares: &[Arc<Device>],
+        n: usize,
+        eps: f64,
+        cores_per_device: usize,
+    ) -> Result<Self> {
         assert!(!devices.is_empty(), "need at least one device");
         let num_tiles = n.div_ceil(TILE_ELEMS);
         let tile_split = split_tiles_to_cores(num_tiles, devices.len());
         let mut pipelines = Vec::with_capacity(devices.len());
         let mut ranges = Vec::with_capacity(devices.len());
         for (device, (tile_start, tile_count)) in devices.iter().zip(tile_split) {
-            pipelines.push(DeviceForcePipeline::new(
-                Arc::clone(device),
-                n,
-                eps,
-                cores_per_device,
-            )?);
+            pipelines.push(DeviceForcePipeline::new(Arc::clone(device), n, eps, cores_per_device)?);
             let start = tile_start * TILE_ELEMS;
             let count = (tile_count * TILE_ELEMS).min(n.saturating_sub(start));
             ranges.push((start, count));
         }
         Ok(MultiDevicePipeline {
             pipelines,
+            devices: devices.to_vec(),
+            spares: spares.to_vec(),
             ranges,
             ring: EthRing::homogeneous(devices.len(), EthLink::default()),
             n,
+            eps,
+            cores_per_device,
             timing: Mutex::new(MultiDeviceTiming::default()),
         })
     }
@@ -139,6 +168,93 @@ impl MultiDevicePipeline {
         }
         Ok(gathered)
     }
+
+    /// Whether this launch failure takes the whole card out of the ring —
+    /// the cases a spare can fix.
+    fn card_is_gone(err: &LaunchError) -> bool {
+        matches!(
+            err,
+            LaunchError::DeviceLost { .. } | LaunchError::Device(TensixError::EthLinkDown { .. })
+        )
+    }
+
+    /// Evaluate forces across all devices with fault handling: ERISC link
+    /// flaps cost a retransmit, and a card that falls off the bus (or whose
+    /// link dies under a double flap) is replaced by a spare and its slice
+    /// recomputed — bit-identical, since every card sees the same inputs.
+    ///
+    /// # Errors
+    /// Any card's kernels faulting, or a card loss with no spare left.
+    ///
+    /// # Panics
+    /// Panics on a particle-count mismatch.
+    pub fn evaluate_checked(
+        &mut self,
+        system: &ParticleSystem,
+    ) -> std::result::Result<Forces, LaunchError> {
+        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        let mut gathered = Forces::zeros(self.n);
+        let mut slowest = 0.0f64;
+        let mut flap_comm = 0.0f64;
+        let mut failovers = 0u64;
+        for idx in 0..self.pipelines.len() {
+            let (start, count) = self.ranges[idx];
+            loop {
+                let pipeline = &self.pipelines[idx];
+                let before = pipeline.timing().device_seconds;
+                let attempt = pipeline.evaluate_checked(system).and_then(|full| {
+                    // The gather leaves over this card's ERISC link: one
+                    // flap costs a retransmit of the owned slice, a second
+                    // flap takes the link — and with it the card — down.
+                    let plan = self.devices[idx].faults();
+                    if !plan.disarmed() && plan.roll_eth_flap() {
+                        flap_comm += EthLink::default().transfer_seconds((count * 6 * 4) as u64);
+                        if plan.roll_eth_flap() {
+                            return Err(LaunchError::Device(TensixError::EthLinkDown {
+                                link: idx,
+                            }));
+                        }
+                    }
+                    Ok(full)
+                });
+                match attempt {
+                    Ok(full) => {
+                        slowest = slowest.max(pipeline.timing().device_seconds - before);
+                        for i in start..start + count {
+                            gathered.acc[i] = full.acc[i];
+                            gathered.jerk[i] = full.jerk[i];
+                        }
+                        break;
+                    }
+                    Err(err) if Self::card_is_gone(&err) => {
+                        let Some(spare) = self.spares.pop() else {
+                            return Err(err);
+                        };
+                        self.pipelines[idx] = DeviceForcePipeline::new(
+                            Arc::clone(&spare),
+                            self.n,
+                            self.eps,
+                            self.cores_per_device,
+                        )?;
+                        self.devices[idx] = spare;
+                        failovers += 1;
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+        let bytes_per_device =
+            (self.ranges.iter().map(|(_, c)| c).max().unwrap_or(&0) * 6 * 4) as u64;
+        let comm = self.ring.allgather_seconds(bytes_per_device) + flap_comm;
+        {
+            let mut t = self.timing.lock();
+            t.device_seconds += slowest;
+            t.comm_seconds += comm;
+            t.evaluations += 1;
+            t.failovers += failovers;
+        }
+        Ok(gathered)
+    }
 }
 
 #[cfg(test)]
@@ -158,8 +274,7 @@ mod tests {
         let sys = plummer(PlummerConfig { n, seed: 400, ..PlummerConfig::default() });
         let eps = 0.01;
 
-        let single =
-            DeviceForcePipeline::new(cluster(1).pop().unwrap(), n, eps, 1).unwrap();
+        let single = DeviceForcePipeline::new(cluster(1).pop().unwrap(), n, eps, 1).unwrap();
         let single_forces = single.evaluate(&sys).unwrap();
 
         let devices = cluster(2);
@@ -183,11 +298,7 @@ mod tests {
         let multi = MultiDevicePipeline::new(&devices, n, 0.02, 1).unwrap();
         let f = multi.evaluate(&sys).unwrap();
         // No particle left at the zero placeholder: every slice was gathered.
-        let zero_count = f
-            .acc
-            .iter()
-            .filter(|a| a[0] == 0.0 && a[1] == 0.0 && a[2] == 0.0)
-            .count();
+        let zero_count = f.acc.iter().filter(|a| a[0] == 0.0 && a[1] == 0.0 && a[2] == 0.0).count();
         assert_eq!(zero_count, 0, "{zero_count} particles missing forces");
     }
 
@@ -195,5 +306,93 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_cluster_rejected() {
         let _ = MultiDevicePipeline::new(&[], 64, 0.01, 1);
+    }
+
+    #[test]
+    fn lost_card_fails_over_to_spare_bitwise() {
+        use tensix::fault::FaultClass;
+
+        let n = 640;
+        let sys = plummer(PlummerConfig { n, seed: 402, ..PlummerConfig::default() });
+        let eps = 0.01;
+
+        let clean_devices = cluster(2);
+        let mut clean = MultiDevicePipeline::new(&clean_devices, n, eps, 1).unwrap();
+        let clean_forces = clean.evaluate_checked(&sys).unwrap();
+        assert_eq!(clean.timing().failovers, 0);
+
+        // Card 1 dies on its first launch; the spare takes its slice over.
+        let devices = cluster(2);
+        devices[1].faults().schedule(FaultClass::DeviceLoss, 1);
+        let spare = Device::new(9, DeviceConfig::default());
+        let mut multi = MultiDevicePipeline::with_spares(&devices, &[spare], n, eps, 1).unwrap();
+        let forces = multi.evaluate_checked(&sys).unwrap();
+        assert_eq!(multi.timing().failovers, 1);
+        assert!(!devices[1].is_alive(), "the dead card stays dead");
+
+        assert_eq!(forces.acc, clean_forces.acc, "failover must be invisible to physics");
+        assert_eq!(forces.jerk, clean_forces.jerk);
+
+        // The spare is consumed: a second loss has nothing to promote.
+        multi.devices[0].faults().schedule(FaultClass::DeviceLoss, 1);
+        let err = multi.evaluate_checked(&sys).unwrap_err();
+        assert!(matches!(err, LaunchError::DeviceLost { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn single_link_flap_costs_a_retransmit() {
+        use tensix::fault::FaultClass;
+
+        let n = 512;
+        let sys = plummer(PlummerConfig { n, seed: 403, ..PlummerConfig::default() });
+
+        let clean_devices = cluster(2);
+        let mut clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
+        let _ = clean.evaluate_checked(&sys).unwrap();
+
+        let devices = cluster(2);
+        devices[0].faults().schedule(FaultClass::EthFlap, 1);
+        let mut multi = MultiDevicePipeline::new(&devices, n, 0.01, 1).unwrap();
+        let forces = multi.evaluate_checked(&sys).unwrap();
+
+        let t = multi.timing();
+        assert_eq!(t.failovers, 0, "one flap only retransmits");
+        assert!(
+            t.comm_seconds > clean.timing().comm_seconds,
+            "the retransmit must be charged: {} vs {}",
+            t.comm_seconds,
+            clean.timing().comm_seconds
+        );
+        assert_eq!(devices[0].faults().stats().eth_flaps, 1);
+
+        // Physics unaffected.
+        let clean_again = clean.evaluate_checked(&sys).unwrap();
+        assert_eq!(forces.acc, clean_again.acc);
+    }
+
+    #[test]
+    fn double_link_flap_downs_the_link_and_fails_over() {
+        use tensix::fault::FaultConfig;
+
+        let n = 512;
+        let sys = plummer(PlummerConfig { n, seed: 404, ..PlummerConfig::default() });
+
+        // Both flap rolls hit: schedule the first, make the stream certain
+        // for the second.
+        let config = DeviceConfig {
+            faults: FaultConfig { eth_flap_prob: 1.0, ..FaultConfig::default() },
+            ..DeviceConfig::default()
+        };
+        let devices = vec![Device::new(0, DeviceConfig::default()), Device::new(1, config)];
+        let spare = Device::new(9, DeviceConfig::default());
+        let mut multi = MultiDevicePipeline::with_spares(&devices, &[spare], n, 0.01, 1).unwrap();
+        let _ = devices; // rolls happen through multi's clones
+        let forces = multi.evaluate_checked(&sys).unwrap();
+        assert_eq!(multi.timing().failovers, 1, "dead link forces a spare promotion");
+
+        let clean_devices = cluster(2);
+        let mut clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
+        let clean_forces = clean.evaluate_checked(&sys).unwrap();
+        assert_eq!(forces.acc, clean_forces.acc);
     }
 }

@@ -271,8 +271,7 @@ impl RunModel {
     #[must_use]
     pub fn cpu_seconds(&self) -> f64 {
         let host_overhead = 5.0e-3; // parallel predictor/corrector etc.
-        self.steps as f64
-            * (self.cpu.force_eval_seconds(self.n, self.cpu_threads) + host_overhead)
+        self.steps as f64 * (self.cpu.force_eval_seconds(self.n, self.cpu_threads) + host_overhead)
     }
 
     /// Speedup of the accelerated code (paper: 2.23×).
@@ -403,10 +402,7 @@ impl RunModel {
     #[must_use]
     pub fn accel_seconds_multi_device(&self, devices: usize) -> f64 {
         assert!(devices > 0, "need at least one device");
-        let model = WormholePerfModel {
-            cores: self.device.cores * devices,
-            ..self.device
-        };
+        let model = WormholePerfModel { cores: self.device.cores * devices, ..self.device };
         let eval = model.eval_seconds(self.n);
         let io = self.device.io_seconds(self.n) / devices as f64;
         let host = self.device.host_seconds(self.n);
@@ -578,13 +574,9 @@ mod tests {
         // the authors' prior clock-adjustment study): the minimum over a
         // clock grid lies strictly inside the sweep range.
         let grid: Vec<f64> = (0..=14).map(|i| 0.5 + 0.075 * f64::from(i)).collect();
-        let energies: Vec<f64> =
-            grid.iter().map(|s| run.active_card_energy_at_clock(*s)).collect();
-        let (best, _) = energies
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty grid");
+        let energies: Vec<f64> = grid.iter().map(|s| run.active_card_energy_at_clock(*s)).collect();
+        let (best, _) =
+            energies.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty grid");
         assert!(
             best > 0 && best < grid.len() - 1,
             "card-energy optimum must be interior, found at scale {}",

@@ -19,9 +19,9 @@ use nbody::force::ForceKernel;
 use nbody::particle::{Forces, ParticleSystem};
 use tensix::cb::CircularBufferConfig;
 use tensix::grid::CoreRangeSet;
-use tensix::{DataFormat, Device, NocId, Result, Tile};
+use tensix::{DataFormat, Device, NocId, Result, TensixError, Tile};
 use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
-use ttmetal::{Buffer, CommandQueue, Program};
+use ttmetal::{Buffer, CommandQueue, LaunchError, Program};
 
 use crate::kernels::{ForceComputeKernel, ReaderKernel, WriterKernel};
 use crate::layout::{split_tiles_to_cores, tilize_particles, HostArrays};
@@ -38,6 +38,60 @@ pub struct PipelineTiming {
     /// Compute-kernel cycles of the slowest core in the most recent
     /// evaluation.
     pub last_eval_cycles: u64,
+    /// Transient-fault retries performed by
+    /// [`DeviceForcePipeline::evaluate_with_retry`].
+    pub retries: u64,
+    /// Virtual seconds spent in retry backoff.
+    pub retry_backoff_seconds: f64,
+}
+
+impl PipelineTiming {
+    /// Fold another pipeline's accumulated timing into this one (used when a
+    /// pipeline is rebuilt after device loss and the old accounting must be
+    /// carried forward).
+    pub fn absorb(&mut self, other: PipelineTiming) {
+        self.device_seconds += other.device_seconds;
+        self.io_seconds += other.io_seconds;
+        self.evaluations += other.evaluations;
+        if other.last_eval_cycles > 0 {
+            self.last_eval_cycles = other.last_eval_cycles;
+        }
+        self.retries += other.retries;
+        self.retry_backoff_seconds += other.retry_backoff_seconds;
+    }
+}
+
+/// Bounded-retry policy for transient device faults (kernel panics from NoC
+/// or DRAM ECC errors, deadlocks, injected stalls). Backoff is exponential
+/// (`backoff_base_s`, doubling per attempt) and charged to the pipeline's
+/// virtual-time accounting, not slept on the host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first failed attempt. Zero
+    /// disables retrying.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual seconds.
+    pub backoff_base_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff_base_s: 0.25 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn disabled() -> Self {
+        RetryPolicy { max_retries: 0, backoff_base_s: 0.0 }
+    }
+
+    /// Backoff charged before retry number `attempt` (0-based).
+    #[must_use]
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s * f64::from(1u32 << attempt.min(16))
+    }
 }
 
 /// The assembled force+jerk pipeline on one Wormhole device.
@@ -102,12 +156,23 @@ impl DeviceForcePipeline {
         let num_tiles = n.div_ceil(tensix::TILE_ELEMS);
 
         let mk = |count: usize| Buffer::new(&device, f, count);
-        let target_bufs =
-            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
-        let source_bufs =
-            [mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?];
-        let output_bufs =
-            [mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?, mk(num_tiles)?];
+        let target_bufs = [
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+        ];
+        let source_bufs = [mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?];
+        let output_bufs = [
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+            mk(num_tiles)?,
+        ];
 
         let cores = CoreRangeSet::first_n(num_cores, grid.x);
         let program = build_program(
@@ -173,7 +238,8 @@ impl DeviceForcePipeline {
         *self.timing.lock()
     }
 
-    /// Run one force + jerk evaluation for `system`.
+    /// Run one force + jerk evaluation for `system`, with the legacy flat
+    /// error type.
     ///
     /// # Errors
     /// Kernel faults or DRAM errors.
@@ -181,6 +247,21 @@ impl DeviceForcePipeline {
     /// # Panics
     /// Panics if `system.len()` differs from the pipeline's `n`.
     pub fn evaluate(&self, system: &ParticleSystem) -> Result<Forces> {
+        self.evaluate_checked(system).map_err(TensixError::from)
+    }
+
+    /// Run one force + jerk evaluation with structured launch errors.
+    ///
+    /// # Errors
+    /// [`LaunchError`] identifying the faulting kernel/core, device loss, or
+    /// a device-layer error.
+    ///
+    /// # Panics
+    /// Panics if `system.len()` differs from the pipeline's `n`.
+    pub fn evaluate_checked(
+        &self,
+        system: &ParticleSystem,
+    ) -> std::result::Result<Forces, LaunchError> {
         assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
         let arrays = HostArrays::from_system(system);
         let tiled = tilize_particles(&arrays);
@@ -193,7 +274,7 @@ impl DeviceForcePipeline {
             queue.enqueue_write_buffer(buf, tiles)?;
         }
 
-        let report = queue.enqueue_program(&self.program)?;
+        let report = queue.enqueue_program_checked(&self.program)?;
 
         let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
         for buf in &self.output_bufs {
@@ -226,6 +307,42 @@ impl DeviceForcePipeline {
             }
         }
         Ok(forces)
+    }
+
+    /// [`DeviceForcePipeline::evaluate_checked`] with bounded retries for
+    /// transient faults. Every attempt rewrites all input buffers, so an
+    /// in-place retry is safe; timing counts exactly one evaluation per
+    /// *successful* attempt, so a retried evaluation never double-counts
+    /// device work in the energy/measurement window. Device loss is never
+    /// retried here — the DRAM buffers died with the card, so recovery
+    /// requires a reset and a pipeline rebuild (see the resilient
+    /// simulation runner).
+    ///
+    /// # Errors
+    /// The final [`LaunchError`] when the retry budget is exhausted or the
+    /// fault is not transient.
+    ///
+    /// # Panics
+    /// Panics if `system.len()` differs from the pipeline's `n`.
+    pub fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.evaluate_checked(system) {
+                Ok(forces) => return Ok(forces),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    let mut t = self.timing.lock();
+                    t.retries += 1;
+                    t.retry_backoff_seconds += policy.backoff_s(attempt);
+                    drop(t);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -285,13 +402,20 @@ fn build_program(
 /// The device pipeline behind the physics crate's `ForceKernel` trait.
 pub struct DeviceForceKernel {
     pipeline: DeviceForcePipeline,
+    retry: Option<RetryPolicy>,
 }
 
 impl DeviceForceKernel {
-    /// Wrap a pipeline.
+    /// Wrap a pipeline (no retries: any fault unwinds).
     #[must_use]
     pub fn new(pipeline: DeviceForcePipeline) -> Self {
-        DeviceForceKernel { pipeline }
+        DeviceForceKernel { pipeline, retry: None }
+    }
+
+    /// Wrap a pipeline with transient-fault retries.
+    #[must_use]
+    pub fn with_retry(pipeline: DeviceForcePipeline, policy: RetryPolicy) -> Self {
+        DeviceForceKernel { pipeline, retry: Some(policy) }
     }
 
     /// The wrapped pipeline (for timing queries).
@@ -311,19 +435,21 @@ impl ForceKernel for DeviceForceKernel {
     }
 
     fn compute(&self, system: &ParticleSystem) -> Forces {
-        self.pipeline
-            .evaluate(system)
-            .unwrap_or_else(|e| panic!("device force evaluation failed: {e}"))
+        let result = match self.retry {
+            Some(policy) => self.pipeline.evaluate_with_retry(system, policy),
+            None => self.pipeline.evaluate_checked(system),
+        };
+        // The trait has no error channel; unwind with a typed payload so the
+        // resilient simulation runner can classify the failure (device loss
+        // vs. unrecoverable fault) and recover.
+        result.unwrap_or_else(|e| std::panic::panic_any(TensixError::from(e)))
     }
 
     fn compute_range(&self, system: &ParticleSystem, i0: usize, i1: usize) -> Forces {
         // The device always evaluates every target tile; ranges slice the
         // full result (the trait exists for CPU-side work splitting).
         let full = self.compute(system);
-        Forces {
-            acc: full.acc[i0..i1].to_vec(),
-            jerk: full.jerk[i0..i1].to_vec(),
-        }
+        Forces { acc: full.acc[i0..i1].to_vec(), jerk: full.jerk[i0..i1].to_vec() }
     }
 }
 
@@ -380,9 +506,7 @@ mod tests {
     #[test]
     fn kernel_trait_roundtrip() {
         let sys = plummer(PlummerConfig { n: 64, seed: 92, ..PlummerConfig::default() });
-        let k = DeviceForceKernel::new(
-            DeviceForcePipeline::new(device(), 64, 0.05, 1).unwrap(),
-        );
+        let k = DeviceForceKernel::new(DeviceForcePipeline::new(device(), 64, 0.05, 1).unwrap());
         assert_eq!(k.name(), "tenstorrent-wormhole");
         assert_eq!(k.softening(), 0.05);
         let full = k.compute(&sys);
@@ -399,14 +523,9 @@ mod tests {
         let sys = plummer(PlummerConfig { n: 128, seed: 94, ..PlummerConfig::default() });
         let eps = 0.01;
         let fp32 = DeviceForcePipeline::new(device(), 128, eps, 1).unwrap();
-        let bf16 = DeviceForcePipeline::new_with_format(
-            device(),
-            128,
-            eps,
-            1,
-            DataFormat::Float16b,
-        )
-        .unwrap();
+        let bf16 =
+            DeviceForcePipeline::new_with_format(device(), 128, eps, 1, DataFormat::Float16b)
+                .unwrap();
         assert_eq!(bf16.format(), DataFormat::Float16b);
         let golden = ReferenceKernel::new(eps).compute(&sys);
         let cmp32 = compare_forces(&golden, &fp32.evaluate(&sys).unwrap());
@@ -418,6 +537,47 @@ mod tests {
             cmp16.max_acc_error
         );
         assert!(cmp16.max_acc_error > 20.0 * cmp32.max_acc_error);
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_result_is_bit_identical() {
+        use tensix::fault::{FaultClass, FaultConfig};
+
+        let sys = plummer(PlummerConfig { n: 96, seed: 95, ..PlummerConfig::default() });
+        let clean = DeviceForcePipeline::new(device(), 96, 0.01, 1).unwrap();
+        let clean_forces = clean.evaluate(&sys).unwrap();
+
+        // All DRAM ECC hits are uncorrectable; schedule one on the 5th read.
+        let dev = Device::new(
+            0,
+            tensix::DeviceConfig {
+                faults: FaultConfig { dram_uncorrectable_frac: 1.0, ..FaultConfig::default() },
+                seed: 7,
+                ..tensix::DeviceConfig::default()
+            },
+        );
+        dev.faults().schedule(FaultClass::DramRead, 5);
+        let faulty = DeviceForcePipeline::new(dev, 96, 0.01, 1).unwrap();
+        let forces = faulty.evaluate_with_retry(&sys, RetryPolicy::default()).unwrap();
+        let t = faulty.timing();
+        assert_eq!(t.retries, 1, "one transient fault, one retry");
+        assert!(t.retry_backoff_seconds > 0.0);
+        assert_eq!(t.evaluations, 1, "failed attempt not counted");
+        assert_eq!(forces.acc, clean_forces.acc, "retried result must be bit-identical");
+        assert_eq!(forces.jerk, clean_forces.jerk);
+    }
+
+    #[test]
+    fn device_loss_is_not_retried() {
+        use tensix::fault::FaultClass;
+
+        let sys = plummer(PlummerConfig { n: 64, seed: 96, ..PlummerConfig::default() });
+        let dev = device();
+        dev.faults().schedule(FaultClass::DeviceLoss, 1);
+        let pipeline = DeviceForcePipeline::new(dev, 64, 0.01, 1).unwrap();
+        let err = pipeline.evaluate_with_retry(&sys, RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, ttmetal::LaunchError::DeviceLost { .. }), "{err:?}");
+        assert_eq!(pipeline.timing().retries, 0);
     }
 
     #[test]

@@ -6,15 +6,17 @@
 //! accounting, mirroring the paper's representative-simulation structure
 //! (N particles, a number of time cycles each made of Hermite steps).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use nbody::diagnostics::{relative_energy_error, total_energy};
 use nbody::force::{ForceKernel, SimdKernel, ThreadedKernel};
 use nbody::integrator::{Hermite4, Integrator};
 use nbody::particle::ParticleSystem;
-use tensix::{Device, Result};
+use tensix::{Device, Result, TensixError};
+use ttmetal::LaunchError;
 
-use crate::pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming};
+use crate::pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming, RetryPolicy};
 
 /// Configuration of a device-accelerated simulation.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +35,13 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        SimulationConfig { eps: 0.01, cycles: 10, steps_per_cycle: 4, dt: 1.0 / 512.0, num_cores: 4 }
+        SimulationConfig {
+            eps: 0.01,
+            cycles: 10,
+            steps_per_cycle: 4,
+            dt: 1.0 / 512.0,
+            num_cores: 4,
+        }
     }
 }
 
@@ -90,6 +98,153 @@ pub fn run_device_simulation(
     })
 }
 
+/// How the resilient runner survives faults mid-simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Snapshot the FP64 Hermite state every this many successful steps.
+    pub checkpoint_every: usize,
+    /// In-place retry budget for transient launch faults (panics, deadlocks,
+    /// stalls). Device loss is never retried in place — the card's DRAM is
+    /// gone — and always goes through reset + checkpoint restore instead.
+    pub retry: RetryPolicy,
+    /// How many device losses the runner will reset-and-resume past before
+    /// giving up and surfacing [`LaunchError::DeviceLost`].
+    pub max_recoveries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { checkpoint_every: 4, retry: RetryPolicy::default(), max_recoveries: 2 }
+    }
+}
+
+/// Outcome of a resilient run: the physics plus the recovery ledger.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The simulation outcome, exactly as a fault-free run would report it
+    /// (timing additionally includes the replayed work).
+    pub outcome: SimulationOutcome,
+    /// Device losses survived via reset + checkpoint restore.
+    pub recoveries: u32,
+    /// Steps re-executed after rolling back to a checkpoint.
+    pub steps_replayed: usize,
+}
+
+fn build_device_integrator(
+    device: &Arc<Device>,
+    n: usize,
+    config: SimulationConfig,
+    retry: RetryPolicy,
+) -> Result<Hermite4<DeviceForceKernel>> {
+    let pipeline = DeviceForcePipeline::new(Arc::clone(device), n, config.eps, config.num_cores)?;
+    Ok(Hermite4::new(DeviceForceKernel::with_retry(pipeline, retry)))
+}
+
+/// Evolve `system` on the device like [`run_device_simulation`], but survive
+/// injected faults: transient launch failures are retried in place, and a
+/// mid-run device loss triggers reset → pipeline rebuild → restore of the
+/// last FP64 checkpoint → replay. Because the checkpoint holds the exact
+/// host-side Hermite state and the force pipeline is deterministic, a
+/// recovered run is f64-bitwise identical to a fault-free one.
+///
+/// # Errors
+/// Pipeline construction failures, non-transient kernel faults, reset
+/// failures during recovery, or more than `recovery.max_recoveries` device
+/// losses.
+///
+/// # Panics
+/// Re-raises kernel panics that are not device faults (e.g. assertion
+/// failures in kernel code).
+pub fn run_device_simulation_resilient(
+    device: &Arc<Device>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
+    let n = system.len();
+    let e0 = total_energy(system, config.eps);
+    let mut timing_acc = PipelineTiming::default();
+    let mut recoveries: u32 = 0;
+    let mut steps_replayed: usize = 0;
+
+    let mut integ = build_device_integrator(device, n, config, recovery.retry)?;
+
+    // Initialization: Hermite4::initialize only mutates the system after the
+    // force evaluation succeeds, so on device loss the state is untouched
+    // and we can simply reset and try again.
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| integ.initialize(system))) {
+            Ok(()) => break,
+            Err(payload) => match payload.downcast::<TensixError>() {
+                Ok(err) => match *err {
+                    TensixError::DeviceLost { .. } if recoveries < recovery.max_recoveries => {
+                        recoveries += 1;
+                        timing_acc.absorb(integ.kernel().pipeline().timing());
+                        device.reset()?;
+                        integ = build_device_integrator(device, n, config, recovery.retry)?;
+                    }
+                    other => return Err(LaunchError::from(other)),
+                },
+                Err(payload) => resume_unwind(payload),
+            },
+        }
+    }
+
+    // Checkpoint *after* initialize: a resume restores the exact post-init
+    // FP64 state and replays only whole steps, keeping bitwise identity.
+    let mut checkpoint = system.clone();
+    let mut checkpoint_step: usize = 0;
+
+    let total_steps = config.cycles * config.steps_per_cycle;
+    let mut step = 0;
+    while step < total_steps {
+        match catch_unwind(AssertUnwindSafe(|| integ.step(system, config.dt))) {
+            Ok(()) => {
+                step += 1;
+                if step - checkpoint_step >= recovery.checkpoint_every.max(1) && step < total_steps
+                {
+                    checkpoint = system.clone();
+                    checkpoint_step = step;
+                }
+            }
+            Err(payload) => match payload.downcast::<TensixError>() {
+                Ok(err) => match *err {
+                    TensixError::DeviceLost { .. } if recoveries < recovery.max_recoveries => {
+                        recoveries += 1;
+                        timing_acc.absorb(integ.kernel().pipeline().timing());
+                        device.reset()?;
+                        integ = build_device_integrator(device, n, config, recovery.retry)?;
+                        // A failed step leaves `system` in the half-predicted
+                        // state Hermite4 writes before calling the kernel, so
+                        // recovery always restores the checkpoint.
+                        *system = checkpoint.clone();
+                        steps_replayed += step - checkpoint_step;
+                        step = checkpoint_step;
+                    }
+                    other => return Err(LaunchError::from(other)),
+                },
+                Err(payload) => resume_unwind(payload),
+            },
+        }
+    }
+
+    let e1 = total_energy(system, config.eps);
+    timing_acc.absorb(integ.kernel().pipeline().timing());
+    Ok(ResilientOutcome {
+        outcome: SimulationOutcome {
+            steps: total_steps,
+            final_time: system.time,
+            energy_error: relative_energy_error(e1, e0),
+            initial_energy: e0,
+            final_energy: e1,
+            timing: Some(timing_acc),
+            kernel: "tenstorrent-wormhole",
+        },
+        recoveries,
+        steps_replayed,
+    })
+}
+
 /// Evolve `system` with the CPU reference (threaded SIMD mixed-precision
 /// kernel — the stand-in for the paper's AVX-512 + OpenMP implementation).
 #[must_use]
@@ -126,13 +281,7 @@ mod tests {
     use tensix::DeviceConfig;
 
     fn small_config() -> SimulationConfig {
-        SimulationConfig {
-            eps: 0.05,
-            cycles: 2,
-            steps_per_cycle: 2,
-            dt: 1.0 / 256.0,
-            num_cores: 1,
-        }
+        SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
     }
 
     #[test]
@@ -169,6 +318,72 @@ mod tests {
                 assert!(d < 1e-5, "particle {i} axis {k} diverged by {d}");
             }
         }
+    }
+
+    #[test]
+    fn device_loss_mid_run_resumes_bitwise_identical() {
+        use tensix::fault::FaultClass;
+
+        let cfg = SimulationConfig {
+            eps: 0.05,
+            cycles: 2,
+            steps_per_cycle: 4,
+            dt: 1.0 / 256.0,
+            num_cores: 2,
+        };
+        let mk = || plummer(PlummerConfig { n: 512, seed: 103, ..PlummerConfig::default() });
+
+        let clean_dev = Device::new(0, DeviceConfig::default());
+        let mut clean_sys = mk();
+        let clean = run_device_simulation_resilient(
+            &clean_dev,
+            &mut clean_sys,
+            cfg,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(clean.recoveries, 0);
+        assert_eq!(clean.steps_replayed, 0);
+
+        // Launch events: initialize is #1, step i is #(i+1); kill the card
+        // mid-way through the 4th step.
+        let dev = Device::new(0, DeviceConfig::default());
+        dev.faults().schedule(FaultClass::DeviceLoss, 5);
+        let mut sys = mk();
+        let out = run_device_simulation_resilient(&dev, &mut sys, cfg, RecoveryConfig::default())
+            .unwrap();
+        assert_eq!(out.recoveries, 1);
+        assert_eq!(out.steps_replayed, 3, "rolled back to the post-init checkpoint");
+        assert_eq!(dev.faults().stats().device_losses, 1);
+
+        // Checkpoint/restart must be invisible to the physics: f64-bitwise
+        // identical state and energies.
+        assert_eq!(sys.pos, clean_sys.pos);
+        assert_eq!(sys.vel, clean_sys.vel);
+        assert_eq!(out.outcome.final_energy.to_bits(), clean.outcome.final_energy.to_bits());
+        assert_eq!(out.outcome.energy_error.to_bits(), clean.outcome.energy_error.to_bits());
+        // Replayed work is billed, not hidden.
+        let t = out.outcome.timing.unwrap();
+        let tc = clean.outcome.timing.unwrap();
+        assert_eq!(t.evaluations, tc.evaluations + out.steps_replayed as u64);
+    }
+
+    #[test]
+    fn repeated_device_loss_exhausts_recovery_budget() {
+        use tensix::FaultConfig;
+
+        let dev = Device::new(
+            0,
+            DeviceConfig {
+                faults: FaultConfig { device_loss_prob: 1.0, ..FaultConfig::default() },
+                ..DeviceConfig::default()
+            },
+        );
+        let mut sys = plummer(PlummerConfig { n: 64, seed: 104, ..PlummerConfig::default() });
+        let recovery = RecoveryConfig { max_recoveries: 1, ..RecoveryConfig::default() };
+        let err =
+            run_device_simulation_resilient(&dev, &mut sys, small_config(), recovery).unwrap_err();
+        assert!(matches!(err, LaunchError::DeviceLost { .. }), "{err:?}");
     }
 
     #[test]

@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use nbody::accuracy::{compare_forces, ForceComparison, ACC_TOLERANCE, JERK_TOLERANCE};
 use nbody::force::ForceKernel;
-use nbody::ic::{cold_collapse, king, plummer, two_cluster_merger, KingConfig, PlummerConfig, TwoClusterConfig};
+use nbody::ic::{
+    cold_collapse, king, plummer, two_cluster_merger, KingConfig, PlummerConfig, TwoClusterConfig,
+};
 use nbody::particle::ParticleSystem;
 use nbody::ReferenceKernel;
 use tensix::{Device, Result};

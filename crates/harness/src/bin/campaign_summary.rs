@@ -1,7 +1,10 @@
-//! One-shot summary: runs E1–E3 and E6 and prints the consolidated
-//! paper-vs-measured table (the source of EXPERIMENTS.md's headline rows).
+//! One-shot summary: runs E1–E3, E6 and E9 and prints the consolidated
+//! paper-vs-measured table (the source of EXPERIMENTS.md's headline rows)
+//! plus the failure-class census.
 
-use tt_harness::{default_run, render_table, run_fig3, run_fig5, run_scaling, Comparison};
+use tt_harness::{
+    default_run, render_table, run_fault_census, run_fig3, run_fig5, run_scaling, Comparison,
+};
 use tt_telemetry::stats::{mean, std_dev};
 
 fn main() {
@@ -34,5 +37,29 @@ fn main() {
     ];
     println!("{}", render_table("headline metrics", &rows, 0.30));
 
-    println!("E6 strong scaling: 1 card {:.0} s -> 4 cards {:.0} s", sc.strong[0].1, sc.strong[3].1);
+    println!(
+        "E6 strong scaling: 1 card {:.0} s -> 4 cards {:.0} s",
+        sc.strong[0].1, sc.strong[3].1
+    );
+
+    // E9: the census by failure class, phrased as the paper reports it.
+    let fc = run_fault_census(&run, 0x5c25);
+    let b = fc.baseline;
+    println!("\n=== E9 fault-tolerance census (50 accelerated submissions) ===\n");
+    println!(
+        "one-shot submissions (paper workflow): {} ran successfully, \
+         {} failed to start due to errors occurring during the device reset phase, \
+         {} lost the card mid-run, {} timed out",
+        b.succeeded, b.failed_reset, b.failed_mid_run, b.failed_timeout
+    );
+    let r = fc.retried;
+    println!(
+        "with {} reset retries ({}s backoff, doubling): {} ran successfully, \
+         {} failed to start ({} retries consumed across the campaign)",
+        fc.policy.reset_retries,
+        fc.policy.reset_backoff_s,
+        r.succeeded,
+        r.failed_reset,
+        r.reset_retries_used
+    );
 }

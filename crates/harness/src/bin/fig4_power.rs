@@ -29,8 +29,7 @@ fn main() {
     for s in &result.card_series {
         let idle: Vec<f64> = s.window(2.0, t0 - 2.0).iter().map(|p| p.watts).collect();
         let simw: Vec<f64> = s.window(t0 + 2.0, t1 - 2.0).iter().map(|p| p.watts).collect();
-        let post: Vec<f64> =
-            s.window(t1 + 2.0, t1 + 118.0).iter().map(|p| p.watts).collect();
+        let post: Vec<f64> = s.window(t1 + 2.0, t1 + 118.0).iter().map(|p| p.watts).collect();
         println!(
             "{}: idle {:.1} W | simulation mean {:.1} W peak {:.1} W | post-run idle {:.1} W",
             s.label,

@@ -12,10 +12,7 @@ fn main() {
     let result = run_fig5(&run, 0x0515);
 
     println!("=== E3 / Fig. 5: energy-to-solution ===\n");
-    println!(
-        "{}",
-        render_histogram("Fig 5(a): device + CPU", &result.accel_energy_kj, 9, "kJ")
-    );
+    println!("{}", render_histogram("Fig 5(a): device + CPU", &result.accel_energy_kj, 9, "kJ"));
     println!("{}", render_histogram("Fig 5(b): CPU only", &result.cpu_energy_kj, 9, "kJ"));
 
     let rows = vec![

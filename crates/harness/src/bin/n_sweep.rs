@@ -33,7 +33,10 @@ fn main() {
     fs::create_dir_all("results").ok();
     let mut csv = String::from("n,accel_step_s,cpu_step_s,speedup\n");
     for p in &points {
-        csv.push_str(&format!("{},{:.6},{:.6},{:.4}\n", p.n, p.accel_step_s, p.cpu_step_s, p.speedup));
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.4}\n",
+            p.n, p.accel_step_s, p.cpu_step_s, p.speedup
+        ));
     }
     fs::write(Path::new("results/n_sweep.csv"), csv).ok();
     println!("raw data written to results/n_sweep.csv");

@@ -17,11 +17,7 @@ fn main() {
     println!("  devices | time (s) | speedup | efficiency");
     let t1 = result.strong[0].1;
     for (d, t) in &result.strong {
-        println!(
-            "  {d:>7} | {t:>8.1} | {:>7.2} | {:>9.1}%",
-            t1 / t,
-            100.0 * t1 / t / *d as f64
-        );
+        println!("  {d:>7} | {t:>8.1} | {:>7.2} | {:>9.1}%", t1 / t, 100.0 * t1 / t / *d as f64);
     }
 
     println!("\nweak scaling (pair work per device held constant, N grows as sqrt(devices)):");

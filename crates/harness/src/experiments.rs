@@ -3,10 +3,13 @@
 //! Binaries and benches call these; integration tests assert on the
 //! returned structures. Experiment ids follow DESIGN.md: E1 = Fig. 3,
 //! E2 = Fig. 4, E3 = Fig. 5, E4 = §3 accuracy, E5 = the reset census,
-//! E6 = the multi-device scaling extension.
+//! E6 = the multi-device scaling extension, E9 = the fault-tolerance
+//! census (E5 re-run under a bounded reset-retry policy).
 
 use nbody_tt::perf_model::{paper_run, RunModel};
-use tt_telemetry::campaign::{run_campaign, successes, JobRecord};
+use tt_telemetry::campaign::{
+    census, run_campaign, successes, CampaignCensus, FaultPolicy, JobRecord,
+};
 use tt_telemetry::sample::SampleSeries;
 use tt_telemetry::stats::{mean, std_dev};
 
@@ -64,7 +67,7 @@ pub struct Fig4Result {
 pub fn run_fig4(run: &RunModel, seed: u64) -> Fig4Result {
     for attempt in 0..64 {
         let rec = tt_telemetry::campaign::run_job(&accel_spec(run), attempt, seed);
-        if rec.success {
+        if rec.success() {
             return Fig4Result { card_series: rec.card_series, sim_window: rec.sim_window };
         }
     }
@@ -98,10 +101,7 @@ pub fn run_fig5(run: &RunModel, seed: u64) -> Fig5Result {
     let accel = energies_kj(&accel_records);
     let cpu = energies_kj(&cpu_records);
     let peak = |records: &[JobRecord]| {
-        successes(records)
-            .iter()
-            .filter_map(|r| r.peak_power_w)
-            .fold(0.0f64, f64::max)
+        successes(records).iter().filter_map(|r| r.peak_power_w).fold(0.0f64, f64::max)
     };
     Fig5Result {
         energy_ratio: mean(&cpu) / mean(&accel),
@@ -110,6 +110,32 @@ pub fn run_fig5(run: &RunModel, seed: u64) -> Fig5Result {
         accel_energy_kj: accel,
         cpu_energy_kj: cpu,
     }
+}
+
+/// E9: the fault-tolerance census — the paper's reset census (E5) run twice
+/// with the same seed, once with the paper's one-shot submissions and once
+/// with a bounded reset-retry budget.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCensusResult {
+    /// The paper's behaviour: one reset attempt per job.
+    pub baseline: CampaignCensus,
+    /// The same 50 submissions under the retry policy.
+    pub retried: CampaignCensus,
+    /// The retry policy used.
+    pub policy: FaultPolicy,
+}
+
+/// Run E9: 50 accelerated submissions, with and without reset retries.
+/// Both campaigns replay the identical per-job fault streams, so the only
+/// difference is the recovery policy.
+#[must_use]
+pub fn run_fault_census(run: &RunModel, seed: u64) -> FaultCensusResult {
+    let baseline = census(&run_campaign(&accel_spec(run), 50, seed));
+    let policy = FaultPolicy { reset_retries: 4, reset_backoff_s: 5.0, ..FaultPolicy::default() };
+    let mut spec = accel_spec(run);
+    spec.faults = policy;
+    let retried = census(&run_campaign(&spec, 50, seed));
+    FaultCensusResult { baseline, retried, policy }
 }
 
 /// E6: strong scaling over 1–4 devices at paper N, plus weak scaling
@@ -174,12 +200,7 @@ pub fn sweep_crossover(points: &[SweepPoint]) -> Option<usize> {
 /// Summary statistics line used by several binaries.
 #[must_use]
 pub fn summarize(label: &str, xs: &[f64], unit: &str) -> String {
-    format!(
-        "{label}: mean {:.2} {unit}, std {:.2} {unit}, n = {}",
-        mean(xs),
-        std_dev(xs),
-        xs.len()
-    )
+    format!("{label}: mean {:.2} {unit}, std {:.2} {unit}, n = {}", mean(xs), std_dev(xs), xs.len())
 }
 
 /// Convenience: the paper's default run model.
@@ -223,6 +244,23 @@ mod tests {
         let cm = mean(&r.cpu_energy_kj);
         assert!((am - 71.56).abs() < 4.0, "accel {am} kJ");
         assert!((cm - 128.89).abs() < 7.0, "cpu {cm} kJ");
+    }
+
+    #[test]
+    fn fault_census_recovers_the_campaign() {
+        let run = default_run();
+        let r = run_fault_census(&run, 20_260_704);
+        // Baseline is E5: roughly half the jobs fail to start, all at reset.
+        assert_eq!(r.baseline.submitted, 50);
+        assert!((15..=35).contains(&r.baseline.succeeded), "{:?}", r.baseline);
+        assert_eq!(r.baseline.failed(), r.baseline.failed_reset);
+        // Retried: p(5 straight reset failures) = 0.48^5 ≈ 2.5 %.
+        assert!(r.retried.succeeded >= 45, "{:?}", r.retried);
+        assert!(r.retried.reset_retries_used > 0);
+        // Deterministic replay.
+        let again = run_fault_census(&run, 20_260_704);
+        assert_eq!(again.baseline, r.baseline);
+        assert_eq!(again.retried, r.retried);
     }
 
     #[test]

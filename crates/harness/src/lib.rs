@@ -20,8 +20,9 @@ pub mod report;
 pub mod specs;
 
 pub use experiments::{
-    default_run, run_fig3, run_fig4, run_fig5, run_n_sweep, run_scaling, sweep_crossover,
-    Fig3Result, Fig4Result, Fig5Result, ScalingResult, SweepPoint,
+    default_run, run_fault_census, run_fig3, run_fig4, run_fig5, run_n_sweep, run_scaling,
+    sweep_crossover, FaultCensusResult, Fig3Result, Fig4Result, Fig5Result, ScalingResult,
+    SweepPoint,
 };
 pub use plot::{render_histogram, render_timeseries};
 pub use report::{all_within, render_table, Comparison};

@@ -27,7 +27,11 @@ pub fn render_histogram(title: &str, xs: &[f64], bins: usize, unit: &str) -> Str
         let center = h.bin_center(i);
         let marker = {
             let width = (h.hi - h.lo) / h.counts.len() as f64;
-            if (center - m).abs() <= width / 2.0 { " <- mean" } else { "" }
+            if (center - m).abs() <= width / 2.0 {
+                " <- mean"
+            } else {
+                ""
+            }
         };
         out.push_str(&format!(
             "  {center:>10.2} | {}{} {c}{marker}\n",

@@ -22,12 +22,7 @@ impl Comparison {
     /// Build a row.
     #[must_use]
     pub fn new(metric: &str, paper: f64, measured: f64, unit: &str) -> Self {
-        Comparison {
-            metric: metric.to_string(),
-            paper,
-            measured,
-            unit: unit.to_string(),
-        }
+        Comparison { metric: metric.to_string(), paper, measured, unit: unit.to_string() }
     }
 
     /// Relative deviation |measured − paper| / |paper|.

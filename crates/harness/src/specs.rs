@@ -5,7 +5,7 @@
 //! the exact job parameters of the paper's campaign.
 
 use nbody_tt::perf_model::RunModel;
-use tt_telemetry::campaign::{JobKind, JobSpec};
+use tt_telemetry::campaign::{FaultPolicy, JobKind, JobSpec};
 
 /// Fractional 1σ time jitter of accelerated runs (paper: 0.24 / 301.40).
 pub const ACCEL_TIME_JITTER: f64 = 0.24 / 301.40;
@@ -33,6 +33,7 @@ pub fn accel_spec(run: &RunModel) -> JobSpec {
         host_idle_power_w: run.cpu.total_power(0),
         reset_failure_prob: RESET_FAILURE_PROB,
         sample_interval: 1.0,
+        faults: FaultPolicy::default(),
     }
 }
 
@@ -51,6 +52,7 @@ pub fn cpu_spec(run: &RunModel) -> JobSpec {
         host_idle_power_w: run.cpu.total_power(0),
         reset_failure_prob: 0.0,
         sample_interval: 1.0,
+        faults: FaultPolicy::default(),
     }
 }
 

@@ -109,10 +109,7 @@ mod tests {
     fn fp32_kernels_pass_paper_tolerances() {
         let sys = plummer(PlummerConfig { n: 512, seed: 71, ..PlummerConfig::default() });
         let golden = ReferenceKernel::new(1e-3).compute(&sys);
-        for f in [
-            ScalarMixedKernel::new(1e-3).compute(&sys),
-            SimdKernel::new(1e-3).compute(&sys),
-        ] {
+        for f in [ScalarMixedKernel::new(1e-3).compute(&sys), SimdKernel::new(1e-3).compute(&sys)] {
             let cmp = compare_forces(&golden, &f);
             assert!(
                 cmp.passes(),

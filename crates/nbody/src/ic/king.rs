@@ -47,8 +47,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -161,10 +160,7 @@ impl KingProfile {
     pub fn radius_of_mass_fraction(&self, u: f64) -> f64 {
         let total = *self.cumulative_mass.last().unwrap();
         let target = u.clamp(0.0, 1.0) * total;
-        match self
-            .cumulative_mass
-            .binary_search_by(|x| x.total_cmp(&target))
-        {
+        match self.cumulative_mass.binary_search_by(|x| x.total_cmp(&target)) {
             Ok(i) => self.r[i],
             Err(0) => self.r[0],
             Err(i) if i >= self.r.len() => self.tidal_radius,

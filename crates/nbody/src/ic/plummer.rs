@@ -84,11 +84,11 @@ pub fn plummer(config: PlummerConfig) -> ParticleSystem {
             // Simple Salpeter-like spread over a decade, renormalized below.
             mass * rng.gen_range(0.3..3.0)
         };
-        system.push(m, [r * rd[0], r * rd[1], r * rd[2]], [
-            speed * vd[0],
-            speed * vd[1],
-            speed * vd[2],
-        ]);
+        system.push(
+            m,
+            [r * rd[0], r * rd[1], r * rd[2]],
+            [speed * vd[0], speed * vd[1], speed * vd[2]],
+        );
         let _ = i;
     }
     if !config.equal_mass {

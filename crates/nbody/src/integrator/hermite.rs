@@ -76,9 +76,8 @@ impl<K: ForceKernel> Integrator for Hermite4<K> {
                 let v1 = vel0[i][k]
                     + (acc0[i][k] + f1.acc[i][k]) * half
                     + (jerk0[i][k] - f1.jerk[i][k]) * twelfth;
-                let x1 = pos0[i][k]
-                    + (vel0[i][k] + v1) * half
-                    + (acc0[i][k] - f1.acc[i][k]) * twelfth;
+                let x1 =
+                    pos0[i][k] + (vel0[i][k] + v1) * half + (acc0[i][k] - f1.acc[i][k]) * twelfth;
                 system.vel[i][k] = v1;
                 system.pos[i][k] = x1;
             }
@@ -103,11 +102,7 @@ mod tests {
         let period = std::f64::consts::TAU; // 2π √(r³/GM), r = GM = 1
         integ.evolve(&mut s, period, period / 256.0);
         // After one period the separation is still ~1 and positions return.
-        let d = [
-            s.pos[0][0] - s.pos[1][0],
-            s.pos[0][1] - s.pos[1][1],
-            s.pos[0][2] - s.pos[1][2],
-        ];
+        let d = [s.pos[0][0] - s.pos[1][0], s.pos[0][1] - s.pos[1][1], s.pos[0][2] - s.pos[1][2]];
         let sep = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
         assert!((sep - 1.0).abs() < 1e-6, "separation drifted to {sep}");
         assert!((s.pos[0][0] - 0.5).abs() < 1e-3, "did not return after a period");

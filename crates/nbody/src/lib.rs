@@ -25,8 +25,8 @@ pub mod units;
 
 pub use accuracy::{compare_forces, ForceComparison, ACC_TOLERANCE, JERK_TOLERANCE};
 pub use force::{
-    pair_interactions, ForceKernel, ReferenceKernel, ScalarMixedKernel, SimdKernel,
-    ThreadedKernel, SIMD_LANES,
+    pair_interactions, ForceKernel, ReferenceKernel, ScalarMixedKernel, SimdKernel, ThreadedKernel,
+    SIMD_LANES,
 };
 pub use ic::{
     cold_collapse, king, plummer, solve_king_profile, two_cluster_merger, uniform_sphere,

@@ -11,12 +11,8 @@ use nbody::particle::ParticleSystem;
 
 fn arb_system(max_n: usize) -> impl Strategy<Value = ParticleSystem> {
     (2..max_n).prop_flat_map(|n| {
-        (
-            vec(0.01f64..2.0, n),
-            vec(-3.0f64..3.0, 3 * n),
-            vec(-1.0f64..1.0, 3 * n),
-        )
-            .prop_map(move |(mass, pos, vel)| {
+        (vec(0.01f64..2.0, n), vec(-3.0f64..3.0, 3 * n), vec(-1.0f64..1.0, 3 * n)).prop_map(
+            move |(mass, pos, vel)| {
                 let mut s = ParticleSystem::with_capacity(n);
                 for i in 0..n {
                     s.push(
@@ -26,7 +22,8 @@ fn arb_system(max_n: usize) -> impl Strategy<Value = ParticleSystem> {
                     );
                 }
                 s
-            })
+            },
+        )
     })
 }
 

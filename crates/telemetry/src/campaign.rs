@@ -13,7 +13,7 @@
 //! energy-to-solution, and the peak combined power.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use tensix::{Device, DeviceConfig, PowerParams, PowerState};
 
 use crate::energy::integrate_samples;
@@ -31,6 +31,56 @@ pub enum JobKind {
     Accelerated,
     /// CPU-only reference (32 OpenMP threads, 1 MPI task).
     CpuOnly,
+}
+
+/// Where in its lifecycle a failed job died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailurePhase {
+    /// The device reset failed and the job never started — the class behind
+    /// the paper's "the remaining 24 failed to start due to errors occurring
+    /// during the device reset phase".
+    Reset,
+    /// The card fell off the bus (or a kernel fault killed the run) inside
+    /// the measurement window.
+    MidRun,
+    /// The job hung and was killed at its wall-clock budget.
+    Timeout,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job produced measurements.
+    Success,
+    /// The job died; the phase says where.
+    Failed(FailurePhase),
+}
+
+/// Fault-tolerance policy for a campaign. The all-zeros [`Default`] is
+/// exactly the paper's workflow — one reset attempt, no mid-run faults, no
+/// recovery — so the census experiments reproduce unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPolicy {
+    /// Extra reset attempts after a failed one (0 = the paper's one-shot
+    /// submission behaviour).
+    pub reset_retries: u32,
+    /// Virtual backoff charged for the first reset retry, s; doubles on
+    /// each further attempt. Accrues into
+    /// [`JobRecord::recovery_overhead_s`], never into the measurement
+    /// window.
+    pub reset_backoff_s: f64,
+    /// Probability the job hangs mid-run and is killed at its wall-clock
+    /// budget ([`FailurePhase::Timeout`]; accelerated jobs only).
+    pub hang_prob: f64,
+    /// Probability the active card falls off the bus mid-simulation
+    /// (accelerated jobs only).
+    pub mid_run_loss_prob: f64,
+    /// On a mid-run loss, resume from the last host-side checkpoint instead
+    /// of failing the job.
+    pub resume_from_checkpoint: bool,
+    /// Fraction of the simulation redone after a checkpoint resume (the
+    /// work since the last checkpoint).
+    pub checkpoint_redo_frac: f64,
 }
 
 /// Parameters of a job, supplied by the caller (the harness derives them
@@ -61,6 +111,8 @@ pub struct JobSpec {
     pub reset_failure_prob: f64,
     /// tt-smi sampling interval, s.
     pub sample_interval: f64,
+    /// Fault-tolerance policy (retries, mid-run faults, checkpoint resume).
+    pub faults: FaultPolicy,
 }
 
 /// Outcome of one job.
@@ -70,8 +122,14 @@ pub struct JobRecord {
     pub job_id: usize,
     /// Accelerated or CPU-only.
     pub kind: JobKind,
-    /// False when the job died at device reset.
-    pub success: bool,
+    /// How the job ended, and where it died if it did.
+    pub outcome: JobOutcome,
+    /// Reset retries consumed before the device came up (0 on the paper's
+    /// one-shot policy).
+    pub reset_retries_used: u32,
+    /// Virtual time spent on recovery — reset backoff and checkpoint redo —
+    /// outside the measurement window, s.
+    pub recovery_overhead_s: f64,
     /// Simulation wall time (MPI_Wtime window), s.
     pub time_to_solution: Option<f64>,
     /// Cards' energy over the simulation window, J.
@@ -105,10 +163,42 @@ pub struct JobRecord {
     pub sim_window: (f64, f64),
 }
 
+impl JobRecord {
+    /// A job that died in `phase` with nothing measured.
+    #[must_use]
+    pub fn failed(job_id: usize, kind: JobKind, phase: FailurePhase) -> Self {
+        JobRecord {
+            job_id,
+            kind,
+            outcome: JobOutcome::Failed(phase),
+            reset_retries_used: 0,
+            recovery_overhead_s: 0.0,
+            time_to_solution: None,
+            card_energy_j: None,
+            cpu_energy_j: None,
+            cpu_energy_naive_j: None,
+            cpu_energy_combined_j: None,
+            total_energy_j: None,
+            peak_power_w: None,
+            card_series: Vec::new(),
+            host_series: SampleSeries::new("host"),
+            server_series: SampleSeries::new("server"),
+            sim_window: (0.0, 0.0),
+        }
+    }
+
+    /// Whether the job produced measurements.
+    #[must_use]
+    pub fn success(&self) -> bool {
+        self.outcome == JobOutcome::Success
+    }
+}
+
 /// Run one job.
 #[must_use]
 pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (job_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut rng =
+        SmallRng::seed_from_u64(seed ^ (job_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
 
     // --- device reset phase (accelerated jobs only) ----------------------
     // The failure mode is per *job*: one bad reset anywhere aborts the
@@ -127,33 +217,68 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
             )
         })
         .collect();
+    let mut reset_retries_used: u32 = 0;
+    let mut recovery_overhead_s: f64 = 0.0;
     for d in &devices {
         d.set_power_params(spec.card_params);
-        if d.reset().is_err() {
-            // "the remaining 24 failed to start due to errors occurring
-            // during the device reset phase".
-            return JobRecord {
-                job_id,
-                kind: spec.kind,
-                success: false,
-                time_to_solution: None,
-                card_energy_j: None,
-                cpu_energy_j: None,
-                cpu_energy_naive_j: None,
-                cpu_energy_combined_j: None,
-                total_energy_j: None,
-                peak_power_w: None,
-                card_series: Vec::new(),
-                host_series: SampleSeries::new("host"),
-                server_series: SampleSeries::new("server"),
-                sim_window: (0.0, 0.0),
-            };
+        let mut attempt: u32 = 0;
+        loop {
+            match d.reset() {
+                Ok(()) => break,
+                // A retry re-draws the card's seeded reset stream, so the
+                // retry-disabled census is untouched: the first draw per
+                // card is exactly the paper's one-shot roll.
+                Err(_) if attempt < spec.faults.reset_retries => {
+                    recovery_overhead_s +=
+                        spec.faults.reset_backoff_s * f64::from(1u32 << attempt.min(16));
+                    attempt += 1;
+                    reset_retries_used += 1;
+                }
+                Err(_) => {
+                    // "the remaining 24 failed to start due to errors
+                    // occurring during the device reset phase".
+                    let mut rec = JobRecord::failed(job_id, spec.kind, FailurePhase::Reset);
+                    rec.reset_retries_used = reset_retries_used;
+                    rec.recovery_overhead_s = recovery_overhead_s;
+                    return rec;
+                }
+            }
         }
     }
 
     // --- timeline: sleep, simulate, sleep ---------------------------------
-    let duration =
+    let mut duration =
         spec.nominal_seconds * (1.0 + spec.time_jitter_frac * standard_normal(&mut rng));
+
+    // --- mid-run faults ----------------------------------------------------
+    // Both rolls are always drawn (after the duration draw) so the job rng
+    // stream — and with it every measurement — is identical whichever
+    // policy is active.
+    let hang_roll: f64 = rng.gen();
+    let loss_roll: f64 = rng.gen();
+    if spec.kind == JobKind::Accelerated {
+        if hang_roll < spec.faults.hang_prob {
+            let mut rec = JobRecord::failed(job_id, spec.kind, FailurePhase::Timeout);
+            rec.reset_retries_used = reset_retries_used;
+            rec.recovery_overhead_s = recovery_overhead_s;
+            return rec;
+        }
+        if loss_roll < spec.faults.mid_run_loss_prob {
+            if spec.faults.resume_from_checkpoint {
+                // Resume from the last host-side checkpoint: the window
+                // stretches by the redone slice, and the redo is billed as
+                // recovery overhead.
+                let redo = duration * spec.faults.checkpoint_redo_frac;
+                recovery_overhead_s += redo;
+                duration += redo;
+            } else {
+                let mut rec = JobRecord::failed(job_id, spec.kind, FailurePhase::MidRun);
+                rec.reset_retries_used = reset_retries_used;
+                rec.recovery_overhead_s = recovery_overhead_s;
+                return rec;
+            }
+        }
+    }
     let sim_start = spec.sleep_seconds;
     let sim_end = sim_start + duration;
     let total = sim_end + spec.sleep_seconds;
@@ -190,15 +315,15 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
     while t < total {
         let host_w = host_profile.power_at(t);
         host_series.push(t, host_w);
-        let rails: f64 = host_w + card_series.iter().map(|s| {
-            // Nearest card sample at or before t (the DCMI poller reads the
-            // PSU, which integrates everything).
-            s.samples
+        let rails: f64 = host_w
+            + card_series
                 .iter()
-                .rev()
-                .find(|p| p.t <= t)
-                .map_or(10.5, |p| p.watts)
-        }).sum::<f64>();
+                .map(|s| {
+                    // Nearest card sample at or before t (the DCMI poller reads the
+                    // PSU, which integrates everything).
+                    s.samples.iter().rev().find(|p| p.t <= t).map_or(10.5, |p| p.watts)
+                })
+                .sum::<f64>();
         server_series.push(t, meter.reading(rails));
         t += spec.sample_interval;
     }
@@ -216,8 +341,7 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
     // monitoring view that accumulates fastest and therefore wraps first).
     let combined = RaplDomain::new("packages", &host_profile, 1.0);
     let cpu_energy_naive = read_energy_naive(&combined, sim_start, sim_end, spec.sample_interval);
-    let cpu_energy_combined =
-        read_energy_perf(&combined, sim_start, sim_end, spec.sample_interval);
+    let cpu_energy_combined = read_energy_perf(&combined, sim_start, sim_end, spec.sample_interval);
 
     // --- peak combined power ----------------------------------------------
     let mut peak: f64 = 0.0;
@@ -232,7 +356,9 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
     JobRecord {
         job_id,
         kind: spec.kind,
-        success: true,
+        outcome: JobOutcome::Success,
+        reset_retries_used,
+        recovery_overhead_s,
         time_to_solution: Some(duration),
         card_energy_j: Some(card_energy),
         cpu_energy_j: Some(cpu_energy),
@@ -256,7 +382,49 @@ pub fn run_campaign(spec: &JobSpec, jobs: usize, seed: u64) -> Vec<JobRecord> {
 /// Successful records only.
 #[must_use]
 pub fn successes(records: &[JobRecord]) -> Vec<&JobRecord> {
-    records.iter().filter(|r| r.success).collect()
+    records.iter().filter(|r| r.success()).collect()
+}
+
+/// Campaign tally by failure class — the structured version of the paper's
+/// "26 ran successfully ... the remaining 24 failed to start".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignCensus {
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Jobs that produced measurements.
+    pub succeeded: usize,
+    /// Jobs that died at device reset (failed to start).
+    pub failed_reset: usize,
+    /// Jobs that lost the card mid-simulation.
+    pub failed_mid_run: usize,
+    /// Jobs killed at their wall-clock budget.
+    pub failed_timeout: usize,
+    /// Reset retries consumed across the whole campaign.
+    pub reset_retries_used: u64,
+}
+
+impl CampaignCensus {
+    /// Failed jobs across all classes.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.failed_reset + self.failed_mid_run + self.failed_timeout
+    }
+}
+
+/// Tally `records` by outcome class.
+#[must_use]
+pub fn census(records: &[JobRecord]) -> CampaignCensus {
+    let mut c = CampaignCensus { submitted: records.len(), ..CampaignCensus::default() };
+    for r in records {
+        c.reset_retries_used += u64::from(r.reset_retries_used);
+        match r.outcome {
+            JobOutcome::Success => c.succeeded += 1,
+            JobOutcome::Failed(FailurePhase::Reset) => c.failed_reset += 1,
+            JobOutcome::Failed(FailurePhase::MidRun) => c.failed_mid_run += 1,
+            JobOutcome::Failed(FailurePhase::Timeout) => c.failed_timeout += 1,
+        }
+    }
+    c
 }
 
 #[cfg(test)]
@@ -277,6 +445,7 @@ mod tests {
             host_idle_power_w: 130.0,
             reset_failure_prob: 0.48,
             sample_interval: 1.0,
+            faults: FaultPolicy::default(),
         }
     }
 
@@ -294,7 +463,7 @@ mod tests {
     #[test]
     fn accelerated_job_reproduces_fig4_shape() {
         let rec = run_job(&accel_spec(), 0, 42);
-        assert!(rec.success);
+        assert!(rec.success());
         assert_eq!(rec.card_series.len(), 4);
         let (t0, t1) = rec.sim_window;
         // Pre-sleep: all cards idle 10–11 W.
@@ -316,7 +485,9 @@ mod tests {
         assert!(active_w.iter().any(|w| *w > 31.0), "peaks present");
         assert!(active_w.iter().any(|w| *w < 28.0), "troughs present");
         // Post-run idle slightly elevated vs pre-run.
-        let pre = mean(&rec.card_series[0].window(5.0, t0 - 5.0).iter().map(|p| p.watts).collect::<Vec<_>>());
+        let pre = mean(
+            &rec.card_series[0].window(5.0, t0 - 5.0).iter().map(|p| p.watts).collect::<Vec<_>>(),
+        );
         let post = mean(
             &rec.card_series[0]
                 .window(t1 + 5.0, t1 + spec_sleep() - 5.0)
@@ -379,7 +550,7 @@ mod tests {
         // consumption". The recorded server series reflects that.
         let rec = (0..32)
             .map(|attempt| run_job(&accel_spec(), attempt, 33))
-            .find(|r| r.success)
+            .find(|r| r.success())
             .expect("some job survives reset");
         let (t0, t1) = rec.sim_window;
         let sim: Vec<f64> =
@@ -415,11 +586,103 @@ mod tests {
     }
 
     #[test]
+    fn reset_retries_recover_the_campaign_without_touching_the_census() {
+        // Retry-disabled: the paper's census, seed-deterministic.
+        let baseline = census(&run_campaign(&accel_spec(), 50, 7));
+        assert!((18..=34).contains(&baseline.succeeded), "{baseline:?}");
+        assert_eq!(baseline.failed_reset, baseline.failed());
+        assert_eq!(baseline.reset_retries_used, 0);
+
+        // Same seed with a retry budget: p(all 5 attempts fail) = 0.48^5,
+        // so ≥45/50 jobs must come up.
+        let mut spec = accel_spec();
+        spec.faults.reset_retries = 4;
+        spec.faults.reset_backoff_s = 5.0;
+        let retried = census(&run_campaign(&spec, 50, 7));
+        assert!(retried.succeeded >= 45, "{retried:?}");
+        assert!(retried.succeeded > baseline.succeeded);
+        assert!(retried.reset_retries_used > 0);
+
+        // Determinism: same seed, same censuses.
+        assert_eq!(baseline, census(&run_campaign(&accel_spec(), 50, 7)));
+        assert_eq!(retried, census(&run_campaign(&spec, 50, 7)));
+    }
+
+    #[test]
+    fn reset_retries_do_not_perturb_the_measurement_window() {
+        // A job that needed retries must measure exactly what a job on a
+        // healthy card measures: recovery happens outside the window.
+        let mut spec = accel_spec();
+        spec.faults.reset_retries = 8;
+        spec.faults.reset_backoff_s = 5.0;
+        let records = run_campaign(&spec, 50, 7);
+        let retried = records
+            .iter()
+            .find(|r| r.success() && r.reset_retries_used > 0)
+            .expect("some job needed a retry at p = 0.48");
+
+        let mut healthy_spec = accel_spec();
+        healthy_spec.reset_failure_prob = 0.0;
+        let healthy = run_job(&healthy_spec, retried.job_id, 7);
+        assert_eq!(retried.time_to_solution, healthy.time_to_solution);
+        assert_eq!(retried.total_energy_j, healthy.total_energy_j);
+        assert_eq!(retried.peak_power_w, healthy.peak_power_w);
+        assert_eq!(retried.sim_window, healthy.sim_window);
+        assert!(retried.recovery_overhead_s >= 5.0, "backoff must be billed");
+        assert_eq!(healthy.recovery_overhead_s, 0.0);
+    }
+
+    #[test]
+    fn census_splits_failures_by_class() {
+        let mut spec = accel_spec();
+        spec.reset_failure_prob = 0.3;
+        spec.faults.hang_prob = 0.15;
+        spec.faults.mid_run_loss_prob = 0.25;
+        let c = census(&run_campaign(&spec, 200, 13));
+        assert_eq!(c.submitted, 200);
+        assert_eq!(c.succeeded + c.failed(), c.submitted);
+        assert!(c.failed_reset > 20, "{c:?}");
+        assert!(c.failed_mid_run > 10, "{c:?}");
+        assert!(c.failed_timeout > 5, "{c:?}");
+
+        // Checkpoint resume converts mid-run losses into longer successes.
+        let mut resume = spec;
+        resume.faults.resume_from_checkpoint = true;
+        resume.faults.checkpoint_redo_frac = 0.25;
+        let cr = census(&run_campaign(&resume, 200, 13));
+        assert_eq!(cr.failed_mid_run, 0, "{cr:?}");
+        assert_eq!(cr.succeeded, c.succeeded + c.failed_mid_run, "same rolls, same classes");
+        assert_eq!(cr.failed_timeout, c.failed_timeout);
+        assert_eq!(cr.failed_reset, c.failed_reset);
+    }
+
+    #[test]
+    fn checkpoint_resume_bills_the_redo() {
+        let mut spec = accel_spec();
+        spec.reset_failure_prob = 0.0;
+        spec.faults.mid_run_loss_prob = 1.0;
+        spec.faults.resume_from_checkpoint = true;
+        spec.faults.checkpoint_redo_frac = 0.25;
+        let resumed = run_job(&spec, 0, 42);
+        assert!(resumed.success());
+
+        let mut clean_spec = spec;
+        clean_spec.faults.mid_run_loss_prob = 0.0;
+        let clean = run_job(&clean_spec, 0, 42);
+        let t_resumed = resumed.time_to_solution.unwrap();
+        let t_clean = clean.time_to_solution.unwrap();
+        assert!((t_resumed - 1.25 * t_clean).abs() < 1e-9, "{t_resumed} vs {t_clean}");
+        assert!((resumed.recovery_overhead_s - 0.25 * t_clean).abs() < 1e-9);
+        // The redone slice burns real energy — it must show up.
+        assert!(resumed.total_energy_j.unwrap() > clean.total_energy_j.unwrap());
+    }
+
+    #[test]
     fn failed_job_has_no_measurements() {
         let mut spec = accel_spec();
         spec.reset_failure_prob = 1.0;
         let rec = run_job(&spec, 0, 5);
-        assert!(!rec.success);
+        assert!(!rec.success());
         assert!(rec.time_to_solution.is_none());
         assert!(rec.total_energy_j.is_none());
         assert!(rec.card_series.is_empty());

@@ -22,10 +22,7 @@ pub fn to_csv(series: &[SampleSeries]) -> String {
     out.push('\n');
     let rows = series.iter().map(|s| s.samples.len()).max().unwrap_or(0);
     for i in 0..rows {
-        let t = series
-            .iter()
-            .find_map(|s| s.samples.get(i).map(|p| p.t))
-            .unwrap_or(i as f64);
+        let t = series.iter().find_map(|s| s.samples.get(i).map(|p| p.t)).unwrap_or(i as f64);
         let _ = write!(out, "{t:.3}");
         for s in series {
             match s.samples.get(i) {

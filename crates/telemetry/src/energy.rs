@@ -10,8 +10,7 @@ use crate::sample::PowerSample;
 /// Each sample's power is held until the next sample (or `t1`).
 #[must_use]
 pub fn integrate_samples(samples: &[PowerSample], t0: f64, t1: f64) -> f64 {
-    let window: Vec<&PowerSample> =
-        samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
+    let window: Vec<&PowerSample> = samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
     let mut e = 0.0;
     for (i, s) in window.iter().enumerate() {
         let next_t = window.get(i + 1).map_or(t1, |n| n.t);
@@ -29,8 +28,7 @@ pub fn integrate_samples(samples: &[PowerSample], t0: f64, t1: f64) -> f64 {
 /// Trapezoidal variant (second-order accurate for smooth power).
 #[must_use]
 pub fn integrate_samples_trapezoid(samples: &[PowerSample], t0: f64, t1: f64) -> f64 {
-    let window: Vec<&PowerSample> =
-        samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
+    let window: Vec<&PowerSample> = samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
     let mut e = 0.0;
     for pair in window.windows(2) {
         e += 0.5 * (pair[0].watts + pair[1].watts) * (pair[1].t - pair[0].t);

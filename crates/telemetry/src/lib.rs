@@ -22,7 +22,10 @@ pub mod sample;
 pub mod stats;
 pub mod ttsmi;
 
-pub use campaign::{run_campaign, run_job, successes, JobKind, JobRecord, JobSpec};
+pub use campaign::{
+    census, run_campaign, run_job, successes, CampaignCensus, FailurePhase, FaultPolicy, JobKind,
+    JobOutcome, JobRecord, JobSpec,
+};
 pub use energy::{integrate_samples, integrate_samples_trapezoid};
 pub use profile::HostPowerProfile;
 pub use rapl::{read_energy_naive, read_energy_perf, RaplDomain, RAPL_UNIT_J, RAPL_WRAP};

@@ -67,8 +67,7 @@ mod tests {
     fn one_series_per_card_at_1hz() {
         let cards = four_cards();
         for (i, d) in cards.iter().enumerate() {
-            let state =
-                if i == 3 { PowerState::ComputeActive } else { PowerState::PoweredUnused };
+            let state = if i == 3 { PowerState::ComputeActive } else { PowerState::PoweredUnused };
             d.record_power(state, 100.0);
         }
         let sampler = TtSmiSampler::new(cards, 1.0);

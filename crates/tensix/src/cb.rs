@@ -22,10 +22,14 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::dtype::DataFormat;
+use crate::fault::{raise_interrupt, InterruptKind};
 use crate::tile::Tile;
 
-/// How long a blocked CB primitive waits before declaring the pipeline
-/// deadlocked. Real hardware would hang; the simulator fails loudly instead.
+/// Default watchdog budget: how long a blocked CB primitive waits before
+/// declaring the pipeline deadlocked. Real hardware would hang; the simulator
+/// fails loudly instead. Configurable per CB via
+/// [`CircularBuffer::with_timeout`] (the command queue wires in the device's
+/// `watchdog` setting).
 pub const CB_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Static configuration of one circular buffer.
@@ -91,15 +95,23 @@ struct CbState {
 #[derive(Debug, Clone)]
 pub struct CircularBuffer {
     config: CircularBufferConfig,
+    timeout: Duration,
     inner: Arc<(Mutex<CbState>, Condvar)>,
 }
 
 impl CircularBuffer {
-    /// Create an empty CB.
+    /// Create an empty CB with the default deadlock watchdog.
     #[must_use]
     pub fn new(config: CircularBufferConfig) -> Self {
+        Self::with_timeout(config, CB_DEADLOCK_TIMEOUT)
+    }
+
+    /// Create an empty CB with an explicit deadlock-watchdog budget.
+    #[must_use]
+    pub fn with_timeout(config: CircularBufferConfig, timeout: Duration) -> Self {
         CircularBuffer {
             config,
+            timeout,
             inner: Arc::new((
                 Mutex::new(CbState {
                     visible: VecDeque::with_capacity(config.num_pages),
@@ -122,8 +134,10 @@ impl CircularBuffer {
     /// Block until `n` pages are free, then reserve them for the producer.
     ///
     /// # Panics
-    /// Panics if `n` exceeds the capacity (would deadlock on hardware), if the
-    /// CB is poisoned, or after [`CB_DEADLOCK_TIMEOUT`] of no progress.
+    /// Panics if `n` exceeds the capacity (would deadlock on hardware).
+    /// Raises a typed [`crate::fault::KernelInterrupt`] — caught and
+    /// classified by the command queue — if the CB is poisoned or the
+    /// watchdog budget elapses with no progress.
     pub fn reserve_back(&self, n: usize) {
         assert!(
             n <= self.config.num_pages,
@@ -134,10 +148,20 @@ impl CircularBuffer {
         let mut st = lock.lock();
         let mut stalled = false;
         while st.visible.len() + st.reserved + n > self.config.num_pages {
-            assert!(!st.poisoned, "circular buffer poisoned while reserving");
+            if st.poisoned {
+                raise_interrupt(
+                    InterruptKind::Poisoned,
+                    format!("circular buffer poisoned while reserving {n} pages"),
+                );
+            }
             stalled = true;
-            let timed_out = cvar.wait_for(&mut st, CB_DEADLOCK_TIMEOUT).timed_out();
-            assert!(!timed_out, "cb_reserve_back({n}) deadlocked (capacity {})", self.config.num_pages);
+            let timed_out = cvar.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out && !st.poisoned {
+                raise_interrupt(
+                    InterruptKind::DeadlockTimeout,
+                    format!("cb_reserve_back({n}) deadlocked (capacity {})", self.config.num_pages),
+                );
+            }
         }
         if stalled {
             st.stats.producer_stalls += 1;
@@ -162,8 +186,11 @@ impl CircularBuffer {
             st.staged.len(),
             st.reserved
         );
-        let converted =
-            if tile.format() == self.config.format { tile.clone() } else { tile.convert(self.config.format) };
+        let converted = if tile.format() == self.config.format {
+            tile.clone()
+        } else {
+            tile.convert(self.config.format)
+        };
         st.staged.push_back(converted);
     }
 
@@ -192,7 +219,8 @@ impl CircularBuffer {
     /// Block until `n` pages are visible to the consumer.
     ///
     /// # Panics
-    /// Panics if `n` exceeds the capacity, if poisoned, or on timeout.
+    /// Panics if `n` exceeds the capacity. Raises a typed
+    /// [`crate::fault::KernelInterrupt`] if poisoned or on watchdog timeout.
     pub fn wait_front(&self, n: usize) {
         assert!(
             n <= self.config.num_pages,
@@ -203,10 +231,20 @@ impl CircularBuffer {
         let mut st = lock.lock();
         let mut stalled = false;
         while st.visible.len() < n {
-            assert!(!st.poisoned, "circular buffer poisoned while waiting");
+            if st.poisoned {
+                raise_interrupt(
+                    InterruptKind::Poisoned,
+                    format!("circular buffer poisoned while waiting for {n} pages"),
+                );
+            }
             stalled = true;
-            let timed_out = cvar.wait_for(&mut st, CB_DEADLOCK_TIMEOUT).timed_out();
-            assert!(!timed_out, "cb_wait_front({n}) deadlocked");
+            let timed_out = cvar.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out && !st.poisoned {
+                raise_interrupt(
+                    InterruptKind::DeadlockTimeout,
+                    format!("cb_wait_front({n}) deadlocked"),
+                );
+            }
         }
         if stalled {
             st.stats.consumer_stalls += 1;
@@ -261,8 +299,10 @@ impl CircularBuffer {
         self.inner.0.lock().stats
     }
 
-    /// Poison the CB, waking and panicking any blocked kernel. Used on
-    /// abnormal program teardown.
+    /// Poison the CB, waking any blocked kernel with a typed
+    /// [`crate::fault::KernelInterrupt`] of kind
+    /// [`InterruptKind::Poisoned`]. Used on abnormal program teardown so
+    /// sibling kernels unwind cleanly instead of deadlocking.
     pub fn poison(&self) {
         let (lock, cvar) = &*self.inner;
         lock.lock().poisoned = true;
@@ -417,14 +457,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "poisoned")]
-    fn poison_wakes_blocked_consumer() {
+    fn poison_wakes_blocked_consumer_with_typed_interrupt() {
+        use crate::fault::KernelInterrupt;
+
         let c = cb(1);
         let c2 = c.clone();
         thread::spawn(move || {
             thread::sleep(Duration::from_millis(30));
             c2.poison();
         });
-        c.wait_front(1); // should panic once poisoned
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.wait_front(1)))
+            .expect_err("wait must unwind once poisoned");
+        let interrupt = payload.downcast::<KernelInterrupt>().expect("typed interrupt payload");
+        assert_eq!(interrupt.kind, InterruptKind::Poisoned);
+        assert!(interrupt.detail.contains("poisoned"));
+    }
+
+    #[test]
+    fn watchdog_timeout_raises_deadlock_interrupt() {
+        use crate::fault::KernelInterrupt;
+
+        let c = CircularBuffer::with_timeout(
+            CircularBufferConfig::new(1, DataFormat::Float32),
+            Duration::from_millis(20),
+        );
+        // Nobody will ever push: the consumer wait must trip the watchdog.
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.wait_front(1)))
+            .expect_err("wait must unwind on watchdog timeout");
+        let interrupt = payload.downcast::<KernelInterrupt>().expect("typed interrupt payload");
+        assert_eq!(interrupt.kind, InterruptKind::DeadlockTimeout);
+        assert!(interrupt.detail.contains("cb_wait_front"));
     }
 }

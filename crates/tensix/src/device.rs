@@ -7,7 +7,9 @@
 //! "occurring during the device reset phase". The failure injector is seeded
 //! so campaigns are reproducible.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -17,10 +19,16 @@ use crate::clock::DeviceClock;
 use crate::cost::CostModel;
 use crate::dram::DramModel;
 use crate::error::{Result, TensixError};
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::grid::{CoreCoord, GridSize};
 use crate::l1::{L1Allocator, L1Region};
 use crate::noc::NocModel;
 use crate::power::{PowerState, PowerTimeline};
+
+/// Default watchdog budget for blocking device-side waits (circular buffers
+/// and semaphores). Generous enough that no legitimate kernel ever trips it;
+/// tests shrink it via [`DeviceConfig::watchdog`].
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 
 /// Static device configuration.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +42,13 @@ pub struct DeviceConfig {
     pub reset_failure_prob: f64,
     /// Seed for the failure injector and power wobble.
     pub seed: u64,
+    /// Mid-run fault injection rates (NoC, DRAM ECC, Ethernet, kernel stalls,
+    /// device loss). All zero by default.
+    pub faults: FaultConfig,
+    /// Deadlock-watchdog budget for blocking CB/semaphore waits. Waits that
+    /// exceed it are torn down as structured launch failures instead of
+    /// hanging the host. Default: [`DEFAULT_WATCHDOG`] (30 s).
+    pub watchdog: Duration,
 }
 
 impl Default for DeviceConfig {
@@ -43,6 +58,8 @@ impl Default for DeviceConfig {
             costs: CostModel::default(),
             reset_failure_prob: 0.0,
             seed: 0,
+            faults: FaultConfig::default(),
+            watchdog: DEFAULT_WATCHDOG,
         }
     }
 }
@@ -68,18 +85,15 @@ pub struct Device {
     power: Mutex<PowerTimeline>,
     reset_rng: Mutex<SmallRng>,
     reset_stats: Mutex<ResetStats>,
+    fault_plan: FaultPlan,
+    alive: AtomicBool,
 }
 
 impl Device {
     /// Bring up a device with `id` and `config`.
     #[must_use]
     pub fn new(id: usize, config: DeviceConfig) -> Arc<Self> {
-        let l1 = config
-            .grid
-            .full_range()
-            .iter()
-            .map(|c| Mutex::new(L1Allocator::new(c)))
-            .collect();
+        let l1 = config.grid.full_range().iter().map(|c| Mutex::new(L1Allocator::new(c))).collect();
         Arc::new(Device {
             id,
             config,
@@ -90,6 +104,8 @@ impl Device {
             power: Mutex::new(PowerTimeline::new(config.seed ^ (id as u64) << 32)),
             reset_rng: Mutex::new(SmallRng::seed_from_u64(config.seed.wrapping_add(id as u64))),
             reset_stats: Mutex::new(ResetStats::default()),
+            fault_plan: FaultPlan::new(id, config.seed, config.faults),
+            alive: AtomicBool::new(true),
         })
     }
 
@@ -133,6 +149,45 @@ impl Device {
     #[must_use]
     pub fn costs(&self) -> &CostModel {
         &self.config.costs
+    }
+
+    /// Seeded mid-run fault injector.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Deadlock-watchdog budget for blocking device-side waits.
+    #[must_use]
+    pub fn watchdog(&self) -> Duration {
+        self.config.watchdog
+    }
+
+    /// Whether the card is still on the bus. Cleared by [`Self::mark_lost`]
+    /// (injected device loss); restored by a successful [`Self::reset`].
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Record that the card fell off the bus. Subsequent operations fail
+    /// with [`TensixError::DeviceLost`] until the device is reset.
+    pub fn mark_lost(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.fault_plan.count_device_loss();
+    }
+
+    /// Fail fast if the card has fallen off the bus.
+    ///
+    /// # Errors
+    /// [`TensixError::DeviceLost`] when [`Self::mark_lost`] was called and no
+    /// successful reset has happened since.
+    pub fn ensure_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(TensixError::DeviceLost { device_id: self.id })
+        }
     }
 
     /// Allocate `len` bytes in `core`'s L1.
@@ -218,6 +273,7 @@ impl Device {
         self.free_all_l1();
         self.clock.reset();
         self.power.lock().reset();
+        self.alive.store(true, Ordering::Release);
         Ok(())
     }
 
@@ -297,6 +353,19 @@ mod tests {
         };
         assert_eq!(mk(7), mk(7));
         assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn lost_device_errors_until_reset() {
+        let dev = Device::new(3, DeviceConfig::default());
+        assert!(dev.is_alive());
+        assert_eq!(dev.ensure_alive(), Ok(()));
+        dev.mark_lost();
+        assert!(!dev.is_alive());
+        assert_eq!(dev.ensure_alive(), Err(TensixError::DeviceLost { device_id: 3 }));
+        assert_eq!(dev.faults().stats().device_losses, 1);
+        dev.reset().unwrap();
+        assert!(dev.is_alive());
     }
 
     #[test]

@@ -92,8 +92,7 @@ impl DramModel {
         st.allocated_bytes += bytes;
         let id = BufferId(st.next_id);
         st.next_id += 1;
-        st.buffers
-            .insert(id, DramBuffer { format, num_tiles, pages: HashMap::new() });
+        st.buffers.insert(id, DramBuffer { format, num_tiles, pages: HashMap::new() });
         Ok(id)
     }
 
@@ -169,10 +168,10 @@ impl DramModel {
     /// Unknown buffer id.
     pub fn buffer_len(&self, id: BufferId) -> Result<usize> {
         let st = self.state.read();
-        st.buffers
-            .get(&id)
-            .map(|b| b.num_tiles)
-            .ok_or(TensixError::InvalidAddress { addr: id.0, context: "buffer_len of unknown buffer" })
+        st.buffers.get(&id).map(|b| b.num_tiles).ok_or(TensixError::InvalidAddress {
+            addr: id.0,
+            context: "buffer_len of unknown buffer",
+        })
     }
 
     /// Bytes currently allocated.

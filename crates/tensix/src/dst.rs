@@ -116,9 +116,9 @@ impl DstRegisters {
     pub fn read_math(&self, index: usize) -> Result<Tile> {
         assert_eq!(self.phase, DstPhase::Math, "dst math read outside math phase");
         self.check_index(index)?;
-        self.tiles[index].clone().ok_or(TensixError::KernelFault {
-            message: format!("dst[{index}] read before write"),
-        })
+        self.tiles[index]
+            .clone()
+            .ok_or(TensixError::KernelFault { message: format!("dst[{index}] read before write") })
     }
 
     /// Read dst segment `index` during the PACK phase.

@@ -56,6 +56,28 @@ pub enum TensixError {
         /// Description of the fault.
         message: String,
     },
+    /// The card fell off the PCIe bus mid-run. Every subsequent operation
+    /// fails with this error until the device is reset.
+    DeviceLost {
+        /// Device id that disappeared.
+        device_id: usize,
+    },
+    /// A DRAM read hit an ECC error the GDDR6 controller could not correct.
+    DramEccUncorrectable {
+        /// Page (tile index) whose read failed.
+        page: usize,
+    },
+    /// A NoC transaction failed and exhausted the hardware retransmit
+    /// budget.
+    NocTransactionFailed {
+        /// What the transaction was doing.
+        context: &'static str,
+    },
+    /// An Ethernet link flapped repeatedly and stayed down.
+    EthLinkDown {
+        /// Ring link index (device id on homogeneous rings).
+        link: usize,
+    },
 }
 
 impl fmt::Display for TensixError {
@@ -81,6 +103,18 @@ impl fmt::Display for TensixError {
                 write!(f, "circular buffer {cb} is not configured on core {core}")
             }
             TensixError::KernelFault { message } => write!(f, "kernel fault: {message}"),
+            TensixError::DeviceLost { device_id } => {
+                write!(f, "device {device_id} fell off the bus (reset required)")
+            }
+            TensixError::DramEccUncorrectable { page } => {
+                write!(f, "uncorrectable DRAM ECC error reading page {page}")
+            }
+            TensixError::NocTransactionFailed { context } => {
+                write!(f, "NoC transaction failed after retransmit ({context})")
+            }
+            TensixError::EthLinkDown { link } => {
+                write!(f, "ethernet link {link} down after repeated flaps")
+            }
         }
     }
 }

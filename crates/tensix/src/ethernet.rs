@@ -68,11 +68,8 @@ impl EthRing {
         if n <= 1 {
             return 0.0;
         }
-        let slowest = self
-            .links
-            .iter()
-            .map(|l| l.transfer_seconds(bytes_per_device))
-            .fold(0.0f64, f64::max);
+        let slowest =
+            self.links.iter().map(|l| l.transfer_seconds(bytes_per_device)).fold(0.0f64, f64::max);
         slowest * (n - 1) as f64
     }
 
@@ -85,8 +82,7 @@ impl EthRing {
             return 0.0;
         }
         let chunk = bytes.div_ceil(n as u64);
-        let slowest =
-            self.links.iter().map(|l| l.transfer_seconds(chunk)).fold(0.0f64, f64::max);
+        let slowest = self.links.iter().map(|l| l.transfer_seconds(chunk)).fold(0.0f64, f64::max);
         slowest * 2.0 * (n - 1) as f64
     }
 }

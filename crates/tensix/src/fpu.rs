@@ -48,7 +48,13 @@ pub fn matmul_tiles(
 
 /// Element-wise binary op through the FPU datapath (`sub_tiles` etc.):
 /// `out = op(a, b)`. Returns cycle cost.
-pub fn eltwise_binary(costs: &ComputeCosts, op: BinaryOp, a: &Tile, b: &Tile, out: &mut Tile) -> u64 {
+pub fn eltwise_binary(
+    costs: &ComputeCosts,
+    op: BinaryOp,
+    a: &Tile,
+    b: &Tile,
+    out: &mut Tile,
+) -> u64 {
     let (va, vb) = (a.as_slice(), b.as_slice());
     for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(va.iter().zip(vb.iter())) {
         *o = binary_scalar(op, *x, *y);

@@ -18,7 +18,9 @@
 //! * the two-[`noc`] interconnect and banked GDDR6 [`dram`];
 //! * [`ethernet`] links for multi-card scaling;
 //! * per-kernel [`cost`] accounting, the virtual [`clock`], the Fig.-4
-//!   [`power`] model and a [`device`] with seeded reset-failure injection.
+//!   [`power`] model and a [`device`] with seeded reset-failure injection;
+//! * a seeded mid-run [`fault`] injector (NoC transients, DRAM ECC, link
+//!   flaps, kernel stalls, device loss) for fault-tolerance testing.
 //!
 //! Higher layers: the `ttmetal` crate builds the TT-Metalium-style
 //! programming interface on top of this crate, and `nbody-tt` implements the
@@ -35,6 +37,7 @@ pub mod dst;
 pub mod dtype;
 pub mod error;
 pub mod ethernet;
+pub mod fault;
 pub mod fpu;
 pub mod grid;
 pub mod l1;
@@ -47,11 +50,14 @@ pub mod tile;
 pub use cb::{CbStats, CircularBuffer, CircularBufferConfig};
 pub use clock::{CycleCounter, DeviceClock, KernelTiming};
 pub use cost::{CostModel, CLOCK_HZ};
-pub use device::{Device, DeviceConfig, ResetStats};
+pub use device::{Device, DeviceConfig, ResetStats, DEFAULT_WATCHDOG};
 pub use dram::{BufferId, DramModel, DRAM_CAPACITY, DRAM_CHANNELS};
 pub use dst::DstRegisters;
 pub use dtype::DataFormat;
 pub use error::{Result, TensixError};
+pub use fault::{
+    DramReadFault, FaultClass, FaultConfig, FaultPlan, FaultStats, InterruptKind, KernelInterrupt,
+};
 pub use grid::{CoreCoord, CoreRange, CoreRangeSet, GridSize};
 pub use noc::{NocId, NocModel};
 pub use power::{PowerParams, PowerState, PowerTimeline};

@@ -156,8 +156,7 @@ impl PowerTimeline {
             PowerState::ComputeActive => {
                 // Alternate device bursts (peak) with host phases (trough).
                 let phase = (t / p.burst_period_s).fract();
-                let base =
-                    if phase < p.burst_duty { p.active_peak_w } else { p.active_trough_w };
+                let base = if phase < p.burst_duty { p.active_peak_w } else { p.active_trough_w };
                 (base + self.wobble(t, 1.0)).clamp(p.active_trough_w - 0.5, p.active_peak_w + 0.5)
             }
         }

@@ -9,12 +9,7 @@ use tensix::l1::{L1Allocator, L1_RESERVED, L1_SIZE};
 use tensix::tile::{pack_vector, tilize, unpack_vector, untilize, Tile, TILE_ELEMS};
 
 fn finite_f32() -> impl Strategy<Value = f32> {
-    prop_oneof![
-        -1.0e20f32..1.0e20f32,
-        -1.0f32..1.0f32,
-        Just(0.0f32),
-        Just(-0.0f32),
-    ]
+    prop_oneof![-1.0e20f32..1.0e20f32, -1.0f32..1.0f32, Just(0.0f32), Just(-0.0f32),]
 }
 
 proptest! {

@@ -37,10 +37,7 @@ impl Buffer {
     /// Propagates DRAM out-of-memory.
     pub fn new(device: &Arc<Device>, format: DataFormat, num_tiles: usize) -> Result<Self> {
         let id = device.dram().allocate(format, num_tiles)?;
-        Ok(Buffer {
-            device: Arc::clone(device),
-            reference: BufferRef { id, format, num_tiles },
-        })
+        Ok(Buffer { device: Arc::clone(device), reference: BufferRef { id, format, num_tiles } })
     }
 
     /// Kernel-side reference.

@@ -15,11 +15,12 @@ use std::sync::Arc;
 
 use tensix::cb::CircularBuffer;
 use tensix::dst::DstRegisters;
+use tensix::fault::DramReadFault;
 use tensix::fpu;
 use tensix::grid::CoreCoord;
 use tensix::sfpu::{self, BinaryOp, UnaryOp};
 use tensix::srcreg::{SrcReg, SrcRegisters};
-use tensix::{CycleCounter, DataFormat, Device, NocId, Tile};
+use tensix::{CycleCounter, DataFormat, Device, NocId, TensixError, Tile};
 
 use crate::buffer::BufferRef;
 use crate::semaphore::Semaphore;
@@ -31,15 +32,12 @@ pub type CbMap = HashMap<u8, CircularBuffer>;
 pub type SemMap = HashMap<u8, Semaphore>;
 
 fn sem_of(sems: &SemMap, core: CoreCoord, index: u8) -> &Semaphore {
-    sems.get(&index).unwrap_or_else(|| {
-        panic!("semaphore {index} is not configured on core {core}")
-    })
+    sems.get(&index).unwrap_or_else(|| panic!("semaphore {index} is not configured on core {core}"))
 }
 
 fn cb_of(cbs: &CbMap, core: CoreCoord, index: u8) -> &CircularBuffer {
-    cbs.get(&index).unwrap_or_else(|| {
-        panic!("circular buffer {index} is not configured on core {core}")
-    })
+    cbs.get(&index)
+        .unwrap_or_else(|| panic!("circular buffer {index} is not configured on core {core}"))
 }
 
 /// Context handed to a [`crate::kernel::DataMovementKernel`].
@@ -124,6 +122,11 @@ impl DataMovementCtx {
     ///
     /// # Panics
     /// Panics on out-of-range pages (a hardware kernel would fetch garbage).
+    /// With fault injection armed, may raise a typed
+    /// [`TensixError::NocTransactionFailed`] or
+    /// [`TensixError::DramEccUncorrectable`] panic the command queue
+    /// classifies into a structured launch error; an ECC-corrected read only
+    /// charges the correction latency.
     #[must_use]
     pub fn noc_async_read_tile(&mut self, buf: BufferRef, page: usize) -> Tile {
         let bytes = buf.format.tile_bytes();
@@ -132,6 +135,29 @@ impl DataMovementCtx {
         let hops = 2 + tensix::dram::DramModel::channel_of_page(page) % 4;
         let cycles = self.device.noc().read(self.device.costs(), self.noc, bytes, hops);
         self.counter.add(cycles);
+        let plan = self.device.faults();
+        if !plan.disarmed() {
+            if plan.roll_noc_transient() {
+                // One hardware retransmit: charge the transfer again.
+                self.counter.add(cycles);
+                if plan.roll_noc_transient() {
+                    plan.count_noc_failure();
+                    std::panic::panic_any(TensixError::NocTransactionFailed {
+                        context: "noc_async_read_tile",
+                    });
+                }
+            }
+            match plan.roll_dram_read() {
+                DramReadFault::None => {}
+                // The GDDR6 controller fixed the word inline; small latency.
+                DramReadFault::Corrected => {
+                    self.counter.add(self.device.costs().compute.cb_op);
+                }
+                DramReadFault::Uncorrectable => {
+                    std::panic::panic_any(TensixError::DramEccUncorrectable { page });
+                }
+            }
+        }
         self.device
             .dram()
             .read_tile(buf.id, page)
@@ -142,12 +168,24 @@ impl DataMovementCtx {
     /// (`noc_async_write_tile`).
     ///
     /// # Panics
-    /// Panics on out-of-range pages.
+    /// Panics on out-of-range pages. With fault injection armed, may raise a
+    /// typed [`TensixError::NocTransactionFailed`] panic after a failed
+    /// retransmit.
     pub fn noc_async_write_tile(&mut self, buf: BufferRef, page: usize, tile: &Tile) {
         let bytes = buf.format.tile_bytes();
         let hops = 2 + tensix::dram::DramModel::channel_of_page(page) % 4;
         let cycles = self.device.noc().write(self.device.costs(), self.noc, bytes, hops);
         self.counter.add(cycles);
+        let plan = self.device.faults();
+        if !plan.disarmed() && plan.roll_noc_transient() {
+            self.counter.add(cycles);
+            if plan.roll_noc_transient() {
+                plan.count_noc_failure();
+                std::panic::panic_any(TensixError::NocTransactionFailed {
+                    context: "noc_async_write_tile",
+                });
+            }
+        }
         self.device
             .dram()
             .write_tile(buf.id, page, tile)
@@ -608,7 +646,14 @@ mod tests {
         cbs.insert(0, CircularBuffer::new(cfg));
         cbs.insert(1, CircularBuffer::new(cfg));
         cbs.insert(16, CircularBuffer::new(cfg));
-        ComputeCtx::new(dev, CoreCoord::new(0, 0), DataFormat::Float32, cbs, SemMap::new(), vec![3, 7])
+        ComputeCtx::new(
+            dev,
+            CoreCoord::new(0, 0),
+            DataFormat::Float32,
+            cbs,
+            SemMap::new(),
+            vec![3, 7],
+        )
     }
 
     fn feed(ctx: &ComputeCtx, cb: u8, v: f32) {

@@ -1,0 +1,178 @@
+//! Structured launch failures.
+//!
+//! The command queue used to panic the host process when a kernel pipeline
+//! deadlocked. [`LaunchError`] replaces that with a structured result: the
+//! queue supervises every kernel thread, classifies panics, watchdog
+//! timeouts and injected faults, tears sibling kernels down cleanly (CB and
+//! semaphore poisoning), and reports *which* kernel on *which* core is the
+//! root cause.
+
+use std::fmt;
+
+use tensix::grid::CoreCoord;
+use tensix::TensixError;
+
+/// Why a program launch failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// A kernel panicked (assertion, injected fault, or NoC/DRAM error).
+    KernelPanic {
+        /// Kernel label.
+        kernel: String,
+        /// Core the instance ran on.
+        core: CoreCoord,
+        /// Panic message or fault description.
+        message: String,
+    },
+    /// A kernel's CB/semaphore wait exceeded the deadlock watchdog.
+    Deadlock {
+        /// Kernel label.
+        kernel: String,
+        /// Core the instance ran on.
+        core: CoreCoord,
+        /// Which wait timed out.
+        message: String,
+    },
+    /// A kernel hung without making progress (injected compute stall); the
+    /// supervisor cancelled it and tore the rest of the program down.
+    Stall {
+        /// Kernel label.
+        kernel: String,
+        /// Core the instance ran on.
+        core: CoreCoord,
+    },
+    /// The card fell off the bus before or during the launch.
+    DeviceLost {
+        /// Device id that disappeared.
+        device_id: usize,
+    },
+    /// `finish_with_timeout` exceeded its virtual-time budget.
+    Timeout {
+        /// Allowed virtual seconds.
+        budget_s: f64,
+        /// Virtual seconds actually accumulated.
+        elapsed_s: f64,
+    },
+    /// A device-layer error before any kernel ran (e.g. CB config does not
+    /// fit in L1).
+    Device(TensixError),
+}
+
+impl LaunchError {
+    /// The core of the root-cause kernel, when one is identified.
+    #[must_use]
+    pub fn faulting_core(&self) -> Option<CoreCoord> {
+        match self {
+            LaunchError::KernelPanic { core, .. }
+            | LaunchError::Deadlock { core, .. }
+            | LaunchError::Stall { core, .. } => Some(*core),
+            _ => None,
+        }
+    }
+
+    /// Short phase tag for failure taxonomies ("panic", "deadlock",
+    /// "stall", "device-lost", "timeout", "setup").
+    #[must_use]
+    pub fn phase(&self) -> &'static str {
+        match self {
+            LaunchError::KernelPanic { .. } => "panic",
+            LaunchError::Deadlock { .. } => "deadlock",
+            LaunchError::Stall { .. } => "stall",
+            LaunchError::DeviceLost { .. } => "device-lost",
+            LaunchError::Timeout { .. } => "timeout",
+            LaunchError::Device(_) => "setup",
+        }
+    }
+
+    /// Whether a retry of the same launch can plausibly succeed: true for
+    /// one-shot kernel-level faults (panics, deadlocks, stalls), false for
+    /// device loss (needs a reset + rebuild), budget exhaustion and setup
+    /// errors (deterministic, e.g. L1 overflow).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            LaunchError::KernelPanic { .. }
+                | LaunchError::Deadlock { .. }
+                | LaunchError::Stall { .. }
+        )
+    }
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::KernelPanic { kernel, core, message } => {
+                write!(f, "kernel '{kernel}' on core {core} panicked: {message}")
+            }
+            LaunchError::Deadlock { kernel, core, message } => {
+                write!(f, "kernel '{kernel}' on core {core} deadlocked: {message}")
+            }
+            LaunchError::Stall { kernel, core } => {
+                write!(f, "kernel '{kernel}' on core {core} stalled (no progress; cancelled)")
+            }
+            LaunchError::DeviceLost { device_id } => {
+                write!(f, "device {device_id} fell off the bus during launch")
+            }
+            LaunchError::Timeout { budget_s, elapsed_s } => {
+                write!(f, "finish exceeded budget: {elapsed_s:.3} s > {budget_s:.3} s")
+            }
+            LaunchError::Device(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<TensixError> for LaunchError {
+    fn from(e: TensixError) -> Self {
+        match e {
+            TensixError::DeviceLost { device_id } => LaunchError::DeviceLost { device_id },
+            other => LaunchError::Device(other),
+        }
+    }
+}
+
+impl From<LaunchError> for TensixError {
+    fn from(e: LaunchError) -> Self {
+        match e {
+            // Pass device-layer errors through unchanged so callers matching
+            // on e.g. L1OutOfMemory keep working.
+            LaunchError::Device(inner) => inner,
+            LaunchError::DeviceLost { device_id } => TensixError::DeviceLost { device_id },
+            other => TensixError::KernelFault { message: other.to_string() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_roundtrip_unchanged() {
+        let e = TensixError::DramOutOfMemory { requested: 8, available: 4 };
+        let launch = LaunchError::from(e.clone());
+        assert_eq!(TensixError::from(launch), e);
+    }
+
+    #[test]
+    fn device_loss_maps_both_ways() {
+        let launch = LaunchError::from(TensixError::DeviceLost { device_id: 2 });
+        assert_eq!(launch, LaunchError::DeviceLost { device_id: 2 });
+        assert_eq!(TensixError::from(launch), TensixError::DeviceLost { device_id: 2 });
+    }
+
+    #[test]
+    fn kernel_failures_identify_core_and_phase() {
+        let core = CoreCoord::new(3, 1);
+        let e = LaunchError::Stall { kernel: "force-compute".into(), core };
+        assert_eq!(e.faulting_core(), Some(core));
+        assert_eq!(e.phase(), "stall");
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("force-compute"));
+        let lost = LaunchError::DeviceLost { device_id: 0 };
+        assert_eq!(lost.faulting_core(), None);
+        assert!(!lost.is_transient());
+    }
+}

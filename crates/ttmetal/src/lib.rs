@@ -25,6 +25,7 @@
 
 pub mod buffer;
 pub mod context;
+pub mod error;
 pub mod host;
 pub mod kernel;
 pub mod program;
@@ -33,6 +34,7 @@ pub mod semaphore;
 
 pub use buffer::{Buffer, BufferRef};
 pub use context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
+pub use error::LaunchError;
 pub use host::{close_device, create_device, open_cluster};
 pub use kernel::{cb_index, ComputeFn, ComputeKernel, DataMovementKernel};
 pub use program::{KernelId, Program};

@@ -174,11 +174,7 @@ impl Program {
     /// L1 bytes of CB storage this program needs on `core`.
     #[must_use]
     pub fn cb_bytes_on_core(&self, core: CoreCoord) -> usize {
-        self.cbs
-            .iter()
-            .filter(|e| e.cores.contains(core))
-            .map(|e| e.config.total_bytes())
-            .sum()
+        self.cbs.iter().filter(|e| e.cores.contains(core)).map(|e| e.config.total_bytes()).sum()
     }
 
     pub(crate) fn args_for(&self, kernel: &KernelEntry, core: CoreCoord) -> Vec<u32> {

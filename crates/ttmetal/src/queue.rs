@@ -7,18 +7,29 @@
 //! time. The *device-side* concurrency the paper relies on — reader, compute
 //! and writer kernels overlapping through CBs across many cores — is real:
 //! each kernel instance runs on its own OS thread.
+//!
+//! The queue also acts as the **launch supervisor**: kernel panics, CB and
+//! semaphore watchdog timeouts, injected compute stalls and mid-run device
+//! loss are caught, sibling kernels are torn down cleanly (poisoned CBs and
+//! semaphores plus a cancel token, never a hung host thread), and the root
+//! cause is reported as a structured [`LaunchError`] naming the faulting
+//! kernel and core.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
+use parking_lot::{Condvar, Mutex};
 use tensix::cb::CircularBuffer;
 use tensix::clock::{program_seconds, KernelTiming};
+use tensix::fault::{InterruptKind, KernelInterrupt};
 use tensix::grid::CoreCoord;
 use tensix::{Device, Result, TensixError, Tile};
 
 use crate::buffer::Buffer;
 use crate::context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
+use crate::error::LaunchError;
 use crate::program::{KernelBody, Program};
 use crate::semaphore::Semaphore;
 
@@ -33,6 +44,107 @@ pub struct ProgramReport {
     pub seconds: f64,
     /// Per-kernel-instance timings.
     pub timings: Vec<KernelTiming>,
+}
+
+/// Shared flag that wakes a stalled kernel thread early when a sibling
+/// fault already tore the program down.
+#[derive(Clone)]
+struct CancelToken(Arc<(Mutex<bool>, Condvar)>);
+
+impl CancelToken {
+    fn new() -> Self {
+        CancelToken(Arc::new((Mutex::new(false), Condvar::new())))
+    }
+
+    fn cancel(&self) {
+        let (lock, cvar) = &*self.0;
+        *lock.lock() = true;
+        cvar.notify_all();
+    }
+
+    /// Wait until cancelled or `timeout` elapses. Returns whether the token
+    /// was cancelled.
+    fn wait(&self, timeout: Duration) -> bool {
+        let (lock, cvar) = &*self.0;
+        let mut done = lock.lock();
+        while !*done {
+            if cvar.wait_for(&mut done, timeout).timed_out() {
+                break;
+            }
+        }
+        *done
+    }
+}
+
+/// Root-cause priority, ascending: a poisoned sibling is always a victim, a
+/// genuine stall always the cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum AbortKind {
+    Poisoned,
+    Deadlock,
+    Panic,
+    Stall,
+}
+
+#[derive(Debug)]
+struct KernelAbort {
+    kind: AbortKind,
+    kernel: String,
+    core: CoreCoord,
+    message: String,
+}
+
+fn classify_abort(label: &str, core: CoreCoord, e: Box<dyn std::any::Any + Send>) -> KernelAbort {
+    let e = match e.downcast::<KernelInterrupt>() {
+        Ok(interrupt) => {
+            let kind = match interrupt.kind {
+                InterruptKind::Poisoned => AbortKind::Poisoned,
+                InterruptKind::DeadlockTimeout => AbortKind::Deadlock,
+                InterruptKind::Stalled => AbortKind::Stall,
+            };
+            return KernelAbort {
+                kind,
+                kernel: label.to_string(),
+                core,
+                message: interrupt.detail,
+            };
+        }
+        Err(e) => e,
+    };
+    let e = match e.downcast::<TensixError>() {
+        Ok(te) => {
+            return KernelAbort {
+                kind: AbortKind::Panic,
+                kernel: label.to_string(),
+                core,
+                message: te.to_string(),
+            };
+        }
+        Err(e) => e,
+    };
+    let detail = e
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .unwrap_or("unknown panic");
+    KernelAbort {
+        kind: AbortKind::Panic,
+        kernel: label.to_string(),
+        core,
+        message: detail.to_string(),
+    }
+}
+
+/// Poison every CB and semaphore of the program and trip the cancel token,
+/// so every still-blocked kernel thread unwinds promptly.
+fn teardown(cbs: &[CircularBuffer], sems: &[Semaphore], cancel: &CancelToken) {
+    for cb in cbs {
+        cb.poison();
+    }
+    for sem in sems {
+        sem.poison();
+    }
+    cancel.cancel();
 }
 
 /// The command queue of one device.
@@ -58,8 +170,10 @@ impl CommandQueue {
     /// `EnqueueWriteBuffer`: move tilized host data into a DRAM buffer.
     ///
     /// # Errors
-    /// If `tiles` exceeds the buffer, or on DRAM faults.
+    /// If `tiles` exceeds the buffer, if the card fell off the bus, or on
+    /// DRAM faults.
     pub fn enqueue_write_buffer(&mut self, buffer: &Buffer, tiles: &[Tile]) -> Result<()> {
+        self.device.ensure_alive()?;
         if tiles.len() > buffer.num_tiles() {
             return Err(TensixError::InvalidAddress {
                 addr: tiles.len() as u64,
@@ -77,8 +191,9 @@ impl CommandQueue {
     /// `EnqueueReadBuffer`: read the whole buffer back to the host.
     ///
     /// # Errors
-    /// On DRAM faults.
+    /// If the card fell off the bus, or on DRAM faults.
     pub fn enqueue_read_buffer(&mut self, buffer: &Buffer) -> Result<Vec<Tile>> {
+        self.device.ensure_alive()?;
         let r = buffer.reference();
         let mut out = Vec::with_capacity(r.num_tiles);
         for page in 0..r.num_tiles {
@@ -88,15 +203,41 @@ impl CommandQueue {
         Ok(out)
     }
 
-    /// `EnqueueProgram`: instantiate CBs, launch every kernel instance on its
-    /// own thread, join, and aggregate timing.
+    /// `EnqueueProgram` with legacy flat error type.
+    ///
+    /// Delegates to [`CommandQueue::enqueue_program_checked`] and folds the
+    /// structured [`LaunchError`] into a [`TensixError`] (device-layer
+    /// errors pass through unchanged, kernel failures become
+    /// [`TensixError::KernelFault`]).
     ///
     /// # Errors
-    /// [`TensixError::L1OutOfMemory`] if the CB configuration does not fit,
-    /// or [`TensixError::KernelFault`] if any kernel panicked (the remaining
-    /// kernels are woken via CB poisoning).
+    /// See [`CommandQueue::enqueue_program_checked`].
     pub fn enqueue_program(&mut self, program: &Program) -> Result<ProgramReport> {
+        self.enqueue_program_checked(program).map_err(TensixError::from)
+    }
+
+    /// `EnqueueProgram`: instantiate CBs and semaphores, launch every kernel
+    /// instance on its own thread under supervision, join, and aggregate
+    /// timing.
+    ///
+    /// # Errors
+    /// * [`LaunchError::Device`] if the CB configuration does not fit in L1;
+    /// * [`LaunchError::DeviceLost`] if the card is (or falls) off the bus;
+    /// * [`LaunchError::KernelPanic`] / [`LaunchError::Deadlock`] /
+    ///   [`LaunchError::Stall`] naming the root-cause kernel and core when a
+    ///   kernel fails. Sibling kernels are always torn down cleanly via CB
+    ///   and semaphore poisoning — a failed launch never wedges the host.
+    pub fn enqueue_program_checked(
+        &mut self,
+        program: &Program,
+    ) -> std::result::Result<ProgramReport, LaunchError> {
+        self.device.ensure_alive()?;
+        if !self.device.faults().disarmed() && self.device.faults().roll_device_loss() {
+            self.device.mark_lost();
+            return Err(LaunchError::DeviceLost { device_id: self.device.id() });
+        }
         let grid = self.device.grid();
+        let watchdog = self.device.watchdog();
 
         // Instantiate circular buffers per core and allocate their L1.
         let mut core_cbs: Vec<(CoreCoord, CbMap)> = Vec::new();
@@ -106,9 +247,9 @@ impl CommandQueue {
                 if let Err(e) = self.device.alloc_l1(core, entry.config.total_bytes()) {
                     // Roll back partial CB allocations before surfacing.
                     self.device.free_all_l1();
-                    return Err(e);
+                    return Err(e.into());
                 }
-                let cb = CircularBuffer::new(entry.config);
+                let cb = CircularBuffer::with_timeout(entry.config, watchdog);
                 all_cbs.push(cb.clone());
                 match core_cbs.iter_mut().find(|(c, _)| *c == core) {
                     Some((_, map)) => {
@@ -123,18 +264,16 @@ impl CommandQueue {
             }
         }
         let cbs_for = |core: CoreCoord| -> CbMap {
-            core_cbs
-                .iter()
-                .find(|(c, _)| *c == core)
-                .map(|(_, m)| m.clone())
-                .unwrap_or_default()
+            core_cbs.iter().find(|(c, _)| *c == core).map(|(_, m)| m.clone()).unwrap_or_default()
         };
 
         // Instantiate per-core semaphores.
         let mut core_sems: Vec<(CoreCoord, SemMap)> = Vec::new();
+        let mut all_sems: Vec<Semaphore> = Vec::new();
         for entry in &program.sems {
             for core in entry.cores.iter() {
-                let sem = Semaphore::new(entry.initial);
+                let sem = Semaphore::with_timeout(entry.initial, watchdog);
+                all_sems.push(sem.clone());
                 match core_sems.iter_mut().find(|(c, _)| *c == core) {
                     Some((_, map)) => {
                         map.insert(entry.index, sem);
@@ -148,15 +287,14 @@ impl CommandQueue {
             }
         }
         let sems_for = |core: CoreCoord| -> SemMap {
-            core_sems
-                .iter()
-                .find(|(c, _)| *c == core)
-                .map(|(_, m)| m.clone())
-                .unwrap_or_default()
+            core_sems.iter().find(|(c, _)| *c == core).map(|(_, m)| m.clone()).unwrap_or_default()
         };
 
-        // Launch one thread per kernel instance.
-        type KernelOutcome = (KernelTiming, Option<String>);
+        // Launch one thread per kernel instance. Stall injection is rolled
+        // here, on the host thread, so the affected instance is a
+        // deterministic function of the seed and launch order.
+        let cancel = CancelToken::new();
+        type KernelOutcome = (KernelTiming, Option<KernelAbort>);
         let mut handles: Vec<thread::JoinHandle<KernelOutcome>> = Vec::new();
         for entry in &program.kernels {
             for core in entry.cores.iter() {
@@ -166,46 +304,56 @@ impl CommandQueue {
                 let cbs = cbs_for(core);
                 let sems = sems_for(core);
                 let core_index = grid.index_of(core);
-                let poison_set = all_cbs.clone();
+                let poison_cbs = all_cbs.clone();
+                let poison_sems = all_sems.clone();
+                let cancel = cancel.clone();
+                let stall =
+                    !self.device.faults().disarmed() && self.device.faults().roll_kernel_stall();
+                if stall {
+                    // The kernel hangs without making progress. The thread
+                    // parks on the cancel token; either a sibling fault
+                    // cancels it early, or its own watchdog expires and it
+                    // initiates teardown itself.
+                    let handle = thread::spawn(move || {
+                        if !cancel.wait(device.watchdog()) {
+                            teardown(&poison_cbs, &poison_sems, &cancel);
+                        }
+                        let abort = KernelAbort {
+                            kind: AbortKind::Stall,
+                            kernel: label.clone(),
+                            core,
+                            message: "kernel made no progress (injected stall)".to_string(),
+                        };
+                        (KernelTiming { label, core_index, cycles: 0 }, Some(abort))
+                    });
+                    handles.push(handle);
+                    continue;
+                }
                 let handle = match &entry.body {
                     KernelBody::DataMovement { noc, kernel } => {
                         let noc = *noc;
                         let kernel = Arc::clone(kernel);
                         thread::spawn(move || {
-                            let mut ctx =
-                                DataMovementCtx::new(device, core, noc, cbs, sems, args);
-                            let outcome =
-                                catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
-                            let fault = outcome.err().map(|e| {
-                                for cb in &poison_set {
-                                    cb.poison();
-                                }
-                                panic_message(&label, core, e.as_ref())
+                            let mut ctx = DataMovementCtx::new(device, core, noc, cbs, sems, args);
+                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
+                            let abort = outcome.err().map(|e| {
+                                teardown(&poison_cbs, &poison_sems, &cancel);
+                                classify_abort(&label, core, e)
                             });
-                            (
-                                KernelTiming { label, core_index, cycles: ctx.take_cycles() },
-                                fault,
-                            )
+                            (KernelTiming { label, core_index, cycles: ctx.take_cycles() }, abort)
                         })
                     }
                     KernelBody::Compute { format, kernel } => {
                         let format = *format;
                         let kernel = Arc::clone(kernel);
                         thread::spawn(move || {
-                            let mut ctx =
-                                ComputeCtx::new(device, core, format, cbs, sems, args);
-                            let outcome =
-                                catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
-                            let fault = outcome.err().map(|e| {
-                                for cb in &poison_set {
-                                    cb.poison();
-                                }
-                                panic_message(&label, core, e.as_ref())
+                            let mut ctx = ComputeCtx::new(device, core, format, cbs, sems, args);
+                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
+                            let abort = outcome.err().map(|e| {
+                                teardown(&poison_cbs, &poison_sems, &cancel);
+                                classify_abort(&label, core, e)
                             });
-                            (
-                                KernelTiming { label, core_index, cycles: ctx.take_cycles() },
-                                fault,
-                            )
+                            (KernelTiming { label, core_index, cycles: ctx.take_cycles() }, abort)
                         })
                     }
                 };
@@ -214,24 +362,38 @@ impl CommandQueue {
         }
 
         let mut timings = Vec::with_capacity(handles.len());
-        let mut faults = Vec::new();
+        let mut aborts: Vec<KernelAbort> = Vec::new();
         for handle in handles {
             match handle.join() {
-                Ok((timing, fault)) => {
+                Ok((timing, abort)) => {
                     timings.push(timing);
-                    if let Some(msg) = fault {
-                        faults.push(msg);
+                    if let Some(a) = abort {
+                        aborts.push(a);
                     }
                 }
-                Err(_) => faults.push("kernel thread aborted".to_string()),
+                Err(_) => aborts.push(KernelAbort {
+                    kind: AbortKind::Panic,
+                    kernel: "<supervisor>".to_string(),
+                    core: CoreCoord::new(0, 0),
+                    message: "kernel thread aborted".to_string(),
+                }),
             }
         }
 
         // Program teardown frees CB storage.
         self.device.free_all_l1();
 
-        if !faults.is_empty() {
-            return Err(TensixError::KernelFault { message: faults.join("; ") });
+        if let Some(root) = aborts.into_iter().max_by_key(|a| a.kind) {
+            let KernelAbort { kind, kernel, core, message } = root;
+            return Err(match kind {
+                AbortKind::Stall => LaunchError::Stall { kernel, core },
+                AbortKind::Panic => LaunchError::KernelPanic { kernel, core, message },
+                // A launch whose best root cause is a poisoned victim still
+                // reports where the pipeline stopped.
+                AbortKind::Deadlock | AbortKind::Poisoned => {
+                    LaunchError::Deadlock { kernel, core, message }
+                }
+            });
         }
         let seconds = program_seconds(self.device.costs(), &timings);
         self.program_seconds += seconds;
@@ -243,6 +405,22 @@ impl CommandQueue {
     #[must_use]
     pub fn finish(&self) -> f64 {
         self.io_seconds + self.program_seconds
+    }
+
+    /// `Finish` with a virtual-time budget: fails instead of silently
+    /// returning when the accumulated work exceeded `budget_s` seconds, or
+    /// when the card fell off the bus.
+    ///
+    /// # Errors
+    /// [`LaunchError::Timeout`] when over budget,
+    /// [`LaunchError::DeviceLost`] when the card is gone.
+    pub fn finish_with_timeout(&self, budget_s: f64) -> std::result::Result<f64, LaunchError> {
+        self.device.ensure_alive()?;
+        let elapsed_s = self.finish();
+        if elapsed_s > budget_s {
+            return Err(LaunchError::Timeout { budget_s, elapsed_s });
+        }
+        Ok(elapsed_s)
     }
 
     /// Virtual seconds spent on host↔device transfers.
@@ -258,21 +436,13 @@ impl CommandQueue {
     }
 }
 
-fn panic_message(label: &str, core: CoreCoord, e: &(dyn std::any::Any + Send)) -> String {
-    let detail = e
-        .downcast_ref::<String>()
-        .map(String::as_str)
-        .or_else(|| e.downcast_ref::<&str>().copied())
-        .unwrap_or("unknown panic");
-    format!("kernel '{label}' on core {core}: {detail}")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::context::DataMovementCtx;
     use crate::kernel::{cb_index, ComputeFn};
     use tensix::cb::CircularBufferConfig;
+    use tensix::fault::{FaultClass, FaultConfig};
     use tensix::grid::CoreRangeSet;
     use tensix::{DataFormat, DeviceConfig, NocId};
 
@@ -285,8 +455,7 @@ mod tests {
         let dev = device();
         let mut q = CommandQueue::new(Arc::clone(&dev));
         let buf = Buffer::new(&dev, DataFormat::Float32, 3).unwrap();
-        let tiles: Vec<Tile> =
-            (0..3).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
+        let tiles: Vec<Tile> = (0..3).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
         q.enqueue_write_buffer(&buf, &tiles).unwrap();
         let back = q.enqueue_read_buffer(&buf).unwrap();
         assert_eq!(back.len(), 3);
@@ -303,20 +472,12 @@ mod tests {
         assert!(q.enqueue_write_buffer(&buf, &tiles).is_err());
     }
 
-    /// A three-kernel pipeline doubling every tile of a buffer: the same
-    /// reader → compute → writer shape as the paper's force pipeline.
-    #[test]
-    fn three_stage_pipeline_doubles_buffer() {
-        let dev = device();
-        let mut q = CommandQueue::new(Arc::clone(&dev));
-        let n_tiles = 8usize;
-        let input = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
-        let output = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
-        let tiles: Vec<Tile> =
-            (0..n_tiles).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
-        q.enqueue_write_buffer(&input, &tiles).unwrap();
-
-        let cores = CoreRangeSet::first_n(2, 8); // two cores, 4 tiles each
+    fn doubling_program(
+        cores: CoreRangeSet,
+        input: &Buffer,
+        output: &Buffer,
+        tiles_per_core: usize,
+    ) -> Program {
         let mut p = Program::new();
         let cb_cfg = CircularBufferConfig::new(2, DataFormat::Float32);
         p.add_circular_buffer(cores.clone(), cb_index::IN0, cb_cfg);
@@ -371,11 +532,29 @@ mod tests {
         );
 
         for (i, core) in cores.iter().enumerate() {
-            let args = vec![(i * 4) as u32, 4];
+            let args = vec![(i * tiles_per_core) as u32, tiles_per_core as u32];
             p.set_runtime_args(reader, core, args.clone());
             p.set_runtime_args(compute, core, args.clone());
             p.set_runtime_args(writer, core, args);
         }
+        p
+    }
+
+    /// A three-kernel pipeline doubling every tile of a buffer: the same
+    /// reader → compute → writer shape as the paper's force pipeline.
+    #[test]
+    fn three_stage_pipeline_doubles_buffer() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let n_tiles = 8usize;
+        let input = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let output = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let tiles: Vec<Tile> =
+            (0..n_tiles).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
+        q.enqueue_write_buffer(&input, &tiles).unwrap();
+
+        let cores = CoreRangeSet::first_n(2, 8); // two cores, 4 tiles each
+        let p = doubling_program(cores, &input, &output, 4);
 
         let report = q.enqueue_program(&p).unwrap();
         assert!(report.seconds > 0.0);
@@ -388,6 +567,8 @@ mod tests {
         // L1 was freed at teardown.
         assert_eq!(dev.l1_used(CoreCoord::new(0, 0)), 0);
         assert!(q.finish() >= report.seconds);
+        assert!(q.finish_with_timeout(1.0).is_ok());
+        assert!(matches!(q.finish_with_timeout(0.0), Err(LaunchError::Timeout { .. })));
     }
 
     #[test]
@@ -422,6 +603,173 @@ mod tests {
             }
             other => panic!("expected KernelFault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn kernel_panic_is_classified_with_core_and_phase() {
+        let dev = device();
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let cores = CoreRangeSet::first_n(1, 8);
+        let mut p = Program::new();
+        p.add_circular_buffer(
+            cores.clone(),
+            cb_index::IN0,
+            CircularBufferConfig::new(2, DataFormat::Float32),
+        );
+        p.add_data_movement_kernel(
+            "dying-producer",
+            cores.clone(),
+            NocId::Noc0,
+            Arc::new(|_ctx: &mut DataMovementCtx| panic!("injected failure")),
+        );
+        p.add_compute_kernel(
+            "blocked-consumer",
+            cores,
+            DataFormat::Float32,
+            Arc::new(ComputeFn(|ctx: &mut ComputeCtx| {
+                ctx.cb_wait_front(cb_index::IN0, 1);
+            })),
+        );
+
+        let err = q.enqueue_program_checked(&p).unwrap_err();
+        match &err {
+            LaunchError::KernelPanic { kernel, message, .. } => {
+                assert_eq!(kernel, "dying-producer");
+                assert!(message.contains("injected failure"));
+            }
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
+        assert_eq!(err.faulting_core(), Some(CoreCoord::new(0, 0)));
+        assert_eq!(err.phase(), "panic");
+        assert!(err.is_transient());
+    }
+
+    /// Acceptance criterion: an injected stalled compute kernel produces a
+    /// structured `Stall` error naming the kernel and core, with every
+    /// sibling kernel torn down cleanly, and the queue stays usable.
+    #[test]
+    fn stalled_compute_kernel_is_cancelled_and_reported() {
+        let dev = Device::new(
+            0,
+            DeviceConfig {
+                watchdog: Duration::from_millis(50),
+                seed: 42,
+                ..DeviceConfig::default()
+            },
+        );
+        // Launch order is reader, double, writer: stall instance #2, the
+        // compute kernel.
+        dev.faults().schedule(FaultClass::KernelStall, 2);
+
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let n_tiles = 4usize;
+        let input = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let output = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let tiles: Vec<Tile> =
+            (0..n_tiles).map(|i| Tile::splat(DataFormat::Float32, i as f32)).collect();
+        q.enqueue_write_buffer(&input, &tiles).unwrap();
+
+        let cores = CoreRangeSet::first_n(1, 8);
+        let p = doubling_program(cores, &input, &output, n_tiles);
+        let err = q.enqueue_program_checked(&p).unwrap_err();
+        match &err {
+            LaunchError::Stall { kernel, core } => {
+                assert_eq!(kernel, "double");
+                assert_eq!(*core, CoreCoord::new(0, 0));
+            }
+            other => panic!("expected Stall, got {other:?}"),
+        }
+        assert_eq!(err.phase(), "stall");
+        assert_eq!(dev.faults().stats().kernel_stalls, 1);
+        // Clean teardown: L1 freed, device alive, and the same program runs
+        // to completion on retry (the scheduled stall was one-shot).
+        assert_eq!(dev.l1_used(CoreCoord::new(0, 0)), 0);
+        assert!(dev.is_alive());
+        let p2 = doubling_program(CoreRangeSet::first_n(1, 8), &input, &output, n_tiles);
+        q.enqueue_program_checked(&p2).unwrap();
+        let result = q.enqueue_read_buffer(&output).unwrap();
+        assert_eq!(result[3].get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn injected_device_loss_fails_launch_until_reset() {
+        let dev = Device::new(0, DeviceConfig { seed: 5, ..DeviceConfig::default() });
+        dev.faults().schedule(FaultClass::DeviceLoss, 1);
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let buf = Buffer::new(&dev, DataFormat::Float32, 1).unwrap();
+        let p = Program::new();
+        let err = q.enqueue_program_checked(&p).unwrap_err();
+        assert_eq!(err, LaunchError::DeviceLost { device_id: 0 });
+        // Every queue operation now fails fast.
+        assert!(matches!(
+            q.enqueue_write_buffer(&buf, &[Tile::zeros(DataFormat::Float32)]),
+            Err(TensixError::DeviceLost { .. })
+        ));
+        assert!(matches!(q.finish_with_timeout(1.0), Err(LaunchError::DeviceLost { .. })));
+        // A reset revives the card (DRAM content is gone, so reallocate).
+        dev.reset().unwrap();
+        let buf = Buffer::new(&dev, DataFormat::Float32, 1).unwrap();
+        q.enqueue_write_buffer(&buf, &[Tile::zeros(DataFormat::Float32)]).unwrap();
+        q.enqueue_program_checked(&Program::new()).unwrap();
+    }
+
+    #[test]
+    fn uncorrectable_dram_ecc_error_is_reported_as_panic() {
+        let dev = Device::new(
+            0,
+            DeviceConfig {
+                faults: FaultConfig {
+                    dram_corruption_prob: 1.0,
+                    dram_uncorrectable_frac: 1.0,
+                    ..FaultConfig::default()
+                },
+                seed: 9,
+                ..DeviceConfig::default()
+            },
+        );
+        let mut q = CommandQueue::new(Arc::clone(&dev));
+        let n_tiles = 2usize;
+        let input = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let output = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+        let tiles = vec![Tile::splat(DataFormat::Float32, 1.0); n_tiles];
+        q.enqueue_write_buffer(&input, &tiles).unwrap();
+        let p = doubling_program(CoreRangeSet::first_n(1, 8), &input, &output, n_tiles);
+        let err = q.enqueue_program_checked(&p).unwrap_err();
+        match &err {
+            LaunchError::KernelPanic { kernel, message, .. } => {
+                assert_eq!(kernel, "reader");
+                assert!(message.contains("uncorrectable DRAM ECC"), "{message}");
+            }
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
+        assert!(dev.faults().stats().dram_uncorrectable >= 1);
+    }
+
+    #[test]
+    fn corrected_dram_ecc_errors_only_cost_cycles() {
+        let run = |faults: FaultConfig| {
+            let dev = Device::new(0, DeviceConfig { faults, seed: 11, ..DeviceConfig::default() });
+            let mut q = CommandQueue::new(Arc::clone(&dev));
+            let n_tiles = 4usize;
+            let input = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+            let output = Buffer::new(&dev, DataFormat::Float32, n_tiles).unwrap();
+            let tiles = vec![Tile::splat(DataFormat::Float32, 3.0); n_tiles];
+            q.enqueue_write_buffer(&input, &tiles).unwrap();
+            let p = doubling_program(CoreRangeSet::first_n(1, 8), &input, &output, n_tiles);
+            let report = q.enqueue_program_checked(&p).unwrap();
+            let out = q.enqueue_read_buffer(&output).unwrap();
+            assert_eq!(out[0].get(0, 0), 6.0);
+            (report.seconds, dev.faults().stats())
+        };
+        let (clean_s, clean_stats) = run(FaultConfig::default());
+        assert_eq!(clean_stats.dram_corrected, 0);
+        let (faulty_s, faulty_stats) = run(FaultConfig {
+            dram_corruption_prob: 1.0,
+            dram_uncorrectable_frac: 0.0,
+            ..FaultConfig::default()
+        });
+        assert!(faulty_stats.dram_corrected >= 4);
+        assert!(faulty_s > clean_s, "ECC correction must cost time: {faulty_s} vs {clean_s}");
     }
 
     #[test]

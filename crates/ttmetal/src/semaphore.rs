@@ -5,33 +5,62 @@
 //! `noc_semaphore_set` / `noc_semaphore_inc` / `noc_semaphore_wait` to
 //! implement barriers and producer tokens (real multi-core kernels use them
 //! for multicast hand-shakes). The simulator backs each with a
-//! mutex+condvar counter; waits carry the same deadlock watchdog as CBs.
+//! mutex+condvar counter; waits carry the same deadlock watchdog as CBs, and
+//! the command queue poisons semaphores on abnormal teardown so blocked
+//! waiters unwind with a typed [`tensix::fault::KernelInterrupt`] instead of
+//! hanging.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use tensix::fault::{raise_interrupt, InterruptKind};
 
-/// How long a blocked wait lasts before the simulator declares a deadlock.
+/// Default watchdog budget: how long a blocked wait lasts before the
+/// simulator declares a deadlock. Configurable per semaphore via
+/// [`Semaphore::with_timeout`] (the command queue wires in the device's
+/// `watchdog` setting).
 pub const SEM_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Debug)]
+struct SemState {
+    value: u32,
+    /// Set on abnormal program teardown; wakes blocked waiters with a typed
+    /// interrupt instead of deadlocking.
+    poisoned: bool,
+}
 
 /// One L1 semaphore (a 32-bit counter). Clones share the counter.
 #[derive(Debug, Clone)]
 pub struct Semaphore {
-    inner: Arc<(Mutex<u32>, Condvar)>,
+    timeout: Duration,
+    inner: Arc<(Mutex<SemState>, Condvar)>,
 }
 
 impl Semaphore {
-    /// Semaphore initialized to `initial`.
+    /// Semaphore initialized to `initial`, with the default watchdog.
     #[must_use]
     pub fn new(initial: u32) -> Self {
-        Semaphore { inner: Arc::new((Mutex::new(initial), Condvar::new())) }
+        Self::with_timeout(initial, SEM_DEADLOCK_TIMEOUT)
+    }
+
+    /// Semaphore initialized to `initial` with an explicit deadlock-watchdog
+    /// budget.
+    #[must_use]
+    pub fn with_timeout(initial: u32, timeout: Duration) -> Self {
+        Semaphore {
+            timeout,
+            inner: Arc::new((
+                Mutex::new(SemState { value: initial, poisoned: false }),
+                Condvar::new(),
+            )),
+        }
     }
 
     /// `noc_semaphore_set`: overwrite the counter.
     pub fn set(&self, value: u32) {
         let (lock, cvar) = &*self.inner;
-        *lock.lock() = value;
+        lock.lock().value = value;
         cvar.notify_all();
     }
 
@@ -39,27 +68,47 @@ impl Semaphore {
     /// does on hardware).
     pub fn inc(&self, delta: u32) {
         let (lock, cvar) = &*self.inner;
-        let mut v = lock.lock();
-        *v = v.wrapping_add(delta);
+        let mut st = lock.lock();
+        st.value = st.value.wrapping_add(delta);
         cvar.notify_all();
     }
 
     /// Current value.
     #[must_use]
     pub fn value(&self) -> u32 {
-        *self.inner.0.lock()
+        self.inner.0.lock().value
+    }
+
+    /// Poison the semaphore, waking any blocked waiter with a typed
+    /// [`tensix::fault::KernelInterrupt`]. Used on abnormal program teardown.
+    pub fn poison(&self) {
+        let (lock, cvar) = &*self.inner;
+        lock.lock().poisoned = true;
+        cvar.notify_all();
     }
 
     /// `noc_semaphore_wait`: block until the counter equals `target`.
     ///
     /// # Panics
-    /// Panics after [`SEM_DEADLOCK_TIMEOUT`] without reaching the target.
+    /// Raises a typed [`tensix::fault::KernelInterrupt`] if poisoned or
+    /// after the watchdog budget without reaching the target.
     pub fn wait(&self, target: u32) {
         let (lock, cvar) = &*self.inner;
-        let mut v = lock.lock();
-        while *v != target {
-            let timed_out = cvar.wait_for(&mut v, SEM_DEADLOCK_TIMEOUT).timed_out();
-            assert!(!timed_out, "noc_semaphore_wait({target}) deadlocked at value {}", *v);
+        let mut st = lock.lock();
+        while st.value != target {
+            if st.poisoned {
+                raise_interrupt(
+                    InterruptKind::Poisoned,
+                    format!("semaphore poisoned while waiting for value {target}"),
+                );
+            }
+            let timed_out = cvar.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out && !st.poisoned {
+                raise_interrupt(
+                    InterruptKind::DeadlockTimeout,
+                    format!("noc_semaphore_wait({target}) deadlocked at value {}", st.value),
+                );
+            }
         }
     }
 
@@ -67,13 +116,25 @@ impl Semaphore {
     /// pattern).
     ///
     /// # Panics
-    /// Panics on deadlock timeout.
+    /// Raises a typed [`tensix::fault::KernelInterrupt`] if poisoned or on
+    /// watchdog timeout.
     pub fn wait_min(&self, target: u32) {
         let (lock, cvar) = &*self.inner;
-        let mut v = lock.lock();
-        while *v < target {
-            let timed_out = cvar.wait_for(&mut v, SEM_DEADLOCK_TIMEOUT).timed_out();
-            assert!(!timed_out, "noc_semaphore_wait_min({target}) deadlocked at {}", *v);
+        let mut st = lock.lock();
+        while st.value < target {
+            if st.poisoned {
+                raise_interrupt(
+                    InterruptKind::Poisoned,
+                    format!("semaphore poisoned while waiting for at least {target}"),
+                );
+            }
+            let timed_out = cvar.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out && !st.poisoned {
+                raise_interrupt(
+                    InterruptKind::DeadlockTimeout,
+                    format!("noc_semaphore_wait_min({target}) deadlocked at {}", st.value),
+                );
+            }
         }
     }
 }
@@ -82,6 +143,7 @@ impl Semaphore {
 mod tests {
     use super::*;
     use std::thread;
+    use tensix::fault::KernelInterrupt;
 
     #[test]
     fn set_inc_value() {
@@ -125,5 +187,29 @@ mod tests {
             scope.spawn(move || c.wait_min(4)).join().unwrap();
         });
         assert_eq!(s.value(), 4);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_waiter_with_typed_interrupt() {
+        let s = Semaphore::new(0);
+        let s2 = s.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            s2.poison();
+        });
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.wait(1)))
+            .expect_err("wait must unwind once poisoned");
+        let interrupt = payload.downcast::<KernelInterrupt>().expect("typed interrupt payload");
+        assert_eq!(interrupt.kind, InterruptKind::Poisoned);
+    }
+
+    #[test]
+    fn watchdog_timeout_raises_deadlock_interrupt() {
+        let s = Semaphore::with_timeout(0, Duration::from_millis(20));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.wait_min(1)))
+            .expect_err("wait must unwind on watchdog timeout");
+        let interrupt = payload.downcast::<KernelInterrupt>().expect("typed interrupt payload");
+        assert_eq!(interrupt.kind, InterruptKind::DeadlockTimeout);
+        assert!(interrupt.detail.contains("wait_min"));
     }
 }

@@ -33,8 +33,20 @@ fn main() {
     let ce: Vec<f64> =
         successes(&cpu).iter().filter_map(|r| r.total_energy_j).map(|e| e / 1e3).collect();
 
-    println!("\naccelerated: {:.2} ± {:.2} s, {:.2} ± {:.2} kJ", mean(&at), std_dev(&at), mean(&ae), std_dev(&ae));
-    println!("cpu-only   : {:.2} ± {:.2} s, {:.2} ± {:.2} kJ", mean(&ct), std_dev(&ct), mean(&ce), std_dev(&ce));
+    println!(
+        "\naccelerated: {:.2} ± {:.2} s, {:.2} ± {:.2} kJ",
+        mean(&at),
+        std_dev(&at),
+        mean(&ae),
+        std_dev(&ae)
+    );
+    println!(
+        "cpu-only   : {:.2} ± {:.2} s, {:.2} ± {:.2} kJ",
+        mean(&ct),
+        std_dev(&ct),
+        mean(&ce),
+        std_dev(&ce)
+    );
     println!("speedup {:.2}x, energy ratio {:.2}x", mean(&ct) / mean(&at), mean(&ce) / mean(&ae));
 
     // Fig.-4-style view of the first successful job.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI: release build, tests, lints, formatting.
+# The build environment is offline — all external deps are vendored under
+# vendor/ — so every cargo invocation passes --offline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

@@ -28,7 +28,7 @@ pub use ttmetal;
 /// Commonly used items for examples and downstream users.
 pub mod prelude {
     pub use nbody::{
-        plummer, Forces, ForceKernel, Hermite4, Integrator, ParticleSystem, PlummerConfig,
+        plummer, ForceKernel, Forces, Hermite4, Integrator, ParticleSystem, PlummerConfig,
         ReferenceKernel, SimdKernel, ThreadedKernel,
     };
     pub use nbody_tt::{

@@ -70,9 +70,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err(format!("unknown command '{}'; expected run|validate|model", opts.command));
     }
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
-        };
+        let mut value = || it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"));
         match flag.as_str() {
             "--ic" => opts.ic = value()?,
             "--n" => opts.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
@@ -190,8 +188,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
 
 fn cmd_validate(opts: &Options) -> Result<(), String> {
     let device = Device::new(0, DeviceConfig::default());
-    let rows =
-        nbody_tt::validation_suite(&device, opts.n.max(512)).map_err(|e| e.to_string())?;
+    let rows = nbody_tt::validation_suite(&device, opts.n.max(512)).map_err(|e| e.to_string())?;
     println!("{}", nbody_tt::validate::format_table(&rows));
     if rows.iter().all(nbody_tt::ValidationRow::passes) {
         println!("all rows within the paper's tolerances.");
@@ -258,9 +255,29 @@ mod tests {
     #[test]
     fn parse_full_flags() {
         let o = parse_args(&args(&[
-            "run", "--ic", "king", "--n", "1000", "--backend", "cpu", "--integrator", "block",
-            "--steps", "10", "--dt", "0.001", "--eps", "0.05", "--cores", "4", "--devices", "2",
-            "--threads", "8", "--seed", "7",
+            "run",
+            "--ic",
+            "king",
+            "--n",
+            "1000",
+            "--backend",
+            "cpu",
+            "--integrator",
+            "block",
+            "--steps",
+            "10",
+            "--dt",
+            "0.001",
+            "--eps",
+            "0.05",
+            "--cores",
+            "4",
+            "--devices",
+            "2",
+            "--threads",
+            "8",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(o.ic, "king");

@@ -37,13 +37,11 @@ fn device_block_run_tracks_cpu_block_run() {
 
     let mut dev_sys = mk();
     let device = Device::new(0, DeviceConfig::default());
-    let dev_kernel =
-        DeviceForceKernel::new(DeviceForcePipeline::new(device, n, eps, 1).unwrap());
+    let dev_kernel = DeviceForceKernel::new(DeviceForcePipeline::new(device, n, eps, 1).unwrap());
     BlockHermite::new(dev_kernel, 0.02, 1.0 / 16.0, 4).evolve(&mut dev_sys, 0.125);
 
     let mut cpu_sys = mk();
-    BlockHermite::new(ReferenceKernel::new(eps), 0.02, 1.0 / 16.0, 4)
-        .evolve(&mut cpu_sys, 0.125);
+    BlockHermite::new(ReferenceKernel::new(eps), 0.02, 1.0 / 16.0, 4).evolve(&mut cpu_sys, 0.125);
 
     // FP32 device forces vs FP64 CPU forces can shift individual step
     // assignments, so compare trajectories loosely but meaningfully.

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use nbody::accuracy::{compare_forces, ACC_TOLERANCE, JERK_TOLERANCE};
 use nbody::force::{ForceKernel, ReferenceKernel, SimdKernel};
-use nbody::ic::{plummer, two_cluster_merger, uniform_sphere, PlummerConfig, TwoClusterConfig, UniformConfig};
+use nbody::ic::{
+    plummer, two_cluster_merger, uniform_sphere, PlummerConfig, TwoClusterConfig, UniformConfig,
+};
 use nbody_tt::DeviceForcePipeline;
 use tensix::{Device, DeviceConfig};
 
@@ -58,13 +60,19 @@ fn device_matches_cpu_simd_kernel_closely() {
 fn non_equilibrium_workloads_validate() {
     let eps = 0.02;
     let merger = two_cluster_merger(TwoClusterConfig { n1: 300, n2: 212, ..Default::default() });
-    let hot = uniform_sphere(UniformConfig { n: 400, seed: 5, virial_ratio: 1.5, ..Default::default() });
+    let hot =
+        uniform_sphere(UniformConfig { n: 400, seed: 5, virial_ratio: 1.5, ..Default::default() });
     for (label, sys) in [("merger", merger), ("hot-sphere", hot)] {
         let pipeline = DeviceForcePipeline::new(device(), sys.len(), eps, 1).unwrap();
         let dev = pipeline.evaluate(&sys).unwrap();
         let golden = ReferenceKernel::new(eps).compute(&sys);
         let cmp = compare_forces(&golden, &dev);
-        assert!(cmp.passes(), "{label}: acc {:.2e} jerk {:.2e}", cmp.max_acc_error, cmp.max_jerk_error);
+        assert!(
+            cmp.passes(),
+            "{label}: acc {:.2e} jerk {:.2e}",
+            cmp.max_acc_error,
+            cmp.max_jerk_error
+        );
     }
 }
 
@@ -74,12 +82,9 @@ fn momentum_conserved_by_device_forces() {
     let sys = plummer(PlummerConfig { n, seed: 77, ..PlummerConfig::default() });
     let pipeline = DeviceForcePipeline::new(device(), n, 0.01, 1).unwrap();
     let f = pipeline.evaluate(&sys).unwrap();
-    let typical: f64 = f
-        .acc
-        .iter()
-        .map(|a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt())
-        .sum::<f64>()
-        / n as f64;
+    let typical: f64 =
+        f.acc.iter().map(|a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()).sum::<f64>()
+            / n as f64;
     for c in 0..3 {
         let p: f64 = sys.mass.iter().zip(&f.acc).map(|(m, a)| m * a[c]).sum();
         assert!(

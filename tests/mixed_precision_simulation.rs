@@ -72,7 +72,13 @@ fn longer_run_energy_stays_bounded() {
     let out = run_device_simulation(
         device,
         &mut sys,
-        SimulationConfig { eps: 0.05, cycles: 5, steps_per_cycle: 8, dt: 1.0 / 256.0, num_cores: 1 },
+        SimulationConfig {
+            eps: 0.05,
+            cycles: 5,
+            steps_per_cycle: 8,
+            dt: 1.0 / 256.0,
+            num_cores: 1,
+        },
     )
     .unwrap();
     assert_eq!(out.steps, 40);

@@ -32,7 +32,11 @@ fn dst_overflow_in_a_kernel_is_a_fault_not_a_hang() {
     let mut queue = CommandQueue::new(Arc::clone(&device));
     let cores = CoreRangeSet::first_n(1, 8);
     let mut p = Program::new();
-    p.add_circular_buffer(cores.clone(), cb_index::IN0, CircularBufferConfig::new(1, DataFormat::Float32));
+    p.add_circular_buffer(
+        cores.clone(),
+        cb_index::IN0,
+        CircularBufferConfig::new(1, DataFormat::Float32),
+    );
     p.add_compute_kernel(
         "dst-overflow",
         cores,
@@ -61,8 +65,16 @@ fn l1_exhaustion_is_reported_before_launch() {
     let cores = CoreRangeSet::first_n(1, 8);
     let mut p = Program::new();
     // Two CBs that together exceed 1.5 MB of L1.
-    p.add_circular_buffer(cores.clone(), cb_index::IN0, CircularBufferConfig::new(200, DataFormat::Float32));
-    p.add_circular_buffer(cores, cb_index::IN1, CircularBufferConfig::new(200, DataFormat::Float32));
+    p.add_circular_buffer(
+        cores.clone(),
+        cb_index::IN0,
+        CircularBufferConfig::new(200, DataFormat::Float32),
+    );
+    p.add_circular_buffer(
+        cores,
+        cb_index::IN1,
+        CircularBufferConfig::new(200, DataFormat::Float32),
+    );
     let err = queue.enqueue_program(&p).unwrap_err();
     assert!(matches!(err, TensixError::L1OutOfMemory { .. }), "{err:?}");
     // The failed launch must not leak L1.

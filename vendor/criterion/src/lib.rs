@@ -1,0 +1,210 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no network access, so this crate provides a
+//! compile-compatible skeleton for the workspace's benches. Registration is
+//! no-op by default — `cargo test` also executes `harness = false` bench
+//! binaries, and those must stay instant. Set `CRITERION_SMOKE=1` to execute
+//! every registered routine once (a smoke run, no statistics).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Re-export of the optimizer barrier benches use.
+pub use std::hint::black_box;
+
+fn smoke_enabled() -> bool {
+    std::env::var_os("CRITERION_SMOKE").is_some_and(|v| v == "1")
+}
+
+/// Declared throughput of a benchmark (recorded, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (recorded, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts plain
+/// strings too.
+pub trait IntoBenchmarkId {
+    /// Convert to an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    run: bool,
+}
+
+impl Bencher {
+    /// Run `routine` (once, in smoke mode; never otherwise).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.run {
+            black_box(routine());
+        }
+    }
+
+    /// Run `routine` over inputs produced by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.run {
+            black_box(routine(setup()));
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the group's throughput (no-op).
+    pub fn throughput(&mut self, _throughput: Throughput) {}
+
+    /// Set the sample count (no-op).
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Set the measurement window (no-op).
+    pub fn measurement_time(&mut self, _d: Duration) {}
+
+    /// Set the warm-up window (no-op).
+    pub fn warm_up_time(&mut self, _d: Duration) {}
+
+    /// Register (and in smoke mode execute) one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let run = smoke_enabled();
+        if run {
+            eprintln!("smoke-bench {}/{}", self.name, id.name);
+        }
+        let mut b = Bencher { run };
+        f(&mut b);
+        self.criterion.registered += 1;
+        self
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    registered: usize,
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Benchmarks registered so far.
+    #[must_use]
+    pub fn registered(&self) -> usize {
+        self.registered
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.measurement_time(Duration::from_secs(1));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("with-param", 42), |b| {
+            b.iter_batched(|| vec![1, 2], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn registration_is_instant_and_counted() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.registered(), 2);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}
