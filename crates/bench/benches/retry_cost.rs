@@ -1,0 +1,104 @@
+//! Experiment bench — retry cost: quantifies the partial-tile redo's
+//! virtual-time saving over a whole-grid re-run when a single transient
+//! fault hits one core, and Criterion-times the recovered evaluation
+//! itself. The report feeds the `tt_telemetry::RetryCost` metric and
+//! checks the `1.5/num_cores` acceptance bound.
+//!
+//! The injected fault is an uncorrectable DRAM ECC hit on a reader's 5th
+//! page: it tears the faulting core down immediately (no watchdog wait),
+//! which keeps the bench honest about *virtual* retry cost without paying
+//! wall-clock stall timeouts.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody::particle::ParticleSystem;
+use nbody_tt::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
+use tensix::fault::{FaultClass, FaultConfig};
+use tensix::{Device, DeviceConfig, TILE_ELEMS};
+use tt_telemetry::RetryCost;
+
+/// Pipeline on a device armed with one scheduled uncorrectable DRAM read
+/// fault, plus a watchdog generous enough for debug-build serialization.
+fn faulted_pipeline(n: usize, num_cores: usize, seed: u64) -> DeviceForcePipeline {
+    let dev = Device::new(
+        0,
+        DeviceConfig {
+            faults: FaultConfig { dram_uncorrectable_frac: 1.0, ..FaultConfig::default() },
+            seed,
+            watchdog: Duration::from_secs(120),
+            ..DeviceConfig::default()
+        },
+    );
+    dev.faults().schedule(FaultClass::DramRead, 5);
+    DeviceForcePipeline::new(dev, n, 0.01, num_cores).expect("DRAM exhausted")
+}
+
+fn recovered_timing(sys: &ParticleSystem, num_cores: usize, policy: RetryPolicy) -> PipelineTiming {
+    let pipeline = faulted_pipeline(sys.len(), num_cores, 0x77);
+    pipeline.evaluate_with_retry(sys, policy).expect("retry must recover");
+    pipeline.timing()
+}
+
+fn cost_of(t: &PipelineTiming) -> RetryCost {
+    RetryCost {
+        useful_cycles: t.busy_cycles,
+        wasted_cycles: t.wasted_cycles,
+        redo_cycles: t.redo_cycles,
+    }
+}
+
+fn retry_cost_report(_c: &mut Criterion) {
+    let num_cores = 4;
+    let n = num_cores * TILE_ELEMS;
+    let sys = plummer(PlummerConfig { n, seed: 0x5c25, ..PlummerConfig::default() });
+
+    let partial = recovered_timing(&sys, num_cores, RetryPolicy::default());
+    let full = recovered_timing(&sys, num_cores, RetryPolicy::full_rerun());
+    let (pc, fc) = (cost_of(&partial), cost_of(&full));
+    let bound = RetryCost::partial_redo_bound(num_cores);
+
+    eprintln!("=== retry cost: single transient fault, {num_cores} cores, n = {n} ===");
+    eprintln!(
+        "partial redo: overhead {:.4} (bound {bound:.4}) | busy {} wasted {} redo {} | redos {}",
+        pc.overhead_ratio(),
+        pc.useful_cycles,
+        pc.wasted_cycles,
+        pc.redo_cycles,
+        partial.partial_redos
+    );
+    eprintln!(
+        "full re-run:  overhead {:.4} | busy {} wasted {} redo {}",
+        fc.overhead_ratio(),
+        fc.useful_cycles,
+        fc.wasted_cycles,
+        fc.redo_cycles
+    );
+    eprintln!(
+        "saving:       {:.2}x cheaper than whole-grid retry",
+        fc.overhead_ratio() / pc.overhead_ratio()
+    );
+    assert!(
+        pc.within_partial_redo_bound(num_cores),
+        "partial redo overhead {:.4} exceeds acceptance bound {bound:.4}",
+        pc.overhead_ratio()
+    );
+    assert!(!fc.within_partial_redo_bound(num_cores), "full re-run should blow the bound");
+}
+
+fn bench_recovered_evaluation(c: &mut Criterion) {
+    let num_cores = 2;
+    let n = num_cores * TILE_ELEMS;
+    let sys = plummer(PlummerConfig { n, seed: 0x5c26, ..PlummerConfig::default() });
+    let mut group = c.benchmark_group("retry_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("fault_plus_partial_redo", |b| {
+        b.iter(|| recovered_timing(&sys, num_cores, RetryPolicy::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, retry_cost_report, bench_recovered_evaluation);
+criterion_main!(benches);

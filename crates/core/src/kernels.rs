@@ -252,6 +252,9 @@ impl DataMovementKernel for WriterKernel {
             for buf in self.outputs {
                 ctx.write_cb_to_page(OUT0, buf, tile);
             }
+            // All six result pages for this tile are in DRAM: publish the
+            // watermark so a partial redo can resume at the next tile.
+            ctx.mark_unit_complete();
         }
     }
 }

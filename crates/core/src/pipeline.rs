@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use nbody::force::ForceKernel;
 use nbody::particle::{Forces, ParticleSystem};
 use tensix::cb::CircularBufferConfig;
-use tensix::grid::CoreRangeSet;
+use tensix::grid::{CoreCoord, CoreRangeSet};
 use tensix::{DataFormat, Device, NocId, Result, TensixError, Tile};
 use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
 use ttmetal::{Buffer, CommandQueue, LaunchError, Program};
@@ -27,9 +27,22 @@ use crate::kernels::{ForceComputeKernel, ReaderKernel, WriterKernel};
 use crate::layout::{split_tiles_to_cores, tilize_particles, HostArrays};
 
 /// Accumulated virtual-time cost of the evaluations run so far.
+///
+/// Cycle accounting separates three buckets so energy-to-solution sums stay
+/// honest under faults:
+///
+/// * `busy_cycles` — cycles that contributed to a delivered result
+///   (including redo cycles: the work was done once, late);
+/// * `redo_cycles` ⊆ `busy_cycles` — the subset re-executed by a partial
+///   redo after a transient fault;
+/// * `wasted_cycles` — cycles of failed attempts whose output was
+///   discarded. These never inflate the useful-work denominator.
+///
+/// `device_seconds` covers useful occupancy only; `wasted_seconds` is the
+/// device time burned by discarded attempts (total occupancy is their sum).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineTiming {
-    /// Device seconds across all force programs.
+    /// Device seconds of useful work across all force programs.
     pub device_seconds: f64,
     /// Host↔device transfer seconds (PCIe).
     pub io_seconds: f64,
@@ -43,6 +56,18 @@ pub struct PipelineTiming {
     pub retries: u64,
     /// Virtual seconds spent in retry backoff.
     pub retry_backoff_seconds: f64,
+    /// Kernel cycles that contributed to delivered results.
+    pub busy_cycles: u64,
+    /// Kernel cycles of failed attempts whose output was discarded.
+    pub wasted_cycles: u64,
+    /// Device seconds of discarded attempts (not part of `device_seconds`).
+    pub wasted_seconds: f64,
+    /// Subset of `busy_cycles` re-executed by partial redo launches.
+    pub redo_cycles: u64,
+    /// Device seconds of partial redo launches (part of `device_seconds`).
+    pub redo_seconds: f64,
+    /// Number of partial (single-slice) redo launches performed.
+    pub partial_redos: u64,
 }
 
 impl PipelineTiming {
@@ -58,6 +83,24 @@ impl PipelineTiming {
         }
         self.retries += other.retries;
         self.retry_backoff_seconds += other.retry_backoff_seconds;
+        self.busy_cycles += other.busy_cycles;
+        self.wasted_cycles += other.wasted_cycles;
+        self.wasted_seconds += other.wasted_seconds;
+        self.redo_cycles += other.redo_cycles;
+        self.redo_seconds += other.redo_seconds;
+        self.partial_redos += other.partial_redos;
+    }
+
+    /// Retry overhead as a fraction of useful work:
+    /// `(wasted + redo) / busy`. For a single transient fault on one of
+    /// `C` equal cores a partial redo lands near `1/C`; a full re-run lands
+    /// near `1`. Zero when no cycles have been recorded.
+    #[must_use]
+    pub fn retry_overhead_ratio(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            return 0.0;
+        }
+        (self.wasted_cycles + self.redo_cycles) as f64 / self.busy_cycles as f64
     }
 }
 
@@ -72,11 +115,15 @@ pub struct RetryPolicy {
     pub max_retries: u32,
     /// Backoff before the first retry, in virtual seconds.
     pub backoff_base_s: f64,
+    /// When true (default), a retryable fault that names the faulting core
+    /// keeps surviving cores' completed tile ranges and re-launches only the
+    /// incomplete slices; otherwise every retry re-runs the whole grid.
+    pub partial_redo: bool,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 3, backoff_base_s: 0.25 }
+        RetryPolicy { max_retries: 3, backoff_base_s: 0.25, partial_redo: true }
     }
 }
 
@@ -84,7 +131,14 @@ impl RetryPolicy {
     /// A policy that never retries.
     #[must_use]
     pub fn disabled() -> Self {
-        RetryPolicy { max_retries: 0, backoff_base_s: 0.0 }
+        RetryPolicy { max_retries: 0, backoff_base_s: 0.0, partial_redo: false }
+    }
+
+    /// The default policy restricted to whole-grid retries (the pre-partial
+    /// behaviour; useful for cost comparisons).
+    #[must_use]
+    pub fn full_rerun() -> Self {
+        RetryPolicy { partial_redo: false, ..RetryPolicy::default() }
     }
 
     /// Backoff charged before retry number `attempt` (0-based).
@@ -106,6 +160,10 @@ pub struct DeviceForcePipeline {
     target_bufs: [Buffer; 6],
     source_bufs: [Buffer; 7],
     output_bufs: [Buffer; 6],
+    /// Per-core `(core, start_tile, tile_count)` of the Fig. 2 outer-loop
+    /// split — the ground truth a partial redo validates fault inventories
+    /// against.
+    core_ranges: Vec<(CoreCoord, usize, usize)>,
     timing: Mutex<PipelineTiming>,
 }
 
@@ -186,6 +244,11 @@ impl DeviceForcePipeline {
             num_cores,
             format,
         );
+        let core_ranges = cores
+            .iter()
+            .zip(split_tiles_to_cores(num_tiles, num_cores))
+            .map(|(core, (start, count))| (core, start, count))
+            .collect();
 
         Ok(DeviceForcePipeline {
             queue: Mutex::new(CommandQueue::new(Arc::clone(&device))),
@@ -198,6 +261,7 @@ impl DeviceForcePipeline {
             target_bufs,
             source_bufs,
             output_bufs,
+            core_ranges,
             timing: Mutex::new(PipelineTiming::default()),
         })
     }
@@ -263,29 +327,31 @@ impl DeviceForcePipeline {
         system: &ParticleSystem,
     ) -> std::result::Result<Forces, LaunchError> {
         assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
-        let arrays = HostArrays::from_system(system);
-        let tiled = tilize_particles(&arrays);
-
         let mut queue = self.queue.lock();
-        for (buf, tiles) in self.target_bufs.iter().zip(&tiled.targets) {
-            queue.enqueue_write_buffer(buf, tiles)?;
-        }
-        for (buf, tiles) in self.source_bufs.iter().zip(&tiled.sources) {
-            queue.enqueue_write_buffer(buf, tiles)?;
-        }
+        self.write_inputs(&mut queue, system)?;
 
-        let report = queue.enqueue_program_checked(&self.program)?;
+        let report = match queue.enqueue_program_checked(&self.program) {
+            Ok(report) => report,
+            Err(e) => {
+                // Bill the discarded attempt so external retries (the
+                // resilient runner's rebuild path) never lose its cost.
+                if let Some(failed) = queue.take_last_failure() {
+                    let mut t = self.timing.lock();
+                    t.wasted_cycles += failed.timings.iter().map(|k| k.cycles).sum::<u64>();
+                    t.wasted_seconds += failed.seconds;
+                }
+                return Err(e);
+            }
+        };
 
-        let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
-        for buf in &self.output_bufs {
-            result_tiles.push(queue.enqueue_read_buffer(buf)?);
-        }
+        let forces = self.read_forces(&mut queue)?;
 
         {
             let mut t = self.timing.lock();
             t.device_seconds += report.seconds;
             t.io_seconds = queue.io_seconds();
             t.evaluations += 1;
+            t.busy_cycles += report.timings.iter().map(|k| k.cycles).sum::<u64>();
             t.last_eval_cycles = report
                 .timings
                 .iter()
@@ -294,9 +360,33 @@ impl DeviceForcePipeline {
                 .max()
                 .unwrap_or(0);
         }
-        drop(queue);
+        Ok(forces)
+    }
 
-        // Un-tilize: FP32 device results promoted to the FP64 state.
+    /// Tilize the FP64 state and ship every target/source buffer to DRAM.
+    fn write_inputs(
+        &self,
+        queue: &mut CommandQueue,
+        system: &ParticleSystem,
+    ) -> std::result::Result<(), LaunchError> {
+        let arrays = HostArrays::from_system(system);
+        let tiled = tilize_particles(&arrays);
+        for (buf, tiles) in self.target_bufs.iter().zip(&tiled.targets) {
+            queue.enqueue_write_buffer(buf, tiles)?;
+        }
+        for (buf, tiles) in self.source_bufs.iter().zip(&tiled.sources) {
+            queue.enqueue_write_buffer(buf, tiles)?;
+        }
+        Ok(())
+    }
+
+    /// Read the six output buffers back and un-tilize: FP32 device results
+    /// promoted to the FP64 state.
+    fn read_forces(&self, queue: &mut CommandQueue) -> std::result::Result<Forces, LaunchError> {
+        let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
+        for buf in &self.output_bufs {
+            result_tiles.push(queue.enqueue_read_buffer(buf)?);
+        }
         let mut forces = Forces::zeros(self.n);
         for axis in 0..3 {
             let acc = tensix::tile::unpack_vector(&result_tiles[axis], self.n);
@@ -310,13 +400,24 @@ impl DeviceForcePipeline {
     }
 
     /// [`DeviceForcePipeline::evaluate_checked`] with bounded retries for
-    /// transient faults. Every attempt rewrites all input buffers, so an
-    /// in-place retry is safe; timing counts exactly one evaluation per
-    /// *successful* attempt, so a retried evaluation never double-counts
-    /// device work in the energy/measurement window. Device loss is never
-    /// retried here — the DRAM buffers died with the card, so recovery
-    /// requires a reset and a pipeline rebuild (see the resilient
-    /// simulation runner).
+    /// transient faults. Inputs are written once — DRAM survives a failed
+    /// launch while the card stays on the bus — and timing counts exactly
+    /// one evaluation per *successful* attempt, so a retried evaluation
+    /// never double-counts device work in the energy/measurement window.
+    ///
+    /// With [`RetryPolicy::partial_redo`] set, a retryable fault's
+    /// completed-range inventory is validated against the pipeline's tile
+    /// split: surviving cores' finished ranges are kept (billed as
+    /// `busy_cycles`), the failed attempt's discarded share is billed as
+    /// `wasted_cycles`, and only the incomplete cores re-launch a program
+    /// slice with rewritten `[start, count]` args — cost ~`1/num_cores` of a
+    /// full re-run, tracked in `redo_cycles`/`partial_redos`. An invalid
+    /// inventory (a watermark past the remaining range) falls back to a full
+    /// re-run, moving everything kept so far into the wasted bucket.
+    ///
+    /// Device loss is never retried here — the DRAM buffers died with the
+    /// card, so recovery requires a reset and a pipeline rebuild (see the
+    /// resilient simulation runner).
     ///
     /// # Errors
     /// The final [`LaunchError`] when the retry budget is exhausted or the
@@ -329,21 +430,195 @@ impl DeviceForcePipeline {
         system: &ParticleSystem,
         policy: RetryPolicy,
     ) -> std::result::Result<Forces, LaunchError> {
+        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        let mut queue = self.queue.lock();
+        self.write_inputs(&mut queue, system)?;
+
+        // Tiles already delivered per core (across attempts); kept work of
+        // failed attempts, to be billed only when an attempt finally lands.
+        let mut done: Vec<u64> = vec![0; self.core_ranges.len()];
+        let mut kept_busy_cycles = 0u64;
+        let mut kept_redo_cycles = 0u64;
+        let mut kept_seconds = 0.0f64;
+        let mut kept_redo_seconds = 0.0f64;
+        let mut max_fc_cycles = 0u64;
         let mut attempt = 0u32;
+        let mut current: Option<Program> = None;
+
         loop {
-            match self.evaluate_checked(system) {
-                Ok(forces) => return Ok(forces),
+            let is_redo = current.is_some();
+            match queue.enqueue_program_checked(current.as_ref().unwrap_or(&self.program)) {
+                Ok(report) => {
+                    let cycles: u64 = report.timings.iter().map(|k| k.cycles).sum();
+                    max_fc_cycles = max_fc_cycles.max(max_compute_cycles(&report.timings));
+                    let forces = self.read_forces(&mut queue)?;
+                    let mut t = self.timing.lock();
+                    t.device_seconds += kept_seconds + report.seconds;
+                    t.busy_cycles += kept_busy_cycles + cycles;
+                    t.redo_cycles += kept_redo_cycles + if is_redo { cycles } else { 0 };
+                    t.redo_seconds +=
+                        kept_redo_seconds + if is_redo { report.seconds } else { 0.0 };
+                    t.evaluations += 1;
+                    t.last_eval_cycles = max_fc_cycles;
+                    t.io_seconds = queue.io_seconds();
+                    return Ok(forces);
+                }
                 Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    let failed = queue.take_last_failure();
+                    let (cycles, seconds, timings) = match &failed {
+                        Some(f) => (
+                            f.timings.iter().map(|k| k.cycles).sum::<u64>(),
+                            f.seconds,
+                            &f.timings[..],
+                        ),
+                        None => (0, 0.0, &[][..]),
+                    };
+                    let salvage = if policy.partial_redo {
+                        self.salvage_attempt(e.completed_work(), &done)
+                    } else {
+                        None
+                    };
                     let mut t = self.timing.lock();
                     t.retries += 1;
                     t.retry_backoff_seconds += policy.backoff_s(attempt);
-                    drop(t);
+                    match salvage {
+                        Some(fresh) => {
+                            // Keep survivors' finished tiles: split the
+                            // attempt's cycles by each core's delivered
+                            // fraction of its remaining range.
+                            let mut kept = 0u64;
+                            for k in timings {
+                                kept += scale_cycles(
+                                    k.cycles,
+                                    self.kept_frac(k.core_index, &fresh, &done),
+                                );
+                            }
+                            let kept_frac =
+                                if cycles > 0 { kept as f64 / cycles as f64 } else { 0.0 };
+                            t.wasted_cycles += cycles - kept;
+                            t.wasted_seconds += seconds * (1.0 - kept_frac);
+                            t.partial_redos += 1;
+                            drop(t);
+                            max_fc_cycles = max_fc_cycles.max(max_compute_cycles(timings));
+                            kept_busy_cycles += kept;
+                            kept_seconds += seconds * kept_frac;
+                            if is_redo {
+                                kept_redo_cycles += kept;
+                                kept_redo_seconds += seconds * kept_frac;
+                            }
+                            for (i, fresh_i) in fresh.iter().enumerate() {
+                                done[i] += fresh_i;
+                            }
+                            current = Some(self.redo_slice(&done));
+                        }
+                        None => {
+                            // Full re-run: this attempt and everything kept
+                            // from earlier attempts is discarded work.
+                            t.wasted_cycles += cycles + kept_busy_cycles;
+                            t.wasted_seconds += seconds + kept_seconds;
+                            drop(t);
+                            kept_busy_cycles = 0;
+                            kept_redo_cycles = 0;
+                            kept_seconds = 0.0;
+                            kept_redo_seconds = 0.0;
+                            max_fc_cycles = 0;
+                            done.iter_mut().for_each(|d| *d = 0);
+                            current = None;
+                        }
+                    }
                     attempt += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // Terminal failure: everything this call burned is waste.
+                    let (cycles, seconds) = match queue.take_last_failure() {
+                        Some(f) => (f.timings.iter().map(|k| k.cycles).sum::<u64>(), f.seconds),
+                        None => (0, 0.0),
+                    };
+                    let mut t = self.timing.lock();
+                    t.wasted_cycles += cycles + kept_busy_cycles;
+                    t.wasted_seconds += seconds + kept_seconds;
+                    return Err(e);
+                }
             }
         }
     }
+
+    /// Validate a failed attempt's completed-range inventory against the tile
+    /// split. Returns the per-core *freshly* delivered tile counts of this
+    /// attempt when every watermark is trustworthy (covers each core and
+    /// stays within its remaining range), `None` otherwise.
+    fn salvage_attempt(
+        &self,
+        inventory: &[ttmetal::CoreProgress],
+        done: &[u64],
+    ) -> Option<Vec<u64>> {
+        if inventory.is_empty() {
+            return None;
+        }
+        let mut fresh = vec![0u64; self.core_ranges.len()];
+        for (i, (core, _, count)) in self.core_ranges.iter().enumerate() {
+            let remaining = *count as u64 - done[i];
+            if remaining == 0 {
+                // Core finished in an earlier attempt; it was not part of
+                // this launch, so no watermark is expected.
+                continue;
+            }
+            let delivered = inventory.iter().find(|p| p.core == *core)?.completed;
+            if delivered > remaining {
+                return None; // watermark past a tile boundary we own
+            }
+            fresh[i] = delivered;
+        }
+        Some(fresh)
+    }
+
+    /// Fraction of `core_index`'s work in the failed attempt that was
+    /// delivered (`fresh / remaining` of its tile range).
+    fn kept_frac(&self, core_index: usize, fresh: &[u64], done: &[u64]) -> f64 {
+        let grid = self.device.grid();
+        for (i, (core, _, count)) in self.core_ranges.iter().enumerate() {
+            if grid.index_of(*core) == core_index {
+                let remaining = *count as u64 - done[i];
+                if remaining == 0 {
+                    return 0.0;
+                }
+                return fresh[i] as f64 / remaining as f64;
+            }
+        }
+        0.0
+    }
+
+    /// Build the re-launch slice: only cores with undelivered tiles, each
+    /// with its `[start, count]` window advanced past the delivered prefix.
+    fn redo_slice(&self, done: &[u64]) -> Program {
+        let incomplete: Vec<CoreCoord> = self
+            .core_ranges
+            .iter()
+            .enumerate()
+            .filter(|(i, (_, _, count))| done[*i] < *count as u64)
+            .map(|(_, (core, _, _))| *core)
+            .collect();
+        let mut slice = self.program.slice_for_cores(&incomplete);
+        for (i, (core, start, count)) in self.core_ranges.iter().enumerate() {
+            let count = *count as u64;
+            if done[i] < count {
+                let args =
+                    vec![(*start as u64 + done[i]) as u32, (count - done[i]) as u32, self.n as u32];
+                slice.set_runtime_args_all_kernels(*core, args);
+            }
+        }
+        slice
+    }
+}
+
+/// Max force-compute cycles across kernel instances (the slowest core).
+fn max_compute_cycles(timings: &[tensix::clock::KernelTiming]) -> u64 {
+    timings.iter().filter(|k| k.label == "force-compute").map(|k| k.cycles).max().unwrap_or(0)
+}
+
+/// `cycles * frac`, rounded, saturating at `cycles`.
+fn scale_cycles(cycles: u64, frac: f64) -> u64 {
+    ((cycles as f64 * frac).round() as u64).min(cycles)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -201,8 +201,12 @@ pub fn run_device_simulation_resilient(
         match catch_unwind(AssertUnwindSafe(|| integ.step(system, config.dt))) {
             Ok(()) => {
                 step += 1;
-                if step - checkpoint_step >= recovery.checkpoint_every.max(1) && step < total_steps
-                {
+                // Checkpoint on every full stride, including one landing on
+                // the final step: a device loss during a terminal partial
+                // stride must never replay more than `checkpoint_every`
+                // steps (the old `step < total_steps` guard broke that
+                // promise for late losses).
+                if step - checkpoint_step >= recovery.checkpoint_every.max(1) {
                     checkpoint = system.clone();
                     checkpoint_step = step;
                 }
@@ -366,6 +370,40 @@ mod tests {
         let t = out.outcome.timing.unwrap();
         let tc = clean.outcome.timing.unwrap();
         assert_eq!(t.evaluations, tc.evaluations + out.steps_replayed as u64);
+    }
+
+    #[test]
+    fn device_loss_replays_at_most_checkpoint_every_steps() {
+        use tensix::fault::FaultClass;
+
+        // Sweep the loss over every step of the run, including the final
+        // partial stride: the checkpoint cadence must bound the replay at
+        // `checkpoint_every` everywhere (the old `step < total_steps` guard
+        // was the accounting bug this pins down).
+        let cfg = SimulationConfig {
+            eps: 0.05,
+            cycles: 2,
+            steps_per_cycle: 3,
+            dt: 1.0 / 256.0,
+            num_cores: 1,
+        };
+        let total = cfg.cycles * cfg.steps_per_cycle;
+        let recovery = RecoveryConfig { checkpoint_every: 2, ..RecoveryConfig::default() };
+        for lost_step in 1..=total {
+            let dev = Device::new(0, DeviceConfig::default());
+            // Launch events: initialize is #1, step i is #(i+1).
+            dev.faults().schedule(FaultClass::DeviceLoss, (lost_step + 1) as u64);
+            let mut sys = plummer(PlummerConfig { n: 64, seed: 105, ..PlummerConfig::default() });
+            let out = run_device_simulation_resilient(&dev, &mut sys, cfg, recovery).unwrap();
+            assert_eq!(out.recoveries, 1, "loss at step {lost_step}");
+            assert!(
+                out.steps_replayed < recovery.checkpoint_every,
+                "loss at step {lost_step}: replayed {} ≥ checkpoint_every {}",
+                out.steps_replayed,
+                recovery.checkpoint_every
+            );
+            assert_eq!(out.outcome.steps, total);
+        }
     }
 
     #[test]

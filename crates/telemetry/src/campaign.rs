@@ -13,8 +13,8 @@
 //! energy-to-solution, and the peak combined power.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use tensix::{Device, DeviceConfig, PowerParams, PowerState};
+use rand::SeedableRng;
+use tensix::{Device, DeviceConfig, FaultConfig, PowerParams, PowerState};
 
 use crate::energy::integrate_samples;
 use crate::ipmi::DcmiPowerMeter;
@@ -212,6 +212,19 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
                 DeviceConfig {
                     reset_failure_prob: if injected { spec.reset_failure_prob } else { 0.0 },
                     seed: seed.wrapping_add(job_id as u64 * 131),
+                    // Mid-run hang/loss are drawn from the card's own seeded
+                    // FaultPlan streams (ROADMAP "campaign/device fault
+                    // unification"): the one device seed governs both the
+                    // campaign census and launch-level injection.
+                    faults: if injected {
+                        FaultConfig {
+                            kernel_stall_prob: spec.faults.hang_prob,
+                            device_loss_prob: spec.faults.mid_run_loss_prob,
+                            ..FaultConfig::default()
+                        }
+                    } else {
+                        FaultConfig::default()
+                    },
                     ..DeviceConfig::default()
                 },
             )
@@ -251,19 +264,20 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
         spec.nominal_seconds * (1.0 + spec.time_jitter_frac * standard_normal(&mut rng));
 
     // --- mid-run faults ----------------------------------------------------
-    // Both rolls are always drawn (after the duration draw) so the job rng
-    // stream — and with it every measurement — is identical whichever
-    // policy is active.
-    let hang_roll: f64 = rng.gen();
-    let loss_roll: f64 = rng.gen();
+    // Hang and loss are drawn from the active card's seeded FaultPlan — the
+    // same per-class streams the launch layer rolls — so one seed governs
+    // both layers. The job rng consumes only the duration draw above and
+    // each fault class has an independent stream, so the no-fault censuses
+    // and every measurement reproduce whichever policy is active.
     if spec.kind == JobKind::Accelerated {
-        if hang_roll < spec.faults.hang_prob {
+        let plan = devices[spec.active_card].faults();
+        if plan.roll_kernel_stall() {
             let mut rec = JobRecord::failed(job_id, spec.kind, FailurePhase::Timeout);
             rec.reset_retries_used = reset_retries_used;
             rec.recovery_overhead_s = recovery_overhead_s;
             return rec;
         }
-        if loss_roll < spec.faults.mid_run_loss_prob {
+        if plan.roll_device_loss() {
             if spec.faults.resume_from_checkpoint {
                 // Resume from the last host-side checkpoint: the window
                 // stretches by the redone slice, and the redo is billed as

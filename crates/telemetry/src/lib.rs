@@ -18,6 +18,7 @@ pub mod energy;
 pub mod ipmi;
 pub mod profile;
 pub mod rapl;
+pub mod retry;
 pub mod sample;
 pub mod stats;
 pub mod ttsmi;
@@ -29,6 +30,7 @@ pub use campaign::{
 pub use energy::{integrate_samples, integrate_samples_trapezoid};
 pub use profile::HostPowerProfile;
 pub use rapl::{read_energy_naive, read_energy_perf, RaplDomain, RAPL_UNIT_J, RAPL_WRAP};
+pub use retry::RetryCost;
 pub use sample::{PowerSample, SampleSeries};
 pub use stats::{max, mean, min, standard_normal, std_dev, Histogram};
 pub use ttsmi::TtSmiSampler;

@@ -1,0 +1,89 @@
+//! Retry-cost accounting for fault-tolerant executions.
+//!
+//! Separates the cycles a pipeline spent on delivered work from the cycles
+//! burned by failed attempts and redo launches, and checks the partial-redo
+//! economics: re-launching only the faulting core's tile slice should cost
+//! ~`1/num_cores` of a full re-run, so a single transient fault must keep the
+//! overhead ratio under `1.5/num_cores` (the acceptance bound, with headroom
+//! for the discarded partial work of the faulting core).
+//!
+//! The struct takes raw cycle counts so it works with any producer — the
+//! device pipeline's timing report, a bench harness, or campaign telemetry.
+
+/// Cycle-level cost breakdown of retries for one measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryCost {
+    /// Cycles that contributed to delivered results (including redone work,
+    /// which was delivered late but delivered once).
+    pub useful_cycles: u64,
+    /// Cycles of failed attempts whose output was discarded.
+    pub wasted_cycles: u64,
+    /// Cycles re-executed by redo launches (subset of `useful_cycles`).
+    pub redo_cycles: u64,
+}
+
+impl RetryCost {
+    /// Retry overhead as a fraction of useful work:
+    /// `(wasted + redo) / useful`. Zero when nothing ran.
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.useful_cycles == 0 {
+            return 0.0;
+        }
+        (self.wasted_cycles + self.redo_cycles) as f64 / self.useful_cycles as f64
+    }
+
+    /// The acceptance bound for a single transient fault recovered by
+    /// partial redo on `num_cores` equal tile ranges: `1.5 / num_cores`.
+    /// (An ideal redo costs `1/num_cores`; the extra half covers the
+    /// faulting core's discarded partial work and rounding.)
+    ///
+    /// # Panics
+    /// Panics if `num_cores` is zero.
+    #[must_use]
+    pub fn partial_redo_bound(num_cores: usize) -> f64 {
+        assert!(num_cores > 0, "bound undefined for zero cores");
+        1.5 / num_cores as f64
+    }
+
+    /// Whether the overhead stays within [`Self::partial_redo_bound`].
+    #[must_use]
+    pub fn within_partial_redo_bound(&self, num_cores: usize) -> bool {
+        self.overhead_ratio() <= Self::partial_redo_bound(num_cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_ratio_counts_waste_and_redo() {
+        let cost = RetryCost { useful_cycles: 1000, wasted_cycles: 50, redo_cycles: 125 };
+        assert!((cost.overhead_ratio() - 0.175).abs() < 1e-12);
+        // 8 cores: bound is 0.1875.
+        assert!(cost.within_partial_redo_bound(8));
+        assert!(!cost.within_partial_redo_bound(16));
+    }
+
+    #[test]
+    fn empty_window_has_zero_overhead() {
+        let cost = RetryCost::default();
+        assert_eq!(cost.overhead_ratio(), 0.0);
+        assert!(cost.within_partial_redo_bound(64));
+    }
+
+    #[test]
+    fn full_rerun_blows_the_bound() {
+        // A whole-grid retry redoes everything: ratio ≈ 1 on any multi-core
+        // split, far past 1.5/C.
+        let cost = RetryCost { useful_cycles: 1000, wasted_cycles: 990, redo_cycles: 0 };
+        assert!(!cost.within_partial_redo_bound(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cores")]
+    fn zero_core_bound_rejected() {
+        let _ = RetryCost::partial_redo_bound(0);
+    }
+}

@@ -7,7 +7,7 @@
 //! "occurring during the device reset phase". The failure injector is seeded
 //! so campaigns are reproducible.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -87,6 +87,11 @@ pub struct Device {
     reset_stats: Mutex<ResetStats>,
     fault_plan: FaultPlan,
     alive: AtomicBool,
+    /// Per-core completion watermarks: work units (tiles) a core's writer has
+    /// fully committed to DRAM in the current program. The launch supervisor
+    /// resets the board per launch and reads it on abort to build the
+    /// completed-range inventory a partial redo resumes from.
+    progress: Vec<AtomicU64>,
 }
 
 impl Device {
@@ -106,6 +111,7 @@ impl Device {
             reset_stats: Mutex::new(ResetStats::default()),
             fault_plan: FaultPlan::new(id, config.seed, config.faults),
             alive: AtomicBool::new(true),
+            progress: (0..config.grid.num_cores()).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
@@ -273,6 +279,7 @@ impl Device {
         self.free_all_l1();
         self.clock.reset();
         self.power.lock().reset();
+        self.reset_progress();
         self.alive.store(true, Ordering::Release);
         Ok(())
     }
@@ -281,6 +288,34 @@ impl Device {
     #[must_use]
     pub fn reset_stats(&self) -> ResetStats {
         *self.reset_stats.lock()
+    }
+
+    /// Zero every core's completion watermark. The launch supervisor calls
+    /// this at the start of each program launch, so watermarks are always
+    /// attempt-local.
+    pub fn reset_progress(&self) {
+        for w in &self.progress {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    /// Bump `core`'s completion watermark by one finished work unit (a tile
+    /// whose outputs are fully committed to DRAM).
+    ///
+    /// # Panics
+    /// Panics if `core` is off-grid.
+    pub fn record_progress(&self, core: CoreCoord) {
+        self.progress[self.config.grid.index_of(core)].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Work units `core` has completed since the last
+    /// [`Self::reset_progress`].
+    ///
+    /// # Panics
+    /// Panics if `core` is off-grid.
+    #[must_use]
+    pub fn progress_of(&self, core: CoreCoord) -> u64 {
+        self.progress[self.config.grid.index_of(core)].load(Ordering::Acquire)
     }
 }
 

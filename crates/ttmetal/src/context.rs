@@ -115,6 +115,14 @@ impl DataMovementCtx {
         self.counter.cycles()
     }
 
+    /// Publish one completed work unit to the device's per-core completion
+    /// watermark. Writer kernels call this after a tile's outputs are fully
+    /// committed to DRAM, so a partial redo after a fault can resume the
+    /// faulting core at a tile boundary while trusting survivors' watermarks.
+    pub fn mark_unit_complete(&self) {
+        self.device.record_progress(self.core);
+    }
+
     /// Async NoC read of one tile page from an interleaved DRAM buffer
     /// (`noc_async_read_tile`). Returns the tile; the matching barrier is
     /// implicit (the simulator completes transfers eagerly but charges the

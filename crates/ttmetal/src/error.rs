@@ -12,6 +12,20 @@ use std::fmt;
 use tensix::grid::CoreCoord;
 use tensix::TensixError;
 
+/// Per-core completed-work inventory attached to retryable launch failures.
+///
+/// `completed` counts work units (tiles) whose outputs the core's writer
+/// fully committed to DRAM before the abort — i.e. the watermark a partial
+/// redo may resume from. Counts are attempt-local: each launch resets the
+/// device's progress board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreProgress {
+    /// The core the inventory describes.
+    pub core: CoreCoord,
+    /// Work units fully committed to DRAM by this core in the failed attempt.
+    pub completed: u64,
+}
+
 /// Why a program launch failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LaunchError {
@@ -23,6 +37,8 @@ pub enum LaunchError {
         core: CoreCoord,
         /// Panic message or fault description.
         message: String,
+        /// Per-core completed-tile inventory at abort time.
+        completed: Vec<CoreProgress>,
     },
     /// A kernel's CB/semaphore wait exceeded the deadlock watchdog.
     Deadlock {
@@ -32,6 +48,8 @@ pub enum LaunchError {
         core: CoreCoord,
         /// Which wait timed out.
         message: String,
+        /// Per-core completed-tile inventory at abort time.
+        completed: Vec<CoreProgress>,
     },
     /// A kernel hung without making progress (injected compute stall); the
     /// supervisor cancelled it and tore the rest of the program down.
@@ -40,6 +58,8 @@ pub enum LaunchError {
         kernel: String,
         /// Core the instance ran on.
         core: CoreCoord,
+        /// Per-core completed-tile inventory at abort time.
+        completed: Vec<CoreProgress>,
     },
     /// The card fell off the bus before or during the launch.
     DeviceLost {
@@ -97,18 +117,31 @@ impl LaunchError {
                 | LaunchError::Stall { .. }
         )
     }
+
+    /// Per-core completed-tile inventory of the failed attempt, when the
+    /// supervisor captured one. Empty for device loss, timeout and setup
+    /// errors (no kernel ran or the board is untrustworthy).
+    #[must_use]
+    pub fn completed_work(&self) -> &[CoreProgress] {
+        match self {
+            LaunchError::KernelPanic { completed, .. }
+            | LaunchError::Deadlock { completed, .. }
+            | LaunchError::Stall { completed, .. } => completed,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LaunchError::KernelPanic { kernel, core, message } => {
+            LaunchError::KernelPanic { kernel, core, message, .. } => {
                 write!(f, "kernel '{kernel}' on core {core} panicked: {message}")
             }
-            LaunchError::Deadlock { kernel, core, message } => {
+            LaunchError::Deadlock { kernel, core, message, .. } => {
                 write!(f, "kernel '{kernel}' on core {core} deadlocked: {message}")
             }
-            LaunchError::Stall { kernel, core } => {
+            LaunchError::Stall { kernel, core, .. } => {
                 write!(f, "kernel '{kernel}' on core {core} stalled (no progress; cancelled)")
             }
             LaunchError::DeviceLost { device_id } => {
@@ -166,10 +199,15 @@ mod tests {
     #[test]
     fn kernel_failures_identify_core_and_phase() {
         let core = CoreCoord::new(3, 1);
-        let e = LaunchError::Stall { kernel: "force-compute".into(), core };
+        let e = LaunchError::Stall {
+            kernel: "force-compute".into(),
+            core,
+            completed: vec![CoreProgress { core, completed: 2 }],
+        };
         assert_eq!(e.faulting_core(), Some(core));
         assert_eq!(e.phase(), "stall");
         assert!(e.is_transient());
+        assert_eq!(e.completed_work(), &[CoreProgress { core, completed: 2 }]);
         assert!(e.to_string().contains("force-compute"));
         let lost = LaunchError::DeviceLost { device_id: 0 };
         assert_eq!(lost.faulting_core(), None);

@@ -34,9 +34,9 @@ pub mod semaphore;
 
 pub use buffer::{Buffer, BufferRef};
 pub use context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
-pub use error::LaunchError;
+pub use error::{CoreProgress, LaunchError};
 pub use host::{close_device, create_device, open_cluster};
 pub use kernel::{cb_index, ComputeFn, ComputeKernel, DataMovementKernel};
 pub use program::{KernelId, Program};
-pub use queue::{CommandQueue, ProgramReport, PCIE_BYTES_PER_S};
+pub use queue::{CommandQueue, FailedLaunch, ProgramReport, PCIE_BYTES_PER_S};
 pub use semaphore::Semaphore;

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tensix::cb::CircularBufferConfig;
-use tensix::grid::{CoreCoord, CoreRangeSet};
+use tensix::grid::{CoreCoord, CoreRange, CoreRangeSet};
 use tensix::{DataFormat, NocId};
 
 use crate::kernel::{cb_index, ComputeKernel, DataMovementKernel};
@@ -180,6 +180,72 @@ impl Program {
     pub(crate) fn args_for(&self, kernel: &KernelEntry, core: CoreCoord) -> Vec<u32> {
         kernel.runtime_args.get(&core).cloned().unwrap_or_else(|| kernel.common_args.clone())
     }
+
+    /// Set per-core runtime args for `core` on *every* kernel whose core set
+    /// contains it. Programs like the force pipeline hand identical
+    /// `[start, count, …]` args to their reader/compute/writer trio, so a
+    /// partial redo can rewrite one core's tile window in a single call
+    /// without holding on to [`KernelId`]s.
+    pub fn set_runtime_args_all_kernels(&mut self, core: CoreCoord, args: Vec<u32>) {
+        for entry in &mut self.kernels {
+            if entry.cores.contains(core) {
+                entry.runtime_args.insert(core, args.clone());
+            }
+        }
+    }
+
+    /// Restrict the program to `cores`: kernels keep their order (and hence
+    /// their [`KernelId`]s and launch-event ordering) but run only on the
+    /// intersection of their core set with `cores`; CB and semaphore
+    /// declarations outside `cores` are dropped. Runtime args are cloned, so
+    /// the slice can be re-targeted with
+    /// [`Self::set_runtime_args_all_kernels`] without disturbing the
+    /// original program. This is the re-launch unit of a partial redo: only
+    /// the faulting cores' slice is enqueued again.
+    #[must_use]
+    pub fn slice_for_cores(&self, cores: &[CoreCoord]) -> Program {
+        let restrict = |set: &CoreRangeSet| -> CoreRangeSet {
+            let singles: Vec<CoreRange> =
+                set.iter().filter(|c| cores.contains(c)).map(CoreRange::single).collect();
+            CoreRangeSet::new(singles)
+        };
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|entry| KernelEntry {
+                label: entry.label.clone(),
+                cores: restrict(&entry.cores),
+                body: match &entry.body {
+                    KernelBody::DataMovement { noc, kernel } => {
+                        KernelBody::DataMovement { noc: *noc, kernel: Arc::clone(kernel) }
+                    }
+                    KernelBody::Compute { format, kernel } => {
+                        KernelBody::Compute { format: *format, kernel: Arc::clone(kernel) }
+                    }
+                },
+                runtime_args: entry
+                    .runtime_args
+                    .iter()
+                    .filter(|(c, _)| cores.contains(c))
+                    .map(|(c, a)| (*c, a.clone()))
+                    .collect(),
+                common_args: entry.common_args.clone(),
+            })
+            .collect();
+        let cbs = self
+            .cbs
+            .iter()
+            .map(|e| CbEntry { index: e.index, cores: restrict(&e.cores), config: e.config })
+            .filter(|e| e.cores.iter().next().is_some())
+            .collect();
+        let sems = self
+            .sems
+            .iter()
+            .map(|e| SemEntry { index: e.index, cores: restrict(&e.cores), initial: e.initial })
+            .filter(|e| e.cores.iter().next().is_some())
+            .collect();
+        Program { kernels, cbs, sems }
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +301,31 @@ mod tests {
         let mut p = Program::new();
         let k = p.add_data_movement_kernel("reader", cores(2), NocId::Noc0, noop_dm());
         p.set_runtime_args(k, CoreCoord::new(5, 5), vec![]);
+    }
+
+    #[test]
+    fn slice_keeps_kernel_ids_and_drops_foreign_cores() {
+        let mut p = Program::new();
+        let cfg = CircularBufferConfig::new(2, DataFormat::Float32);
+        p.add_circular_buffer(cores(4), cb_index::IN0, cfg);
+        let k = p.add_data_movement_kernel("reader", cores(4), NocId::Noc0, noop_dm());
+        for (i, core) in cores(4).iter().enumerate() {
+            p.set_runtime_args(k, core, vec![i as u32, 1]);
+        }
+        let target = CoreCoord::new(2, 0);
+        let mut slice = p.slice_for_cores(&[target]);
+        // Kernel order (and thus ids/launch order) is preserved; only the
+        // requested core survives.
+        assert_eq!(slice.num_kernels(), 1);
+        assert_eq!(slice.kernels[0].cores.iter().collect::<Vec<_>>(), vec![target]);
+        assert_eq!(slice.args_for(&slice.kernels[0], target), vec![2, 1]);
+        assert_eq!(slice.cbs.len(), 1);
+        assert!(slice.cb_bytes_on_core(target) > 0);
+        assert_eq!(slice.cb_bytes_on_core(CoreCoord::new(0, 0)), 0);
+        // Re-targeting the slice leaves the original program untouched.
+        slice.set_runtime_args_all_kernels(target, vec![7, 9]);
+        assert_eq!(slice.args_for(&slice.kernels[0], target), vec![7, 9]);
+        assert_eq!(p.args_for(&p.kernels[0], target), vec![2, 1]);
     }
 
     #[test]

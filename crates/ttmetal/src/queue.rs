@@ -29,7 +29,7 @@ use tensix::{Device, Result, TensixError, Tile};
 
 use crate::buffer::Buffer;
 use crate::context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
-use crate::error::LaunchError;
+use crate::error::{CoreProgress, LaunchError};
 use crate::program::{KernelBody, Program};
 use crate::semaphore::Semaphore;
 
@@ -43,6 +43,19 @@ pub struct ProgramReport {
     /// pipeline overlaps everything else.
     pub seconds: f64,
     /// Per-kernel-instance timings.
+    pub timings: Vec<KernelTiming>,
+}
+
+/// Virtual-time cost of the most recent *failed* launch, kept by the queue so
+/// retry policies can bill the discarded attempt (its cycles never enter the
+/// queue's `program_seconds`).
+#[derive(Debug, Clone)]
+pub struct FailedLaunch {
+    /// Virtual seconds the failed attempt occupied the device (slowest
+    /// surviving kernel instance).
+    pub seconds: f64,
+    /// Per-kernel-instance timings of the failed attempt (stalled instances
+    /// report zero cycles).
     pub timings: Vec<KernelTiming>,
 }
 
@@ -135,8 +148,14 @@ fn classify_abort(label: &str, core: CoreCoord, e: Box<dyn std::any::Any + Send>
     }
 }
 
-/// Poison every CB and semaphore of the program and trip the cancel token,
-/// so every still-blocked kernel thread unwinds promptly.
+/// Poison the given CBs and semaphores and trip the cancel token.
+///
+/// CBs and semaphores are core-local, so a faulting kernel passes only *its
+/// core's* objects here: siblings on the same core unwind promptly, while
+/// other cores' pipelines are self-contained and run to completion — that is
+/// what makes their completed tile ranges trustworthy for a partial redo.
+/// The cancel token is still global; it only wakes injected-stall threads
+/// early, wherever they are parked.
 fn teardown(cbs: &[CircularBuffer], sems: &[Semaphore], cancel: &CancelToken) {
     for cb in cbs {
         cb.poison();
@@ -152,13 +171,14 @@ pub struct CommandQueue {
     device: Arc<Device>,
     io_seconds: f64,
     program_seconds: f64,
+    last_failure: Option<FailedLaunch>,
 }
 
 impl CommandQueue {
     /// Queue for `device`.
     #[must_use]
     pub fn new(device: Arc<Device>) -> Self {
-        CommandQueue { device, io_seconds: 0.0, program_seconds: 0.0 }
+        CommandQueue { device, io_seconds: 0.0, program_seconds: 0.0, last_failure: None }
     }
 
     /// The device this queue drives.
@@ -232,16 +252,19 @@ impl CommandQueue {
         program: &Program,
     ) -> std::result::Result<ProgramReport, LaunchError> {
         self.device.ensure_alive()?;
+        self.last_failure = None;
         if !self.device.faults().disarmed() && self.device.faults().roll_device_loss() {
             self.device.mark_lost();
             return Err(LaunchError::DeviceLost { device_id: self.device.id() });
         }
+        // Watermarks are attempt-local: zero the board so a fault inventory
+        // reflects only this launch.
+        self.device.reset_progress();
         let grid = self.device.grid();
         let watchdog = self.device.watchdog();
 
         // Instantiate circular buffers per core and allocate their L1.
         let mut core_cbs: Vec<(CoreCoord, CbMap)> = Vec::new();
-        let mut all_cbs: Vec<CircularBuffer> = Vec::new();
         for entry in &program.cbs {
             for core in entry.cores.iter() {
                 if let Err(e) = self.device.alloc_l1(core, entry.config.total_bytes()) {
@@ -250,7 +273,6 @@ impl CommandQueue {
                     return Err(e.into());
                 }
                 let cb = CircularBuffer::with_timeout(entry.config, watchdog);
-                all_cbs.push(cb.clone());
                 match core_cbs.iter_mut().find(|(c, _)| *c == core) {
                     Some((_, map)) => {
                         map.insert(entry.index, cb);
@@ -269,11 +291,9 @@ impl CommandQueue {
 
         // Instantiate per-core semaphores.
         let mut core_sems: Vec<(CoreCoord, SemMap)> = Vec::new();
-        let mut all_sems: Vec<Semaphore> = Vec::new();
         for entry in &program.sems {
             for core in entry.cores.iter() {
                 let sem = Semaphore::with_timeout(entry.initial, watchdog);
-                all_sems.push(sem.clone());
                 match core_sems.iter_mut().find(|(c, _)| *c == core) {
                     Some((_, map)) => {
                         map.insert(entry.index, sem);
@@ -304,8 +324,11 @@ impl CommandQueue {
                 let cbs = cbs_for(core);
                 let sems = sems_for(core);
                 let core_index = grid.index_of(core);
-                let poison_cbs = all_cbs.clone();
-                let poison_sems = all_sems.clone();
+                // Partial teardown: a faulting kernel poisons only its own
+                // core's CBs/semaphores, so surviving cores finish their tile
+                // ranges and only the faulting core's slice needs a redo.
+                let poison_cbs: Vec<CircularBuffer> = cbs.values().cloned().collect();
+                let poison_sems: Vec<Semaphore> = sems.values().cloned().collect();
                 let cancel = cancel.clone();
                 let stall =
                     !self.device.faults().disarmed() && self.device.faults().roll_kernel_stall();
@@ -384,14 +407,32 @@ impl CommandQueue {
         self.device.free_all_l1();
 
         if let Some(root) = aborts.into_iter().max_by_key(|a| a.kind) {
+            // Inventory the attempt: per-core completed-tile watermarks (for
+            // the partial redo) and the attempt's virtual-time cost (for the
+            // wasted-cycle accounting). Failed attempts never enter the
+            // queue's own `program_seconds`.
+            let mut inventory_cores: Vec<CoreCoord> = Vec::new();
+            for entry in &program.kernels {
+                for core in entry.cores.iter() {
+                    if !inventory_cores.contains(&core) {
+                        inventory_cores.push(core);
+                    }
+                }
+            }
+            let completed: Vec<CoreProgress> = inventory_cores
+                .into_iter()
+                .map(|core| CoreProgress { core, completed: self.device.progress_of(core) })
+                .collect();
+            let seconds = program_seconds(self.device.costs(), &timings);
+            self.last_failure = Some(FailedLaunch { seconds, timings });
             let KernelAbort { kind, kernel, core, message } = root;
             return Err(match kind {
-                AbortKind::Stall => LaunchError::Stall { kernel, core },
-                AbortKind::Panic => LaunchError::KernelPanic { kernel, core, message },
+                AbortKind::Stall => LaunchError::Stall { kernel, core, completed },
+                AbortKind::Panic => LaunchError::KernelPanic { kernel, core, message, completed },
                 // A launch whose best root cause is a poisoned victim still
                 // reports where the pipeline stopped.
                 AbortKind::Deadlock | AbortKind::Poisoned => {
-                    LaunchError::Deadlock { kernel, core, message }
+                    LaunchError::Deadlock { kernel, core, message, completed }
                 }
             });
         }
@@ -433,6 +474,15 @@ impl CommandQueue {
     #[must_use]
     pub fn program_seconds(&self) -> f64 {
         self.program_seconds
+    }
+
+    /// Cost of the most recent failed launch, if the last
+    /// [`Self::enqueue_program_checked`] aborted with kernel timings to
+    /// report. Cleared at the start of every launch; taking it leaves `None`.
+    /// Retry policies use this to bill discarded attempts to a wasted-time
+    /// bucket instead of losing them.
+    pub fn take_last_failure(&mut self) -> Option<FailedLaunch> {
+        self.last_failure.take()
     }
 }
 
@@ -673,9 +723,11 @@ mod tests {
         let p = doubling_program(cores, &input, &output, n_tiles);
         let err = q.enqueue_program_checked(&p).unwrap_err();
         match &err {
-            LaunchError::Stall { kernel, core } => {
+            LaunchError::Stall { kernel, core, completed } => {
                 assert_eq!(kernel, "double");
                 assert_eq!(*core, CoreCoord::new(0, 0));
+                // Single-core program: the inventory covers exactly that core.
+                assert_eq!(completed.len(), 1);
             }
             other => panic!("expected Stall, got {other:?}"),
         }

@@ -12,6 +12,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> retry-cost bench (smoke)"
+# Criterion --test mode runs each bench once: proves the partial-redo
+# retry-cost report (and its 1.5/num_cores bound assertion) still passes
+# without paying full measurement time.
+cargo bench -q --offline -p tt-bench --bench retry_cost -- --test
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
