@@ -64,6 +64,7 @@ impl DataMovementKernel for ReaderKernel {
         let count = ctx.arg(args::TILE_COUNT) as usize;
         let num_sources = ctx.arg(args::NUM_SOURCES) as usize;
         for tile in start..start + count {
+            ctx.trace_span_begin("tile");
             // Outer loop: the packed target tile of each quantity.
             for buf in self.targets {
                 ctx.read_page_to_cb(IN0, buf, tile);
@@ -74,6 +75,7 @@ impl DataMovementKernel for ReaderKernel {
                     ctx.read_page_to_cb(IN1, buf, j);
                 }
             }
+            ctx.trace_span_end("tile");
         }
     }
 }
@@ -200,6 +202,7 @@ impl ComputeKernel for ForceComputeKernel {
         let count = ctx.arg(args::TILE_COUNT) as usize;
         let num_sources = ctx.arg(args::NUM_SOURCES) as usize;
         for _tile in 0..count {
+            ctx.trace_span_begin("tile");
             ctx.cb_wait_front(IN0, 6);
 
             // Zero the six accumulators.
@@ -234,6 +237,7 @@ impl ComputeKernel for ForceComputeKernel {
             ctx.tile_regs_release();
             ctx.cb_pop_front(INTERMED2, 6);
             ctx.cb_pop_front(IN0, 6);
+            ctx.trace_span_end("tile");
         }
     }
 }
@@ -249,12 +253,14 @@ impl DataMovementKernel for WriterKernel {
         let start = ctx.arg(args::START_TILE) as usize;
         let count = ctx.arg(args::TILE_COUNT) as usize;
         for tile in start..start + count {
+            ctx.trace_span_begin("tile");
             for buf in self.outputs {
                 ctx.write_cb_to_page(OUT0, buf, tile);
             }
             // All six result pages for this tile are in DRAM: publish the
             // watermark so a partial redo can resume at the next tile.
             ctx.mark_unit_complete();
+            ctx.trace_span_end("tile");
         }
     }
 }

@@ -21,7 +21,7 @@ use tensix::cb::CircularBufferConfig;
 use tensix::grid::{CoreCoord, CoreRangeSet};
 use tensix::{DataFormat, Device, NocId, Result, TensixError, Tile};
 use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
-use ttmetal::{Buffer, CommandQueue, LaunchError, Program};
+use ttmetal::{Buffer, CommandQueue, LaunchError, Program, ProgramReport};
 
 use crate::kernels::{ForceComputeKernel, ReaderKernel, WriterKernel};
 use crate::layout::{split_tiles_to_cores, tilize_particles, HostArrays};
@@ -165,6 +165,10 @@ pub struct DeviceForcePipeline {
     /// against.
     core_ranges: Vec<(CoreCoord, usize, usize)>,
     timing: Mutex<PipelineTiming>,
+    /// Report of the most recent successful launch (spans, CB stats), kept
+    /// for the profiling harness. Purely observational: never read by the
+    /// evaluation paths themselves.
+    last_report: Mutex<Option<ProgramReport>>,
 }
 
 impl DeviceForcePipeline {
@@ -263,6 +267,7 @@ impl DeviceForcePipeline {
             output_bufs,
             core_ranges,
             timing: Mutex::new(PipelineTiming::default()),
+            last_report: Mutex::new(None),
         })
     }
 
@@ -300,6 +305,15 @@ impl DeviceForcePipeline {
     #[must_use]
     pub fn timing(&self) -> PipelineTiming {
         *self.timing.lock()
+    }
+
+    /// Per-kernel timings and per-CB statistics of the most recent
+    /// *successful* launch, or `None` before the first evaluation. For a
+    /// retried evaluation this is the final (landing) attempt — possibly a
+    /// partial-redo slice covering only the faulted cores' tile ranges.
+    #[must_use]
+    pub fn last_launch_report(&self) -> Option<ProgramReport> {
+        self.last_report.lock().clone()
     }
 
     /// Run one force + jerk evaluation for `system`, with the legacy flat
@@ -360,6 +374,7 @@ impl DeviceForcePipeline {
                 .max()
                 .unwrap_or(0);
         }
+        *self.last_report.lock() = Some(report);
         Ok(forces)
     }
 
@@ -461,6 +476,8 @@ impl DeviceForcePipeline {
                     t.evaluations += 1;
                     t.last_eval_cycles = max_fc_cycles;
                     t.io_seconds = queue.io_seconds();
+                    drop(t);
+                    *self.last_report.lock() = Some(report);
                     return Ok(forces);
                 }
                 Err(e) if e.is_transient() && attempt < policy.max_retries => {
@@ -478,6 +495,15 @@ impl DeviceForcePipeline {
                     } else {
                         None
                     };
+                    if let Some(sink) = self.device.trace_sink().filter(|s| s.enabled()) {
+                        sink.host_instant(
+                            "retry",
+                            &[
+                                ("attempt", u64::from(attempt)),
+                                ("partial", u64::from(salvage.is_some())),
+                            ],
+                        );
+                    }
                     let mut t = self.timing.lock();
                     t.retries += 1;
                     t.retry_backoff_seconds += policy.backoff_s(attempt);
@@ -840,6 +866,75 @@ mod tests {
         assert_eq!(t.evaluations, 1, "failed attempt not counted");
         assert_eq!(forces.acc, clean_forces.acc, "retried result must be bit-identical");
         assert_eq!(forces.jerk, clean_forces.jerk);
+    }
+
+    #[test]
+    fn traced_evaluation_is_bit_identical_and_spans_reconcile() {
+        use tt_trace::{EventKind, MemorySink, TraceSink};
+
+        let sys = plummer(PlummerConfig { n: 96, seed: 97, ..PlummerConfig::default() });
+        let eps = 0.01;
+        let plain = DeviceForcePipeline::new(device(), 96, eps, 1).unwrap();
+        let base = plain.evaluate(&sys).unwrap();
+
+        let dev = device();
+        let sink = Arc::new(MemorySink::new());
+        dev.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        let traced = DeviceForcePipeline::new(dev, 96, eps, 1).unwrap();
+        let forces = traced.evaluate(&sys).unwrap();
+        assert_eq!(forces.acc, base.acc, "tracing must not perturb results");
+        assert_eq!(forces.jerk, base.jerk);
+        assert_eq!(traced.timing(), plain.timing(), "tracing must not perturb timing");
+
+        let events = sink.export();
+        tt_trace::check_nesting(&events).expect("trace spans must nest per track");
+        // The kernel-level spans begin at context cycle 0, so their SpanEnd
+        // timestamps are the per-instance cycle totals: summed, they must
+        // reconcile exactly with the pipeline's busy-cycle accounting.
+        let kernel_span_cycles: u64 = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::SpanEnd)
+                    && ["reader", "force-compute", "writer"].contains(&e.name.as_str())
+            })
+            .map(|e| e.ts)
+            .sum();
+        assert_eq!(kernel_span_cycles, traced.timing().busy_cycles);
+        assert!(events.iter().any(|e| e.name == "tile"), "per-tile spans present");
+        assert!(events.iter().any(|e| e.name == "noc_read"));
+        assert!(events.iter().any(|e| e.name == "noc_write"));
+
+        let report = traced.last_launch_report().expect("successful launch stores a report");
+        assert_eq!(report.timings.len(), 3);
+        assert!(report.cb_stats.iter().any(|c| c.stats.pages_pushed > 0));
+        assert!(plain.last_launch_report().is_some(), "report kept even when tracing is off");
+    }
+
+    #[test]
+    fn retry_emits_host_instant_when_traced() {
+        use tensix::fault::{FaultClass, FaultConfig};
+        use tt_trace::{MemorySink, TraceSink, HOST_CORE};
+
+        let sys = plummer(PlummerConfig { n: 96, seed: 95, ..PlummerConfig::default() });
+        let dev = Device::new(
+            0,
+            tensix::DeviceConfig {
+                faults: FaultConfig { dram_uncorrectable_frac: 1.0, ..FaultConfig::default() },
+                seed: 7,
+                ..tensix::DeviceConfig::default()
+            },
+        );
+        dev.faults().schedule(FaultClass::DramRead, 5);
+        let sink = Arc::new(MemorySink::new());
+        dev.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        let pipeline = DeviceForcePipeline::new(dev, 96, 0.01, 1).unwrap();
+        pipeline.evaluate_with_retry(&sys, RetryPolicy::default()).unwrap();
+        let events = sink.export();
+        let retry = events
+            .iter()
+            .find(|e| e.name == "retry")
+            .expect("retry must leave a host-side trace marker");
+        assert_eq!(retry.core, HOST_CORE);
     }
 
     #[test]

@@ -15,6 +15,9 @@ use nbody_tt::DeviceForcePipeline;
 use tensix::{DataFormat, Device, DeviceConfig};
 
 fn main() {
+    if tt_harness::maybe_run_profile() {
+        return;
+    }
     println!("=== E4: device-vs-golden accuracy (paper §3) ===\n");
     let device = Device::new(0, DeviceConfig::default());
     // Full functional execution; 2048-particle Plummer is the largest row.

@@ -62,4 +62,26 @@ fn main() {
         r.failed_reset,
         r.reset_retries_used
     );
+
+    // Per-job observability columns (RetryCost cycles + CB stall counters)
+    // behind both censuses; schema documented on
+    // `tt_telemetry::csvio::jobs_to_csv`.
+    std::fs::create_dir_all("results").ok();
+    let baseline_jobs = tt_telemetry::run_campaign(&tt_harness::accel_spec(&run), 50, 0x5c25);
+    tt_telemetry::csvio::write_jobs_csv(
+        std::path::Path::new("results/e5_census_jobs.csv"),
+        &baseline_jobs,
+    )
+    .expect("write E5 census CSV");
+    let mut retried_spec = tt_harness::accel_spec(&run);
+    retried_spec.faults = fc.policy;
+    let retried_jobs = tt_telemetry::run_campaign(&retried_spec, 50, 0x5c25);
+    tt_telemetry::csvio::write_jobs_csv(
+        std::path::Path::new("results/e9_census_jobs.csv"),
+        &retried_jobs,
+    )
+    .expect("write E9 census CSV");
+    println!(
+        "\nper-job censuses written to results/e5_census_jobs.csv, results/e9_census_jobs.csv"
+    );
 }

@@ -11,6 +11,9 @@ use tt_harness::{default_run, render_histogram, render_table, run_fig3, Comparis
 use tt_telemetry::stats::{mean, std_dev};
 
 fn main() {
+    if tt_harness::maybe_run_profile() {
+        return;
+    }
     let run = default_run();
     let result = run_fig3(&run, 0x5c25);
 

@@ -11,11 +11,18 @@
 //! Binaries (`cargo run -p tt-harness --bin <name>`): `fig3_time`,
 //! `fig4_power`, `fig5_energy`, `accuracy_table`, `scaling`,
 //! `campaign_summary`.
+//!
+//! Passing `--profile` to `accuracy_table` or `fig3_time` runs the traced
+//! observability demo instead (see [`profile`]): a small force evaluation
+//! with device tracing on, exporting a Perfetto-loadable Chrome trace and
+//! a metrics dump under `results/profile/`, and asserting that tracing is
+//! invisible to results and timing.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod plot;
+pub mod profile;
 pub mod report;
 pub mod specs;
 
@@ -25,5 +32,9 @@ pub use experiments::{
     SweepPoint,
 };
 pub use plot::{render_histogram, render_timeseries};
+pub use profile::{
+    harvest_metrics, maybe_run_profile, run_profiled_demo, KernelRow, ProfileArtifacts,
+    ProfileReport, StallAttribution,
+};
 pub use report::{all_within, render_table, Comparison};
 pub use specs::{accel_spec, cpu_spec, ACCEL_TIME_JITTER, CPU_TIME_JITTER, RESET_FAILURE_PROB};

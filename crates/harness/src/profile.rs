@@ -1,0 +1,465 @@
+//! Pipeline profiling: per-kernel/per-core time breakdown, stall
+//! attribution, and the `--profile` traced demo run.
+//!
+//! [`ProfileReport`] digests a launch's [`ProgramReport`] (kernel timings +
+//! per-CB statistics) into the view an operator actually wants: where did
+//! each core spend its cycles, and when a kernel sat idle, which circular
+//! buffer was it blocked on ("core 3 writer blocked on cb 16 as consumer,
+//! 41 % of cycles"). Attribution uses the force pipeline's fixed CB
+//! topology — `IN0`/`IN1` are fed by the reader and drained by the compute
+//! kernel, the `INTERMED*` ring is compute-internal (the dst-register spill
+//! ring), `OUT0` is fed by compute and drained by the writer — so a
+//! producer stall on `IN0` charges the reader and a consumer stall on
+//! `OUT0` charges the writer.
+//!
+//! [`run_profiled_demo`] is the end-to-end observability check behind the
+//! `--profile` flag: it runs one small force evaluation twice on
+//! identically-seeded devices — tracing off, then tracing on — and
+//! *asserts* the tracing contract (bit-identical forces, identical
+//! [`PipelineTiming`], kernel span totals reconciling exactly with
+//! `busy_cycles`) before writing the Chrome trace JSON and metrics dumps.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::{DeviceForcePipeline, PipelineTiming};
+use tensix::{Device, DeviceConfig, NocId};
+use tt_trace::{
+    check_monotonic_per_track, check_nesting, parse_chrome_trace, to_chrome_trace, EventKind,
+    MemorySink, MetricsRegistry, TraceSink,
+};
+use ttmetal::{cb_index, ProgramReport};
+
+/// One kernel instance's share of its core's time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Linear core index.
+    pub core_index: usize,
+    /// Kernel label ("reader" / "force-compute" / "writer").
+    pub label: String,
+    /// Cycles this instance ran for.
+    pub cycles: u64,
+    /// `cycles` over the core's slowest instance: 1.0 for the critical
+    /// kernel, less for kernels that spent the difference blocked on CBs.
+    pub busy_frac: f64,
+}
+
+/// One attributed stall source: a kernel's idle time charged to a CB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallAttribution {
+    /// Linear core index.
+    pub core_index: usize,
+    /// The blocked kernel's label.
+    pub kernel: String,
+    /// The circular buffer it blocked on.
+    pub cb: u8,
+    /// `"producer"` (blocked in `cb_reserve_back`, the CB was full) or
+    /// `"consumer"` (blocked in `cb_wait_front`, the CB was empty).
+    pub role: &'static str,
+    /// Number of blocking waits.
+    pub stalls: u64,
+    /// Estimated fraction of the core's cycles this stall source cost:
+    /// the kernel's idle fraction split across its stall sources by count.
+    pub attributed_frac: f64,
+}
+
+/// Per-kernel/per-core profile of one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// One row per kernel instance, sorted by `(core_index, label)`.
+    pub rows: Vec<KernelRow>,
+    /// Per-core critical-path cycles (the slowest instance on each core).
+    pub core_cycles: Vec<(usize, u64)>,
+    /// Stall sources sorted by `attributed_frac`, largest first.
+    pub stalls: Vec<StallAttribution>,
+}
+
+/// The force pipeline's CB topology: which kernel blocks on which side of
+/// each CB. `None` means the stall cannot occur in this pipeline (nobody
+/// ever waits there).
+fn cb_roles(cb: u8) -> (Option<&'static str>, Option<&'static str>) {
+    match cb {
+        // (producer-side waiter, consumer-side waiter)
+        cb_index::IN0 | cb_index::IN1 => (Some("reader"), Some("force-compute")),
+        cb_index::OUT0 => (Some("force-compute"), Some("writer")),
+        c if (cb_index::INTERMED0..=cb_index::INTERMED5).contains(&c) => {
+            (Some("force-compute"), Some("force-compute"))
+        }
+        _ => (None, None),
+    }
+}
+
+impl ProfileReport {
+    /// Build the profile from a launch report.
+    #[must_use]
+    pub fn from_report(report: &ProgramReport) -> Self {
+        // Per-core critical path: the slowest kernel instance on that core.
+        let mut core_max: BTreeMap<usize, u64> = BTreeMap::new();
+        for t in &report.timings {
+            let e = core_max.entry(t.core_index).or_insert(0);
+            *e = (*e).max(t.cycles);
+        }
+
+        let mut rows: Vec<KernelRow> = report
+            .timings
+            .iter()
+            .map(|t| {
+                let epoch = core_max.get(&t.core_index).copied().unwrap_or(0);
+                KernelRow {
+                    core_index: t.core_index,
+                    label: t.label.clone(),
+                    cycles: t.cycles,
+                    busy_frac: if epoch > 0 { t.cycles as f64 / epoch as f64 } else { 0.0 },
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| (a.core_index, &a.label).cmp(&(b.core_index, &b.label)));
+
+        // Stall counts per (core, kernel): needed to split each kernel's
+        // idle fraction across its stall sources.
+        let mut per_kernel_stalls: BTreeMap<(usize, &'static str), u64> = BTreeMap::new();
+        let mut sources: Vec<(usize, &'static str, u8, &'static str, u64)> = Vec::new();
+        for cb in &report.cb_stats {
+            let (producer, consumer) = cb_roles(cb.index);
+            if cb.stats.producer_stalls > 0 {
+                if let Some(k) = producer {
+                    *per_kernel_stalls.entry((cb.core_index, k)).or_insert(0) +=
+                        cb.stats.producer_stalls;
+                    sources.push((
+                        cb.core_index,
+                        k,
+                        cb.index,
+                        "producer",
+                        cb.stats.producer_stalls,
+                    ));
+                }
+            }
+            if cb.stats.consumer_stalls > 0 {
+                if let Some(k) = consumer {
+                    *per_kernel_stalls.entry((cb.core_index, k)).or_insert(0) +=
+                        cb.stats.consumer_stalls;
+                    sources.push((
+                        cb.core_index,
+                        k,
+                        cb.index,
+                        "consumer",
+                        cb.stats.consumer_stalls,
+                    ));
+                }
+            }
+        }
+
+        let mut stalls: Vec<StallAttribution> = sources
+            .into_iter()
+            .map(|(core_index, kernel, cb, role, count)| {
+                let idle_frac = rows
+                    .iter()
+                    .find(|r| r.core_index == core_index && r.label == kernel)
+                    .map_or(0.0, |r| 1.0 - r.busy_frac);
+                let total = per_kernel_stalls.get(&(core_index, kernel)).copied().unwrap_or(0);
+                let share = if total > 0 { count as f64 / total as f64 } else { 0.0 };
+                StallAttribution {
+                    core_index,
+                    kernel: kernel.to_string(),
+                    cb,
+                    role,
+                    stalls: count,
+                    attributed_frac: idle_frac * share,
+                }
+            })
+            .collect();
+        stalls.sort_by(|a, b| {
+            b.attributed_frac
+                .partial_cmp(&a.attributed_frac)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.core_index, a.cb).cmp(&(b.core_index, b.cb)))
+        });
+
+        let core_cycles = core_max.into_iter().collect();
+        ProfileReport { rows, core_cycles, stalls }
+    }
+
+    /// Sum of all kernel-instance cycles (reconciles with
+    /// [`PipelineTiming::busy_cycles`] for a fault-free single evaluation).
+    #[must_use]
+    pub fn total_kernel_cycles(&self) -> u64 {
+        self.rows.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Render the per-kernel breakdown and the top-`n` stall sources.
+    #[must_use]
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        out.push_str("per-kernel time breakdown (busy% of the core's critical path):\n");
+        out.push_str("  core  kernel          cycles      busy%\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:<14} {:>10}  {:>6.1}%",
+                r.core_index,
+                r.label,
+                r.cycles,
+                r.busy_frac * 100.0
+            );
+        }
+        out.push_str("\ntop stall sources (idle time attributed to CBs):\n");
+        if self.stalls.is_empty() {
+            out.push_str("  none: no blocking CB waits recorded\n");
+        }
+        for s in self.stalls.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "  core {} {} blocked on cb {} as {}: {} waits, ~{:.1}% of core cycles",
+                s.core_index,
+                s.kernel,
+                s.cb,
+                s.role,
+                s.stalls,
+                s.attributed_frac * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Harvest the device-wide metrics of one evaluation into a registry:
+/// NoC bytes per link, DRAM traffic and bank conflicts, CB stall totals
+/// and occupancy high-water marks, the dst-register spill proxy (pages
+/// staged through the `INTERMED*` ring), and per-core busy ratios.
+#[must_use]
+pub fn harvest_metrics(device: &Device, report: &ProgramReport) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+
+    for (noc, name) in [(NocId::Noc0, "noc0"), (NocId::Noc1, "noc1")] {
+        m.inc(&format!("{name}.read_bytes"), device.noc().read_bytes(noc));
+        m.inc(&format!("{name}.write_bytes"), device.noc().write_bytes(noc));
+        m.inc(&format!("{name}.transactions"), device.noc().transactions(noc));
+    }
+
+    let dram = device.dram().stats();
+    m.inc("dram.read_bytes", dram.read_bytes.iter().sum());
+    m.inc("dram.write_bytes", dram.write_bytes.iter().sum());
+    m.inc("dram.transactions", dram.transactions);
+    m.inc("dram.bank_conflicts", dram.bank_conflicts);
+
+    let mut spill_pages = 0u64;
+    for cb in &report.cb_stats {
+        m.inc("cb.producer_stalls", cb.stats.producer_stalls);
+        m.inc("cb.consumer_stalls", cb.stats.consumer_stalls);
+        m.set_gauge(
+            &format!("cb.{}.core{}.max_occupancy", cb.index, cb.core_index),
+            cb.stats.max_occupancy as f64,
+        );
+        if (cb_index::INTERMED0..=cb_index::INTERMED5).contains(&cb.index) {
+            spill_pages += cb.stats.pages_pushed;
+        }
+    }
+    // The paper's dst-register-pressure workaround made visible: every page
+    // staged through the INTERMED ring is a tile that could not stay in dst.
+    m.inc("dst.spill_pages", spill_pages);
+
+    let profile = ProfileReport::from_report(report);
+    for r in &profile.rows {
+        m.set_gauge(&format!("core{}.{}.busy_ratio", r.core_index, r.label), r.busy_frac);
+        m.observe("kernel_cycles", r.cycles);
+    }
+    m
+}
+
+/// Artifacts of one profiled demo evaluation.
+#[derive(Debug)]
+pub struct ProfileArtifacts {
+    /// The per-kernel/per-core profile.
+    pub report: ProfileReport,
+    /// Number of trace events exported.
+    pub trace_events: usize,
+    /// Pipeline timing of the traced run.
+    pub timing: PipelineTiming,
+}
+
+/// Run the traced demo evaluation and write `trace.json`, `metrics.csv`
+/// and `metrics.json` under `out_dir`.
+///
+/// This is simultaneously the observability *demo* and the observability
+/// *check*: it asserts bit-identical forces and identical
+/// [`PipelineTiming`] between tracing-off and tracing-on runs, validates
+/// the exported Chrome trace by parsing it back, and reconciles kernel
+/// span totals against `busy_cycles`.
+///
+/// # Panics
+/// Panics when any part of the tracing contract is violated or the
+/// artifacts cannot be written.
+pub fn run_profiled_demo(n: usize, num_cores: usize, out_dir: &Path) -> ProfileArtifacts {
+    let sys = plummer(PlummerConfig { n, seed: 1905, ..PlummerConfig::default() });
+    let eps = 0.01;
+
+    // Baseline: tracing off.
+    let plain_dev = Device::new(0, DeviceConfig::default());
+    let plain = DeviceForcePipeline::new(plain_dev, n, eps, num_cores).expect("plain pipeline");
+    let base = plain.evaluate(&sys).expect("plain evaluation");
+
+    // Traced run on an identically-configured device.
+    let dev = Device::new(0, DeviceConfig::default());
+    let sink = Arc::new(MemorySink::new());
+    dev.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+    let traced = DeviceForcePipeline::new(dev, n, eps, num_cores).expect("traced pipeline");
+    let forces = traced.evaluate(&sys).expect("traced evaluation");
+
+    assert_eq!(forces.acc, base.acc, "tracing must not change force results");
+    assert_eq!(forces.jerk, base.jerk, "tracing must not change jerk results");
+    assert_eq!(traced.timing(), plain.timing(), "tracing must not change PipelineTiming");
+
+    let events = sink.export();
+    check_nesting(&events).expect("trace spans must nest per track");
+    let kernel_span_cycles: u64 = events
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, EventKind::SpanEnd)
+                && ["reader", "force-compute", "writer"].contains(&e.name.as_str())
+        })
+        .map(|e| e.ts)
+        .sum();
+    assert_eq!(
+        kernel_span_cycles,
+        traced.timing().busy_cycles,
+        "kernel spans must reconcile with busy_cycles"
+    );
+
+    let chrome = to_chrome_trace(&events);
+    let parsed = parse_chrome_trace(&chrome).expect("exported trace must parse back");
+    assert_eq!(parsed.len(), events.len() + count_tracks(&chrome), "round-trip event count");
+    check_monotonic_per_track(&parsed).expect("trace timestamps must be monotonic per track");
+
+    let report = traced.last_launch_report().expect("successful launch must store a report");
+    let metrics = harvest_metrics(traced.device(), &report);
+    let profile = ProfileReport::from_report(&report);
+    assert_eq!(
+        profile.total_kernel_cycles(),
+        traced.timing().busy_cycles,
+        "profile rows must reconcile with busy_cycles"
+    );
+
+    fs::create_dir_all(out_dir).expect("create profile output dir");
+    fs::write(out_dir.join("trace.json"), &chrome).expect("write trace.json");
+    fs::write(out_dir.join("metrics.csv"), metrics.to_csv()).expect("write metrics.csv");
+    fs::write(out_dir.join("metrics.json"), metrics.to_json()).expect("write metrics.json");
+
+    ProfileArtifacts { report: profile, trace_events: events.len(), timing: traced.timing() }
+}
+
+/// Number of `thread_name` metadata events in a serialized Chrome trace.
+fn count_tracks(chrome: &str) -> usize {
+    chrome.matches("\"thread_name\"").count()
+}
+
+/// When `--profile` is among the CLI args, run the traced demo evaluation
+/// (N = 1024 over 2 cores), write the artifacts under `results/profile/`,
+/// print the profile report, and return `true` (callers should then skip
+/// their normal experiment). Returns `false` when the flag is absent.
+pub fn maybe_run_profile() -> bool {
+    if !std::env::args().any(|a| a == "--profile") {
+        return false;
+    }
+    let out_dir = Path::new("results/profile");
+    let artifacts = run_profiled_demo(1024, 2, out_dir);
+    println!("=== pipeline profile (N = 1024, 2 cores) ===\n");
+    println!("{}", artifacts.report.render(8));
+    println!(
+        "{} trace events | busy {} cycles | trace: {}",
+        artifacts.trace_events,
+        artifacts.timing.busy_cycles,
+        out_dir.join("trace.json").display()
+    );
+    println!("open the trace in https://ui.perfetto.dev (Open trace file).");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensix::clock::KernelTiming;
+    use ttmetal::CbReport;
+
+    fn mk_report() -> ProgramReport {
+        let core = tensix::CoreCoord { x: 0, y: 0 };
+        ProgramReport {
+            seconds: 1e-6,
+            timings: vec![
+                KernelTiming { core_index: 0, label: "reader".into(), cycles: 600 },
+                KernelTiming { core_index: 0, label: "force-compute".into(), cycles: 1000 },
+                KernelTiming { core_index: 0, label: "writer".into(), cycles: 400 },
+            ],
+            cb_stats: vec![
+                CbReport {
+                    core,
+                    core_index: 0,
+                    index: cb_index::IN0,
+                    stats: tensix::CbStats {
+                        pages_pushed: 60,
+                        pages_popped: 60,
+                        max_occupancy: 6,
+                        producer_stalls: 3,
+                        consumer_stalls: 0,
+                    },
+                },
+                CbReport {
+                    core,
+                    core_index: 0,
+                    index: cb_index::OUT0,
+                    stats: tensix::CbStats {
+                        pages_pushed: 12,
+                        pages_popped: 12,
+                        max_occupancy: 12,
+                        producer_stalls: 0,
+                        consumer_stalls: 9,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn profile_rows_and_busy_fracs() {
+        let p = ProfileReport::from_report(&mk_report());
+        assert_eq!(p.rows.len(), 3);
+        assert_eq!(p.total_kernel_cycles(), 2000);
+        let compute = p.rows.iter().find(|r| r.label == "force-compute").unwrap();
+        assert!((compute.busy_frac - 1.0).abs() < 1e-12, "critical kernel is 100% busy");
+        let writer = p.rows.iter().find(|r| r.label == "writer").unwrap();
+        assert!((writer.busy_frac - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_attribution_charges_the_blocked_kernel() {
+        let p = ProfileReport::from_report(&mk_report());
+        // IN0 producer stall -> reader; OUT0 consumer stall -> writer.
+        let reader = p.stalls.iter().find(|s| s.kernel == "reader").unwrap();
+        assert_eq!((reader.cb, reader.role, reader.stalls), (cb_index::IN0, "producer", 3));
+        assert!((reader.attributed_frac - 0.4).abs() < 1e-12, "reader idle 40%, sole source");
+        let writer = p.stalls.iter().find(|s| s.kernel == "writer").unwrap();
+        assert_eq!((writer.cb, writer.role), (cb_index::OUT0, "consumer"));
+        assert!((writer.attributed_frac - 0.6).abs() < 1e-12);
+        // Largest attributed fraction first.
+        assert_eq!(p.stalls[0].kernel, "writer");
+        let rendered = p.render(4);
+        assert!(rendered.contains("writer blocked on cb 16 as consumer"), "{rendered}");
+    }
+
+    #[test]
+    fn profiled_demo_end_to_end() {
+        let dir = std::env::temp_dir().join("tt-harness-profile-test");
+        let artifacts = run_profiled_demo(96, 1, &dir);
+        assert!(artifacts.trace_events > 0);
+        assert!(artifacts.report.total_kernel_cycles() > 0);
+        let trace = fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(trace.contains("traceEvents"));
+        let csv = fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        assert!(csv.lines().any(|l| l.starts_with("dram.bank_conflicts,")));
+        assert!(csv.lines().any(|l| l.starts_with("dst.spill_pages,")));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,6 +20,7 @@ use crate::energy::integrate_samples;
 use crate::ipmi::DcmiPowerMeter;
 use crate::profile::HostPowerProfile;
 use crate::rapl::{read_energy_naive, read_energy_perf, RaplDomain};
+use crate::retry::RetryCost;
 use crate::sample::SampleSeries;
 use crate::stats::standard_normal;
 use crate::ttsmi::TtSmiSampler;
@@ -161,6 +162,23 @@ pub struct JobRecord {
     pub server_series: SampleSeries,
     /// Simulation window within the job timeline.
     pub sim_window: (f64, f64),
+    /// Cycle-level cost attribution of the job, derived from the modeled
+    /// timeline at the device clock (1 cycle = 1 ns): delivered work in
+    /// `useful_cycles` (including any checkpoint-redone slice, also counted
+    /// in `redo_cycles`), discarded work of failed jobs in `wasted_cycles`
+    /// (a timeout burns its whole window; a mid-run loss is expected to
+    /// burn half of it). Purely derived — no extra randomness — so census
+    /// reproduction is untouched.
+    pub retry_cost: RetryCost,
+    /// CB producer stalls (`cb_reserve_back` blocking) observed by the job.
+    /// The modeled campaign runner does not execute the functional
+    /// pipeline, so it records zero; pipeline-backed runners fill this from
+    /// their launch reports' `CbReport`s.
+    pub cb_producer_stalls: u64,
+    /// CB consumer stalls (`cb_wait_front` blocking). The modeled runner
+    /// records the watchdog's one unresolved wait for a
+    /// [`FailurePhase::Timeout`] job and zero otherwise.
+    pub cb_consumer_stalls: u64,
 }
 
 impl JobRecord {
@@ -184,6 +202,9 @@ impl JobRecord {
             host_series: SampleSeries::new("host"),
             server_series: SampleSeries::new("server"),
             sim_window: (0.0, 0.0),
+            retry_cost: RetryCost::default(),
+            cb_producer_stalls: 0,
+            cb_consumer_stalls: 0,
         }
     }
 
@@ -269,12 +290,17 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
     // both layers. The job rng consumes only the duration draw above and
     // each fault class has an independent stream, so the no-fault censuses
     // and every measurement reproduce whichever policy is active.
+    let mut redo_cycles = 0u64;
     if spec.kind == JobKind::Accelerated {
         let plan = devices[spec.active_card].faults();
         if plan.roll_kernel_stall() {
             let mut rec = JobRecord::failed(job_id, spec.kind, FailurePhase::Timeout);
             rec.reset_retries_used = reset_retries_used;
             rec.recovery_overhead_s = recovery_overhead_s;
+            // The hang burned its whole wall-clock budget for nothing, stuck
+            // in one CB wait the watchdog eventually killed.
+            rec.retry_cost.wasted_cycles = model_cycles(duration);
+            rec.cb_consumer_stalls = 1;
             return rec;
         }
         if plan.roll_device_loss() {
@@ -285,10 +311,14 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
                 let redo = duration * spec.faults.checkpoint_redo_frac;
                 recovery_overhead_s += redo;
                 duration += redo;
+                redo_cycles = model_cycles(redo);
             } else {
                 let mut rec = JobRecord::failed(job_id, spec.kind, FailurePhase::MidRun);
                 rec.reset_retries_used = reset_retries_used;
                 rec.recovery_overhead_s = recovery_overhead_s;
+                // The loss lands uniformly in the window; bill the expected
+                // half window as discarded work.
+                rec.retry_cost.wasted_cycles = model_cycles(0.5 * duration);
                 return rec;
             }
         }
@@ -384,7 +414,19 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
         host_series,
         server_series,
         sim_window: (sim_start, sim_end),
+        retry_cost: RetryCost {
+            useful_cycles: model_cycles(duration),
+            wasted_cycles: 0,
+            redo_cycles,
+        },
+        cb_producer_stalls: 0,
+        cb_consumer_stalls: 0,
     }
+}
+
+/// Seconds of the modeled timeline at the device clock (1 cycle = 1 ns).
+fn model_cycles(seconds: f64) -> u64 {
+    (seconds * tensix::CLOCK_HZ) as u64
 }
 
 /// Run a campaign of `jobs` submissions.
@@ -689,6 +731,50 @@ mod tests {
         assert!((resumed.recovery_overhead_s - 0.25 * t_clean).abs() < 1e-9);
         // The redone slice burns real energy — it must show up.
         assert!(resumed.total_energy_j.unwrap() > clean.total_energy_j.unwrap());
+    }
+
+    #[test]
+    fn job_observability_columns_are_derived_deterministically() {
+        // Success: the whole window is useful work, nothing wasted.
+        let mut clean = accel_spec();
+        clean.reset_failure_prob = 0.0;
+        let ok = run_job(&clean, 0, 42);
+        let t = ok.time_to_solution.unwrap();
+        assert_eq!(ok.retry_cost.useful_cycles, (t * tensix::CLOCK_HZ) as u64);
+        assert_eq!(ok.retry_cost.wasted_cycles, 0);
+        assert_eq!((ok.cb_producer_stalls, ok.cb_consumer_stalls), (0, 0));
+
+        // Timeout: the whole budget burned, one unresolved CB wait.
+        let mut hang = clean;
+        hang.faults.hang_prob = 1.0;
+        let timed_out = run_job(&hang, 0, 42);
+        assert_eq!(timed_out.outcome, JobOutcome::Failed(FailurePhase::Timeout));
+        assert!(timed_out.retry_cost.wasted_cycles > 0);
+        assert_eq!(timed_out.retry_cost.useful_cycles, 0);
+        assert_eq!(timed_out.cb_consumer_stalls, 1);
+
+        // Checkpoint resume: the redone quarter shows up in redo_cycles,
+        // inside the useful bucket: overhead = 0.25 t / 1.25 t = 0.2.
+        let mut resume = clean;
+        resume.faults.mid_run_loss_prob = 1.0;
+        resume.faults.resume_from_checkpoint = true;
+        resume.faults.checkpoint_redo_frac = 0.25;
+        let resumed = run_job(&resume, 0, 42);
+        assert!(resumed.success());
+        assert!(resumed.retry_cost.redo_cycles > 0);
+        assert!(resumed.retry_cost.redo_cycles <= resumed.retry_cost.useful_cycles);
+        assert!((resumed.retry_cost.overhead_ratio() - 0.2).abs() < 1e-6);
+
+        // Mid-run loss without resume: expected half window discarded.
+        let mut lossy = clean;
+        lossy.faults.mid_run_loss_prob = 1.0;
+        let lost = run_job(&lossy, 0, 42);
+        assert_eq!(lost.outcome, JobOutcome::Failed(FailurePhase::MidRun));
+        assert_eq!(lost.retry_cost.useful_cycles, 0);
+        assert!(lost.retry_cost.wasted_cycles > 0);
+        // Derivations are deterministic: same seed, same columns.
+        let again = run_job(&lossy, 0, 42);
+        assert_eq!(lost.retry_cost, again.retry_cost);
     }
 
     #[test]

@@ -9,6 +9,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use tt_trace::MetricsRegistry;
+
+use crate::campaign::{FailurePhase, JobKind, JobOutcome, JobRecord};
 use crate::sample::{PowerSample, SampleSeries};
 
 /// Render a set of equally-sampled series to CSV text: `t,rail1,rail2,…`.
@@ -83,6 +86,84 @@ pub fn read_csv(path: &Path) -> io::Result<Vec<SampleSeries>> {
     Ok(from_csv(&fs::read_to_string(path)?))
 }
 
+/// Render campaign job records as per-job census CSV.
+///
+/// Schema (one row per submitted job; empty cells for measurements a
+/// failed job never produced):
+///
+/// ```text
+/// job_id,kind,outcome,reset_retries,recovery_s,time_s,card_energy_j,
+/// cpu_energy_j,total_energy_j,peak_w,useful_cycles,wasted_cycles,
+/// redo_cycles,cb_producer_stalls,cb_consumer_stalls
+/// ```
+///
+/// * `kind` — `accel` or `cpu`;
+/// * `outcome` — `success`, `reset`, `mid_run` or `timeout`;
+/// * the three `*_cycles` columns are the job's [`RetryCost`]
+///   (`crate::retry::RetryCost`) at the 1 GHz device clock;
+/// * the two `cb_*_stalls` columns carry the blocking-CB-wait counters
+///   (see [`JobRecord::cb_producer_stalls`] for who fills them).
+#[must_use]
+pub fn jobs_to_csv(records: &[JobRecord]) -> String {
+    let mut out = String::from(
+        "job_id,kind,outcome,reset_retries,recovery_s,time_s,card_energy_j,cpu_energy_j,\
+         total_energy_j,peak_w,useful_cycles,wasted_cycles,redo_cycles,cb_producer_stalls,\
+         cb_consumer_stalls\n",
+    );
+    let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+    for r in records {
+        let kind = match r.kind {
+            JobKind::Accelerated => "accel",
+            JobKind::CpuOnly => "cpu",
+        };
+        let outcome = match r.outcome {
+            JobOutcome::Success => "success",
+            JobOutcome::Failed(FailurePhase::Reset) => "reset",
+            JobOutcome::Failed(FailurePhase::MidRun) => "mid_run",
+            JobOutcome::Failed(FailurePhase::Timeout) => "timeout",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}",
+            r.job_id,
+            kind,
+            outcome,
+            r.reset_retries_used,
+            r.recovery_overhead_s,
+            opt(r.time_to_solution),
+            opt(r.card_energy_j),
+            opt(r.cpu_energy_j),
+            opt(r.total_energy_j),
+            opt(r.peak_power_w),
+            r.retry_cost.useful_cycles,
+            r.retry_cost.wasted_cycles,
+            r.retry_cost.redo_cycles,
+            r.cb_producer_stalls,
+            r.cb_consumer_stalls,
+        );
+    }
+    out
+}
+
+/// Write campaign job records to a census CSV file (see [`jobs_to_csv`]
+/// for the schema).
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn write_jobs_csv(path: &Path, records: &[JobRecord]) -> io::Result<()> {
+    fs::write(path, jobs_to_csv(records))
+}
+
+/// Write a trace-layer metrics dump to a CSV file. The schema is
+/// `metric,kind,value` with histogram expansion — see
+/// [`MetricsRegistry::to_csv`].
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn write_metrics_csv(path: &Path, metrics: &MetricsRegistry) -> io::Result<()> {
+    fs::write(path, metrics.to_csv())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +213,47 @@ mod tests {
     fn empty_input() {
         assert!(from_csv("").is_empty());
         assert_eq!(from_csv("t,a\n")[0].samples.len(), 0);
+    }
+
+    #[test]
+    fn jobs_csv_carries_observability_columns() {
+        let mut ok = JobRecord::failed(0, JobKind::Accelerated, FailurePhase::Reset);
+        ok.outcome = JobOutcome::Success;
+        ok.time_to_solution = Some(301.4);
+        ok.total_energy_j = Some(12_345.6);
+        ok.peak_power_w = Some(251.0);
+        ok.retry_cost.useful_cycles = 301_400_000_000;
+        ok.retry_cost.redo_cycles = 1_000;
+        ok.cb_consumer_stalls = 7;
+        let mut hung = JobRecord::failed(1, JobKind::Accelerated, FailurePhase::Timeout);
+        hung.retry_cost.wasted_cycles = 99;
+        hung.cb_consumer_stalls = 1;
+        let text = jobs_to_csv(&[ok, hung]);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("job_id,kind,outcome"));
+        assert!(header.ends_with(
+            "useful_cycles,wasted_cycles,redo_cycles,cb_producer_stalls,cb_consumer_stalls"
+        ));
+        let row0 = lines.next().unwrap();
+        assert!(row0.starts_with("0,accel,success,"), "{row0}");
+        assert!(row0.ends_with(",301400000000,0,1000,0,7"), "{row0}");
+        let row1 = lines.next().unwrap();
+        assert!(row1.contains(",timeout,"), "{row1}");
+        assert!(row1.contains(",,,,,"), "failed job leaves measurement cells empty: {row1}");
+        assert!(row1.ends_with(",0,99,0,0,1"), "{row1}");
+    }
+
+    #[test]
+    fn metrics_csv_writes_registry_dump() {
+        let dir = std::env::temp_dir().join("tt-nbody-metrics-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.csv");
+        let mut m = MetricsRegistry::new();
+        m.inc("dram.bank_conflicts", 3);
+        write_metrics_csv(&path, &m).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("dram.bank_conflicts,counter,3"));
+        std::fs::remove_file(path).ok();
     }
 }

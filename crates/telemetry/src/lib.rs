@@ -9,6 +9,17 @@
 //! the simulation window, and the [`campaign`] runner that wraps each
 //! simulation in device resets and 120-second sleeps — including the
 //! reset-failure census (26 of 50 accelerated jobs completing).
+//!
+//! ## Observability integration
+//!
+//! The measurement substrate also carries the device-trace layer's outputs
+//! (the `tt-trace` crate): [`csvio`] dumps a `tt_trace::MetricsRegistry`
+//! next to the power CSVs ([`csvio::write_metrics_csv`]) and renders
+//! per-job census CSVs whose rows carry cycle-level [`retry::RetryCost`]
+//! attribution and CB stall counters ([`csvio::jobs_to_csv`] documents the
+//! schema). Campaign [`campaign::JobRecord`]s derive those columns purely
+//! from already-drawn quantities, so census reproduction stays
+//! byte-identical with observability on.
 
 #![warn(missing_docs)]
 

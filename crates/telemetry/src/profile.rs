@@ -38,6 +38,13 @@ impl HostPowerProfile {
     }
 
     /// Exact mean power at `t` (last segment extends; 0 for empty).
+    ///
+    /// Boundary semantics: segments are half-open `[start, start + d)`, so
+    /// a `t` exactly on a segment boundary belongs to the *next* segment —
+    /// the instant a phase change takes effect, the sampler already reads
+    /// the new wattage. Consequently `t == end_time()` falls past the last
+    /// half-open segment and takes the last-segment extension (the final
+    /// phase holds until the job is torn down).
     #[must_use]
     pub fn mean_power_at(&self, t: f64) -> f64 {
         let mut start = 0.0;
@@ -109,6 +116,19 @@ mod tests {
         assert_eq!(p.mean_power_at(12.0), 200.0);
         assert_eq!(p.mean_power_at(99.0), 200.0, "last segment extends");
         assert_eq!(p.end_time(), 15.0);
+    }
+
+    #[test]
+    fn segment_boundaries_belong_to_the_next_segment() {
+        let p = two_phase();
+        // Interior boundary: t = 10 is the first instant of the 200 W phase.
+        assert_eq!(p.mean_power_at(10.0), 200.0);
+        assert_eq!(p.mean_power_at(10.0 - 1e-9), 100.0);
+        // t exactly at end_time() is past the last half-open segment and
+        // reads the last-segment extension.
+        assert_eq!(p.mean_power_at(p.end_time()), 200.0);
+        // Empty profile: no segments, 0 W everywhere.
+        assert_eq!(HostPowerProfile::new(0).mean_power_at(3.0), 0.0);
     }
 
     #[test]

@@ -132,13 +132,15 @@ impl CircularBuffer {
     }
 
     /// Block until `n` pages are free, then reserve them for the producer.
+    /// Returns `true` if the call had to block (a producer stall) — the
+    /// trace layer turns that into a `cb_stall` event.
     ///
     /// # Panics
     /// Panics if `n` exceeds the capacity (would deadlock on hardware).
     /// Raises a typed [`crate::fault::KernelInterrupt`] — caught and
     /// classified by the command queue — if the CB is poisoned or the
     /// watchdog budget elapses with no progress.
-    pub fn reserve_back(&self, n: usize) {
+    pub fn reserve_back(&self, n: usize) -> bool {
         assert!(
             n <= self.config.num_pages,
             "cb_reserve_back({n}) exceeds capacity {} — permanent hang on hardware",
@@ -169,6 +171,7 @@ impl CircularBuffer {
         st.reserved += n;
         let occ = st.visible.len() + st.reserved;
         st.stats.max_occupancy = st.stats.max_occupancy.max(occ);
+        stalled
     }
 
     /// Write one tile into the reserved region (producer side, after
@@ -216,12 +219,14 @@ impl CircularBuffer {
         cvar.notify_all();
     }
 
-    /// Block until `n` pages are visible to the consumer.
+    /// Block until `n` pages are visible to the consumer. Returns `true`
+    /// if the call had to block (a consumer stall) — the trace layer
+    /// turns that into a `cb_stall` event.
     ///
     /// # Panics
     /// Panics if `n` exceeds the capacity. Raises a typed
     /// [`crate::fault::KernelInterrupt`] if poisoned or on watchdog timeout.
-    pub fn wait_front(&self, n: usize) {
+    pub fn wait_front(&self, n: usize) -> bool {
         assert!(
             n <= self.config.num_pages,
             "cb_wait_front({n}) exceeds capacity {} — permanent hang on hardware",
@@ -249,6 +254,7 @@ impl CircularBuffer {
         if stalled {
             st.stats.consumer_stalls += 1;
         }
+        stalled
     }
 
     /// Read the `idx`-th visible page (0 = oldest) without consuming it.

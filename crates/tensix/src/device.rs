@@ -24,6 +24,7 @@ use crate::grid::{CoreCoord, GridSize};
 use crate::l1::{L1Allocator, L1Region};
 use crate::noc::NocModel;
 use crate::power::{PowerState, PowerTimeline};
+use tt_trace::TraceSink;
 
 /// Default watchdog budget for blocking device-side waits (circular buffers
 /// and semaphores). Generous enough that no legitimate kernel ever trips it;
@@ -64,6 +65,18 @@ impl Default for DeviceConfig {
     }
 }
 
+/// Holder for the device's optional trace sink. Wrapped so [`Device`]
+/// can keep deriving `Debug` without requiring `Debug` of the sink.
+#[derive(Default)]
+struct TraceSlot(Mutex<Option<Arc<dyn TraceSink>>>);
+
+impl std::fmt::Debug for TraceSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = if self.0.lock().is_some() { "on" } else { "off" };
+        write!(f, "TraceSlot({state})")
+    }
+}
+
 /// Reset bookkeeping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResetStats {
@@ -92,6 +105,10 @@ pub struct Device {
     /// resets the board per launch and reads it on abort to build the
     /// completed-range inventory a partial redo resumes from.
     progress: Vec<AtomicU64>,
+    /// Optional trace sink. `None` (the default) is the zero-cost-off
+    /// path: the launch supervisor fetches it once per launch and hands
+    /// kernel instances `None` emitters.
+    trace: TraceSlot,
 }
 
 impl Device {
@@ -112,6 +129,7 @@ impl Device {
             fault_plan: FaultPlan::new(id, config.seed, config.faults),
             alive: AtomicBool::new(true),
             progress: (0..config.grid.num_cores()).map(|_| AtomicU64::new(0)).collect(),
+            trace: TraceSlot::default(),
         })
     }
 
@@ -167,6 +185,22 @@ impl Device {
     #[must_use]
     pub fn watchdog(&self) -> Duration {
         self.config.watchdog
+    }
+
+    /// Attach (or with `None`, detach) a trace sink. The sink survives
+    /// [`Self::reset`] so a retried or multi-launch run traces end to
+    /// end. Tracing never adds virtual cycles; results and timings are
+    /// identical with or without a sink.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        *self.trace.0.lock() = sink;
+    }
+
+    /// The currently attached trace sink, if any. Fetched once per
+    /// launch by the command queue — per-event paths never touch this
+    /// lock.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.trace.0.lock().clone()
     }
 
     /// Whether the card is still on the bus. Cleared by [`Self::mark_lost`]

@@ -34,6 +34,10 @@ pub struct DramStats {
     pub write_bytes: [u64; DRAM_CHANNELS],
     /// Total read/write transactions.
     pub transactions: u64,
+    /// Back-to-back transactions that hit the same channel as their
+    /// predecessor. Interleaved layouts keep this near zero; a high
+    /// count signals pathological page striding (bank camping).
+    pub bank_conflicts: u64,
 }
 
 impl DramStats {
@@ -60,6 +64,18 @@ struct DramState {
     next_id: u64,
     allocated_bytes: u64,
     stats: DramStats,
+    /// Channel of the most recent transaction, for conflict detection.
+    last_channel: Option<usize>,
+}
+
+impl DramState {
+    fn account(&mut self, channel: usize) {
+        self.stats.transactions += 1;
+        if self.last_channel == Some(channel) {
+            self.stats.bank_conflicts += 1;
+        }
+        self.last_channel = Some(channel);
+    }
 }
 
 /// The DRAM subsystem of one device. Thread-safe; kernels on any core access
@@ -130,8 +146,9 @@ impl DramModel {
         }
         let tile = buf.pages.get(&page).cloned().unwrap_or_else(|| Tile::zeros(buf.format));
         let bytes = buf.format.tile_bytes() as u64;
-        st.stats.read_bytes[Self::channel_of_page(page)] += bytes;
-        st.stats.transactions += 1;
+        let channel = Self::channel_of_page(page);
+        st.stats.read_bytes[channel] += bytes;
+        st.account(channel);
         Ok(tile)
     }
 
@@ -157,8 +174,9 @@ impl DramModel {
         let stored = if tile.format() == format { tile.clone() } else { tile.convert(format) };
         buf.pages.insert(page, stored);
         let bytes = format.tile_bytes() as u64;
-        st.stats.write_bytes[Self::channel_of_page(page)] += bytes;
-        st.stats.transactions += 1;
+        let channel = Self::channel_of_page(page);
+        st.stats.write_bytes[channel] += bytes;
+        st.account(channel);
         Ok(())
     }
 
@@ -188,7 +206,9 @@ impl DramModel {
 
     /// Reset traffic statistics (between experiment phases).
     pub fn reset_stats(&self) {
-        self.state.write().stats = DramStats::default();
+        let mut st = self.state.write();
+        st.stats = DramStats::default();
+        st.last_channel = None;
     }
 
     /// Drop every buffer (device reset).
@@ -197,6 +217,7 @@ impl DramModel {
         st.buffers.clear();
         st.allocated_bytes = 0;
         st.stats = DramStats::default();
+        st.last_channel = None;
     }
 }
 
@@ -239,6 +260,26 @@ mod tests {
         assert_eq!(dram.stats().read_bytes[0], 4096);
         dram.reset_stats();
         assert_eq!(dram.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn bank_conflicts_count_repeated_channel_hits() {
+        let dram = DramModel::new();
+        let id = dram.allocate(DataFormat::Float32, 18).unwrap();
+        let t = Tile::zeros(DataFormat::Float32);
+        // Sequential pages round-robin the channels: no conflicts.
+        for p in 0..12 {
+            dram.write_tile(id, p, &t).unwrap();
+        }
+        assert_eq!(dram.stats().bank_conflicts, 0);
+        // Stride-6 pages camp on channel 0: every access after the first
+        // conflicts with its predecessor.
+        for p in [0, 6, 12] {
+            dram.read_tile(id, p).unwrap();
+        }
+        assert_eq!(dram.stats().bank_conflicts, 2);
+        dram.reset_stats();
+        assert_eq!(dram.stats().bank_conflicts, 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use cb::{CbStats, CircularBuffer, CircularBufferConfig};
 pub use clock::{CycleCounter, DeviceClock, KernelTiming};
 pub use cost::{CostModel, CLOCK_HZ};
 pub use device::{Device, DeviceConfig, ResetStats, DEFAULT_WATCHDOG};
-pub use dram::{BufferId, DramModel, DRAM_CAPACITY, DRAM_CHANNELS};
+pub use dram::{BufferId, DramModel, DramStats, DRAM_CAPACITY, DRAM_CHANNELS};
 pub use dst::DstRegisters;
 pub use dtype::DataFormat;
 pub use error::{Result, TensixError};

@@ -1,0 +1,227 @@
+//! Chrome `trace_event` JSON export, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! One track (pid 0, one tid) per `core × RISC role`; host events get
+//! their own track. Timestamps are microseconds: at the simulator's
+//! 1 GHz virtual clock one cycle is exactly 1 ns, so `ts_us =
+//! cycles / 1000` and the exporter prints it with three decimals —
+//! exact, no float rounding.
+
+use crate::event::{EventKind, RiscRole, TraceEvent, HOST_CORE};
+use crate::json::{self, JsonValue};
+
+/// Chrome-trace thread id for a `(core, role)` track. Host events map to
+/// tid 0; device tracks are `core * 4 + track_index + 1`.
+#[must_use]
+pub fn track_tid(core: u32, role: RiscRole) -> u64 {
+    if core == HOST_CORE {
+        0
+    } else {
+        u64::from(core) * 4 + u64::from(role.track_index()) + 1
+    }
+}
+
+/// Human-readable track name for a `(core, role)` track.
+#[must_use]
+pub fn track_name(core: u32, role: RiscRole) -> String {
+    if core == HOST_CORE {
+        "host".to_string()
+    } else {
+        format!("core {core} {}", role.label())
+    }
+}
+
+fn us(cycles: u64) -> String {
+    format!("{}.{:03}", cycles / 1000, cycles % 1000)
+}
+
+fn args_json(args: &[(String, u64)]) -> String {
+    let body: Vec<String> =
+        args.iter().map(|(k, v)| format!("\"{}\":{v}", json::escape(k))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Serialize exported events (see [`crate::MemorySink::export`]) to a
+/// Chrome `trace_event` JSON document.
+#[must_use]
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(events.len() + 16);
+
+    // Thread-name metadata, one per distinct track, in tid order.
+    let mut tracks: Vec<(u64, String)> =
+        events.iter().map(|e| (track_tid(e.core, e.role), track_name(e.core, e.role))).collect();
+    tracks.sort();
+    tracks.dedup();
+    for (tid, name) in &tracks {
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json::escape(name)
+        ));
+    }
+
+    for ev in events {
+        let tid = track_tid(ev.core, ev.role);
+        let name = json::escape(&ev.name);
+        let ts = us(ev.ts);
+        let line = match ev.kind {
+            EventKind::SpanBegin => format!(
+                "{{\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"name\":\"{name}\",\
+                 \"args\":{}}}",
+                args_json(&ev.args)
+            ),
+            EventKind::SpanEnd => {
+                format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"name\":\"{name}\"}}")
+            }
+            EventKind::Complete { dur } => format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{},\
+                 \"name\":\"{name}\",\"args\":{}}}",
+                us(dur),
+                args_json(&ev.args)
+            ),
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
+                 \"name\":\"{name}\",\"args\":{}}}",
+                args_json(&ev.args)
+            ),
+            EventKind::Counter { value } => format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"name\":\"{name}\",\
+                 \"args\":{{\"value\":{value}}}}}"
+            ),
+        };
+        lines.push(line);
+    }
+
+    format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n", lines.join(",\n"))
+}
+
+/// One event parsed back from a Chrome-trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Phase character (`B`, `E`, `X`, `i`, `C`, `M`, …).
+    pub ph: String,
+    /// Event name.
+    pub name: String,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (`X` events only).
+    pub dur: Option<f64>,
+    /// Process id.
+    pub pid: i64,
+    /// Thread id (the track).
+    pub tid: i64,
+}
+
+/// Parse a Chrome-trace JSON document back into its event list.
+///
+/// # Errors
+///
+/// Returns a message if the document is not valid JSON or lacks the
+/// `traceEvents` array.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let field_str = |k: &str| {
+            ev.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("event {i}: missing string field '{k}'"))
+        };
+        let field_num = |k: &str| {
+            ev.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric field '{k}'"))
+        };
+        let ph = field_str("ph")?;
+        let ts = if ph == "M" { 0.0 } else { field_num("ts")? };
+        out.push(ChromeEvent {
+            ph,
+            name: field_str("name")?,
+            ts,
+            dur: ev.get("dur").and_then(JsonValue::as_f64),
+            pid: field_num("pid")? as i64,
+            tid: field_num("tid")? as i64,
+        });
+    }
+    Ok(out)
+}
+
+/// Check that within every `(pid, tid)` track the non-metadata events
+/// have non-decreasing timestamps.
+///
+/// # Errors
+///
+/// Returns a message naming the offending track.
+pub fn check_monotonic_per_track(events: &[ChromeEvent]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut last: HashMap<(i64, i64), f64> = HashMap::new();
+    for ev in events {
+        if ev.ph == "M" {
+            continue;
+        }
+        let key = (ev.pid, ev.tid);
+        if let Some(prev) = last.get(&key) {
+            if ev.ts < *prev {
+                return Err(format!(
+                    "track pid={} tid={}: ts {} after {}",
+                    ev.pid, ev.tid, ev.ts, prev
+                ));
+            }
+        }
+        last.insert(key, ev.ts);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{MemorySink, SpanEmitter, TraceSink};
+    use std::sync::Arc;
+
+    fn demo_events() -> Vec<TraceEvent> {
+        let sink = Arc::new(MemorySink::new());
+        let e = sink.begin_epoch();
+        let mut reader = SpanEmitter::new(sink.clone(), e, 0, RiscRole::Brisc);
+        let mut compute = SpanEmitter::new(sink.clone(), e, 0, RiscRole::Trisc);
+        reader.span_begin("reader", 0);
+        reader.complete("noc-read", 10, 32, &[("bytes", 4096)]);
+        reader.instant("cb_stall", 50, &[("cb", 0), ("side", 0)]);
+        reader.span_end("reader", 80);
+        compute.span_begin("force-compute", 0);
+        compute.counter("dst_tiles", 40, 6);
+        compute.span_end("force-compute", 100);
+        sink.end_epoch(e, 100);
+        sink.host_instant("launch-done", &[]);
+        sink.export()
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let events = demo_events();
+        let doc = to_chrome_trace(&events);
+        let parsed = parse_chrome_trace(&doc).unwrap();
+        let non_meta = parsed.iter().filter(|e| e.ph != "M").count();
+        assert_eq!(non_meta, events.len());
+        check_monotonic_per_track(&parsed).unwrap();
+    }
+
+    #[test]
+    fn microsecond_formatting_is_exact() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn tracks_are_distinct_per_core_and_role() {
+        assert_ne!(track_tid(0, RiscRole::Brisc), track_tid(0, RiscRole::Trisc));
+        assert_ne!(track_tid(0, RiscRole::Brisc), track_tid(1, RiscRole::Brisc));
+        assert_eq!(track_tid(HOST_CORE, RiscRole::Host), 0);
+    }
+}

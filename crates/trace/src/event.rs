@@ -1,0 +1,213 @@
+//! Structured trace events on the virtual device clock.
+
+use std::fmt;
+
+/// Core id used for host-side events (retry decisions, teardown, launch
+/// aborts) that are not attributable to a Tensix core.
+pub const HOST_CORE: u32 = u32::MAX;
+
+/// Which RISC engine of a Tensix core (or the host) produced an event.
+///
+/// On the real Wormhole each Tensix has five baby RISC-V cores; the
+/// simulator models the three that matter for the pipeline: the NoC-0
+/// data-movement RISC (BRISC, runs the reader), the NoC-1 data-movement
+/// RISC (NCRISC, runs the writer), and the compute cluster (TRISC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RiscRole {
+    /// Data movement over NoC 0 — the reader kernel.
+    Brisc,
+    /// Data movement over NoC 1 — the writer kernel.
+    Ncrisc,
+    /// The unpack/math/pack compute cluster.
+    Trisc,
+    /// Host-side events (launch, retry, teardown).
+    Host,
+}
+
+impl RiscRole {
+    /// Stable per-core track index (used as a sort tiebreak and to derive
+    /// Chrome-trace thread ids).
+    #[must_use]
+    pub fn track_index(self) -> u32 {
+        match self {
+            RiscRole::Brisc => 0,
+            RiscRole::Ncrisc => 1,
+            RiscRole::Trisc => 2,
+            RiscRole::Host => 3,
+        }
+    }
+
+    /// Human-readable engine name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RiscRole::Brisc => "brisc",
+            RiscRole::Ncrisc => "ncrisc",
+            RiscRole::Trisc => "trisc",
+            RiscRole::Host => "host",
+        }
+    }
+}
+
+impl fmt::Display for RiscRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Start of a nested span (Chrome `ph:"B"`).
+    SpanBegin,
+    /// End of the innermost open span with the same name (Chrome `ph:"E"`).
+    SpanEnd,
+    /// A self-contained interval of `dur` cycles (Chrome `ph:"X"`).
+    Complete {
+        /// Duration of the interval in virtual cycles.
+        dur: u64,
+    },
+    /// A point event (Chrome `ph:"i"`).
+    Instant,
+    /// A counter sample (Chrome `ph:"C"`).
+    Counter {
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+/// One structured trace event.
+///
+/// `ts` is in virtual cycles **relative to the start of the event's
+/// epoch** (one epoch per program launch); [`crate::MemorySink::export`]
+/// rebases to absolute cycles. `seq` is a per-track sequence number that
+/// makes the total event order deterministic even when two events share a
+/// timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Launch epoch the event belongs to.
+    pub epoch: u32,
+    /// Virtual-cycle timestamp relative to the epoch start.
+    pub ts: u64,
+    /// Flattened core index, or [`HOST_CORE`] for host events.
+    pub core: u32,
+    /// Engine that produced the event.
+    pub role: RiscRole,
+    /// Per-track sequence number (stable tiebreak).
+    pub seq: u64,
+    /// Event name (kernel label, span name, …).
+    pub name: String,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Auxiliary key/value payload (bytes moved, CB index, attempt, …).
+    pub args: Vec<(String, u64)>,
+}
+
+impl TraceEvent {
+    /// Sort key giving the deterministic export order: epoch, then
+    /// virtual time, then core/role track, then per-track sequence.
+    #[must_use]
+    pub fn sort_key(&self) -> (u32, u64, u32, u32, u64) {
+        (self.epoch, self.ts, self.core, self.role.track_index(), self.seq)
+    }
+}
+
+/// Verify stack discipline per `(core, role)` track: every `SpanEnd`
+/// matches the innermost open `SpanBegin` by name and does not precede
+/// it in time, and no span is left open at the end.
+///
+/// `events` must already be in export order (see
+/// [`TraceEvent::sort_key`]); within a track that order is by `(epoch,
+/// ts, seq)`, which is the order the emitting kernel produced them in.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn check_nesting(events: &[TraceEvent]) -> Result<(), String> {
+    use std::collections::HashMap;
+    // Per-track stack of open spans as (name, epoch, begin-ts).
+    type OpenSpan = (String, u32, u64);
+    let mut stacks: HashMap<(u32, RiscRole), Vec<OpenSpan>> = HashMap::new();
+    for ev in events {
+        let stack = stacks.entry((ev.core, ev.role)).or_default();
+        match ev.kind {
+            EventKind::SpanBegin => stack.push((ev.name.clone(), ev.epoch, ev.ts)),
+            EventKind::SpanEnd => match stack.pop() {
+                None => {
+                    return Err(format!(
+                        "track core={} role={}: SpanEnd '{}' with no open span",
+                        ev.core, ev.role, ev.name
+                    ));
+                }
+                Some((name, epoch, ts)) => {
+                    if name != ev.name {
+                        return Err(format!(
+                            "track core={} role={}: SpanEnd '{}' closes open span '{name}'",
+                            ev.core, ev.role, ev.name
+                        ));
+                    }
+                    if epoch == ev.epoch && ev.ts < ts {
+                        return Err(format!(
+                            "track core={} role={}: span '{name}' ends at {} before its begin at {ts}",
+                            ev.core, ev.role, ev.ts
+                        ));
+                    }
+                }
+            },
+            EventKind::Complete { .. } | EventKind::Instant | EventKind::Counter { .. } => {}
+        }
+    }
+    for ((core, role), stack) in &stacks {
+        if let Some((name, _, _)) = stack.last() {
+            return Err(format!("track core={core} role={role}: span '{name}' never closed"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, seq: u64, name: &str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            epoch: 0,
+            ts,
+            core: 0,
+            role: RiscRole::Trisc,
+            seq,
+            name: name.to_string(),
+            kind,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn well_nested_spans_pass() {
+        let events = vec![
+            ev(0, 0, "kernel", EventKind::SpanBegin),
+            ev(5, 1, "tile", EventKind::SpanBegin),
+            ev(9, 2, "tile", EventKind::SpanEnd),
+            ev(10, 3, "kernel", EventKind::SpanEnd),
+        ];
+        check_nesting(&events).unwrap();
+    }
+
+    #[test]
+    fn mismatched_name_is_rejected() {
+        let events = vec![ev(0, 0, "a", EventKind::SpanBegin), ev(1, 1, "b", EventKind::SpanEnd)];
+        assert!(check_nesting(&events).is_err());
+    }
+
+    #[test]
+    fn unclosed_span_is_rejected() {
+        let events = vec![ev(0, 0, "a", EventKind::SpanBegin)];
+        assert!(check_nesting(&events).is_err());
+    }
+
+    #[test]
+    fn end_before_begin_is_rejected() {
+        let events = vec![ev(5, 0, "a", EventKind::SpanBegin), ev(3, 1, "a", EventKind::SpanEnd)];
+        assert!(check_nesting(&events).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # tt-trace — device tracing and metrics for the Wormhole simulator
+//!
+//! The simulator counts a lot (CB stalls, NoC transfers, per-kernel
+//! cycles) but historically exposed only end-of-run aggregates. This
+//! crate is the observability substrate: structured trace events on the
+//! virtual device clock, a lock-cheap [`TraceSink`] the simulator layers
+//! write into, a Chrome `trace_event` exporter (loadable in Perfetto or
+//! `chrome://tracing`), and a [`MetricsRegistry`] of named
+//! counters/gauges/histograms.
+//!
+//! Design rules:
+//!
+//! - **Zero-cost when off.** Instrumented code holds an
+//!   `Option<SpanEmitter>`; with tracing disabled the option is `None`
+//!   and the hooks compile down to a branch. Tracing never adds virtual
+//!   cycles, so `PipelineTiming` is identical with tracing on or off.
+//! - **Deterministic.** Events carry virtual-clock timestamps plus a
+//!   per-track sequence number; [`MemorySink::export`] orders by
+//!   `(epoch, ts, core, role, seq)`, so traces of the same seeded run are
+//!   byte-for-byte diffable.
+//! - **Wall-clock free.** Nothing here reads host time; all timestamps
+//!   come from the caller's cycle counters.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::{check_monotonic_per_track, parse_chrome_trace, to_chrome_trace, ChromeEvent};
+pub use event::{check_nesting, EventKind, RiscRole, TraceEvent, HOST_CORE};
+pub use metrics::{CycleHistogram, MetricValue, MetricsRegistry};
+pub use sink::{MemorySink, NullSink, SpanEmitter, TraceSink};

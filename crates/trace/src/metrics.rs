@@ -1,0 +1,292 @@
+//! Named metrics registry: counters, gauges, and power-of-two
+//! cycle histograms, with CSV and JSON dumps.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// Log2-bucketed histogram for cycle-scale values.
+///
+/// Bucket `k` counts values `v` with `2^(k-1) < v <= 2^k` (bucket 0
+/// counts zeros and ones). 64 buckets cover the full `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    counts: [u64; 64],
+    total: u64,
+    sum: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        Self { counts: [0; 64], total: 0, sum: 0 }
+    }
+}
+
+impl CycleHistogram {
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Upper bound (inclusive) of the smallest bucket such that at least
+    /// `q` (0..=1) of observations fall at or below it — a coarse
+    /// quantile with power-of-two resolution. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (k, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= threshold {
+                return if k >= 63 { u64::MAX } else { 1u64 << k };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs.
+    #[must_use]
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(k, c)| (if k >= 63 { u64::MAX } else { 1u64 << k }, *c))
+            .collect()
+    }
+}
+
+/// A single scalar metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically accumulated count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+}
+
+/// Registry of named metrics. Names are sorted (BTreeMap), so dumps are
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    scalars: BTreeMap<String, MetricValue>,
+    histograms: BTreeMap<String, CycleHistogram>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (created at zero).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        match self.scalars.entry(name.to_string()).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            MetricValue::Gauge(_) => panic!("metric '{name}' is a gauge, not a counter"),
+        }
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.scalars.insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Record an observation into the named histogram (created empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Current value of a counter (0 if absent or a gauge).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.scalars.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.scalars.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The named histogram, if any observations were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&CycleHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Number of registered metrics (scalars + histograms).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scalars.len() + self.histograms.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scalars.is_empty() && self.histograms.is_empty()
+    }
+
+    /// CSV dump. Schema: `metric,kind,value` — one row per counter
+    /// (`kind=counter`, integer value) or gauge (`kind=gauge`, 6-decimal
+    /// value); histograms emit one `kind=histogram_bucket` row per
+    /// non-empty bucket as `metric.le_<bound>` plus a
+    /// `metric.count`/`metric.sum` pair. Rows are sorted by name.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,value\n");
+        for (name, value) in &self.scalars {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name},counter,{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name},gauge,{v:.6}");
+                }
+            }
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "{name}.count,counter,{}", hist.count());
+            let _ = writeln!(out, "{name}.sum,counter,{}", hist.sum());
+            for (bound, count) in hist.nonempty_buckets() {
+                let _ = writeln!(out, "{name}.le_{bound},histogram_bucket,{count}");
+            }
+        }
+        out
+    }
+
+    /// JSON dump: one object with `counters`, `gauges`, and `histograms`
+    /// (bucket arrays of `[upper_bound, count]`), keys sorted.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        for (name, value) in &self.scalars {
+            match value {
+                MetricValue::Counter(v) => {
+                    counters.push(format!("\"{}\":{v}", json::escape(name)));
+                }
+                MetricValue::Gauge(v) => {
+                    gauges.push(format!("\"{}\":{v:.6}", json::escape(name)));
+                }
+            }
+        }
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets: Vec<String> =
+                    h.nonempty_buckets().iter().map(|(b, c)| format!("[{b},{c}]")).collect();
+                format!(
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    json::escape(name),
+                    h.count(),
+                    h.sum(),
+                    buckets.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}\n",
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("noc0.bytes", 100);
+        reg.inc("noc0.bytes", 24);
+        reg.set_gauge("core0.busy_frac", 0.5);
+        reg.set_gauge("core0.busy_frac", 0.75);
+        assert_eq!(reg.counter("noc0.bytes"), 124);
+        assert_eq!(reg.gauge("core0.busy_frac"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = CycleHistogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1015);
+        // 0,1 -> bucket 0 (bound 1); 2 -> bound 2; 3,4 -> bound 4;
+        // 5 -> bound 8; 1000 -> bound 1024.
+        assert_eq!(h.nonempty_buckets(), vec![(1, 2), (2, 1), (4, 2), (8, 1), (1024, 1)]);
+        assert_eq!(h.quantile_bound(0.5), 4);
+        assert_eq!(h.quantile_bound(1.0), 1024);
+    }
+
+    #[test]
+    fn csv_and_json_dumps_are_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("b.count", 2);
+        reg.set_gauge("a.frac", 0.25);
+        reg.observe("lat", 7);
+        let csv = reg.to_csv();
+        assert!(csv.starts_with("metric,kind,value\n"));
+        assert!(csv.contains("a.frac,gauge,0.250000"));
+        assert!(csv.contains("b.count,counter,2"));
+        assert!(csv.contains("lat.le_8,histogram_bucket,1"));
+        let j = reg.to_json();
+        crate::json::parse(&j).unwrap();
+        assert_eq!(csv, reg.clone().to_csv());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the trace layer: arbitrarily shaped span
+//! trees stay well-nested through export, and the Chrome serialization
+//! round-trips losslessly with per-track monotonic timestamps.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tt_trace::{
+    check_monotonic_per_track, check_nesting, parse_chrome_trace, to_chrome_trace, MemorySink,
+    RiscRole, SpanEmitter, TraceSink,
+};
+
+/// A randomly-shaped span tree: virtual time advances before the span
+/// opens and again before it closes, children nest strictly inside.
+#[derive(Debug, Clone)]
+struct SpanTree {
+    name: u32,
+    gap: u64,
+    children: Vec<SpanTree>,
+}
+
+fn arb_leaf() -> impl Strategy<Value = SpanTree> {
+    (0u32..6, 0u64..100).prop_map(|(name, gap)| SpanTree { name, gap, children: Vec::new() })
+}
+
+/// Trees up to three levels deep, built by explicit composition (the
+/// vendored proptest shim has no `prop_recursive`).
+fn arb_tree() -> impl Strategy<Value = SpanTree> {
+    let node = (0u32..6, 0u64..100, vec(arb_leaf(), 0..4))
+        .prop_map(|(name, gap, children)| SpanTree { name, gap, children });
+    (0u32..6, 0u64..100, vec(node, 0..4)).prop_map(|(name, gap, children)| SpanTree {
+        name,
+        gap,
+        children,
+    })
+}
+
+/// Walk a tree through an emitter, advancing the virtual clock; returns
+/// the number of spans emitted.
+fn emit(tree: &SpanTree, em: &mut SpanEmitter, ts: &mut u64) -> usize {
+    *ts += tree.gap;
+    em.span_begin(&format!("s{}", tree.name), *ts);
+    let mut count = 1;
+    for c in &tree.children {
+        count += emit(c, em, ts);
+    }
+    *ts += tree.gap + 1;
+    em.span_end(&format!("s{}", tree.name), *ts);
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Spans emitted per track nest correctly after export, and the
+    /// Chrome trace_event serialization parses back to the same event
+    /// count with monotonic timestamps per track.
+    #[test]
+    fn spans_nest_and_chrome_roundtrips(trees in vec(arb_tree(), 1..6)) {
+        let sink = Arc::new(MemorySink::new());
+        let epoch = sink.begin_epoch();
+        let mut total_spans = 0usize;
+        let mut end = 0u64;
+        // One distinct (core, role) track per tree: a track is a single
+        // execution context, so emitters never share one.
+        for (i, tree) in trees.iter().enumerate() {
+            let role = match i % 3 {
+                0 => RiscRole::Brisc,
+                1 => RiscRole::Ncrisc,
+                _ => RiscRole::Trisc,
+            };
+            let mut em = SpanEmitter::new(
+                Arc::clone(&sink) as Arc<dyn TraceSink>,
+                epoch,
+                (i / 3) as u32,
+                role,
+            );
+            let mut ts = 0u64;
+            total_spans += emit(tree, &mut em, &mut ts);
+            prop_assert_eq!(em.open_depth(), 0);
+            end = end.max(ts);
+        }
+        sink.end_epoch(epoch, end);
+
+        let events = sink.export();
+        prop_assert_eq!(events.len(), total_spans * 2);
+        let nesting = check_nesting(&events);
+        prop_assert!(nesting.is_ok(), "{:?}", nesting);
+
+        let chrome = to_chrome_trace(&events);
+        let parsed = parse_chrome_trace(&chrome).expect("exported trace must parse back");
+        let tracks = chrome.matches("\"thread_name\"").count();
+        prop_assert_eq!(parsed.len(), events.len() + tracks);
+        let mono = check_monotonic_per_track(&parsed);
+        prop_assert!(mono.is_ok(), "{:?}", mono);
+    }
+
+    /// An emitter abandoned mid-span (an aborted kernel) is repaired by
+    /// `close_all`: the exported trace still nests.
+    #[test]
+    fn close_all_repairs_aborted_spans(depth in 1usize..6, end_ts in 1u64..1000) {
+        let sink = Arc::new(MemorySink::new());
+        let epoch = sink.begin_epoch();
+        let mut em = SpanEmitter::new(
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+            epoch,
+            0,
+            RiscRole::Trisc,
+        );
+        for d in 0..depth {
+            em.span_begin(&format!("open{d}"), d as u64);
+        }
+        em.close_all(end_ts.max(depth as u64));
+        prop_assert_eq!(em.open_depth(), 0);
+        sink.end_epoch(epoch, end_ts.max(depth as u64));
+        let events = sink.export();
+        prop_assert_eq!(events.len(), depth * 2);
+        let nesting = check_nesting(&events);
+        prop_assert!(nesting.is_ok(), "{:?}", nesting);
+    }
+}

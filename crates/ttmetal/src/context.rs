@@ -21,6 +21,7 @@ use tensix::grid::CoreCoord;
 use tensix::sfpu::{self, BinaryOp, UnaryOp};
 use tensix::srcreg::{SrcReg, SrcRegisters};
 use tensix::{CycleCounter, DataFormat, Device, NocId, TensixError, Tile};
+use tt_trace::SpanEmitter;
 
 use crate::buffer::BufferRef;
 use crate::semaphore::Semaphore;
@@ -49,6 +50,9 @@ pub struct DataMovementCtx {
     sems: SemMap,
     args: Vec<u32>,
     counter: CycleCounter,
+    /// Per-instance trace emitter; `None` when tracing is off (the
+    /// zero-cost path — every hook is a single branch).
+    tracer: Option<SpanEmitter>,
 }
 
 impl DataMovementCtx {
@@ -59,8 +63,45 @@ impl DataMovementCtx {
         cbs: CbMap,
         sems: SemMap,
         args: Vec<u32>,
+        tracer: Option<SpanEmitter>,
     ) -> Self {
-        DataMovementCtx { device, core, noc, cbs, sems, args, counter: CycleCounter::new() }
+        DataMovementCtx { device, core, noc, cbs, sems, args, counter: CycleCounter::new(), tracer }
+    }
+
+    /// Open a named trace span at the current virtual time. No-op (and
+    /// free of virtual cycles) when tracing is off. Spans must be closed
+    /// with [`Self::trace_span_end`] in LIFO order.
+    pub fn trace_span_begin(&mut self, name: &str) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.span_begin(name, ts);
+        }
+    }
+
+    /// Close the innermost open trace span (which must be `name`).
+    pub fn trace_span_end(&mut self, name: &str) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.span_end(name, ts);
+        }
+    }
+
+    /// Open the whole-kernel span (the launch supervisor calls this right
+    /// before `run`).
+    pub(crate) fn trace_kernel_begin(&mut self, label: &str) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.span_begin(label, ts);
+        }
+    }
+
+    /// Close the whole-kernel span and any spans an aborting kernel left
+    /// open, so traces stay well-nested even on faulty runs.
+    pub(crate) fn trace_kernel_end(&mut self) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.close_all(ts);
+        }
     }
 
     /// `noc_semaphore_set`: overwrite semaphore `index` on this core.
@@ -141,6 +182,7 @@ impl DataMovementCtx {
         // DRAM banks sit on the chip perimeter; charge a representative hop
         // count from this core to the bank for page's channel.
         let hops = 2 + tensix::dram::DramModel::channel_of_page(page) % 4;
+        let start = self.counter.cycles();
         let cycles = self.device.noc().read(self.device.costs(), self.noc, bytes, hops);
         self.counter.add(cycles);
         let plan = self.device.faults();
@@ -148,6 +190,10 @@ impl DataMovementCtx {
             if plan.roll_noc_transient() {
                 // One hardware retransmit: charge the transfer again.
                 self.counter.add(cycles);
+                let ts = self.counter.cycles();
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.instant("noc_retransmit", ts, &[("page", page as u64)]);
+                }
                 if plan.roll_noc_transient() {
                     plan.count_noc_failure();
                     std::panic::panic_any(TensixError::NocTransactionFailed {
@@ -166,6 +212,15 @@ impl DataMovementCtx {
                 }
             }
         }
+        let end = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.complete(
+                "noc_read",
+                start,
+                end - start,
+                &[("bytes", bytes as u64), ("page", page as u64)],
+            );
+        }
         self.device
             .dram()
             .read_tile(buf.id, page)
@@ -182,17 +237,31 @@ impl DataMovementCtx {
     pub fn noc_async_write_tile(&mut self, buf: BufferRef, page: usize, tile: &Tile) {
         let bytes = buf.format.tile_bytes();
         let hops = 2 + tensix::dram::DramModel::channel_of_page(page) % 4;
+        let start = self.counter.cycles();
         let cycles = self.device.noc().write(self.device.costs(), self.noc, bytes, hops);
         self.counter.add(cycles);
         let plan = self.device.faults();
         if !plan.disarmed() && plan.roll_noc_transient() {
             self.counter.add(cycles);
+            let ts = self.counter.cycles();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("noc_retransmit", ts, &[("page", page as u64)]);
+            }
             if plan.roll_noc_transient() {
                 plan.count_noc_failure();
                 std::panic::panic_any(TensixError::NocTransactionFailed {
                     context: "noc_async_write_tile",
                 });
             }
+        }
+        let end = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.complete(
+                "noc_write",
+                start,
+                end - start,
+                &[("bytes", bytes as u64), ("page", page as u64)],
+            );
         }
         self.device
             .dram()
@@ -210,7 +279,13 @@ impl DataMovementCtx {
     /// Producer: block until `n` pages are free in `cb` and reserve them.
     pub fn cb_reserve_back(&mut self, cb: u8, n: usize) {
         self.counter.add(self.device.costs().compute.cb_op);
-        cb_of(&self.cbs, self.core, cb).reserve_back(n);
+        let stalled = cb_of(&self.cbs, self.core, cb).reserve_back(n);
+        if stalled {
+            let ts = self.counter.cycles();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("cb_stall", ts, &[("cb", u64::from(cb)), ("producer", 1)]);
+            }
+        }
     }
 
     /// Producer: write one tile into space reserved in `cb`.
@@ -228,7 +303,13 @@ impl DataMovementCtx {
     /// Consumer: block until `n` pages are visible.
     pub fn cb_wait_front(&mut self, cb: u8, n: usize) {
         self.counter.add(self.device.costs().compute.cb_op);
-        cb_of(&self.cbs, self.core, cb).wait_front(n);
+        let stalled = cb_of(&self.cbs, self.core, cb).wait_front(n);
+        if stalled {
+            let ts = self.counter.cycles();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("cb_stall", ts, &[("cb", u64::from(cb)), ("producer", 0)]);
+            }
+        }
     }
 
     /// Consumer: read the `idx`-th visible page without consuming.
@@ -276,6 +357,8 @@ pub struct ComputeCtx {
     dst: DstRegisters,
     src: SrcRegisters,
     counter: CycleCounter,
+    /// Per-instance trace emitter; `None` when tracing is off.
+    tracer: Option<SpanEmitter>,
 }
 
 impl ComputeCtx {
@@ -286,6 +369,7 @@ impl ComputeCtx {
         cbs: CbMap,
         sems: SemMap,
         args: Vec<u32>,
+        tracer: Option<SpanEmitter>,
     ) -> Self {
         ComputeCtx {
             device,
@@ -296,6 +380,41 @@ impl ComputeCtx {
             dst: DstRegisters::new(format),
             src: SrcRegisters::new(),
             counter: CycleCounter::new(),
+            tracer,
+        }
+    }
+
+    /// Open a named trace span at the current virtual time. No-op (and
+    /// free of virtual cycles) when tracing is off. Spans must be closed
+    /// with [`Self::trace_span_end`] in LIFO order.
+    pub fn trace_span_begin(&mut self, name: &str) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.span_begin(name, ts);
+        }
+    }
+
+    /// Close the innermost open trace span (which must be `name`).
+    pub fn trace_span_end(&mut self, name: &str) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.span_end(name, ts);
+        }
+    }
+
+    /// Open the whole-kernel span.
+    pub(crate) fn trace_kernel_begin(&mut self, label: &str) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.span_begin(label, ts);
+        }
+    }
+
+    /// Close the whole-kernel span and anything an abort left open.
+    pub(crate) fn trace_kernel_end(&mut self) {
+        let ts = self.counter.cycles();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.close_all(ts);
         }
     }
 
@@ -350,7 +469,13 @@ impl ComputeCtx {
     /// Block until `n` pages are visible in `cb`.
     pub fn cb_wait_front(&mut self, cb: u8, n: usize) {
         self.counter.add(self.device.costs().compute.cb_op);
-        cb_of(&self.cbs, self.core, cb).wait_front(n);
+        let stalled = cb_of(&self.cbs, self.core, cb).wait_front(n);
+        if stalled {
+            let ts = self.counter.cycles();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("cb_stall", ts, &[("cb", u64::from(cb)), ("producer", 0)]);
+            }
+        }
     }
 
     /// Release `n` pages from `cb`.
@@ -362,7 +487,13 @@ impl ComputeCtx {
     /// Reserve `n` pages in `cb` for packing results.
     pub fn cb_reserve_back(&mut self, cb: u8, n: usize) {
         self.counter.add(self.device.costs().compute.cb_op);
-        cb_of(&self.cbs, self.core, cb).reserve_back(n);
+        let stalled = cb_of(&self.cbs, self.core, cb).reserve_back(n);
+        if stalled {
+            let ts = self.counter.cycles();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("cb_stall", ts, &[("cb", u64::from(cb)), ("producer", 1)]);
+            }
+        }
     }
 
     /// Publish `n` packed pages.
@@ -661,6 +792,7 @@ mod tests {
             cbs,
             SemMap::new(),
             vec![3, 7],
+            None,
         )
     }
 

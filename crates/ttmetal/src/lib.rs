@@ -38,5 +38,5 @@ pub use error::{CoreProgress, LaunchError};
 pub use host::{close_device, create_device, open_cluster};
 pub use kernel::{cb_index, ComputeFn, ComputeKernel, DataMovementKernel};
 pub use program::{KernelId, Program};
-pub use queue::{CommandQueue, FailedLaunch, ProgramReport, PCIE_BYTES_PER_S};
+pub use queue::{CbReport, CommandQueue, FailedLaunch, ProgramReport, PCIE_BYTES_PER_S};
 pub use semaphore::Semaphore;

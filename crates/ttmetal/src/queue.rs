@@ -21,11 +21,12 @@ use std::thread;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use tensix::cb::CircularBuffer;
+use tensix::cb::{CbStats, CircularBuffer};
 use tensix::clock::{program_seconds, KernelTiming};
 use tensix::fault::{InterruptKind, KernelInterrupt};
 use tensix::grid::CoreCoord;
 use tensix::{Device, Result, TensixError, Tile};
+use tt_trace::{RiscRole, SpanEmitter, TraceSink};
 
 use crate::buffer::Buffer;
 use crate::context::{CbMap, ComputeCtx, DataMovementCtx, SemMap};
@@ -36,6 +37,22 @@ use crate::semaphore::Semaphore;
 /// Effective host↔device bandwidth over PCIe 4.0 x16, bytes/s.
 pub const PCIE_BYTES_PER_S: f64 = 24.0e9;
 
+/// Lifetime statistics of one circular-buffer instance, surfaced per
+/// launch. The simulator always counts these ([`CbStats`]); this report
+/// is how they leave the device instead of dying with the CB at program
+/// teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbReport {
+    /// Core the CB lives on.
+    pub core: CoreCoord,
+    /// Flattened grid index of `core` (matches `KernelTiming::core_index`).
+    pub core_index: usize,
+    /// CB index (see [`crate::kernel::cb_index`]).
+    pub index: u8,
+    /// Push/pop/occupancy/stall counts over the launch.
+    pub stats: CbStats,
+}
+
 /// Outcome of one program execution.
 #[derive(Debug, Clone)]
 pub struct ProgramReport {
@@ -44,6 +61,8 @@ pub struct ProgramReport {
     pub seconds: f64,
     /// Per-kernel-instance timings.
     pub timings: Vec<KernelTiming>,
+    /// Per-CB statistics, sorted by `(core_index, index)`.
+    pub cb_stats: Vec<CbReport>,
 }
 
 /// Virtual-time cost of the most recent *failed* launch, kept by the queue so
@@ -57,6 +76,9 @@ pub struct FailedLaunch {
     /// Per-kernel-instance timings of the failed attempt (stalled instances
     /// report zero cycles).
     pub timings: Vec<KernelTiming>,
+    /// Per-CB statistics of the failed attempt, sorted by
+    /// `(core_index, index)`.
+    pub cb_stats: Vec<CbReport>,
 }
 
 /// Shared flag that wakes a stalled kernel thread early when a sibling
@@ -263,6 +285,12 @@ impl CommandQueue {
         let grid = self.device.grid();
         let watchdog = self.device.watchdog();
 
+        // One trace epoch per launch. The sink is fetched once here; kernel
+        // instances get their own emitters, so per-event paths never touch
+        // the device's sink lock.
+        let sink: Option<Arc<dyn TraceSink>> = self.device.trace_sink().filter(|s| s.enabled());
+        let epoch = sink.as_ref().map(|s| s.begin_epoch());
+
         // Instantiate circular buffers per core and allocate their L1.
         let mut core_cbs: Vec<(CoreCoord, CbMap)> = Vec::new();
         for entry in &program.cbs {
@@ -317,6 +345,11 @@ impl CommandQueue {
         type KernelOutcome = (KernelTiming, Option<KernelAbort>);
         let mut handles: Vec<thread::JoinHandle<KernelOutcome>> = Vec::new();
         for entry in &program.kernels {
+            let role = match &entry.body {
+                KernelBody::DataMovement { noc: tensix::NocId::Noc0, .. } => RiscRole::Brisc,
+                KernelBody::DataMovement { .. } => RiscRole::Ncrisc,
+                KernelBody::Compute { .. } => RiscRole::Trisc,
+            };
             for core in entry.cores.iter() {
                 let device = Arc::clone(&self.device);
                 let label = entry.label.clone();
@@ -324,6 +357,12 @@ impl CommandQueue {
                 let cbs = cbs_for(core);
                 let sems = sems_for(core);
                 let core_index = grid.index_of(core);
+                let tracer = match (&sink, epoch) {
+                    (Some(s), Some(e)) => {
+                        Some(SpanEmitter::new(Arc::clone(s), e, core_index as u32, role))
+                    }
+                    _ => None,
+                };
                 // Partial teardown: a faulting kernel poisons only its own
                 // core's CBs/semaphores, so surviving cores finish their tile
                 // ranges and only the faulting core's slice needs a redo.
@@ -337,7 +376,11 @@ impl CommandQueue {
                     // parks on the cancel token; either a sibling fault
                     // cancels it early, or its own watchdog expires and it
                     // initiates teardown itself.
+                    let mut tracer = tracer;
                     let handle = thread::spawn(move || {
+                        if let Some(tr) = tracer.as_mut() {
+                            tr.instant("injected_stall", 0, &[]);
+                        }
                         if !cancel.wait(device.watchdog()) {
                             teardown(&poison_cbs, &poison_sems, &cancel);
                         }
@@ -357,8 +400,11 @@ impl CommandQueue {
                         let noc = *noc;
                         let kernel = Arc::clone(kernel);
                         thread::spawn(move || {
-                            let mut ctx = DataMovementCtx::new(device, core, noc, cbs, sems, args);
+                            let mut ctx =
+                                DataMovementCtx::new(device, core, noc, cbs, sems, args, tracer);
+                            ctx.trace_kernel_begin(&label);
                             let outcome = catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
+                            ctx.trace_kernel_end();
                             let abort = outcome.err().map(|e| {
                                 teardown(&poison_cbs, &poison_sems, &cancel);
                                 classify_abort(&label, core, e)
@@ -370,8 +416,11 @@ impl CommandQueue {
                         let format = *format;
                         let kernel = Arc::clone(kernel);
                         thread::spawn(move || {
-                            let mut ctx = ComputeCtx::new(device, core, format, cbs, sems, args);
+                            let mut ctx =
+                                ComputeCtx::new(device, core, format, cbs, sems, args, tracer);
+                            ctx.trace_kernel_begin(&label);
                             let outcome = catch_unwind(AssertUnwindSafe(|| kernel.run(&mut ctx)));
+                            ctx.trace_kernel_end();
                             let abort = outcome.err().map(|e| {
                                 teardown(&poison_cbs, &poison_sems, &cancel);
                                 classify_abort(&label, core, e)
@@ -403,8 +452,31 @@ impl CommandQueue {
             }
         }
 
+        // Harvest CB statistics before teardown drops the rings: the stats
+        // were always counted, this is where they get out.
+        let mut cb_stats: Vec<CbReport> = Vec::new();
+        for (core, map) in &core_cbs {
+            let core_index = grid.index_of(*core);
+            for (index, cb) in map {
+                cb_stats.push(CbReport {
+                    core: *core,
+                    core_index,
+                    index: *index,
+                    stats: cb.stats(),
+                });
+            }
+        }
+        cb_stats.sort_by_key(|r| (r.core_index, r.index));
+
         // Program teardown frees CB storage.
         self.device.free_all_l1();
+
+        // Close the launch epoch at the slowest instance, so the next
+        // launch's events rebase after this one on the virtual clock.
+        if let (Some(s), Some(e)) = (&sink, epoch) {
+            let dur = timings.iter().map(|t| t.cycles).max().unwrap_or(0);
+            s.end_epoch(e, dur);
+        }
 
         if let Some(root) = aborts.into_iter().max_by_key(|a| a.kind) {
             // Inventory the attempt: per-core completed-tile watermarks (for
@@ -424,8 +496,14 @@ impl CommandQueue {
                 .map(|core| CoreProgress { core, completed: self.device.progress_of(core) })
                 .collect();
             let seconds = program_seconds(self.device.costs(), &timings);
-            self.last_failure = Some(FailedLaunch { seconds, timings });
+            self.last_failure = Some(FailedLaunch { seconds, timings, cb_stats });
             let KernelAbort { kind, kernel, core, message } = root;
+            if let Some(s) = &sink {
+                s.host_instant(
+                    &format!("launch_abort:{}", kernel),
+                    &[("core", grid.index_of(core) as u64)],
+                );
+            }
             return Err(match kind {
                 AbortKind::Stall => LaunchError::Stall { kernel, core, completed },
                 AbortKind::Panic => LaunchError::KernelPanic { kernel, core, message, completed },
@@ -438,7 +516,7 @@ impl CommandQueue {
         }
         let seconds = program_seconds(self.device.costs(), &timings);
         self.program_seconds += seconds;
-        Ok(ProgramReport { seconds, timings })
+        Ok(ProgramReport { seconds, timings, cb_stats })
     }
 
     /// `Finish`: total virtual seconds of everything enqueued so far

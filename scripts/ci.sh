@@ -18,6 +18,20 @@ echo "==> retry-cost bench (smoke)"
 # without paying full measurement time.
 cargo bench -q --offline -p tt-bench --bench retry_cost -- --test
 
+echo "==> traced --profile smoke"
+# Runs the small-N profiled demo: internally asserts the traced run is
+# bitwise-identical to the untraced one and that kernel spans reconcile
+# with busy_cycles, then writes the Chrome trace + metrics dumps. We
+# additionally assert the trace is non-empty, valid-looking JSON.
+cargo run --release --offline -p tt-harness --bin accuracy_table -- --profile
+test -s results/profile/trace.json
+python3 - <<'EOF'
+import json
+with open("results/profile/trace.json") as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "trace must contain events"
+EOF
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
