@@ -1,14 +1,21 @@
 //! Microbenchmark: circular-buffer producer/consumer throughput across
 //! threads, by ring depth — the synchronization fabric of the paper's
-//! read/compute/write pipeline (double-buffering ablation).
+//! read/compute/write pipeline (double-buffering ablation). Also checks the
+//! tracing-off invariant: a disabled [`NullSink`] must cost the same as no
+//! sink at all (the command queue filters on `enabled()` once per launch, so
+//! kernel hot loops never see a sink object).
 
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::ic::{plummer, PlummerConfig};
+use nbody_tt::DeviceForcePipeline;
 use tensix::cb::{CircularBuffer, CircularBufferConfig};
 use tensix::tile::Tile;
-use tensix::DataFormat;
+use tensix::{DataFormat, Device, DeviceConfig};
+use tt_trace::NullSink;
 
 fn stream_tiles(cb: &CircularBuffer, count: usize) {
     thread::scope(|scope| {
@@ -49,5 +56,33 @@ fn bench_cb(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cb);
+/// Tracing-off must be zero-cost: a launch with a disabled `NullSink`
+/// attached must stream at the same rate as one with no sink configured.
+/// (The queue fetches the sink once per launch and filters on `enabled()`,
+/// so every per-page hook compiles down to one `Option` branch.)
+fn bench_null_sink(c: &mut Criterion) {
+    let n = 256;
+    let sys = plummer(PlummerConfig { n, seed: 17, ..PlummerConfig::default() });
+    let mut group = c.benchmark_group("trace_off_overhead");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let dev = Device::new(0, DeviceConfig::default());
+    let pipeline = DeviceForcePipeline::new(Arc::clone(&dev), n, 0.01, 1).unwrap();
+
+    dev.set_trace_sink(None);
+    group.bench_function("no_sink", |b| {
+        b.iter(|| pipeline.evaluate(&sys).unwrap());
+    });
+
+    dev.set_trace_sink(Some(Arc::new(NullSink)));
+    group.bench_function("null_sink", |b| {
+        b.iter(|| pipeline.evaluate(&sys).unwrap());
+    });
+    dev.set_trace_sink(None);
+    group.finish();
+}
+
+criterion_group!(benches, bench_cb, bench_null_sink);
 criterion_main!(benches);

@@ -70,5 +70,67 @@ fn bench_fpu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sfpu, bench_fpu);
+/// Vectorized (shipping) vs reference scalar implementations of the same
+/// ops. The reference forms are the bitwise-identity oracles the proptests
+/// compare against; this group quantifies what the chunked rewrites bought.
+fn bench_vectorized_vs_reference(c: &mut Criterion) {
+    let costs = ComputeCosts::default();
+    let mut group = c.benchmark_group("vectorized_vs_reference");
+    group.throughput(Throughput::Elements(1024));
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("rsqrt_fast/vectorized", |b| {
+        let mut t = tile(2.5);
+        b.iter(|| apply_unary(&costs, UnaryOp::RsqrtFast, &mut t));
+    });
+    group.bench_function("rsqrt_fast/reference", |b| {
+        let mut t = tile(2.5);
+        b.iter(|| tensix::sfpu::reference::apply_unary(&costs, UnaryOp::RsqrtFast, &mut t));
+    });
+
+    group.bench_function("mad/vectorized", |b| {
+        let a = tile(2.0);
+        let x = tile(3.0);
+        let mut acc = tile(0.0);
+        b.iter(|| apply_mad(&costs, &a, &x, &mut acc));
+    });
+    group.bench_function("mad/reference", |b| {
+        let a = tile(2.0);
+        let x = tile(3.0);
+        let mut acc = tile(0.0);
+        b.iter(|| tensix::sfpu::reference::apply_mad(&costs, &a, &x, &mut acc));
+    });
+
+    group.bench_function("matmul_32x32/vectorized", |b| {
+        let a = tile(1.0);
+        let rhs = tile(2.0);
+        let mut out = tile(0.0);
+        b.iter(|| fpu::matmul_tiles(&costs, &a, &rhs, &mut out, false));
+    });
+    group.bench_function("matmul_32x32/reference", |b| {
+        let a = tile(1.0);
+        let rhs = tile(2.0);
+        let mut out = tile(0.0);
+        b.iter(|| tensix::fpu::reference::matmul_tiles(&costs, &a, &rhs, &mut out, false));
+    });
+
+    group.bench_function("eltwise_sub/vectorized", |b| {
+        let a = tile(5.0);
+        let rhs = tile(2.0);
+        let mut out = tile(0.0);
+        b.iter(|| fpu::eltwise_binary(&costs, BinaryOp::Sub, &a, &rhs, &mut out));
+    });
+    group.bench_function("eltwise_sub/reference", |b| {
+        let a = tile(5.0);
+        let rhs = tile(2.0);
+        let mut out = tile(0.0);
+        b.iter(|| {
+            tensix::fpu::reference::eltwise_binary(&costs, BinaryOp::Sub, &a, &rhs, &mut out)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sfpu, bench_fpu, bench_vectorized_vs_reference);
 criterion_main!(benches);

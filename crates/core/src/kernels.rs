@@ -69,10 +69,13 @@ impl DataMovementKernel for ReaderKernel {
             for buf in self.targets {
                 ctx.read_page_to_cb(IN0, buf, tile);
             }
-            // Inner loop: the replicated (broadcast) source tiles.
+            // Inner loop: the replicated (broadcast) source tiles. Source
+            // buffers are immutable for the whole launch, so the cached read
+            // fetches + converts each page once and replays only the cycle
+            // accounting on the other `count - 1` passes.
             for j in 0..num_sources {
                 for buf in self.sources {
-                    ctx.read_page_to_cb(IN1, buf, j);
+                    ctx.read_page_to_cb_cached(IN1, buf, j);
                 }
             }
             ctx.trace_span_end("tile");

@@ -1,0 +1,194 @@
+//! End-to-end bitwise regression tests for the zero-copy tile pipeline.
+//!
+//! Two layers of defense:
+//!
+//! 1. A lane-exact scalar emulation of the device kernels' FP32 op sequence
+//!    (the order the compute kernel issues its FPU/SFPU instructions in)
+//!    must reproduce the pipeline's forces bit for bit — so any future
+//!    reordering, re-association, or caching bug in the tile path shows up
+//!    as a bit flip, not a tolerance drift.
+//! 2. Golden values captured from the pre-optimization pipeline (Arc'd CB
+//!    pages, tilize cache, vectorized tile math and the worker pool must
+//!    all be invisible): the forces hash *and* the full `PipelineTiming`
+//!    cycle accounting are pinned for two seeds covering single-core and
+//!    multi-core tile splits.
+
+use nbody::ic::{plummer, PlummerConfig};
+use nbody::particle::{Forces, ParticleSystem};
+use nbody_tt::{DeviceForcePipeline, HostArrays};
+use tensix::{Device, DeviceConfig};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn forces_hash(f: &Forces) -> u64 {
+    let mut bytes = Vec::with_capacity(f.len() * 48);
+    for v in f.acc.iter().chain(f.jerk.iter()) {
+        for c in v {
+            bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a(&bytes)
+}
+
+/// Lane-exact FP32 emulation of `ForceComputeKernel::interact` — every
+/// arithmetic step in the order (and associativity) the device kernel
+/// issues it, including the `fma` accumulations of the MAD LLK.
+// Plain `x = x + ...` assignments (not `+=`) deliberately mirror the device
+// kernel's two-operand instruction issue order.
+#[allow(clippy::assign_op_pattern)]
+fn emulate_device_forces(sys: &ParticleSystem, eps: f64) -> Forces {
+    let a = HostArrays::from_system(sys);
+    let eps2 = (eps * eps) as f32;
+    let n = a.n;
+    let mut out = Forces::zeros(n);
+    for i in 0..n {
+        let (xi, yi, zi) = (a.pos[0][i], a.pos[1][i], a.pos[2][i]);
+        let (vxi, vyi, vzi) = (a.vel[0][i], a.vel[1][i], a.vel[2][i]);
+        let mut acc = [0.0f32; 3];
+        let mut jerk = [0.0f32; 3];
+        for j in 0..n {
+            // Phase A: displacements (FPU sub_tiles, source minus target).
+            let d = [a.pos[0][j] - xi, a.pos[1][j] - yi, a.pos[2][j] - zi];
+            let dv = [a.vel[0][j] - vxi, a.vel[1][j] - vyi, a.vel[2][j] - vzi];
+            // Phase B: w = m/s³ and rv3 = 3(d·dv)/s².
+            let mut r2 = d[0] * d[0]; // square_tile + add_binary_tile chain
+            r2 = r2 + d[1] * d[1];
+            r2 = r2 + d[2] * d[2];
+            let s2 = r2 * 1.0 + eps2; // scale_tile(0, 1.0, ε²)
+            let inv_s = 1.0 / s2.sqrt(); // rsqrt_tile (precise)
+            let inv_s2 = inv_s * inv_s; // square_tile
+            let inv_s3 = inv_s2 * inv_s; // mul_binary_tile
+            let w = inv_s3 * a.mass[j]; // mul_binary_tile with m_j
+            let mut rv = d[0] * dv[0]; // mul_tiles + add_binary_tile chain
+            rv = rv + d[1] * dv[1];
+            rv = rv + d[2] * dv[2];
+            rv = rv * inv_s2; // mul_binary_tile
+            let rv3 = rv * 3.0 + 0.0; // scale_tile(4, 3.0, 0.0)
+            for axis in 0..3 {
+                // Phase C1: acc += d·w (SFPU MAD = f32::mul_add).
+                acc[axis] = d[axis].mul_add(w, acc[axis]);
+            }
+            for axis in 0..3 {
+                // Phase C2: jerk += (dv − rv3·d)·w, issued as
+                // neg(d·rv3) + dv then MAD.
+                let t = -(d[axis] * rv3) + dv[axis];
+                jerk[axis] = t.mul_add(w, jerk[axis]);
+            }
+        }
+        for axis in 0..3 {
+            out.acc[i][axis] = f64::from(acc[axis]);
+            out.jerk[i][axis] = f64::from(jerk[axis]);
+        }
+    }
+    out
+}
+
+fn run_pipeline(n: usize, seed: u64, eps: f64, cores: usize) -> (Forces, nbody_tt::PipelineTiming) {
+    let sys = plummer(PlummerConfig { n, seed, ..PlummerConfig::default() });
+    let device = Device::new(0, DeviceConfig::default());
+    let pipeline = DeviceForcePipeline::new(device, n, eps, cores).unwrap();
+    let f = pipeline.evaluate(&sys).unwrap();
+    (f, pipeline.timing())
+}
+
+#[test]
+fn pipeline_matches_scalar_emulation_bitwise_single_core() {
+    let (n, seed, eps) = (80usize, 93u64, 0.03f64);
+    let sys = plummer(PlummerConfig { n, seed, ..PlummerConfig::default() });
+    let device = Device::new(0, DeviceConfig::default());
+    let pipeline = DeviceForcePipeline::new(device, n, eps, 1).unwrap();
+    let dev = pipeline.evaluate(&sys).unwrap();
+    let host = emulate_device_forces(&sys, eps);
+    for i in 0..n {
+        for axis in 0..3 {
+            assert_eq!(
+                dev.acc[i][axis].to_bits(),
+                host.acc[i][axis].to_bits(),
+                "acc[{i}][{axis}]: device {} vs emulated {}",
+                dev.acc[i][axis],
+                host.acc[i][axis]
+            );
+            assert_eq!(
+                dev.jerk[i][axis].to_bits(),
+                host.jerk[i][axis].to_bits(),
+                "jerk[{i}][{axis}]: device {} vs emulated {}",
+                dev.jerk[i][axis],
+                host.jerk[i][axis]
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_matches_scalar_emulation_bitwise_multi_core() {
+    // Two target tiles split over two cores: the cached reader path runs
+    // per kernel instance, so both instances must stay lane-exact.
+    let (n, seed, eps) = (1500usize, 95u64, 0.02f64);
+    let sys = plummer(PlummerConfig { n, seed, ..PlummerConfig::default() });
+    let device = Device::new(0, DeviceConfig::default());
+    let pipeline = DeviceForcePipeline::new(device, n, eps, 2).unwrap();
+    let dev = pipeline.evaluate(&sys).unwrap();
+    let host = emulate_device_forces(&sys, eps);
+    let mut mismatches = 0usize;
+    for i in 0..n {
+        for axis in 0..3 {
+            if dev.acc[i][axis].to_bits() != host.acc[i][axis].to_bits()
+                || dev.jerk[i][axis].to_bits() != host.jerk[i][axis].to_bits()
+            {
+                mismatches += 1;
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "{mismatches} lanes differ from the scalar emulation");
+}
+
+#[test]
+fn seed_golden_single_core() {
+    // Captured from the pre-optimization pipeline (commit 6b8f827). The
+    // zero-copy data path must keep forces AND cycle accounting bitwise.
+    let (f, t) = run_pipeline(96, 90, 0.01, 1);
+    assert_eq!(forces_hash(&f), 0xcd15_7171_9965_0133);
+    assert_eq!(
+        f.acc[0].map(f64::to_bits),
+        [4590289887759958016, 4598304488934080512, 13825332225857552384]
+    );
+    assert_eq!(
+        f.jerk[0].map(f64::to_bits),
+        [13808396175524495360, 13822373409465565184, 4600568563227426816]
+    );
+    assert_eq!(t.device_seconds.to_bits(), 0x3f31_9bf8_8856_3f16);
+    assert_eq!(t.io_seconds.to_bits(), 0x3f1e_9a05_3585_2e36);
+    assert_eq!(t.evaluations, 1);
+    assert_eq!(t.last_eval_cycles, 268_696);
+    assert_eq!(t.busy_cycles, 385_760);
+    assert_eq!(t.retries, 0);
+    assert_eq!(t.wasted_cycles, 0);
+    assert_eq!(t.redo_cycles, 0);
+    assert_eq!(t.partial_redos, 0);
+}
+
+#[test]
+fn seed_golden_multi_core() {
+    let (f, t) = run_pipeline(2560, 91, 0.02, 2);
+    assert_eq!(forces_hash(&f), 0x3978_aee1_c9f4_4781);
+    assert_eq!(
+        f.acc[0].map(f64::to_bits),
+        [4604718705299947520, 13827545320499707904, 13825608754642550784]
+    );
+    assert_eq!(
+        f.jerk[0].map(f64::to_bits),
+        [13836184382538252288, 13820965827886710784, 4605462795499077632]
+    );
+    assert_eq!(t.device_seconds.to_bits(), 0x3f8d_476a_0817_b7be);
+    assert_eq!(t.io_seconds.to_bits(), 0x3f69_1ab3_e626_c0b8);
+    assert_eq!(t.evaluations, 1);
+    assert_eq!(t.last_eval_cycles, 14_296_368);
+    assert_eq!(t.busy_cycles, 30_652_656);
+}

@@ -152,6 +152,100 @@ impl DramModel {
         Ok(tile)
     }
 
+    /// Account a page read without fetching the data — byte counters,
+    /// transaction count and bank-conflict tracking advance exactly as for
+    /// [`DramModel::read_tile`].
+    ///
+    /// Used by per-launch read caches: a cache hit skips the host-side fetch
+    /// but must leave [`DramStats`] bitwise-identical to an uncached run,
+    /// because on hardware the transaction still crosses the NoC and DRAM.
+    ///
+    /// # Errors
+    /// [`TensixError::InvalidAddress`] for unknown buffers or out-of-range
+    /// pages.
+    pub fn account_read(&self, id: BufferId, page: usize) -> Result<()> {
+        let mut st = self.state.write();
+        let buf = st.buffers.get(&id).ok_or(TensixError::InvalidAddress {
+            addr: id.0,
+            context: "DRAM read from unallocated buffer",
+        })?;
+        if page >= buf.num_tiles {
+            return Err(TensixError::InvalidAddress {
+                addr: page as u64,
+                context: "DRAM read past end of buffer",
+            });
+        }
+        let bytes = buf.format.tile_bytes() as u64;
+        let channel = Self::channel_of_page(page);
+        st.stats.read_bytes[channel] += bytes;
+        st.account(channel);
+        Ok(())
+    }
+
+    /// Read a contiguous range of pages starting at page 0 under one lock
+    /// acquisition, accounting each page exactly as [`DramModel::read_tile`]
+    /// would (same per-page byte/transaction/bank-conflict sequence).
+    ///
+    /// # Errors
+    /// [`TensixError::InvalidAddress`] for unknown buffers or if `count`
+    /// exceeds the buffer length.
+    pub fn read_tiles(&self, id: BufferId, count: usize) -> Result<Vec<Tile>> {
+        let mut st = self.state.write();
+        let buf = st.buffers.get(&id).ok_or(TensixError::InvalidAddress {
+            addr: id.0,
+            context: "DRAM read from unallocated buffer",
+        })?;
+        if count > buf.num_tiles {
+            return Err(TensixError::InvalidAddress {
+                addr: count as u64,
+                context: "DRAM read past end of buffer",
+            });
+        }
+        let format = buf.format;
+        let bytes = format.tile_bytes() as u64;
+        let mut tiles = Vec::with_capacity(count);
+        for page in 0..count {
+            tiles.push(
+                st.buffers[&id].pages.get(&page).cloned().unwrap_or_else(|| Tile::zeros(format)),
+            );
+            let channel = Self::channel_of_page(page);
+            st.stats.read_bytes[channel] += bytes;
+            st.account(channel);
+        }
+        Ok(tiles)
+    }
+
+    /// Write `tiles` to consecutive pages starting at page 0 under one lock
+    /// acquisition, quantizing to the buffer's format and accounting each
+    /// page exactly as [`DramModel::write_tile`] would.
+    ///
+    /// # Errors
+    /// [`TensixError::InvalidAddress`] for unknown buffers or if the tile
+    /// count exceeds the buffer length.
+    pub fn write_tiles(&self, id: BufferId, tiles: &[Tile]) -> Result<()> {
+        let mut st = self.state.write();
+        let buf = st.buffers.get_mut(&id).ok_or(TensixError::InvalidAddress {
+            addr: id.0,
+            context: "DRAM write to unallocated buffer",
+        })?;
+        let format = buf.format;
+        if tiles.len() > buf.num_tiles {
+            return Err(TensixError::InvalidAddress {
+                addr: tiles.len() as u64,
+                context: "DRAM write past end of buffer",
+            });
+        }
+        let bytes = format.tile_bytes() as u64;
+        for (page, tile) in tiles.iter().enumerate() {
+            let stored = if tile.format() == format { tile.clone() } else { tile.convert(format) };
+            st.buffers.get_mut(&id).expect("checked above").pages.insert(page, stored);
+            let channel = Self::channel_of_page(page);
+            st.stats.write_bytes[channel] += bytes;
+            st.account(channel);
+        }
+        Ok(())
+    }
+
     /// Write page (tile) `page` of buffer `id`, quantizing to the buffer's
     /// format and accounting the traffic.
     ///

@@ -79,9 +79,57 @@ impl DataFormat {
             DataFormat::Float16 => f16_round(x),
             // Scalar Bfp8b quantization assumes the element is its own block;
             // block-aware quantization is applied at tile granularity.
-            DataFormat::Bfp8b => bfp8_quantize_block(&[x])[0],
+            DataFormat::Bfp8b => bfp8_quantize_scalar(x),
         }
     }
+
+    /// Quantize a slice of values in place, bitwise-identical to applying
+    /// [`DataFormat::quantize`] element by element.
+    ///
+    /// The format `match` is dispatched once per slice instead of once per
+    /// element so each arm is a tight, autovectorizer-friendly loop —
+    /// `Float32` in particular is a no-op rather than 1024 branch tests per
+    /// tile.
+    pub fn quantize_slice(self, values: &mut [f32]) {
+        match self {
+            DataFormat::Float32 => {}
+            DataFormat::Float16b => {
+                for v in values {
+                    *v = bf16_round(*v);
+                }
+            }
+            DataFormat::Float16 => {
+                for v in values {
+                    *v = f16_round(*v);
+                }
+            }
+            DataFormat::Bfp8b => {
+                for v in values {
+                    *v = bfp8_quantize_scalar(*v);
+                }
+            }
+        }
+    }
+}
+
+/// Single-element Bfp8b quantization: exactly `bfp8_quantize_block(&[x])[0]`
+/// without the per-call allocation. The element is its own block, so the
+/// shared exponent is the element's own exponent.
+#[inline]
+#[must_use]
+pub fn bfp8_quantize_scalar(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    if x == 0.0 || !x.is_finite() {
+        // Matches the block path: an all-zero block quantizes to +0.0, and a
+        // non-finite element never contributes a shared exponent (a lone
+        // infinity yields an empty block, hence 0.0).
+        return 0.0;
+    }
+    let shared_e = ((x.to_bits() >> 23) & 0xff) as i32 - 127;
+    let step = ((shared_e - 6) as f32).exp2(); // 7 mantissa bits: m * 2^(e-6)
+    (x / step).round_ties_even().clamp(-127.0, 127.0) * step
 }
 
 /// Round an `f32` to bfloat16 precision using round-to-nearest-even, returning

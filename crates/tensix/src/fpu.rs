@@ -25,6 +25,11 @@ pub enum BroadcastDim {
 
 /// Dense tile matmul: `a (32×32) × b (32×32)`, accumulating into `acc` when
 /// `accumulate` is set (matmul with dst accumulation). Returns cycle cost.
+///
+/// The loops run in (i, k, j) order so the inner loop walks contiguous rows
+/// of `b` and `acc` and autovectorizes; each output element still receives
+/// its fused multiply-adds in ascending-`k` order, so results are bitwise
+/// identical to the textbook (i, j, k) nest in [`reference::matmul_tiles`].
 pub fn matmul_tiles(
     costs: &ComputeCosts,
     a: &Tile,
@@ -35,12 +40,16 @@ pub fn matmul_tiles(
     let (va, vb) = (a.as_slice(), b.as_slice());
     let out = acc.as_mut_slice();
     for i in 0..TILE_DIM {
-        for j in 0..TILE_DIM {
-            let mut sum = if accumulate { out[i * TILE_DIM + j] } else { 0.0 };
-            for k in 0..TILE_DIM {
-                sum = va[i * TILE_DIM + k].mul_add(vb[k * TILE_DIM + j], sum);
+        let row_out = &mut out[i * TILE_DIM..(i + 1) * TILE_DIM];
+        if !accumulate {
+            row_out.fill(0.0);
+        }
+        for k in 0..TILE_DIM {
+            let aik = va[i * TILE_DIM + k];
+            let b_row = &vb[k * TILE_DIM..(k + 1) * TILE_DIM];
+            for (o, bv) in row_out.iter_mut().zip(b_row) {
+                *o = aik.mul_add(*bv, *o);
             }
-            out[i * TILE_DIM + j] = sum;
         }
     }
     costs.issue_overhead + costs.fpu_matmul
@@ -56,8 +65,22 @@ pub fn eltwise_binary(
     out: &mut Tile,
 ) -> u64 {
     let (va, vb) = (a.as_slice(), b.as_slice());
-    for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(va.iter().zip(vb.iter())) {
-        *o = binary_scalar(op, *x, *y);
+    let vo = out.as_mut_slice();
+    // Dispatch the op once per tile so each arm is a branch-free,
+    // autovectorizer-friendly lane loop.
+    macro_rules! lanes {
+        ($f:expr) => {
+            for (o, (x, y)) in vo.iter_mut().zip(va.iter().zip(vb.iter())) {
+                *o = $f(*x, *y);
+            }
+        };
+    }
+    match op {
+        BinaryOp::Add => lanes!(|x: f32, y: f32| x + y),
+        BinaryOp::Sub => lanes!(|x: f32, y: f32| x - y),
+        BinaryOp::Mul => lanes!(|x: f32, y: f32| x * y),
+        BinaryOp::Min => lanes!(f32::min),
+        BinaryOp::Max => lanes!(f32::max),
     }
     costs.issue_overhead + costs.fpu_eltwise
 }
@@ -73,14 +96,27 @@ pub fn eltwise_binary_bcast(
     out: &mut Tile,
 ) -> u64 {
     let va = a.as_slice();
+    let vb = b.as_slice();
+    let vo = out.as_mut_slice();
+    // The broadcast `match` is hoisted out of the element loop: each row is
+    // processed with its broadcast operand resolved once (Row broadcast zips
+    // against b's contiguous row 0, Col/Scalar against one splatted value).
     for i in 0..TILE_DIM {
-        for j in 0..TILE_DIM {
-            let bv = match dim {
-                BroadcastDim::Row => b.get(0, j),
-                BroadcastDim::Col => b.get(i, 0),
-                BroadcastDim::Scalar => b.get(0, 0),
-            };
-            out.as_mut_slice()[i * TILE_DIM + j] = binary_scalar(op, va[i * TILE_DIM + j], bv);
+        let a_row = &va[i * TILE_DIM..(i + 1) * TILE_DIM];
+        let o_row = &mut vo[i * TILE_DIM..(i + 1) * TILE_DIM];
+        match dim {
+            BroadcastDim::Row => {
+                let b_row = &vb[..TILE_DIM];
+                for (o, (x, y)) in o_row.iter_mut().zip(a_row.iter().zip(b_row)) {
+                    *o = binary_scalar(op, *x, *y);
+                }
+            }
+            BroadcastDim::Col | BroadcastDim::Scalar => {
+                let bv = if dim == BroadcastDim::Col { vb[i * TILE_DIM] } else { vb[0] };
+                for (o, x) in o_row.iter_mut().zip(a_row) {
+                    *o = binary_scalar(op, *x, bv);
+                }
+            }
         }
     }
     costs.issue_overhead + costs.fpu_eltwise
@@ -90,12 +126,15 @@ pub fn eltwise_binary_bcast(
 /// scaled by `scale` — mirrors `reduce_tile` with a scaler tile. Returns
 /// cycle cost.
 pub fn reduce_rows(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+    let va = a.as_slice();
     let o = out.as_mut_slice();
     o.fill(0.0);
-    for i in 0..TILE_DIM {
+    // Each row sum must stay strictly j-ascending (FP addition order is
+    // observable), so the inner loop is sequential over the contiguous row.
+    for (i, row) in va.chunks_exact(TILE_DIM).enumerate() {
         let mut sum = 0.0f32;
-        for j in 0..TILE_DIM {
-            sum += a.get(i, j);
+        for v in row {
+            sum += *v;
         }
         o[i * TILE_DIM] = sum * scale;
     }
@@ -105,14 +144,20 @@ pub fn reduce_rows(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -
 /// Reduce a tile along columns (summing each column into row 0). Returns
 /// cycle cost.
 pub fn reduce_cols(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+    let va = a.as_slice();
     let o = out.as_mut_slice();
     o.fill(0.0);
-    for (j, slot) in o.iter_mut().enumerate().take(TILE_DIM) {
-        let mut sum = 0.0f32;
-        for i in 0..TILE_DIM {
-            sum += a.get(i, j);
+    // Interchanged to i-outer / j-inner so the inner loop is a contiguous,
+    // vectorizable row accumulation; each column still receives its partial
+    // sums in ascending-i order, so results match the j-outer reference
+    // bitwise.
+    for row in va.chunks_exact(TILE_DIM) {
+        for (slot, v) in o[..TILE_DIM].iter_mut().zip(row) {
+            *slot += *v;
         }
-        *slot = sum * scale;
+    }
+    for slot in &mut o[..TILE_DIM] {
+        *slot *= scale;
     }
     costs.issue_overhead + costs.fpu_reduce
 }
@@ -120,9 +165,106 @@ pub fn reduce_cols(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -
 /// Full-tile sum (both dimensions), returned as a scalar in out(0,0).
 pub fn reduce_full(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
     let total: f32 = a.as_slice().iter().sum();
-    out.as_mut_slice().fill(0.0);
-    out.as_mut_slice()[0] = total * scale;
+    let o = out.as_mut_slice();
+    o.fill(0.0);
+    o[0] = total * scale;
     costs.issue_overhead + costs.fpu_reduce
+}
+
+/// Pre-vectorization scalar implementations, kept as the bitwise-identity
+/// oracle for property tests and as the "before" side of the tile-op
+/// benchmarks. Not part of the simulator's public API.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Original (i, j, k)-ordered form of [`super::matmul_tiles`].
+    pub fn matmul_tiles(
+        costs: &ComputeCosts,
+        a: &Tile,
+        b: &Tile,
+        acc: &mut Tile,
+        accumulate: bool,
+    ) -> u64 {
+        let (va, vb) = (a.as_slice(), b.as_slice());
+        let out = acc.as_mut_slice();
+        for i in 0..TILE_DIM {
+            for j in 0..TILE_DIM {
+                let mut sum = if accumulate { out[i * TILE_DIM + j] } else { 0.0 };
+                for k in 0..TILE_DIM {
+                    sum = va[i * TILE_DIM + k].mul_add(vb[k * TILE_DIM + j], sum);
+                }
+                out[i * TILE_DIM + j] = sum;
+            }
+        }
+        costs.issue_overhead + costs.fpu_matmul
+    }
+
+    /// Original per-element-`match` form of [`super::eltwise_binary`].
+    pub fn eltwise_binary(
+        costs: &ComputeCosts,
+        op: BinaryOp,
+        a: &Tile,
+        b: &Tile,
+        out: &mut Tile,
+    ) -> u64 {
+        let (va, vb) = (a.as_slice(), b.as_slice());
+        for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(va.iter().zip(vb.iter())) {
+            *o = binary_scalar(op, *x, *y);
+        }
+        costs.issue_overhead + costs.fpu_eltwise
+    }
+
+    /// Original per-element-`match` form of [`super::eltwise_binary_bcast`].
+    pub fn eltwise_binary_bcast(
+        costs: &ComputeCosts,
+        op: BinaryOp,
+        dim: BroadcastDim,
+        a: &Tile,
+        b: &Tile,
+        out: &mut Tile,
+    ) -> u64 {
+        let va = a.as_slice();
+        for i in 0..TILE_DIM {
+            for j in 0..TILE_DIM {
+                let bv = match dim {
+                    BroadcastDim::Row => b.get(0, j),
+                    BroadcastDim::Col => b.get(i, 0),
+                    BroadcastDim::Scalar => b.get(0, 0),
+                };
+                out.as_mut_slice()[i * TILE_DIM + j] = binary_scalar(op, va[i * TILE_DIM + j], bv);
+            }
+        }
+        costs.issue_overhead + costs.fpu_eltwise
+    }
+
+    /// Original strided form of [`super::reduce_rows`].
+    pub fn reduce_rows(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+        let o = out.as_mut_slice();
+        o.fill(0.0);
+        for i in 0..TILE_DIM {
+            let mut sum = 0.0f32;
+            for j in 0..TILE_DIM {
+                sum += a.get(i, j);
+            }
+            o[i * TILE_DIM] = sum * scale;
+        }
+        costs.issue_overhead + costs.fpu_reduce
+    }
+
+    /// Original j-outer (column-strided) form of [`super::reduce_cols`].
+    pub fn reduce_cols(costs: &ComputeCosts, a: &Tile, scale: f32, out: &mut Tile) -> u64 {
+        let o = out.as_mut_slice();
+        o.fill(0.0);
+        for (j, slot) in o.iter_mut().enumerate().take(TILE_DIM) {
+            let mut sum = 0.0f32;
+            for i in 0..TILE_DIM {
+                sum += a.get(i, j);
+            }
+            *slot = sum * scale;
+        }
+        costs.issue_overhead + costs.fpu_reduce
+    }
 }
 
 #[cfg(test)]

@@ -98,17 +98,47 @@ pub fn binary_scalar(op: BinaryOp, a: f32, b: f32) -> f32 {
     }
 }
 
+/// One specialized, autovectorizer-friendly pass over all lanes: the unary
+/// op is dispatched once per tile (monomorphized per closure) instead of a
+/// per-element `match`.
+#[inline]
+fn map_lanes(lanes: &mut [f32; TILE_ELEMS], f: impl Fn(f32) -> f32) {
+    for lane in lanes.iter_mut() {
+        *lane = f(*lane);
+    }
+}
+
+/// Like [`map_lanes`] but fusing the `* scale + bias` epilogue of
+/// [`apply_unary_scaled`] into the same pass.
+#[inline]
+fn map_lanes_scaled(lanes: &mut [f32; TILE_ELEMS], scale: f32, bias: f32, f: impl Fn(f32) -> f32) {
+    for lane in lanes.iter_mut() {
+        *lane = f(*lane) * scale + bias;
+    }
+}
+
 /// Apply a unary op in place to every lane of a dst tile. Returns the cycle
-/// cost.
+/// cost. Bitwise-identical to [`reference::apply_unary`].
 pub fn apply_unary(costs: &ComputeCosts, op: UnaryOp, tile: &mut Tile) -> u64 {
-    for lane in tile.as_mut_slice().iter_mut() {
-        *lane = unary_scalar(op, *lane);
+    let lanes = tile.as_mut_slice();
+    match op {
+        UnaryOp::Square => map_lanes(lanes, |x| x * x),
+        UnaryOp::Sqrt => map_lanes(lanes, f32::sqrt),
+        UnaryOp::Rsqrt => map_lanes(lanes, |x| 1.0 / x.sqrt()),
+        UnaryOp::RsqrtFast => map_lanes(lanes, rsqrt_fast),
+        UnaryOp::Recip => map_lanes(lanes, |x| 1.0 / x),
+        UnaryOp::Exp => map_lanes(lanes, f32::exp),
+        UnaryOp::Log => map_lanes(lanes, f32::ln),
+        UnaryOp::Abs => map_lanes(lanes, f32::abs),
+        UnaryOp::Neg => map_lanes(lanes, |x| -x),
+        UnaryOp::Identity => {}
     }
     costs.issue_overhead + unary_cost(costs, op)
 }
 
 /// Apply `tile[i] = op(tile[i]) * scale + bias` in one pass (used for
 /// softening and unit conversions without extra tile traffic).
+/// Bitwise-identical to [`reference::apply_unary_scaled`].
 pub fn apply_unary_scaled(
     costs: &ComputeCosts,
     op: UnaryOp,
@@ -116,37 +146,112 @@ pub fn apply_unary_scaled(
     scale: f32,
     bias: f32,
 ) -> u64 {
-    for lane in tile.as_mut_slice().iter_mut() {
-        *lane = unary_scalar(op, *lane) * scale + bias;
+    let lanes = tile.as_mut_slice();
+    match op {
+        UnaryOp::Square => map_lanes_scaled(lanes, scale, bias, |x| x * x),
+        UnaryOp::Sqrt => map_lanes_scaled(lanes, scale, bias, f32::sqrt),
+        UnaryOp::Rsqrt => map_lanes_scaled(lanes, scale, bias, |x| 1.0 / x.sqrt()),
+        UnaryOp::RsqrtFast => map_lanes_scaled(lanes, scale, bias, rsqrt_fast),
+        UnaryOp::Recip => map_lanes_scaled(lanes, scale, bias, |x| 1.0 / x),
+        UnaryOp::Exp => map_lanes_scaled(lanes, scale, bias, f32::exp),
+        UnaryOp::Log => map_lanes_scaled(lanes, scale, bias, f32::ln),
+        UnaryOp::Abs => map_lanes_scaled(lanes, scale, bias, f32::abs),
+        UnaryOp::Neg => map_lanes_scaled(lanes, scale, bias, |x| -x),
+        UnaryOp::Identity => map_lanes_scaled(lanes, scale, bias, |x| x),
     }
     costs.issue_overhead + unary_cost(costs, op) + costs.sfpu_mad
 }
 
 /// Apply a binary op lane-wise: `a[i] = op(a[i], b[i])`. Returns cycle cost.
+/// Bitwise-identical to [`reference::apply_binary`].
 pub fn apply_binary(costs: &ComputeCosts, op: BinaryOp, a: &mut Tile, b: &Tile) -> u64 {
-    let bs = b.as_slice();
-    for (x, y) in a.as_mut_slice().iter_mut().zip(bs.iter()) {
-        *x = binary_scalar(op, *x, *y);
+    let vb = b.as_slice();
+    let va = a.as_mut_slice();
+    macro_rules! lanes {
+        ($f:expr) => {
+            for (x, y) in va.iter_mut().zip(vb.iter()) {
+                *x = $f(*x, *y);
+            }
+        };
+    }
+    match op {
+        BinaryOp::Add => lanes!(|x: f32, y: f32| x + y),
+        BinaryOp::Sub => lanes!(|x: f32, y: f32| x - y),
+        BinaryOp::Mul => lanes!(|x: f32, y: f32| x * y),
+        BinaryOp::Min => lanes!(f32::min),
+        BinaryOp::Max => lanes!(f32::max),
     }
     costs.issue_overhead + costs.sfpu_simple
 }
 
 /// Fused multiply-add: `acc[i] += a[i] * b[i]`. Returns cycle cost.
+/// Bitwise-identical to [`reference::apply_mad`].
 pub fn apply_mad(costs: &ComputeCosts, a: &Tile, b: &Tile, acc: &mut Tile) -> u64 {
     let (va, vb) = (a.as_slice(), b.as_slice());
-    for i in 0..TILE_ELEMS {
-        let out = &mut acc.as_mut_slice()[i];
-        *out = va[i].mul_add(vb[i], *out);
+    // Hoist the COW borrow out of the lane loop: `as_mut_slice` re-checks
+    // Arc uniqueness on every call, which the old per-element indexing paid
+    // 1024 times per tile.
+    let vo = acc.as_mut_slice();
+    for (o, (x, y)) in vo.iter_mut().zip(va.iter().zip(vb.iter())) {
+        *o = x.mul_add(*y, *o);
     }
     costs.issue_overhead + costs.sfpu_mad
 }
 
 /// Fill every lane with a constant (`fill_tile` LLK).
 pub fn apply_fill(costs: &ComputeCosts, tile: &mut Tile, value: f32) -> u64 {
-    for lane in tile.as_mut_slice().iter_mut() {
-        *lane = value;
-    }
+    tile.as_mut_slice().fill(value);
     costs.issue_overhead + costs.sfpu_simple
+}
+
+/// Pre-vectorization scalar implementations, kept as the bitwise-identity
+/// oracle for property tests and as the "before" side of the tile-op
+/// benchmarks. Not part of the simulator's public API.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Original per-element-`match` form of [`super::apply_unary`].
+    pub fn apply_unary(costs: &ComputeCosts, op: UnaryOp, tile: &mut Tile) -> u64 {
+        for lane in tile.as_mut_slice().iter_mut() {
+            *lane = unary_scalar(op, *lane);
+        }
+        costs.issue_overhead + unary_cost(costs, op)
+    }
+
+    /// Original per-element-`match` form of [`super::apply_unary_scaled`].
+    pub fn apply_unary_scaled(
+        costs: &ComputeCosts,
+        op: UnaryOp,
+        tile: &mut Tile,
+        scale: f32,
+        bias: f32,
+    ) -> u64 {
+        for lane in tile.as_mut_slice().iter_mut() {
+            *lane = unary_scalar(op, *lane) * scale + bias;
+        }
+        costs.issue_overhead + unary_cost(costs, op) + costs.sfpu_mad
+    }
+
+    /// Original per-element-`match` form of [`super::apply_binary`].
+    pub fn apply_binary(costs: &ComputeCosts, op: BinaryOp, a: &mut Tile, b: &Tile) -> u64 {
+        let bs = b.as_slice();
+        for (x, y) in a.as_mut_slice().iter_mut().zip(bs.iter()) {
+            *x = binary_scalar(op, *x, *y);
+        }
+        costs.issue_overhead + costs.sfpu_simple
+    }
+
+    /// Original form of [`super::apply_mad`], including the per-element
+    /// `as_mut_slice` re-borrow it used to pay.
+    pub fn apply_mad(costs: &ComputeCosts, a: &Tile, b: &Tile, acc: &mut Tile) -> u64 {
+        let (va, vb) = (a.as_slice(), b.as_slice());
+        for i in 0..TILE_ELEMS {
+            let out = &mut acc.as_mut_slice()[i];
+            *out = va[i].mul_add(vb[i], *out);
+        }
+        costs.issue_overhead + costs.sfpu_mad
+    }
 }
 
 /// Cycle cost of a unary op per tile.

@@ -10,6 +10,8 @@
 //! format's quantization on construction/packing, so FP32 tiles are exact and
 //! BF16/FP16 tiles carry representative rounding error.
 
+use std::sync::Arc;
+
 use crate::dtype::DataFormat;
 
 /// Elements along one side of a tile.
@@ -26,24 +28,33 @@ pub const FACE_ELEMS: usize = FACE_DIM * FACE_DIM;
 /// Internally values are stored in *row-major* order (not tilized); the
 /// tilized byte layout is produced on demand by [`Tile::to_tilized`] and
 /// consumed by [`Tile::from_tilized`].
+///
+/// The element storage is a shared [`Arc`] with copy-on-write semantics:
+/// `Tile::clone` is a reference-count bump (so circular buffers, DRAM pages
+/// and dst/src registers hand tiles around zero-copy), and the backing array
+/// is only duplicated when a writer calls [`Tile::as_mut_slice`] (or
+/// [`Tile::set`]) on a tile whose storage is still shared. Because the copy
+/// happens *before* any element is written, readers holding older clones
+/// always observe exactly the bits they would have observed under deep
+/// copying — the sharing is invisible to simulated results.
 #[derive(Clone, Debug)]
 pub struct Tile {
     format: DataFormat,
-    data: Box<[f32; TILE_ELEMS]>,
+    data: Arc<[f32; TILE_ELEMS]>,
 }
 
 impl Tile {
     /// A tile of zeros.
     #[must_use]
     pub fn zeros(format: DataFormat) -> Self {
-        Tile { format, data: Box::new([0.0; TILE_ELEMS]) }
+        Tile { format, data: Arc::new([0.0; TILE_ELEMS]) }
     }
 
     /// A tile with every element equal to `v` (quantized to `format`).
     #[must_use]
     pub fn splat(format: DataFormat, v: f32) -> Self {
         let q = format.quantize(v);
-        Tile { format, data: Box::new([q; TILE_ELEMS]) }
+        Tile { format, data: Arc::new([q; TILE_ELEMS]) }
     }
 
     /// Build a tile from exactly [`TILE_ELEMS`] row-major values, quantizing
@@ -54,11 +65,10 @@ impl Tile {
     #[must_use]
     pub fn from_rowmajor(format: DataFormat, values: &[f32]) -> Self {
         assert_eq!(values.len(), TILE_ELEMS, "a tile holds exactly 1024 elements");
-        let mut data = Box::new([0.0; TILE_ELEMS]);
-        for (d, v) in data.iter_mut().zip(values) {
-            *d = format.quantize(*v);
-        }
-        Tile { format, data }
+        let mut data = [0.0; TILE_ELEMS];
+        data.copy_from_slice(values);
+        format.quantize_slice(&mut data);
+        Tile { format, data: Arc::new(data) }
     }
 
     /// Storage format of this tile.
@@ -75,8 +85,20 @@ impl Tile {
 
     /// Mutable row-major element view. Callers are responsible for writing
     /// format-representable values (compute units quantize on pack).
+    ///
+    /// Copy-on-write point: if the backing storage is shared with other
+    /// clones it is duplicated here. Hot loops should hoist this call out of
+    /// per-element iteration — each call re-checks Arc uniqueness.
     pub fn as_mut_slice(&mut self) -> &mut [f32; TILE_ELEMS] {
-        &mut self.data
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// Force a deep copy of the backing storage — the pre-zero-copy `clone`
+    /// behavior, kept so benchmarks can measure the cost the Arc/COW design
+    /// removes.
+    #[must_use]
+    pub fn deep_clone(&self) -> Tile {
+        Tile { format: self.format, data: Arc::new(*self.data) }
     }
 
     /// Element at matrix position (`row`, `col`).
@@ -88,17 +110,19 @@ impl Tile {
     /// Set element at matrix position (`row`, `col`), quantizing to the
     /// storage format.
     pub fn set(&mut self, row: usize, col: usize, v: f32) {
-        self.data[row * TILE_DIM + col] = self.format.quantize(v);
+        self.as_mut_slice()[row * TILE_DIM + col] = self.format.quantize(v);
     }
 
     /// Re-quantize every element to `format` and change the storage format.
     #[must_use]
     pub fn convert(&self, format: DataFormat) -> Tile {
-        let mut out = Tile::zeros(format);
-        for (o, v) in out.data.iter_mut().zip(self.data.iter()) {
-            *o = format.quantize(*v);
+        if self.format == DataFormat::Float32 && format == DataFormat::Float32 {
+            // FP32 quantization is the identity, so conversion is a share.
+            return self.clone();
         }
-        out
+        let mut data = *self.data;
+        format.quantize_slice(&mut data);
+        Tile { format, data: Arc::new(data) }
     }
 
     /// Produce the tilized (face-ordered) value sequence: face 0 (rows 0–15,
@@ -106,14 +130,15 @@ impl Tile {
     /// row-major.
     #[must_use]
     pub fn to_tilized(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(TILE_ELEMS);
+        let mut out = vec![0.0f32; TILE_ELEMS];
         for face in 0..4 {
             let row0 = (face / 2) * FACE_DIM;
             let col0 = (face % 2) * FACE_DIM;
             for r in 0..FACE_DIM {
-                for c in 0..FACE_DIM {
-                    out.push(self.get(row0 + r, col0 + c));
-                }
+                // One face row is 16 contiguous row-major elements.
+                let src = (row0 + r) * TILE_DIM + col0;
+                let dst = face * FACE_ELEMS + r * FACE_DIM;
+                out[dst..dst + FACE_DIM].copy_from_slice(&self.data[src..src + FACE_DIM]);
             }
         }
         out
@@ -126,18 +151,18 @@ impl Tile {
     #[must_use]
     pub fn from_tilized(format: DataFormat, values: &[f32]) -> Self {
         assert_eq!(values.len(), TILE_ELEMS, "a tile holds exactly 1024 elements");
-        let mut tile = Tile::zeros(format);
-        let mut it = values.iter();
+        let mut data = [0.0f32; TILE_ELEMS];
         for face in 0..4 {
             let row0 = (face / 2) * FACE_DIM;
             let col0 = (face % 2) * FACE_DIM;
             for r in 0..FACE_DIM {
-                for c in 0..FACE_DIM {
-                    tile.set(row0 + r, col0 + c, *it.next().expect("length checked"));
-                }
+                let dst = (row0 + r) * TILE_DIM + col0;
+                let src = face * FACE_ELEMS + r * FACE_DIM;
+                data[dst..dst + FACE_DIM].copy_from_slice(&values[src..src + FACE_DIM]);
             }
         }
-        tile
+        format.quantize_slice(&mut data);
+        Tile { format, data: Arc::new(data) }
     }
 
     /// Packed size of this tile in bytes.
@@ -165,16 +190,14 @@ pub fn tilize(format: DataFormat, values: &[f32], rows: usize, cols: usize) -> V
     let tile_rows = rows / TILE_DIM;
     let tile_cols = cols / TILE_DIM;
     let mut tiles = Vec::with_capacity(tile_rows * tile_cols);
+    let mut buf = [0.0f32; TILE_ELEMS];
     for tr in 0..tile_rows {
         for tc in 0..tile_cols {
-            let mut tile = Tile::zeros(format);
             for r in 0..TILE_DIM {
                 let src = (tr * TILE_DIM + r) * cols + tc * TILE_DIM;
-                for c in 0..TILE_DIM {
-                    tile.set(r, c, values[src + c]);
-                }
+                buf[r * TILE_DIM..(r + 1) * TILE_DIM].copy_from_slice(&values[src..src + TILE_DIM]);
             }
-            tiles.push(tile);
+            tiles.push(Tile::from_rowmajor(format, &buf));
         }
     }
     tiles
@@ -193,11 +216,10 @@ pub fn untilize(tiles: &[Tile], rows: usize, cols: usize) -> Vec<f32> {
     for (i, tile) in tiles.iter().enumerate() {
         let tr = i / tile_cols;
         let tc = i % tile_cols;
+        let data = tile.as_slice();
         for r in 0..TILE_DIM {
             let dst = (tr * TILE_DIM + r) * cols + tc * TILE_DIM;
-            for c in 0..TILE_DIM {
-                out[dst + c] = tile.get(r, c);
-            }
+            out[dst..dst + TILE_DIM].copy_from_slice(&data[r * TILE_DIM..(r + 1) * TILE_DIM]);
         }
     }
     out
@@ -321,6 +343,27 @@ mod tests {
         assert_eq!(tiles[1].as_slice()[1500 - 1024 - 1], vals[1500 - 1]);
         assert_eq!(tiles[1].as_slice()[1500 - 1024], 0.0, "tail is padded");
         assert_eq!(unpack_vector(&tiles, 1500), vals);
+    }
+
+    #[test]
+    fn clone_is_shared_until_mutated() {
+        let a = Tile::splat(DataFormat::Float32, 2.0);
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.data, &b.data), "clone must share storage");
+        b.set(3, 4, 9.0);
+        assert!(!Arc::ptr_eq(&a.data, &b.data), "mutation must un-share");
+        assert_eq!(a.get(3, 4), 2.0, "older clone keeps its bits");
+        assert_eq!(b.get(3, 4), 9.0);
+        let c = a.deep_clone();
+        assert!(!Arc::ptr_eq(&a.data, &c.data), "deep_clone never shares");
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn convert_fp32_to_fp32_shares() {
+        let a = Tile::splat(DataFormat::Float32, 1.5);
+        let b = a.convert(DataFormat::Float32);
+        assert!(Arc::ptr_eq(&a.data, &b.data));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Bitwise-identity properties of the vectorized tile math.
+//!
+//! The chunked, autovectorizer-friendly FPU/SFPU loops and the slice
+//! quantizers are *optimizations only*: for every op and every data format
+//! they must produce exactly the bits of the per-element reference forms
+//! (kept alive in `fpu::reference` / `sfpu::reference` as oracles). These
+//! properties are what lets the zero-copy pipeline claim bitwise-identical
+//! forces and cycle accounting.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tensix::cost::ComputeCosts;
+use tensix::dtype::{bfp8_quantize_scalar, DataFormat};
+use tensix::fpu::{self, BroadcastDim};
+use tensix::sfpu::{self, BinaryOp, UnaryOp};
+use tensix::tile::{Tile, TILE_ELEMS};
+
+const FORMATS: [DataFormat; 3] = [DataFormat::Float32, DataFormat::Float16b, DataFormat::Float16];
+
+const UNARY_OPS: [UnaryOp; 10] = [
+    UnaryOp::Square,
+    UnaryOp::Sqrt,
+    UnaryOp::Rsqrt,
+    UnaryOp::RsqrtFast,
+    UnaryOp::Recip,
+    UnaryOp::Exp,
+    UnaryOp::Log,
+    UnaryOp::Abs,
+    UnaryOp::Neg,
+    UnaryOp::Identity,
+];
+
+const BINARY_OPS: [BinaryOp; 5] =
+    [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Min, BinaryOp::Max];
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1.0e20f32..1.0e20f32,
+        -1.0f32..1.0f32,
+        1.0e-30f32..1.0e-20f32,
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+/// Bit patterns, so NaN payloads and signed zeros must match too.
+fn bits(t: &Tile) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `quantize_slice` is the per-element `quantize`, for every format.
+    #[test]
+    fn quantize_slice_matches_per_element(vals in vec(finite_f32(), TILE_ELEMS)) {
+        for format in
+            [DataFormat::Float32, DataFormat::Float16b, DataFormat::Float16, DataFormat::Bfp8b]
+        {
+            let mut batched = vals.clone();
+            format.quantize_slice(&mut batched);
+            for (i, (&b, &x)) in batched.iter().zip(&vals).enumerate() {
+                prop_assert_eq!(
+                    b.to_bits(),
+                    format.quantize(x).to_bits(),
+                    "{:?} lane {} of {}", format, i, x
+                );
+            }
+        }
+    }
+
+    /// The closed-form Bfp8b scalar quantizer agrees bitwise with the
+    /// shared-exponent block quantizer on single-element blocks (where the
+    /// element is its own exponent block).
+    #[test]
+    fn bfp8_scalar_matches_block_oracle(x in finite_f32()) {
+        let block = tensix::dtype::bfp8_quantize_block(&[x]);
+        prop_assert_eq!(bfp8_quantize_scalar(x).to_bits(), block[0].to_bits());
+    }
+
+    /// Every SFPU unary op, vectorized vs reference, all formats.
+    #[test]
+    fn sfpu_unary_bitwise_identity(vals in vec(finite_f32(), TILE_ELEMS)) {
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let base = Tile::from_rowmajor(format, &vals);
+            for op in UNARY_OPS {
+                let mut fast = base.deep_clone();
+                let mut slow = base.deep_clone();
+                let cf = sfpu::apply_unary(&costs, op, &mut fast);
+                let cs = sfpu::reference::apply_unary(&costs, op, &mut slow);
+                prop_assert_eq!(cf, cs, "{:?}/{:?} cycle cost", format, op);
+                prop_assert_eq!(bits(&fast), bits(&slow), "{:?}/{:?}", format, op);
+            }
+        }
+    }
+
+    /// Scaled unary (scale·x + bias pre-transform), vectorized vs reference.
+    #[test]
+    fn sfpu_unary_scaled_bitwise_identity(
+        vals in vec(finite_f32(), TILE_ELEMS),
+        scale in -4.0f32..4.0,
+        bias in -4.0f32..4.0,
+    ) {
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let base = Tile::from_rowmajor(format, &vals);
+            for op in UNARY_OPS {
+                let mut fast = base.deep_clone();
+                let mut slow = base.deep_clone();
+                sfpu::apply_unary_scaled(&costs, op, &mut fast, scale, bias);
+                sfpu::reference::apply_unary_scaled(&costs, op, &mut slow, scale, bias);
+                prop_assert_eq!(bits(&fast), bits(&slow), "{:?}/{:?}", format, op);
+            }
+        }
+    }
+
+    /// Every SFPU binary op, vectorized vs reference, all formats.
+    #[test]
+    fn sfpu_binary_bitwise_identity(
+        a in vec(finite_f32(), TILE_ELEMS),
+        b in vec(finite_f32(), TILE_ELEMS),
+    ) {
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let ta = Tile::from_rowmajor(format, &a);
+            let tb = Tile::from_rowmajor(format, &b);
+            for op in BINARY_OPS {
+                let mut fast = ta.deep_clone();
+                let mut slow = ta.deep_clone();
+                sfpu::apply_binary(&costs, op, &mut fast, &tb);
+                sfpu::reference::apply_binary(&costs, op, &mut slow, &tb);
+                prop_assert_eq!(bits(&fast), bits(&slow), "{:?}/{:?}", format, op);
+            }
+        }
+    }
+
+    /// SFPU multiply-add accumulation, vectorized vs reference.
+    #[test]
+    fn sfpu_mad_bitwise_identity(
+        a in vec(finite_f32(), TILE_ELEMS),
+        x in vec(finite_f32(), TILE_ELEMS),
+        acc0 in vec(finite_f32(), TILE_ELEMS),
+    ) {
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let ta = Tile::from_rowmajor(format, &a);
+            let tx = Tile::from_rowmajor(format, &x);
+            let base = Tile::from_rowmajor(format, &acc0);
+            let mut fast = base.deep_clone();
+            let mut slow = base.deep_clone();
+            sfpu::apply_mad(&costs, &ta, &tx, &mut fast);
+            sfpu::reference::apply_mad(&costs, &ta, &tx, &mut slow);
+            prop_assert_eq!(bits(&fast), bits(&slow), "{:?}", format);
+        }
+    }
+
+    /// FPU dense matmul with the (i,k,j) interchange vs the textbook
+    /// (i,j,k) nest — per-element FMA order is preserved, so bits match.
+    #[test]
+    fn fpu_matmul_bitwise_identity(
+        a in vec(finite_f32(), TILE_ELEMS),
+        b in vec(finite_f32(), TILE_ELEMS),
+        acc0 in vec(finite_f32(), TILE_ELEMS),
+        acc_flag in 0u32..2,
+    ) {
+        let accumulate = acc_flag == 1;
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let ta = Tile::from_rowmajor(format, &a);
+            let tb = Tile::from_rowmajor(format, &b);
+            let base = Tile::from_rowmajor(format, &acc0);
+            let mut fast = base.deep_clone();
+            let mut slow = base.deep_clone();
+            fpu::matmul_tiles(&costs, &ta, &tb, &mut fast, accumulate);
+            fpu::reference::matmul_tiles(&costs, &ta, &tb, &mut slow, accumulate);
+            prop_assert_eq!(bits(&fast), bits(&slow), "{:?} acc={}", format, accumulate);
+        }
+    }
+
+    /// FPU element-wise binary (plain and every broadcast dim).
+    #[test]
+    fn fpu_eltwise_bitwise_identity(
+        a in vec(finite_f32(), TILE_ELEMS),
+        b in vec(finite_f32(), TILE_ELEMS),
+    ) {
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let ta = Tile::from_rowmajor(format, &a);
+            let tb = Tile::from_rowmajor(format, &b);
+            for op in BINARY_OPS {
+                let mut fast = Tile::zeros(format);
+                let mut slow = Tile::zeros(format);
+                fpu::eltwise_binary(&costs, op, &ta, &tb, &mut fast);
+                fpu::reference::eltwise_binary(&costs, op, &ta, &tb, &mut slow);
+                prop_assert_eq!(bits(&fast), bits(&slow), "{:?}/{:?}", format, op);
+                for dim in [BroadcastDim::Row, BroadcastDim::Col, BroadcastDim::Scalar] {
+                    let mut fast = Tile::zeros(format);
+                    let mut slow = Tile::zeros(format);
+                    fpu::eltwise_binary_bcast(&costs, op, dim, &ta, &tb, &mut fast);
+                    fpu::reference::eltwise_binary_bcast(&costs, op, dim, &ta, &tb, &mut slow);
+                    prop_assert_eq!(
+                        bits(&fast), bits(&slow), "{:?}/{:?}/{:?}", format, op, dim
+                    );
+                }
+            }
+        }
+    }
+
+    /// FPU reductions keep their sequential accumulation order.
+    #[test]
+    fn fpu_reduce_bitwise_identity(
+        a in vec(finite_f32(), TILE_ELEMS),
+        scale in -4.0f32..4.0,
+    ) {
+        let costs = ComputeCosts::default();
+        for format in FORMATS {
+            let ta = Tile::from_rowmajor(format, &a);
+            let mut fast = Tile::zeros(format);
+            let mut slow = Tile::zeros(format);
+            fpu::reduce_rows(&costs, &ta, scale, &mut fast);
+            fpu::reference::reduce_rows(&costs, &ta, scale, &mut slow);
+            prop_assert_eq!(bits(&fast), bits(&slow), "reduce_rows {:?}", format);
+            let mut fast = Tile::zeros(format);
+            let mut slow = Tile::zeros(format);
+            fpu::reduce_cols(&costs, &ta, scale, &mut fast);
+            fpu::reference::reduce_cols(&costs, &ta, scale, &mut slow);
+            prop_assert_eq!(bits(&fast), bits(&slow), "reduce_cols {:?}", format);
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod context;
 pub mod error;
 pub mod host;
 pub mod kernel;
+pub(crate) mod pool;
 pub mod program;
 pub mod queue;
 pub mod semaphore;

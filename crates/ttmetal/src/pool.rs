@@ -1,0 +1,154 @@
+//! Persistent worker pool for kernel-instance execution.
+//!
+//! [`crate::queue::CommandQueue::enqueue_program_checked`] used to spawn one
+//! OS thread per kernel instance per launch; an N-body step at paper scale
+//! launches thousands of programs, so thread creation dominated host
+//! wall-clock. The pool keeps kernel threads alive across launches and hands
+//! them jobs instead.
+//!
+//! Sizing invariant: kernel instances of one launch genuinely block on each
+//! other (circular-buffer back-pressure condvars), so every job of a batch
+//! must be able to run *concurrently* — an undersized pool would deadlock a
+//! launch that fits on real hardware. [`WorkerPool::submit_batch`] therefore
+//! grows the pool to the high-water mark of in-flight jobs before enqueueing
+//! and never shrinks it.
+//!
+//! The pool is deliberately oblivious to kernel semantics: jobs are plain
+//! closures that report their results over a channel owned by the launch.
+//! Panics inside a job are caught by the job itself (the launch supervisor
+//! needs them for abort classification); the pool's own `catch_unwind` is
+//! only a backstop that keeps a worker alive no matter what.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use std::thread;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A unit of work: one kernel instance of one launch.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Worker threads ever spawned (workers never exit).
+    workers: usize,
+    /// Jobs submitted but not yet finished (queued or running).
+    inflight: usize,
+}
+
+/// Process-wide persistent worker pool; see module docs.
+pub(crate) struct WorkerPool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+impl WorkerPool {
+    /// The process-wide pool, created on first use.
+    pub(crate) fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0, inflight: 0 }),
+            available: Condvar::new(),
+        })
+    }
+
+    /// Submit a batch of jobs that may block on one another. The pool is
+    /// grown so that all in-flight jobs (this batch plus any concurrent
+    /// launches) can run at the same time before any job is queued.
+    pub(crate) fn submit_batch(&'static self, jobs: Vec<Job>) {
+        let mut st = self.state.lock();
+        st.inflight += jobs.len();
+        while st.workers < st.inflight {
+            st.workers += 1;
+            let id = st.workers;
+            thread::Builder::new()
+                .name(format!("tensix-worker-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn tensix worker thread");
+        }
+        st.queue.extend(jobs);
+        drop(st);
+        self.available.notify_all();
+    }
+
+    /// Number of worker threads currently alive (the high-water mark of
+    /// concurrent jobs). Exposed for tests.
+    #[cfg(test)]
+    pub(crate) fn workers(&self) -> usize {
+        self.state.lock().workers
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    self.available.wait(&mut st);
+                }
+            };
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            self.state.lock().inflight -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    #[test]
+    fn batch_runs_all_jobs_and_reuses_workers() {
+        let pool = WorkerPool::global();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let (tx, rx) = mpsc::channel();
+            let jobs: Vec<Job> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    let ran = Arc::clone(&ran);
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        tx.send(i).unwrap();
+                    }) as Job
+                })
+                .collect();
+            pool.submit_batch(jobs);
+            let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+        assert!(ran.load(Ordering::SeqCst) >= 12);
+    }
+
+    #[test]
+    fn interdependent_jobs_do_not_starve() {
+        // Job 0 blocks until job 1 runs: only a pool that runs the whole
+        // batch concurrently can finish (the CB back-pressure pattern).
+        let pool = WorkerPool::global();
+        let (tx0, rx0) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        let done_tx2 = done_tx.clone();
+        let jobs: Vec<Job> = vec![
+            Box::new(move || {
+                let v: i32 = rx0.recv().unwrap();
+                done_tx.send(v).unwrap();
+            }),
+            Box::new(move || {
+                tx0.send(7).unwrap();
+                done_tx2.send(0).unwrap();
+            }),
+        ];
+        pool.submit_batch(jobs);
+        let mut got = vec![done_rx.recv().unwrap(), done_rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 7]);
+        assert!(pool.workers() >= 2);
+    }
+}

@@ -17,7 +17,6 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -223,9 +222,9 @@ impl CommandQueue {
             });
         }
         let r = buffer.reference();
-        for (page, tile) in tiles.iter().enumerate() {
-            self.device.dram().write_tile(r.id, page, tile)?;
-        }
+        // One lock acquisition for the whole transfer; per-page stats are
+        // accounted inside exactly as per-page writes would.
+        self.device.dram().write_tiles(r.id, tiles)?;
         self.io_seconds += (tiles.len() * r.format.tile_bytes()) as f64 / PCIE_BYTES_PER_S;
         Ok(())
     }
@@ -237,10 +236,7 @@ impl CommandQueue {
     pub fn enqueue_read_buffer(&mut self, buffer: &Buffer) -> Result<Vec<Tile>> {
         self.device.ensure_alive()?;
         let r = buffer.reference();
-        let mut out = Vec::with_capacity(r.num_tiles);
-        for page in 0..r.num_tiles {
-            out.push(self.device.dram().read_tile(r.id, page)?);
-        }
+        let out = self.device.dram().read_tiles(r.id, r.num_tiles)?;
         self.io_seconds += (r.num_tiles * r.format.tile_bytes()) as f64 / PCIE_BYTES_PER_S;
         Ok(out)
     }
@@ -338,12 +334,27 @@ impl CommandQueue {
             core_sems.iter().find(|(c, _)| *c == core).map(|(_, m)| m.clone()).unwrap_or_default()
         };
 
-        // Launch one thread per kernel instance. Stall injection is rolled
+        // Launch one kernel instance per pool job. Stall injection is rolled
         // here, on the host thread, so the affected instance is a
-        // deterministic function of the seed and launch order.
+        // deterministic function of the seed and launch order. Jobs run on
+        // the persistent worker pool (reused across launches) and report
+        // back tagged with their launch-order index; results are collected
+        // back into submission order below, so timing/abort aggregation is
+        // byte-for-byte what the old join-in-order loop produced.
         let cancel = CancelToken::new();
         type KernelOutcome = (KernelTiming, Option<KernelAbort>);
-        let mut handles: Vec<thread::JoinHandle<KernelOutcome>> = Vec::new();
+        // `None` payload = the instance body panicked outside its own
+        // catch_unwind (the old `JoinHandle::join` Err arm).
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Option<KernelOutcome>)>();
+        let mut jobs: Vec<crate::pool::Job> = Vec::new();
+        let mut submit = |body: Box<dyn FnOnce() -> KernelOutcome + Send + 'static>| {
+            let idx = jobs.len();
+            let tx = tx.clone();
+            jobs.push(Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(body)).ok();
+                let _ = tx.send((idx, outcome));
+            }));
+        };
         for entry in &program.kernels {
             let role = match &entry.body {
                 KernelBody::DataMovement { noc: tensix::NocId::Noc0, .. } => RiscRole::Brisc,
@@ -377,7 +388,7 @@ impl CommandQueue {
                     // cancels it early, or its own watchdog expires and it
                     // initiates teardown itself.
                     let mut tracer = tracer;
-                    let handle = thread::spawn(move || {
+                    submit(Box::new(move || {
                         if let Some(tr) = tracer.as_mut() {
                             tr.instant("injected_stall", 0, &[]);
                         }
@@ -391,15 +402,14 @@ impl CommandQueue {
                             message: "kernel made no progress (injected stall)".to_string(),
                         };
                         (KernelTiming { label, core_index, cycles: 0 }, Some(abort))
-                    });
-                    handles.push(handle);
+                    }));
                     continue;
                 }
-                let handle = match &entry.body {
+                match &entry.body {
                     KernelBody::DataMovement { noc, kernel } => {
                         let noc = *noc;
                         let kernel = Arc::clone(kernel);
-                        thread::spawn(move || {
+                        submit(Box::new(move || {
                             let mut ctx =
                                 DataMovementCtx::new(device, core, noc, cbs, sems, args, tracer);
                             ctx.trace_kernel_begin(&label);
@@ -410,12 +420,12 @@ impl CommandQueue {
                                 classify_abort(&label, core, e)
                             });
                             (KernelTiming { label, core_index, cycles: ctx.take_cycles() }, abort)
-                        })
+                        }));
                     }
                     KernelBody::Compute { format, kernel } => {
                         let format = *format;
                         let kernel = Arc::clone(kernel);
-                        thread::spawn(move || {
+                        submit(Box::new(move || {
                             let mut ctx =
                                 ComputeCtx::new(device, core, format, cbs, sems, args, tracer);
                             ctx.trace_kernel_begin(&label);
@@ -426,24 +436,38 @@ impl CommandQueue {
                                 classify_abort(&label, core, e)
                             });
                             (KernelTiming { label, core_index, cycles: ctx.take_cycles() }, abort)
-                        })
+                        }));
                     }
-                };
-                handles.push(handle);
+                }
+            }
+        }
+        drop(tx);
+
+        let instance_count = jobs.len();
+        crate::pool::WorkerPool::global().submit_batch(jobs);
+        let mut slots: Vec<Option<Option<KernelOutcome>>> = Vec::new();
+        slots.resize_with(instance_count, || None);
+        for _ in 0..instance_count {
+            // Every job sends exactly once (the pool keeps workers alive
+            // through panics), so recv cannot hang short of worker death —
+            // treat a hung-up channel like a crashed instance.
+            match rx.recv() {
+                Ok((idx, outcome)) => slots[idx] = Some(outcome),
+                Err(_) => break,
             }
         }
 
-        let mut timings = Vec::with_capacity(handles.len());
+        let mut timings = Vec::with_capacity(instance_count);
         let mut aborts: Vec<KernelAbort> = Vec::new();
-        for handle in handles {
-            match handle.join() {
-                Ok((timing, abort)) => {
+        for slot in slots {
+            match slot.flatten() {
+                Some((timing, abort)) => {
                     timings.push(timing);
                     if let Some(a) = abort {
                         aborts.push(a);
                     }
                 }
-                Err(_) => aborts.push(KernelAbort {
+                None => aborts.push(KernelAbort {
                     kind: AbortKind::Panic,
                     kernel: "<supervisor>".to_string(),
                     core: CoreCoord::new(0, 0),

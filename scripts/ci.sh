@@ -2,9 +2,23 @@
 # Full local CI: release build, tests, lints, formatting.
 # The build environment is offline — all external deps are vendored under
 # vendor/ — so every cargo invocation passes --offline.
+#
+# `ci.sh --bench` additionally runs the wall-clock bench gate: quick-mode
+# smoke runs of the criterion harnesses for the hot-path benches, then the
+# hand-rolled bench_gate binary, which rewrites BENCH_pipeline.json at the
+# repo root and exits non-zero if any bench regressed >15% against the
+# committed baseline (tolerance override: TT_BENCH_TOLERANCE=0.25).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "ci.sh: unknown argument '$arg' (supported: --bench)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
@@ -37,5 +51,14 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+if [ "$RUN_BENCH" = 1 ]; then
+  echo "==> hot-path bench smoke (criterion --test mode)"
+  cargo bench -q --offline -p tt-bench --bench cb_throughput -- --test
+  cargo bench -q --offline -p tt-bench --bench tile_ops -- --test
+
+  echo "==> bench regression gate"
+  cargo run --release --offline -p tt-bench --bin bench_gate -- --gate
+fi
 
 echo "CI OK"
