@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use nbody::ic::{plummer, PlummerConfig};
 use nbody_tt::pipeline::DeviceForcePipeline;
+use nbody_tt::MultiDevicePipeline;
 use tensix::cb::{CircularBuffer, CircularBufferConfig};
 use tensix::cost::ComputeCosts;
 use tensix::tile::Tile;
@@ -32,6 +33,9 @@ use tensix::{fpu, sfpu, DataFormat, Device, DeviceConfig};
 
 /// Particle count for the end-to-end pipeline bench.
 const PIPELINE_N: usize = 8192;
+/// Particle count for the multi-device ring bench (smaller: the ring path
+/// runs every card's pipeline on the host, so the same N costs ~2x).
+const RING_N: usize = 4096;
 /// Tiles streamed through the CB per repetition.
 const CB_TILES: usize = 16384;
 /// Tile-op mix repetitions per timed pass.
@@ -63,6 +67,21 @@ fn bench_time_to_solution() -> f64 {
     min_secs(REPS, || {
         let f = pipeline.evaluate(&sys).unwrap();
         assert_eq!(f.acc.len(), PIPELINE_N);
+    })
+}
+
+/// The same end-to-end evaluation through a two-card ring (2 cores per
+/// card): the ForceEvaluator ring path — per-card host pipelines, slice
+/// scatter/gather and the modeled all-gather — the resilient multi-device
+/// driver sits on.
+fn bench_multi_device_time_to_solution() -> f64 {
+    let sys = plummer(PlummerConfig { n: RING_N, seed: 0x5c25, ..PlummerConfig::default() });
+    let devices =
+        vec![Device::new(0, DeviceConfig::default()), Device::new(1, DeviceConfig::default())];
+    let ring = MultiDevicePipeline::new(&devices, RING_N, 0.01, 2).unwrap();
+    min_secs(REPS, || {
+        let f = ring.evaluate(&sys).unwrap();
+        assert_eq!(f.acc.len(), RING_N);
     })
 }
 
@@ -161,6 +180,9 @@ fn main() {
     eprintln!("bench_gate: time_to_solution (n = {PIPELINE_N}, 2 cores)...");
     let tts = bench_time_to_solution();
     eprintln!("bench_gate:   {tts:.4} s");
+    eprintln!("bench_gate: multi_device_time_to_solution (n = {RING_N}, 2 cards x 2 cores)...");
+    let ring = bench_multi_device_time_to_solution();
+    eprintln!("bench_gate:   {ring:.4} s");
     eprintln!("bench_gate: cb_throughput ({CB_TILES} tiles, depth 8)...");
     let cbt = bench_cb_throughput();
     eprintln!("bench_gate:   {cbt:.4} s");
@@ -168,12 +190,19 @@ fn main() {
     let ops = bench_tile_ops();
     eprintln!("bench_gate:   {ops:.4} s");
 
-    let results = [("time_to_solution", tts), ("cb_throughput", cbt), ("tile_ops", ops)];
+    let results = [
+        ("time_to_solution", tts),
+        ("multi_device_time_to_solution", ring),
+        ("cb_throughput", cbt),
+        ("tile_ops", ops),
+    ];
 
     // Seed-commit wall clocks measured with this same binary on the scalar /
     // deep-copy implementation (commit 6b8f827, before the zero-copy PR), on
     // the machine that minted the committed baseline. Kept in the JSON so the
     // delivered speedup is machine-readable next to the current numbers.
+    // Benches added later (the ring bench) have no seed number and are
+    // skipped in `speedup_vs_seed`.
     let seed = seed_baseline::WALL_S;
 
     let mut json = String::new();
@@ -189,12 +218,18 @@ fn main() {
     json.push_str("  },\n");
     json.push_str(&format!(
         "  \"seed_baseline\": {{ \"commit\": \"{}\", \"time_to_solution_wall_s\": {:.6}, \"cb_throughput_wall_s\": {:.6}, \"tile_ops_wall_s\": {:.6} }},\n",
-        seed_baseline::COMMIT, seed[0], seed[1], seed[2]
+        seed_baseline::COMMIT, seed[0].1, seed[1].1, seed[2].1
     ));
     json.push_str("  \"speedup_vs_seed\": {\n");
-    for (i, ((name, wall), seed_wall)) in results.iter().zip(seed.iter()).enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {:.2}{comma}\n", seed_wall / wall));
+    let with_seed: Vec<_> = results
+        .iter()
+        .filter_map(|(name, wall)| {
+            seed.iter().find(|(s, _)| s == name).map(|(_, sw)| (*name, sw / wall))
+        })
+        .collect();
+    for (i, (name, speedup)) in with_seed.iter().enumerate() {
+        let comma = if i + 1 < with_seed.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {speedup:.2}{comma}\n"));
     }
     json.push_str("  }\n}\n");
 
@@ -236,6 +271,8 @@ fn main() {
 /// Measured once at the pre-optimization seed commit; see module docs.
 mod seed_baseline {
     pub const COMMIT: &str = "6b8f827";
-    /// `[time_to_solution, cb_throughput, tile_ops]` wall seconds.
-    pub const WALL_S: [f64; 3] = [4.629751, 0.014566, 0.949089];
+    /// Seed wall seconds by bench name (benches without a seed-commit
+    /// measurement are absent).
+    pub const WALL_S: [(&str, f64); 3] =
+        [("time_to_solution", 4.629751), ("cb_throughput", 0.014566), ("tile_ops", 0.949089)];
 }

@@ -1,0 +1,654 @@
+//! Backend-agnostic force evaluation — the seam between the Hermite driver
+//! and whatever computes forces.
+//!
+//! [`ForceEvaluator`] abstracts the three execution paths (single-card
+//! [`DeviceForcePipeline`], the multi-card ring
+//! [`crate::multi_device::MultiDevicePipeline`], and the CPU reference via
+//! [`CpuForceEvaluator`]) behind one trait the simulation drivers are
+//! generic over, so checkpoint/restart, watchdogs and FP64 accumulation
+//! work unchanged on any backend.
+//!
+//! This module also owns the *single* retry/salvage/partial-redo driver
+//! ([`retry_eval`]): the loop that used to live in `pipeline.rs` (and was
+//! copy-adapted by the ring) now runs over the pipeline's launch primitives
+//! from exactly one place, for both the single-card and the per-ring-member
+//! paths.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nbody::force::ForceKernel;
+use nbody::particle::{Forces, ParticleSystem};
+use tensix::{Device, Result, TensixError};
+use tt_telemetry::RetryCost;
+use ttmetal::{LaunchError, Program, ProgramReport};
+
+use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
+
+/// A backend that can evaluate gravitational forces and jerks for a fixed
+/// particle count, with structured errors, retries, and virtual-time
+/// accounting.
+///
+/// Methods take `&self`: implementations use interior mutability so one
+/// evaluator can sit behind an `Arc` shared by the integrator (through
+/// [`EvaluatorKernel`]) and the recovery logic of the resilient runner.
+pub trait ForceEvaluator: Send + Sync {
+    /// Name of the backend (reported as the outcome's kernel name).
+    fn backend(&self) -> &'static str;
+
+    /// Particle count the evaluator was built for.
+    fn n(&self) -> usize;
+
+    /// Plummer softening length.
+    fn softening(&self) -> f64;
+
+    /// One force + jerk evaluation with structured launch errors.
+    ///
+    /// # Errors
+    /// [`LaunchError`] identifying the faulting kernel/core, device loss, or
+    /// a device-layer error.
+    fn evaluate_checked(&self, system: &ParticleSystem)
+        -> std::result::Result<Forces, LaunchError>;
+
+    /// [`Self::evaluate_checked`] with bounded in-place retries for
+    /// transient faults (card loss is never retried in place).
+    ///
+    /// # Errors
+    /// The final [`LaunchError`] when the retry budget is exhausted or the
+    /// fault is not transient.
+    fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError>;
+
+    /// One evaluation with the legacy flat error type.
+    ///
+    /// # Errors
+    /// Kernel faults or DRAM errors.
+    fn evaluate(&self, system: &ParticleSystem) -> Result<Forces> {
+        self.evaluate_checked(system).map_err(TensixError::from)
+    }
+
+    /// Accumulated virtual-time accounting, `None` for backends with no
+    /// device clock (the CPU reference).
+    fn timing(&self) -> Option<PipelineTiming>;
+
+    /// The three-bucket retry-cost metric of the work so far (zero for
+    /// backends without cycle accounting).
+    fn retry_cost(&self) -> RetryCost {
+        let t = self.timing().unwrap_or_default();
+        RetryCost {
+            useful_cycles: t.busy_cycles,
+            wasted_cycles: t.wasted_cycles,
+            redo_cycles: t.redo_cycles,
+        }
+    }
+
+    /// Report of the most recent successful launch, `None` before the first
+    /// evaluation or for backends without launch reports.
+    fn last_launch_report(&self) -> Option<ProgramReport>;
+
+    /// Try to absorb a card loss so the caller can restore its checkpoint
+    /// and replay: reset dead cards, rebuild launch state. `Ok(())` means
+    /// the evaluator is usable again; the default refuses (backends that
+    /// cannot rebuild themselves surface the cause unchanged).
+    ///
+    /// # Errors
+    /// The original `cause` when recovery is not supported, or the reset /
+    /// rebuild failure when it is.
+    fn recover_device_loss(&self, cause: LaunchError) -> std::result::Result<(), LaunchError> {
+        Err(cause)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared retry/salvage/partial-redo driver.
+// ---------------------------------------------------------------------------
+
+/// Drive one evaluation of `p` to completion under `policy`: bounded
+/// retries for transient faults, salvage of surviving cores' delivered tile
+/// ranges, and partial-redo slices for the rest. This is the only place the
+/// retry/salvage logic exists; the single-card pipeline and every ring
+/// member delegate here.
+///
+/// Inputs are written once — DRAM survives a failed launch while the card
+/// stays on the bus — and timing counts exactly one evaluation per
+/// *successful* attempt, so a retried evaluation never double-counts device
+/// work in the energy/measurement window.
+pub(crate) fn retry_eval(
+    p: &DeviceForcePipeline,
+    system: &ParticleSystem,
+    policy: RetryPolicy,
+) -> std::result::Result<Forces, LaunchError> {
+    assert_eq!(system.len(), p.n(), "pipeline built for n = {}", p.n());
+    let mut queue = p.queue.lock();
+    p.write_inputs(&mut queue, system)?;
+
+    // Tiles already delivered per core (across attempts); kept work of
+    // failed attempts, to be billed only when an attempt finally lands.
+    let mut done: Vec<u64> = vec![0; p.core_ranges.len()];
+    let mut kept_busy_cycles = 0u64;
+    let mut kept_redo_cycles = 0u64;
+    let mut kept_seconds = 0.0f64;
+    let mut kept_redo_seconds = 0.0f64;
+    let mut max_fc_cycles = 0u64;
+    let mut attempt = 0u32;
+    let mut current: Option<Program> = None;
+
+    loop {
+        let is_redo = current.is_some();
+        match queue.enqueue_program_checked(current.as_ref().unwrap_or(&p.program)) {
+            Ok(report) => {
+                let cycles: u64 = report.timings.iter().map(|k| k.cycles).sum();
+                max_fc_cycles = max_fc_cycles.max(max_compute_cycles(&report.timings));
+                let forces = p.read_forces(&mut queue)?;
+                let mut t = p.timing.lock();
+                t.device_seconds += kept_seconds + report.seconds;
+                t.busy_cycles += kept_busy_cycles + cycles;
+                t.redo_cycles += kept_redo_cycles + if is_redo { cycles } else { 0 };
+                t.redo_seconds += kept_redo_seconds + if is_redo { report.seconds } else { 0.0 };
+                t.evaluations += 1;
+                t.last_eval_cycles = max_fc_cycles;
+                t.io_seconds = queue.io_seconds();
+                drop(t);
+                *p.last_report.lock() = Some(report);
+                return Ok(forces);
+            }
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                let failed = queue.take_last_failure();
+                let (cycles, seconds, timings) = match &failed {
+                    Some(f) => {
+                        (f.timings.iter().map(|k| k.cycles).sum::<u64>(), f.seconds, &f.timings[..])
+                    }
+                    None => (0, 0.0, &[][..]),
+                };
+                let salvage = if policy.partial_redo {
+                    salvage_attempt(p, e.completed_work(), &done)
+                } else {
+                    None
+                };
+                if let Some(sink) = p.device().trace_sink().filter(|s| s.enabled()) {
+                    sink.host_instant(
+                        "retry",
+                        &[
+                            ("attempt", u64::from(attempt)),
+                            ("partial", u64::from(salvage.is_some())),
+                        ],
+                    );
+                }
+                let mut t = p.timing.lock();
+                t.retries += 1;
+                t.retry_backoff_seconds += policy.backoff_s(attempt);
+                match salvage {
+                    Some(fresh) => {
+                        // Keep survivors' finished tiles: split the
+                        // attempt's cycles by each core's delivered
+                        // fraction of its remaining range.
+                        let mut kept = 0u64;
+                        for k in timings {
+                            kept +=
+                                scale_cycles(k.cycles, kept_frac(p, k.core_index, &fresh, &done));
+                        }
+                        let kept_frac = if cycles > 0 { kept as f64 / cycles as f64 } else { 0.0 };
+                        t.wasted_cycles += cycles - kept;
+                        t.wasted_seconds += seconds * (1.0 - kept_frac);
+                        t.partial_redos += 1;
+                        drop(t);
+                        max_fc_cycles = max_fc_cycles.max(max_compute_cycles(timings));
+                        kept_busy_cycles += kept;
+                        kept_seconds += seconds * kept_frac;
+                        if is_redo {
+                            kept_redo_cycles += kept;
+                            kept_redo_seconds += seconds * kept_frac;
+                        }
+                        for (i, fresh_i) in fresh.iter().enumerate() {
+                            done[i] += fresh_i;
+                        }
+                        current = Some(redo_slice(p, &done));
+                    }
+                    None => {
+                        // Full re-run: this attempt and everything kept
+                        // from earlier attempts is discarded work.
+                        t.wasted_cycles += cycles + kept_busy_cycles;
+                        t.wasted_seconds += seconds + kept_seconds;
+                        drop(t);
+                        kept_busy_cycles = 0;
+                        kept_redo_cycles = 0;
+                        kept_seconds = 0.0;
+                        kept_redo_seconds = 0.0;
+                        max_fc_cycles = 0;
+                        done.iter_mut().for_each(|d| *d = 0);
+                        current = None;
+                    }
+                }
+                attempt += 1;
+            }
+            Err(e) => {
+                // Terminal failure: everything this call burned is waste.
+                let (cycles, seconds) = match queue.take_last_failure() {
+                    Some(f) => (f.timings.iter().map(|k| k.cycles).sum::<u64>(), f.seconds),
+                    None => (0, 0.0),
+                };
+                let mut t = p.timing.lock();
+                t.wasted_cycles += cycles + kept_busy_cycles;
+                t.wasted_seconds += seconds + kept_seconds;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Validate a failed attempt's completed-range inventory against the tile
+/// split. Returns the per-core *freshly* delivered tile counts of this
+/// attempt when every watermark is trustworthy (covers each core and stays
+/// within its remaining range), `None` otherwise.
+fn salvage_attempt(
+    p: &DeviceForcePipeline,
+    inventory: &[ttmetal::CoreProgress],
+    done: &[u64],
+) -> Option<Vec<u64>> {
+    if inventory.is_empty() {
+        return None;
+    }
+    let mut fresh = vec![0u64; p.core_ranges.len()];
+    for (i, (core, _, count)) in p.core_ranges.iter().enumerate() {
+        let remaining = *count as u64 - done[i];
+        if remaining == 0 {
+            // Core finished in an earlier attempt; it was not part of
+            // this launch, so no watermark is expected.
+            continue;
+        }
+        let delivered = inventory.iter().find(|pr| pr.core == *core)?.completed;
+        if delivered > remaining {
+            return None; // watermark past a tile boundary we own
+        }
+        fresh[i] = delivered;
+    }
+    Some(fresh)
+}
+
+/// Fraction of `core_index`'s work in the failed attempt that was delivered
+/// (`fresh / remaining` of its tile range).
+fn kept_frac(p: &DeviceForcePipeline, core_index: usize, fresh: &[u64], done: &[u64]) -> f64 {
+    let grid = p.device().grid();
+    for (i, (core, _, count)) in p.core_ranges.iter().enumerate() {
+        if grid.index_of(*core) == core_index {
+            let remaining = *count as u64 - done[i];
+            if remaining == 0 {
+                return 0.0;
+            }
+            return fresh[i] as f64 / remaining as f64;
+        }
+    }
+    0.0
+}
+
+/// Build the re-launch slice: only cores with undelivered tiles, each with
+/// its `[start, count]` window advanced past the delivered prefix.
+fn redo_slice(p: &DeviceForcePipeline, done: &[u64]) -> Program {
+    let incomplete: Vec<tensix::grid::CoreCoord> = p
+        .core_ranges
+        .iter()
+        .enumerate()
+        .filter(|(i, (_, _, count))| done[*i] < *count as u64)
+        .map(|(_, (core, _, _))| *core)
+        .collect();
+    let mut slice = p.program.slice_for_cores(&incomplete);
+    for (i, (core, start, count)) in p.core_ranges.iter().enumerate() {
+        let count = *count as u64;
+        if done[i] < count {
+            let args =
+                vec![(*start as u64 + done[i]) as u32, (count - done[i]) as u32, p.n() as u32];
+            slice.set_runtime_args_all_kernels(*core, args);
+        }
+    }
+    slice
+}
+
+/// Max force-compute cycles across kernel instances (the slowest core).
+fn max_compute_cycles(timings: &[tensix::clock::KernelTiming]) -> u64 {
+    timings.iter().filter(|k| k.label == "force-compute").map(|k| k.cycles).max().unwrap_or(0)
+}
+
+/// `cycles * frac`, rounded, saturating at `cycles`.
+fn scale_cycles(cycles: u64, frac: f64) -> u64 {
+    ((cycles as f64 * frac).round() as u64).min(cycles)
+}
+
+// ---------------------------------------------------------------------------
+// Trait implementations for the three execution paths.
+// ---------------------------------------------------------------------------
+
+impl ForceEvaluator for DeviceForcePipeline {
+    fn backend(&self) -> &'static str {
+        "tenstorrent-wormhole"
+    }
+
+    fn n(&self) -> usize {
+        DeviceForcePipeline::n(self)
+    }
+
+    fn softening(&self) -> f64 {
+        DeviceForcePipeline::softening(self)
+    }
+
+    fn evaluate_checked(
+        &self,
+        system: &ParticleSystem,
+    ) -> std::result::Result<Forces, LaunchError> {
+        DeviceForcePipeline::evaluate_checked(self, system)
+    }
+
+    fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError> {
+        retry_eval(self, system, policy)
+    }
+
+    fn timing(&self) -> Option<PipelineTiming> {
+        Some(DeviceForcePipeline::timing(self))
+    }
+
+    fn last_launch_report(&self) -> Option<ProgramReport> {
+        DeviceForcePipeline::last_launch_report(self)
+    }
+}
+
+/// A CPU force kernel behind the evaluator seam. Infallible, no device
+/// clock: `timing()` is `None` and the retry policy is irrelevant.
+pub struct CpuForceEvaluator<K: ForceKernel> {
+    kernel: K,
+    n: usize,
+}
+
+impl<K: ForceKernel> CpuForceEvaluator<K> {
+    /// Wrap `kernel` for systems of `n` particles.
+    #[must_use]
+    pub fn new(kernel: K, n: usize) -> Self {
+        CpuForceEvaluator { kernel, n }
+    }
+
+    /// The wrapped kernel.
+    #[must_use]
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+}
+
+impl<K: ForceKernel> ForceEvaluator for CpuForceEvaluator<K> {
+    fn backend(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn softening(&self) -> f64 {
+        self.kernel.softening()
+    }
+
+    fn evaluate_checked(
+        &self,
+        system: &ParticleSystem,
+    ) -> std::result::Result<Forces, LaunchError> {
+        Ok(self.kernel.compute(system))
+    }
+
+    fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        _policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError> {
+        Ok(self.kernel.compute(system))
+    }
+
+    fn timing(&self) -> Option<PipelineTiming> {
+        None
+    }
+
+    fn last_launch_report(&self) -> Option<ProgramReport> {
+        None
+    }
+}
+
+/// A single-card evaluator that can rebuild itself after device loss: the
+/// resilient runner's view of one Wormhole card. Holds the pipeline behind
+/// a mutex so [`ForceEvaluator::recover_device_loss`] can reset the card
+/// and swap in a fresh pipeline while the accumulated timing of the dead
+/// one is carried forward.
+pub struct SingleCardEvaluator {
+    device: Arc<Device>,
+    n: usize,
+    eps: f64,
+    num_cores: usize,
+    pipeline: Mutex<DeviceForcePipeline>,
+    /// Timing absorbed from pipelines retired by device loss.
+    retired: Mutex<PipelineTiming>,
+}
+
+impl SingleCardEvaluator {
+    /// Build the evaluator (and its initial pipeline) on `device`.
+    ///
+    /// # Errors
+    /// DRAM exhaustion.
+    ///
+    /// # Panics
+    /// Same contract as [`DeviceForcePipeline::new`].
+    pub fn new(device: Arc<Device>, n: usize, eps: f64, num_cores: usize) -> Result<Self> {
+        let pipeline = DeviceForcePipeline::new(Arc::clone(&device), n, eps, num_cores)?;
+        Ok(SingleCardEvaluator {
+            device,
+            n,
+            eps,
+            num_cores,
+            pipeline: Mutex::new(pipeline),
+            retired: Mutex::new(PipelineTiming::default()),
+        })
+    }
+
+    /// The card this evaluator runs on.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+}
+
+impl ForceEvaluator for SingleCardEvaluator {
+    fn backend(&self) -> &'static str {
+        "tenstorrent-wormhole"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn softening(&self) -> f64 {
+        self.eps
+    }
+
+    fn evaluate_checked(
+        &self,
+        system: &ParticleSystem,
+    ) -> std::result::Result<Forces, LaunchError> {
+        self.pipeline.lock().evaluate_checked(system)
+    }
+
+    fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError> {
+        retry_eval(&self.pipeline.lock(), system, policy)
+    }
+
+    fn timing(&self) -> Option<PipelineTiming> {
+        let current = self.pipeline.lock().timing();
+        let mut t = *self.retired.lock();
+        t.absorb(current);
+        Some(t)
+    }
+
+    fn last_launch_report(&self) -> Option<ProgramReport> {
+        self.pipeline.lock().last_launch_report()
+    }
+
+    fn recover_device_loss(&self, cause: LaunchError) -> std::result::Result<(), LaunchError> {
+        if !cause.is_card_loss() {
+            return Err(cause);
+        }
+        let mut slot = self.pipeline.lock();
+        self.retired.lock().absorb(slot.timing());
+        self.device.reset().map_err(LaunchError::from)?;
+        *slot =
+            DeviceForcePipeline::new(Arc::clone(&self.device), self.n, self.eps, self.num_cores)
+                .map_err(LaunchError::from)?;
+        Ok(())
+    }
+}
+
+/// Any [`ForceEvaluator`] behind the physics crate's `ForceKernel` trait,
+/// so the Hermite integrator can drive it exactly like a CPU kernel — the
+/// paper's mixed-precision split, generalized across backends.
+pub struct EvaluatorKernel<E: ForceEvaluator> {
+    evaluator: Arc<E>,
+    retry: Option<RetryPolicy>,
+}
+
+impl<E: ForceEvaluator> EvaluatorKernel<E> {
+    /// Wrap an evaluator (no retries: any fault unwinds).
+    #[must_use]
+    pub fn new(evaluator: Arc<E>) -> Self {
+        EvaluatorKernel { evaluator, retry: None }
+    }
+
+    /// Wrap an evaluator with transient-fault retries.
+    #[must_use]
+    pub fn with_retry(evaluator: Arc<E>, policy: RetryPolicy) -> Self {
+        EvaluatorKernel { evaluator, retry: Some(policy) }
+    }
+
+    /// The wrapped evaluator (for timing queries).
+    #[must_use]
+    pub fn evaluator(&self) -> &Arc<E> {
+        &self.evaluator
+    }
+}
+
+impl<E: ForceEvaluator> ForceKernel for EvaluatorKernel<E> {
+    fn name(&self) -> &'static str {
+        self.evaluator.backend()
+    }
+
+    fn softening(&self) -> f64 {
+        self.evaluator.softening()
+    }
+
+    fn compute(&self, system: &ParticleSystem) -> Forces {
+        let result = match self.retry {
+            Some(policy) => self.evaluator.evaluate_with_retry(system, policy),
+            None => self.evaluator.evaluate_checked(system),
+        };
+        // The trait has no error channel; unwind with a typed payload so the
+        // resilient simulation runner can classify the failure (card loss
+        // vs. unrecoverable fault) and recover.
+        result.unwrap_or_else(|e| std::panic::panic_any(TensixError::from(e)))
+    }
+
+    fn compute_range(&self, system: &ParticleSystem, i0: usize, i1: usize) -> Forces {
+        // Device backends always evaluate every target tile; ranges slice
+        // the full result (the trait exists for CPU-side work splitting).
+        let full = self.compute(system);
+        Forces { acc: full.acc[i0..i1].to_vec(), jerk: full.jerk[i0..i1].to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::force::ReferenceKernel;
+    use nbody::ic::{plummer, PlummerConfig};
+    use tensix::fault::FaultClass;
+    use tensix::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Device::new(0, DeviceConfig::default())
+    }
+
+    #[test]
+    fn pipeline_and_cpu_evaluators_share_the_seam() {
+        let n = 96;
+        let sys = plummer(PlummerConfig { n, seed: 90, ..PlummerConfig::default() });
+        let dev: Arc<dyn ForceEvaluator> =
+            Arc::new(DeviceForcePipeline::new(device(), n, 0.01, 1).unwrap());
+        let cpu: Arc<dyn ForceEvaluator> =
+            Arc::new(CpuForceEvaluator::new(ReferenceKernel::new(0.01), n));
+        for ev in [&dev, &cpu] {
+            assert_eq!(ev.n(), n);
+            assert_eq!(ev.softening(), 0.01);
+            let f = ev.evaluate_checked(&sys).unwrap();
+            assert_eq!(f.len(), n);
+        }
+        assert!(dev.timing().is_some());
+        assert!(cpu.timing().is_none());
+        assert_eq!(cpu.retry_cost(), RetryCost::default());
+        assert!(dev.retry_cost().useful_cycles > 0);
+        assert!(dev.last_launch_report().is_some());
+        assert!(cpu.last_launch_report().is_none());
+    }
+
+    #[test]
+    fn cpu_evaluator_refuses_recovery() {
+        let ev = CpuForceEvaluator::new(ReferenceKernel::new(0.01), 8);
+        let err = ev.recover_device_loss(LaunchError::DeviceLost { device_id: 0 }).unwrap_err();
+        assert!(matches!(err, LaunchError::DeviceLost { device_id: 0 }));
+    }
+
+    #[test]
+    fn single_card_evaluator_recovers_and_carries_timing() {
+        let n = 96;
+        let sys = plummer(PlummerConfig { n, seed: 91, ..PlummerConfig::default() });
+        let dev = device();
+        let ev = SingleCardEvaluator::new(Arc::clone(&dev), n, 0.01, 1).unwrap();
+        let before = ev.evaluate_checked(&sys).unwrap();
+        let t1 = ev.timing().unwrap();
+        assert_eq!(t1.evaluations, 1);
+
+        // Kill the card mid-evaluation; recovery resets it and rebuilds the
+        // pipeline while the old accounting is carried forward.
+        dev.faults().schedule(FaultClass::DeviceLoss, 1);
+        let err = ev.evaluate_checked(&sys).unwrap_err();
+        assert!(err.is_card_loss());
+        ev.recover_device_loss(err).unwrap();
+        let after = ev.evaluate_checked(&sys).unwrap();
+        assert_eq!(after.acc, before.acc, "recovery must be invisible to physics");
+        let t2 = ev.timing().unwrap();
+        assert_eq!(t2.evaluations, 2, "retired pipeline's accounting carried forward");
+
+        // Non-card-loss causes are refused.
+        let err = ev
+            .recover_device_loss(LaunchError::Timeout { budget_s: 1.0, elapsed_s: 2.0 })
+            .unwrap_err();
+        assert!(matches!(err, LaunchError::Timeout { .. }));
+    }
+
+    #[test]
+    fn evaluator_kernel_drives_the_integrator() {
+        use nbody::integrator::{Hermite4, Integrator};
+
+        let n = 64;
+        let mut sys = plummer(PlummerConfig { n, seed: 92, ..PlummerConfig::default() });
+        let ev = Arc::new(DeviceForcePipeline::new(device(), n, 0.05, 1).unwrap());
+        let kernel = EvaluatorKernel::new(Arc::clone(&ev));
+        assert_eq!(kernel.name(), "tenstorrent-wormhole");
+        assert_eq!(kernel.softening(), 0.05);
+        let integ = Hermite4::new(kernel);
+        integ.initialize(&mut sys);
+        integ.step(&mut sys, 1.0 / 256.0);
+        assert_eq!(ev.timing().evaluations, 2, "init + one step");
+    }
+}

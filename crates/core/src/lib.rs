@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod evaluator;
 pub mod kernels;
 pub mod layout;
 pub mod multi_device;
@@ -21,6 +22,7 @@ pub mod simulation;
 pub mod validate;
 
 pub use broadcast::BroadcastForcePipeline;
+pub use evaluator::{CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCardEvaluator};
 pub use layout::{split_tiles_to_cores, tilize_particles, HostArrays, TiledParticles};
 pub use multi_device::{MultiDevicePipeline, MultiDeviceTiming};
 pub use perf_model::{
@@ -29,7 +31,8 @@ pub use perf_model::{
 };
 pub use pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming, RetryPolicy};
 pub use simulation::{
-    run_cpu_simulation, run_device_simulation, run_device_simulation_resilient, RecoveryConfig,
-    ResilientOutcome, SimulationConfig, SimulationOutcome,
+    run_cpu_simulation, run_device_simulation, run_device_simulation_resilient,
+    run_ring_simulation_resilient, run_simulation, run_simulation_resilient, RecoveryConfig,
+    ResilientOutcome, SimulationConfig, SimulationOutcome, SpillConfig,
 };
 pub use validate::{validate_system, validation_suite, ValidationRow};

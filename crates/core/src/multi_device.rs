@@ -13,6 +13,13 @@
 //! Functional behaviour: results are bit-identical to the single-device
 //! pipeline (same arithmetic, same order per target tile). Virtual timing:
 //! the slowest card's program bounds the compute, plus the all-gather.
+//!
+//! The ring implements [`ForceEvaluator`], so the resilient Hermite driver
+//! (`run_simulation_resilient`) treats it exactly like a single card:
+//! transient faults retry in place through the shared retry driver, a lost
+//! card fails over to a spare inside the evaluation, and once spares run
+//! out the driver's reset → rebuild → checkpoint-restore path takes over
+//! via [`ForceEvaluator::recover_device_loss`].
 
 use std::sync::Arc;
 
@@ -22,15 +29,18 @@ use nbody::particle::{Forces, ParticleSystem};
 use tensix::ethernet::{EthLink, EthRing};
 use tensix::tile::TILE_ELEMS;
 use tensix::{Device, Result, TensixError};
-use ttmetal::LaunchError;
+use tt_telemetry::RetryCost;
+use ttmetal::{LaunchError, ProgramReport};
 
+use crate::evaluator::{retry_eval, ForceEvaluator};
 use crate::layout::split_tiles_to_cores;
-use crate::pipeline::DeviceForcePipeline;
+use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
 
 /// Timing of a multi-device evaluation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MultiDeviceTiming {
-    /// Slowest per-card device seconds across all evaluations.
+    /// Slowest per-card device seconds across all evaluations (the ring's
+    /// critical path; cards run concurrently).
     pub device_seconds: f64,
     /// Ring all-gather seconds across all evaluations, including link-flap
     /// retransmits.
@@ -39,6 +49,24 @@ pub struct MultiDeviceTiming {
     pub evaluations: u64,
     /// Cards replaced by a spare after a device loss or a dead link.
     pub failovers: u64,
+    /// Aggregated per-device [`PipelineTiming`] — live cards plus the
+    /// accounting carried from cards retired by failover or recovery — so
+    /// the three-bucket busy/redo/wasted split (and with it
+    /// `retry_overhead_ratio`) stays meaningful for multi-card runs. Its
+    /// `device_seconds` is total card occupancy (the *sum* over cards),
+    /// unlike the critical-path `device_seconds` above.
+    pub pipeline: PipelineTiming,
+}
+
+/// The mutable ring state: pipeline slots, the card behind each slot, the
+/// spare pool, and the timing carried from replaced cards.
+struct RingSlots {
+    pipelines: Vec<DeviceForcePipeline>,
+    devices: Vec<Arc<Device>>,
+    spares: Vec<Arc<Device>>,
+    /// Accounting absorbed from pipelines retired by failover or recovery
+    /// (including the wasted cycles of their fatal attempts).
+    carried: PipelineTiming,
 }
 
 /// A force pipeline spanning several devices.
@@ -48,11 +76,7 @@ pub struct MultiDevicePipeline {
     /// the card's owned slice is consumed (hardware would restrict the
     /// runtime args instead — the arithmetic for the owned slice is
     /// identical, so results match bit for bit at far less code surface).
-    pipelines: Vec<DeviceForcePipeline>,
-    /// The card behind each pipeline slot (for fault rolls and failover).
-    devices: Vec<Arc<Device>>,
-    /// Idle cards that can take over a failed slot.
-    spares: Vec<Arc<Device>>,
+    slots: Mutex<RingSlots>,
     /// Owned target-tile ranges per device: (start_particle, count).
     ranges: Vec<(usize, usize)>,
     ring: EthRing,
@@ -110,9 +134,12 @@ impl MultiDevicePipeline {
             ranges.push((start, count));
         }
         Ok(MultiDevicePipeline {
-            pipelines,
-            devices: devices.to_vec(),
-            spares: spares.to_vec(),
+            slots: Mutex::new(RingSlots {
+                pipelines,
+                devices: devices.to_vec(),
+                spares: spares.to_vec(),
+                carried: PipelineTiming::default(),
+            }),
             ranges,
             ring: EthRing::homogeneous(devices.len(), EthLink::default()),
             n,
@@ -125,13 +152,47 @@ impl MultiDevicePipeline {
     /// Number of devices.
     #[must_use]
     pub fn num_devices(&self) -> usize {
-        self.pipelines.len()
+        self.slots.lock().pipelines.len()
     }
 
-    /// Accumulated timing.
+    /// Spare cards not yet promoted.
+    #[must_use]
+    pub fn spares_remaining(&self) -> usize {
+        self.slots.lock().spares.len()
+    }
+
+    /// Accumulated timing, with [`MultiDeviceTiming::pipeline`] aggregated
+    /// from the live cards and everything carried from retired ones.
     #[must_use]
     pub fn timing(&self) -> MultiDeviceTiming {
-        *self.timing.lock()
+        let slots = self.slots.lock();
+        let mut t = *self.timing.lock();
+        t.pipeline = slots.carried;
+        for p in &slots.pipelines {
+            t.pipeline.absorb(p.timing());
+        }
+        t
+    }
+
+    /// Per-slot [`PipelineTiming`] of the *current* cards (a card promoted
+    /// from the spare pool reports only its own work; retired cards'
+    /// accounting lives in [`MultiDeviceTiming::pipeline`]).
+    #[must_use]
+    pub fn per_device_timing(&self) -> Vec<PipelineTiming> {
+        self.slots.lock().pipelines.iter().map(DeviceForcePipeline::timing).collect()
+    }
+
+    /// Per-slot three-bucket retry cost of the current cards.
+    #[must_use]
+    pub fn per_device_retry_cost(&self) -> Vec<RetryCost> {
+        self.per_device_timing()
+            .into_iter()
+            .map(|t| RetryCost {
+                useful_cycles: t.busy_cycles,
+                wasted_cycles: t.wasted_cycles,
+                redo_cycles: t.redo_cycles,
+            })
+            .collect()
     }
 
     /// Evaluate forces across all devices and gather the slices.
@@ -142,40 +203,7 @@ impl MultiDevicePipeline {
     /// # Panics
     /// Panics on a particle-count mismatch.
     pub fn evaluate(&self, system: &ParticleSystem) -> Result<Forces> {
-        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
-        let mut gathered = Forces::zeros(self.n);
-        let mut slowest = 0.0f64;
-        for (pipeline, (start, count)) in self.pipelines.iter().zip(&self.ranges) {
-            let before = pipeline.timing().device_seconds;
-            let full = pipeline.evaluate(system)?;
-            let elapsed = pipeline.timing().device_seconds - before;
-            slowest = slowest.max(elapsed);
-            for i in *start..start + count {
-                gathered.acc[i] = full.acc[i];
-                gathered.jerk[i] = full.jerk[i];
-            }
-        }
-        // Ring all-gather of the six per-axis result buffers for the owned
-        // tiles (FP32).
-        let bytes_per_device =
-            (self.ranges.iter().map(|(_, c)| c).max().unwrap_or(&0) * 6 * 4) as u64;
-        let comm = self.ring.allgather_seconds(bytes_per_device);
-        {
-            let mut t = self.timing.lock();
-            t.device_seconds += slowest;
-            t.comm_seconds += comm;
-            t.evaluations += 1;
-        }
-        Ok(gathered)
-    }
-
-    /// Whether this launch failure takes the whole card out of the ring —
-    /// the cases a spare can fix.
-    fn card_is_gone(err: &LaunchError) -> bool {
-        matches!(
-            err,
-            LaunchError::DeviceLost { .. } | LaunchError::Device(TensixError::EthLinkDown { .. })
-        )
+        self.ring_evaluate(system, None).map_err(TensixError::from)
     }
 
     /// Evaluate forces across all devices with fault handling: ERISC link
@@ -189,24 +217,58 @@ impl MultiDevicePipeline {
     /// # Panics
     /// Panics on a particle-count mismatch.
     pub fn evaluate_checked(
-        &mut self,
+        &self,
         system: &ParticleSystem,
     ) -> std::result::Result<Forces, LaunchError> {
+        self.ring_evaluate(system, None)
+    }
+
+    /// [`Self::evaluate_checked`] with per-card in-place retries for
+    /// transient faults through the shared retry driver (the same
+    /// salvage/partial-redo logic as the single-card path).
+    ///
+    /// # Errors
+    /// A card's retry budget exhausting, or a card loss with no spare left.
+    ///
+    /// # Panics
+    /// Panics on a particle-count mismatch.
+    pub fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError> {
+        self.ring_evaluate(system, Some(policy))
+    }
+
+    /// The one evaluation path: per-card launch (optionally through the
+    /// shared retry driver), eth-flap rolls on the gather, spare failover
+    /// for lost cards, ring all-gather charge.
+    fn ring_evaluate(
+        &self,
+        system: &ParticleSystem,
+        policy: Option<RetryPolicy>,
+    ) -> std::result::Result<Forces, LaunchError> {
         assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        let mut slots = self.slots.lock();
         let mut gathered = Forces::zeros(self.n);
         let mut slowest = 0.0f64;
         let mut flap_comm = 0.0f64;
         let mut failovers = 0u64;
-        for idx in 0..self.pipelines.len() {
+        for idx in 0..slots.pipelines.len() {
             let (start, count) = self.ranges[idx];
             loop {
-                let pipeline = &self.pipelines[idx];
+                let pipeline = &slots.pipelines[idx];
+                let device = &slots.devices[idx];
                 let before = pipeline.timing().device_seconds;
-                let attempt = pipeline.evaluate_checked(system).and_then(|full| {
+                let result = match policy {
+                    Some(p) => retry_eval(pipeline, system, p),
+                    None => pipeline.evaluate_checked(system),
+                };
+                let attempt = result.and_then(|full| {
                     // The gather leaves over this card's ERISC link: one
                     // flap costs a retransmit of the owned slice, a second
                     // flap takes the link — and with it the card — down.
-                    let plan = self.devices[idx].faults();
+                    let plan = device.faults();
                     if !plan.disarmed() && plan.roll_eth_flap() {
                         flap_comm += EthLink::default().transfer_seconds((count * 6 * 4) as u64);
                         if plan.roll_eth_flap() {
@@ -219,24 +281,27 @@ impl MultiDevicePipeline {
                 });
                 match attempt {
                     Ok(full) => {
-                        slowest = slowest.max(pipeline.timing().device_seconds - before);
+                        slowest =
+                            slowest.max(slots.pipelines[idx].timing().device_seconds - before);
                         for i in start..start + count {
                             gathered.acc[i] = full.acc[i];
                             gathered.jerk[i] = full.jerk[i];
                         }
                         break;
                     }
-                    Err(err) if Self::card_is_gone(&err) => {
-                        let Some(spare) = self.spares.pop() else {
+                    Err(err) if err.is_card_loss() => {
+                        let Some(spare) = slots.spares.pop() else {
                             return Err(err);
                         };
-                        self.pipelines[idx] = DeviceForcePipeline::new(
+                        let fresh = DeviceForcePipeline::new(
                             Arc::clone(&spare),
                             self.n,
                             self.eps,
                             self.cores_per_device,
                         )?;
-                        self.devices[idx] = spare;
+                        let old = std::mem::replace(&mut slots.pipelines[idx], fresh);
+                        slots.carried.absorb(old.timing());
+                        slots.devices[idx] = spare;
                         failovers += 1;
                     }
                     Err(err) => return Err(err),
@@ -254,6 +319,73 @@ impl MultiDevicePipeline {
             t.failovers += failovers;
         }
         Ok(gathered)
+    }
+}
+
+impl ForceEvaluator for MultiDevicePipeline {
+    fn backend(&self) -> &'static str {
+        "tenstorrent-wormhole-ring"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn softening(&self) -> f64 {
+        self.eps
+    }
+
+    fn evaluate_checked(
+        &self,
+        system: &ParticleSystem,
+    ) -> std::result::Result<Forces, LaunchError> {
+        self.ring_evaluate(system, None)
+    }
+
+    fn evaluate_with_retry(
+        &self,
+        system: &ParticleSystem,
+        policy: RetryPolicy,
+    ) -> std::result::Result<Forces, LaunchError> {
+        self.ring_evaluate(system, Some(policy))
+    }
+
+    fn timing(&self) -> Option<PipelineTiming> {
+        Some(MultiDevicePipeline::timing(self).pipeline)
+    }
+
+    /// Report of the final ring member's landing attempt in the most recent
+    /// evaluation.
+    fn last_launch_report(&self) -> Option<ProgramReport> {
+        self.slots.lock().pipelines.last().and_then(DeviceForcePipeline::last_launch_report)
+    }
+
+    /// Reset every dead card in place and rebuild its pipeline slot,
+    /// carrying the retired accounting forward. Used by the resilient
+    /// driver once the spare pool is exhausted; a dead-link failure leaves
+    /// all cards alive and needs no rebuild (links are stateless per
+    /// evaluation).
+    fn recover_device_loss(&self, cause: LaunchError) -> std::result::Result<(), LaunchError> {
+        if !cause.is_card_loss() {
+            return Err(cause);
+        }
+        let mut slots = self.slots.lock();
+        for idx in 0..slots.devices.len() {
+            if slots.devices[idx].is_alive() {
+                continue;
+            }
+            slots.devices[idx].reset().map_err(LaunchError::from)?;
+            let fresh = DeviceForcePipeline::new(
+                Arc::clone(&slots.devices[idx]),
+                self.n,
+                self.eps,
+                self.cores_per_device,
+            )
+            .map_err(LaunchError::from)?;
+            let old = std::mem::replace(&mut slots.pipelines[idx], fresh);
+            slots.carried.absorb(old.timing());
+        }
+        Ok(())
     }
 }
 
@@ -288,6 +420,12 @@ mod tests {
         assert!(t.device_seconds > 0.0);
         assert!(t.comm_seconds > 0.0, "the all-gather must be charged");
         assert_eq!(t.evaluations, 1);
+        // The aggregate carries the per-card three-bucket split: two cards,
+        // one clean evaluation each.
+        assert_eq!(t.pipeline.evaluations, 2);
+        assert!(t.pipeline.busy_cycles > 0);
+        assert_eq!(t.pipeline.wasted_cycles, 0);
+        assert!(t.pipeline.device_seconds >= t.device_seconds, "sum bounds the critical path");
     }
 
     #[test]
@@ -317,7 +455,7 @@ mod tests {
         let eps = 0.01;
 
         let clean_devices = cluster(2);
-        let mut clean = MultiDevicePipeline::new(&clean_devices, n, eps, 1).unwrap();
+        let clean = MultiDevicePipeline::new(&clean_devices, n, eps, 1).unwrap();
         let clean_forces = clean.evaluate_checked(&sys).unwrap();
         assert_eq!(clean.timing().failovers, 0);
 
@@ -325,16 +463,25 @@ mod tests {
         let devices = cluster(2);
         devices[1].faults().schedule(FaultClass::DeviceLoss, 1);
         let spare = Device::new(9, DeviceConfig::default());
-        let mut multi = MultiDevicePipeline::with_spares(&devices, &[spare], n, eps, 1).unwrap();
+        let multi = MultiDevicePipeline::with_spares(&devices, &[spare], n, eps, 1).unwrap();
+        assert_eq!(multi.spares_remaining(), 1);
         let forces = multi.evaluate_checked(&sys).unwrap();
-        assert_eq!(multi.timing().failovers, 1);
+        let t = multi.timing();
+        assert_eq!(t.failovers, 1);
+        assert_eq!(multi.spares_remaining(), 0);
         assert!(!devices[1].is_alive(), "the dead card stays dead");
+        // The retired card's accounting is carried into the aggregate — the
+        // per-card split the ring used to lose: one evaluation from the
+        // surviving card, one from the promoted spare (the dead card landed
+        // nothing before falling off the bus).
+        assert_eq!(t.pipeline.evaluations, 2);
+        assert!(t.pipeline.busy_cycles > 0);
 
         assert_eq!(forces.acc, clean_forces.acc, "failover must be invisible to physics");
         assert_eq!(forces.jerk, clean_forces.jerk);
 
         // The spare is consumed: a second loss has nothing to promote.
-        multi.devices[0].faults().schedule(FaultClass::DeviceLoss, 1);
+        devices[0].faults().schedule(FaultClass::DeviceLoss, 1);
         let err = multi.evaluate_checked(&sys).unwrap_err();
         assert!(matches!(err, LaunchError::DeviceLost { .. }), "{err:?}");
     }
@@ -347,12 +494,12 @@ mod tests {
         let sys = plummer(PlummerConfig { n, seed: 403, ..PlummerConfig::default() });
 
         let clean_devices = cluster(2);
-        let mut clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
+        let clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
         let _ = clean.evaluate_checked(&sys).unwrap();
 
         let devices = cluster(2);
         devices[0].faults().schedule(FaultClass::EthFlap, 1);
-        let mut multi = MultiDevicePipeline::new(&devices, n, 0.01, 1).unwrap();
+        let multi = MultiDevicePipeline::new(&devices, n, 0.01, 1).unwrap();
         let forces = multi.evaluate_checked(&sys).unwrap();
 
         let t = multi.timing();
@@ -385,14 +532,47 @@ mod tests {
         };
         let devices = vec![Device::new(0, DeviceConfig::default()), Device::new(1, config)];
         let spare = Device::new(9, DeviceConfig::default());
-        let mut multi = MultiDevicePipeline::with_spares(&devices, &[spare], n, 0.01, 1).unwrap();
+        let multi = MultiDevicePipeline::with_spares(&devices, &[spare], n, 0.01, 1).unwrap();
         let _ = devices; // rolls happen through multi's clones
         let forces = multi.evaluate_checked(&sys).unwrap();
         assert_eq!(multi.timing().failovers, 1, "dead link forces a spare promotion");
 
         let clean_devices = cluster(2);
-        let mut clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
+        let clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
         let clean_forces = clean.evaluate_checked(&sys).unwrap();
         assert_eq!(forces.acc, clean_forces.acc);
+    }
+
+    #[test]
+    fn transient_fault_on_a_ring_member_retries_in_place() {
+        use tensix::fault::{FaultClass, FaultConfig};
+
+        let n = 2048 + 100;
+        let sys = plummer(PlummerConfig { n, seed: 405, ..PlummerConfig::default() });
+
+        let clean_devices = cluster(2);
+        let clean = MultiDevicePipeline::new(&clean_devices, n, 0.01, 1).unwrap();
+        let clean_forces = clean.evaluate_checked(&sys).unwrap();
+
+        // An uncorrectable DRAM read on card 0's 5th page: transient, so the
+        // shared retry driver recovers it inside the ring evaluation.
+        let faulty = Device::new(
+            0,
+            DeviceConfig {
+                faults: FaultConfig { dram_uncorrectable_frac: 1.0, ..FaultConfig::default() },
+                seed: 7,
+                ..DeviceConfig::default()
+            },
+        );
+        faulty.faults().schedule(FaultClass::DramRead, 5);
+        let devices = vec![faulty, Device::new(1, DeviceConfig::default())];
+        let multi = MultiDevicePipeline::new(&devices, n, 0.01, 1).unwrap();
+        let forces = multi.evaluate_with_retry(&sys, RetryPolicy::default()).unwrap();
+
+        assert_eq!(forces.acc, clean_forces.acc, "in-place retry must be bit-identical");
+        let t = multi.timing();
+        assert_eq!(t.failovers, 0, "transient faults never consume a spare");
+        assert_eq!(t.pipeline.retries, 1, "the shared driver retried once");
+        assert_eq!(t.pipeline.evaluations, 2, "failed attempt not counted");
     }
 }

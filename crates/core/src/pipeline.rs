@@ -151,8 +151,8 @@ impl RetryPolicy {
 /// The assembled force+jerk pipeline on one Wormhole device.
 pub struct DeviceForcePipeline {
     device: Arc<Device>,
-    queue: Mutex<CommandQueue>,
-    program: Program,
+    pub(crate) queue: Mutex<CommandQueue>,
+    pub(crate) program: Program,
     n: usize,
     eps: f64,
     num_cores: usize,
@@ -163,12 +163,12 @@ pub struct DeviceForcePipeline {
     /// Per-core `(core, start_tile, tile_count)` of the Fig. 2 outer-loop
     /// split — the ground truth a partial redo validates fault inventories
     /// against.
-    core_ranges: Vec<(CoreCoord, usize, usize)>,
-    timing: Mutex<PipelineTiming>,
+    pub(crate) core_ranges: Vec<(CoreCoord, usize, usize)>,
+    pub(crate) timing: Mutex<PipelineTiming>,
     /// Report of the most recent successful launch (spans, CB stats), kept
     /// for the profiling harness. Purely observational: never read by the
     /// evaluation paths themselves.
-    last_report: Mutex<Option<ProgramReport>>,
+    pub(crate) last_report: Mutex<Option<ProgramReport>>,
 }
 
 impl DeviceForcePipeline {
@@ -379,7 +379,7 @@ impl DeviceForcePipeline {
     }
 
     /// Tilize the FP64 state and ship every target/source buffer to DRAM.
-    fn write_inputs(
+    pub(crate) fn write_inputs(
         &self,
         queue: &mut CommandQueue,
         system: &ParticleSystem,
@@ -397,7 +397,10 @@ impl DeviceForcePipeline {
 
     /// Read the six output buffers back and un-tilize: FP32 device results
     /// promoted to the FP64 state.
-    fn read_forces(&self, queue: &mut CommandQueue) -> std::result::Result<Forces, LaunchError> {
+    pub(crate) fn read_forces(
+        &self,
+        queue: &mut CommandQueue,
+    ) -> std::result::Result<Forces, LaunchError> {
         let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
         for buf in &self.output_bufs {
             result_tiles.push(queue.enqueue_read_buffer(buf)?);
@@ -445,206 +448,8 @@ impl DeviceForcePipeline {
         system: &ParticleSystem,
         policy: RetryPolicy,
     ) -> std::result::Result<Forces, LaunchError> {
-        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
-        let mut queue = self.queue.lock();
-        self.write_inputs(&mut queue, system)?;
-
-        // Tiles already delivered per core (across attempts); kept work of
-        // failed attempts, to be billed only when an attempt finally lands.
-        let mut done: Vec<u64> = vec![0; self.core_ranges.len()];
-        let mut kept_busy_cycles = 0u64;
-        let mut kept_redo_cycles = 0u64;
-        let mut kept_seconds = 0.0f64;
-        let mut kept_redo_seconds = 0.0f64;
-        let mut max_fc_cycles = 0u64;
-        let mut attempt = 0u32;
-        let mut current: Option<Program> = None;
-
-        loop {
-            let is_redo = current.is_some();
-            match queue.enqueue_program_checked(current.as_ref().unwrap_or(&self.program)) {
-                Ok(report) => {
-                    let cycles: u64 = report.timings.iter().map(|k| k.cycles).sum();
-                    max_fc_cycles = max_fc_cycles.max(max_compute_cycles(&report.timings));
-                    let forces = self.read_forces(&mut queue)?;
-                    let mut t = self.timing.lock();
-                    t.device_seconds += kept_seconds + report.seconds;
-                    t.busy_cycles += kept_busy_cycles + cycles;
-                    t.redo_cycles += kept_redo_cycles + if is_redo { cycles } else { 0 };
-                    t.redo_seconds +=
-                        kept_redo_seconds + if is_redo { report.seconds } else { 0.0 };
-                    t.evaluations += 1;
-                    t.last_eval_cycles = max_fc_cycles;
-                    t.io_seconds = queue.io_seconds();
-                    drop(t);
-                    *self.last_report.lock() = Some(report);
-                    return Ok(forces);
-                }
-                Err(e) if e.is_transient() && attempt < policy.max_retries => {
-                    let failed = queue.take_last_failure();
-                    let (cycles, seconds, timings) = match &failed {
-                        Some(f) => (
-                            f.timings.iter().map(|k| k.cycles).sum::<u64>(),
-                            f.seconds,
-                            &f.timings[..],
-                        ),
-                        None => (0, 0.0, &[][..]),
-                    };
-                    let salvage = if policy.partial_redo {
-                        self.salvage_attempt(e.completed_work(), &done)
-                    } else {
-                        None
-                    };
-                    if let Some(sink) = self.device.trace_sink().filter(|s| s.enabled()) {
-                        sink.host_instant(
-                            "retry",
-                            &[
-                                ("attempt", u64::from(attempt)),
-                                ("partial", u64::from(salvage.is_some())),
-                            ],
-                        );
-                    }
-                    let mut t = self.timing.lock();
-                    t.retries += 1;
-                    t.retry_backoff_seconds += policy.backoff_s(attempt);
-                    match salvage {
-                        Some(fresh) => {
-                            // Keep survivors' finished tiles: split the
-                            // attempt's cycles by each core's delivered
-                            // fraction of its remaining range.
-                            let mut kept = 0u64;
-                            for k in timings {
-                                kept += scale_cycles(
-                                    k.cycles,
-                                    self.kept_frac(k.core_index, &fresh, &done),
-                                );
-                            }
-                            let kept_frac =
-                                if cycles > 0 { kept as f64 / cycles as f64 } else { 0.0 };
-                            t.wasted_cycles += cycles - kept;
-                            t.wasted_seconds += seconds * (1.0 - kept_frac);
-                            t.partial_redos += 1;
-                            drop(t);
-                            max_fc_cycles = max_fc_cycles.max(max_compute_cycles(timings));
-                            kept_busy_cycles += kept;
-                            kept_seconds += seconds * kept_frac;
-                            if is_redo {
-                                kept_redo_cycles += kept;
-                                kept_redo_seconds += seconds * kept_frac;
-                            }
-                            for (i, fresh_i) in fresh.iter().enumerate() {
-                                done[i] += fresh_i;
-                            }
-                            current = Some(self.redo_slice(&done));
-                        }
-                        None => {
-                            // Full re-run: this attempt and everything kept
-                            // from earlier attempts is discarded work.
-                            t.wasted_cycles += cycles + kept_busy_cycles;
-                            t.wasted_seconds += seconds + kept_seconds;
-                            drop(t);
-                            kept_busy_cycles = 0;
-                            kept_redo_cycles = 0;
-                            kept_seconds = 0.0;
-                            kept_redo_seconds = 0.0;
-                            max_fc_cycles = 0;
-                            done.iter_mut().for_each(|d| *d = 0);
-                            current = None;
-                        }
-                    }
-                    attempt += 1;
-                }
-                Err(e) => {
-                    // Terminal failure: everything this call burned is waste.
-                    let (cycles, seconds) = match queue.take_last_failure() {
-                        Some(f) => (f.timings.iter().map(|k| k.cycles).sum::<u64>(), f.seconds),
-                        None => (0, 0.0),
-                    };
-                    let mut t = self.timing.lock();
-                    t.wasted_cycles += cycles + kept_busy_cycles;
-                    t.wasted_seconds += seconds + kept_seconds;
-                    return Err(e);
-                }
-            }
-        }
+        crate::evaluator::retry_eval(self, system, policy)
     }
-
-    /// Validate a failed attempt's completed-range inventory against the tile
-    /// split. Returns the per-core *freshly* delivered tile counts of this
-    /// attempt when every watermark is trustworthy (covers each core and
-    /// stays within its remaining range), `None` otherwise.
-    fn salvage_attempt(
-        &self,
-        inventory: &[ttmetal::CoreProgress],
-        done: &[u64],
-    ) -> Option<Vec<u64>> {
-        if inventory.is_empty() {
-            return None;
-        }
-        let mut fresh = vec![0u64; self.core_ranges.len()];
-        for (i, (core, _, count)) in self.core_ranges.iter().enumerate() {
-            let remaining = *count as u64 - done[i];
-            if remaining == 0 {
-                // Core finished in an earlier attempt; it was not part of
-                // this launch, so no watermark is expected.
-                continue;
-            }
-            let delivered = inventory.iter().find(|p| p.core == *core)?.completed;
-            if delivered > remaining {
-                return None; // watermark past a tile boundary we own
-            }
-            fresh[i] = delivered;
-        }
-        Some(fresh)
-    }
-
-    /// Fraction of `core_index`'s work in the failed attempt that was
-    /// delivered (`fresh / remaining` of its tile range).
-    fn kept_frac(&self, core_index: usize, fresh: &[u64], done: &[u64]) -> f64 {
-        let grid = self.device.grid();
-        for (i, (core, _, count)) in self.core_ranges.iter().enumerate() {
-            if grid.index_of(*core) == core_index {
-                let remaining = *count as u64 - done[i];
-                if remaining == 0 {
-                    return 0.0;
-                }
-                return fresh[i] as f64 / remaining as f64;
-            }
-        }
-        0.0
-    }
-
-    /// Build the re-launch slice: only cores with undelivered tiles, each
-    /// with its `[start, count]` window advanced past the delivered prefix.
-    fn redo_slice(&self, done: &[u64]) -> Program {
-        let incomplete: Vec<CoreCoord> = self
-            .core_ranges
-            .iter()
-            .enumerate()
-            .filter(|(i, (_, _, count))| done[*i] < *count as u64)
-            .map(|(_, (core, _, _))| *core)
-            .collect();
-        let mut slice = self.program.slice_for_cores(&incomplete);
-        for (i, (core, start, count)) in self.core_ranges.iter().enumerate() {
-            let count = *count as u64;
-            if done[i] < count {
-                let args =
-                    vec![(*start as u64 + done[i]) as u32, (count - done[i]) as u32, self.n as u32];
-                slice.set_runtime_args_all_kernels(*core, args);
-            }
-        }
-        slice
-    }
-}
-
-/// Max force-compute cycles across kernel instances (the slowest core).
-fn max_compute_cycles(timings: &[tensix::clock::KernelTiming]) -> u64 {
-    timings.iter().filter(|k| k.label == "force-compute").map(|k| k.cycles).max().unwrap_or(0)
-}
-
-/// `cycles * frac`, rounded, saturating at `cycles`.
-fn scale_cycles(cycles: u64, frac: f64) -> u64 {
-    ((cycles as f64 * frac).round() as u64).min(cycles)
 }
 
 #[allow(clippy::too_many_arguments)]

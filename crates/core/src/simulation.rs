@@ -1,22 +1,31 @@
-//! Full mixed-precision simulations with the device in the loop.
+//! Full mixed-precision simulations with a force backend in the loop.
 //!
-//! Drives the 4th-order Hermite integrator with the Wormhole force pipeline
-//! — prediction/correction in FP64 on the host, force and jerk in FP32 on
-//! the device — and reports both physics diagnostics and virtual-time
-//! accounting, mirroring the paper's representative-simulation structure
-//! (N particles, a number of time cycles each made of Hermite steps).
+//! Drives the 4th-order Hermite integrator — prediction/correction in FP64
+//! on the host, force and jerk in FP32 on the backend — and reports both
+//! physics diagnostics and virtual-time accounting, mirroring the paper's
+//! representative-simulation structure (N particles, a number of time
+//! cycles each made of Hermite steps).
+//!
+//! The drivers are generic over [`ForceEvaluator`], so the same loop (and
+//! the same checkpoint/restart machinery) runs against the single-card
+//! pipeline, the multi-card ring, or the CPU reference kernel. The named
+//! entry points ([`run_device_simulation`], [`run_ring_simulation_resilient`],
+//! [`run_cpu_simulation`], …) are thin wrappers that pick the backend.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use nbody::diagnostics::{relative_energy_error, total_energy};
-use nbody::force::{ForceKernel, SimdKernel, ThreadedKernel};
+use nbody::force::{SimdKernel, ThreadedKernel};
 use nbody::integrator::{Hermite4, Integrator};
 use nbody::particle::ParticleSystem;
 use tensix::{Device, Result, TensixError};
 use ttmetal::LaunchError;
 
-use crate::pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming, RetryPolicy};
+use crate::evaluator::{CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCardEvaluator};
+use crate::multi_device::MultiDevicePipeline;
+use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
 
 /// Configuration of a device-accelerated simulation.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +38,7 @@ pub struct SimulationConfig {
     pub steps_per_cycle: usize,
     /// Fixed step size in N-body time units.
     pub dt: f64,
-    /// Tensix cores to use.
+    /// Tensix cores to use (per device, for multi-card runs).
     pub num_cores: usize,
 }
 
@@ -64,19 +73,22 @@ pub struct SimulationOutcome {
     pub kernel: &'static str,
 }
 
-/// Evolve `system` on the Wormhole device for
-/// `cycles × steps_per_cycle` Hermite steps.
+/// Evolve `system` for `cycles × steps_per_cycle` Hermite steps against any
+/// [`ForceEvaluator`]. The backend's accumulated timing (if it has a device
+/// clock) and backend name are reported in the outcome.
 ///
-/// # Errors
-/// Pipeline construction or kernel faults.
-pub fn run_device_simulation(
-    device: Arc<Device>,
+/// # Panics
+/// Backend faults unwind with a typed [`TensixError`] payload (there is no
+/// retry or recovery here — see [`run_simulation_resilient`]); also panics
+/// on a particle-count mismatch with the evaluator.
+#[must_use]
+pub fn run_simulation<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
     system: &mut ParticleSystem,
     config: SimulationConfig,
-) -> Result<SimulationOutcome> {
-    let pipeline = DeviceForcePipeline::new(device, system.len(), config.eps, config.num_cores)?;
-    let kernel = DeviceForceKernel::new(pipeline);
-    let integ = Hermite4::new(kernel);
+) -> SimulationOutcome {
+    assert_eq!(system.len(), evaluator.n(), "evaluator built for n = {}", evaluator.n());
+    let integ = Hermite4::new(EvaluatorKernel::new(Arc::clone(evaluator)));
     let e0 = total_energy(system, config.eps);
 
     integ.initialize(system);
@@ -87,34 +99,84 @@ pub fn run_device_simulation(
         }
     }
     let e1 = total_energy(system, config.eps);
-    Ok(SimulationOutcome {
+    SimulationOutcome {
         steps: total_steps,
         final_time: system.time,
         energy_error: relative_energy_error(e1, e0),
         initial_energy: e0,
         final_energy: e1,
-        timing: Some(integ.kernel().pipeline().timing()),
-        kernel: "tenstorrent-wormhole",
-    })
+        timing: evaluator.timing(),
+        kernel: evaluator.backend(),
+    }
+}
+
+/// Evolve `system` on one Wormhole device for
+/// `cycles × steps_per_cycle` Hermite steps.
+///
+/// # Errors
+/// Pipeline construction failures.
+///
+/// # Panics
+/// Kernel faults unwind (see [`run_simulation`]).
+pub fn run_device_simulation(
+    device: Arc<Device>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+) -> Result<SimulationOutcome> {
+    let pipeline =
+        Arc::new(DeviceForcePipeline::new(device, system.len(), config.eps, config.num_cores)?);
+    Ok(run_simulation(&pipeline, system, config))
+}
+
+/// Where (and how fast) resilient runs spill their checkpoints.
+///
+/// With a spill configured, the checkpoint lives on disk instead of in host
+/// memory: every snapshot is serialized with a content hash, the write time
+/// is charged to the virtual clock (as IO), and a restore re-reads and
+/// verifies the file — catching silent checkpoint corruption instead of
+/// resuming from garbage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillConfig {
+    /// Checkpoint file path (overwritten on every checkpoint).
+    pub path: PathBuf,
+    /// Modeled sequential write bandwidth in GB/s, used to charge the spill
+    /// to the virtual clock.
+    pub write_gbps: f64,
+}
+
+impl SpillConfig {
+    /// Spill to `path` at the default modeled bandwidth (2 GB/s NVMe-class
+    /// sequential writes).
+    #[must_use]
+    pub fn new(path: PathBuf) -> Self {
+        SpillConfig { path, write_gbps: 2.0 }
+    }
 }
 
 /// How the resilient runner survives faults mid-simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryConfig {
     /// Snapshot the FP64 Hermite state every this many successful steps.
     pub checkpoint_every: usize,
     /// In-place retry budget for transient launch faults (panics, deadlocks,
-    /// stalls). Device loss is never retried in place — the card's DRAM is
-    /// gone — and always goes through reset + checkpoint restore instead.
+    /// stalls). Card loss is never retried in place — the card's DRAM is
+    /// gone — and always goes through recovery + checkpoint restore instead.
     pub retry: RetryPolicy,
-    /// How many device losses the runner will reset-and-resume past before
-    /// giving up and surfacing [`LaunchError::DeviceLost`].
+    /// How many card losses the runner will recover-and-resume past before
+    /// giving up and surfacing the [`LaunchError`].
     pub max_recoveries: u32,
+    /// Spill checkpoints to disk instead of keeping them in host memory.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig { checkpoint_every: 4, retry: RetryPolicy::default(), max_recoveries: 2 }
+        RecoveryConfig {
+            checkpoint_every: 4,
+            retry: RetryPolicy::default(),
+            max_recoveries: 2,
+            spill: None,
+        }
     }
 }
 
@@ -122,118 +184,271 @@ impl Default for RecoveryConfig {
 #[derive(Debug, Clone)]
 pub struct ResilientOutcome {
     /// The simulation outcome, exactly as a fault-free run would report it
-    /// (timing additionally includes the replayed work).
+    /// (timing additionally includes the replayed work and any checkpoint
+    /// spill IO).
     pub outcome: SimulationOutcome,
-    /// Device losses survived via reset + checkpoint restore.
+    /// Card losses survived via evaluator recovery + checkpoint restore.
     pub recoveries: u32,
     /// Steps re-executed after rolling back to a checkpoint.
     pub steps_replayed: usize,
+    /// Ring members replaced by a spare *inside* an evaluation (multi-card
+    /// backends only; zero elsewhere). These never cost a rollback.
+    pub failovers: u64,
+    /// Checkpoints written to disk (zero without a [`SpillConfig`]).
+    pub checkpoint_spills: u64,
+    /// Virtual seconds charged for checkpoint spill writes.
+    pub spill_seconds: f64,
 }
 
-fn build_device_integrator(
-    device: &Arc<Device>,
-    n: usize,
-    config: SimulationConfig,
-    retry: RetryPolicy,
-) -> Result<Hermite4<DeviceForceKernel>> {
-    let pipeline = DeviceForcePipeline::new(Arc::clone(device), n, config.eps, config.num_cores)?;
-    Ok(Hermite4::new(DeviceForceKernel::with_retry(pipeline, retry)))
+// ---------------------------------------------------------------------------
+// Checkpoint storage: host memory, or a hashed spill file on disk.
+// ---------------------------------------------------------------------------
+
+const SPILL_MAGIC: u64 = 0x4e42_5454_434b_5054; // "NBTTCKPT"
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
-/// Evolve `system` on the device like [`run_device_simulation`], but survive
-/// injected faults: transient launch failures are retried in place, and a
-/// mid-run device loss triggers reset → pipeline rebuild → restore of the
-/// last FP64 checkpoint → replay. Because the checkpoint holds the exact
-/// host-side Hermite state and the force pipeline is deterministic, a
-/// recovered run is f64-bitwise identical to a fault-free one.
+fn spill_fault(message: String) -> LaunchError {
+    LaunchError::Device(TensixError::KernelFault { message })
+}
+
+/// Serialize the FP64 Hermite state: time, then mass/pos/vel/acc/jerk as
+/// little-endian f64 bit patterns (13 scalars per particle + 1).
+fn spill_payload(system: &ParticleSystem) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 * (1 + 13 * system.len()));
+    buf.extend_from_slice(&system.time.to_bits().to_le_bytes());
+    for &m in &system.mass {
+        buf.extend_from_slice(&m.to_bits().to_le_bytes());
+    }
+    for field in [&system.pos, &system.vel, &system.acc, &system.jerk] {
+        for v in field {
+            for &c in v {
+                buf.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+fn write_spill(
+    spill: &SpillConfig,
+    system: &ParticleSystem,
+    step: usize,
+) -> std::result::Result<u64, LaunchError> {
+    let payload = spill_payload(system);
+    let mut out = Vec::with_capacity(32 + payload.len());
+    out.extend_from_slice(&SPILL_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(step as u64).to_le_bytes());
+    out.extend_from_slice(&(system.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    std::fs::write(&spill.path, &out)
+        .map_err(|e| spill_fault(format!("checkpoint spill to {:?} failed: {e}", spill.path)))?;
+    Ok(out.len() as u64)
+}
+
+fn read_spill(spill: &SpillConfig) -> std::result::Result<(ParticleSystem, usize), LaunchError> {
+    let raw = std::fs::read(&spill.path)
+        .map_err(|e| spill_fault(format!("checkpoint read from {:?} failed: {e}", spill.path)))?;
+    let corrupt = |what: &str| spill_fault(format!("checkpoint {:?} corrupt: {what}", spill.path));
+    if raw.len() < 32 {
+        return Err(corrupt("truncated header"));
+    }
+    let word = |i: usize| u64::from_le_bytes(raw[8 * i..8 * (i + 1)].try_into().unwrap());
+    if word(0) != SPILL_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let step = word(1) as usize;
+    let n = word(2) as usize;
+    let payload = &raw[32..];
+    if payload.len() != 8 * (1 + 13 * n) {
+        return Err(corrupt("payload length does not match particle count"));
+    }
+    if fnv1a(payload) != word(3) {
+        return Err(corrupt("content hash mismatch"));
+    }
+    let mut scalars = payload.chunks_exact(8).map(|c| {
+        f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+    });
+    let mut system = ParticleSystem::with_capacity(n);
+    system.time = scalars.next().expect("length checked above");
+    system.mass = scalars.by_ref().take(n).collect();
+    let mut vec3s = |out: &mut Vec<[f64; 3]>| {
+        for _ in 0..n {
+            let mut v = [0.0; 3];
+            for c in &mut v {
+                *c = scalars.next().expect("length checked above");
+            }
+            out.push(v);
+        }
+    };
+    let (mut pos, mut vel, mut acc, mut jerk) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    vec3s(&mut pos);
+    vec3s(&mut vel);
+    vec3s(&mut acc);
+    vec3s(&mut jerk);
+    system.pos = pos;
+    system.vel = vel;
+    system.acc = acc;
+    system.jerk = jerk;
+    Ok((system, step))
+}
+
+/// The resilient runner's checkpoint slot: an in-memory clone, or — with a
+/// [`SpillConfig`] — a hashed file on disk that restores re-read and verify.
+struct CheckpointStore {
+    spill: Option<SpillConfig>,
+    memory: Option<ParticleSystem>,
+    step: usize,
+    spills: u64,
+    seconds: f64,
+}
+
+impl CheckpointStore {
+    fn new(spill: Option<SpillConfig>) -> Self {
+        CheckpointStore { spill, memory: None, step: 0, spills: 0, seconds: 0.0 }
+    }
+
+    fn save(
+        &mut self,
+        system: &ParticleSystem,
+        step: usize,
+    ) -> std::result::Result<(), LaunchError> {
+        self.step = step;
+        match &self.spill {
+            Some(spill) => {
+                let bytes = write_spill(spill, system, step)?;
+                self.spills += 1;
+                self.seconds += bytes as f64 / (spill.write_gbps * 1e9);
+                self.memory = None; // disk is the only copy: restores must go through it
+            }
+            None => self.memory = Some(system.clone()),
+        }
+        Ok(())
+    }
+
+    /// Restore the checkpoint into `system`, returning its step index.
+    fn restore(&self, system: &mut ParticleSystem) -> std::result::Result<usize, LaunchError> {
+        match &self.spill {
+            Some(spill) => {
+                let (state, step) = read_spill(spill)?;
+                if step != self.step || state.len() != system.len() {
+                    return Err(spill_fault(format!(
+                        "checkpoint {:?} is stale: holds step {step}, expected {}",
+                        spill.path, self.step
+                    )));
+                }
+                *system = state;
+            }
+            None => {
+                system.clone_from(self.memory.as_ref().expect("restore before first save"));
+            }
+        }
+        Ok(self.step)
+    }
+}
+
+/// Evolve `system` like [`run_simulation`], but survive injected faults:
+/// transient launch failures are retried in place (through the one shared
+/// retry driver), and a mid-run card loss goes through
+/// [`ForceEvaluator::recover_device_loss`] → restore of the last FP64
+/// checkpoint → replay. Because the checkpoint holds the exact host-side
+/// Hermite state and every backend is deterministic, a recovered run is
+/// f64-bitwise identical to a fault-free one — on a single card *and* on a
+/// multi-card ring.
 ///
 /// # Errors
-/// Pipeline construction failures, non-transient kernel faults, reset
-/// failures during recovery, or more than `recovery.max_recoveries` device
-/// losses.
+/// Non-transient faults the evaluator cannot recover from, checkpoint spill
+/// failures (including a content-hash mismatch on restore), or more than
+/// `recovery.max_recoveries` card losses.
 ///
 /// # Panics
 /// Re-raises kernel panics that are not device faults (e.g. assertion
-/// failures in kernel code).
-pub fn run_device_simulation_resilient(
-    device: &Arc<Device>,
+/// failures in kernel code); panics on a particle-count mismatch.
+pub fn run_simulation_resilient<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
     system: &mut ParticleSystem,
     config: SimulationConfig,
     recovery: RecoveryConfig,
 ) -> std::result::Result<ResilientOutcome, LaunchError> {
-    let n = system.len();
+    assert_eq!(system.len(), evaluator.n(), "evaluator built for n = {}", evaluator.n());
     let e0 = total_energy(system, config.eps);
-    let mut timing_acc = PipelineTiming::default();
     let mut recoveries: u32 = 0;
     let mut steps_replayed: usize = 0;
 
-    let mut integ = build_device_integrator(device, n, config, recovery.retry)?;
+    let integ = Hermite4::new(EvaluatorKernel::with_retry(Arc::clone(evaluator), recovery.retry));
+
+    // A catch_unwind'ed step, classified: Ok(true) success, Ok(false) a
+    // card loss the evaluator absorbed (caller restores the checkpoint),
+    // Err(..) terminal.
+    let guarded =
+        |body: &mut dyn FnMut(), recoveries: &mut u32| -> std::result::Result<bool, LaunchError> {
+            match catch_unwind(AssertUnwindSafe(body)) {
+                Ok(()) => Ok(true),
+                Err(payload) => match payload.downcast::<TensixError>() {
+                    Ok(err) => {
+                        let cause = LaunchError::from(*err);
+                        if cause.is_card_loss() && *recoveries < recovery.max_recoveries {
+                            *recoveries += 1;
+                            evaluator.recover_device_loss(cause)?;
+                            Ok(false)
+                        } else {
+                            Err(cause)
+                        }
+                    }
+                    Err(payload) => resume_unwind(payload),
+                },
+            }
+        };
 
     // Initialization: Hermite4::initialize only mutates the system after the
-    // force evaluation succeeds, so on device loss the state is untouched
-    // and we can simply reset and try again.
+    // force evaluation succeeds, so on card loss the state is untouched and
+    // we can simply recover and try again.
     loop {
-        match catch_unwind(AssertUnwindSafe(|| integ.initialize(system))) {
-            Ok(()) => break,
-            Err(payload) => match payload.downcast::<TensixError>() {
-                Ok(err) => match *err {
-                    TensixError::DeviceLost { .. } if recoveries < recovery.max_recoveries => {
-                        recoveries += 1;
-                        timing_acc.absorb(integ.kernel().pipeline().timing());
-                        device.reset()?;
-                        integ = build_device_integrator(device, n, config, recovery.retry)?;
-                    }
-                    other => return Err(LaunchError::from(other)),
-                },
-                Err(payload) => resume_unwind(payload),
-            },
+        if guarded(&mut || integ.initialize(system), &mut recoveries)? {
+            break;
         }
     }
 
     // Checkpoint *after* initialize: a resume restores the exact post-init
     // FP64 state and replays only whole steps, keeping bitwise identity.
-    let mut checkpoint = system.clone();
-    let mut checkpoint_step: usize = 0;
+    let mut checkpoint = CheckpointStore::new(recovery.spill.clone());
+    checkpoint.save(system, 0)?;
 
     let total_steps = config.cycles * config.steps_per_cycle;
     let mut step = 0;
     while step < total_steps {
-        match catch_unwind(AssertUnwindSafe(|| integ.step(system, config.dt))) {
-            Ok(()) => {
-                step += 1;
-                // Checkpoint on every full stride, including one landing on
-                // the final step: a device loss during a terminal partial
-                // stride must never replay more than `checkpoint_every`
-                // steps (the old `step < total_steps` guard broke that
-                // promise for late losses).
-                if step - checkpoint_step >= recovery.checkpoint_every.max(1) {
-                    checkpoint = system.clone();
-                    checkpoint_step = step;
-                }
+        if guarded(&mut || integ.step(system, config.dt), &mut recoveries)? {
+            step += 1;
+            // Checkpoint on every full stride, including one landing on the
+            // final step: a card loss during a terminal partial stride must
+            // never replay more than `checkpoint_every` steps.
+            if step - checkpoint.step >= recovery.checkpoint_every.max(1) {
+                checkpoint.save(system, step)?;
             }
-            Err(payload) => match payload.downcast::<TensixError>() {
-                Ok(err) => match *err {
-                    TensixError::DeviceLost { .. } if recoveries < recovery.max_recoveries => {
-                        recoveries += 1;
-                        timing_acc.absorb(integ.kernel().pipeline().timing());
-                        device.reset()?;
-                        integ = build_device_integrator(device, n, config, recovery.retry)?;
-                        // A failed step leaves `system` in the half-predicted
-                        // state Hermite4 writes before calling the kernel, so
-                        // recovery always restores the checkpoint.
-                        *system = checkpoint.clone();
-                        steps_replayed += step - checkpoint_step;
-                        step = checkpoint_step;
-                    }
-                    other => return Err(LaunchError::from(other)),
-                },
-                Err(payload) => resume_unwind(payload),
-            },
+        } else {
+            // A failed step leaves `system` in the half-predicted state
+            // Hermite4 writes before calling the kernel, so recovery always
+            // restores the checkpoint.
+            let restored = checkpoint.restore(system)?;
+            steps_replayed += step - restored;
+            step = restored;
         }
     }
 
     let e1 = total_energy(system, config.eps);
-    timing_acc.absorb(integ.kernel().pipeline().timing());
+    let mut timing = evaluator.timing();
+    if let Some(t) = timing.as_mut() {
+        // Spill writes are host IO on the virtual clock.
+        t.io_seconds += checkpoint.seconds;
+    }
     Ok(ResilientOutcome {
         outcome: SimulationOutcome {
             steps: total_steps,
@@ -241,41 +456,87 @@ pub fn run_device_simulation_resilient(
             energy_error: relative_energy_error(e1, e0),
             initial_energy: e0,
             final_energy: e1,
-            timing: Some(timing_acc),
-            kernel: "tenstorrent-wormhole",
+            timing,
+            kernel: evaluator.backend(),
         },
         recoveries,
         steps_replayed,
+        failovers: 0,
+        checkpoint_spills: checkpoint.spills,
+        spill_seconds: checkpoint.seconds,
     })
 }
 
+/// [`run_simulation_resilient`] on one Wormhole card: a mid-run device loss
+/// triggers reset → pipeline rebuild → checkpoint restore → replay.
+///
+/// # Errors
+/// Pipeline construction failures, non-transient kernel faults, reset
+/// failures during recovery, or more than `recovery.max_recoveries` device
+/// losses.
+///
+/// # Panics
+/// Same contract as [`run_simulation_resilient`].
+pub fn run_device_simulation_resilient(
+    device: &Arc<Device>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
+    let evaluator = Arc::new(SingleCardEvaluator::new(
+        Arc::clone(device),
+        system.len(),
+        config.eps,
+        config.num_cores,
+    )?);
+    run_simulation_resilient(&evaluator, system, config, recovery)
+}
+
+/// [`run_simulation_resilient`] on a multi-card ring with a spare pool: a
+/// card loss mid-run is first absorbed *inside* the evaluation by promoting
+/// a spare (no rollback at all); once spares are exhausted, the loss
+/// surfaces to the driver, which resets the dead card in place and restores
+/// the checkpoint like the single-card path.
+///
+/// # Errors
+/// Same contract as [`run_simulation_resilient`], plus ring construction
+/// failures.
+///
+/// # Panics
+/// Same contract as [`run_simulation_resilient`].
+pub fn run_ring_simulation_resilient(
+    devices: &[Arc<Device>],
+    spares: &[Arc<Device>],
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
+    let ring = Arc::new(MultiDevicePipeline::with_spares(
+        devices,
+        spares,
+        system.len(),
+        config.eps,
+        config.num_cores,
+    )?);
+    let mut out = run_simulation_resilient(&ring, system, config, recovery)?;
+    out.failovers = ring.timing().failovers;
+    Ok(out)
+}
+
 /// Evolve `system` with the CPU reference (threaded SIMD mixed-precision
-/// kernel — the stand-in for the paper's AVX-512 + OpenMP implementation).
+/// kernel — the stand-in for the paper's AVX-512 + OpenMP implementation),
+/// through the same evaluator seam as the device paths.
 #[must_use]
 pub fn run_cpu_simulation(
     system: &mut ParticleSystem,
     config: SimulationConfig,
     threads: usize,
 ) -> SimulationOutcome {
-    let kernel = ThreadedKernel::new(SimdKernel::new(config.eps), threads);
-    let name = kernel.name();
-    let integ = Hermite4::new(kernel);
-    let e0 = total_energy(system, config.eps);
-    integ.initialize(system);
-    let total_steps = config.cycles * config.steps_per_cycle;
-    for _ in 0..total_steps {
-        integ.step(system, config.dt);
-    }
-    let e1 = total_energy(system, config.eps);
-    SimulationOutcome {
-        steps: total_steps,
-        final_time: system.time,
-        energy_error: relative_energy_error(e1, e0),
-        initial_energy: e0,
-        final_energy: e1,
-        timing: None,
-        kernel: name,
-    }
+    let evaluator = Arc::new(CpuForceEvaluator::new(
+        ThreadedKernel::new(SimdKernel::new(config.eps), threads),
+        system.len(),
+    ));
+    run_simulation(&evaluator, system, config)
 }
 
 #[cfg(test)]
@@ -286,6 +547,12 @@ mod tests {
 
     fn small_config() -> SimulationConfig {
         SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
+    }
+
+    fn temp_spill(tag: &str) -> SpillConfig {
+        SpillConfig::new(
+            std::env::temp_dir().join(format!("nbody-ckpt-{tag}-{}.bin", std::process::id())),
+        )
     }
 
     #[test]
@@ -348,6 +615,7 @@ mod tests {
         .unwrap();
         assert_eq!(clean.recoveries, 0);
         assert_eq!(clean.steps_replayed, 0);
+        assert_eq!(clean.checkpoint_spills, 0, "no spill configured");
 
         // Launch events: initialize is #1, step i is #(i+1); kill the card
         // mid-way through the 4th step.
@@ -394,7 +662,8 @@ mod tests {
             // Launch events: initialize is #1, step i is #(i+1).
             dev.faults().schedule(FaultClass::DeviceLoss, (lost_step + 1) as u64);
             let mut sys = plummer(PlummerConfig { n: 64, seed: 105, ..PlummerConfig::default() });
-            let out = run_device_simulation_resilient(&dev, &mut sys, cfg, recovery).unwrap();
+            let out =
+                run_device_simulation_resilient(&dev, &mut sys, cfg, recovery.clone()).unwrap();
             assert_eq!(out.recoveries, 1, "loss at step {lost_step}");
             assert!(
                 out.steps_replayed < recovery.checkpoint_every,
@@ -432,5 +701,97 @@ mod tests {
         assert!(out.timing.is_none());
         assert!(out.energy_error < 1e-3);
         assert!(out.initial_energy < 0.0, "bound cluster");
+    }
+
+    #[test]
+    fn spilled_checkpoints_restore_bitwise_and_charge_the_clock() {
+        use tensix::fault::FaultClass;
+
+        let cfg = SimulationConfig {
+            eps: 0.05,
+            cycles: 2,
+            steps_per_cycle: 4,
+            dt: 1.0 / 256.0,
+            num_cores: 1,
+        };
+        let mk = || plummer(PlummerConfig { n: 256, seed: 106, ..PlummerConfig::default() });
+
+        // In-memory reference with the same injected loss.
+        let dev_mem = Device::new(0, DeviceConfig::default());
+        dev_mem.faults().schedule(FaultClass::DeviceLoss, 6);
+        let mut sys_mem = mk();
+        let mem =
+            run_device_simulation_resilient(&dev_mem, &mut sys_mem, cfg, RecoveryConfig::default())
+                .unwrap();
+        assert_eq!(mem.recoveries, 1);
+
+        let spill = temp_spill("roundtrip");
+        let dev = Device::new(0, DeviceConfig::default());
+        dev.faults().schedule(FaultClass::DeviceLoss, 6);
+        let mut sys = mk();
+        let recovery = RecoveryConfig { spill: Some(spill.clone()), ..RecoveryConfig::default() };
+        let out = run_device_simulation_resilient(&dev, &mut sys, cfg, recovery).unwrap();
+        let _ = std::fs::remove_file(&spill.path);
+
+        assert_eq!(out.recoveries, 1);
+        assert!(out.checkpoint_spills >= 2, "post-init + stride checkpoints hit disk");
+        assert!(out.spill_seconds > 0.0, "spill writes must be charged");
+
+        // Restoring through the disk file is invisible to the physics.
+        assert_eq!(sys.pos, sys_mem.pos);
+        assert_eq!(sys.vel, sys_mem.vel);
+        assert_eq!(out.outcome.final_energy.to_bits(), mem.outcome.final_energy.to_bits());
+        // The spill IO lands on the virtual clock.
+        let t = out.outcome.timing.unwrap();
+        let tm = mem.outcome.timing.unwrap();
+        assert!((t.io_seconds - tm.io_seconds - out.spill_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_spill_is_rejected_on_restore() {
+        let spill = temp_spill("corrupt");
+        let sys = plummer(PlummerConfig { n: 32, seed: 107, ..PlummerConfig::default() });
+        let mut store = CheckpointStore::new(Some(spill.clone()));
+        store.save(&sys, 3).unwrap();
+
+        // Round-trips clean first.
+        let mut scratch = sys.clone();
+        assert_eq!(store.restore(&mut scratch).unwrap(), 3);
+        assert_eq!(scratch.pos, sys.pos);
+
+        // Flip one payload bit: the content hash must catch it.
+        let mut raw = std::fs::read(&spill.path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&spill.path, &raw).unwrap();
+        let err = store.restore(&mut scratch).unwrap_err();
+        assert!(err.to_string().contains("hash mismatch"), "{err}");
+        let _ = std::fs::remove_file(&spill.path);
+    }
+
+    #[test]
+    fn resilient_driver_is_backend_agnostic() {
+        // The CPU evaluator through the *same* generic resilient driver:
+        // no retries or recoveries, but checkpoints and accounting flow.
+        let mut sys = plummer(PlummerConfig { n: 64, seed: 108, ..PlummerConfig::default() });
+        let evaluator = Arc::new(CpuForceEvaluator::new(
+            ThreadedKernel::new(SimdKernel::new(0.05), 2),
+            sys.len(),
+        ));
+        let out = run_simulation_resilient(
+            &evaluator,
+            &mut sys,
+            small_config(),
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.outcome.kernel, "threaded");
+        assert_eq!(out.recoveries, 0);
+        assert!(out.outcome.timing.is_none());
+
+        // And it matches the plain CPU run bitwise.
+        let mut plain = plummer(PlummerConfig { n: 64, seed: 108, ..PlummerConfig::default() });
+        let _ = run_cpu_simulation(&mut plain, small_config(), 2);
+        assert_eq!(sys.pos, plain.pos);
     }
 }

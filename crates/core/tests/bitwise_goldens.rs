@@ -15,7 +15,7 @@
 
 use nbody::ic::{plummer, PlummerConfig};
 use nbody::particle::{Forces, ParticleSystem};
-use nbody_tt::{DeviceForcePipeline, HostArrays};
+use nbody_tt::{DeviceForcePipeline, HostArrays, MultiDevicePipeline};
 use tensix::{Device, DeviceConfig};
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -191,4 +191,33 @@ fn seed_golden_multi_core() {
     assert_eq!(t.evaluations, 1);
     assert_eq!(t.last_eval_cycles, 14_296_368);
     assert_eq!(t.busy_cycles, 30_652_656);
+}
+
+#[test]
+fn seed_golden_ring_loss() {
+    // The same seed as `seed_golden_multi_core`, computed by a two-card ring
+    // (one core each — the per-tile arithmetic is split-invariant, so the
+    // forces hash is the same golden) with card 1 falling off the bus on its
+    // first launch and a spare taking over mid-evaluation. Failover must be
+    // invisible to the physics AND keep the forces pinned to the golden.
+    use tensix::fault::FaultClass;
+
+    let (n, seed, eps) = (2560usize, 91u64, 0.02f64);
+    let sys = plummer(PlummerConfig { n, seed, ..PlummerConfig::default() });
+    let devices =
+        vec![Device::new(0, DeviceConfig::default()), Device::new(1, DeviceConfig::default())];
+    devices[1].faults().schedule(FaultClass::DeviceLoss, 1);
+    let spare = Device::new(9, DeviceConfig::default());
+    let ring = MultiDevicePipeline::with_spares(&devices, &[spare], n, eps, 1).unwrap();
+    let f = ring.evaluate_checked(&sys).unwrap();
+    assert_eq!(forces_hash(&f), 0x3978_aee1_c9f4_4781);
+    assert_eq!(
+        f.acc[0].map(f64::to_bits),
+        [4604718705299947520, 13827545320499707904, 13825608754642550784]
+    );
+    let t = ring.timing();
+    assert_eq!(t.failovers, 1);
+    assert_eq!(t.evaluations, 1);
+    assert!(t.comm_seconds > 0.0);
+    assert_eq!(t.pipeline.evaluations, 2, "surviving card + promoted spare");
 }

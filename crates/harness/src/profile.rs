@@ -26,7 +26,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use nbody::ic::{plummer, PlummerConfig};
-use nbody_tt::{DeviceForcePipeline, PipelineTiming};
+use nbody_tt::{DeviceForcePipeline, MultiDevicePipeline, MultiDeviceTiming, PipelineTiming};
 use tensix::{Device, DeviceConfig, NocId};
 use tt_trace::{
     check_monotonic_per_track, check_nesting, parse_chrome_trace, to_chrome_trace, EventKind,
@@ -356,6 +356,77 @@ fn count_tracks(chrome: &str) -> usize {
     chrome.matches("\"thread_name\"").count()
 }
 
+/// Timing breakdown of one ring demo evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingDemo {
+    /// Per-card pipeline timing, in ring order.
+    pub per_device: Vec<PipelineTiming>,
+    /// The ring aggregate (critical-path device time + all-gather comm).
+    pub aggregate: MultiDeviceTiming,
+}
+
+/// Run the `--devices N` demo: the same force evaluation on a single card
+/// with `devices × cores_per_device` cores and on a `devices`-card ring
+/// with `cores_per_device` cores each. The tile split is identical, so the
+/// two are *asserted* bitwise-equal before the timing breakdown is
+/// returned — the ring axis is an observability demo and a correctness
+/// check at once.
+///
+/// # Panics
+/// Panics when either pipeline fails or the ring's forces differ from the
+/// single card's in any bit.
+#[must_use]
+pub fn run_ring_demo(n: usize, devices: usize, cores_per_device: usize) -> RingDemo {
+    let sys = plummer(PlummerConfig { n, seed: 1905, ..PlummerConfig::default() });
+    let eps = 0.01;
+
+    let single_dev = Device::new(0, DeviceConfig::default());
+    let single = DeviceForcePipeline::new(single_dev, n, eps, devices * cores_per_device)
+        .expect("single-card pipeline");
+    let base = single.evaluate(&sys).expect("single-card evaluation");
+
+    let devs: Vec<_> = (0..devices).map(|id| Device::new(id, DeviceConfig::default())).collect();
+    let ring = MultiDevicePipeline::new(&devs, n, eps, cores_per_device).expect("ring pipeline");
+    let forces = ring.evaluate(&sys).expect("ring evaluation");
+    assert_eq!(forces.acc, base.acc, "ring split must not change accelerations");
+    assert_eq!(forces.jerk, base.jerk, "ring split must not change jerks");
+
+    RingDemo { per_device: ring.per_device_timing(), aggregate: ring.timing() }
+}
+
+/// Render the ring demo breakdown.
+#[must_use]
+pub fn render_ring_demo(demo: &RingDemo) -> String {
+    let mut out = String::new();
+    out.push_str("per-device ring breakdown:\n");
+    out.push_str("  card  device_s    busy_cycles  retries\n");
+    for (i, t) in demo.per_device.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:.6}  {:>12}  {:>7}",
+            i, t.device_seconds, t.busy_cycles, t.retries
+        );
+    }
+    let a = &demo.aggregate;
+    let _ = writeln!(
+        out,
+        "  ring  device {:.6} s (critical path) + comm {:.6} s | occupancy {:.6} s",
+        a.device_seconds, a.comm_seconds, a.pipeline.device_seconds
+    );
+    out
+}
+
+/// Parse the `--devices N` axis from the CLI args (default 1).
+#[must_use]
+pub fn devices_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--devices")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// When `--profile` is among the CLI args, run the traced demo evaluation
 /// (N = 1024 over 2 cores), write the artifacts under `results/profile/`,
 /// print the profile report, and return `true` (callers should then skip
@@ -375,6 +446,13 @@ pub fn maybe_run_profile() -> bool {
         out_dir.join("trace.json").display()
     );
     println!("open the trace in https://ui.perfetto.dev (Open trace file).");
+    let devices = devices_arg();
+    if devices > 1 {
+        let demo = run_ring_demo(1024, devices, 1);
+        println!("\n=== ring profile (N = 1024, {devices} cards × 1 core) ===\n");
+        println!("{}", render_ring_demo(&demo));
+        println!("ring forces verified bitwise-identical to the single card.");
+    }
     true
 }
 
@@ -447,6 +525,22 @@ mod tests {
         assert_eq!(p.stalls[0].kernel, "writer");
         let rendered = p.render(4);
         assert!(rendered.contains("writer blocked on cb 16 as consumer"), "{rendered}");
+    }
+
+    #[test]
+    fn ring_demo_breaks_down_per_device_and_stays_bitwise() {
+        // run_ring_demo asserts bitwise equality internally; here we pin the
+        // breakdown's shape.
+        let demo = run_ring_demo(256, 2, 1);
+        assert_eq!(demo.per_device.len(), 2);
+        assert!(demo.per_device.iter().all(|t| t.evaluations == 1 && t.busy_cycles > 0));
+        assert!(demo.aggregate.comm_seconds > 0.0, "ring all-gather must be billed");
+        let occupancy: f64 = demo.per_device.iter().map(|t| t.device_seconds).sum();
+        assert!((demo.aggregate.pipeline.device_seconds - occupancy).abs() < 1e-12);
+        assert!(demo.aggregate.device_seconds <= occupancy, "critical path ≤ total occupancy");
+        let rendered = render_ring_demo(&demo);
+        assert!(rendered.contains("card"), "{rendered}");
+        assert!(rendered.contains("critical path"), "{rendered}");
     }
 
     #[test]

@@ -99,8 +99,13 @@ pub struct JobSpec {
     pub sleep_seconds: f64,
     /// Cards installed (4).
     pub cards: usize,
-    /// Which card computes (the paper's Fig. 4 run used device 3).
+    /// Which card computes (the paper's Fig. 4 run used device 3). For a
+    /// multi-device job this is the first card of the ring.
     pub active_card: usize,
+    /// Cards computing, as a ring starting at `active_card` (1 = the
+    /// paper's single-card job; `active_card + devices` must fit in
+    /// `cards`).
+    pub devices: usize,
     /// Card wattage parameters (incl. the burst duty from the perf model).
     pub card_params: PowerParams,
     /// Host power during the simulation window, W.
@@ -179,6 +184,14 @@ pub struct JobRecord {
     /// records the watchdog's one unresolved wait for a
     /// [`FailurePhase::Timeout`] job and zero otherwise.
     pub cb_consumer_stalls: u64,
+    /// Per-ring-card split of [`JobRecord::retry_cost`] (one entry per
+    /// computing card, cycle-exact: the entries sum back to the job total).
+    /// Empty for jobs that died before any card computed.
+    pub device_retry: Vec<RetryCost>,
+    /// Ring members replaced by a spare mid-run. The modeled campaign
+    /// runner records zero (its loss model is job-level); pipeline-backed
+    /// runners fill this from `ResilientOutcome::failovers`.
+    pub failovers: u64,
 }
 
 impl JobRecord {
@@ -205,6 +218,8 @@ impl JobRecord {
             retry_cost: RetryCost::default(),
             cb_producer_stalls: 0,
             cb_consumer_stalls: 0,
+            device_retry: Vec::new(),
+            failovers: 0,
         }
     }
 
@@ -218,6 +233,15 @@ impl JobRecord {
 /// Run one job.
 #[must_use]
 pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
+    assert!(spec.devices >= 1, "a job computes on at least one card");
+    assert!(
+        spec.active_card + spec.devices <= spec.cards,
+        "ring of {} cards starting at {} does not fit in {} installed",
+        spec.devices,
+        spec.active_card,
+        spec.cards
+    );
+    let ring = spec.active_card..spec.active_card + spec.devices;
     let mut rng =
         SmallRng::seed_from_u64(seed ^ (job_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
 
@@ -300,6 +324,7 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
             // The hang burned its whole wall-clock budget for nothing, stuck
             // in one CB wait the watchdog eventually killed.
             rec.retry_cost.wasted_cycles = model_cycles(duration);
+            rec.device_retry = split_retry(rec.retry_cost, spec.devices);
             rec.cb_consumer_stalls = 1;
             return rec;
         }
@@ -319,6 +344,7 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
                 // The loss lands uniformly in the window; bill the expected
                 // half window as discarded work.
                 rec.retry_cost.wasted_cycles = model_cycles(0.5 * duration);
+                rec.device_retry = split_retry(rec.retry_cost, spec.devices);
                 return rec;
             }
         }
@@ -330,7 +356,7 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
     for d in &devices {
         d.record_power(PowerState::Idle, spec.sleep_seconds);
         let compute_state = match spec.kind {
-            JobKind::Accelerated if d.id() == spec.active_card => PowerState::ComputeActive,
+            JobKind::Accelerated if ring.contains(&d.id()) => PowerState::ComputeActive,
             JobKind::Accelerated => PowerState::PoweredUnused,
             // CPU-only runs leave the cards at their idle baseline.
             JobKind::CpuOnly => PowerState::Idle,
@@ -421,12 +447,32 @@ pub fn run_job(spec: &JobSpec, job_id: usize, seed: u64) -> JobRecord {
         },
         cb_producer_stalls: 0,
         cb_consumer_stalls: 0,
+        device_retry: split_retry(
+            RetryCost { useful_cycles: model_cycles(duration), wasted_cycles: 0, redo_cycles },
+            spec.devices,
+        ),
+        failovers: 0,
     }
 }
 
 /// Seconds of the modeled timeline at the device clock (1 cycle = 1 ns).
 fn model_cycles(seconds: f64) -> u64 {
     (seconds * tensix::CLOCK_HZ) as u64
+}
+
+/// Split a job-level [`RetryCost`] evenly across the ring's cards,
+/// cycle-exact (remainders go to the lowest-indexed cards, so the entries
+/// always sum back to the total).
+fn split_retry(total: RetryCost, devices: usize) -> Vec<RetryCost> {
+    let d = devices.max(1) as u64;
+    let share = |v: u64, i: u64| v / d + u64::from(i < v % d);
+    (0..d)
+        .map(|i| RetryCost {
+            useful_cycles: share(total.useful_cycles, i),
+            wasted_cycles: share(total.wasted_cycles, i),
+            redo_cycles: share(total.redo_cycles, i),
+        })
+        .collect()
 }
 
 /// Run a campaign of `jobs` submissions.
@@ -457,6 +503,9 @@ pub struct CampaignCensus {
     pub failed_timeout: usize,
     /// Reset retries consumed across the whole campaign.
     pub reset_retries_used: u64,
+    /// Ring members replaced by a spare across the whole campaign
+    /// (pipeline-backed runners only; the modeled runner reports zero).
+    pub failovers: u64,
 }
 
 impl CampaignCensus {
@@ -473,6 +522,7 @@ pub fn census(records: &[JobRecord]) -> CampaignCensus {
     let mut c = CampaignCensus { submitted: records.len(), ..CampaignCensus::default() };
     for r in records {
         c.reset_retries_used += u64::from(r.reset_retries_used);
+        c.failovers += r.failovers;
         match r.outcome {
             JobOutcome::Success => c.succeeded += 1,
             JobOutcome::Failed(FailurePhase::Reset) => c.failed_reset += 1,
@@ -496,6 +546,7 @@ mod tests {
             sleep_seconds: 120.0,
             cards: 4,
             active_card: 3,
+            devices: 1,
             card_params: PowerParams::default(),
             host_sim_power_w: 152.7,
             host_idle_power_w: 130.0,
@@ -556,6 +607,40 @@ mod tests {
 
     fn spec_sleep() -> f64 {
         120.0
+    }
+
+    #[test]
+    fn ring_job_powers_every_ring_card_and_splits_retry_cycle_exact() {
+        // A 3-card ring starting at card 1: cards 1..4 compute, card 0 is
+        // powered but unused, and the job's retry cycles split across the
+        // ring so the per-device columns sum back to the job total.
+        let spec = JobSpec { active_card: 1, devices: 3, reset_failure_prob: 0.0, ..accel_spec() };
+        let rec = run_job(&spec, 0, 42);
+        assert!(rec.success());
+        let (t0, t1) = rec.sim_window;
+        for s in &rec.card_series[1..4] {
+            let w: Vec<f64> = s.window(t0 + 5.0, t1 - 5.0).iter().map(|p| p.watts).collect();
+            assert!(w.iter().all(|x| (25.4..=33.6).contains(x)), "ring card idle during run");
+        }
+        for p in rec.card_series[0].window(t0 + 5.0, t1 - 5.0) {
+            assert!(p.watts < 20.0, "non-ring card drawing {}", p.watts);
+        }
+        assert_eq!(rec.device_retry.len(), 3);
+        let sum: u64 = rec.device_retry.iter().map(|c| c.useful_cycles).sum();
+        assert_eq!(sum, rec.retry_cost.useful_cycles, "split must be cycle-exact");
+        assert!(
+            rec.device_retry[0].useful_cycles >= rec.device_retry[2].useful_cycles,
+            "remainder cycles go to the lowest-indexed cards"
+        );
+        assert_eq!(rec.failovers, 0, "the modeled runner never promotes a spare");
+        assert_eq!(census(&[rec]).failovers, 0);
+    }
+
+    #[test]
+    fn ring_must_fit_in_the_installed_cards() {
+        let spec = JobSpec { active_card: 3, devices: 2, ..accel_spec() };
+        let err = std::panic::catch_unwind(|| run_job(&spec, 0, 1));
+        assert!(err.is_err(), "ring 3..5 cannot fit in 4 cards");
     }
 
     #[test]

@@ -94,7 +94,8 @@ pub fn read_csv(path: &Path) -> io::Result<Vec<SampleSeries>> {
 /// ```text
 /// job_id,kind,outcome,reset_retries,recovery_s,time_s,card_energy_j,
 /// cpu_energy_j,total_energy_j,peak_w,useful_cycles,wasted_cycles,
-/// redo_cycles,cb_producer_stalls,cb_consumer_stalls
+/// redo_cycles,cb_producer_stalls,cb_consumer_stalls,devices,failovers,
+/// dev_retry
 /// ```
 ///
 /// * `kind` — `accel` or `cpu`;
@@ -102,13 +103,18 @@ pub fn read_csv(path: &Path) -> io::Result<Vec<SampleSeries>> {
 /// * the three `*_cycles` columns are the job's [`RetryCost`]
 ///   (`crate::retry::RetryCost`) at the 1 GHz device clock;
 /// * the two `cb_*_stalls` columns carry the blocking-CB-wait counters
-///   (see [`JobRecord::cb_producer_stalls`] for who fills them).
+///   (see [`JobRecord::cb_producer_stalls`] for who fills them);
+/// * `devices` — the job's ring width (0 for a record that never ran);
+/// * `failovers` — ring members a spare replaced mid-run;
+/// * `dev_retry` — per-card [`RetryCost`] packed as
+///   `useful:wasted:redo|useful:wasted:redo|…`, one segment per ring card,
+///   summing cycle-exactly to the three job-level columns.
 #[must_use]
 pub fn jobs_to_csv(records: &[JobRecord]) -> String {
     let mut out = String::from(
         "job_id,kind,outcome,reset_retries,recovery_s,time_s,card_energy_j,cpu_energy_j,\
          total_energy_j,peak_w,useful_cycles,wasted_cycles,redo_cycles,cb_producer_stalls,\
-         cb_consumer_stalls\n",
+         cb_consumer_stalls,devices,failovers,dev_retry\n",
     );
     let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
     for r in records {
@@ -122,9 +128,15 @@ pub fn jobs_to_csv(records: &[JobRecord]) -> String {
             JobOutcome::Failed(FailurePhase::MidRun) => "mid_run",
             JobOutcome::Failed(FailurePhase::Timeout) => "timeout",
         };
+        let dev_retry = r
+            .device_retry
+            .iter()
+            .map(|c| format!("{}:{}:{}", c.useful_cycles, c.wasted_cycles, c.redo_cycles))
+            .collect::<Vec<_>>()
+            .join("|");
         let _ = writeln!(
             out,
-            "{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.job_id,
             kind,
             outcome,
@@ -140,6 +152,9 @@ pub fn jobs_to_csv(records: &[JobRecord]) -> String {
             r.retry_cost.redo_cycles,
             r.cb_producer_stalls,
             r.cb_consumer_stalls,
+            r.device_retry.len(),
+            r.failovers,
+            dev_retry,
         );
     }
     out
@@ -225,6 +240,19 @@ mod tests {
         ok.retry_cost.useful_cycles = 301_400_000_000;
         ok.retry_cost.redo_cycles = 1_000;
         ok.cb_consumer_stalls = 7;
+        ok.device_retry = vec![
+            crate::retry::RetryCost {
+                useful_cycles: 150_700_000_000,
+                wasted_cycles: 0,
+                redo_cycles: 500,
+            },
+            crate::retry::RetryCost {
+                useful_cycles: 150_700_000_000,
+                wasted_cycles: 0,
+                redo_cycles: 500,
+            },
+        ];
+        ok.failovers = 1;
         let mut hung = JobRecord::failed(1, JobKind::Accelerated, FailurePhase::Timeout);
         hung.retry_cost.wasted_cycles = 99;
         hung.cb_consumer_stalls = 1;
@@ -233,15 +261,19 @@ mod tests {
         let header = lines.next().unwrap();
         assert!(header.starts_with("job_id,kind,outcome"));
         assert!(header.ends_with(
-            "useful_cycles,wasted_cycles,redo_cycles,cb_producer_stalls,cb_consumer_stalls"
+            "useful_cycles,wasted_cycles,redo_cycles,cb_producer_stalls,cb_consumer_stalls,\
+             devices,failovers,dev_retry"
         ));
         let row0 = lines.next().unwrap();
         assert!(row0.starts_with("0,accel,success,"), "{row0}");
-        assert!(row0.ends_with(",301400000000,0,1000,0,7"), "{row0}");
+        assert!(
+            row0.ends_with(",301400000000,0,1000,0,7,2,1,150700000000:0:500|150700000000:0:500"),
+            "{row0}"
+        );
         let row1 = lines.next().unwrap();
         assert!(row1.contains(",timeout,"), "{row1}");
         assert!(row1.contains(",,,,,"), "failed job leaves measurement cells empty: {row1}");
-        assert!(row1.ends_with(",0,99,0,0,1"), "{row1}");
+        assert!(row1.ends_with(",0,99,0,0,1,0,0,"), "{row1}");
     }
 
     #[test]

@@ -118,6 +118,19 @@ impl LaunchError {
         )
     }
 
+    /// Whether this failure takes the whole card out of service: the card
+    /// fell off the bus, or its ERISC chip-to-chip link died (a ring member
+    /// without a link is as gone as a dead card). These are the failures a
+    /// spare can absorb, and the ones in-place retries can never fix — the
+    /// card's DRAM contents are unreachable.
+    #[must_use]
+    pub fn is_card_loss(&self) -> bool {
+        matches!(
+            self,
+            LaunchError::DeviceLost { .. } | LaunchError::Device(TensixError::EthLinkDown { .. })
+        )
+    }
+
     /// Per-core completed-tile inventory of the failed attempt, when the
     /// supervisor captured one. Empty for device loss, timeout and setup
     /// errors (no kernel ran or the board is untrustworthy).

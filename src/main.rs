@@ -4,7 +4,8 @@
 //! tt-nbody run   [--ic plummer|king|uniform|collapse|merger] [--n 512]
 //!                [--backend device|cpu|reference] [--integrator hermite|leapfrog|block]
 //!                [--steps 32] [--dt 0.00390625] [--eps 0.01] [--cores 2]
-//!                [--devices 1] [--threads 4] [--seed 0]
+//!                [--devices 1] [--spares 0] [--resilient] [--inject-loss 0]
+//!                [--threads 4] [--seed 0]
 //! tt-nbody validate [--n 1024]
 //! tt-nbody model
 //! ```
@@ -12,6 +13,13 @@
 //! `run` evolves a cluster and reports conservation diagnostics plus, for
 //! the device backend, the virtual-time accounting. `validate` prints the
 //! §3 accuracy table. `model` prints the calibrated paper-scale summary.
+//!
+//! With `--devices N` (N > 1) the device backend runs the resilient Hermite
+//! driver over an N-card ring; `--spares` adds hot spares, and
+//! `--inject-loss L` kills the last ring card at launch event `L` and then
+//! verifies the surviving run against an unfaulted twin, bit for bit.
+//! `--resilient` routes a single-card run through the same driver
+//! (checkpoint/restart + watchdog) instead of the bare integrator.
 
 use std::sync::Arc;
 
@@ -23,7 +31,11 @@ use nbody::ic::{
 };
 use nbody::integrator::{BlockHermite, Hermite4, Integrator, Leapfrog};
 use nbody::particle::ParticleSystem;
-use nbody_tt::{DeviceForceKernel, DeviceForcePipeline, MultiDevicePipeline};
+use nbody_tt::{
+    run_device_simulation_resilient, run_ring_simulation_resilient, DeviceForceKernel,
+    DeviceForcePipeline, RecoveryConfig, ResilientOutcome, SimulationConfig,
+};
+use tensix::fault::FaultClass;
 use tensix::{Device, DeviceConfig};
 
 /// Parsed command line.
@@ -39,6 +51,9 @@ struct Options {
     eps: f64,
     cores: usize,
     devices: usize,
+    spares: usize,
+    resilient: bool,
+    inject_loss: u64,
     threads: usize,
     seed: u64,
 }
@@ -56,6 +71,9 @@ impl Default for Options {
             eps: 0.01,
             cores: 2,
             devices: 1,
+            spares: 0,
+            resilient: false,
+            inject_loss: 0,
             threads: 4,
             seed: 0,
         }
@@ -82,6 +100,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--cores" => opts.cores = value()?.parse().map_err(|e| format!("--cores: {e}"))?,
             "--devices" => {
                 opts.devices = value()?.parse().map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--spares" => {
+                opts.spares = value()?.parse().map_err(|e| format!("--spares: {e}"))?;
+            }
+            "--resilient" => opts.resilient = true,
+            "--inject-loss" => {
+                opts.inject_loss = value()?.parse().map_err(|e| format!("--inject-loss: {e}"))?;
             }
             "--threads" => {
                 opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
@@ -138,6 +163,88 @@ fn run_with_kernel<K: ForceKernel>(opts: &Options, sys: &mut ParticleSystem, ker
     );
 }
 
+/// The resilient driver's step schedule for the CLI: `--steps` Hermite
+/// steps, checkpointed every [`RecoveryConfig::default`] stride.
+fn sim_config(opts: &Options) -> SimulationConfig {
+    SimulationConfig {
+        eps: opts.eps,
+        cycles: opts.steps,
+        steps_per_cycle: 1,
+        dt: opts.dt,
+        num_cores: opts.cores,
+    }
+}
+
+fn report_resilient(out: &ResilientOutcome) {
+    println!(
+        "resilient run ({}): {} steps to t = {:.5}, |dE/E| = {:.3e}",
+        out.outcome.kernel, out.outcome.steps, out.outcome.final_time, out.outcome.energy_error
+    );
+    println!(
+        "failovers: {} | recoveries: {} | steps replayed: {}",
+        out.failovers, out.recoveries, out.steps_replayed
+    );
+    if let Some(t) = out.outcome.timing {
+        println!(
+            "card occupancy {:.3} ms over {} evaluations ({} retries, {} partial redos)",
+            t.device_seconds * 1e3,
+            t.evaluations,
+            t.retries,
+            t.partial_redos
+        );
+    }
+}
+
+/// The `--devices N` ring path: the generic resilient Hermite driver over
+/// an N-card ring with `--spares` hot spares. `--inject-loss L` kills the
+/// last ring card at launch event `L`, then re-runs an unfaulted twin and
+/// verifies the surviving run against it bit for bit.
+fn run_ring(opts: &Options, sys: &mut ParticleSystem) -> Result<(), String> {
+    let mk_devices = |base: usize, count: usize| -> Vec<Arc<Device>> {
+        (base..base + count).map(|id| Device::new(id, DeviceConfig::default())).collect()
+    };
+    let config = sim_config(opts);
+    let devices = mk_devices(0, opts.devices);
+    let spares = mk_devices(opts.devices, opts.spares);
+    if opts.inject_loss > 0 {
+        devices[opts.devices - 1].faults().schedule(FaultClass::DeviceLoss, opts.inject_loss);
+        println!(
+            "injecting device loss on card {} at launch event {}",
+            opts.devices - 1,
+            opts.inject_loss
+        );
+    }
+    let out =
+        run_ring_simulation_resilient(&devices, &spares, sys, config, RecoveryConfig::default())
+            .map_err(|e| e.to_string())?;
+    println!("{} devices, {} spares:", opts.devices, opts.spares);
+    report_resilient(&out);
+
+    if opts.inject_loss > 0 {
+        let mut clean_sys = build_system(opts)?;
+        let clean = run_ring_simulation_resilient(
+            &mk_devices(0, opts.devices),
+            &[],
+            &mut clean_sys,
+            config,
+            RecoveryConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let same = sys
+            .pos
+            .iter()
+            .chain(sys.vel.iter())
+            .zip(clean_sys.pos.iter().chain(clean_sys.vel.iter()))
+            .all(|(a, b)| (0..3).all(|k| a[k].to_bits() == b[k].to_bits()))
+            && out.outcome.final_energy.to_bits() == clean.outcome.final_energy.to_bits();
+        println!("bitwise-identical to unfaulted run: {same}");
+        if !same {
+            return Err("faulted ring run diverged from the unfaulted twin".into());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let mut sys = build_system(opts)?;
     println!(
@@ -145,26 +252,20 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         opts.n, opts.ic, opts.backend, opts.cores, opts.integrator
     );
     match opts.backend.as_str() {
-        "device" if opts.devices > 1 => {
-            let devices: Vec<Arc<Device>> =
-                (0..opts.devices).map(|id| Device::new(id, DeviceConfig::default())).collect();
-            let multi = MultiDevicePipeline::new(&devices, opts.n, opts.eps, opts.cores)
-                .map_err(|e| e.to_string())?;
-            // One evaluation demo across cards (the integrator path uses a
-            // single card; multi-card stepping arrives with the MPI layer).
-            let f = multi.evaluate(&sys).map_err(|e| e.to_string())?;
-            sys.set_forces(f.acc, f.jerk);
-            let t = multi.timing();
-            println!(
-                "{} devices: force evaluation done, slowest card {:.3} ms + allgather {:.3} ms",
-                multi.num_devices(),
-                t.device_seconds * 1e3,
-                t.comm_seconds * 1e3
-            );
+        "device" if opts.devices > 1 => run_ring(opts, &mut sys)?,
+        "device" if opts.resilient => {
             let device = Device::new(0, DeviceConfig::default());
-            let pipeline = DeviceForcePipeline::new(device, opts.n, opts.eps, opts.cores)
-                .map_err(|e| e.to_string())?;
-            run_with_kernel(opts, &mut sys, DeviceForceKernel::new(pipeline));
+            if opts.inject_loss > 0 {
+                device.faults().schedule(FaultClass::DeviceLoss, opts.inject_loss);
+            }
+            let out = run_device_simulation_resilient(
+                &device,
+                &mut sys,
+                sim_config(opts),
+                RecoveryConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            report_resilient(&out);
         }
         "device" => {
             let device = Device::new(0, DeviceConfig::default());
@@ -274,6 +375,11 @@ mod tests {
             "4",
             "--devices",
             "2",
+            "--spares",
+            "1",
+            "--resilient",
+            "--inject-loss",
+            "3",
             "--threads",
             "8",
             "--seed",
@@ -287,7 +393,26 @@ mod tests {
         assert_eq!(o.steps, 10);
         assert!((o.dt - 0.001).abs() < 1e-12);
         assert_eq!(o.devices, 2);
+        assert_eq!(o.spares, 1);
+        assert!(o.resilient);
+        assert_eq!(o.inject_loss, 3);
         assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn ring_run_with_injected_loss_survives_and_verifies() {
+        // The CLI's own twin-run bitwise check: a 2-card ring with a spare
+        // and a mid-run loss must complete (and verify) end to end.
+        let o = Options {
+            n: 256,
+            steps: 4,
+            devices: 2,
+            spares: 1,
+            inject_loss: 2,
+            cores: 1,
+            ..Options::default()
+        };
+        cmd_run(&o).unwrap();
     }
 
     #[test]

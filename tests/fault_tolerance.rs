@@ -20,6 +20,7 @@ fn quick_spec(reset_failure_prob: f64) -> JobSpec {
         sleep_seconds: 10.0,
         cards: 4,
         active_card: 3,
+        devices: 1,
         card_params: PowerParams::default(),
         host_sim_power_w: 152.7,
         host_idle_power_w: 130.0,
