@@ -2,11 +2,14 @@
 //!
 //! The vendored `criterion` is an offline no-op skeleton (it compiles the
 //! bench harnesses but measures nothing), so the regression gate is a plain
-//! `std::time::Instant` binary. It runs quick versions of the three hot-path
+//! `std::time::Instant` binary. It runs quick versions of the hot-path
 //! workloads named by the bench trajectory — `time_to_solution` (end-to-end
-//! device force pipeline), `cb_throughput` (cross-thread circular-buffer
-//! streaming), and `tile_ops` (FPU/SFPU tile math) — and writes
-//! `BENCH_pipeline.json` at the repo root:
+//! device force pipeline), `multi_device_time_to_solution` (2-card ring),
+//! `cb_throughput` (cross-thread circular-buffer streaming), `tile_ops`
+//! (FPU/SFPU tile math), and the serving pair `job_throughput` (host wall
+//! clock to drain a fixed seeded storm campaign through `tt-server`) /
+//! `job_p99_latency` (the campaign's deterministic virtual p99 job
+//! latency) — and writes `BENCH_pipeline.json` at the repo root:
 //!
 //! ```text
 //! { "commit": ..., "n": ..., "benches": { "<name>": { "wall_s": ... } } }
@@ -29,7 +32,9 @@ use nbody_tt::MultiDevicePipeline;
 use tensix::cb::{CircularBuffer, CircularBufferConfig};
 use tensix::cost::ComputeCosts;
 use tensix::tile::Tile;
-use tensix::{fpu, sfpu, DataFormat, Device, DeviceConfig};
+use tensix::{fpu, sfpu, DataFormat, Device, DeviceConfig, StormConfig};
+use tt_harness::{generate_load, LoadConfig};
+use tt_server::{run_campaign, BackendKind, ServerConfig, TenantSpec};
 
 /// Particle count for the end-to-end pipeline bench.
 const PIPELINE_N: usize = 8192;
@@ -40,6 +45,8 @@ const RING_N: usize = 4096;
 const CB_TILES: usize = 16384;
 /// Tile-op mix repetitions per timed pass.
 const TILE_OP_ITERS: usize = 10_000;
+/// Jobs per serving-campaign repetition.
+const SERVE_JOBS: usize = 24;
 /// Timed repetitions per bench (the minimum is reported).
 const REPS: usize = 5;
 
@@ -134,6 +141,45 @@ fn bench_tile_ops() -> f64 {
     })
 }
 
+/// A fixed seeded serving campaign through the `tt-server` job server:
+/// `SERVE_JOBS` jobs, two single cards, a light fault storm. Returns the
+/// host wall clock to drain the campaign (`job_throughput`) and the
+/// campaign's p99 *virtual* job latency (`job_p99_latency`) — the latter is
+/// deterministic by construction, so any change is a behavioral regression
+/// in the serving policy, not machine noise.
+fn bench_job_server() -> (f64, f64) {
+    let load = LoadConfig {
+        seed: 0xbe9c,
+        jobs: SERVE_JOBS,
+        rate_hz: 500.0,
+        n_choices: vec![48, 64],
+        deadline_s: 10.0,
+        ..LoadConfig::default()
+    };
+    let arrivals = generate_load(&load);
+    let spill_dir = std::env::temp_dir().join(format!("tt-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("spill dir");
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default(); 3],
+        backends: vec![BackendKind::SingleCard, BackendKind::SingleCard],
+        storm: StormConfig {
+            seed: 0xbe9c,
+            device_loss_prob: 0.01,
+            scheduled_loss_prob: 0.25,
+            ..StormConfig::default()
+        },
+        spill_dir,
+        ..ServerConfig::default()
+    };
+    let mut p99 = 0.0;
+    let wall = min_secs(REPS, || {
+        let report = run_campaign(&cfg, &arrivals, None);
+        assert!(report.census.zero_lost_jobs(), "bench campaign lost a job");
+        p99 = report.census.p99_latency_s;
+    });
+    (wall, p99)
+}
+
 fn git_commit() -> String {
     let head = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -170,6 +216,9 @@ fn baseline_wall_s(json: &str, bench: &str) -> Option<f64> {
 }
 
 fn main() {
+    // The serving bench injects (handled) device faults; keep their caught
+    // panics out of the bench output.
+    tt_server::install_fault_panic_filter();
     let gate = std::env::args().any(|a| a == "--gate");
     let out_path = "BENCH_pipeline.json";
     let tolerance: f64 =
@@ -189,12 +238,19 @@ fn main() {
     eprintln!("bench_gate: tile_ops ({TILE_OP_ITERS} iterations of the kernel mix)...");
     let ops = bench_tile_ops();
     eprintln!("bench_gate:   {ops:.4} s");
+    eprintln!("bench_gate: job server ({SERVE_JOBS} jobs, 2 cards, seeded storm)...");
+    let (serve_wall, serve_p99) = bench_job_server();
+    eprintln!("bench_gate:   {serve_wall:.4} s wall, {serve_p99:.6} s virtual p99");
 
+    // `job_p99_latency` reuses the `wall_s` slot for its (virtual) seconds:
+    // same lower-is-better gate semantics, deterministic value.
     let results = [
         ("time_to_solution", tts),
         ("multi_device_time_to_solution", ring),
         ("cb_throughput", cbt),
         ("tile_ops", ops),
+        ("job_throughput", serve_wall),
+        ("job_p99_latency", serve_p99),
     ];
 
     // Seed-commit wall clocks measured with this same binary on the scalar /

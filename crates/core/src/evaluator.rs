@@ -180,7 +180,11 @@ pub(crate) fn retry_eval(
                 }
                 let mut t = p.timing.lock();
                 t.retries += 1;
-                t.retry_backoff_seconds += policy.backoff_s(attempt);
+                // The backoff wait is dead time on the device: charge it to
+                // the wasted bucket as well as the backoff ledger.
+                let backoff = policy.backoff_s(attempt);
+                t.retry_backoff_seconds += backoff;
+                t.wasted_seconds += backoff;
                 match salvage {
                     Some(fresh) => {
                         // Keep survivors' finished tiles: split the

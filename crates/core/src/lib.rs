@@ -31,8 +31,9 @@ pub use perf_model::{
 };
 pub use pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming, RetryPolicy};
 pub use simulation::{
-    run_cpu_simulation, run_device_simulation, run_device_simulation_resilient,
-    run_ring_simulation_resilient, run_simulation, run_simulation_resilient, RecoveryConfig,
-    ResilientOutcome, SimulationConfig, SimulationOutcome, SpillConfig,
+    latest_checkpoint, read_checkpoint, resume_simulation_resilient, run_cpu_simulation,
+    run_device_simulation, run_device_simulation_resilient, run_ring_simulation_resilient,
+    run_simulation, run_simulation_resilient, write_checkpoint, RecoveryConfig, ResilientOutcome,
+    SimulationConfig, SimulationOutcome, SpillConfig,
 };
 pub use validate::{validate_system, validation_suite, ValidationRow};

@@ -106,8 +106,10 @@ impl PipelineTiming {
 
 /// Bounded-retry policy for transient device faults (kernel panics from NoC
 /// or DRAM ECC errors, deadlocks, injected stalls). Backoff is exponential
-/// (`backoff_base_s`, doubling per attempt) and charged to the pipeline's
-/// virtual-time accounting, not slept on the host.
+/// (`backoff_base_s`, doubling per attempt, capped at `max_backoff_s`) with
+/// optional seeded jitter, and charged to the pipeline's virtual-time
+/// accounting — as *wasted* time, since the device sits idle — not slept on
+/// the host.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Maximum number of retries after the first failed attempt. Zero
@@ -115,6 +117,17 @@ pub struct RetryPolicy {
     pub max_retries: u32,
     /// Backoff before the first retry, in virtual seconds.
     pub backoff_base_s: f64,
+    /// Ceiling on any single backoff, in virtual seconds (the doubling
+    /// stops here). Non-positive means uncapped.
+    pub max_backoff_s: f64,
+    /// Jitter amplitude as a fraction of the (capped) backoff: each wait is
+    /// scaled by a deterministic factor in `[1 − jitter_frac, 1 + jitter_frac)`
+    /// drawn from `jitter_seed` and the attempt index. Zero disables jitter.
+    pub jitter_frac: f64,
+    /// Seed for the jitter draws. Derived per job/tenant by the serving
+    /// layer so concurrent retry storms decorrelate while every run with
+    /// the same seed replays identical waits.
+    pub jitter_seed: u64,
     /// When true (default), a retryable fault that names the faulting core
     /// keeps surviving cores' completed tile ranges and re-launches only the
     /// incomplete slices; otherwise every retry re-runs the whole grid.
@@ -123,15 +136,35 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 3, backoff_base_s: 0.25, partial_redo: true }
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 0.25,
+            max_backoff_s: 8.0,
+            jitter_frac: 0.0,
+            jitter_seed: 0,
+            partial_redo: true,
+        }
     }
+}
+
+/// SplitMix64 finalizer: a stateless, well-mixed hash for jitter draws.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
     /// A policy that never retries.
     #[must_use]
     pub fn disabled() -> Self {
-        RetryPolicy { max_retries: 0, backoff_base_s: 0.0, partial_redo: false }
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_s: 0.0,
+            partial_redo: false,
+            ..RetryPolicy::default()
+        }
     }
 
     /// The default policy restricted to whole-grid retries (the pre-partial
@@ -141,10 +174,31 @@ impl RetryPolicy {
         RetryPolicy { partial_redo: false, ..RetryPolicy::default() }
     }
 
-    /// Backoff charged before retry number `attempt` (0-based).
+    /// The default policy with ±25% seeded jitter — what the job server
+    /// hands each job so simultaneous retry waves decorrelate
+    /// deterministically.
+    #[must_use]
+    pub fn jittered(seed: u64) -> Self {
+        RetryPolicy { jitter_frac: 0.25, jitter_seed: seed, ..RetryPolicy::default() }
+    }
+
+    /// Backoff charged before retry number `attempt` (0-based): exponential
+    /// doubling from `backoff_base_s`, capped at `max_backoff_s`, scaled by
+    /// the seeded jitter factor. Deterministic in (`self`, `attempt`).
     #[must_use]
     pub fn backoff_s(&self, attempt: u32) -> f64 {
-        self.backoff_base_s * f64::from(1u32 << attempt.min(16))
+        let mut wait = self.backoff_base_s * f64::from(1u32 << attempt.min(16));
+        if self.max_backoff_s > 0.0 {
+            wait = wait.min(self.max_backoff_s);
+        }
+        if self.jitter_frac > 0.0 {
+            // A uniform draw in [0, 1) from the (seed, attempt) pair; the
+            // hash is stateless so retries replay bitwise under one seed.
+            let bits = splitmix64(self.jitter_seed ^ (u64::from(attempt) << 32 | 0x6a69_7474));
+            let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+            wait *= 1.0 + self.jitter_frac * (2.0 * unit - 1.0);
+        }
+        wait
     }
 }
 
@@ -668,9 +722,41 @@ mod tests {
         let t = faulty.timing();
         assert_eq!(t.retries, 1, "one transient fault, one retry");
         assert!(t.retry_backoff_seconds > 0.0);
+        assert!(
+            t.wasted_seconds >= t.retry_backoff_seconds,
+            "backoff is dead device time and must land in the wasted bucket"
+        );
         assert_eq!(t.evaluations, 1, "failed attempt not counted");
         assert_eq!(forces.acc, clean_forces.acc, "retried result must be bit-identical");
         assert_eq!(forces.jerk, clean_forces.jerk);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let plain = RetryPolicy::default();
+        assert_eq!(plain.backoff_s(0), 0.25);
+        assert_eq!(plain.backoff_s(1), 0.5);
+        assert_eq!(plain.backoff_s(2), 1.0);
+        // The doubling stops at the cap.
+        assert_eq!(plain.backoff_s(10), plain.max_backoff_s);
+        let uncapped = RetryPolicy { max_backoff_s: 0.0, ..plain };
+        assert_eq!(uncapped.backoff_s(10), 0.25 * 1024.0);
+
+        let jittered = RetryPolicy::jittered(42);
+        for attempt in 0..6 {
+            let base = plain.backoff_s(attempt);
+            let a = jittered.backoff_s(attempt);
+            let b = jittered.backoff_s(attempt);
+            assert_eq!(a.to_bits(), b.to_bits(), "same seed+attempt, same wait");
+            assert!(a >= base * 0.75 && a < base * 1.25, "wait {a} outside ±25% of {base}");
+        }
+        // Different seeds decorrelate; different attempts decorrelate.
+        let other = RetryPolicy::jittered(43);
+        assert_ne!(jittered.backoff_s(0).to_bits(), other.backoff_s(0).to_bits());
+        let waves: Vec<u64> = (0..4).map(|a| jittered.backoff_s(a).to_bits()).collect();
+        let mut uniq = waves.clone();
+        uniq.dedup();
+        assert_eq!(waves.len(), uniq.len());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::multi_device::MultiDevicePipeline;
 use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
 
 /// Configuration of a device-accelerated simulation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationConfig {
     /// Plummer softening (must be positive for the device kernel).
     pub eps: f64,
@@ -134,22 +134,68 @@ pub fn run_device_simulation(
 /// memory: every snapshot is serialized with a content hash, the write time
 /// is charged to the virtual clock (as IO), and a restore re-reads and
 /// verifies the file — catching silent checkpoint corruption instead of
-/// resuming from garbage.
+/// resuming from garbage. Each checkpoint is its own file
+/// (`<path>.s<step>`), and the store garbage-collects all but the newest
+/// `keep_last` so long-lived serving never fills the disk.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpillConfig {
-    /// Checkpoint file path (overwritten on every checkpoint).
+    /// Checkpoint file stem; checkpoint of step `k` lands at `<path>.s<k>`.
     pub path: PathBuf,
     /// Modeled sequential write bandwidth in GB/s, used to charge the spill
     /// to the virtual clock.
     pub write_gbps: f64,
+    /// How many checkpoint files to retain on disk (older ones are deleted
+    /// after each successful write). Clamped to at least 1.
+    pub keep_last: usize,
 }
 
 impl SpillConfig {
     /// Spill to `path` at the default modeled bandwidth (2 GB/s NVMe-class
-    /// sequential writes).
+    /// sequential writes), retaining the last two checkpoints.
     #[must_use]
     pub fn new(path: PathBuf) -> Self {
-        SpillConfig { path, write_gbps: 2.0 }
+        SpillConfig { path, write_gbps: 2.0, keep_last: 2 }
+    }
+
+    /// On-disk file of the step-`step` checkpoint.
+    #[must_use]
+    pub fn file_for(&self, step: usize) -> PathBuf {
+        let mut name = self.path.as_os_str().to_owned();
+        name.push(format!(".s{step}"));
+        PathBuf::from(name)
+    }
+
+    /// Steps of every checkpoint file currently on disk for this stem,
+    /// sorted ascending. Missing directories read as empty (never an error:
+    /// the question "is there anything to resume from?" has answer no).
+    #[must_use]
+    pub fn checkpoints_on_disk(&self) -> Vec<usize> {
+        let parent = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let Some(stem) = self.path.file_name().map(|s| s.to_string_lossy().into_owned()) else {
+            return Vec::new();
+        };
+        let prefix = format!("{stem}.s");
+        let Ok(entries) = std::fs::read_dir(parent) else { return Vec::new() };
+        let mut steps: Vec<usize> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                e.file_name().to_string_lossy().strip_prefix(&prefix)?.parse::<usize>().ok()
+            })
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Delete every checkpoint file of this stem (job teardown). Best
+    /// effort: files that cannot be removed are left behind.
+    pub fn cleanup(&self) {
+        for step in self.checkpoints_on_disk() {
+            let _ = std::fs::remove_file(self.file_for(step));
+        }
     }
 }
 
@@ -219,6 +265,16 @@ fn spill_fault(message: String) -> LaunchError {
     LaunchError::Device(TensixError::KernelFault { message })
 }
 
+/// Typed (non-panicking, non-transient) error for checkpoint IO failures:
+/// an unwritable spill directory, a full disk, or a missing file. The
+/// serving layer matches on it to shed the job instead of unwinding.
+fn spill_io_fault(path: &std::path::Path, e: &std::io::Error) -> LaunchError {
+    LaunchError::Device(TensixError::CheckpointIo {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
 /// Serialize the FP64 Hermite state: time, then mass/pos/vel/acc/jerk as
 /// little-endian f64 bit patterns (13 scalars per particle + 1).
 fn spill_payload(system: &ParticleSystem) -> Vec<u8> {
@@ -237,7 +293,13 @@ fn spill_payload(system: &ParticleSystem) -> Vec<u8> {
     buf
 }
 
-fn write_spill(
+/// Serialize and write the step-`step` checkpoint of `system` to its spill
+/// file, returning the bytes written (for virtual-clock IO charging).
+///
+/// # Errors
+/// [`TensixError::CheckpointIo`] (behind [`LaunchError::Device`]) when the
+/// spill directory is unwritable or the write fails.
+pub fn write_checkpoint(
     spill: &SpillConfig,
     system: &ParticleSystem,
     step: usize,
@@ -249,15 +311,23 @@ fn write_spill(
     out.extend_from_slice(&(system.len() as u64).to_le_bytes());
     out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
-    std::fs::write(&spill.path, &out)
-        .map_err(|e| spill_fault(format!("checkpoint spill to {:?} failed: {e}", spill.path)))?;
+    let file = spill.file_for(step);
+    std::fs::write(&file, &out).map_err(|e| spill_io_fault(&file, &e))?;
     Ok(out.len() as u64)
 }
 
-fn read_spill(spill: &SpillConfig) -> std::result::Result<(ParticleSystem, usize), LaunchError> {
-    let raw = std::fs::read(&spill.path)
-        .map_err(|e| spill_fault(format!("checkpoint read from {:?} failed: {e}", spill.path)))?;
-    let corrupt = |what: &str| spill_fault(format!("checkpoint {:?} corrupt: {what}", spill.path));
+/// Read back and verify the step-`step` checkpoint of `spill`.
+///
+/// # Errors
+/// [`TensixError::CheckpointIo`] when the file is unreadable, or a
+/// kernel-fault launch error when the content hash or framing is corrupt.
+pub fn read_checkpoint(
+    spill: &SpillConfig,
+    step: usize,
+) -> std::result::Result<(ParticleSystem, usize), LaunchError> {
+    let file = spill.file_for(step);
+    let raw = std::fs::read(&file).map_err(|e| spill_io_fault(&file, &e))?;
+    let corrupt = |what: &str| spill_fault(format!("checkpoint {file:?} corrupt: {what}"));
     if raw.len() < 32 {
         return Err(corrupt("truncated header"));
     }
@@ -265,7 +335,7 @@ fn read_spill(spill: &SpillConfig) -> std::result::Result<(ParticleSystem, usize
     if word(0) != SPILL_MAGIC {
         return Err(corrupt("bad magic"));
     }
-    let step = word(1) as usize;
+    let header_step = word(1) as usize;
     let n = word(2) as usize;
     let payload = &raw[32..];
     if payload.len() != 8 * (1 + 13 * n) {
@@ -298,22 +368,52 @@ fn read_spill(spill: &SpillConfig) -> std::result::Result<(ParticleSystem, usize
     system.vel = vel;
     system.acc = acc;
     system.jerk = jerk;
-    Ok((system, step))
+    Ok((system, header_step))
+}
+
+/// Read the newest checkpoint on disk for `spill` — the migration entry
+/// point: after a backend dies past its recovery budget, the server restores
+/// the job's last spilled state here and resumes it elsewhere via
+/// [`resume_simulation_resilient`].
+///
+/// # Errors
+/// [`TensixError::CheckpointIo`] when no checkpoint file exists, plus the
+/// [`read_checkpoint`] error contract.
+pub fn latest_checkpoint(
+    spill: &SpillConfig,
+) -> std::result::Result<(ParticleSystem, usize), LaunchError> {
+    let step = spill.checkpoints_on_disk().pop().ok_or_else(|| {
+        LaunchError::Device(TensixError::CheckpointIo {
+            path: spill.path.display().to_string(),
+            message: "no checkpoint files on disk".into(),
+        })
+    })?;
+    read_checkpoint(spill, step)
 }
 
 /// The resilient runner's checkpoint slot: an in-memory clone, or — with a
-/// [`SpillConfig`] — a hashed file on disk that restores re-read and verify.
+/// [`SpillConfig`] — hashed files on disk that restores re-read and verify,
+/// garbage-collected down to the newest `keep_last`.
 struct CheckpointStore {
     spill: Option<SpillConfig>,
     memory: Option<ParticleSystem>,
     step: usize,
+    /// Steps with a live on-disk file, oldest first (the GC queue).
+    on_disk: std::collections::VecDeque<usize>,
     spills: u64,
     seconds: f64,
 }
 
 impl CheckpointStore {
     fn new(spill: Option<SpillConfig>) -> Self {
-        CheckpointStore { spill, memory: None, step: 0, spills: 0, seconds: 0.0 }
+        CheckpointStore {
+            spill,
+            memory: None,
+            step: 0,
+            on_disk: std::collections::VecDeque::new(),
+            spills: 0,
+            seconds: 0.0,
+        }
     }
 
     fn save(
@@ -324,10 +424,19 @@ impl CheckpointStore {
         self.step = step;
         match &self.spill {
             Some(spill) => {
-                let bytes = write_spill(spill, system, step)?;
+                let bytes = write_checkpoint(spill, system, step)?;
                 self.spills += 1;
                 self.seconds += bytes as f64 / (spill.write_gbps * 1e9);
                 self.memory = None; // disk is the only copy: restores must go through it
+                                    // Keep-last-K retention: drop the oldest files once the new
+                                    // one is safely down. Deletion is best-effort (a file we
+                                    // cannot remove is a leak, not a correctness problem).
+                self.on_disk.push_back(step);
+                while self.on_disk.len() > spill.keep_last.max(1) {
+                    if let Some(old) = self.on_disk.pop_front() {
+                        let _ = std::fs::remove_file(spill.file_for(old));
+                    }
+                }
             }
             None => self.memory = Some(system.clone()),
         }
@@ -338,11 +447,12 @@ impl CheckpointStore {
     fn restore(&self, system: &mut ParticleSystem) -> std::result::Result<usize, LaunchError> {
         match &self.spill {
             Some(spill) => {
-                let (state, step) = read_spill(spill)?;
+                let (state, step) = read_checkpoint(spill, self.step)?;
                 if step != self.step || state.len() != system.len() {
                     return Err(spill_fault(format!(
                         "checkpoint {:?} is stale: holds step {step}, expected {}",
-                        spill.path, self.step
+                        spill.file_for(self.step),
+                        self.step
                     )));
                 }
                 *system = state;
@@ -378,6 +488,39 @@ pub fn run_simulation_resilient<E: ForceEvaluator>(
     config: SimulationConfig,
     recovery: RecoveryConfig,
 ) -> std::result::Result<ResilientOutcome, LaunchError> {
+    run_resilient_inner(evaluator, system, config, recovery, None)
+}
+
+/// Resume a run from a restored checkpoint: `system` holds the exact FP64
+/// post-init state of step `start_step` (as read by [`latest_checkpoint`] /
+/// [`read_checkpoint`], which carry acc/jerk), so initialization is skipped
+/// and stepping continues at `start_step + 1`. On a deterministic backend of
+/// the same class, the resumed tail is f64-bitwise identical to the steps an
+/// uninterrupted run would have taken — this is the server's
+/// checkpoint-migration path between backends.
+///
+/// # Errors
+/// Same contract as [`run_simulation_resilient`].
+///
+/// # Panics
+/// Same contract as [`run_simulation_resilient`].
+pub fn resume_simulation_resilient<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
+    system: &mut ParticleSystem,
+    start_step: usize,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
+    run_resilient_inner(evaluator, system, config, recovery, Some(start_step))
+}
+
+fn run_resilient_inner<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+    resume_from: Option<usize>,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
     assert_eq!(system.len(), evaluator.n(), "evaluator built for n = {}", evaluator.n());
     let e0 = total_energy(system, config.eps);
     let mut recoveries: u32 = 0;
@@ -410,20 +553,29 @@ pub fn run_simulation_resilient<E: ForceEvaluator>(
 
     // Initialization: Hermite4::initialize only mutates the system after the
     // force evaluation succeeds, so on card loss the state is untouched and
-    // we can simply recover and try again.
-    loop {
-        if guarded(&mut || integ.initialize(system), &mut recoveries)? {
-            break;
+    // we can simply recover and try again. A resumed run arrives with the
+    // post-init (or later-step) acc/jerk already in `system` — re-running
+    // initialize would be redundant work and, on a different backend class,
+    // would break bitwise identity with the interrupted run.
+    let start_step = match resume_from {
+        Some(step) => step,
+        None => {
+            loop {
+                if guarded(&mut || integ.initialize(system), &mut recoveries)? {
+                    break;
+                }
+            }
+            0
         }
-    }
+    };
 
     // Checkpoint *after* initialize: a resume restores the exact post-init
     // FP64 state and replays only whole steps, keeping bitwise identity.
     let mut checkpoint = CheckpointStore::new(recovery.spill.clone());
-    checkpoint.save(system, 0)?;
+    checkpoint.save(system, start_step)?;
 
     let total_steps = config.cycles * config.steps_per_cycle;
-    let mut step = 0;
+    let mut step = start_step;
     while step < total_steps {
         if guarded(&mut || integ.step(system, config.dt), &mut recoveries)? {
             step += 1;
@@ -451,7 +603,7 @@ pub fn run_simulation_resilient<E: ForceEvaluator>(
     }
     Ok(ResilientOutcome {
         outcome: SimulationOutcome {
-            steps: total_steps,
+            steps: total_steps - start_step,
             final_time: system.time,
             energy_error: relative_energy_error(e1, e0),
             initial_energy: e0,
@@ -731,7 +883,12 @@ mod tests {
         let mut sys = mk();
         let recovery = RecoveryConfig { spill: Some(spill.clone()), ..RecoveryConfig::default() };
         let out = run_device_simulation_resilient(&dev, &mut sys, cfg, recovery).unwrap();
-        let _ = std::fs::remove_file(&spill.path);
+        assert!(
+            spill.checkpoints_on_disk().len() <= spill.keep_last,
+            "retention must GC old spill files"
+        );
+        spill.cleanup();
+        assert!(spill.checkpoints_on_disk().is_empty());
 
         assert_eq!(out.recoveries, 1);
         assert!(out.checkpoint_spills >= 2, "post-init + stride checkpoints hit disk");
@@ -760,13 +917,98 @@ mod tests {
         assert_eq!(scratch.pos, sys.pos);
 
         // Flip one payload bit: the content hash must catch it.
-        let mut raw = std::fs::read(&spill.path).unwrap();
+        let file = spill.file_for(3);
+        let mut raw = std::fs::read(&file).unwrap();
         let last = raw.len() - 1;
         raw[last] ^= 0x01;
-        std::fs::write(&spill.path, &raw).unwrap();
+        std::fs::write(&file, &raw).unwrap();
         let err = store.restore(&mut scratch).unwrap_err();
         assert!(err.to_string().contains("hash mismatch"), "{err}");
-        let _ = std::fs::remove_file(&spill.path);
+        spill.cleanup();
+    }
+
+    #[test]
+    fn spill_retention_keeps_last_k_files() {
+        let spill = SpillConfig { keep_last: 3, ..temp_spill("retention") };
+        let sys = plummer(PlummerConfig { n: 16, seed: 110, ..PlummerConfig::default() });
+        let mut store = CheckpointStore::new(Some(spill.clone()));
+        for step in 0..10 {
+            store.save(&sys, step).unwrap();
+        }
+        assert_eq!(store.spills, 10);
+        assert_eq!(spill.checkpoints_on_disk(), vec![7, 8, 9], "only the newest 3 survive");
+        // The newest checkpoint is what an external restore finds.
+        let (_, step) = latest_checkpoint(&spill).unwrap();
+        assert_eq!(step, 9);
+        spill.cleanup();
+    }
+
+    #[test]
+    fn unwritable_spill_directory_is_a_typed_error_not_a_panic() {
+        let spill = SpillConfig::new(
+            std::env::temp_dir().join("nbody-no-such-dir").join("sub").join("ckpt.bin"),
+        );
+        let sys = plummer(PlummerConfig { n: 16, seed: 111, ..PlummerConfig::default() });
+        let mut store = CheckpointStore::new(Some(spill.clone()));
+        let err = store.save(&sys, 0).unwrap_err();
+        assert!(
+            matches!(err, LaunchError::Device(TensixError::CheckpointIo { .. })),
+            "expected CheckpointIo, got {err:?}"
+        );
+        assert!(!err.is_transient(), "checkpoint IO failures must not be retried in place");
+        // Reading a missing checkpoint is the same typed error.
+        let err = latest_checkpoint(&spill).unwrap_err();
+        assert!(matches!(err, LaunchError::Device(TensixError::CheckpointIo { .. })));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_on_a_different_backend_bitwise() {
+        use tensix::fault::FaultClass;
+
+        let cfg = SimulationConfig {
+            eps: 0.05,
+            cycles: 2,
+            steps_per_cycle: 4,
+            dt: 1.0 / 256.0,
+            num_cores: 1,
+        };
+        let mk = || plummer(PlummerConfig { n: 128, seed: 112, ..PlummerConfig::default() });
+
+        // Fault-free golden on card A's twin.
+        let mut golden = mk();
+        let clean_dev = Device::new(0, DeviceConfig::default());
+        run_device_simulation_resilient(&clean_dev, &mut golden, cfg, RecoveryConfig::default())
+            .unwrap();
+
+        // Card A dies mid-run with no in-place recovery budget; the failure
+        // surfaces, leaving the last spill on disk.
+        let spill = temp_spill("migrate");
+        let dev_a = Device::new(1, DeviceConfig::default());
+        dev_a.faults().schedule(FaultClass::DeviceLoss, 6);
+        let mut sys = mk();
+        let recovery = RecoveryConfig {
+            spill: Some(spill.clone()),
+            max_recoveries: 0,
+            checkpoint_every: 2,
+            ..RecoveryConfig::default()
+        };
+        let err =
+            run_device_simulation_resilient(&dev_a, &mut sys, cfg, recovery.clone()).unwrap_err();
+        assert!(err.is_card_loss());
+
+        // Migrate: restore the newest checkpoint and resume on card B.
+        let (mut resumed, step) = latest_checkpoint(&spill).unwrap();
+        assert!(step > 0 && step < cfg.cycles * cfg.steps_per_cycle);
+        let dev_b = Device::new(7, DeviceConfig::default());
+        let evaluator = Arc::new(
+            crate::evaluator::SingleCardEvaluator::new(dev_b, resumed.len(), cfg.eps, 1).unwrap(),
+        );
+        let out =
+            resume_simulation_resilient(&evaluator, &mut resumed, step, cfg, recovery).unwrap();
+        assert_eq!(out.outcome.steps, cfg.cycles * cfg.steps_per_cycle - step);
+        assert_eq!(resumed.pos, golden.pos, "migrated tail must be bitwise identical");
+        assert_eq!(resumed.vel, golden.vel);
+        spill.cleanup();
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! E11 — multi-tenant serving under a fault storm.
+//!
+//! Replays a seeded open-loop workload (default 120 jobs, three tenants at
+//! a 3:2:1 mix) through the job server over a mixed fleet — three single
+//! cards plus a 2-card ring with one spare — while a seeded fault storm
+//! injects device losses, Ethernet flaps, and DRAM-ECC bursts. The
+//! campaign is then replayed from the same seed and the two reports are
+//! compared digest-for-digest.
+//!
+//! Prints the zero-lost-jobs verdict, the determinism verdict, and the
+//! per-tenant latency census; writes `results/serving_jobs.csv` and
+//! `results/serving_census.csv`. Exits non-zero if any admitted job is
+//! lost, any completion mismatches its fault-free golden, or the replay
+//! digest differs.
+//!
+//! Usage: `serve_storm [--jobs N] [--seed S]`
+
+use std::sync::Arc;
+
+use tensix::StormConfig;
+use tt_harness::{generate_load, LoadConfig};
+use tt_server::{run_campaign, BackendKind, BreakerConfig, ServerConfig, TenantSpec};
+use tt_telemetry::serving::{census_to_csv, jobs_to_csv};
+use tt_trace::MemorySink;
+
+fn main() {
+    // The resilient driver surfaces device faults as caught panics; the
+    // default hook would spray a backtrace for every injected fault.
+    tt_server::install_fault_panic_filter();
+
+    let mut jobs = 120usize;
+    let mut seed = 0xe10u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--jobs" => jobs = args[i + 1].parse().expect("--jobs takes a count"),
+            "--seed" => seed = args[i + 1].parse().expect("--seed takes a u64"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+
+    let load = LoadConfig { seed, jobs, rate_hz: 2000.0, deadline_s: 0.5, ..LoadConfig::default() };
+    let arrivals = generate_load(&load);
+    let spill_dir = std::env::temp_dir().join(format!("tt-serve-e10-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("spill dir");
+
+    let cfg = ServerConfig {
+        tenants: vec![
+            TenantSpec { weight: 3.0, max_queue: 24 },
+            TenantSpec { weight: 2.0, max_queue: 24 },
+            TenantSpec { weight: 1.0, max_queue: 24 },
+        ],
+        backends: vec![
+            BackendKind::SingleCard,
+            BackendKind::SingleCard,
+            BackendKind::SingleCard,
+            BackendKind::Ring { members: 2, spares: 1 },
+        ],
+        storm: StormConfig {
+            seed,
+            device_loss_prob: 0.02,
+            eth_flap_prob: 0.01,
+            dram_corruption_prob: 1e-4,
+            scheduled_loss_prob: 0.5,
+            ..StormConfig::default()
+        },
+        max_queue: 48,
+        breaker: BreakerConfig { threshold: 2, quarantine_s: 0.005 },
+        recoveries_per_segment: 0,
+        spill_dir,
+        ..ServerConfig::default()
+    };
+
+    println!(
+        "E11 fault-storm serving campaign: {} jobs, seed {:#x}, fleet 3x card + 1x ring(2+1)",
+        jobs, seed
+    );
+
+    let sink = Arc::new(MemorySink::new());
+    let report = run_campaign(&cfg, &arrivals, Some(sink.as_ref()));
+    let replay = run_campaign(&cfg, &arrivals, None);
+
+    let c = &report.census;
+    println!(
+        "jobs admitted: {} completed: {} shed: {} lost: {}",
+        c.total,
+        c.completed,
+        c.shed,
+        c.total - c.completed - c.shed
+    );
+    println!("bitwise-identical to fault-free goldens: {}", c.bitwise_golden == c.completed);
+    println!("deterministic replay digest match: {}", report.digest == replay.digest);
+    let failovers: u64 = report.backends.iter().map(|b| b.failovers).sum();
+    println!(
+        "quarantines: {} migrations: {} recoveries: {} cpu-fallbacks: {} ring-failovers: {}",
+        report.quarantines, c.migrations, c.recoveries, report.cpu_fallbacks, failovers
+    );
+    println!("latency p50: {:.6} s p99: {:.6} s (virtual)", c.p50_latency_s, c.p99_latency_s);
+    for t in &c.tenants {
+        println!(
+            "  tenant {}: admitted {} completed {} shed {} degraded {} p50 {:.6} s p99 {:.6} s",
+            t.tenant,
+            t.admitted,
+            t.completed,
+            t.shed,
+            t.degraded_cpu,
+            t.p50_latency_s,
+            t.p99_latency_s
+        );
+    }
+    for b in &report.backends {
+        println!(
+            "  backend {}: completed {} terminal-faults {} quarantines {} failovers {}",
+            b.label, b.completed, b.terminal_faults, b.quarantines, b.failovers
+        );
+    }
+    println!("server trace events: {}", sink.export().len());
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/serving_jobs.csv", jobs_to_csv(&report.jobs)).expect("jobs csv");
+    std::fs::write("results/serving_census.csv", census_to_csv(c)).expect("census csv");
+    println!("wrote results/serving_jobs.csv and results/serving_census.csv");
+
+    assert_eq!(c.total, jobs, "every submitted job must be accounted for");
+    assert!(c.zero_lost_jobs(), "zero-lost-jobs invariant violated");
+    assert_eq!(report.digest, replay.digest, "campaign must replay bitwise");
+}

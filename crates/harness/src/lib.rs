@@ -10,7 +10,9 @@
 //!
 //! Binaries (`cargo run -p tt-harness --bin <name>`): `fig3_time`,
 //! `fig4_power`, `fig5_energy`, `accuracy_table`, `scaling`,
-//! `campaign_summary`.
+//! `campaign_summary`, and `serve_storm` — the E11 multi-tenant
+//! fault-storm serving campaign driven by the open-loop [`loadgen`]
+//! through the `tt-server` job server.
 //!
 //! Passing `--profile` to `accuracy_table` or `fig3_time` runs the traced
 //! observability demo instead (see [`profile`]): a small force evaluation
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod loadgen;
 pub mod plot;
 pub mod profile;
 pub mod report;
@@ -31,6 +34,7 @@ pub use experiments::{
     sweep_crossover, FaultCensusResult, Fig3Result, Fig4Result, Fig5Result, ScalingResult,
     SweepPoint,
 };
+pub use loadgen::{generate_load, LoadConfig};
 pub use plot::{render_histogram, render_timeseries};
 pub use profile::{
     harvest_metrics, maybe_run_profile, run_profiled_demo, KernelRow, ProfileArtifacts,

@@ -1,0 +1,128 @@
+//! Seeded open-loop load generation for the serving experiments.
+//!
+//! Generates a Poisson arrival process over a weighted tenant mix — the
+//! classic open-loop load model: arrivals do not wait for completions, so
+//! overload actually overloads and admission control has something to do.
+//! Everything derives from one seed, making a generated campaign a pure
+//! value: the same `LoadConfig` always produces the same arrival list,
+//! which the job server replays to the same outcomes.
+
+use nbody_tt::SimulationConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tt_server::JobRequest;
+
+/// Shape of one synthetic serving workload.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Seed for arrivals, tenant draws, and size draws.
+    pub seed: u64,
+    /// Jobs to generate.
+    pub jobs: usize,
+    /// Relative arrival share per tenant (index = tenant id). Need not be
+    /// normalized.
+    pub tenant_mix: Vec<f64>,
+    /// Mean arrival rate, jobs per virtual second.
+    pub rate_hz: f64,
+    /// Particle counts drawn uniformly per job.
+    pub n_choices: Vec<usize>,
+    /// Integration spec shared by all jobs.
+    pub sim: SimulationConfig,
+    /// Queue deadline per job, virtual seconds.
+    pub deadline_s: f64,
+    /// Migration budget per job.
+    pub max_migrations: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 0xe10,
+            jobs: 120,
+            tenant_mix: vec![3.0, 2.0, 1.0],
+            rate_hz: 100.0,
+            n_choices: vec![48, 64, 96],
+            sim: SimulationConfig {
+                eps: 0.05,
+                cycles: 2,
+                steps_per_cycle: 2,
+                dt: 1.0 / 256.0,
+                num_cores: 1,
+            },
+            deadline_s: 1.0,
+            max_migrations: 2,
+        }
+    }
+}
+
+/// Generate the arrival list: `(virtual arrival time, request)` pairs in
+/// time order.
+///
+/// # Panics
+/// Panics on an empty tenant mix / size list or a non-positive rate.
+#[must_use]
+pub fn generate_load(cfg: &LoadConfig) -> Vec<(f64, JobRequest)> {
+    assert!(!cfg.tenant_mix.is_empty(), "need at least one tenant");
+    assert!(!cfg.n_choices.is_empty(), "need at least one particle count");
+    assert!(cfg.rate_hz > 0.0, "arrival rate must be positive");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let total_weight: f64 = cfg.tenant_mix.iter().sum();
+    let mut t = 0.0f64;
+    (0..cfg.jobs as u64)
+        .map(|job_id| {
+            // Exponential inter-arrival times -> Poisson process.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / cfg.rate_hz;
+            let mut pick = rng.gen_range(0.0..total_weight);
+            let tenant = cfg
+                .tenant_mix
+                .iter()
+                .position(|&w| {
+                    pick -= w;
+                    pick < 0.0
+                })
+                .unwrap_or(cfg.tenant_mix.len() - 1);
+            let n = cfg.n_choices[rng.gen_range(0..cfg.n_choices.len())];
+            (
+                t,
+                JobRequest {
+                    job_id,
+                    tenant,
+                    n,
+                    ic_seed: cfg.seed ^ (0x1c5 << 32) ^ job_id,
+                    sim: cfg.sim,
+                    deadline_s: cfg.deadline_s,
+                    max_migrations: cfg.max_migrations,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_deterministic_and_ordered() {
+        let cfg = LoadConfig { jobs: 50, ..LoadConfig::default() };
+        let a = generate_load(&cfg);
+        let b = generate_load(&cfg);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "arrivals in time order");
+        let other = generate_load(&LoadConfig { seed: 1, ..cfg });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn tenant_mix_is_respected() {
+        let cfg = LoadConfig { jobs: 600, tenant_mix: vec![3.0, 1.0], ..LoadConfig::default() };
+        let load = generate_load(&cfg);
+        let t0 = load.iter().filter(|(_, r)| r.tenant == 0).count();
+        // 3:1 mix -> ~450 of 600; allow generous slack.
+        assert!((380..=520).contains(&t0), "tenant 0 got {t0}/600");
+        let mean_gap = load.last().unwrap().0 / 600.0;
+        assert!((mean_gap - 1.0 / cfg.rate_hz).abs() < 0.3 / cfg.rate_hz, "gap {mean_gap}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-backend circuit breaker: quarantine repeatedly-faulting hardware.
+//!
+//! A backend that keeps killing jobs is worse than a missing backend — it
+//! burns retry budgets and checkpoint-restore time on work that will fail
+//! again. The breaker counts *consecutive* terminal faults per backend;
+//! at the threshold the backend is quarantined (closed to dispatch) for an
+//! exponentially growing window, then re-enters on probation: one job is
+//! allowed through, a success fully closes the breaker, another terminal
+//! fault re-quarantines immediately with a doubled window. All state is
+//! driven by the server's virtual clock, so breaker decisions replay
+//! exactly.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive terminal faults that trip the breaker.
+    pub threshold: u32,
+    /// First quarantine window, virtual seconds. Each successive
+    /// quarantine of the same backend doubles it.
+    pub quarantine_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { threshold: 2, quarantine_s: 30.0 }
+    }
+}
+
+/// Where one backend stands with the breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Dispatchable, no strikes outstanding.
+    Closed,
+    /// Dispatchable, but carrying `strikes` consecutive terminal faults.
+    Strained {
+        /// Consecutive terminal faults so far.
+        strikes: u32,
+    },
+    /// Closed to dispatch until the given virtual time.
+    Quarantined {
+        /// Virtual time at which probation begins.
+        until_s: f64,
+    },
+    /// Re-opened for exactly one trial job.
+    Probation,
+}
+
+/// Breaker ledger for one backend.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Times this backend has been quarantined (scales the window).
+    pub trips: u32,
+}
+
+impl Breaker {
+    /// New closed breaker.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker { config, state: BreakerState::Closed, trips: 0 }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a job be dispatched here at virtual time `now_s`?
+    #[must_use]
+    pub fn admits(&self, now_s: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::Strained { .. } | BreakerState::Probation => true,
+            BreakerState::Quarantined { until_s } => now_s >= until_s,
+        }
+    }
+
+    /// A quarantine window elapsed: move to probation (no-op otherwise).
+    pub fn tick(&mut self, now_s: f64) {
+        if let BreakerState::Quarantined { until_s } = self.state {
+            if now_s >= until_s {
+                self.state = BreakerState::Probation;
+            }
+        }
+    }
+
+    /// Record a completed job: closes the breaker fully.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+    }
+
+    /// Record a terminal fault at virtual time `now_s`. Returns the
+    /// quarantine-end time if this fault tripped the breaker.
+    pub fn record_fault(&mut self, now_s: f64) -> Option<f64> {
+        let strikes = match self.state {
+            // A probation failure trips immediately, whatever the count.
+            BreakerState::Probation => self.config.threshold,
+            BreakerState::Strained { strikes } => strikes + 1,
+            _ => 1,
+        };
+        if strikes >= self.config.threshold {
+            let window = self.config.quarantine_s * f64::from(1u32 << self.trips.min(16));
+            self.trips += 1;
+            let until_s = now_s + window;
+            self.state = BreakerState::Quarantined { until_s };
+            Some(until_s)
+        } else {
+            self.state = BreakerState::Strained { strikes };
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_at_threshold_and_backs_off_exponentially() {
+        let mut b = Breaker::new(BreakerConfig { threshold: 2, quarantine_s: 10.0 });
+        assert!(b.admits(0.0));
+        assert_eq!(b.record_fault(1.0), None);
+        assert_eq!(b.state(), BreakerState::Strained { strikes: 1 });
+        let until = b.record_fault(2.0).expect("second strike trips");
+        assert!((until - 12.0).abs() < 1e-12);
+        assert!(!b.admits(5.0) && b.admits(12.0));
+
+        // Probation failure: immediate re-trip with a doubled window.
+        b.tick(12.0);
+        assert_eq!(b.state(), BreakerState::Probation);
+        let until = b.record_fault(12.5).expect("probation failure re-trips");
+        assert!((until - 32.5).abs() < 1e-12, "doubled window, got {until}");
+        assert_eq!(b.trips, 2);
+    }
+
+    #[test]
+    fn success_closes_fully_from_strain_and_probation() {
+        let mut b = Breaker::new(BreakerConfig { threshold: 3, quarantine_s: 5.0 });
+        b.record_fault(0.0);
+        b.record_fault(0.5);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The strike count restarts: three fresh faults to trip.
+        assert_eq!(b.record_fault(1.0), None);
+        assert_eq!(b.record_fault(1.1), None);
+        assert!(b.record_fault(1.2).is_some());
+
+        let mut b = Breaker::new(BreakerConfig::default());
+        b.record_fault(0.0);
+        b.record_fault(0.1);
+        b.tick(1e9);
+        assert_eq!(b.state(), BreakerState::Probation);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,146 @@
+//! Job and tenant vocabulary of the serving layer.
+
+use nbody_tt::SimulationConfig;
+
+/// One tenant's contract with the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSpec {
+    /// Weighted-fair-queueing share. Higher weight drains faster under
+    /// contention. Must be positive.
+    pub weight: f64,
+    /// Per-tenant queue bound; arrivals beyond it are shed with
+    /// [`Rejection::TenantQueueFull`].
+    pub max_queue: usize,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec { weight: 1.0, max_queue: 64 }
+    }
+}
+
+/// One simulation job as submitted: the spec, its initial-condition seed,
+/// and its service-level bounds. Everything the job does downstream —
+/// initial conditions, retry jitter, device fault streams — derives from
+/// fields of this request plus the campaign seed, which is what makes a
+/// whole campaign replayable from its arrival list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRequest {
+    /// Campaign-unique id.
+    pub job_id: u64,
+    /// Owning tenant (index into the server's tenant table).
+    pub tenant: usize,
+    /// Particle count.
+    pub n: usize,
+    /// Plummer-model seed for the initial conditions.
+    pub ic_seed: u64,
+    /// Integration spec (cycles, steps per cycle, dt, eps, cores).
+    pub sim: SimulationConfig,
+    /// Virtual seconds after arrival by which service must *start*; jobs
+    /// still queued past this are shed with [`Rejection::DeadlineExceeded`].
+    pub deadline_s: f64,
+    /// Cross-backend checkpoint migrations allowed before the job falls
+    /// back to the CPU evaluator.
+    pub max_migrations: u32,
+}
+
+impl JobRequest {
+    /// Hermite steps the job runs.
+    #[must_use]
+    pub fn total_steps(&self) -> usize {
+        self.sim.cycles * self.sim.steps_per_cycle
+    }
+
+    /// WFQ cost estimate: pair interactions over the whole job
+    /// (`n² × (steps + init)`), the quantity device time actually scales
+    /// with.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        (self.n * self.n) as f64 * (self.total_steps() + 1) as f64
+    }
+}
+
+/// Typed, deterministic reasons the server sheds a job. A shed is a
+/// first-class outcome: the submitter always learns why, and the same
+/// campaign seed always sheds the same jobs for the same reasons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// The global admission queue is at capacity.
+    QueueFull {
+        /// Jobs queued at rejection time.
+        depth: usize,
+    },
+    /// The tenant's own queue is at capacity.
+    TenantQueueFull {
+        /// Tenant whose queue overflowed.
+        tenant: usize,
+        /// Jobs that tenant had queued.
+        depth: usize,
+    },
+    /// The job waited past its deadline without being dispatched.
+    DeadlineExceeded {
+        /// Virtual seconds the job spent queued.
+        waited_s: f64,
+    },
+    /// The job referenced a tenant the server does not know.
+    UnknownTenant {
+        /// Offending tenant id.
+        tenant: usize,
+    },
+    /// Checkpoint spill IO failed (unwritable directory, vanished file), so
+    /// neither migration nor in-place recovery can be guaranteed.
+    CheckpointUnavailable {
+        /// Underlying typed IO error text.
+        message: String,
+    },
+}
+
+impl Rejection {
+    /// Stable human-readable reason for census rows.
+    #[must_use]
+    pub fn reason(&self) -> String {
+        match self {
+            Rejection::QueueFull { depth } => format!("queue full ({depth} queued)"),
+            Rejection::TenantQueueFull { tenant, depth } => {
+                format!("tenant {tenant} queue full ({depth} queued)")
+            }
+            Rejection::DeadlineExceeded { waited_s } => {
+                format!("deadline exceeded after {waited_s:.3}s queued")
+            }
+            Rejection::UnknownTenant { tenant } => format!("unknown tenant {tenant}"),
+            Rejection::CheckpointUnavailable { message } => {
+                format!("checkpoint unavailable: {message}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_pairs_and_steps() {
+        let sim = SimulationConfig { cycles: 2, steps_per_cycle: 4, ..SimulationConfig::default() };
+        let req = JobRequest {
+            job_id: 0,
+            tenant: 0,
+            n: 100,
+            ic_seed: 1,
+            sim,
+            deadline_s: 100.0,
+            max_migrations: 2,
+        };
+        assert_eq!(req.total_steps(), 8);
+        assert!((req.cost() - 100.0 * 100.0 * 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejection_reasons_are_stable() {
+        assert_eq!(Rejection::QueueFull { depth: 9 }.reason(), "queue full (9 queued)");
+        assert!(Rejection::DeadlineExceeded { waited_s: 1.5 }.reason().contains("1.500"));
+        assert!(Rejection::CheckpointUnavailable { message: "gone".into() }
+            .reason()
+            .contains("gone"));
+    }
+}

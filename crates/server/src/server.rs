@@ -1,0 +1,828 @@
+//! The deterministic virtual-time job server.
+//!
+//! One campaign = one call to [`run_campaign`]: a list of `(arrival time,
+//! request)` pairs is replayed through a discrete-event loop over a fleet
+//! of simulated backends. All time is *virtual* — arrival times come from
+//! the load generator, service times from the device simulator's virtual
+//! clock (or the modeled CPU rate) — so the loop is single-threaded,
+//! wall-clock-free, and bitwise replayable: the same campaign seed and
+//! arrival list produce the same per-job outcomes, the same quarantine
+//! decisions, and the same census, every run.
+//!
+//! Lifecycle of one job:
+//!
+//! 1. **Admission** ([`crate::wfq::Admission`]): bounded global and
+//!    per-tenant queues shed overload at the door with typed
+//!    [`Rejection`]s.
+//! 2. **Dispatch**: weighted-fair pick of the next job; queue-deadline
+//!    enforcement (a job that waited past its deadline is shed, never
+//!    silently dropped).
+//! 3. **Execution** on a device backend under its storm-derived fault
+//!    profile, with per-segment in-place recovery and checkpoint spill.
+//! 4. **Migration**: a terminal fault strikes the backend's
+//!    [`crate::breaker::Breaker`] and moves the job — via its newest
+//!    on-disk checkpoint — to another device backend, resuming bitwise.
+//! 5. **Degradation**: when no device backend can take the job (fleet
+//!    quarantined or migration budget spent), it restarts on the host CPU
+//!    evaluator: slower, never refused, typed as [`JobDisposition::DegradedCpu`].
+//! 6. **Verification**: every completed job's final FP64 state is hashed
+//!    and compared against a fault-free golden of its backend class, so
+//!    the census can assert the zero-lost-jobs invariant.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nbody::ic::{plummer, PlummerConfig};
+use nbody::particle::ParticleSystem;
+use nbody_tt::{
+    latest_checkpoint, resume_simulation_resilient, run_cpu_simulation, run_simulation,
+    run_simulation_resilient, ForceEvaluator, MultiDevicePipeline, PipelineTiming, RecoveryConfig,
+    ResilientOutcome, RetryPolicy, SingleCardEvaluator, SpillConfig,
+};
+use tensix::{
+    backend_storm, BackendStorm, Device, DeviceConfig, FaultClass, StormConfig, TensixError,
+};
+use tt_telemetry::serving::{JobDisposition, ServedJob, ServingCensus};
+use tt_trace::TraceSink;
+use ttmetal::LaunchError;
+
+use crate::breaker::{Breaker, BreakerConfig};
+use crate::job::{JobRequest, Rejection, TenantSpec};
+use crate::wfq::{Admission, QueuedJob};
+
+/// Shape of one backend in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// One Wormhole card.
+    SingleCard,
+    /// A multi-card all-gather ring with a spare pool.
+    Ring {
+        /// Active ring members.
+        members: usize,
+        /// Hot spares promoted on member loss (absorbed without rollback).
+        spares: usize,
+    },
+}
+
+impl BackendKind {
+    fn label(self, slot: usize) -> String {
+        match self {
+            BackendKind::SingleCard => format!("card{slot}"),
+            BackendKind::Ring { members, spares } => format!("ring{slot}x{members}+{spares}"),
+        }
+    }
+}
+
+/// Server configuration: tenants, fleet, storm, and resilience budgets.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Tenant table (index = tenant id in requests).
+    pub tenants: Vec<TenantSpec>,
+    /// Device fleet.
+    pub backends: Vec<BackendKind>,
+    /// Fault storm the fleet serves through.
+    pub storm: StormConfig,
+    /// Global admission-queue bound.
+    pub max_queue: usize,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Snapshot cadence of running jobs (steps between checkpoint spills).
+    pub checkpoint_every: usize,
+    /// In-place device-loss recoveries per segment before the loss becomes
+    /// terminal and the job migrates.
+    pub recoveries_per_segment: u32,
+    /// Host CPU evaluator slots for dispatch-time degradation. Stranded
+    /// jobs (migration budget spent) always get the CPU regardless.
+    pub cpu_slots: usize,
+    /// Modeled host-CPU force rate, pair interactions per virtual second.
+    pub cpu_pairs_per_s: f64,
+    /// Directory for per-job checkpoint spill files.
+    pub spill_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tenants: vec![TenantSpec::default()],
+            backends: vec![BackendKind::SingleCard],
+            storm: StormConfig::default(),
+            max_queue: 256,
+            breaker: BreakerConfig::default(),
+            checkpoint_every: 2,
+            recoveries_per_segment: 1,
+            cpu_slots: 1,
+            cpu_pairs_per_s: 2.0e8,
+            spill_dir: std::env::temp_dir(),
+        }
+    }
+}
+
+/// Per-backend tally for the campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReport {
+    /// Backend label (`card0`, `ring1x2+1`, …).
+    pub label: String,
+    /// Jobs whose final segment completed here.
+    pub completed: u64,
+    /// Terminal faults charged here (each one migrated a job away).
+    pub terminal_faults: u64,
+    /// Times the breaker quarantined this backend.
+    pub quarantines: u32,
+    /// Spare promotions inside ring evaluations (rings only).
+    pub failovers: u64,
+}
+
+/// Everything one campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-job rows, in job-id order.
+    pub jobs: Vec<ServedJob>,
+    /// Aggregated census (per-tenant p50/p99, shed counts, migrations).
+    pub census: ServingCensus,
+    /// Per-backend tallies.
+    pub backends: Vec<BackendReport>,
+    /// Total breaker trips across the fleet.
+    pub quarantines: u64,
+    /// Jobs that ran (or finished) on the CPU evaluator.
+    pub cpu_fallbacks: u64,
+    /// Order-independent digest of `(job_id, disposition, state_hash)` —
+    /// two replays of the same campaign must produce equal digests.
+    pub digest: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Internals.
+// ---------------------------------------------------------------------------
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// FNV-1a over the FP64 bit patterns of positions and velocities — the
+/// bitwise-identity fingerprint of a final state.
+#[must_use]
+pub fn state_hash(system: &ParticleSystem) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for field in [&system.pos, &system.vel] {
+        for v in field {
+            for &c in v {
+                fnv1a(&mut h, &c.to_bits().to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    // splitmix64 of a ^ rotated b: cheap seed derivation.
+    let mut z = a ^ b.rotate_left(23) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Arrival(usize),
+    /// A device slot's busy window ended.
+    SlotFree(usize),
+    /// A quarantine window ended (probation begins).
+    QuarantineEnd(usize),
+    /// A CPU slot freed up.
+    CpuFree,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    /// Virtual time as monotone bits (non-negative finite f64 only).
+    t_bits: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t_bits, self.seq).cmp(&(other.t_bits, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Idle,
+    Busy,
+}
+
+struct Slot {
+    kind: BackendKind,
+    storm: BackendStorm,
+    state: SlotState,
+    breaker: Breaker,
+    completed: u64,
+    terminal_faults: u64,
+    failovers: u64,
+    /// Segments started here — salts each segment's device seeds.
+    segments: u64,
+}
+
+/// Golden cache key: backend class + everything that shapes the physics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GoldenKey {
+    cpu: bool,
+    n: usize,
+    ic_seed: u64,
+    cycles: usize,
+    steps_per_cycle: usize,
+    dt_bits: u64,
+    eps_bits: u64,
+    num_cores: usize,
+}
+
+impl GoldenKey {
+    fn new(cpu: bool, req: &JobRequest) -> Self {
+        GoldenKey {
+            cpu,
+            n: req.n,
+            ic_seed: req.ic_seed,
+            cycles: req.sim.cycles,
+            steps_per_cycle: req.sim.steps_per_cycle,
+            dt_bits: req.sim.dt.to_bits(),
+            eps_bits: req.sim.eps.to_bits(),
+            num_cores: req.sim.num_cores,
+        }
+    }
+}
+
+struct Campaign<'a> {
+    cfg: &'a ServerConfig,
+    slots: Vec<Slot>,
+    adm: Admission,
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    cpu_busy: usize,
+    arrivals: Vec<(f64, JobRequest)>,
+    jobs: Vec<ServedJob>,
+    goldens: HashMap<GoldenKey, u64>,
+    quarantines: u64,
+    cpu_fallbacks: u64,
+    trace: Option<&'a dyn TraceSink>,
+}
+
+/// What one device segment produced.
+enum Segment {
+    Done { outcome: ResilientOutcome, system: ParticleSystem, service_s: f64 },
+    Failed { error: LaunchError, service_s: f64, retries: u64 },
+}
+
+fn timing_seconds(t: &PipelineTiming) -> f64 {
+    t.device_seconds + t.io_seconds
+}
+
+fn ics(req: &JobRequest) -> ParticleSystem {
+    plummer(PlummerConfig { n: req.n, seed: req.ic_seed, ..PlummerConfig::default() })
+}
+
+impl<'a> Campaign<'a> {
+    fn push(&mut self, t: f64, kind: EvKind) {
+        assert!(t.is_finite() && t >= 0.0, "virtual time must be non-negative finite");
+        self.seq += 1;
+        self.heap.push(Reverse(Ev { t_bits: t.to_bits(), seq: self.seq, kind }));
+    }
+
+    fn instant(&self, name: &str, args: &[(&str, u64)]) {
+        if let Some(sink) = self.trace {
+            sink.host_instant(name, args);
+        }
+    }
+
+    /// Fresh seeded devices for segment `segment` of backend `slot`.
+    fn devices(&self, slot: usize, segment: u64, count: usize, base: usize) -> Vec<Arc<Device>> {
+        (0..count)
+            .map(|m| {
+                let seed =
+                    mix(self.cfg.storm.seed, mix(slot as u64, segment ^ ((base + m) as u64) << 48));
+                Device::new(
+                    base + m,
+                    DeviceConfig {
+                        seed,
+                        faults: self.slots[slot].storm.faults,
+                        reset_failure_prob: 0.0,
+                        ..DeviceConfig::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Run one device segment of `req` on `slot`, either from scratch or
+    /// resumed from `resume` = (post-checkpoint state, step).
+    fn run_segment(
+        &mut self,
+        slot: usize,
+        req: &JobRequest,
+        resume: Option<(ParticleSystem, usize)>,
+        spill: &SpillConfig,
+    ) -> Segment {
+        let segment = self.slots[slot].segments;
+        self.slots[slot].segments += 1;
+        let recovery = RecoveryConfig {
+            checkpoint_every: self.cfg.checkpoint_every,
+            retry: RetryPolicy::jittered(mix(self.cfg.storm.seed, req.job_id)),
+            max_recoveries: self.cfg.recoveries_per_segment,
+            spill: Some(spill.clone()),
+        };
+        let (mut system, start) = match resume {
+            Some((system, step)) => (system, Some(step)),
+            None => (ics(req), None),
+        };
+
+        let kind = self.slots[slot].kind;
+        let scheduled = self.slots[slot].storm.scheduled_losses.clone();
+        match kind {
+            BackendKind::SingleCard => {
+                let dev = self.devices(slot, segment, 1, 0).remove(0);
+                for &at in &scheduled {
+                    dev.faults().schedule(FaultClass::DeviceLoss, at);
+                }
+                let eval = match SingleCardEvaluator::new(
+                    Arc::clone(&dev),
+                    req.n,
+                    req.sim.eps,
+                    req.sim.num_cores,
+                ) {
+                    Ok(e) => Arc::new(e),
+                    Err(e) => {
+                        return Segment::Failed {
+                            error: LaunchError::from(e),
+                            service_s: 0.0,
+                            retries: 0,
+                        }
+                    }
+                };
+                let result = match start {
+                    None => run_simulation_resilient(&eval, &mut system, req.sim, recovery),
+                    Some(step) => {
+                        resume_simulation_resilient(&eval, &mut system, step, req.sim, recovery)
+                    }
+                };
+                match result {
+                    Ok(outcome) => {
+                        let service_s = outcome.outcome.timing.as_ref().map_or(0.0, timing_seconds);
+                        Segment::Done { outcome, system, service_s }
+                    }
+                    Err(error) => {
+                        let t = eval.timing().unwrap_or_default();
+                        Segment::Failed { error, service_s: timing_seconds(&t), retries: t.retries }
+                    }
+                }
+            }
+            BackendKind::Ring { members, spares } => {
+                let devs = self.devices(slot, segment, members, 0);
+                let spare_devs = self.devices(slot, segment, spares, members);
+                for &at in &scheduled {
+                    devs[0].faults().schedule(FaultClass::DeviceLoss, at);
+                }
+                let ring = match MultiDevicePipeline::with_spares(
+                    &devs,
+                    &spare_devs,
+                    req.n,
+                    req.sim.eps,
+                    req.sim.num_cores,
+                ) {
+                    Ok(r) => Arc::new(r),
+                    Err(e) => {
+                        return Segment::Failed {
+                            error: LaunchError::from(e),
+                            service_s: 0.0,
+                            retries: 0,
+                        }
+                    }
+                };
+                let result = match start {
+                    None => run_simulation_resilient(&ring, &mut system, req.sim, recovery),
+                    Some(step) => {
+                        resume_simulation_resilient(&ring, &mut system, step, req.sim, recovery)
+                    }
+                };
+                let rt = MultiDevicePipeline::timing(&ring);
+                self.slots[slot].failovers += rt.failovers;
+                match result {
+                    Ok(mut outcome) => {
+                        outcome.failovers = rt.failovers;
+                        let service_s = rt.device_seconds
+                            + rt.comm_seconds
+                            + outcome.outcome.timing.as_ref().map_or(0.0, |t| t.io_seconds);
+                        Segment::Done { outcome, system, service_s }
+                    }
+                    Err(error) => Segment::Failed {
+                        error,
+                        service_s: rt.device_seconds + rt.comm_seconds + rt.pipeline.io_seconds,
+                        retries: rt.pipeline.retries,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Fault-free golden fingerprint for `req` on the given backend class,
+    /// computed once per distinct spec and cached.
+    fn golden(&mut self, cpu: bool, req: &JobRequest) -> u64 {
+        let key = GoldenKey::new(cpu, req);
+        if let Some(&h) = self.goldens.get(&key) {
+            return h;
+        }
+        let mut system = ics(req);
+        if cpu {
+            let _ = run_cpu_simulation(&mut system, req.sim, 1);
+        } else {
+            let dev = Device::new(
+                usize::MAX / 2, // outside fleet ids; fault-free
+                DeviceConfig { reset_failure_prob: 0.0, ..DeviceConfig::default() },
+            );
+            let eval = Arc::new(
+                SingleCardEvaluator::new(dev, req.n, req.sim.eps, req.sim.num_cores)
+                    .expect("fault-free golden pipeline construction"),
+            );
+            let _ = run_simulation(&eval, &mut system, req.sim);
+        }
+        let h = state_hash(&system);
+        self.goldens.insert(key, h);
+        h
+    }
+
+    /// CPU service model: pair interactions over the remaining work at the
+    /// modeled host rate.
+    fn cpu_service_s(&self, req: &JobRequest) -> f64 {
+        req.cost() / self.cfg.cpu_pairs_per_s
+    }
+
+    fn record_shed(&mut self, job: &JobRequest, arrival_s: f64, now_s: f64, why: &Rejection) {
+        self.instant("job_shed", &[("job", job.job_id), ("tenant", job.tenant as u64)]);
+        self.jobs.push(ServedJob {
+            job_id: job.job_id,
+            tenant: job.tenant,
+            n: job.n,
+            arrival_s,
+            start_s: now_s,
+            finish_s: now_s,
+            backend: "-".into(),
+            disposition: JobDisposition::Shed { reason: why.reason() },
+            migrations: 0,
+            recoveries: 0,
+            retries: 0,
+            state_hash: 0,
+            bitwise_golden: None,
+        });
+    }
+
+    /// A device slot is dispatchable if idle and its breaker admits.
+    fn idle_device_slot(&self, now_s: f64) -> Option<usize> {
+        self.slots.iter().position(|s| s.state == SlotState::Idle && s.breaker.admits(now_s))
+    }
+
+    /// True when no device slot could possibly take a job soon: none busy
+    /// (nothing will free up) and none admitting (all quarantined).
+    fn fleet_exhausted(&self, now_s: f64) -> bool {
+        self.slots.iter().all(|s| s.state == SlotState::Idle && !s.breaker.admits(now_s))
+    }
+
+    /// Pop the WFQ-next job that has not blown its queue deadline; shed the
+    /// expired ones typed.
+    fn next_live_job(&mut self, now_s: f64) -> Option<QueuedJob> {
+        while let Some(job) = self.adm.take_next() {
+            let waited = now_s - job.arrival_s;
+            if waited > job.req.deadline_s {
+                let why = Rejection::DeadlineExceeded { waited_s: waited };
+                self.record_shed(&job.req, job.arrival_s, now_s, &why);
+                continue;
+            }
+            return Some(job);
+        }
+        None
+    }
+
+    /// Execute `job` starting on device slot `first`, migrating on terminal
+    /// faults, degrading to CPU when the device options run out.
+    fn execute_on_device(&mut self, first: usize, job: QueuedJob, now_s: f64) {
+        let req = job.req;
+        let spill = SpillConfig {
+            keep_last: 2,
+            ..SpillConfig::new(self.cfg.spill_dir.join(format!("serve-job{}.ckpt", req.job_id)))
+        };
+        let mut slot = first;
+        let mut elapsed = 0.0f64;
+        let mut migrations: u32 = 0;
+        let mut retries: u64 = 0;
+        let mut recoveries: u32 = 0;
+        let mut resume: Option<(ParticleSystem, usize)> = None;
+
+        self.slots[slot].state = SlotState::Busy;
+        self.instant("job_dispatch", &[("job", req.job_id), ("slot", slot as u64)]);
+
+        loop {
+            let segment = self.run_segment(slot, &req, resume.take(), &spill);
+            match segment {
+                Segment::Done { outcome, system, service_s } => {
+                    elapsed += service_s;
+                    let finish = now_s + elapsed;
+                    retries += outcome.outcome.timing.as_ref().map_or(0, |t| t.retries);
+                    recoveries += outcome.recoveries;
+                    self.push(finish, EvKind::SlotFree(slot));
+                    self.slots[slot].breaker.record_success();
+                    self.slots[slot].completed += 1;
+                    let golden = self.golden(false, &req);
+                    let h = state_hash(&system);
+                    self.instant("job_complete", &[("job", req.job_id), ("slot", slot as u64)]);
+                    self.jobs.push(ServedJob {
+                        job_id: req.job_id,
+                        tenant: req.tenant,
+                        n: req.n,
+                        arrival_s: job.arrival_s,
+                        start_s: now_s,
+                        finish_s: finish,
+                        backend: self.slots[slot].kind.label(slot),
+                        disposition: JobDisposition::CompletedDevice,
+                        migrations,
+                        recoveries,
+                        retries,
+                        state_hash: h,
+                        bitwise_golden: Some(h == golden),
+                    });
+                    spill.cleanup();
+                    return;
+                }
+                Segment::Failed { error, service_s, retries: r } => {
+                    elapsed += service_s;
+                    retries += r;
+                    let fault_t = now_s + elapsed;
+                    // The slot frees at the fault; the breaker decides
+                    // whether it is dispatchable after that.
+                    self.push(fault_t, EvKind::SlotFree(slot));
+                    self.slots[slot].terminal_faults += 1;
+                    if let Some(until) = self.slots[slot].breaker.record_fault(fault_t) {
+                        self.quarantines += 1;
+                        self.push(until, EvKind::QuarantineEnd(slot));
+                        self.instant(
+                            "backend_quarantined",
+                            &[
+                                ("slot", slot as u64),
+                                ("trips", u64::from(self.slots[slot].breaker.trips)),
+                            ],
+                        );
+                    }
+
+                    // Checkpoint IO failure: neither recovery nor migration
+                    // can be guaranteed — shed, typed.
+                    if let LaunchError::Device(TensixError::CheckpointIo { ref message, .. }) =
+                        error
+                    {
+                        let why = Rejection::CheckpointUnavailable { message: message.clone() };
+                        self.record_shed(&req, job.arrival_s, fault_t, &why);
+                        spill.cleanup();
+                        return;
+                    }
+
+                    // Migrate: restore the newest checkpoint and resume on
+                    // another admitting device slot (the failed slot is
+                    // still Busy until its SlotFree fires, so it is never
+                    // re-picked here).
+                    let target = (migrations < req.max_migrations)
+                        .then(|| {
+                            self.slots.iter().position(|s| {
+                                s.state == SlotState::Idle && s.breaker.admits(fault_t)
+                            })
+                        })
+                        .flatten();
+                    match target {
+                        Some(next) => {
+                            if spill.checkpoints_on_disk().is_empty() {
+                                // The loss landed before the first checkpoint
+                                // (during init): nothing was computed yet, so
+                                // the migrated segment restarts from step 0.
+                                resume = None;
+                            } else {
+                                match latest_checkpoint(&spill) {
+                                    Ok((system, step)) => resume = Some((system, step)),
+                                    Err(e) => {
+                                        // Corrupt checkpoint: typed shed.
+                                        let why = Rejection::CheckpointUnavailable {
+                                            message: e.to_string(),
+                                        };
+                                        self.record_shed(&req, job.arrival_s, fault_t, &why);
+                                        spill.cleanup();
+                                        return;
+                                    }
+                                }
+                            }
+                            migrations += 1;
+                            slot = next;
+                            self.slots[slot].state = SlotState::Busy;
+                            self.instant(
+                                "job_migrate",
+                                &[("job", req.job_id), ("to", slot as u64)],
+                            );
+                            continue;
+                        }
+                        _ => {
+                            // No device can take it: graceful degradation.
+                            // The CPU evaluator restarts from step 0 (its
+                            // arithmetic differs bitwise from the device
+                            // class, so resuming a device checkpoint would
+                            // produce a state matching *neither* golden).
+                            spill.cleanup();
+                            self.finish_on_cpu(
+                                req,
+                                job.arrival_s,
+                                now_s,
+                                fault_t,
+                                migrations,
+                                recoveries,
+                                retries,
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `req` to completion on the host CPU evaluator, starting at
+    /// virtual time `start_service_s` (infallible; always accepted).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_on_cpu(
+        &mut self,
+        req: JobRequest,
+        arrival_s: f64,
+        start_s: f64,
+        start_service_s: f64,
+        migrations: u32,
+        recoveries: u32,
+        retries: u64,
+    ) {
+        self.cpu_fallbacks += 1;
+        let mut system = ics(&req);
+        let _ = run_cpu_simulation(&mut system, req.sim, 1);
+        let finish = start_service_s + self.cpu_service_s(&req);
+        let golden = self.golden(true, &req);
+        let h = state_hash(&system);
+        self.instant("job_degraded_cpu", &[("job", req.job_id)]);
+        self.jobs.push(ServedJob {
+            job_id: req.job_id,
+            tenant: req.tenant,
+            n: req.n,
+            arrival_s,
+            start_s,
+            finish_s: finish,
+            backend: "cpu".into(),
+            disposition: JobDisposition::DegradedCpu,
+            migrations,
+            recoveries,
+            retries,
+            state_hash: h,
+            bitwise_golden: Some(h == golden),
+        });
+    }
+
+    /// Dispatch as many queued jobs as the fleet can take at `now_s`.
+    fn dispatch(&mut self, now_s: f64) {
+        loop {
+            if let Some(slot) = self.idle_device_slot(now_s) {
+                let Some(job) = self.next_live_job(now_s) else { return };
+                self.execute_on_device(slot, job, now_s);
+            } else if self.fleet_exhausted(now_s) && self.cpu_busy < self.cfg.cpu_slots {
+                // Every device is quarantined and none is even busy: serve
+                // on the CPU rather than let the queue rot to its deadlines.
+                let Some(job) = self.next_live_job(now_s) else { return };
+                self.cpu_busy += 1;
+                let service = self.cpu_service_s(&job.req);
+                self.push(now_s + service, EvKind::CpuFree);
+                self.finish_on_cpu(job.req, job.arrival_s, now_s, now_s, 0, 0, 0);
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn run(mut self) -> CampaignReport {
+        for i in 0..self.arrivals.len() {
+            let t = self.arrivals[i].0;
+            self.push(t, EvKind::Arrival(i));
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            let now_s = f64::from_bits(ev.t_bits);
+            match ev.kind {
+                EvKind::Arrival(i) => {
+                    let (arrival_s, req) = self.arrivals[i];
+                    self.instant(
+                        "job_arrive",
+                        &[("job", req.job_id), ("tenant", req.tenant as u64)],
+                    );
+                    if let Err(why) = self.adm.offer(req, arrival_s) {
+                        self.record_shed(&req, arrival_s, arrival_s, &why);
+                    }
+                }
+                EvKind::SlotFree(slot) => {
+                    self.slots[slot].state = SlotState::Idle;
+                }
+                EvKind::QuarantineEnd(slot) => {
+                    self.slots[slot].breaker.tick(now_s);
+                }
+                EvKind::CpuFree => {
+                    self.cpu_busy = self.cpu_busy.saturating_sub(1);
+                }
+            }
+            self.dispatch(now_s);
+        }
+
+        self.jobs.sort_by_key(|j| j.job_id);
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for j in &self.jobs {
+            fnv1a(&mut digest, &j.job_id.to_le_bytes());
+            fnv1a(&mut digest, j.disposition.tag().as_bytes());
+            fnv1a(&mut digest, &j.state_hash.to_le_bytes());
+        }
+        let census = ServingCensus::from_jobs(&self.jobs);
+        let backends = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| BackendReport {
+                label: s.kind.label(i),
+                completed: s.completed,
+                terminal_faults: s.terminal_faults,
+                quarantines: s.breaker.trips,
+                failovers: s.failovers,
+            })
+            .collect();
+        CampaignReport {
+            jobs: self.jobs,
+            census,
+            backends,
+            quarantines: self.quarantines,
+            cpu_fallbacks: self.cpu_fallbacks,
+            digest,
+        }
+    }
+}
+
+/// Run one serving campaign: replay `arrivals` through the fleet under the
+/// configured storm and return every job's outcome plus the census.
+///
+/// Arrivals may be in any order; they are replayed in `(time, job_id)`
+/// order. Pass a [`TraceSink`] to get server-level instants
+/// (`job_arrive` / `job_dispatch` / `job_migrate` / `backend_quarantined` /
+/// `job_complete` / `job_shed` / `job_degraded_cpu`) in the device trace.
+///
+/// # Panics
+/// Panics on non-finite arrival times and on tenant tables with
+/// non-positive weights.
+#[must_use]
+pub fn run_campaign(
+    cfg: &ServerConfig,
+    arrivals: &[(f64, JobRequest)],
+    trace: Option<&dyn TraceSink>,
+) -> CampaignReport {
+    let mut sorted = arrivals.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.job_id.cmp(&b.1.job_id)));
+    let slots = cfg
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| Slot {
+            kind,
+            storm: backend_storm(&cfg.storm, i),
+            state: SlotState::Idle,
+            breaker: Breaker::new(cfg.breaker),
+            completed: 0,
+            terminal_faults: 0,
+            failovers: 0,
+            segments: 0,
+        })
+        .collect();
+    Campaign {
+        cfg,
+        slots,
+        adm: Admission::new(&cfg.tenants, cfg.max_queue),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        cpu_busy: 0,
+        arrivals: sorted,
+        jobs: Vec::new(),
+        goldens: HashMap::new(),
+        quarantines: 0,
+        cpu_fallbacks: 0,
+        trace,
+    }
+    .run()
+}

@@ -1,0 +1,166 @@
+//! End-to-end campaign tests: determinism, fault survival, degradation.
+
+use std::path::PathBuf;
+
+use nbody_tt::SimulationConfig;
+use tensix::{ScrubConfig, StormConfig};
+use tt_server::{run_campaign, BackendKind, JobRequest, ServerConfig, TenantSpec};
+
+fn small_sim() -> SimulationConfig {
+    SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
+}
+
+fn spill_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tt-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn requests(jobs: u64, tenants: usize, n: usize) -> Vec<(f64, JobRequest)> {
+    (0..jobs)
+        .map(|id| {
+            (
+                0.05 * id as f64,
+                JobRequest {
+                    job_id: id,
+                    tenant: (id as usize) % tenants,
+                    n,
+                    ic_seed: 1000 + id,
+                    sim: small_sim(),
+                    deadline_s: 1e6,
+                    max_migrations: 2,
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn calm_campaign_completes_everything_bitwise() {
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default(); 2],
+        backends: vec![BackendKind::SingleCard, BackendKind::SingleCard],
+        storm: StormConfig {
+            seed: 7,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scrub: ScrubConfig::default(),
+            scheduled_loss_prob: 0.0,
+            ..StormConfig::default()
+        },
+        spill_dir: spill_dir("calm"),
+        ..ServerConfig::default()
+    };
+    let arrivals = requests(6, 2, 64);
+    let report = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(report.census.total, 6);
+    assert_eq!(report.census.completed, 6);
+    assert_eq!(report.census.shed, 0);
+    assert!(report.census.zero_lost_jobs(), "all jobs bitwise golden");
+    assert_eq!(report.quarantines, 0);
+    assert!(report.census.p99_latency_s >= report.census.p50_latency_s);
+}
+
+#[test]
+fn storm_campaign_is_replayable_and_loses_nothing() {
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec { weight: 3.0, max_queue: 64 }, TenantSpec::default()],
+        backends: vec![
+            BackendKind::SingleCard,
+            BackendKind::SingleCard,
+            BackendKind::Ring { members: 2, spares: 1 },
+        ],
+        storm: StormConfig {
+            seed: 42,
+            device_loss_prob: 0.12,
+            scheduled_loss_prob: 0.5,
+            ..StormConfig::default()
+        },
+        recoveries_per_segment: 0,
+        spill_dir: spill_dir("storm"),
+        ..ServerConfig::default()
+    };
+    let arrivals = requests(10, 2, 64);
+    let a = run_campaign(&cfg, &arrivals, None);
+    let b = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(a.digest, b.digest, "same seed must replay bitwise");
+    assert_eq!(a.census.total, 10);
+    assert!(a.census.zero_lost_jobs(), "census: {:?}", a.census);
+    // recoveries_per_segment = 0 means every scheduled/rolled device loss
+    // is terminal: the storm must actually have exercised the machinery.
+    let faults: u64 = a.backends.iter().map(|b| b.terminal_faults).sum();
+    assert!(faults > 0, "storm produced no terminal faults");
+    assert!(
+        a.census.migrations > 0 || a.census.degraded_cpu > 0,
+        "faults must migrate or degrade: {:?}",
+        a.backends
+    );
+}
+
+#[test]
+fn single_backend_fleet_degrades_to_cpu_when_quarantined() {
+    // One card that always dies at launch 1, no in-place recovery, no
+    // migration target: after the breaker trips, jobs go to the CPU.
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default()],
+        backends: vec![BackendKind::SingleCard],
+        storm: StormConfig {
+            seed: 5,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scheduled_loss_prob: 1.0,
+            scheduled_loss_window: 1,
+            ..StormConfig::default()
+        },
+        recoveries_per_segment: 0,
+        spill_dir: spill_dir("quarantine"),
+        ..ServerConfig::default()
+    };
+    let arrivals = requests(5, 1, 48);
+    let report = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(report.census.total, 5);
+    assert!(report.census.zero_lost_jobs(), "jobs: {:?}", report.jobs);
+    assert!(report.quarantines > 0, "breaker never tripped");
+    assert!(report.census.degraded_cpu > 0, "no job degraded to CPU: {:?}", report.jobs);
+    for j in &report.jobs {
+        assert_eq!(j.bitwise_golden, Some(true), "job {} not golden", j.job_id);
+    }
+}
+
+#[test]
+fn admission_sheds_typed_when_queues_overflow() {
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec { max_queue: 2, ..TenantSpec::default() }],
+        backends: vec![BackendKind::SingleCard],
+        storm: StormConfig {
+            seed: 1,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scheduled_loss_prob: 0.0,
+            ..StormConfig::default()
+        },
+        max_queue: 3,
+        spill_dir: spill_dir("shed"),
+        ..ServerConfig::default()
+    };
+    // All eight jobs arrive at once; one dispatches, two queue, the rest
+    // must shed deterministically.
+    let arrivals: Vec<_> = requests(8, 1, 48).into_iter().map(|(_, req)| (0.0, req)).collect();
+    let a = run_campaign(&cfg, &arrivals, None);
+    let b = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(a.digest, b.digest);
+    assert!(a.census.shed >= 5, "census: {:?}", a.census);
+    assert!(a.census.zero_lost_jobs());
+    let shed_reasons: Vec<_> = a
+        .jobs
+        .iter()
+        .filter_map(|j| match &j.disposition {
+            tt_telemetry::serving::JobDisposition::Shed { reason } => Some(reason.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(shed_reasons.iter().any(|r| r.contains("queue full")), "{shed_reasons:?}");
+}

@@ -31,6 +31,7 @@ pub mod profile;
 pub mod rapl;
 pub mod retry;
 pub mod sample;
+pub mod serving;
 pub mod stats;
 pub mod ttsmi;
 
@@ -43,5 +44,6 @@ pub use profile::HostPowerProfile;
 pub use rapl::{read_energy_naive, read_energy_perf, RaplDomain, RAPL_UNIT_J, RAPL_WRAP};
 pub use retry::RetryCost;
 pub use sample::{PowerSample, SampleSeries};
-pub use stats::{max, mean, min, standard_normal, std_dev, Histogram};
+pub use serving::{JobDisposition, ServedJob, ServingCensus, TenantCensus};
+pub use stats::{max, mean, min, percentile, standard_normal, std_dev, Histogram};
 pub use ttsmi::TtSmiSampler;

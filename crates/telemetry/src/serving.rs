@@ -1,0 +1,323 @@
+//! Serving-mode census: per-job and per-tenant accounting for the
+//! multi-tenant job server.
+//!
+//! The job server (crate `tt-server`) runs hundreds of simulation jobs over
+//! a fleet of backends under fault storms; this module holds the plain
+//! records it emits and the aggregation that turns them into the campaign
+//! deliverables — per-tenant p50/p99 latency, shed/migration/degradation
+//! counts — plus CSV renderers in the same timestamped style as the power
+//! census. Records are data only (no behaviour), so the census is trivially
+//! replayable: aggregating the same records always yields the same bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stats::{mean, percentile};
+
+/// How one admitted job left the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobDisposition {
+    /// Completed on a device-class backend (single card or ring).
+    CompletedDevice,
+    /// Completed on the CPU evaluator after the device fleet was exhausted:
+    /// graceful degradation, not a failure.
+    DegradedCpu,
+    /// Deterministically shed with a typed reason (queue full, deadline
+    /// blown, spill unwritable). Never silent.
+    Shed {
+        /// Typed rejection reason, stable across replays.
+        reason: String,
+    },
+}
+
+impl JobDisposition {
+    /// Short stable tag for CSV rows and digests.
+    #[must_use]
+    pub fn tag(&self) -> &str {
+        match self {
+            JobDisposition::CompletedDevice => "device",
+            JobDisposition::DegradedCpu => "cpu-degraded",
+            JobDisposition::Shed { .. } => "shed",
+        }
+    }
+
+    /// Did the job finish with a final state (device or degraded CPU)?
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        !matches!(self, JobDisposition::Shed { .. })
+    }
+}
+
+/// One job's row in the serving census. All times are virtual seconds on
+/// the server clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedJob {
+    /// Campaign-unique job id.
+    pub job_id: u64,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Particle count.
+    pub n: usize,
+    /// Arrival on the server clock.
+    pub arrival_s: f64,
+    /// First dispatch (equals `arrival_s` if shed at admission).
+    pub start_s: f64,
+    /// Completion or shed time.
+    pub finish_s: f64,
+    /// Backend that produced the final state (`"-"` when shed).
+    pub backend: String,
+    /// How the job left the server.
+    pub disposition: JobDisposition,
+    /// Cross-backend checkpoint migrations performed.
+    pub migrations: u32,
+    /// In-place device recoveries (reset + replay on the same backend).
+    pub recoveries: u32,
+    /// Transient-fault retries spent across all segments.
+    pub retries: u64,
+    /// FNV-1a hash of the final positions/velocities (0 when shed).
+    pub state_hash: u64,
+    /// Whether the final state matched the fault-free golden for the
+    /// backend class (`None` when shed).
+    pub bitwise_golden: Option<bool>,
+}
+
+impl ServedJob {
+    /// Sojourn time: arrival to completion/shed.
+    #[must_use]
+    pub fn latency_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+}
+
+/// Per-tenant aggregate over the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCensus {
+    /// Tenant id.
+    pub tenant: usize,
+    /// Jobs admitted (completed + shed).
+    pub admitted: usize,
+    /// Jobs that finished with a final state.
+    pub completed: usize,
+    /// Jobs deterministically shed.
+    pub shed: usize,
+    /// Jobs that degraded to the CPU evaluator.
+    pub degraded_cpu: usize,
+    /// Median completion latency, seconds (0 when none completed).
+    pub p50_latency_s: f64,
+    /// Tail completion latency, seconds (0 when none completed).
+    pub p99_latency_s: f64,
+    /// Mean completion latency, seconds (0 when none completed).
+    pub mean_latency_s: f64,
+}
+
+/// Whole-campaign census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingCensus {
+    /// Per-tenant rows, ordered by tenant id.
+    pub tenants: Vec<TenantCensus>,
+    /// Total jobs submitted to admission.
+    pub total: usize,
+    /// Jobs that finished with a final state.
+    pub completed: usize,
+    /// Jobs deterministically shed.
+    pub shed: usize,
+    /// Jobs that degraded to the CPU evaluator.
+    pub degraded_cpu: usize,
+    /// Total cross-backend migrations.
+    pub migrations: u64,
+    /// Total in-place device recoveries.
+    pub recoveries: u64,
+    /// Completed jobs whose state matched the fault-free golden.
+    pub bitwise_golden: usize,
+    /// Overall p50 completion latency, seconds.
+    pub p50_latency_s: f64,
+    /// Overall p99 completion latency, seconds.
+    pub p99_latency_s: f64,
+}
+
+impl ServingCensus {
+    /// Aggregate a campaign's job records.
+    #[must_use]
+    pub fn from_jobs(jobs: &[ServedJob]) -> Self {
+        let mut by_tenant: BTreeMap<usize, Vec<&ServedJob>> = BTreeMap::new();
+        for j in jobs {
+            by_tenant.entry(j.tenant).or_default().push(j);
+        }
+        let tenants = by_tenant
+            .iter()
+            .map(|(&tenant, rows)| {
+                let lat: Vec<f64> = rows
+                    .iter()
+                    .filter(|j| j.disposition.completed())
+                    .map(|j| j.latency_s())
+                    .collect();
+                let (p50, p99, avg) = if lat.is_empty() {
+                    (0.0, 0.0, 0.0)
+                } else {
+                    (percentile(&lat, 50.0), percentile(&lat, 99.0), mean(&lat))
+                };
+                TenantCensus {
+                    tenant,
+                    admitted: rows.len(),
+                    completed: rows.iter().filter(|j| j.disposition.completed()).count(),
+                    shed: rows.iter().filter(|j| !j.disposition.completed()).count(),
+                    degraded_cpu: rows
+                        .iter()
+                        .filter(|j| j.disposition == JobDisposition::DegradedCpu)
+                        .count(),
+                    p50_latency_s: p50,
+                    p99_latency_s: p99,
+                    mean_latency_s: avg,
+                }
+            })
+            .collect();
+        let lat: Vec<f64> =
+            jobs.iter().filter(|j| j.disposition.completed()).map(|j| j.latency_s()).collect();
+        let (p50, p99) = if lat.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (percentile(&lat, 50.0), percentile(&lat, 99.0))
+        };
+        ServingCensus {
+            tenants,
+            total: jobs.len(),
+            completed: jobs.iter().filter(|j| j.disposition.completed()).count(),
+            shed: jobs.iter().filter(|j| !j.disposition.completed()).count(),
+            degraded_cpu: jobs
+                .iter()
+                .filter(|j| j.disposition == JobDisposition::DegradedCpu)
+                .count(),
+            migrations: jobs.iter().map(|j| u64::from(j.migrations)).sum(),
+            recoveries: jobs.iter().map(|j| u64::from(j.recoveries)).sum(),
+            bitwise_golden: jobs.iter().filter(|j| j.bitwise_golden == Some(true)).count(),
+            p50_latency_s: p50,
+            p99_latency_s: p99,
+        }
+    }
+
+    /// Every admitted job is accounted for: completed bitwise-golden or
+    /// deterministically shed — the campaign's zero-lost-jobs invariant.
+    #[must_use]
+    pub fn zero_lost_jobs(&self) -> bool {
+        self.completed + self.shed == self.total && self.bitwise_golden == self.completed
+    }
+}
+
+/// Render per-job rows as CSV (schema in the header line).
+#[must_use]
+pub fn jobs_to_csv(jobs: &[ServedJob]) -> String {
+    let mut out = String::from(
+        "job_id,tenant,n,arrival_s,start_s,finish_s,latency_s,backend,disposition,\
+         migrations,recoveries,retries,state_hash,bitwise_golden\n",
+    );
+    for j in jobs {
+        let golden = match j.bitwise_golden {
+            Some(true) => "1",
+            Some(false) => "0",
+            None => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{:#018x},{}",
+            j.job_id,
+            j.tenant,
+            j.n,
+            j.arrival_s,
+            j.start_s,
+            j.finish_s,
+            j.latency_s(),
+            j.backend,
+            j.disposition.tag(),
+            j.migrations,
+            j.recoveries,
+            j.retries,
+            j.state_hash,
+            golden,
+        );
+    }
+    out
+}
+
+/// Render the per-tenant census as CSV.
+#[must_use]
+pub fn census_to_csv(census: &ServingCensus) -> String {
+    let mut out = String::from(
+        "tenant,admitted,completed,shed,degraded_cpu,p50_latency_s,p99_latency_s,mean_latency_s\n",
+    );
+    for t in &census.tenants {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6}",
+            t.tenant,
+            t.admitted,
+            t.completed,
+            t.shed,
+            t.degraded_cpu,
+            t.p50_latency_s,
+            t.p99_latency_s,
+            t.mean_latency_s,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, tenant: usize, latency: f64, disp: JobDisposition) -> ServedJob {
+        ServedJob {
+            job_id: id,
+            tenant,
+            n: 64,
+            arrival_s: 1.0,
+            start_s: 1.0,
+            finish_s: 1.0 + latency,
+            backend: if disp.completed() { "card0".into() } else { "-".into() },
+            bitwise_golden: if disp.completed() { Some(true) } else { None },
+            disposition: disp,
+            migrations: 0,
+            recoveries: 0,
+            retries: 0,
+            state_hash: 0xabcd,
+        }
+    }
+
+    #[test]
+    fn census_aggregates_per_tenant_and_overall() {
+        let jobs = vec![
+            job(0, 0, 1.0, JobDisposition::CompletedDevice),
+            job(1, 0, 3.0, JobDisposition::CompletedDevice),
+            job(2, 1, 2.0, JobDisposition::DegradedCpu),
+            job(3, 1, 0.0, JobDisposition::Shed { reason: "queue full".into() }),
+        ];
+        let c = ServingCensus::from_jobs(&jobs);
+        assert_eq!((c.total, c.completed, c.shed, c.degraded_cpu), (4, 3, 1, 1));
+        assert!(c.zero_lost_jobs());
+        assert_eq!(c.tenants.len(), 2);
+        assert_eq!(c.tenants[0].completed, 2);
+        assert!((c.tenants[0].p50_latency_s - 2.0).abs() < 1e-12);
+        assert_eq!(c.tenants[1].shed, 1);
+        assert!((c.p50_latency_s - 2.0).abs() < 1e-12);
+        assert!(c.p99_latency_s > 2.9);
+    }
+
+    #[test]
+    fn a_non_golden_completion_breaks_the_invariant() {
+        let mut bad = job(0, 0, 1.0, JobDisposition::CompletedDevice);
+        bad.bitwise_golden = Some(false);
+        assert!(!ServingCensus::from_jobs(&[bad]).zero_lost_jobs());
+    }
+
+    #[test]
+    fn csv_schemas_are_stable() {
+        let jobs = vec![job(7, 2, 1.5, JobDisposition::CompletedDevice)];
+        let csv = jobs_to_csv(&jobs);
+        assert!(csv.starts_with("job_id,tenant,n,arrival_s"));
+        assert!(csv.contains("card0,device"));
+        assert!(csv.contains("0x000000000000abcd"));
+        let census = census_to_csv(&ServingCensus::from_jobs(&jobs));
+        assert!(census.starts_with("tenant,admitted"));
+        assert!(census.lines().count() == 2);
+    }
+}

@@ -38,6 +38,24 @@ pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
+/// Percentile by linear interpolation between order statistics (the
+/// "exclusive" R-7 definition NumPy defaults to). `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics on an empty slice or a `p` outside `[0, 100]`.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
 /// A standard-normal draw via Box–Muller (rand's distributions crate is not
 /// among the approved dependencies).
 pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
@@ -129,6 +147,16 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn mean_empty_panics() {
         let _ = mean(&[]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 99.0) - 3.97).abs() < 1e-12);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
     }
 
     #[test]

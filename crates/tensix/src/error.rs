@@ -78,6 +78,15 @@ pub enum TensixError {
         /// Ring link index (device id on homogeneous rings).
         link: usize,
     },
+    /// A checkpoint spill file could not be written or read (unwritable
+    /// directory, disk full, missing file). Typed so long-lived serving can
+    /// shed the job instead of unwinding.
+    CheckpointIo {
+        /// Spill path involved.
+        path: String,
+        /// Underlying IO error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for TensixError {
@@ -114,6 +123,9 @@ impl fmt::Display for TensixError {
             }
             TensixError::EthLinkDown { link } => {
                 write!(f, "ethernet link {link} down after repeated flaps")
+            }
+            TensixError::CheckpointIo { path, message } => {
+                write!(f, "checkpoint IO on {path} failed: {message}")
             }
         }
     }

@@ -53,6 +53,8 @@ pub struct FaultConfig {
     pub kernel_stall_prob: f64,
     /// Per program launch: probability the device falls off the bus.
     pub device_loss_prob: f64,
+    /// Background ECC scrubbing of the card's DRAM (disabled by default).
+    pub scrub: ScrubConfig,
 }
 
 impl Default for FaultConfig {
@@ -64,8 +66,69 @@ impl Default for FaultConfig {
             eth_flap_prob: 0.0,
             kernel_stall_prob: 0.0,
             device_loss_prob: 0.0,
+            scrub: ScrubConfig::default(),
         }
     }
+}
+
+/// Background DRAM ECC scrubbing: the patrol reader that walks the card's
+/// GDDR6, rewriting correctable errors before they pile up into
+/// uncorrectable ones.
+///
+/// Without scrubbing, every ECC-corrected read leaves a *standing* error in
+/// DRAM; as standing errors accumulate, the chance that the next corruption
+/// lands on an already-damaged word — and escalates to uncorrectable —
+/// grows (`escalation_per_error`). A scrub sweep clears a `coverage`
+/// fraction of the standing population every `interval_s` virtual seconds,
+/// at the price of stealing `bandwidth_frac` of the DRAM read bandwidth
+/// while enabled. This gives correctable-error accumulation and
+/// uncorrectable escalation the realistic time dependence long fault storms
+/// exercise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubConfig {
+    /// Virtual seconds per full scrub sweep of the card's DRAM. Zero (the
+    /// default) disables scrubbing entirely — no decay, no bandwidth tax.
+    pub interval_s: f64,
+    /// Fraction of standing correctable errors cleared per sweep.
+    pub coverage: f64,
+    /// Fraction of DRAM read bandwidth the scrubber steals while enabled
+    /// (reads are slowed by `1 / (1 − bandwidth_frac)`).
+    pub bandwidth_frac: f64,
+    /// Extra uncorrectable-escalation probability per standing error,
+    /// added to [`FaultConfig::dram_uncorrectable_frac`] (clamped to 1).
+    pub escalation_per_error: f64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            interval_s: 0.0,
+            coverage: 0.8,
+            bandwidth_frac: 0.02,
+            escalation_per_error: 0.0,
+        }
+    }
+}
+
+impl ScrubConfig {
+    /// Whether the scrubber runs at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.interval_s > 0.0
+    }
+}
+
+/// Time-dependent scrub state: the standing correctable-error population
+/// and the virtual timestamp of its last decay.
+#[derive(Debug, Default)]
+struct ScrubState {
+    /// Standing (not-yet-scrubbed) correctable errors, fractional so decay
+    /// composes smoothly.
+    standing: f64,
+    /// Virtual time of the last decay application.
+    last_s: f64,
+    /// Fractional errors cleared, accumulated until a whole one is counted.
+    cleared_acc: f64,
 }
 
 /// The fault classes a [`FaultPlan`] can inject (used to address a class in
@@ -113,6 +176,8 @@ pub struct FaultStats {
     pub kernel_stalls: u64,
     /// Mid-run device losses.
     pub device_losses: u64,
+    /// Standing correctable errors cleared by background scrub sweeps.
+    pub dram_scrubbed: u64,
 }
 
 /// One fault class's event stream: an independent seeded RNG, an event
@@ -160,6 +225,7 @@ pub struct FaultPlan {
     /// scheduled, so the per-transaction hooks cost one atomic load on a
     /// healthy device.
     armed: AtomicBool,
+    scrub: Mutex<ScrubState>,
     stats: Mutex<FaultStats>,
 }
 
@@ -178,7 +244,8 @@ impl FaultPlan {
             || config.dram_corruption_prob > 0.0
             || config.eth_flap_prob > 0.0
             || config.kernel_stall_prob > 0.0
-            || config.device_loss_prob > 0.0;
+            || config.device_loss_prob > 0.0
+            || config.scrub.enabled();
         FaultPlan {
             config,
             noc: Mutex::new(ClassStream::new(base ^ NOC_SALT)),
@@ -187,6 +254,7 @@ impl FaultPlan {
             stall: Mutex::new(ClassStream::new(base ^ STALL_SALT)),
             loss: Mutex::new(ClassStream::new(base ^ LOSS_SALT)),
             armed: AtomicBool::new(armed),
+            scrub: Mutex::new(ScrubState::default()),
             stats: Mutex::new(FaultStats::default()),
         }
     }
@@ -240,19 +308,62 @@ impl FaultPlan {
         self.stats.lock().noc_failures += 1;
     }
 
-    /// Roll one DRAM tile read.
+    /// Roll one DRAM tile read (time-blind: no scrub decay, no escalation
+    /// growth — exactly the pre-scrub behaviour and RNG consumption).
     #[must_use]
     pub fn roll_dram_read(&self) -> DramReadFault {
+        let now = self.scrub.lock().last_s;
+        self.roll_dram_read_at(now)
+    }
+
+    /// Roll one DRAM tile read at virtual time `now_s`.
+    ///
+    /// The scrub model runs here: standing correctable errors decay by
+    /// `(1 − coverage)^sweeps` over the elapsed sweeps since the last roll,
+    /// then the corruption roll fires as usual, with the uncorrectable
+    /// escalation probability raised by `escalation_per_error` × the
+    /// standing population. A corrected hit adds one standing error. RNG
+    /// consumption is identical to [`Self::roll_dram_read`] (one roll, plus
+    /// one severity draw when corrupted), so enabling the scrub model never
+    /// perturbs the other fault streams or an unscrubbed DRAM sequence.
+    #[must_use]
+    pub fn roll_dram_read_at(&self, now_s: f64) -> DramReadFault {
         if self.disarmed() {
             return DramReadFault::None;
         }
+        let scrub = self.config.scrub;
+        let standing = {
+            let mut st = self.scrub.lock();
+            if scrub.enabled() && now_s > st.last_s {
+                let sweeps = (now_s - st.last_s) / scrub.interval_s;
+                let kept = (1.0 - scrub.coverage.clamp(0.0, 1.0)).powf(sweeps);
+                let cleared = st.standing * (1.0 - kept);
+                st.standing -= cleared;
+                st.cleared_acc += cleared;
+                let whole = st.cleared_acc.floor();
+                if whole >= 1.0 {
+                    st.cleared_acc -= whole;
+                    self.stats.lock().dram_scrubbed += whole as u64;
+                }
+            }
+            if now_s > st.last_s {
+                st.last_s = now_s;
+            }
+            st.standing
+        };
         let mut stream = self.dram.lock();
         if !stream.roll(self.config.dram_corruption_prob) {
             return DramReadFault::None;
         }
-        // Severity from the same stream: correctable vs. not.
-        let uncorrectable = stream.rng.gen::<f64>() < self.config.dram_uncorrectable_frac;
+        // Severity from the same stream: correctable vs. not, with the
+        // standing-error escalation on top.
+        let escalated =
+            (self.config.dram_uncorrectable_frac + scrub.escalation_per_error * standing).min(1.0);
+        let uncorrectable = stream.rng.gen::<f64>() < escalated;
         drop(stream);
+        if !uncorrectable {
+            self.scrub.lock().standing += 1.0;
+        }
         let mut stats = self.stats.lock();
         if uncorrectable {
             stats.dram_uncorrectable += 1;
@@ -261,6 +372,24 @@ impl FaultPlan {
             stats.dram_corrected += 1;
             DramReadFault::Corrected
         }
+    }
+
+    /// Multiplicative DRAM read slowdown while the scrubber is enabled
+    /// (`1 / (1 − bandwidth_frac)`), 1.0 otherwise.
+    #[must_use]
+    pub fn dram_scrub_slowdown(&self) -> f64 {
+        let scrub = self.config.scrub;
+        if scrub.enabled() {
+            1.0 / (1.0 - scrub.bandwidth_frac.clamp(0.0, 0.9))
+        } else {
+            1.0
+        }
+    }
+
+    /// Current standing (not-yet-scrubbed) correctable-error population.
+    #[must_use]
+    pub fn standing_correctable(&self) -> f64 {
+        self.scrub.lock().standing
     }
 
     /// Roll one Ethernet transfer. `true` = link flap (caller charges a
@@ -448,6 +577,72 @@ mod tests {
         let hits = (0..1000).filter(|_| plan.roll_kernel_stall()).count();
         assert!((140..=260).contains(&hits), "{hits} stalls at p=0.2");
         assert_eq!(plan.stats().kernel_stalls, hits as u64);
+    }
+
+    #[test]
+    fn time_blind_and_timed_rolls_agree_without_scrub() {
+        let cfg = FaultConfig {
+            dram_corruption_prob: 0.3,
+            dram_uncorrectable_frac: 0.2,
+            ..FaultConfig::default()
+        };
+        let blind = FaultPlan::new(0, 21, cfg);
+        let timed = FaultPlan::new(0, 21, cfg);
+        for i in 0..256 {
+            let a = blind.roll_dram_read();
+            let b = timed.roll_dram_read_at(i as f64 * 0.01);
+            assert_eq!(a, b, "event {i}: scrub-disabled timed roll must match");
+        }
+        assert_eq!(blind.dram_scrub_slowdown(), 1.0);
+        assert_eq!(blind.stats().dram_scrubbed, 0);
+    }
+
+    #[test]
+    fn standing_errors_escalate_without_scrub_and_decay_with_it() {
+        let base = FaultConfig {
+            dram_corruption_prob: 1.0,
+            dram_uncorrectable_frac: 0.0,
+            scrub: ScrubConfig { escalation_per_error: 0.01, ..ScrubConfig::default() },
+            ..FaultConfig::default()
+        };
+        let uncorrectables = |cfg: FaultConfig| {
+            let plan = FaultPlan::new(0, 33, cfg);
+            let count = (0..400u64)
+                .filter(|&i| plan.roll_dram_read_at(i as f64) == DramReadFault::Uncorrectable)
+                .count() as u64;
+            (count, plan.standing_correctable(), plan.stats())
+        };
+
+        // No scrub: every corrected error stands, so the escalation
+        // probability climbs and uncorrectables appear over time.
+        let (bare_unc, bare_standing, _) = uncorrectables(base);
+        assert!(bare_unc > 0, "accumulation must escalate eventually");
+        assert!(bare_standing > 10.0, "standing population grows without scrubbing");
+
+        // Aggressive scrub: one sweep per virtual second clearing 80% keeps
+        // the standing population (and thus escalation) near zero.
+        let scrub_cfg = FaultConfig {
+            scrub: ScrubConfig {
+                interval_s: 1.0,
+                escalation_per_error: 0.01,
+                ..ScrubConfig::default()
+            },
+            ..base
+        };
+        let (scrub_unc, scrub_standing, scrub_stats) = uncorrectables(scrub_cfg);
+        assert!(
+            scrub_standing < 6.0,
+            "scrub must bound the standing population, got {scrub_standing}"
+        );
+        assert!(scrub_stats.dram_scrubbed > 100, "sweeps clear errors over time");
+        assert!(
+            scrub_unc * 4 < bare_unc.max(4),
+            "scrubbed card must escalate far less: {scrub_unc} vs {bare_unc}"
+        );
+        assert!(
+            FaultPlan::new(0, 0, scrub_cfg).dram_scrub_slowdown() > 1.0,
+            "scrub steals read bandwidth"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod noc;
 pub mod power;
 pub mod sfpu;
 pub mod srcreg;
+pub mod storm;
 pub mod tile;
 
 pub use cb::{CbStats, CircularBuffer, CircularBufferConfig};
@@ -57,9 +58,11 @@ pub use dtype::DataFormat;
 pub use error::{Result, TensixError};
 pub use fault::{
     DramReadFault, FaultClass, FaultConfig, FaultPlan, FaultStats, InterruptKind, KernelInterrupt,
+    ScrubConfig,
 };
 pub use grid::{CoreCoord, CoreRange, CoreRangeSet, GridSize};
 pub use noc::{NocId, NocModel};
 pub use power::{PowerParams, PowerState, PowerTimeline};
 pub use srcreg::{SrcReg, SrcRegisters};
+pub use storm::{backend_storm, BackendStorm, StormConfig};
 pub use tile::{pack_vector, tilize, unpack_vector, untilize, Tile, TILE_DIM, TILE_ELEMS};

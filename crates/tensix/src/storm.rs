@@ -1,0 +1,138 @@
+//! Seeded fault-storm generation — campaign-level misbehaviour.
+//!
+//! A fault *storm* is what a long-lived serving fleet actually experiences:
+//! not one fault class on one card, but correlated bursts of device losses,
+//! ERISC link flaps, and DRAM-ECC activity spread unevenly across the
+//! fleet. This module turns one campaign seed into a per-backend
+//! [`FaultConfig`] profile plus a deterministic schedule of guaranteed
+//! one-shot device losses, so a storm run is replayable bitwise: the same
+//! seed always produces the same per-device probabilities and the same
+//! scheduled kills.
+//!
+//! The storm only *describes* the weather; the job server applies it by
+//! building its devices from the per-backend profiles and arming the
+//! scheduled one-shots via [`crate::FaultPlan::schedule`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{FaultConfig, ScrubConfig};
+
+/// Shape of one fault storm over a backend fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormConfig {
+    /// Campaign seed: every derived probability and scheduled kill is a
+    /// pure function of this and the backend index.
+    pub seed: u64,
+    /// Mean per-program-launch device-loss probability.
+    pub device_loss_prob: f64,
+    /// Mean per-transfer Ethernet flap probability (ring backends).
+    pub eth_flap_prob: f64,
+    /// Mean per-read DRAM corruption probability (the ECC burst).
+    pub dram_corruption_prob: f64,
+    /// Fraction of DRAM corruption events that are uncorrectable outright.
+    pub dram_uncorrectable_frac: f64,
+    /// Background ECC scrubbing applied to every card in the storm.
+    pub scrub: ScrubConfig,
+    /// Probability that a given backend additionally gets a *guaranteed*
+    /// scheduled device loss (independent of the probabilistic stream).
+    pub scheduled_loss_prob: f64,
+    /// Scheduled losses land at a launch-event index in `1..=this`.
+    pub scheduled_loss_window: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 0,
+            device_loss_prob: 0.002,
+            eth_flap_prob: 0.0005,
+            dram_corruption_prob: 1e-5,
+            dram_uncorrectable_frac: 0.05,
+            scrub: ScrubConfig {
+                interval_s: 5.0,
+                escalation_per_error: 0.002,
+                ..ScrubConfig::default()
+            },
+            scheduled_loss_prob: 0.25,
+            scheduled_loss_window: 6,
+        }
+    }
+}
+
+/// The storm as it hits one backend: its fault profile plus any scheduled
+/// one-shot device losses (launch-event indexes, 1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendStorm {
+    /// Per-class probabilities for every device of this backend.
+    pub faults: FaultConfig,
+    /// Guaranteed device-loss launch events to arm via
+    /// [`crate::FaultPlan::schedule`].
+    pub scheduled_losses: Vec<u64>,
+}
+
+const STORM_SALT: u64 = 0x7374_6f72_6d21_2121; // "storm!!!"
+
+/// Derive the storm profile of backend `index`.
+///
+/// Each backend's intensity is jittered in `[0.5, 1.5)` around the storm
+/// means from its own seeded stream, so the fleet degrades unevenly — some
+/// cards ride the storm out, some die repeatedly — while two runs with the
+/// same `(seed, index)` see identical weather.
+#[must_use]
+pub fn backend_storm(cfg: &StormConfig, index: usize) -> BackendStorm {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ STORM_SALT ^ ((index as u64) << 32));
+    let mut jitter = |p: f64| p * (0.5 + rng.gen::<f64>());
+    let faults = FaultConfig {
+        device_loss_prob: jitter(cfg.device_loss_prob),
+        eth_flap_prob: jitter(cfg.eth_flap_prob),
+        dram_corruption_prob: jitter(cfg.dram_corruption_prob),
+        dram_uncorrectable_frac: cfg.dram_uncorrectable_frac,
+        scrub: cfg.scrub,
+        ..FaultConfig::default()
+    };
+    let scheduled_losses = if rng.gen::<f64>() < cfg.scheduled_loss_prob {
+        vec![1 + rng.gen_range(0..cfg.scheduled_loss_window.max(1))]
+    } else {
+        Vec::new()
+    };
+    BackendStorm { faults, scheduled_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storms_are_deterministic_per_seed_and_backend() {
+        let cfg = StormConfig { seed: 42, ..StormConfig::default() };
+        assert_eq!(backend_storm(&cfg, 3), backend_storm(&cfg, 3));
+        assert_ne!(
+            backend_storm(&cfg, 3).faults.device_loss_prob,
+            backend_storm(&cfg, 4).faults.device_loss_prob,
+            "backends see different weather"
+        );
+        let other = StormConfig { seed: 43, ..cfg };
+        assert_ne!(
+            backend_storm(&cfg, 3).faults.device_loss_prob,
+            backend_storm(&other, 3).faults.device_loss_prob,
+        );
+    }
+
+    #[test]
+    fn intensities_jitter_around_the_mean() {
+        let cfg = StormConfig { seed: 7, device_loss_prob: 0.01, ..StormConfig::default() };
+        for i in 0..32 {
+            let s = backend_storm(&cfg, i);
+            assert!(s.faults.device_loss_prob >= 0.005 && s.faults.device_loss_prob < 0.015);
+            assert!(s.faults.scrub.enabled(), "storm cards scrub by default");
+            for &e in &s.scheduled_losses {
+                assert!((1..=cfg.scheduled_loss_window).contains(&e));
+            }
+        }
+        // Some backends get a guaranteed kill, some don't.
+        let kills =
+            (0..32).filter(|&i| !backend_storm(&cfg, i).scheduled_losses.is_empty()).count();
+        assert!(kills > 0 && kills < 32, "{kills} of 32 backends scheduled");
+    }
+}

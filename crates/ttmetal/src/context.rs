@@ -232,7 +232,17 @@ impl DataMovementCtx {
                     });
                 }
             }
-            match plan.roll_dram_read() {
+            // Background ECC scrub: the patrol reader steals DRAM read
+            // bandwidth while enabled (extra cycles on every read), and the
+            // corruption roll sees the device's virtual time so standing
+            // errors decay between sweeps and escalation tracks time.
+            let slowdown = plan.dram_scrub_slowdown();
+            if slowdown > 1.0 {
+                self.counter.add((cycles as f64 * (slowdown - 1.0)).round() as u64);
+            }
+            let now_s = self.device.clock().now()
+                + self.device.costs().cycles_to_seconds(self.counter.cycles());
+            match plan.roll_dram_read_at(now_s) {
                 DramReadFault::None => {}
                 // The GDDR6 controller fixed the word inline; small latency.
                 DramReadFault::Corrected => {

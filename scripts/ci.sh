@@ -57,6 +57,18 @@ echo "$RING_OUT"
 echo "$RING_OUT" | grep -q "failovers: 1"
 echo "$RING_OUT" | grep -q "bitwise-identical to unfaulted run: true"
 
+echo "==> serving fault-storm smoke"
+# A small seeded multi-tenant campaign through the job server under an
+# injected fault storm (device losses, eth flaps, DRAM-ECC bursts): every
+# admitted job must complete bitwise-identical to its fault-free golden or
+# be shed with a typed rejection, and replaying the seed must reproduce the
+# same per-job outcomes. Grep the verdict lines so silent skips fail CI.
+SERVE_OUT=$(cargo run --release --offline -p tt-harness --bin serve_storm -- --jobs 40)
+echo "$SERVE_OUT"
+echo "$SERVE_OUT" | grep -q "lost: 0"
+echo "$SERVE_OUT" | grep -q "bitwise-identical to fault-free goldens: true"
+echo "$SERVE_OUT" | grep -q "deterministic replay digest match: true"
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
