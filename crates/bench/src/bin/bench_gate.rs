@@ -6,10 +6,13 @@
 //! workloads named by the bench trajectory — `time_to_solution` (end-to-end
 //! device force pipeline), `multi_device_time_to_solution` (2-card ring),
 //! `cb_throughput` (cross-thread circular-buffer streaming), `tile_ops`
-//! (FPU/SFPU tile math), and the serving pair `job_throughput` (host wall
+//! (FPU/SFPU tile math), the serving pair `job_throughput` (host wall
 //! clock to drain a fixed seeded storm campaign through `tt-server`) /
 //! `job_p99_latency` (the campaign's deterministic virtual p99 job
-//! latency) — and writes `BENCH_pipeline.json` at the repo root:
+//! latency), and `tree_time_to_solution` (one Barnes-Hut force+jerk
+//! evaluation at N = 1,000,000, with a matched-N tree-vs-direct scaling
+//! comparison recorded alongside) — and writes `BENCH_pipeline.json` at
+//! the repo root:
 //!
 //! ```text
 //! { "commit": ..., "n": ..., "benches": { "<name>": { "wall_s": ... } } }
@@ -26,9 +29,10 @@
 use std::thread;
 use std::time::Instant;
 
+use nbody::force::{ForceKernel, SimdKernel};
 use nbody::ic::{plummer, PlummerConfig};
 use nbody_tt::pipeline::DeviceForcePipeline;
-use nbody_tt::MultiDevicePipeline;
+use nbody_tt::{ForceEvaluator, MultiDevicePipeline, TreeConfig, TreeForceEvaluator};
 use tensix::cb::{CircularBuffer, CircularBufferConfig};
 use tensix::cost::ComputeCosts;
 use tensix::tile::Tile;
@@ -47,6 +51,12 @@ const CB_TILES: usize = 16384;
 const TILE_OP_ITERS: usize = 10_000;
 /// Jobs per serving-campaign repetition.
 const SERVE_JOBS: usize = 24;
+/// Particle count for the Barnes-Hut tree time-to-solution bench: the
+/// scale the tree code exists for, far beyond any direct-sum bench here.
+const TREE_N: usize = 1_000_000;
+/// Matched-N comparison point where both the tree and the direct sum are
+/// cheap enough to time head to head.
+const TREE_MATCHED_N: usize = 16_384;
 /// Timed repetitions per bench (the minimum is reported).
 const REPS: usize = 5;
 
@@ -156,7 +166,7 @@ fn bench_job_server() -> (f64, f64) {
         deadline_s: 10.0,
         ..LoadConfig::default()
     };
-    let arrivals = generate_load(&load);
+    let arrivals = generate_load(&load).expect("bench load config is valid");
     let spill_dir = std::env::temp_dir().join(format!("tt-bench-serve-{}", std::process::id()));
     std::fs::create_dir_all(&spill_dir).expect("spill dir");
     let cfg = ServerConfig {
@@ -178,6 +188,49 @@ fn bench_job_server() -> (f64, f64) {
         p99 = report.census.p99_latency_s;
     });
     (wall, p99)
+}
+
+/// One Barnes-Hut force+jerk evaluation at N = `TREE_N` (θ = 0.6, host
+/// near-field): the tree backend's time-to-solution inner loop at the
+/// million-particle scale the backend exists for. A single timed pass, no
+/// warmup — one evaluation is tens of seconds of deterministic work, so
+/// scheduling noise is far below the gate tolerance, and min-of-5 would
+/// cost minutes. Returns (wall seconds, interactions per evaluation).
+fn bench_tree_time_to_solution() -> (f64, u64) {
+    let sys = plummer(PlummerConfig { n: TREE_N, seed: 0x5c25, ..PlummerConfig::default() });
+    let ev = TreeForceEvaluator::host(
+        TREE_N,
+        0.01,
+        TreeConfig { theta: 0.6, leaf_capacity: 32, threads: 0 },
+    );
+    let t0 = Instant::now();
+    let f = ev.evaluate(&sys).unwrap();
+    assert_eq!(f.acc.len(), TREE_N);
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, ev.tree_cost().total_interactions())
+}
+
+/// Tree vs direct sum at a matched N where both are timeable: the
+/// O(N log N) vs O(N²) evidence next to the 1M-particle number. Returns
+/// (tree wall, direct wall) per evaluation.
+fn bench_tree_vs_direct_matched() -> (f64, f64) {
+    let sys =
+        plummer(PlummerConfig { n: TREE_MATCHED_N, seed: 0x5c25, ..PlummerConfig::default() });
+    let ev = TreeForceEvaluator::host(
+        TREE_MATCHED_N,
+        0.01,
+        TreeConfig { theta: 0.6, leaf_capacity: 32, threads: 0 },
+    );
+    let tree = min_secs(3, || {
+        let f = ev.evaluate(&sys).unwrap();
+        assert_eq!(f.acc.len(), TREE_MATCHED_N);
+    });
+    let kernel = SimdKernel::new(0.01);
+    let direct = min_secs(3, || {
+        let f = kernel.compute(&sys);
+        assert_eq!(f.acc.len(), TREE_MATCHED_N);
+    });
+    (tree, direct)
 }
 
 fn git_commit() -> String {
@@ -241,6 +294,17 @@ fn main() {
     eprintln!("bench_gate: job server ({SERVE_JOBS} jobs, 2 cards, seeded storm)...");
     let (serve_wall, serve_p99) = bench_job_server();
     eprintln!("bench_gate:   {serve_wall:.4} s wall, {serve_p99:.6} s virtual p99");
+    eprintln!("bench_gate: tree_time_to_solution (n = {TREE_N}, θ = 0.6, one evaluation)...");
+    let (tree_wall, tree_interactions) = bench_tree_time_to_solution();
+    eprintln!("bench_gate:   {tree_wall:.4} s, {tree_interactions} interactions");
+    eprintln!("bench_gate: tree vs direct at matched n = {TREE_MATCHED_N}...");
+    let (tree_matched, direct_matched) = bench_tree_vs_direct_matched();
+    eprintln!(
+        "bench_gate:   tree {tree_matched:.4} s vs direct {direct_matched:.4} s ({:.1}x); \
+         1M-particle tree touched {:.1}% of the direct sum's pairs",
+        direct_matched / tree_matched,
+        100.0 * tree_interactions as f64 / (TREE_N as f64 * (TREE_N - 1) as f64)
+    );
 
     // `job_p99_latency` reuses the `wall_s` slot for its (virtual) seconds:
     // same lower-is-better gate semantics, deterministic value.
@@ -251,6 +315,7 @@ fn main() {
         ("tile_ops", ops),
         ("job_throughput", serve_wall),
         ("job_p99_latency", serve_p99),
+        ("tree_time_to_solution", tree_wall),
     ];
 
     // Seed-commit wall clocks measured with this same binary on the scalar /
@@ -272,6 +337,11 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {{ \"wall_s\": {wall:.6} }}{comma}\n"));
     }
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"tree_scaling\": {{ \"n\": {TREE_N}, \"theta\": 0.6, \"interactions_per_eval\": {tree_interactions}, \"direct_pairs_at_n\": {}, \"matched_n\": {TREE_MATCHED_N}, \"tree_wall_s\": {tree_matched:.6}, \"direct_wall_s\": {direct_matched:.6}, \"tree_speedup_at_matched_n\": {:.2} }},\n",
+        TREE_N as u128 * (TREE_N - 1) as u128,
+        direct_matched / tree_matched
+    ));
     json.push_str(&format!(
         "  \"seed_baseline\": {{ \"commit\": \"{}\", \"time_to_solution_wall_s\": {:.6}, \"cb_throughput_wall_s\": {:.6}, \"tile_ops_wall_s\": {:.6} }},\n",
         seed_baseline::COMMIT, seed[0].1, seed[1].1, seed[2].1

@@ -19,6 +19,7 @@ pub mod multi_device;
 pub mod perf_model;
 pub mod pipeline;
 pub mod simulation;
+pub mod tree;
 pub mod validate;
 
 pub use broadcast::BroadcastForcePipeline;
@@ -36,4 +37,5 @@ pub use simulation::{
     run_simulation, run_simulation_resilient, write_checkpoint, RecoveryConfig, ResilientOutcome,
     SimulationConfig, SimulationOutcome, SpillConfig,
 };
+pub use tree::{run_tree_simulation, TreeConfig, TreeForceEvaluator};
 pub use validate::{validate_system, validation_suite, ValidationRow};

@@ -2,7 +2,8 @@
 //!
 //! Replays a seeded open-loop workload (default 120 jobs, three tenants at
 //! a 3:2:1 mix) through the job server over a mixed fleet — three single
-//! cards plus a 2-card ring with one spare — while a seeded fault storm
+//! cards, a 2-card ring with one spare, and a storm-immune host tree-code
+//! backend (its own golden class) — while a seeded fault storm
 //! injects device losses, Ethernet flaps, and DRAM-ECC bursts. The
 //! campaign is then replayed from the same seed and the two reports are
 //! compared digest-for-digest.
@@ -42,7 +43,10 @@ fn main() {
     }
 
     let load = LoadConfig { seed, jobs, rate_hz: 2000.0, deadline_s: 0.5, ..LoadConfig::default() };
-    let arrivals = generate_load(&load);
+    let arrivals = generate_load(&load).unwrap_or_else(|e| {
+        eprintln!("invalid load config: {e}");
+        std::process::exit(2);
+    });
     let spill_dir = std::env::temp_dir().join(format!("tt-serve-e10-{}", std::process::id()));
     std::fs::create_dir_all(&spill_dir).expect("spill dir");
 
@@ -57,6 +61,9 @@ fn main() {
             BackendKind::SingleCard,
             BackendKind::SingleCard,
             BackendKind::Ring { members: 2, spares: 1 },
+            // Storm-immune host tree backend: its own golden class, never a
+            // cross-class migration target.
+            BackendKind::TreeHost { theta_milli: 600 },
         ],
         storm: StormConfig {
             seed,
@@ -74,7 +81,7 @@ fn main() {
     };
 
     println!(
-        "E11 fault-storm serving campaign: {} jobs, seed {:#x}, fleet 3x card + 1x ring(2+1)",
+        "E11 fault-storm serving campaign: {} jobs, seed {:#x}, fleet 3x card + 1x ring(2+1) + 1x tree(θ=0.6)",
         jobs, seed
     );
 

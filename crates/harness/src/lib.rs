@@ -34,7 +34,7 @@ pub use experiments::{
     sweep_crossover, FaultCensusResult, Fig3Result, Fig4Result, Fig5Result, ScalingResult,
     SweepPoint,
 };
-pub use loadgen::{generate_load, LoadConfig};
+pub use loadgen::{generate_load, LoadConfig, LoadGenError};
 pub use plot::{render_histogram, render_timeseries};
 pub use profile::{
     harvest_metrics, maybe_run_profile, run_profiled_demo, KernelRow, ProfileArtifacts,

@@ -55,20 +55,95 @@ impl Default for LoadConfig {
     }
 }
 
+/// Why a [`LoadConfig`] cannot generate a workload. Returned instead of
+/// panicking: load configs arrive from campaign files and CLI flags, and a
+/// malformed one is an input error, not a bug in the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadGenError {
+    /// `tenant_mix` is empty — there is no tenant to attribute arrivals to.
+    EmptyTenantMix,
+    /// A tenant weight is negative or NaN.
+    InvalidTenantWeight {
+        /// Offending tenant index.
+        tenant: usize,
+        /// The weight as configured.
+        weight: f64,
+    },
+    /// Every tenant weight is zero, so no tenant can ever be drawn.
+    ZeroTotalWeight,
+    /// `n_choices` is empty — jobs have no particle count to draw.
+    EmptySizeChoices,
+    /// A particle count of zero (no backend accepts an empty system).
+    ZeroParticleCount,
+    /// `rate_hz` is not a positive finite number.
+    InvalidRate(
+        /// The rate as configured.
+        f64,
+    ),
+}
+
+impl std::fmt::Display for LoadGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadGenError::EmptyTenantMix => write!(f, "tenant mix is empty"),
+            LoadGenError::InvalidTenantWeight { tenant, weight } => {
+                write!(f, "tenant {tenant} has invalid weight {weight}")
+            }
+            LoadGenError::ZeroTotalWeight => write!(f, "all tenant weights are zero"),
+            LoadGenError::EmptySizeChoices => write!(f, "particle-count choices are empty"),
+            LoadGenError::ZeroParticleCount => write!(f, "particle count choices include 0"),
+            LoadGenError::InvalidRate(r) => {
+                write!(f, "arrival rate {r} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadGenError {}
+
+impl LoadConfig {
+    /// Check every field the generator depends on, up front.
+    ///
+    /// # Errors
+    /// The first [`LoadGenError`] found, in field order.
+    pub fn validate(&self) -> Result<(), LoadGenError> {
+        if self.tenant_mix.is_empty() {
+            return Err(LoadGenError::EmptyTenantMix);
+        }
+        for (tenant, &weight) in self.tenant_mix.iter().enumerate() {
+            let ok = weight.is_finite() && weight >= 0.0;
+            if !ok {
+                return Err(LoadGenError::InvalidTenantWeight { tenant, weight });
+            }
+        }
+        if self.tenant_mix.iter().sum::<f64>() <= 0.0 {
+            return Err(LoadGenError::ZeroTotalWeight);
+        }
+        if self.n_choices.is_empty() {
+            return Err(LoadGenError::EmptySizeChoices);
+        }
+        if self.n_choices.contains(&0) {
+            return Err(LoadGenError::ZeroParticleCount);
+        }
+        if !self.rate_hz.is_finite() || self.rate_hz <= 0.0 {
+            return Err(LoadGenError::InvalidRate(self.rate_hz));
+        }
+        Ok(())
+    }
+}
+
 /// Generate the arrival list: `(virtual arrival time, request)` pairs in
 /// time order.
 ///
-/// # Panics
-/// Panics on an empty tenant mix / size list or a non-positive rate.
-#[must_use]
-pub fn generate_load(cfg: &LoadConfig) -> Vec<(f64, JobRequest)> {
-    assert!(!cfg.tenant_mix.is_empty(), "need at least one tenant");
-    assert!(!cfg.n_choices.is_empty(), "need at least one particle count");
-    assert!(cfg.rate_hz > 0.0, "arrival rate must be positive");
+/// # Errors
+/// [`LoadGenError`] when the config cannot produce a workload (empty
+/// tenant mix or size list, bad weights, non-positive rate).
+pub fn generate_load(cfg: &LoadConfig) -> Result<Vec<(f64, JobRequest)>, LoadGenError> {
+    cfg.validate()?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let total_weight: f64 = cfg.tenant_mix.iter().sum();
     let mut t = 0.0f64;
-    (0..cfg.jobs as u64)
+    Ok((0..cfg.jobs as u64)
         .map(|job_id| {
             // Exponential inter-arrival times -> Poisson process.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -96,7 +171,7 @@ pub fn generate_load(cfg: &LoadConfig) -> Vec<(f64, JobRequest)> {
                 },
             )
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -106,19 +181,49 @@ mod tests {
     #[test]
     fn load_is_deterministic_and_ordered() {
         let cfg = LoadConfig { jobs: 50, ..LoadConfig::default() };
-        let a = generate_load(&cfg);
-        let b = generate_load(&cfg);
+        let a = generate_load(&cfg).unwrap();
+        let b = generate_load(&cfg).unwrap();
         assert_eq!(a.len(), 50);
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "arrivals in time order");
-        let other = generate_load(&LoadConfig { seed: 1, ..cfg });
+        let other = generate_load(&LoadConfig { seed: 1, ..cfg }).unwrap();
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn malformed_configs_yield_typed_errors_not_panics() {
+        let base = LoadConfig::default;
+        let cases: Vec<(LoadConfig, LoadGenError)> = vec![
+            (LoadConfig { tenant_mix: vec![], ..base() }, LoadGenError::EmptyTenantMix),
+            (
+                LoadConfig { tenant_mix: vec![1.0, -2.0], ..base() },
+                LoadGenError::InvalidTenantWeight { tenant: 1, weight: -2.0 },
+            ),
+            // All-zero weights used to slip past the old asserts and
+            // panic inside gen_range(0.0..0.0).
+            (LoadConfig { tenant_mix: vec![0.0, 0.0], ..base() }, LoadGenError::ZeroTotalWeight),
+            (LoadConfig { n_choices: vec![], ..base() }, LoadGenError::EmptySizeChoices),
+            (LoadConfig { n_choices: vec![64, 0], ..base() }, LoadGenError::ZeroParticleCount),
+            (LoadConfig { rate_hz: 0.0, ..base() }, LoadGenError::InvalidRate(0.0)),
+            (LoadConfig { rate_hz: f64::NAN, ..base() }, LoadGenError::InvalidRate(f64::NAN)),
+        ];
+        for (cfg, want) in cases {
+            let got = generate_load(&cfg).unwrap_err();
+            // NaN != NaN, so compare the rendered error for that case.
+            assert_eq!(format!("{got}"), format!("{want}"), "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn nan_tenant_weight_is_rejected() {
+        let cfg = LoadConfig { tenant_mix: vec![1.0, f64::NAN], ..LoadConfig::default() };
+        assert!(matches!(cfg.validate(), Err(LoadGenError::InvalidTenantWeight { tenant: 1, .. })));
     }
 
     #[test]
     fn tenant_mix_is_respected() {
         let cfg = LoadConfig { jobs: 600, tenant_mix: vec![3.0, 1.0], ..LoadConfig::default() };
-        let load = generate_load(&cfg);
+        let load = generate_load(&cfg).unwrap();
         let t0 = load.iter().filter(|(_, r)| r.tenant == 0).count();
         // 3:1 mix -> ~450 of 600; allow generous slack.
         assert!((380..=520).contains(&t0), "tenant 0 got {t0}/600");

@@ -52,6 +52,7 @@ pub fn install_fault_panic_filter() {
 pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use job::{JobRequest, Rejection, TenantSpec};
 pub use server::{
-    run_campaign, state_hash, BackendKind, BackendReport, CampaignReport, ServerConfig,
+    run_campaign, state_hash, BackendClass, BackendKind, BackendReport, CampaignReport,
+    ServerConfig,
 };
 pub use wfq::{Admission, QueuedJob};

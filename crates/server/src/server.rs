@@ -39,7 +39,7 @@ use nbody::particle::ParticleSystem;
 use nbody_tt::{
     latest_checkpoint, resume_simulation_resilient, run_cpu_simulation, run_simulation,
     run_simulation_resilient, ForceEvaluator, MultiDevicePipeline, PipelineTiming, RecoveryConfig,
-    ResilientOutcome, RetryPolicy, SingleCardEvaluator, SpillConfig,
+    ResilientOutcome, RetryPolicy, SingleCardEvaluator, SpillConfig, TreeForceEvaluator,
 };
 use tensix::{
     backend_storm, BackendStorm, Device, DeviceConfig, FaultClass, StormConfig, TensixError,
@@ -64,6 +64,32 @@ pub enum BackendKind {
         /// Hot spares promoted on member loss (absorbed without rollback).
         spares: usize,
     },
+    /// Host Barnes-Hut tree code at opening angle θ = `theta_milli`/1000
+    /// (integer so the kind stays `Copy + Eq + Hash` for golden keys).
+    /// Storm-immune — no device to lose — but a distinct *backend class*:
+    /// its forces differ from the FP32 device pipeline, so it verifies
+    /// against its own goldens and jobs never migrate across classes.
+    TreeHost {
+        /// Opening angle in milli-units (600 → θ = 0.6).
+        theta_milli: u32,
+    },
+}
+
+/// Golden-compatibility class of a backend: two backends in the same class
+/// produce bitwise-identical trajectories for the same request, so a job
+/// may migrate between them and still match one golden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendClass {
+    /// FP32 tiled device pipelines (single cards and rings are
+    /// bitwise-compatible by the ring-equivalence tests).
+    Device,
+    /// Host FP64 Barnes-Hut at a fixed opening angle.
+    Tree {
+        /// Opening angle in milli-units.
+        theta_milli: u32,
+    },
+    /// Host FP64 direct-sum CPU evaluator (degradation target).
+    Cpu,
 }
 
 impl BackendKind {
@@ -71,6 +97,16 @@ impl BackendKind {
         match self {
             BackendKind::SingleCard => format!("card{slot}"),
             BackendKind::Ring { members, spares } => format!("ring{slot}x{members}+{spares}"),
+            BackendKind::TreeHost { theta_milli } => format!("tree{slot}t{theta_milli}"),
+        }
+    }
+
+    /// The golden-compatibility class of this backend.
+    #[must_use]
+    pub fn class(self) -> BackendClass {
+        match self {
+            BackendKind::SingleCard | BackendKind::Ring { .. } => BackendClass::Device,
+            BackendKind::TreeHost { theta_milli } => BackendClass::Tree { theta_milli },
         }
     }
 }
@@ -238,7 +274,7 @@ struct Slot {
 /// Golden cache key: backend class + everything that shapes the physics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct GoldenKey {
-    cpu: bool,
+    class: BackendClass,
     n: usize,
     ic_seed: u64,
     cycles: usize,
@@ -249,9 +285,9 @@ struct GoldenKey {
 }
 
 impl GoldenKey {
-    fn new(cpu: bool, req: &JobRequest) -> Self {
+    fn new(class: BackendClass, req: &JobRequest) -> Self {
         GoldenKey {
-            cpu,
+            class,
             n: req.n,
             ic_seed: req.ic_seed,
             cycles: req.sim.cycles,
@@ -278,9 +314,10 @@ struct Campaign<'a> {
     trace: Option<&'a dyn TraceSink>,
 }
 
-/// What one device segment produced.
+/// What one device segment produced. The outcome is boxed: `Done` would
+/// otherwise dwarf `Failed` (clippy's large-variant lint).
 enum Segment {
-    Done { outcome: ResilientOutcome, system: ParticleSystem, service_s: f64 },
+    Done { outcome: Box<ResilientOutcome>, system: ParticleSystem, service_s: f64 },
     Failed { error: LaunchError, service_s: f64, retries: u64 },
 }
 
@@ -290,6 +327,17 @@ fn timing_seconds(t: &PipelineTiming) -> f64 {
 
 fn ics(req: &JobRequest) -> ParticleSystem {
     plummer(PlummerConfig { n: req.n, seed: req.ic_seed, ..PlummerConfig::default() })
+}
+
+/// Tree tuning for a fleet slot: θ from the backend kind, default leaf
+/// size, single-threaded walk (any thread count is bitwise-identical; one
+/// thread keeps the serving loop's host footprint predictable).
+fn tree_config(theta_milli: u32) -> nbody_tt::TreeConfig {
+    nbody_tt::TreeConfig {
+        theta: f64::from(theta_milli) / 1000.0,
+        threads: 1,
+        ..nbody_tt::TreeConfig::default()
+    }
 }
 
 impl<'a> Campaign<'a> {
@@ -378,7 +426,7 @@ impl<'a> Campaign<'a> {
                 match result {
                     Ok(outcome) => {
                         let service_s = outcome.outcome.timing.as_ref().map_or(0.0, timing_seconds);
-                        Segment::Done { outcome, system, service_s }
+                        Segment::Done { outcome: Box::new(outcome), system, service_s }
                     }
                     Err(error) => {
                         let t = eval.timing().unwrap_or_default();
@@ -422,7 +470,7 @@ impl<'a> Campaign<'a> {
                         let service_s = rt.device_seconds
                             + rt.comm_seconds
                             + outcome.outcome.timing.as_ref().map_or(0.0, |t| t.io_seconds);
-                        Segment::Done { outcome, system, service_s }
+                        Segment::Done { outcome: Box::new(outcome), system, service_s }
                     }
                     Err(error) => Segment::Failed {
                         error,
@@ -431,29 +479,66 @@ impl<'a> Campaign<'a> {
                     },
                 }
             }
+            BackendKind::TreeHost { theta_milli } => {
+                // No device, no storm: the tree backend's faults are the
+                // host's (none in this model). Service time is charged from
+                // the evaluator's deterministic interaction counts at the
+                // modeled host rate, not wall clock, so replays stay
+                // bitwise.
+                let eval = Arc::new(TreeForceEvaluator::host(
+                    req.n,
+                    req.sim.eps,
+                    tree_config(theta_milli),
+                ));
+                let result = match start {
+                    None => run_simulation_resilient(&eval, &mut system, req.sim, recovery),
+                    Some(step) => {
+                        resume_simulation_resilient(&eval, &mut system, step, req.sim, recovery)
+                    }
+                };
+                match result {
+                    Ok(outcome) => {
+                        let service_s =
+                            eval.tree_cost().total_interactions() as f64 / self.cfg.cpu_pairs_per_s;
+                        Segment::Done { outcome: Box::new(outcome), system, service_s }
+                    }
+                    Err(error) => Segment::Failed { error, service_s: 0.0, retries: 0 },
+                }
+            }
         }
     }
 
     /// Fault-free golden fingerprint for `req` on the given backend class,
     /// computed once per distinct spec and cached.
-    fn golden(&mut self, cpu: bool, req: &JobRequest) -> u64 {
-        let key = GoldenKey::new(cpu, req);
+    fn golden(&mut self, class: BackendClass, req: &JobRequest) -> u64 {
+        let key = GoldenKey::new(class, req);
         if let Some(&h) = self.goldens.get(&key) {
             return h;
         }
         let mut system = ics(req);
-        if cpu {
-            let _ = run_cpu_simulation(&mut system, req.sim, 1);
-        } else {
-            let dev = Device::new(
-                usize::MAX / 2, // outside fleet ids; fault-free
-                DeviceConfig { reset_failure_prob: 0.0, ..DeviceConfig::default() },
-            );
-            let eval = Arc::new(
-                SingleCardEvaluator::new(dev, req.n, req.sim.eps, req.sim.num_cores)
-                    .expect("fault-free golden pipeline construction"),
-            );
-            let _ = run_simulation(&eval, &mut system, req.sim);
+        match class {
+            BackendClass::Cpu => {
+                let _ = run_cpu_simulation(&mut system, req.sim, 1);
+            }
+            BackendClass::Device => {
+                let dev = Device::new(
+                    usize::MAX / 2, // outside fleet ids; fault-free
+                    DeviceConfig { reset_failure_prob: 0.0, ..DeviceConfig::default() },
+                );
+                let eval = Arc::new(
+                    SingleCardEvaluator::new(dev, req.n, req.sim.eps, req.sim.num_cores)
+                        .expect("fault-free golden pipeline construction"),
+                );
+                let _ = run_simulation(&eval, &mut system, req.sim);
+            }
+            BackendClass::Tree { theta_milli } => {
+                let eval = Arc::new(TreeForceEvaluator::host(
+                    req.n,
+                    req.sim.eps,
+                    tree_config(theta_milli),
+                ));
+                let _ = run_simulation(&eval, &mut system, req.sim);
+            }
         }
         let h = state_hash(&system);
         self.goldens.insert(key, h);
@@ -540,7 +625,7 @@ impl<'a> Campaign<'a> {
                     self.push(finish, EvKind::SlotFree(slot));
                     self.slots[slot].breaker.record_success();
                     self.slots[slot].completed += 1;
-                    let golden = self.golden(false, &req);
+                    let golden = self.golden(self.slots[slot].kind.class(), &req);
                     let h = state_hash(&system);
                     self.instant("job_complete", &[("job", req.job_id), ("slot", slot as u64)]);
                     self.jobs.push(ServedJob {
@@ -593,13 +678,18 @@ impl<'a> Campaign<'a> {
                     }
 
                     // Migrate: restore the newest checkpoint and resume on
-                    // another admitting device slot (the failed slot is
-                    // still Busy until its SlotFree fires, so it is never
-                    // re-picked here).
+                    // another admitting slot *of the same backend class* —
+                    // a checkpoint resumed across classes (device ↔ tree)
+                    // would finish with a state matching neither golden.
+                    // (The failed slot is still Busy until its SlotFree
+                    // fires, so it is never re-picked here.)
+                    let class = self.slots[slot].kind.class();
                     let target = (migrations < req.max_migrations)
                         .then(|| {
                             self.slots.iter().position(|s| {
-                                s.state == SlotState::Idle && s.breaker.admits(fault_t)
+                                s.state == SlotState::Idle
+                                    && s.kind.class() == class
+                                    && s.breaker.admits(fault_t)
                             })
                         })
                         .flatten();
@@ -674,7 +764,7 @@ impl<'a> Campaign<'a> {
         let mut system = ics(&req);
         let _ = run_cpu_simulation(&mut system, req.sim, 1);
         let finish = start_service_s + self.cpu_service_s(&req);
-        let golden = self.golden(true, &req);
+        let golden = self.golden(BackendClass::Cpu, &req);
         let h = state_hash(&system);
         self.instant("job_degraded_cpu", &[("job", req.job_id)]);
         self.jobs.push(ServedJob {

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 use nbody_tt::SimulationConfig;
 use tensix::{ScrubConfig, StormConfig};
-use tt_server::{run_campaign, BackendKind, JobRequest, ServerConfig, TenantSpec};
+use tt_server::{run_campaign, BackendClass, BackendKind, JobRequest, ServerConfig, TenantSpec};
 
 fn small_sim() -> SimulationConfig {
     SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
@@ -127,6 +127,82 @@ fn single_backend_fleet_degrades_to_cpu_when_quarantined() {
     for j in &report.jobs {
         assert_eq!(j.bitwise_golden, Some(true), "job {} not golden", j.job_id);
     }
+}
+
+#[test]
+fn tree_backends_complete_bitwise_against_their_own_goldens() {
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default(); 2],
+        backends: vec![
+            BackendKind::TreeHost { theta_milli: 600 },
+            BackendKind::TreeHost { theta_milli: 600 },
+        ],
+        storm: StormConfig {
+            seed: 11,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scheduled_loss_prob: 0.0,
+            ..StormConfig::default()
+        },
+        spill_dir: spill_dir("tree"),
+        ..ServerConfig::default()
+    };
+    let arrivals = requests(6, 2, 96);
+    let a = run_campaign(&cfg, &arrivals, None);
+    let b = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(a.digest, b.digest, "tree campaigns must replay bitwise");
+    assert_eq!(a.census.completed, 6);
+    assert!(a.census.zero_lost_jobs(), "jobs: {:?}", a.jobs);
+    for j in &a.jobs {
+        assert!(j.backend.starts_with("tree"), "job ran on {}", j.backend);
+        assert_eq!(j.bitwise_golden, Some(true), "job {} not golden on tree", j.job_id);
+        assert!(j.finish_s > j.start_s, "tree service time must be positive");
+    }
+}
+
+#[test]
+fn tree_and_device_classes_never_share_goldens_or_migrations() {
+    // Mixed fleet under a storm that kills the device cards: jobs that
+    // started on a device must migrate to a device or degrade to CPU —
+    // never onto the storm-immune tree slot (its trajectory would match
+    // neither golden).
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default(); 2],
+        backends: vec![BackendKind::SingleCard, BackendKind::TreeHost { theta_milli: 500 }],
+        storm: StormConfig {
+            seed: 23,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scheduled_loss_prob: 1.0,
+            scheduled_loss_window: 1,
+            ..StormConfig::default()
+        },
+        recoveries_per_segment: 0,
+        spill_dir: spill_dir("tree-mixed"),
+        ..ServerConfig::default()
+    };
+    let arrivals = requests(8, 2, 64);
+    let report = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(report.census.total, 8);
+    assert!(report.census.zero_lost_jobs(), "jobs: {:?}", report.jobs);
+    let device_faults: u64 = report.backends.iter().map(|b| b.terminal_faults).sum();
+    assert!(device_faults > 0, "storm never killed the card");
+    let tree_completed = report.jobs.iter().filter(|j| j.backend.starts_with("tree")).count();
+    assert!(tree_completed > 0, "tree slot served nothing: {:?}", report.jobs);
+    for j in &report.jobs {
+        assert_eq!(j.bitwise_golden, Some(true), "job {} not golden", j.job_id);
+        if j.backend.starts_with("tree") {
+            assert_eq!(j.migrations, 0, "job {} migrated across classes", j.job_id);
+        }
+    }
+    assert_eq!(BackendKind::SingleCard.class(), BackendClass::Device);
+    assert_eq!(
+        BackendKind::TreeHost { theta_milli: 500 }.class(),
+        BackendClass::Tree { theta_milli: 500 }
+    );
+    assert_ne!(BackendKind::TreeHost { theta_milli: 500 }.class(), BackendClass::Device);
 }
 
 #[test]

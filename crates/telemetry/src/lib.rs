@@ -33,6 +33,7 @@ pub mod retry;
 pub mod sample;
 pub mod serving;
 pub mod stats;
+pub mod tree;
 pub mod ttsmi;
 
 pub use campaign::{
@@ -46,4 +47,5 @@ pub use retry::RetryCost;
 pub use sample::{PowerSample, SampleSeries};
 pub use serving::{JobDisposition, ServedJob, ServingCensus, TenantCensus};
 pub use stats::{max, mean, min, percentile, standard_normal, std_dev, Histogram};
+pub use tree::TreeCost;
 pub use ttsmi::TtSmiSampler;

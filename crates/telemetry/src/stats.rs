@@ -78,7 +78,11 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Histogram of `xs` with `bins` equal bins over `[lo, hi)`.
+    /// Histogram of `xs` with `bins` equal bins over `[lo, hi)`. Anything
+    /// not provably in range — below `lo`, at or above `hi`, or NaN —
+    /// counts as an outlier; only in-range samples are cast to a bin index
+    /// (an out-of-range or NaN value put through the `as usize` cast would
+    /// silently saturate into bin 0).
     ///
     /// # Panics
     /// Panics unless `bins > 0` and `hi > lo`.
@@ -90,11 +94,11 @@ impl Histogram {
         let mut outliers = 0;
         let width = (hi - lo) / bins as f64;
         for &x in xs {
-            if x < lo || x >= hi {
-                outliers += 1;
-            } else {
+            if x >= lo && x < hi {
                 let b = (((x - lo) / width) as usize).min(bins - 1);
                 counts[b] += 1;
+            } else {
+                outliers += 1;
             }
         }
         Histogram { lo, hi, counts, outliers }
@@ -175,6 +179,35 @@ mod tests {
         assert_eq!(h.outliers, 2);
         assert_eq!(h.total(), 4);
         assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_std_dev_is_zero_not_nan() {
+        // One job in a campaign must not poison the census CSV with NaN:
+        // the (n − 1) variance denominator is guarded, not divided by zero.
+        for x in [0.0, 3.0, -17.5, 1e300] {
+            let s = std_dev(&[x]);
+            assert!(!s.is_nan(), "std_dev([{x}]) is NaN");
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn below_range_sample_is_an_outlier_not_bin_zero() {
+        // A negative (x − lo)/width must never saturate through `as usize`
+        // into bin 0; it belongs in the outlier count.
+        let h = Histogram::build(&[-0.5], 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![0, 0, 0]);
+        assert_eq!(h.outliers, 1);
+    }
+
+    #[test]
+    fn nan_sample_is_an_outlier_not_bin_zero() {
+        // NaN fails both range comparisons and casts to 0 via `as usize`;
+        // the range check must be written so NaN lands in outliers.
+        let h = Histogram::build(&[f64::NAN, 0.5], 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![1, 0, 0]);
+        assert_eq!(h.outliers, 1);
     }
 
     #[test]

@@ -69,6 +69,16 @@ echo "$SERVE_OUT" | grep -q "lost: 0"
 echo "$SERVE_OUT" | grep -q "bitwise-identical to fault-free goldens: true"
 echo "$SERVE_OUT" | grep -q "deterministic replay digest match: true"
 
+echo "==> tree-code smoke"
+# Small-N Barnes-Hut run with the built-in O(N²) cross-check: one tree
+# force evaluation is compared against the FP64 direct sum and must land
+# inside the θ-dependent error bound before the run proceeds. Grep the
+# verdict so a silently-skipped verification fails CI.
+TREE_OUT=$(cargo run --release --offline --bin tt-nbody -- run \
+  --backend tree --n 2048 --steps 2 --theta 0.6 --verify-direct)
+echo "$TREE_OUT"
+echo "$TREE_OUT" | grep -q "tree-vs-direct agreement: PASS"
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! tt-nbody run   [--ic plummer|king|uniform|collapse|merger] [--n 512]
-//!                [--backend device|cpu|reference] [--integrator hermite|leapfrog|block]
+//!                [--backend device|tree|cpu|reference] [--integrator hermite|leapfrog|block]
 //!                [--steps 32] [--dt 0.00390625] [--eps 0.01] [--cores 2]
 //!                [--devices 1] [--spares 0] [--resilient] [--inject-loss 0]
 //!                [--threads 4] [--seed 0]
+//!                [--theta 0.6] [--leaf 32] [--near host|device] [--verify-direct]
 //! tt-nbody validate [--n 1024]
 //! tt-nbody model
 //! ```
@@ -20,6 +21,13 @@
 //! verifies the surviving run against an unfaulted twin, bit for bit.
 //! `--resilient` routes a single-card run through the same driver
 //! (checkpoint/restart + watchdog) instead of the bare integrator.
+//!
+//! `--backend tree` runs the Barnes-Hut tree code: `--theta` sets the
+//! opening angle, `--leaf` the leaf capacity, and `--near device` routes
+//! the near-field through the tiled device pipeline (host far-field either
+//! way). `--verify-direct` first compares one tree force evaluation
+//! against the FP64 direct sum and fails unless the worst relative error
+//! is within the θ-dependent bound — an O(N²) check meant for small N.
 
 use std::sync::Arc;
 
@@ -33,7 +41,8 @@ use nbody::integrator::{BlockHermite, Hermite4, Integrator, Leapfrog};
 use nbody::particle::ParticleSystem;
 use nbody_tt::{
     run_device_simulation_resilient, run_ring_simulation_resilient, DeviceForceKernel,
-    DeviceForcePipeline, RecoveryConfig, ResilientOutcome, SimulationConfig,
+    DeviceForcePipeline, EvaluatorKernel, ForceEvaluator, RecoveryConfig, ResilientOutcome,
+    SimulationConfig, TreeConfig, TreeForceEvaluator,
 };
 use tensix::fault::FaultClass;
 use tensix::{Device, DeviceConfig};
@@ -56,6 +65,10 @@ struct Options {
     inject_loss: u64,
     threads: usize,
     seed: u64,
+    theta: f64,
+    leaf: usize,
+    near: String,
+    verify_direct: bool,
 }
 
 impl Default for Options {
@@ -76,6 +89,10 @@ impl Default for Options {
             inject_loss: 0,
             threads: 4,
             seed: 0,
+            theta: 0.6,
+            leaf: 32,
+            near: "host".into(),
+            verify_direct: false,
         }
     }
 }
@@ -112,6 +129,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--theta" => opts.theta = value()?.parse().map_err(|e| format!("--theta: {e}"))?,
+            "--leaf" => opts.leaf = value()?.parse().map_err(|e| format!("--leaf: {e}"))?,
+            "--near" => opts.near = value()?,
+            "--verify-direct" => opts.verify_direct = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -245,6 +266,93 @@ fn run_ring(opts: &Options, sys: &mut ParticleSystem) -> Result<(), String> {
     Ok(())
 }
 
+/// Above this N the CLI skips the O(N²) energy diagnostic around a tree
+/// run; the tree itself scales as O(N log N) and must not be gated on a
+/// quadratic host sum at N ≥ 1M.
+const ENERGY_CHECK_MAX_N: usize = 32_768;
+
+/// One tree force evaluation against the FP64 direct sum: worst
+/// rms-normalized acceleration error must sit inside the θ-dependent
+/// monopole bound (plus an FP32 allowance when the near-field runs on the
+/// device). O(N²) — intended for the small-N CI smoke.
+fn verify_tree_against_direct(
+    eval: &TreeForceEvaluator,
+    sys: &ParticleSystem,
+    eps: f64,
+) -> Result<(), String> {
+    let tree_f = eval.evaluate_checked(sys).map_err(|e| e.to_string())?;
+    let reference = ReferenceKernel::new(eps).compute(sys);
+    let typical =
+        (reference.acc.iter().map(|a| a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sum::<f64>()
+            / sys.len() as f64)
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
+    let mut worst = 0.0f64;
+    for i in 0..sys.len() {
+        let mut d2 = 0.0;
+        for k in 0..3 {
+            let d = tree_f.acc[i][k] - reference.acc[i][k];
+            d2 += d * d;
+        }
+        worst = worst.max(d2.sqrt() / typical);
+    }
+    let theta = eval.theta();
+    let fp32_allowance = if eval.backend().ends_with("hybrid") { 5e-3 } else { 0.0 };
+    let bound = (theta * theta).max(1e-9) + fp32_allowance;
+    if worst <= bound {
+        println!("tree-vs-direct agreement: PASS (worst rel err {worst:.3e} <= bound {bound:.3e})");
+        Ok(())
+    } else {
+        println!("tree-vs-direct agreement: FAIL (worst rel err {worst:.3e} > bound {bound:.3e})");
+        Err(format!("tree force error {worst:.3e} exceeds bound {bound:.3e}"))
+    }
+}
+
+/// The `--backend tree` path: Barnes-Hut evaluator behind the standard
+/// integrator loop, with the tree-phase cost buckets reported afterwards.
+fn run_tree(opts: &Options, sys: &mut ParticleSystem) -> Result<(), String> {
+    let cfg = TreeConfig { theta: opts.theta, leaf_capacity: opts.leaf, threads: opts.threads };
+    let eval = match opts.near.as_str() {
+        "host" => Arc::new(TreeForceEvaluator::host(sys.len(), opts.eps, cfg)),
+        "device" => {
+            let device = Device::new(0, DeviceConfig::default());
+            Arc::new(TreeForceEvaluator::hybrid(device, sys.len(), opts.eps, opts.cores, cfg))
+        }
+        other => return Err(format!("unknown --near '{other}'; expected host|device")),
+    };
+    println!("tree backend: {} θ = {} leaf = {}", eval.backend(), opts.theta, opts.leaf);
+    if opts.verify_direct {
+        verify_tree_against_direct(&eval, sys, opts.eps)?;
+    }
+    let kernel = EvaluatorKernel::new(Arc::clone(&eval));
+    if sys.len() <= ENERGY_CHECK_MAX_N {
+        run_with_kernel(opts, sys, kernel);
+    } else {
+        let wall = std::time::Instant::now();
+        let steps = Hermite4::new(kernel).evolve(sys, opts.steps as f64 * opts.dt, opts.dt);
+        println!(
+            "t = {:.5} after {} steps in {:.2} s wall (energy check skipped at n > {})",
+            sys.time,
+            steps,
+            wall.elapsed().as_secs_f64(),
+            ENERGY_CHECK_MAX_N
+        );
+    }
+    let cost = eval.tree_cost();
+    println!(
+        "tree cost: build {:.3} s walk {:.3} s near {:.3} s over {} evaluations",
+        cost.build_seconds, cost.walk_seconds, cost.near_seconds, cost.evaluations
+    );
+    println!(
+        "tree interactions: {} far + {} near ({:.1}% far), {:.0} per evaluation",
+        cost.far_interactions,
+        cost.near_interactions,
+        100.0 * cost.far_fraction(),
+        cost.interactions_per_eval()
+    );
+    Ok(())
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let mut sys = build_system(opts)?;
     println!(
@@ -274,6 +382,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             let kernel = DeviceForceKernel::new(pipeline);
             run_with_kernel(opts, &mut sys, kernel);
         }
+        "tree" => run_tree(opts, &mut sys)?,
         "cpu" => {
             run_with_kernel(
                 opts,
@@ -384,6 +493,13 @@ mod tests {
             "8",
             "--seed",
             "7",
+            "--theta",
+            "0.45",
+            "--leaf",
+            "16",
+            "--near",
+            "device",
+            "--verify-direct",
         ]))
         .unwrap();
         assert_eq!(o.ic, "king");
@@ -397,6 +513,29 @@ mod tests {
         assert!(o.resilient);
         assert_eq!(o.inject_loss, 3);
         assert_eq!(o.seed, 7);
+        assert!((o.theta - 0.45).abs() < 1e-12);
+        assert_eq!(o.leaf, 16);
+        assert_eq!(o.near, "device");
+        assert!(o.verify_direct);
+    }
+
+    #[test]
+    fn tree_backend_runs_and_verifies_against_direct() {
+        let o = Options {
+            backend: "tree".into(),
+            n: 384,
+            steps: 2,
+            verify_direct: true,
+            threads: 1,
+            ..Options::default()
+        };
+        cmd_run(&o).unwrap();
+        // Hybrid near-field rides the device pipeline; same verification.
+        let o = Options { near: "device".into(), cores: 1, ..o };
+        cmd_run(&o).unwrap();
+        // Unknown near-field mode is a parse-adjacent error, not a panic.
+        let o = Options { near: "gpu".into(), ..o };
+        assert!(cmd_run(&o).is_err());
     }
 
     #[test]
