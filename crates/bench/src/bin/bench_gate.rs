@@ -38,7 +38,7 @@ use tensix::cost::ComputeCosts;
 use tensix::tile::Tile;
 use tensix::{fpu, sfpu, DataFormat, Device, DeviceConfig, StormConfig};
 use tt_harness::{generate_load, LoadConfig};
-use tt_server::{run_campaign, BackendKind, ServerConfig, TenantSpec};
+use tt_server::{run_campaign, BackendKind, FlightConfig, JobRequest, ServerConfig, TenantSpec};
 
 /// Particle count for the end-to-end pipeline bench.
 const PIPELINE_N: usize = 8192;
@@ -151,13 +151,10 @@ fn bench_tile_ops() -> f64 {
     })
 }
 
-/// A fixed seeded serving campaign through the `tt-server` job server:
-/// `SERVE_JOBS` jobs, two single cards, a light fault storm. Returns the
-/// host wall clock to drain the campaign (`job_throughput`) and the
-/// campaign's p99 *virtual* job latency (`job_p99_latency`) — the latter is
-/// deterministic by construction, so any change is a behavioral regression
-/// in the serving policy, not machine noise.
-fn bench_job_server() -> (f64, f64) {
+/// The fixed seeded serving campaign shared by the serving benches:
+/// `SERVE_JOBS` jobs, two single cards, a light fault storm. `last_k`
+/// sizes the flight-recorder ring (0 disables it).
+fn serve_bench_campaign(last_k: usize) -> (ServerConfig, Vec<(f64, JobRequest)>) {
     let load = LoadConfig {
         seed: 0xbe9c,
         jobs: SERVE_JOBS,
@@ -179,8 +176,20 @@ fn bench_job_server() -> (f64, f64) {
             ..StormConfig::default()
         },
         spill_dir,
+        flight: FlightConfig { last_k, ..FlightConfig::default() },
         ..ServerConfig::default()
     };
+    (cfg, arrivals)
+}
+
+/// A fixed seeded serving campaign through the `tt-server` job server:
+/// `SERVE_JOBS` jobs, two single cards, a light fault storm. Returns the
+/// host wall clock to drain the campaign (`job_throughput`) and the
+/// campaign's p99 *virtual* job latency (`job_p99_latency`) — the latter is
+/// deterministic by construction, so any change is a behavioral regression
+/// in the serving policy, not machine noise.
+fn bench_job_server() -> (f64, f64) {
+    let (cfg, arrivals) = serve_bench_campaign(256);
     let mut p99 = 0.0;
     let wall = min_secs(REPS, || {
         let report = run_campaign(&cfg, &arrivals, None);
@@ -188,6 +197,42 @@ fn bench_job_server() -> (f64, f64) {
         p99 = report.census.p99_latency_s;
     });
     (wall, p99)
+}
+
+/// The always-on flight-recorder ring vs a disabled recorder on the same
+/// seeded campaign: the observability tax. The campaign is spill-I/O
+/// heavy, so single off/on walls jitter by several percent in either
+/// direction; the estimator is the *median of per-pair ratios* over
+/// interleaved off/on runs — adjacent runs see the same machine load, and
+/// the median shrugs off the heavy I/O tail. Asserts the ring costs <2%
+/// and returns the median ratio, recorded in the gate file (lower is
+/// better, baseline ≈ 1.0).
+fn bench_serve_trace_overhead() -> f64 {
+    const PAIRS: usize = 9;
+    let (cfg_off, arrivals) = serve_bench_campaign(0);
+    let (cfg_on, _) = serve_bench_campaign(256);
+    let timed = |cfg: &ServerConfig| {
+        let t0 = Instant::now();
+        let report = run_campaign(cfg, &arrivals, None);
+        std::hint::black_box(report.flight_dropped);
+        t0.elapsed().as_secs_f64()
+    };
+    let report = run_campaign(&cfg_off, &arrivals, None); // warmup
+    assert!(report.postmortems.is_empty(), "disabled recorder must not trigger");
+    let mut ratios: Vec<f64> = (0..PAIRS)
+        .map(|_| {
+            let off = timed(&cfg_off);
+            timed(&cfg_on) / off
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[PAIRS / 2];
+    assert!(
+        ratio <= 1.02,
+        "flight-recorder ring must cost <2% vs disabled: median on/off ratio {ratio:.3}x \
+         (pairs: {ratios:?})"
+    );
+    ratio
 }
 
 /// One Barnes-Hut force+jerk evaluation at N = `TREE_N` (θ = 0.6, host
@@ -297,6 +342,9 @@ fn main() {
     eprintln!("bench_gate: tree_time_to_solution (n = {TREE_N}, θ = 0.6, one evaluation)...");
     let (tree_wall, tree_interactions) = bench_tree_time_to_solution();
     eprintln!("bench_gate:   {tree_wall:.4} s, {tree_interactions} interactions");
+    eprintln!("bench_gate: serve_trace_overhead (flight-recorder ring on vs off)...");
+    let trace_overhead = bench_serve_trace_overhead();
+    eprintln!("bench_gate:   {trace_overhead:.3}x (ring on / ring off; must stay < 1.02)");
     eprintln!("bench_gate: tree vs direct at matched n = {TREE_MATCHED_N}...");
     let (tree_matched, direct_matched) = bench_tree_vs_direct_matched();
     eprintln!(
@@ -306,8 +354,9 @@ fn main() {
         100.0 * tree_interactions as f64 / (TREE_N as f64 * (TREE_N - 1) as f64)
     );
 
-    // `job_p99_latency` reuses the `wall_s` slot for its (virtual) seconds:
-    // same lower-is-better gate semantics, deterministic value.
+    // `job_p99_latency` reuses the `wall_s` slot for its (virtual) seconds
+    // and `serve_trace_overhead` for its on/off ratio: same lower-is-better
+    // gate semantics.
     let results = [
         ("time_to_solution", tts),
         ("multi_device_time_to_solution", ring),
@@ -315,6 +364,7 @@ fn main() {
         ("tile_ops", ops),
         ("job_throughput", serve_wall),
         ("job_p99_latency", serve_p99),
+        ("serve_trace_overhead", trace_overhead),
         ("tree_time_to_solution", tree_wall),
     ];
 

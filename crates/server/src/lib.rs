@@ -18,7 +18,17 @@
 //! * [`server`] — the event loop: dispatch, checkpoint migration between
 //!   backends on device loss (via the PR-5 content-hashed spill format),
 //!   graceful degradation to the CPU evaluator, and golden verification of
-//!   every completed job.
+//!   every completed job;
+//! * [`recorder`] — the black-box flight recorder: an always-on bounded
+//!   ring of server events that dumps a JSON post-mortem (last-K events +
+//!   queue/breaker/fleet snapshot) on golden mismatch, job loss, or
+//!   breaker trip.
+//!
+//! Every admitted job also leaves a causal span tree
+//! (`tt_trace::serving::JobSpanTree`) in the campaign report: queue wait,
+//! per-attempt service with backend id, failed attempts, migrations, and
+//! CPU degradation as contiguous phases on the virtual clock — the input
+//! to `tt_telemetry::attribution`.
 //!
 //! The zero-lost-jobs invariant the census asserts: every admitted job
 //! either completes bitwise-identically to a fault-free golden run of its
@@ -28,6 +38,7 @@
 
 pub mod breaker;
 pub mod job;
+pub mod recorder;
 pub mod server;
 pub mod wfq;
 
@@ -51,6 +62,9 @@ pub fn install_fault_panic_filter() {
 
 pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use job::{JobRequest, Rejection, TenantSpec};
+pub use recorder::{
+    FlightConfig, FlightRecorder, Postmortem, ServerSnapshot, SlotSnapshot, TriggerKind,
+};
 pub use server::{
     run_campaign, state_hash, BackendClass, BackendKind, BackendReport, CampaignReport,
     ServerConfig,

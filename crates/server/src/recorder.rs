@@ -1,0 +1,388 @@
+//! Black-box flight recorder for the job server.
+//!
+//! An aircraft flight recorder does not log everything forever — it keeps
+//! the *recent past* in a bounded ring and survives the crash. Same idea
+//! here: the campaign loop feeds every server event (arrivals, dispatches,
+//! migrations, quarantines, completions, sheds) into a drop-oldest
+//! [`MemorySink::bounded`] ring stamped with virtual-clock nanoseconds, at
+//! a cost small enough to leave on always. When something actually goes
+//! wrong — a golden mismatch, a job loss (shed), or a breaker trip — the
+//! recorder dumps the last-K events plus a full server-state snapshot
+//! (queue depths, breaker states, fleet health) to a JSON post-mortem
+//! file. Post-mortems are deterministic: filenames index trigger order,
+//! timestamps are virtual, and replaying the campaign seed reproduces the
+//! same bytes.
+
+use std::path::{Path, PathBuf};
+
+use tt_trace::event::{EventKind, RiscRole, TraceEvent, HOST_CORE};
+use tt_trace::json::escape;
+use tt_trace::serving::virtual_ns;
+use tt_trace::{MemorySink, TraceSink};
+
+use crate::breaker::BreakerState;
+
+/// Flight-recorder tuning.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Ring capacity: the last `last_k` server events are retained. `0`
+    /// disables the recorder entirely (the bench baseline).
+    pub last_k: usize,
+    /// Directory for post-mortem JSON dumps; `None` records triggers but
+    /// writes no files (replay runs use this to avoid double-dumping).
+    pub dump_dir: Option<PathBuf>,
+    /// At most this many post-mortem files per campaign; later triggers
+    /// are still recorded in the report but not written out.
+    pub max_dumps: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig { last_k: 256, dump_dir: None, max_dumps: 8 }
+    }
+}
+
+/// What pulled the trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// A completed job's final state hash missed its fault-free golden.
+    GoldenMismatch,
+    /// An admitted job was shed — lost to the client, even though typed.
+    JobLoss,
+    /// A backend's circuit breaker tripped into quarantine.
+    BreakerTrip,
+}
+
+impl TriggerKind {
+    /// Stable kebab-case tag for filenames and log lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TriggerKind::GoldenMismatch => "golden-mismatch",
+            TriggerKind::JobLoss => "job-loss",
+            TriggerKind::BreakerTrip => "breaker-trip",
+        }
+    }
+}
+
+/// One backend's line in the server-state snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSnapshot {
+    /// Backend label (`card0`, `ring1x2+1`, …).
+    pub label: String,
+    /// Whether the slot was serving a segment at snapshot time.
+    pub busy: bool,
+    /// Breaker state rendered by [`breaker_label`].
+    pub breaker: String,
+    /// Jobs whose final segment completed here so far.
+    pub completed: u64,
+    /// Terminal faults charged here so far.
+    pub terminal_faults: u64,
+    /// Breaker trips so far.
+    pub trips: u32,
+}
+
+/// Point-in-time server state captured alongside each post-mortem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSnapshot {
+    /// Virtual time of the trigger.
+    pub t_s: f64,
+    /// Jobs queued across all tenants.
+    pub queue_depth: usize,
+    /// Queued jobs per tenant, indexed by tenant id.
+    pub tenant_depths: Vec<usize>,
+    /// CPU evaluator slots in use.
+    pub cpu_busy: usize,
+    /// Breaker trips across the fleet so far.
+    pub quarantines: u64,
+    /// Jobs already resolved (completed or shed).
+    pub jobs_recorded: usize,
+    /// Per-backend health.
+    pub slots: Vec<SlotSnapshot>,
+}
+
+/// Render a breaker state for snapshots (stable, greppable).
+#[must_use]
+pub fn breaker_label(state: BreakerState) -> String {
+    match state {
+        BreakerState::Closed => "closed".to_string(),
+        BreakerState::Strained { strikes } => format!("strained:{strikes}"),
+        BreakerState::Quarantined { until_s } => format!("quarantined-until:{until_s:.6}"),
+        BreakerState::Probation => "probation".to_string(),
+    }
+}
+
+/// Record of one trigger, kept in the campaign report whether or not a
+/// file was written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    /// What fired.
+    pub trigger: TriggerKind,
+    /// Job involved, when the trigger is job-scoped.
+    pub job_id: Option<u64>,
+    /// One-line human detail (shed reason, hash pair, slot label).
+    pub detail: String,
+    /// Virtual time of the trigger.
+    pub t_s: f64,
+    /// Dump file, when one was written (`None` past `max_dumps` or with
+    /// no `dump_dir`).
+    pub path: Option<PathBuf>,
+}
+
+/// The always-on ring plus trigger/dump machinery. Owned by the campaign
+/// loop; all methods are `&mut self` because the loop is single-threaded
+/// by construction.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    ring: Option<MemorySink>,
+    seq: u64,
+    postmortems: Vec<Postmortem>,
+}
+
+impl FlightRecorder {
+    /// Build from config; `last_k == 0` yields a disabled recorder whose
+    /// methods are near-free no-ops.
+    #[must_use]
+    pub fn new(cfg: FlightConfig) -> Self {
+        let ring = (cfg.last_k > 0).then(|| MemorySink::bounded(cfg.last_k));
+        FlightRecorder { cfg, ring, seq: 0, postmortems: Vec::new() }
+    }
+
+    /// Whether the ring is recording.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Events evicted from the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.as_ref().map_or(0, MemorySink::dropped)
+    }
+
+    /// Record one server event at virtual time `t_s`.
+    pub fn note(&mut self, t_s: f64, name: &str, args: &[(&str, u64)]) {
+        let Some(ring) = &self.ring else { return };
+        let seq = self.seq;
+        self.seq += 1;
+        ring.record(TraceEvent {
+            epoch: 0,
+            ts: virtual_ns(t_s),
+            core: HOST_CORE,
+            role: RiscRole::Host,
+            seq,
+            name: name.to_string(),
+            kind: EventKind::Instant,
+            args: args.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+        });
+    }
+
+    /// Fire a trigger: snapshot + last-K events become a post-mortem. The
+    /// trigger is always recorded in the report; the JSON file is written
+    /// only while under `max_dumps` and a `dump_dir` is configured.
+    /// Returns the dump path when a file was written.
+    pub fn trigger(
+        &mut self,
+        kind: TriggerKind,
+        job_id: Option<u64>,
+        detail: &str,
+        snapshot: &ServerSnapshot,
+    ) -> Option<PathBuf> {
+        self.ring.as_ref()?;
+        let path = match (&self.cfg.dump_dir, self.postmortems.len() < self.cfg.max_dumps) {
+            (Some(dir), true) => {
+                let name =
+                    format!("postmortem-{:03}-{}.json", self.postmortems.len(), kind.label());
+                let path = dir.join(name);
+                match self.write_dump(&path, kind, job_id, detail, snapshot) {
+                    Ok(()) => Some(path),
+                    Err(_) => None, // unwritable dump dir must not kill the campaign
+                }
+            }
+            _ => None,
+        };
+        self.postmortems.push(Postmortem {
+            trigger: kind,
+            job_id,
+            detail: detail.to_string(),
+            t_s: snapshot.t_s,
+            path: path.clone(),
+        });
+        path
+    }
+
+    /// Triggers recorded so far.
+    #[must_use]
+    pub fn postmortems(&self) -> &[Postmortem] {
+        &self.postmortems
+    }
+
+    /// Hand the trigger records to the campaign report.
+    #[must_use]
+    pub fn take_postmortems(&mut self) -> Vec<Postmortem> {
+        std::mem::take(&mut self.postmortems)
+    }
+
+    fn write_dump(
+        &self,
+        path: &Path,
+        kind: TriggerKind,
+        job_id: Option<u64>,
+        detail: &str,
+        snap: &ServerSnapshot,
+    ) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.render_dump(kind, job_id, detail, snap))
+    }
+
+    fn render_dump(
+        &self,
+        kind: TriggerKind,
+        job_id: Option<u64>,
+        detail: &str,
+        snap: &ServerSnapshot,
+    ) -> String {
+        let ring = self.ring.as_ref().expect("render_dump requires an enabled ring");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"trigger\": \"{}\",\n", kind.label()));
+        match job_id {
+            Some(id) => out.push_str(&format!("  \"job_id\": {id},\n")),
+            None => out.push_str("  \"job_id\": null,\n"),
+        }
+        out.push_str(&format!("  \"detail\": \"{}\",\n", escape(detail)));
+        out.push_str(&format!("  \"t_s\": {:.6},\n", snap.t_s));
+        out.push_str("  \"snapshot\": {\n");
+        out.push_str(&format!("    \"queue_depth\": {},\n", snap.queue_depth));
+        let depths: Vec<String> = snap.tenant_depths.iter().map(ToString::to_string).collect();
+        out.push_str(&format!("    \"tenant_depths\": [{}],\n", depths.join(",")));
+        out.push_str(&format!("    \"cpu_busy\": {},\n", snap.cpu_busy));
+        out.push_str(&format!("    \"quarantines\": {},\n", snap.quarantines));
+        out.push_str(&format!("    \"jobs_recorded\": {},\n", snap.jobs_recorded));
+        out.push_str("    \"slots\": [\n");
+        for (i, s) in snap.slots.iter().enumerate() {
+            let comma = if i + 1 < snap.slots.len() { "," } else { "" };
+            out.push_str(&format!(
+                "      {{\"label\": \"{}\", \"busy\": {}, \"breaker\": \"{}\", \
+                 \"completed\": {}, \"terminal_faults\": {}, \"trips\": {}}}{comma}\n",
+                escape(&s.label),
+                s.busy,
+                escape(&s.breaker),
+                s.completed,
+                s.terminal_faults,
+                s.trips,
+            ));
+        }
+        out.push_str("    ]\n  },\n");
+        out.push_str("  \"ring\": {\n");
+        out.push_str(&format!("    \"capacity\": {},\n", self.cfg.last_k));
+        out.push_str(&format!("    \"dropped\": {},\n", ring.dropped()));
+        out.push_str("    \"events\": [\n");
+        let events = ring.events();
+        for (i, ev) in events.iter().enumerate() {
+            let comma = if i + 1 < events.len() { "," } else { "" };
+            let args: Vec<String> =
+                ev.args.iter().map(|(k, v)| format!("\"{}\": {v}", escape(k))).collect();
+            out.push_str(&format!(
+                "      {{\"ts_ns\": {}, \"name\": \"{}\", \"args\": {{{}}}}}{comma}\n",
+                ev.ts,
+                escape(&ev.name),
+                args.join(", "),
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t_s: f64) -> ServerSnapshot {
+        ServerSnapshot {
+            t_s,
+            queue_depth: 3,
+            tenant_depths: vec![2, 1],
+            cpu_busy: 0,
+            quarantines: 1,
+            jobs_recorded: 4,
+            slots: vec![SlotSnapshot {
+                label: "card0".into(),
+                busy: true,
+                breaker: breaker_label(BreakerState::Strained { strikes: 1 }),
+                completed: 2,
+                terminal_faults: 1,
+                trips: 0,
+            }],
+        }
+    }
+
+    fn dump_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tt-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut rec = FlightRecorder::new(FlightConfig { last_k: 0, ..FlightConfig::default() });
+        assert!(!rec.enabled());
+        rec.note(1.0, "job_arrive", &[("job", 0)]);
+        assert_eq!(rec.trigger(TriggerKind::JobLoss, Some(0), "x", &snap(1.0)), None);
+        assert!(rec.postmortems().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_only_the_recent_past() {
+        let mut rec = FlightRecorder::new(FlightConfig { last_k: 4, ..FlightConfig::default() });
+        for i in 0..10u64 {
+            rec.note(i as f64 * 0.1, "ev", &[("i", i)]);
+        }
+        assert_eq!(rec.dropped(), 6);
+        let doc = rec.render_dump(TriggerKind::BreakerTrip, None, "slot card0", &snap(1.0));
+        assert!(doc.contains("\"dropped\": 6"));
+        assert!(doc.contains("\"i\": 9"), "newest event retained");
+        assert!(!doc.contains("\"i\": 5"), "evicted event absent");
+    }
+
+    #[test]
+    fn triggers_dump_json_up_to_max_dumps() {
+        let dir = dump_dir("cap");
+        let mut rec = FlightRecorder::new(FlightConfig {
+            last_k: 8,
+            dump_dir: Some(dir.clone()),
+            max_dumps: 2,
+        });
+        rec.note(0.5, "job_arrive", &[("job", 7), ("tenant", 1)]);
+        let s = snap(0.75);
+        let p0 = rec.trigger(TriggerKind::JobLoss, Some(7), "queue full", &s).unwrap();
+        let p1 = rec.trigger(TriggerKind::GoldenMismatch, Some(8), "hash 1 != 2", &s).unwrap();
+        let p2 = rec.trigger(TriggerKind::BreakerTrip, None, "card0", &s);
+        assert_eq!(p2, None, "third trigger exceeds max_dumps");
+        assert_eq!(rec.postmortems().len(), 3, "all triggers recorded regardless");
+        assert!(p0.ends_with("postmortem-000-job-loss.json"));
+        assert!(p1.ends_with("postmortem-001-golden-mismatch.json"));
+        let body = std::fs::read_to_string(&p0).unwrap();
+        assert!(body.contains("\"trigger\": \"job-loss\""));
+        assert!(body.contains("\"job_id\": 7"));
+        assert!(body.contains("\"queue_depth\": 3"));
+        assert!(body.contains("\"breaker\": \"strained:1\""));
+        assert!(body.contains("\"name\": \"job_arrive\""));
+        assert!(body.contains("\"ts_ns\": 500000000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_dump_dir_records_triggers_without_files() {
+        let mut rec = FlightRecorder::new(FlightConfig::default());
+        assert_eq!(rec.trigger(TriggerKind::JobLoss, Some(1), "deadline", &snap(2.0)), None);
+        let pm = rec.take_postmortems();
+        assert_eq!(pm.len(), 1);
+        assert_eq!(pm[0].path, None);
+        assert_eq!(pm[0].trigger, TriggerKind::JobLoss);
+        assert!(rec.postmortems().is_empty(), "take drains");
+    }
+}

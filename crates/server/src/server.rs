@@ -45,11 +45,16 @@ use tensix::{
     backend_storm, BackendStorm, Device, DeviceConfig, FaultClass, StormConfig, TensixError,
 };
 use tt_telemetry::serving::{JobDisposition, ServedJob, ServingCensus};
+use tt_trace::serving::{JobPhase, JobSpanBuilder, JobSpanTree};
 use tt_trace::TraceSink;
 use ttmetal::LaunchError;
 
 use crate::breaker::{Breaker, BreakerConfig};
 use crate::job::{JobRequest, Rejection, TenantSpec};
+use crate::recorder::{
+    breaker_label, FlightConfig, FlightRecorder, Postmortem, ServerSnapshot, SlotSnapshot,
+    TriggerKind,
+};
 use crate::wfq::{Admission, QueuedJob};
 
 /// Shape of one backend in the fleet.
@@ -111,6 +116,19 @@ impl BackendKind {
     }
 }
 
+impl BackendClass {
+    /// Stable label for span trees and attribution groups (`device`,
+    /// `tree600`, `cpu`).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            BackendClass::Device => "device".to_string(),
+            BackendClass::Tree { theta_milli } => format!("tree{theta_milli}"),
+            BackendClass::Cpu => "cpu".to_string(),
+        }
+    }
+}
+
 /// Server configuration: tenants, fleet, storm, and resilience budgets.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -136,6 +154,8 @@ pub struct ServerConfig {
     pub cpu_pairs_per_s: f64,
     /// Directory for per-job checkpoint spill files.
     pub spill_dir: PathBuf,
+    /// Flight-recorder tuning (always-on bounded ring + post-mortems).
+    pub flight: FlightConfig,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +171,7 @@ impl Default for ServerConfig {
             cpu_slots: 1,
             cpu_pairs_per_s: 2.0e8,
             spill_dir: std::env::temp_dir(),
+            flight: FlightConfig::default(),
         }
     }
 }
@@ -186,6 +207,15 @@ pub struct CampaignReport {
     /// Order-independent digest of `(job_id, disposition, state_hash)` —
     /// two replays of the same campaign must produce equal digests.
     pub digest: u64,
+    /// Per-job causal span trees in job-id order — one per admitted job,
+    /// each tiling the job's sojourn on the virtual clock (the input to
+    /// `tt_telemetry::attribution`).
+    pub spans: Vec<JobSpanTree>,
+    /// Flight-recorder triggers (golden mismatch / job loss / breaker
+    /// trip), with dump paths where post-mortems were written.
+    pub postmortems: Vec<Postmortem>,
+    /// Events evicted from the flight-recorder ring over the campaign.
+    pub flight_dropped: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +342,8 @@ struct Campaign<'a> {
     quarantines: u64,
     cpu_fallbacks: u64,
     trace: Option<&'a dyn TraceSink>,
+    recorder: FlightRecorder,
+    spans: Vec<JobSpanTree>,
 }
 
 /// What one device segment produced. The outcome is boxed: `Done` would
@@ -347,10 +379,47 @@ impl<'a> Campaign<'a> {
         self.heap.push(Reverse(Ev { t_bits: t.to_bits(), seq: self.seq, kind }));
     }
 
-    fn instant(&self, name: &str, args: &[(&str, u64)]) {
+    /// One server event, fanned out to the (optional) device-trace sink
+    /// and to the always-on flight-recorder ring at virtual time `t_s`.
+    fn note(&mut self, t_s: f64, name: &str, args: &[(&str, u64)]) {
         if let Some(sink) = self.trace {
             sink.host_instant(name, args);
         }
+        self.recorder.note(t_s, name, args);
+    }
+
+    /// Point-in-time server state for a post-mortem dump.
+    fn snapshot(&self, t_s: f64) -> ServerSnapshot {
+        ServerSnapshot {
+            t_s,
+            queue_depth: self.adm.depth(),
+            tenant_depths: (0..self.cfg.tenants.len()).map(|t| self.adm.tenant_depth(t)).collect(),
+            cpu_busy: self.cpu_busy,
+            quarantines: self.quarantines,
+            jobs_recorded: self.jobs.len(),
+            slots: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SlotSnapshot {
+                    label: s.kind.label(i),
+                    busy: s.state == SlotState::Busy,
+                    breaker: breaker_label(s.breaker.state()),
+                    completed: s.completed,
+                    terminal_faults: s.terminal_faults,
+                    trips: s.breaker.trips,
+                })
+                .collect(),
+        }
+    }
+
+    /// Close a finished span tree into the report. A malformed tree is an
+    /// emitter bug, not a servable condition — fail loudly.
+    fn close_span(&mut self, jb: JobSpanBuilder, outcome: &str, class: &str, finish_s: f64) {
+        let tree = jb
+            .finish(outcome, class, finish_s)
+            .unwrap_or_else(|e| panic!("span emitter produced a malformed tree: {e}"));
+        self.spans.push(tree);
     }
 
     /// Fresh seeded devices for segment `segment` of backend `slot`.
@@ -551,8 +620,27 @@ impl<'a> Campaign<'a> {
         req.cost() / self.cfg.cpu_pairs_per_s
     }
 
-    fn record_shed(&mut self, job: &JobRequest, arrival_s: f64, now_s: f64, why: &Rejection) {
-        self.instant("job_shed", &[("job", job.job_id), ("tenant", job.tenant as u64)]);
+    /// Record a typed shed. `jb` carries the span tree of a job that got
+    /// past admission (queue + any attempts so far); sheds at the door
+    /// get a fresh queue-only tree covering `[arrival_s, now_s]`.
+    fn record_shed(
+        &mut self,
+        job: &JobRequest,
+        arrival_s: f64,
+        now_s: f64,
+        why: &Rejection,
+        jb: Option<JobSpanBuilder>,
+    ) {
+        self.note(now_s, "job_shed", &[("job", job.job_id), ("tenant", job.tenant as u64)]);
+        let jb = jb.unwrap_or_else(|| {
+            let mut jb = JobSpanBuilder::new(job.job_id, job.tenant, arrival_s);
+            jb.begin(JobPhase::Queue, None, "-", 0, arrival_s);
+            jb.end(now_s, 0);
+            jb
+        });
+        self.close_span(jb, "shed", "-", now_s);
+        let snap = self.snapshot(now_s);
+        self.recorder.trigger(TriggerKind::JobLoss, Some(job.job_id), &why.reason(), &snap);
         self.jobs.push(ServedJob {
             job_id: job.job_id,
             tenant: job.tenant,
@@ -588,7 +676,7 @@ impl<'a> Campaign<'a> {
             let waited = now_s - job.arrival_s;
             if waited > job.req.deadline_s {
                 let why = Rejection::DeadlineExceeded { waited_s: waited };
-                self.record_shed(&job.req, job.arrival_s, now_s, &why);
+                self.record_shed(&job.req, job.arrival_s, now_s, &why, None);
                 continue;
             }
             return Some(job);
@@ -610,9 +698,17 @@ impl<'a> Campaign<'a> {
         let mut retries: u64 = 0;
         let mut recoveries: u32 = 0;
         let mut resume: Option<(ParticleSystem, usize)> = None;
+        // Span tree: queue phase [arrival, dispatch], then one phase per
+        // attempt starting at `seg_start` (service or retry, plus
+        // zero-width migration markers between attempts).
+        let mut jb = JobSpanBuilder::new(req.job_id, req.tenant, job.arrival_s);
+        jb.begin(JobPhase::Queue, None, "-", 0, job.arrival_s);
+        jb.end(now_s, 0);
+        let mut attempt: u32 = 1;
+        let mut seg_start = now_s;
 
         self.slots[slot].state = SlotState::Busy;
-        self.instant("job_dispatch", &[("job", req.job_id), ("slot", slot as u64)]);
+        self.note(now_s, "job_dispatch", &[("job", req.job_id), ("slot", slot as u64)]);
 
         loop {
             let segment = self.run_segment(slot, &req, resume.take(), &spill);
@@ -620,14 +716,33 @@ impl<'a> Campaign<'a> {
                 Segment::Done { outcome, system, service_s } => {
                     elapsed += service_s;
                     let finish = now_s + elapsed;
-                    retries += outcome.outcome.timing.as_ref().map_or(0, |t| t.retries);
+                    let seg_retries = outcome.outcome.timing.as_ref().map_or(0, |t| t.retries);
+                    retries += seg_retries;
                     recoveries += outcome.recoveries;
                     self.push(finish, EvKind::SlotFree(slot));
                     self.slots[slot].breaker.record_success();
                     self.slots[slot].completed += 1;
-                    let golden = self.golden(self.slots[slot].kind.class(), &req);
+                    let class = self.slots[slot].kind.class();
+                    let label = self.slots[slot].kind.label(slot);
+                    let golden = self.golden(class, &req);
                     let h = state_hash(&system);
-                    self.instant("job_complete", &[("job", req.job_id), ("slot", slot as u64)]);
+                    self.note(
+                        finish,
+                        "job_complete",
+                        &[("job", req.job_id), ("slot", slot as u64)],
+                    );
+                    jb.begin(JobPhase::Service, Some(slot as u32), &label, attempt, seg_start);
+                    jb.end(finish, seg_retries);
+                    self.close_span(jb, "device", &class.label(), finish);
+                    if h != golden {
+                        let snap = self.snapshot(finish);
+                        self.recorder.trigger(
+                            TriggerKind::GoldenMismatch,
+                            Some(req.job_id),
+                            &format!("state {h:#018x} != golden {golden:#018x} on {label}"),
+                            &snap,
+                        );
+                    }
                     self.jobs.push(ServedJob {
                         job_id: req.job_id,
                         tenant: req.tenant,
@@ -650,6 +765,12 @@ impl<'a> Campaign<'a> {
                     elapsed += service_s;
                     retries += r;
                     let fault_t = now_s + elapsed;
+                    let label = self.slots[slot].kind.label(slot);
+                    // The failed attempt is a retry phase: work and backoff
+                    // the terminal fault threw away.
+                    jb.begin(JobPhase::Retry, Some(slot as u32), &label, attempt, seg_start);
+                    jb.end(fault_t, r);
+                    seg_start = fault_t;
                     // The slot frees at the fault; the breaker decides
                     // whether it is dispatchable after that.
                     self.push(fault_t, EvKind::SlotFree(slot));
@@ -657,12 +778,23 @@ impl<'a> Campaign<'a> {
                     if let Some(until) = self.slots[slot].breaker.record_fault(fault_t) {
                         self.quarantines += 1;
                         self.push(until, EvKind::QuarantineEnd(slot));
-                        self.instant(
+                        self.note(
+                            fault_t,
                             "backend_quarantined",
                             &[
                                 ("slot", slot as u64),
                                 ("trips", u64::from(self.slots[slot].breaker.trips)),
                             ],
+                        );
+                        let snap = self.snapshot(fault_t);
+                        self.recorder.trigger(
+                            TriggerKind::BreakerTrip,
+                            Some(req.job_id),
+                            &format!(
+                                "{label} tripped (trip {}) at fault of job {}",
+                                self.slots[slot].breaker.trips, req.job_id
+                            ),
+                            &snap,
                         );
                     }
 
@@ -672,7 +804,7 @@ impl<'a> Campaign<'a> {
                         error
                     {
                         let why = Rejection::CheckpointUnavailable { message: message.clone() };
-                        self.record_shed(&req, job.arrival_s, fault_t, &why);
+                        self.record_shed(&req, job.arrival_s, fault_t, &why, Some(jb));
                         spill.cleanup();
                         return;
                     }
@@ -708,16 +840,35 @@ impl<'a> Campaign<'a> {
                                         let why = Rejection::CheckpointUnavailable {
                                             message: e.to_string(),
                                         };
-                                        self.record_shed(&req, job.arrival_s, fault_t, &why);
+                                        self.record_shed(
+                                            &req,
+                                            job.arrival_s,
+                                            fault_t,
+                                            &why,
+                                            Some(jb),
+                                        );
                                         spill.cleanup();
                                         return;
                                     }
                                 }
                             }
                             migrations += 1;
+                            attempt += 1;
                             slot = next;
                             self.slots[slot].state = SlotState::Busy;
-                            self.instant(
+                            // Checkpoint restore is modeled free today; the
+                            // zero-width phase marks where its cost belongs.
+                            let label = self.slots[slot].kind.label(slot);
+                            jb.begin(
+                                JobPhase::Migration,
+                                Some(slot as u32),
+                                &label,
+                                attempt,
+                                fault_t,
+                            );
+                            jb.end(fault_t, 0);
+                            self.note(
+                                fault_t,
                                 "job_migrate",
                                 &[("job", req.job_id), ("to", slot as u64)],
                             );
@@ -738,6 +889,8 @@ impl<'a> Campaign<'a> {
                                 migrations,
                                 recoveries,
                                 retries,
+                                jb,
+                                attempt + 1,
                             );
                             return;
                         }
@@ -748,7 +901,9 @@ impl<'a> Campaign<'a> {
     }
 
     /// Run `req` to completion on the host CPU evaluator, starting at
-    /// virtual time `start_service_s` (infallible; always accepted).
+    /// virtual time `start_service_s` (infallible; always accepted). `jb`
+    /// is the job's span tree so far (queue + any device attempts); the
+    /// CPU service becomes its closing degrade phase, numbered `attempt`.
     #[allow(clippy::too_many_arguments)]
     fn finish_on_cpu(
         &mut self,
@@ -759,6 +914,8 @@ impl<'a> Campaign<'a> {
         migrations: u32,
         recoveries: u32,
         retries: u64,
+        mut jb: JobSpanBuilder,
+        attempt: u32,
     ) {
         self.cpu_fallbacks += 1;
         let mut system = ics(&req);
@@ -766,7 +923,19 @@ impl<'a> Campaign<'a> {
         let finish = start_service_s + self.cpu_service_s(&req);
         let golden = self.golden(BackendClass::Cpu, &req);
         let h = state_hash(&system);
-        self.instant("job_degraded_cpu", &[("job", req.job_id)]);
+        self.note(finish, "job_degraded_cpu", &[("job", req.job_id)]);
+        jb.begin(JobPhase::Degrade, None, "cpu", attempt, start_service_s);
+        jb.end(finish, 0);
+        self.close_span(jb, "cpu-degraded", "cpu", finish);
+        if h != golden {
+            let snap = self.snapshot(finish);
+            self.recorder.trigger(
+                TriggerKind::GoldenMismatch,
+                Some(req.job_id),
+                &format!("state {h:#018x} != golden {golden:#018x} on cpu"),
+                &snap,
+            );
+        }
         self.jobs.push(ServedJob {
             job_id: req.job_id,
             tenant: req.tenant,
@@ -797,7 +966,10 @@ impl<'a> Campaign<'a> {
                 self.cpu_busy += 1;
                 let service = self.cpu_service_s(&job.req);
                 self.push(now_s + service, EvKind::CpuFree);
-                self.finish_on_cpu(job.req, job.arrival_s, now_s, now_s, 0, 0, 0);
+                let mut jb = JobSpanBuilder::new(job.req.job_id, job.req.tenant, job.arrival_s);
+                jb.begin(JobPhase::Queue, None, "-", 0, job.arrival_s);
+                jb.end(now_s, 0);
+                self.finish_on_cpu(job.req, job.arrival_s, now_s, now_s, 0, 0, 0, jb, 1);
             } else {
                 return;
             }
@@ -814,12 +986,13 @@ impl<'a> Campaign<'a> {
             match ev.kind {
                 EvKind::Arrival(i) => {
                     let (arrival_s, req) = self.arrivals[i];
-                    self.instant(
+                    self.note(
+                        arrival_s,
                         "job_arrive",
                         &[("job", req.job_id), ("tenant", req.tenant as u64)],
                     );
                     if let Err(why) = self.adm.offer(req, arrival_s) {
-                        self.record_shed(&req, arrival_s, arrival_s, &why);
+                        self.record_shed(&req, arrival_s, arrival_s, &why, None);
                     }
                 }
                 EvKind::SlotFree(slot) => {
@@ -836,6 +1009,7 @@ impl<'a> Campaign<'a> {
         }
 
         self.jobs.sort_by_key(|j| j.job_id);
+        self.spans.sort_by_key(|t| t.job_id);
         let mut digest = 0xcbf2_9ce4_8422_2325u64;
         for j in &self.jobs {
             fnv1a(&mut digest, &j.job_id.to_le_bytes());
@@ -862,6 +1036,9 @@ impl<'a> Campaign<'a> {
             quarantines: self.quarantines,
             cpu_fallbacks: self.cpu_fallbacks,
             digest,
+            spans: self.spans,
+            postmortems: self.recorder.take_postmortems(),
+            flight_dropped: self.recorder.dropped(),
         }
     }
 }
@@ -913,6 +1090,8 @@ pub fn run_campaign(
         quarantines: 0,
         cpu_fallbacks: 0,
         trace,
+        recorder: FlightRecorder::new(cfg.flight.clone()),
+        spans: Vec::new(),
     }
     .run()
 }

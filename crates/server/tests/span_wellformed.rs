@@ -1,0 +1,119 @@
+//! Serving-layer span well-formedness under random fault storms.
+//!
+//! Property: every admitted job leaves exactly one *closed* span tree
+//! (no orphan spans), the tree's phases contiguously tile the job's
+//! sojourn on the virtual clock, the latency-attribution buckets sum to
+//! the end-to-end latency as an integer equality, and replaying the same
+//! campaign seed reproduces the trees and attribution bitwise.
+
+use std::path::PathBuf;
+
+use nbody_tt::SimulationConfig;
+use proptest::prelude::*;
+use tensix::{ScrubConfig, StormConfig};
+use tt_server::{
+    run_campaign, BackendKind, BreakerConfig, FlightConfig, JobRequest, ServerConfig, TenantSpec,
+};
+use tt_telemetry::attribution::{attribute, attributions_to_csv, rollup_by_tenant};
+use tt_trace::serving::virtual_ns;
+
+fn small_sim() -> SimulationConfig {
+    SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
+}
+
+fn spill_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tt-span-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn requests(jobs: u64, tenants: usize, gap_s: f64, deadline_s: f64) -> Vec<(f64, JobRequest)> {
+    (0..jobs)
+        .map(|id| {
+            (
+                gap_s * id as f64,
+                JobRequest {
+                    job_id: id,
+                    tenant: (id as usize) % tenants,
+                    n: 48,
+                    ic_seed: 900 + id,
+                    sim: small_sim(),
+                    deadline_s,
+                    max_migrations: 2,
+                },
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_admitted_job_closes_its_span_tree(
+        seed in 0u64..1_000_000,
+        loss in 0.0f64..0.9,
+        scheduled in prop_oneof![Just(0.0f64), Just(0.5), Just(1.0)],
+        jobs in 4u64..9,
+        tenants in 1usize..3,
+        ring in prop_oneof![Just(true), Just(false)],
+        tight_deadline in prop_oneof![Just(true), Just(false)],
+    ) {
+        let mut backends = vec![BackendKind::SingleCard, BackendKind::SingleCard];
+        if ring {
+            backends.push(BackendKind::Ring { members: 2, spares: 1 });
+        }
+        let deadline_s = if tight_deadline { 0.02 } else { 1e6 };
+        let cfg = ServerConfig {
+            tenants: vec![TenantSpec { max_queue: 4, ..TenantSpec::default() }; tenants],
+            backends,
+            storm: StormConfig {
+                seed,
+                device_loss_prob: loss,
+                eth_flap_prob: 0.0,
+                dram_corruption_prob: 0.0,
+                scrub: ScrubConfig::default(),
+                scheduled_loss_prob: scheduled,
+                ..StormConfig::default()
+            },
+            breaker: BreakerConfig { threshold: 2, quarantine_s: 0.01 },
+            recoveries_per_segment: 0,
+            max_queue: 6,
+            spill_dir: spill_dir(&format!("p{seed}")),
+            flight: FlightConfig { last_k: 32, ..FlightConfig::default() },
+            ..ServerConfig::default()
+        };
+        let arrivals = requests(jobs, tenants, 0.01, deadline_s);
+        let a = run_campaign(&cfg, &arrivals, None);
+
+        // One closed tree per admitted job, in job-id order.
+        prop_assert_eq!(a.spans.len(), a.jobs.len());
+        let mut attributions = Vec::new();
+        for (tree, job) in a.spans.iter().zip(&a.jobs) {
+            prop_assert_eq!(tree.job_id, job.job_id);
+            prop_assert_eq!(tree.tenant, job.tenant);
+            prop_assert!(tree.check().is_ok(), "job {}: {:?}", job.job_id, tree.check());
+            prop_assert_eq!(&tree.outcome, job.disposition.tag());
+            // The tree's clock agrees with the census row's.
+            prop_assert_eq!(tree.arrival_ns, virtual_ns(job.arrival_s));
+            prop_assert_eq!(tree.finish_ns, virtual_ns(job.finish_s));
+            // Attribution buckets sum to end-to-end latency *exactly*.
+            let att = attribute(tree).unwrap();
+            prop_assert_eq!(att.bucket_sum_ns(), att.total_ns);
+            prop_assert_eq!(att.total_ns, tree.finish_ns - tree.arrival_ns);
+            if tree.outcome == "shed" {
+                prop_assert_eq!(att.total_ns, att.queue_ns, "shed trees are queue-only");
+            }
+            attributions.push(att);
+        }
+
+        // Replay: same seed, same trees, same attribution bytes.
+        let b = run_campaign(&cfg, &arrivals, None);
+        prop_assert_eq!(&a.spans, &b.spans);
+        let csv_a = attributions_to_csv(&attributions);
+        let att_b: Vec<_> = b.spans.iter().map(|t| attribute(t).unwrap()).collect();
+        prop_assert_eq!(csv_a, attributions_to_csv(&att_b));
+        let roll_a = rollup_by_tenant(&attributions);
+        prop_assert_eq!(roll_a, rollup_by_tenant(&att_b));
+    }
+}

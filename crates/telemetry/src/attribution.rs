@@ -1,0 +1,317 @@
+//! Latency attribution: decompose each served job's end-to-end latency
+//! into queue/service/retry/migration/degrade buckets and roll the buckets
+//! up per tenant and per backend class with p50/p99 quantiles.
+//!
+//! The input is the serving layer's span trees (`tt_trace::serving`): each
+//! tree's phases contiguously tile the job's sojourn in integer virtual
+//! nanoseconds, so the per-job buckets here sum to the end-to-end latency
+//! **exactly** — equality, not tolerance — and replaying the same campaign
+//! seed reproduces every number bitwise. This is the serving-layer answer
+//! to "where did this job's p99 go?": queue wait, productive service,
+//! thrown-away retry attempts, checkpoint migration, or CPU degradation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tt_trace::serving::{JobPhase, JobSpanTree};
+
+use crate::stats::percentile;
+
+/// One job's latency decomposition, integer virtual nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobAttribution {
+    /// Campaign-unique job id.
+    pub job_id: u64,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Disposition tag from the span tree (`device`, `cpu-degraded`, `shed`).
+    pub outcome: String,
+    /// Backend class label (`device`, `tree600`, `cpu`, `-` when shed).
+    pub class: String,
+    /// Admission to dispatch (or to shed).
+    pub queue_ns: u64,
+    /// The successful service attempt on a fleet backend.
+    pub service_ns: u64,
+    /// Failed attempts: work and backoff discarded by terminal faults.
+    pub retry_ns: u64,
+    /// Checkpoint restores onto other backends.
+    pub migration_ns: u64,
+    /// Service on the host CPU evaluator.
+    pub degrade_ns: u64,
+    /// End-to-end latency, `finish - arrival`.
+    pub total_ns: u64,
+}
+
+impl JobAttribution {
+    /// Sum of the five buckets; equals [`JobAttribution::total_ns`] for any
+    /// tree that passes `JobSpanTree::check` (the phases tile the sojourn).
+    #[must_use]
+    pub fn bucket_sum_ns(&self) -> u64 {
+        self.queue_ns + self.service_ns + self.retry_ns + self.migration_ns + self.degrade_ns
+    }
+}
+
+/// Decompose one span tree into buckets.
+///
+/// # Errors
+/// Propagates the well-formedness violation if the tree does not tile its
+/// sojourn (see `JobSpanTree::check`) — attribution on a malformed tree
+/// would silently miscount.
+pub fn attribute(tree: &JobSpanTree) -> Result<JobAttribution, String> {
+    tree.check()?;
+    let mut a = JobAttribution {
+        job_id: tree.job_id,
+        tenant: tree.tenant,
+        outcome: tree.outcome.clone(),
+        class: tree.class.clone(),
+        queue_ns: 0,
+        service_ns: 0,
+        retry_ns: 0,
+        migration_ns: 0,
+        degrade_ns: 0,
+        total_ns: tree.latency_ns(),
+    };
+    for p in &tree.phases {
+        let bucket = match p.phase {
+            JobPhase::Queue => &mut a.queue_ns,
+            JobPhase::Service => &mut a.service_ns,
+            JobPhase::Retry => &mut a.retry_ns,
+            JobPhase::Migration => &mut a.migration_ns,
+            JobPhase::Degrade => &mut a.degrade_ns,
+        };
+        *bucket += p.dur_ns();
+    }
+    debug_assert_eq!(a.bucket_sum_ns(), a.total_ns);
+    Ok(a)
+}
+
+/// Aggregate buckets over a group of jobs with p50/p99 over total latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRollup {
+    /// Group key: tenant id rendered as a number, or a class label.
+    pub key: String,
+    /// Jobs in the group.
+    pub jobs: usize,
+    /// Summed queue nanoseconds.
+    pub queue_ns: u64,
+    /// Summed service nanoseconds.
+    pub service_ns: u64,
+    /// Summed retry nanoseconds.
+    pub retry_ns: u64,
+    /// Summed migration nanoseconds.
+    pub migration_ns: u64,
+    /// Summed degrade nanoseconds.
+    pub degrade_ns: u64,
+    /// Summed end-to-end nanoseconds.
+    pub total_ns: u64,
+    /// p50 of per-job end-to-end latency, nanoseconds (0 when empty).
+    pub p50_total_ns: u64,
+    /// p99 of per-job end-to-end latency, nanoseconds (0 when empty).
+    pub p99_total_ns: u64,
+}
+
+fn rollup(key: String, group: &[&JobAttribution]) -> AttributionRollup {
+    let lat: Vec<f64> = group.iter().map(|a| a.total_ns as f64).collect();
+    let (p50, p99) = if lat.is_empty() {
+        (0, 0)
+    } else {
+        (percentile(&lat, 50.0).round() as u64, percentile(&lat, 99.0).round() as u64)
+    };
+    AttributionRollup {
+        key,
+        jobs: group.len(),
+        queue_ns: group.iter().map(|a| a.queue_ns).sum(),
+        service_ns: group.iter().map(|a| a.service_ns).sum(),
+        retry_ns: group.iter().map(|a| a.retry_ns).sum(),
+        migration_ns: group.iter().map(|a| a.migration_ns).sum(),
+        degrade_ns: group.iter().map(|a| a.degrade_ns).sum(),
+        total_ns: group.iter().map(|a| a.total_ns).sum(),
+        p50_total_ns: p50,
+        p99_total_ns: p99,
+    }
+}
+
+/// Roll attributions up per tenant, ordered by tenant id.
+#[must_use]
+pub fn rollup_by_tenant(jobs: &[JobAttribution]) -> Vec<AttributionRollup> {
+    let mut by: BTreeMap<usize, Vec<&JobAttribution>> = BTreeMap::new();
+    for a in jobs {
+        by.entry(a.tenant).or_default().push(a);
+    }
+    by.iter().map(|(tenant, group)| rollup(format!("tenant{tenant}"), group)).collect()
+}
+
+/// Roll attributions up per backend class label, ordered by label. Shed
+/// jobs (class `-`) form their own group: all-queue latency.
+#[must_use]
+pub fn rollup_by_class(jobs: &[JobAttribution]) -> Vec<AttributionRollup> {
+    let mut by: BTreeMap<&str, Vec<&JobAttribution>> = BTreeMap::new();
+    for a in jobs {
+        by.entry(a.class.as_str()).or_default().push(a);
+    }
+    by.iter().map(|(class, group)| rollup((*class).to_string(), group)).collect()
+}
+
+/// Render per-job attributions as CSV (schema in the header).
+#[must_use]
+pub fn attributions_to_csv(jobs: &[JobAttribution]) -> String {
+    let mut out = String::from(
+        "job_id,tenant,outcome,class,queue_ns,service_ns,retry_ns,migration_ns,degrade_ns,\
+         total_ns\n",
+    );
+    for a in jobs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            a.job_id,
+            a.tenant,
+            a.outcome,
+            a.class,
+            a.queue_ns,
+            a.service_ns,
+            a.retry_ns,
+            a.migration_ns,
+            a.degrade_ns,
+            a.total_ns,
+        );
+    }
+    out
+}
+
+/// Render rollups as CSV (one row per group; schema in the header).
+#[must_use]
+pub fn rollups_to_csv(rollups: &[AttributionRollup]) -> String {
+    let mut out = String::from(
+        "group,jobs,queue_ns,service_ns,retry_ns,migration_ns,degrade_ns,total_ns,\
+         p50_total_ns,p99_total_ns\n",
+    );
+    for r in rollups {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.key,
+            r.jobs,
+            r.queue_ns,
+            r.service_ns,
+            r.retry_ns,
+            r.migration_ns,
+            r.degrade_ns,
+            r.total_ns,
+            r.p50_total_ns,
+            r.p99_total_ns,
+        );
+    }
+    out
+}
+
+/// Render rollups as an aligned text table for stdout summaries
+/// (milliseconds with three decimals, exact division by 1e6 deferred to
+/// formatting only — the CSVs keep the integers).
+#[must_use]
+pub fn rollups_to_table(title: &str, rollups: &[AttributionRollup]) -> String {
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut out = format!(
+        "{title}\n{:<12} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "group",
+        "jobs",
+        "queue_ms",
+        "service_ms",
+        "retry_ms",
+        "migrate_ms",
+        "degrade_ms",
+        "p50_ms",
+        "p99_ms"
+    );
+    for r in rollups {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            r.key,
+            r.jobs,
+            ms(r.queue_ns),
+            ms(r.service_ns),
+            ms(r.retry_ns),
+            ms(r.migration_ns),
+            ms(r.degrade_ns),
+            ms(r.p50_total_ns),
+            ms(r.p99_total_ns),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_trace::serving::JobSpanBuilder;
+
+    fn tree(job_id: u64, tenant: usize) -> JobSpanTree {
+        let mut jb = JobSpanBuilder::new(job_id, tenant, 0.0);
+        jb.begin(JobPhase::Queue, None, "-", 0, 0.0);
+        jb.end(0.25, 0);
+        jb.begin(JobPhase::Retry, Some(0), "card0", 1, 0.25);
+        jb.end(0.5, 1);
+        jb.begin(JobPhase::Migration, Some(1), "card1", 2, 0.5);
+        jb.end(0.5, 0);
+        jb.begin(JobPhase::Service, Some(1), "card1", 2, 0.5);
+        jb.end(1.0, 0);
+        jb.finish("device", "device", 1.0).unwrap()
+    }
+
+    #[test]
+    fn buckets_sum_to_total_exactly() {
+        let a = attribute(&tree(0, 0)).unwrap();
+        assert_eq!(a.queue_ns, 250_000_000);
+        assert_eq!(a.retry_ns, 250_000_000);
+        assert_eq!(a.migration_ns, 0);
+        assert_eq!(a.service_ns, 500_000_000);
+        assert_eq!(a.degrade_ns, 0);
+        assert_eq!(a.bucket_sum_ns(), a.total_ns);
+        assert_eq!(a.total_ns, 1_000_000_000);
+    }
+
+    #[test]
+    fn malformed_trees_are_refused() {
+        let mut t = tree(0, 0);
+        t.phases[1].t0_ns += 1;
+        assert!(attribute(&t).is_err());
+    }
+
+    #[test]
+    fn rollups_group_by_tenant_and_class() {
+        let jobs: Vec<_> = (0..4).map(|i| attribute(&tree(i, i as usize % 2)).unwrap()).collect();
+        let by_tenant = rollup_by_tenant(&jobs);
+        assert_eq!(by_tenant.len(), 2);
+        assert_eq!(by_tenant[0].key, "tenant0");
+        assert_eq!(by_tenant[0].jobs, 2);
+        assert_eq!(by_tenant[0].queue_ns, 500_000_000);
+        assert_eq!(by_tenant[0].p50_total_ns, 1_000_000_000);
+        let by_class = rollup_by_class(&jobs);
+        assert_eq!(by_class.len(), 1);
+        assert_eq!(by_class[0].key, "device");
+        assert_eq!(by_class[0].jobs, 4);
+    }
+
+    #[test]
+    fn csv_and_table_schemas_are_stable() {
+        let jobs = vec![attribute(&tree(9, 3)).unwrap()];
+        let csv = attributions_to_csv(&jobs);
+        assert!(csv.starts_with("job_id,tenant,outcome,class,queue_ns"));
+        assert!(csv.contains("9,3,device,device,250000000,500000000,250000000,0,0,1000000000"));
+        let roll = rollups_to_csv(&rollup_by_tenant(&jobs));
+        assert!(roll.starts_with("group,jobs,queue_ns"));
+        assert!(roll.contains("tenant3,1,"));
+        let table = rollups_to_table("per-tenant attribution", &rollup_by_tenant(&jobs));
+        assert!(table.contains("per-tenant attribution"));
+        assert!(table.contains("tenant3"));
+        assert!(table.contains("250.000"));
+    }
+
+    #[test]
+    fn empty_rollup_is_zeroed_not_panicking() {
+        assert!(rollup_by_tenant(&[]).is_empty());
+        assert!(rollup_by_class(&[]).is_empty());
+        let r = rollup("empty".into(), &[]);
+        assert_eq!((r.jobs, r.p50_total_ns, r.p99_total_ns), (0, 0, 0));
+    }
+}

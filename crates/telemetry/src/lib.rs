@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod campaign;
 pub mod csvio;
 pub mod energy;
@@ -36,6 +37,9 @@ pub mod stats;
 pub mod tree;
 pub mod ttsmi;
 
+pub use attribution::{
+    attribute, rollup_by_class, rollup_by_tenant, AttributionRollup, JobAttribution,
+};
 pub use campaign::{
     census, run_campaign, run_job, successes, CampaignCensus, FailurePhase, FaultPolicy, JobKind,
     JobOutcome, JobRecord, JobSpec,

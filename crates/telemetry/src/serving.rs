@@ -309,6 +309,48 @@ mod tests {
         assert!(!ServingCensus::from_jobs(&[bad]).zero_lost_jobs());
     }
 
+    // Tiny-sample percentile audit: the census guards `percentile()` (which
+    // panics on empty input) with an `is_empty` check and reports zeros, a
+    // one-job tenant reports that job's latency for every quantile, and a
+    // two-job tenant interpolates R-7 style (p50 = midpoint, p99 just under
+    // the max). These pins are what the attribution rollups rely on too.
+    #[test]
+    fn zero_completed_jobs_report_zero_latency_quantiles() {
+        let jobs = vec![job(0, 0, 0.0, JobDisposition::Shed { reason: "queue full".into() })];
+        let c = ServingCensus::from_jobs(&jobs);
+        assert_eq!(c.tenants[0].completed, 0);
+        assert_eq!(c.tenants[0].p50_latency_s, 0.0);
+        assert_eq!(c.tenants[0].p99_latency_s, 0.0);
+        assert_eq!(c.tenants[0].mean_latency_s, 0.0);
+        assert_eq!((c.p50_latency_s, c.p99_latency_s), (0.0, 0.0));
+    }
+
+    #[test]
+    fn one_completed_job_reports_its_latency_for_every_quantile() {
+        let jobs = vec![
+            job(0, 0, 2.5, JobDisposition::CompletedDevice),
+            job(1, 0, 0.0, JobDisposition::Shed { reason: "deadline".into() }),
+        ];
+        let c = ServingCensus::from_jobs(&jobs);
+        assert_eq!(c.tenants[0].completed, 1);
+        assert_eq!(c.tenants[0].p50_latency_s, 2.5);
+        assert_eq!(c.tenants[0].p99_latency_s, 2.5);
+        assert_eq!(c.tenants[0].mean_latency_s, 2.5);
+    }
+
+    #[test]
+    fn two_completed_jobs_interpolate_between_them() {
+        let jobs = vec![
+            job(0, 0, 1.0, JobDisposition::CompletedDevice),
+            job(1, 0, 3.0, JobDisposition::CompletedDevice),
+        ];
+        let c = ServingCensus::from_jobs(&jobs);
+        // R-7 with n=2: p50 is the midpoint, p99 interpolates 99% of the way.
+        assert!((c.tenants[0].p50_latency_s - 2.0).abs() < 1e-12);
+        assert!((c.tenants[0].p99_latency_s - 2.98).abs() < 1e-12);
+        assert!(c.tenants[0].p99_latency_s < 3.0, "p99 of two samples sits below the max");
+    }
+
     #[test]
     fn csv_schemas_are_stable() {
         let jobs = vec![job(7, 2, 1.5, JobDisposition::CompletedDevice)];

@@ -27,9 +27,14 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod serving;
 pub mod sink;
 
 pub use chrome::{check_monotonic_per_track, parse_chrome_trace, to_chrome_trace, ChromeEvent};
 pub use event::{check_nesting, EventKind, RiscRole, TraceEvent, HOST_CORE};
 pub use metrics::{CycleHistogram, MetricValue, MetricsRegistry};
+pub use serving::{
+    server_trace_to_chrome, spans_to_csv, virtual_ns, JobPhase, JobSpanBuilder, JobSpanTree,
+    PhaseSpan,
+};
 pub use sink::{MemorySink, NullSink, SpanEmitter, TraceSink};

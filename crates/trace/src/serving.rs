@@ -1,0 +1,543 @@
+//! Serving-layer spans: per-job causal span trees on the server's virtual
+//! clock.
+//!
+//! The device layer traces kernels per `(core, role)` track; the serving
+//! layer needs a different shape: every admitted job is a *span tree* that
+//! tiles the job's whole sojourn — admission → queue wait → per-attempt
+//! service (with backend id) → failed attempts → checkpoint migrations →
+//! completion, shed, or CPU degradation. The tree is built by the server's
+//! event loop through a [`JobSpanBuilder`] and is *closed by construction*:
+//! [`JobSpanBuilder::finish`] refuses orphan spans, and
+//! [`JobSpanTree::check`] verifies the phases are contiguous integers on
+//! the virtual clock, so phase durations sum to the end-to-end latency
+//! **exactly** (integer nanoseconds, no float tolerance).
+//!
+//! [`server_trace_to_chrome`] renders a campaign's trees as a Chrome
+//! `trace_event` document with one lane per tenant (queue waits painted as
+//! explicit spans) and one lane per backend (service and failed-attempt
+//! spans, migration markers), loadable in Perfetto next to the device
+//! trace.
+
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// Convert virtual seconds (the server clock) to integer virtual
+/// nanoseconds. Monotone, so span boundaries converted independently stay
+/// ordered, and differences of converted boundaries telescope exactly.
+///
+/// # Panics
+/// Panics on negative or non-finite times.
+#[must_use]
+pub fn virtual_ns(t_s: f64) -> u64 {
+    assert!(t_s.is_finite() && t_s >= 0.0, "virtual time must be non-negative finite: {t_s}");
+    (t_s * 1e9).round() as u64
+}
+
+/// What a phase of a job's lifetime was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobPhase {
+    /// Admission to dispatch (or to shed): time spent queued.
+    Queue,
+    /// A service attempt that delivered the final state.
+    Service,
+    /// A service attempt that ended in a terminal fault — work and backoff
+    /// that had to be thrown away or replayed elsewhere.
+    Retry,
+    /// Checkpoint restore onto another backend (zero-width in the current
+    /// virtual-time model, which charges replay to the next attempt; the
+    /// phase exists structurally so any future restore cost lands here).
+    Migration,
+    /// Service on the host CPU evaluator after the fleet was exhausted.
+    Degrade,
+}
+
+impl JobPhase {
+    /// Stable lowercase label for CSV columns and trace names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobPhase::Queue => "queue",
+            JobPhase::Service => "service",
+            JobPhase::Retry => "retry",
+            JobPhase::Migration => "migration",
+            JobPhase::Degrade => "degrade",
+        }
+    }
+}
+
+/// One closed phase of a job's span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// What the time was spent on.
+    pub phase: JobPhase,
+    /// Fleet slot index for backend-attributable phases (`None` for queue
+    /// and CPU-degrade phases).
+    pub slot: Option<u32>,
+    /// Backend label (`card0`, `ring3x2+1`, `cpu`, `-` for queue).
+    pub backend: String,
+    /// Attempt number this phase belongs to (0 for the queue phase).
+    pub attempt: u32,
+    /// Phase start, virtual nanoseconds.
+    pub t0_ns: u64,
+    /// Phase end, virtual nanoseconds.
+    pub t1_ns: u64,
+    /// Transient-fault retries spent inside this phase.
+    pub retries: u64,
+}
+
+impl PhaseSpan {
+    /// Phase duration in virtual nanoseconds.
+    #[must_use]
+    pub fn dur_ns(&self) -> u64 {
+        self.t1_ns - self.t0_ns
+    }
+}
+
+/// One admitted job's complete, closed span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpanTree {
+    /// Campaign-unique job id.
+    pub job_id: u64,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Arrival on the server clock, virtual nanoseconds.
+    pub arrival_ns: u64,
+    /// Completion or shed time, virtual nanoseconds.
+    pub finish_ns: u64,
+    /// Disposition tag (`device`, `cpu-degraded`, `shed`).
+    pub outcome: String,
+    /// Golden class of the backend that finished the job (`device`,
+    /// `tree600`, `cpu`, `-` when shed).
+    pub class: String,
+    /// Contiguous phases tiling `[arrival_ns, finish_ns]`.
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl JobSpanTree {
+    /// End-to-end latency in virtual nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self) -> u64 {
+        self.finish_ns - self.arrival_ns
+    }
+
+    /// Verify the tree is closed and well-formed: a leading queue phase
+    /// starting at arrival, phases contiguous (each begins where the
+    /// previous ended, no gaps or overlaps), every span non-negative, and
+    /// the last phase ending at the finish time. These invariants are what
+    /// make phase durations sum to [`JobSpanTree::latency_ns`] exactly.
+    ///
+    /// # Errors
+    /// Returns a description of the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        let id = self.job_id;
+        let Some(first) = self.phases.first() else {
+            return Err(format!("job {id}: empty span tree"));
+        };
+        if first.phase != JobPhase::Queue {
+            return Err(format!("job {id}: first phase is {}, not queue", first.phase.label()));
+        }
+        if first.t0_ns != self.arrival_ns {
+            return Err(format!(
+                "job {id}: queue phase starts at {} but the job arrived at {}",
+                first.t0_ns, self.arrival_ns
+            ));
+        }
+        let mut cursor = self.arrival_ns;
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 && p.phase == JobPhase::Queue {
+                return Err(format!("job {id}: interior queue phase at index {i}"));
+            }
+            if p.t0_ns != cursor {
+                return Err(format!(
+                    "job {id}: phase {i} ({}) starts at {} leaving a gap/overlap after {cursor}",
+                    p.phase.label(),
+                    p.t0_ns
+                ));
+            }
+            if p.t1_ns < p.t0_ns {
+                return Err(format!(
+                    "job {id}: phase {i} ({}) ends at {} before its start {}",
+                    p.phase.label(),
+                    p.t1_ns,
+                    p.t0_ns
+                ));
+            }
+            cursor = p.t1_ns;
+        }
+        if cursor != self.finish_ns {
+            return Err(format!(
+                "job {id}: last phase ends at {cursor} but the job finished at {}",
+                self.finish_ns
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder the server's event loop drives as a job moves
+/// through its lifecycle. Misuse (nested `begin`, `end` without `begin`) is
+/// remembered and surfaces as an error from [`JobSpanBuilder::finish`], so
+/// a buggy emitter produces a loud orphan-span failure instead of a
+/// silently malformed trace.
+#[derive(Debug)]
+pub struct JobSpanBuilder {
+    job_id: u64,
+    tenant: usize,
+    arrival_ns: u64,
+    phases: Vec<PhaseSpan>,
+    open: Option<PhaseSpan>,
+    error: Option<String>,
+}
+
+impl JobSpanBuilder {
+    /// Start a tree for a job that arrived at `arrival_s`.
+    #[must_use]
+    pub fn new(job_id: u64, tenant: usize, arrival_s: f64) -> Self {
+        JobSpanBuilder {
+            job_id,
+            tenant,
+            arrival_ns: virtual_ns(arrival_s),
+            phases: Vec::new(),
+            open: None,
+            error: None,
+        }
+    }
+
+    /// Open a phase at virtual time `t_s` on backend `slot` (labelled
+    /// `backend`), attempt `attempt`.
+    pub fn begin(
+        &mut self,
+        phase: JobPhase,
+        slot: Option<u32>,
+        backend: &str,
+        attempt: u32,
+        t_s: f64,
+    ) {
+        if let Some(open) = &self.open {
+            self.error.get_or_insert_with(|| {
+                format!(
+                    "job {}: begin({}) while {} is still open",
+                    self.job_id,
+                    phase.label(),
+                    open.phase.label()
+                )
+            });
+            return;
+        }
+        let t0_ns = virtual_ns(t_s);
+        self.open = Some(PhaseSpan {
+            phase,
+            slot,
+            backend: backend.to_string(),
+            attempt,
+            t0_ns,
+            t1_ns: t0_ns,
+            retries: 0,
+        });
+    }
+
+    /// Close the open phase at virtual time `t_s`, charging `retries`
+    /// transient retries to it.
+    pub fn end(&mut self, t_s: f64, retries: u64) {
+        match self.open.take() {
+            Some(mut p) => {
+                p.t1_ns = virtual_ns(t_s);
+                p.retries = retries;
+                self.phases.push(p);
+            }
+            None => {
+                self.error.get_or_insert_with(|| {
+                    format!("job {}: end() with no open phase", self.job_id)
+                });
+            }
+        }
+    }
+
+    /// Close the tree with its disposition and backend class at `finish_s`.
+    ///
+    /// # Errors
+    /// Returns the first builder misuse (orphan span, stray end) or
+    /// well-formedness violation (see [`JobSpanTree::check`]).
+    pub fn finish(self, outcome: &str, class: &str, finish_s: f64) -> Result<JobSpanTree, String> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if let Some(open) = &self.open {
+            return Err(format!(
+                "job {}: phase {} still open at finish — orphan span",
+                self.job_id,
+                open.phase.label()
+            ));
+        }
+        let tree = JobSpanTree {
+            job_id: self.job_id,
+            tenant: self.tenant,
+            arrival_ns: self.arrival_ns,
+            finish_ns: virtual_ns(finish_s),
+            outcome: outcome.to_string(),
+            class: class.to_string(),
+            phases: self.phases,
+        };
+        tree.check()?;
+        Ok(tree)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome export: one lane per tenant, one lane per backend.
+// ---------------------------------------------------------------------------
+
+/// Chrome-trace pid of the serving layer (the device trace uses pid 0).
+pub const SERVER_PID: u64 = 1;
+
+/// Lane (tid) of a tenant's queue track.
+#[must_use]
+pub fn tenant_lane(tenant: usize) -> u64 {
+    1 + tenant as u64
+}
+
+/// Lane (tid) of the CPU-degradation track.
+pub const CPU_LANE: u64 = 900;
+
+/// Lane (tid) of fleet slot `slot`.
+#[must_use]
+pub fn backend_lane(slot: u32) -> u64 {
+    1001 + u64::from(slot)
+}
+
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Render a campaign's span trees as a Chrome `trace_event` document:
+/// pid 1 ("tt-server"), one lane per tenant carrying explicit queue-wait
+/// spans, one lane per fleet slot (labelled from `backend_labels`) carrying
+/// service and failed-attempt spans plus migration markers, and a CPU lane
+/// for degraded service. Events are ordered deterministically by
+/// `(ts, lane, job)`, so traces of replayed campaigns are byte-identical.
+#[must_use]
+pub fn server_trace_to_chrome(trees: &[JobSpanTree], backend_labels: &[String]) -> String {
+    // (sort key, line) so the document is time-ordered per lane.
+    let mut lines: Vec<((u64, u64, u64, u32), String)> = Vec::new();
+    let mut tenant_max = 0usize;
+    let mut cpu_used = false;
+    for tree in trees {
+        tenant_max = tenant_max.max(tree.tenant);
+        for (i, p) in tree.phases.iter().enumerate() {
+            let (tid, name) = match p.phase {
+                JobPhase::Queue => (tenant_lane(tree.tenant), format!("job{} queue", tree.job_id)),
+                JobPhase::Service => {
+                    (backend_lane(p.slot.unwrap_or(0)), format!("job{}", tree.job_id))
+                }
+                JobPhase::Retry => (
+                    backend_lane(p.slot.unwrap_or(0)),
+                    format!("job{} attempt{} failed", tree.job_id, p.attempt),
+                ),
+                JobPhase::Migration => {
+                    (backend_lane(p.slot.unwrap_or(0)), format!("job{} migrate", tree.job_id))
+                }
+                JobPhase::Degrade => {
+                    cpu_used = true;
+                    (CPU_LANE, format!("job{} degraded", tree.job_id))
+                }
+            };
+            let args = format!(
+                "{{\"job\":{},\"tenant\":{},\"attempt\":{},\"retries\":{}}}",
+                tree.job_id, tree.tenant, p.attempt, p.retries
+            );
+            let line = if p.phase == JobPhase::Migration {
+                format!(
+                    "{{\"ph\":\"i\",\"pid\":{SERVER_PID},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"{}\",\"args\":{args}}}",
+                    us(p.t0_ns),
+                    json::escape(&name)
+                )
+            } else {
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{SERVER_PID},\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                     \"name\":\"{}\",\"args\":{args}}}",
+                    us(p.t0_ns),
+                    us(p.dur_ns()),
+                    json::escape(&name)
+                )
+            };
+            lines.push(((p.t0_ns, tid, tree.job_id, i as u32), line));
+        }
+    }
+    lines.sort_by_key(|l| l.0);
+
+    let mut meta: Vec<(u64, String)> = Vec::new();
+    for t in 0..=tenant_max {
+        meta.push((tenant_lane(t), format!("tenant{t} queue")));
+    }
+    if cpu_used {
+        meta.push((CPU_LANE, "cpu degrade".to_string()));
+    }
+    for (slot, label) in backend_labels.iter().enumerate() {
+        meta.push((backend_lane(slot as u32), label.clone()));
+    }
+    meta.sort();
+    meta.dedup();
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |buf: &mut String, line: &str| {
+        if !first {
+            buf.push_str(",\n");
+        }
+        first = false;
+        buf.push_str(line);
+    };
+    push(
+        &mut out,
+        &format!(
+            "{{\"ph\":\"M\",\"pid\":{SERVER_PID},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"tt-server\"}}}}"
+        ),
+    );
+    for (tid, name) in &meta {
+        let line = format!(
+            "{{\"ph\":\"M\",\"pid\":{SERVER_PID},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json::escape(name)
+        );
+        push(&mut out, &line);
+    }
+    for (_, line) in &lines {
+        push(&mut out, line);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render span trees as per-phase CSV rows (one row per phase; schema in
+/// the header), the flat companion to the Chrome lanes.
+#[must_use]
+pub fn spans_to_csv(trees: &[JobSpanTree]) -> String {
+    let mut out = String::from(
+        "job_id,tenant,outcome,class,phase,slot,backend,attempt,t0_ns,t1_ns,retries\n",
+    );
+    for tree in trees {
+        for p in &tree.phases {
+            let slot = p.slot.map_or_else(|| "-".to_string(), |s| s.to_string());
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                tree.job_id,
+                tree.tenant,
+                tree.outcome,
+                tree.class,
+                p.phase.label(),
+                slot,
+                p.backend,
+                p.attempt,
+                p.t0_ns,
+                p.t1_ns,
+                p.retries,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{check_monotonic_per_track, parse_chrome_trace};
+
+    fn sample_tree() -> JobSpanTree {
+        let mut jb = JobSpanBuilder::new(3, 1, 0.5);
+        jb.begin(JobPhase::Queue, None, "-", 0, 0.5);
+        jb.end(1.0, 0);
+        jb.begin(JobPhase::Retry, Some(0), "card0", 1, 1.0);
+        jb.end(1.25, 2);
+        jb.begin(JobPhase::Migration, Some(2), "card2", 2, 1.25);
+        jb.end(1.25, 0);
+        jb.begin(JobPhase::Service, Some(2), "card2", 2, 1.25);
+        jb.end(2.0, 1);
+        jb.finish("device", "device", 2.0).unwrap()
+    }
+
+    #[test]
+    fn builder_produces_a_closed_contiguous_tree() {
+        let tree = sample_tree();
+        tree.check().unwrap();
+        assert_eq!(tree.latency_ns(), 1_500_000_000);
+        let sum: u64 = tree.phases.iter().map(PhaseSpan::dur_ns).sum();
+        assert_eq!(sum, tree.latency_ns(), "phases must tile the sojourn exactly");
+        assert_eq!(tree.phases.len(), 4);
+        assert_eq!(tree.phases[2].dur_ns(), 0, "migration is zero-width today");
+    }
+
+    #[test]
+    fn orphan_spans_are_refused() {
+        let mut jb = JobSpanBuilder::new(0, 0, 0.0);
+        jb.begin(JobPhase::Queue, None, "-", 0, 0.0);
+        let err = jb.finish("device", "device", 1.0).unwrap_err();
+        assert!(err.contains("orphan"), "{err}");
+
+        let mut jb = JobSpanBuilder::new(0, 0, 0.0);
+        jb.end(1.0, 0); // stray end
+        let err = jb.finish("device", "device", 1.0).unwrap_err();
+        assert!(err.contains("no open phase"), "{err}");
+
+        let mut jb = JobSpanBuilder::new(0, 0, 0.0);
+        jb.begin(JobPhase::Queue, None, "-", 0, 0.0);
+        jb.begin(JobPhase::Service, Some(0), "card0", 1, 0.5); // nested begin
+        let err = jb.finish("device", "device", 1.0).unwrap_err();
+        assert!(err.contains("still open"), "{err}");
+    }
+
+    #[test]
+    fn gaps_overlaps_and_bad_edges_are_rejected() {
+        let mut tree = sample_tree();
+        tree.phases[1].t0_ns += 1; // gap after queue
+        assert!(tree.check().unwrap_err().contains("gap"));
+
+        let mut tree = sample_tree();
+        tree.finish_ns += 1; // last phase no longer reaches finish
+        assert!(tree.check().unwrap_err().contains("finished"));
+
+        let mut tree = sample_tree();
+        tree.phases.clear();
+        assert!(tree.check().unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn virtual_ns_is_monotone_and_exact_on_clock_values() {
+        assert_eq!(virtual_ns(0.0), 0);
+        assert_eq!(virtual_ns(1.5), 1_500_000_000);
+        let mut prev = 0;
+        for i in 0..1000 {
+            let ns = virtual_ns(i as f64 * 0.001);
+            assert!(ns >= prev);
+            prev = ns;
+        }
+    }
+
+    #[test]
+    fn chrome_export_has_tenant_and_backend_lanes() {
+        let trees = vec![sample_tree()];
+        let doc = server_trace_to_chrome(&trees, &["card0".into(), "card1".into(), "card2".into()]);
+        assert!(doc.contains("tenant1 queue"));
+        assert!(doc.contains("card2"));
+        let parsed = parse_chrome_trace(&doc).unwrap();
+        check_monotonic_per_track(&parsed).unwrap();
+        // Queue span on the tenant lane, service spans on the backend lane.
+        assert!(parsed
+            .iter()
+            .any(|e| e.ph == "X" && e.tid == tenant_lane(1) as i64 && e.name == "job3 queue"));
+        assert!(parsed.iter().any(|e| e.ph == "X" && e.tid == backend_lane(2) as i64));
+        assert!(parsed.iter().any(|e| e.ph == "i" && e.name == "job3 migrate"));
+    }
+
+    #[test]
+    fn span_csv_schema_is_stable() {
+        let csv = spans_to_csv(&[sample_tree()]);
+        assert!(csv.starts_with("job_id,tenant,outcome,class,phase"));
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("3,1,device,device,queue,-,-,0,500000000,1000000000,0"));
+    }
+}

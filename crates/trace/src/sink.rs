@@ -1,5 +1,6 @@
 //! Trace sinks and the per-kernel span emitter.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -52,17 +53,28 @@ impl TraceSink for NullSink {
 
 #[derive(Debug, Default)]
 struct MemState {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     /// Duration of each closed epoch, indexed by epoch id.
     epoch_durs: Vec<u64>,
     next_epoch: u32,
     host_seq: u64,
+    /// Events evicted by the bounded (ring-buffer) mode.
+    dropped: u64,
 }
 
 /// In-memory sink collecting events for export.
+///
+/// By default the sink is unbounded (every event is kept). With
+/// [`MemorySink::bounded`] it becomes a drop-oldest ring buffer of the
+/// last `capacity` events — the flight-recorder mode: always-on recording
+/// whose memory footprint is constant however long the campaign runs, at
+/// the cost of forgetting everything but the recent past. Evictions are
+/// counted in [`MemorySink::dropped`], never silent.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     state: Mutex<MemState>,
+    /// `None` = unbounded; `Some(k)` = keep only the newest `k` events.
+    capacity: Option<usize>,
 }
 
 impl MemorySink {
@@ -70,6 +82,29 @@ impl MemorySink {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New drop-oldest ring sink keeping at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a ring that can hold nothing records
+    /// nothing, which is what [`NullSink`] is for.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded sink needs capacity > 0 (use NullSink to disable)");
+        MemorySink { state: Mutex::new(MemState::default()), capacity: Some(capacity) }
+    }
+
+    /// Ring capacity (`None` for the unbounded default).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Events evicted so far by the bounded mode (0 when unbounded).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
     }
 
     /// Number of events recorded so far.
@@ -93,7 +128,7 @@ impl MemorySink {
     /// Raw events in arrival order (timestamps still epoch-relative).
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.state.lock().events.clone()
+        self.state.lock().events.iter().cloned().collect()
     }
 
     /// Export events in deterministic order with absolute timestamps.
@@ -112,7 +147,7 @@ impl MemorySink {
             acc = acc.saturating_add(*dur);
         }
         bases.push(acc); // trailing host events land after the last epoch
-        let mut out = st.events.clone();
+        let mut out: Vec<TraceEvent> = st.events.iter().cloned().collect();
         drop(st);
         out.sort_by_key(TraceEvent::sort_key);
         for ev in &mut out {
@@ -129,7 +164,14 @@ impl TraceSink for MemorySink {
     }
 
     fn record(&self, ev: TraceEvent) {
-        self.state.lock().events.push(ev);
+        let mut st = self.state.lock();
+        if let Some(cap) = self.capacity {
+            while st.events.len() >= cap {
+                st.events.pop_front();
+                st.dropped += 1;
+            }
+        }
+        st.events.push_back(ev);
     }
 
     fn begin_epoch(&self) -> u32 {
@@ -148,11 +190,13 @@ impl TraceSink for MemorySink {
     }
 
     fn host_instant(&self, name: &str, args: &[(&str, u64)]) {
-        let mut st = self.state.lock();
-        let seq = st.host_seq;
-        st.host_seq += 1;
-        let epoch = st.next_epoch;
-        st.events.push(TraceEvent {
+        let (epoch, seq) = {
+            let mut st = self.state.lock();
+            let seq = st.host_seq;
+            st.host_seq += 1;
+            (st.next_epoch, seq)
+        };
+        self.record(TraceEvent {
             epoch,
             ts: 0,
             core: HOST_CORE,
@@ -325,6 +369,34 @@ mod tests {
         assert_eq!(em.open_depth(), 0);
         sink.end_epoch(e, 7);
         check_nesting(&sink.export()).unwrap();
+    }
+
+    #[test]
+    fn bounded_sink_drops_oldest_and_counts() {
+        let sink = MemorySink::bounded(3);
+        assert_eq!(sink.capacity(), Some(3));
+        for i in 0..5u64 {
+            sink.host_instant("ev", &[("i", i)]);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        // The survivors are the *newest* three, in arrival order.
+        let kept: Vec<u64> = sink.events().iter().map(|e| e.args[0].1).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        // Unbounded default keeps everything.
+        let full = MemorySink::new();
+        for i in 0..5u64 {
+            full.host_instant("ev", &[("i", i)]);
+        }
+        assert_eq!(full.len(), 5);
+        assert_eq!(full.dropped(), 0);
+        assert_eq!(full.capacity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity > 0")]
+    fn zero_capacity_ring_is_rejected() {
+        let _ = MemorySink::bounded(0);
     }
 
     #[test]

@@ -63,11 +63,30 @@ echo "==> serving fault-storm smoke"
 # admitted job must complete bitwise-identical to its fault-free golden or
 # be shed with a typed rejection, and replaying the seed must reproduce the
 # same per-job outcomes. Grep the verdict lines so silent skips fail CI.
-SERVE_OUT=$(cargo run --release --offline -p tt-harness --bin serve_storm -- --jobs 40)
+# With --profile the run also exercises the observability layer end to end:
+# the storm trips breakers, so the flight recorder must write at least one
+# post-mortem dump, the attribution buckets must sum exactly to each job's
+# latency, and the per-job span trees must render to a valid Chrome trace.
+rm -rf results/postmortem
+SERVE_OUT=$(cargo run --release --offline -p tt-harness --bin serve_storm -- --jobs 40 --profile)
 echo "$SERVE_OUT"
 echo "$SERVE_OUT" | grep -q "lost: 0"
 echo "$SERVE_OUT" | grep -q "bitwise-identical to fault-free goldens: true"
 echo "$SERVE_OUT" | grep -q "deterministic replay digest match: true"
+echo "$SERVE_OUT" | grep -q "attribution buckets sum exactly to latency: true (replay bitwise-identical: true)"
+echo "$SERVE_OUT" | grep -q "flight-recorder dump: .* -> results/postmortem/"
+python3 - <<'EOF'
+import glob, json
+with open("results/serving_trace.json") as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "serving trace must contain events"
+dumps = sorted(glob.glob("results/postmortem/postmortem-*.json"))
+assert dumps, "fault storm must leave at least one post-mortem"
+with open(dumps[0]) as f:
+    pm = json.load(f)
+assert pm["ring"]["events"], "post-mortem must carry the last-K event ring"
+assert "queue_depth" in pm["snapshot"], "post-mortem must snapshot server state"
+EOF
 
 echo "==> tree-code smoke"
 # Small-N Barnes-Hut run with the built-in O(N²) cross-check: one tree
