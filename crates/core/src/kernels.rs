@@ -28,8 +28,14 @@
 //! | `INTERMED2` | accumulator ring (ax ay az jx jy jz) | 12 |
 //! | `OUT0`      | results per target tile           | 12    |
 
-use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
+use tensix::fpu::BroadcastDim;
+use ttmetal::cb_index::{IN0, IN1, IN2, IN3, INTERMED0, INTERMED1, INTERMED2, OUT0};
 use ttmetal::{BufferRef, ComputeCtx, ComputeKernel, DataMovementCtx, DataMovementKernel};
+
+use crate::layout::matrix_pages::{
+    A_POS, A_VEL, B_POST, B_VELT, COL_R2, COL_RV, ROW_M, ROW_R2EPS, ROW_RV,
+};
+use crate::layout::{matrix_chunks, num_matrix_blocks};
 
 /// Runtime-arg slots shared by all three kernels.
 pub mod args {
@@ -262,6 +268,254 @@ impl DataMovementKernel for WriterKernel {
             }
             // All six result pages for this tile are in DRAM: publish the
             // watermark so a partial redo can resume at the next tile.
+            ctx.mark_unit_complete();
+            ctx.trace_span_end("tile");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix-pipe kernel family: the pairwise loop as blocked matmuls.
+//
+// One 32×32 tile covers a (32 targets × 32 sources) block pair. The squared
+// pair distance decomposes as s² = |r_i|² + (|r_j|² + ε²) − 2 r_i·r_j, so
+// three FP32 cross matmuls (r_i·r_j, r_i·v_j, v_i·r_j) plus row/column
+// broadcast adds of host-precomputed moments produce s² and d·dv for all
+// 1024 pairs of the block at once. An SFPU rsqrt chain turns s² into the
+// interaction weights W = m_j/s³ and G = 3 W (d·dv)/s², which are packed to
+// BF16 and hit the matrix pipe's full 2048-MACs/clk rate in exactly two
+// accumulate matmuls per block pair: W × SRC_ATTR and G × SRC_ATTR, where
+// SRC_ATTR's columns are [r_j, v_j, 1]. The device therefore returns moment
+// sums (Σ W r_j, Σ W v_j, Σ W, Σ G r_j, Σ G) per target, flushed once per
+// source chunk; the host finishes acc_i = Σ W r_j − r_i Σ W (and the jerk
+// analogue) in compensated FP64 — the mixed-precision split that keeps the
+// energy goldens intact.
+// ---------------------------------------------------------------------------
+
+/// The matrix-kernel reader: the diagonal-damping page into IN3 once, then
+/// per target block 4 target-operand pages into IN0, and per source block
+/// 5 FP32 pages into IN1 plus the two BF16 SRC_ATTR pages (hi, lo) into IN2
+/// (quantized once by the cached read).
+pub struct MatrixReaderKernel {
+    /// Target-side buffers `[A_POS, A_VEL, COL_R2, COL_RV]`.
+    pub targets: [BufferRef; 4],
+    /// Source-side buffers
+    /// `[B_POST, B_VELT, ROW_M, ROW_R2EPS, ROW_RV, SRC_ATTR_HI, SRC_ATTR_LO]`.
+    pub sources: [BufferRef; 7],
+    /// One-page buffer holding the `DIAG_DAMP · I` tile.
+    pub diag: BufferRef,
+}
+
+impl DataMovementKernel for MatrixReaderKernel {
+    fn run(&self, ctx: &mut DataMovementCtx) {
+        let start = ctx.arg(args::START_TILE) as usize;
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        let n = ctx.arg(args::NUM_SOURCES) as usize;
+        if count == 0 {
+            return;
+        }
+        // The damping operand is pushed once and held (never popped): the
+        // compute kernel peeks it on every diagonal block pair.
+        ctx.read_page_to_cb(IN3, self.diag, 0);
+        let chunks = matrix_chunks(num_matrix_blocks(n));
+        for blk in start..start + count {
+            ctx.trace_span_begin("tile");
+            for buf in self.targets {
+                ctx.read_page_to_cb(IN0, buf, blk);
+            }
+            for &(cs, cc) in &chunks {
+                for j in cs..cs + cc {
+                    for buf in &self.sources[..5] {
+                        ctx.read_page_to_cb_cached(IN1, *buf, j);
+                    }
+                    ctx.read_page_to_cb_cached(IN2, self.sources[5], j);
+                    ctx.read_page_to_cb_cached(IN2, self.sources[6], j);
+                }
+            }
+            ctx.trace_span_end("tile");
+        }
+    }
+}
+
+/// The matrix-pipe force/jerk compute kernel.
+pub struct MatrixForceComputeKernel {
+    /// Squared Plummer softening, folded into ROW_R2EPS by the host; kept
+    /// here only for the positivity assertion.
+    pub eps_squared: f32,
+}
+
+impl MatrixForceComputeKernel {
+    /// One (target block × source block) interaction: FP32 cross matmuls
+    /// and the SFPU chain produce W and G, then four BF16 accumulate
+    /// matmuls (hi and lo SRC_ATTR per moment tile) fold the block into the
+    /// moment accumulators. `diagonal` marks the block pair whose diagonal
+    /// lanes are self-interactions — those get the `DIAG_DAMP` treatment.
+    fn interact(&self, ctx: &mut ComputeCtx, diagonal: bool) {
+        ctx.cb_wait_front(IN1, 5);
+        ctx.cb_wait_front(IN2, 2);
+
+        // --- Phase M1: W and G on the FP32 cross-matmul + SFPU path ------
+        ctx.tile_regs_acquire();
+        ctx.matmul_tiles(IN0, IN1, A_POS, B_POST, 0, false); // r_i·r_j
+        ctx.matmul_tiles(IN0, IN1, A_POS, B_VELT, 3, false); // r_i·v_j
+        ctx.matmul_tiles(IN0, IN1, A_VEL, B_POST, 4, false); // v_i·r_j
+        ctx.scale_tile(0, -2.0, 0.0);
+        ctx.add_tile_bcast(BroadcastDim::Col, 0, IN0, COL_R2);
+        ctx.add_tile_bcast(BroadcastDim::Row, 0, IN1, ROW_R2EPS); // s²
+        if diagonal {
+            // Self-pairs: s² += DIAG_DAMP on the diagonal collapses the
+            // huge softened self-weight m/ε³ to ~m·10⁻¹², keeping the FP32
+            // moment sums free of a giant term that cancels only later.
+            ctx.copy_tile(IN3, 0, 5);
+            ctx.add_binary_tile(0, 5);
+        }
+        ctx.rsqrt_tile(0); // 1/s
+        ctx.copy_dst_tile(0, 1);
+        ctx.square_tile(1); // 1/s²
+        ctx.copy_dst_tile(1, 2);
+        ctx.mul_binary_tile(2, 0); // 1/s³
+        ctx.mul_tile_bcast(BroadcastDim::Row, 2, IN1, ROW_M); // W = m_j/s³
+        ctx.add_binary_tile(3, 4); // r_i·v_j + v_i·r_j
+        ctx.scale_tile(3, -1.0, 0.0);
+        ctx.add_tile_bcast(BroadcastDim::Col, 3, IN0, COL_RV);
+        ctx.add_tile_bcast(BroadcastDim::Row, 3, IN1, ROW_RV); // d·dv
+        ctx.mul_binary_tile(3, 1); // (d·dv)/s²
+        ctx.scale_tile(3, 3.0, 0.0);
+        ctx.mul_binary_tile(3, 2); // G = 3 W (d·dv)/s²
+        ctx.tile_regs_commit();
+        // W_hi/G_hi: quantized to BF16 by the INTERMED0 pack; the FP32
+        // copies park in INTERMED1 for the residual pass.
+        ctx.cb_reserve_back(INTERMED0, 2);
+        ctx.cb_reserve_back(INTERMED1, 2);
+        ctx.pack_tile(2, INTERMED0); // W_hi = bf16(W)
+        ctx.pack_tile(3, INTERMED0); // G_hi = bf16(G)
+        ctx.pack_tile(2, INTERMED1); // W (FP32)
+        ctx.pack_tile(3, INTERMED1); // G (FP32)
+        ctx.cb_push_back(INTERMED0, 2);
+        ctx.cb_push_back(INTERMED1, 2);
+        ctx.tile_regs_release();
+
+        // --- Phase M1b: BF16 residuals of W and G ------------------------
+        // W_lo = bf16(W − bf16(W)) — the same hi/lo split the host applies
+        // to SRC_ATTR, so the accumulate matmuls see W and G to ~16
+        // mantissa bits while every operand stays BF16 (full MAC rate).
+        ctx.cb_wait_front(INTERMED0, 2);
+        ctx.cb_wait_front(INTERMED1, 2);
+        ctx.cb_reserve_back(INTERMED0, 2);
+        ctx.tile_regs_acquire();
+        ctx.copy_tile(INTERMED1, 0, 0); // W
+        ctx.copy_tile(INTERMED0, 0, 1); // dequantized W_hi
+        ctx.sub_binary_tile(0, 1);
+        ctx.copy_tile(INTERMED1, 1, 2); // G
+        ctx.copy_tile(INTERMED0, 1, 3); // dequantized G_hi
+        ctx.sub_binary_tile(2, 3);
+        ctx.tile_regs_commit();
+        ctx.pack_tile(0, INTERMED0); // W_lo
+        ctx.pack_tile(2, INTERMED0); // G_lo
+        ctx.cb_push_back(INTERMED0, 2);
+        ctx.tile_regs_release();
+        ctx.cb_pop_front(INTERMED1, 2);
+
+        // --- Phase M2: BF16 accumulate matmuls into the moment ring ------
+        // Six matmuls cover (W_hi + W_lo) × (ATTR_HI + ATTR_LO) per moment
+        // tile minus the lo×lo term, which is ~2⁻¹⁸ relative — below the
+        // FP32 accumulator's own rounding.
+        ctx.cb_wait_front(INTERMED0, 4);
+        ctx.cb_wait_front(INTERMED2, 2);
+        ctx.cb_reserve_back(INTERMED2, 2);
+        ctx.tile_regs_acquire();
+        ctx.copy_tile(INTERMED2, 0, 0); // old W-moment accumulator
+        ctx.copy_tile(INTERMED2, 1, 1); // old G-moment accumulator
+        ctx.matmul_tiles(INTERMED0, IN2, 0, 0, 0, true); // += W_hi × ATTR_HI
+        ctx.matmul_tiles(INTERMED0, IN2, 0, 1, 0, true); // += W_hi × ATTR_LO
+        ctx.matmul_tiles(INTERMED0, IN2, 2, 0, 0, true); // += W_lo × ATTR_HI
+        ctx.matmul_tiles(INTERMED0, IN2, 1, 0, 1, true); // += G_hi × ATTR_HI
+        ctx.matmul_tiles(INTERMED0, IN2, 1, 1, 1, true); // += G_hi × ATTR_LO
+        ctx.matmul_tiles(INTERMED0, IN2, 3, 0, 1, true); // += G_lo × ATTR_HI
+        ctx.tile_regs_commit();
+        ctx.pack_tile(0, INTERMED2);
+        ctx.pack_tile(1, INTERMED2);
+        ctx.cb_push_back(INTERMED2, 2);
+        ctx.tile_regs_release();
+
+        ctx.cb_pop_front(INTERMED2, 2);
+        ctx.cb_pop_front(INTERMED0, 4);
+        ctx.cb_pop_front(IN1, 5);
+        ctx.cb_pop_front(IN2, 2);
+    }
+}
+
+impl ComputeKernel for MatrixForceComputeKernel {
+    fn run(&self, ctx: &mut ComputeCtx) {
+        assert!(self.eps_squared > 0.0, "device force kernel requires softening > 0");
+        let start = ctx.arg(args::START_TILE) as usize;
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        let n = ctx.arg(args::NUM_SOURCES) as usize;
+        if count == 0 {
+            return;
+        }
+        ctx.cb_wait_front(IN3, 1); // damping page, held for the whole launch
+        let chunks = matrix_chunks(num_matrix_blocks(n));
+        for blk in start..start + count {
+            ctx.trace_span_begin("tile");
+            ctx.cb_wait_front(IN0, 4);
+            for &(cs, cc) in &chunks {
+                // Zero the two moment accumulators for this chunk.
+                ctx.cb_reserve_back(INTERMED2, 2);
+                ctx.tile_regs_acquire();
+                ctx.fill_tile(0, 0.0);
+                ctx.fill_tile(1, 0.0);
+                ctx.tile_regs_commit();
+                ctx.pack_tile(0, INTERMED2);
+                ctx.pack_tile(1, INTERMED2);
+                ctx.cb_push_back(INTERMED2, 2);
+                ctx.tile_regs_release();
+
+                for j in cs..cs + cc {
+                    self.interact(ctx, j == blk);
+                }
+
+                // Flush the chunk partials to the output CB.
+                ctx.cb_wait_front(INTERMED2, 2);
+                ctx.cb_reserve_back(OUT0, 2);
+                ctx.tile_regs_acquire();
+                ctx.copy_tile(INTERMED2, 0, 0);
+                ctx.copy_tile(INTERMED2, 1, 1);
+                ctx.tile_regs_commit();
+                ctx.pack_tile(0, OUT0);
+                ctx.pack_tile(1, OUT0);
+                ctx.cb_push_back(OUT0, 2);
+                ctx.tile_regs_release();
+                ctx.cb_pop_front(INTERMED2, 2);
+            }
+            ctx.cb_pop_front(IN0, 4);
+            ctx.trace_span_end("tile");
+        }
+    }
+}
+
+/// The matrix-kernel writer: per target block, per source chunk, the W-
+/// and G-moment partial tiles to DRAM at page `block · num_chunks + chunk`.
+pub struct MatrixWriterKernel {
+    /// Output buffers `[W_moments, G_moments]`, each
+    /// `num_blocks · num_chunks` pages.
+    pub outputs: [BufferRef; 2],
+    /// Chunk count (mirrors [`matrix_chunks`]; cached for page addressing).
+    pub num_chunks: usize,
+}
+
+impl DataMovementKernel for MatrixWriterKernel {
+    fn run(&self, ctx: &mut DataMovementCtx) {
+        let start = ctx.arg(args::START_TILE) as usize;
+        let count = ctx.arg(args::TILE_COUNT) as usize;
+        for blk in start..start + count {
+            ctx.trace_span_begin("tile");
+            for c in 0..self.num_chunks {
+                ctx.write_cb_to_page(OUT0, self.outputs[0], blk * self.num_chunks + c);
+                ctx.write_cb_to_page(OUT0, self.outputs[1], blk * self.num_chunks + c);
+            }
+            // Every chunk partial of this block is in DRAM: publish the
+            // redo watermark.
             ctx.mark_unit_complete();
             ctx.trace_span_end("tile");
         }

@@ -14,11 +14,21 @@
 //! (mass 0) nor produce NaNs (nonzero distance to every real particle).
 
 use nbody::particle::ParticleSystem;
-use tensix::tile::{pack_vector, Tile, TILE_ELEMS};
+use tensix::tile::{pack_vector, Tile, TILE_DIM, TILE_ELEMS};
 use tensix::DataFormat;
 
 /// Position far from any sane cluster coordinate, used for padding lanes.
 pub const PAD_POSITION: f32 = 1.0e6;
+
+/// Particles per matrix-kernel block: one 32×32 tile covers a
+/// 32-target × 32-source block pair, so blocks are [`TILE_DIM`] particles.
+pub const MATRIX_BLOCK: usize = TILE_DIM;
+
+/// Upper bound on the source-chunk count of the matrix kernel: the device
+/// flushes its FP32 accumulator tiles to DRAM once per chunk so the host
+/// can finish the reduction in compensated FP64, and eight chunks bound
+/// both the flush traffic and the f32 accumulation depth.
+pub const MATRIX_MAX_CHUNKS: usize = 8;
 
 /// Per-axis particle quantities in FP32, the host-side staging format.
 #[derive(Debug, Clone)]
@@ -110,6 +120,161 @@ pub fn untile_results(tiles: &[Vec<Tile>; 3], n: usize) -> [Vec<f32>; 3] {
         tensix::tile::unpack_vector(&tiles[1], n),
         tensix::tile::unpack_vector(&tiles[2], n),
     ]
+}
+
+/// CB page indices of the matrix-kernel operand groups (within one waited
+/// group, in the order the reader pushes them).
+pub mod matrix_pages {
+    /// IN0 page 0: `A_POS[i][k] = r_i[k]` (k < 3), the target-position
+    /// operand of the cross matmuls.
+    pub const A_POS: usize = 0;
+    /// IN0 page 1: `A_VEL[i][k] = v_i[k]`.
+    pub const A_VEL: usize = 1;
+    /// IN0 page 2: column 0 holds `|r_i|²` per target row.
+    pub const COL_R2: usize = 2;
+    /// IN0 page 3: column 0 holds `r_i·v_i` per target row.
+    pub const COL_RV: usize = 3;
+    /// IN1 page 0: `B_POST[k][j] = r_j[k]` — source positions transposed so
+    /// `A_POS × B_POST` lands `r_i·r_j` at (i, j).
+    pub const B_POST: usize = 0;
+    /// IN1 page 1: `B_VELT[k][j] = v_j[k]`.
+    pub const B_VELT: usize = 1;
+    /// IN1 page 2: row 0 holds `m_j` per source column.
+    pub const ROW_M: usize = 2;
+    /// IN1 page 3: row 0 holds `|r_j|² + ε²` per source column (the
+    /// softening enters the pair distance exactly once, here).
+    pub const ROW_R2EPS: usize = 3;
+    /// IN1 page 4: row 0 holds `r_j·v_j` per source column.
+    pub const ROW_RV: usize = 4;
+    /// Columns of the SRC_ATTR tiles (IN2's pages, BF16):
+    /// `[x_j, y_j, z_j, vx_j, vy_j, vz_j, 1]`, so the accumulate matmuls
+    /// `W × SRC_ATTR` and `G × SRC_ATTR` produce all seven moment sums per
+    /// target row at once.
+    pub const ATTR_COLS: usize = 7;
+    /// `sources` index of the high SRC_ATTR page: `bf16(attr)`.
+    pub const SRC_ATTR_HI: usize = 5;
+    /// `sources` index of the low SRC_ATTR page: `bf16(attr − bf16(attr))`
+    /// — the BF16 residual, so the hi+lo accumulate-matmul pair recovers
+    /// ~16 mantissa bits of the source coordinates at full BF16 MAC rate.
+    /// (The mass column's 1.0 is exact in BF16; its residual is 0.)
+    pub const SRC_ATTR_LO: usize = 6;
+}
+
+/// Distance-squared damping added to the *diagonal* lanes of diagonal block
+/// pairs: `s²_ii ← s²_ii + DIAG_DAMP` collapses the softened self-weight
+/// `W_ii = m_i/ε³` (easily ~10⁴·m) to ~`m·10⁻¹²`, so no huge self-term ever
+/// enters the FP32 moment accumulation — without it, that term's rounding
+/// alone sinks the force accuracy. Large enough to dwarf any real `|r|²`,
+/// small enough that `s² + DIAG_DAMP` stays far from FP32 overflow.
+pub const DIAG_DAMP: f32 = 1.0e8;
+
+/// The damping operand: [`DIAG_DAMP`] on the diagonal, zero elsewhere. One
+/// FP32 page, read once per launch and held in its CB.
+#[must_use]
+pub fn diag_damp_tile() -> Tile {
+    let mut t = Tile::zeros(DataFormat::Float32);
+    for i in 0..TILE_DIM {
+        t.set(i, i, DIAG_DAMP);
+    }
+    t
+}
+
+/// Split `x` into its BF16 value and the BF16-rounded residual:
+/// `(hi, lo) = (bf16(x), bf16(x − hi))`, with `x ≈ hi + lo` to ~16 mantissa
+/// bits. The host combine subtracts target coordinates through this same
+/// split so the device and host agree bit-for-bit on what was accumulated.
+#[must_use]
+pub fn bf16_split(x: f32) -> (f32, f32) {
+    let bf16 = DataFormat::Float16b;
+    let hi = bf16.quantize(x);
+    let lo = bf16.quantize(x - hi);
+    (hi, lo)
+}
+
+/// Matrix-kernel operand tiles, one tile per 32-particle block in each view.
+#[derive(Debug)]
+pub struct MatrixOperands {
+    /// Number of 32-particle blocks: ⌈n / 32⌉.
+    pub num_blocks: usize,
+    /// Target-side operands `[A_POS, A_VEL, COL_R2, COL_RV]` (FP32).
+    pub targets: [Vec<Tile>; 4],
+    /// Source-side operands
+    /// `[B_POST, B_VELT, ROW_M, ROW_R2EPS, ROW_RV, SRC_ATTR_HI, SRC_ATTR_LO]`
+    /// (FP32 in DRAM; the two SRC_ATTR pages hold BF16-representable values
+    /// and pass through their BF16 CB unchanged).
+    pub sources: [Vec<Tile>; 7],
+}
+
+/// Number of 32-particle blocks for `n` particles.
+#[must_use]
+pub fn num_matrix_blocks(n: usize) -> usize {
+    n.div_ceil(MATRIX_BLOCK)
+}
+
+/// Source-chunk ranges `(start_block, block_count)` of the matrix kernel:
+/// the `num_src_blocks` source blocks split over `min(8, num_src_blocks)`
+/// chunks. The device flushes its accumulators per chunk and the host
+/// combine sums the per-chunk partials — both sides call this function, so
+/// the split is the single source of truth.
+#[must_use]
+pub fn matrix_chunks(num_src_blocks: usize) -> Vec<(usize, usize)> {
+    assert!(num_src_blocks > 0, "empty system");
+    split_tiles_to_cores(num_src_blocks, num_src_blocks.min(MATRIX_MAX_CHUNKS))
+}
+
+/// Build the matrix-kernel operand tiles from the host arrays.
+///
+/// Padding: target pad lanes park at [`PAD_POSITION`] (their rows of the
+/// output are discarded), source pad lanes carry zero mass — `W = m/s³ = 0`
+/// kills the whole column — with `ROW_R2EPS = ε²` keeping `s²` positive
+/// even against a target at the origin.
+#[must_use]
+pub fn matrix_operands(arrays: &HostArrays, eps_squared: f32) -> MatrixOperands {
+    let f = DataFormat::Float32;
+    let nb = num_matrix_blocks(arrays.n);
+    let mut targets: [Vec<Tile>; 4] = std::array::from_fn(|_| vec![Tile::zeros(f); nb]);
+    let mut sources: [Vec<Tile>; 7] = std::array::from_fn(|_| vec![Tile::zeros(f); nb]);
+    for b in 0..nb {
+        for lane in 0..MATRIX_BLOCK {
+            let i = b * MATRIX_BLOCK + lane;
+            let (r, v, m) = if i < arrays.n {
+                (
+                    [arrays.pos[0][i], arrays.pos[1][i], arrays.pos[2][i]],
+                    [arrays.vel[0][i], arrays.vel[1][i], arrays.vel[2][i]],
+                    arrays.mass[i],
+                )
+            } else {
+                ([PAD_POSITION; 3], [0.0; 3], 0.0)
+            };
+            let r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+            let rv = r[0] * v[0] + r[1] * v[1] + r[2] * v[2];
+            for k in 0..3 {
+                targets[matrix_pages::A_POS][b].set(lane, k, r[k]);
+                targets[matrix_pages::A_VEL][b].set(lane, k, v[k]);
+            }
+            targets[matrix_pages::COL_R2][b].set(lane, 0, r2);
+            targets[matrix_pages::COL_RV][b].set(lane, 0, rv);
+            if i < arrays.n {
+                for k in 0..3 {
+                    sources[matrix_pages::B_POST][b].set(k, lane, r[k]);
+                    sources[matrix_pages::B_VELT][b].set(k, lane, v[k]);
+                    let (rh, rl) = bf16_split(r[k]);
+                    let (vh, vl) = bf16_split(v[k]);
+                    sources[matrix_pages::SRC_ATTR_HI][b].set(lane, k, rh);
+                    sources[matrix_pages::SRC_ATTR_HI][b].set(lane, 3 + k, vh);
+                    sources[matrix_pages::SRC_ATTR_LO][b].set(lane, k, rl);
+                    sources[matrix_pages::SRC_ATTR_LO][b].set(lane, 3 + k, vl);
+                }
+                sources[matrix_pages::ROW_M][b].set(0, lane, m);
+                sources[matrix_pages::ROW_R2EPS][b].set(0, lane, r2 + eps_squared);
+                sources[matrix_pages::ROW_RV][b].set(0, lane, rv);
+                sources[matrix_pages::SRC_ATTR_HI][b].set(lane, 6, 1.0);
+            } else {
+                sources[matrix_pages::ROW_R2EPS][b].set(0, lane, eps_squared);
+            }
+        }
+    }
+    MatrixOperands { num_blocks: nb, targets, sources }
 }
 
 /// Split `num_tiles` target tiles across `num_cores` cores as evenly as
@@ -211,5 +376,53 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_panics() {
         let _ = split_tiles_to_cores(4, 0);
+    }
+
+    #[test]
+    fn matrix_operands_shape_and_padding() {
+        let s = sys(70); // 3 blocks, last padded from lane 6
+        let h = HostArrays::from_system(&s);
+        let ops = matrix_operands(&h, 1e-4);
+        assert_eq!(ops.num_blocks, 3);
+        assert_eq!(ops.targets[0].len(), 3);
+        assert_eq!(ops.sources[0].len(), 3);
+
+        // Real lanes: A_POS row i holds r_i, B_POST column j holds r_j.
+        let (b, lane, i) = (1, 9, 41);
+        for k in 0..3 {
+            assert_eq!(ops.targets[matrix_pages::A_POS][b].get(lane, k), s.pos[i][k] as f32);
+            assert_eq!(ops.sources[matrix_pages::B_POST][b].get(k, lane), s.pos[i][k] as f32);
+            // SRC_ATTR is split hi/lo so the bf16 matmul path keeps ~16
+            // mantissa bits: hi is the bf16 quantization, lo the residual.
+            let (rh, rl) = bf16_split(s.pos[i][k] as f32);
+            let (vh, vl) = bf16_split(s.vel[i][k] as f32);
+            let hi = &ops.sources[matrix_pages::SRC_ATTR_HI][b];
+            let lo = &ops.sources[matrix_pages::SRC_ATTR_LO][b];
+            assert_eq!((hi.get(lane, k), lo.get(lane, k)), (rh, rl));
+            assert_eq!((hi.get(lane, 3 + k), lo.get(lane, 3 + k)), (vh, vl));
+        }
+        assert_eq!(ops.sources[matrix_pages::SRC_ATTR_HI][b].get(lane, 6), 1.0);
+        assert_eq!(ops.sources[matrix_pages::SRC_ATTR_LO][b].get(lane, 6), 0.0);
+        let r2 = ops.targets[matrix_pages::COL_R2][b].get(lane, 0);
+        assert!((f64::from(r2) - s.pos[i].iter().map(|x| x * x).sum::<f64>()).abs() < 1e-5);
+        assert_eq!(ops.sources[matrix_pages::ROW_R2EPS][b].get(0, lane), r2 + 1e-4);
+
+        // Pad lanes: parked targets, zero-mass sources, ε² keeps s² positive.
+        let pad = 20; // particle 84 ≥ 70
+        assert_eq!(ops.targets[matrix_pages::A_POS][2].get(pad, 0), PAD_POSITION);
+        assert_eq!(ops.sources[matrix_pages::ROW_M][2].get(0, pad), 0.0);
+        assert_eq!(ops.sources[matrix_pages::ROW_R2EPS][2].get(0, pad), 1e-4);
+        assert_eq!(ops.sources[matrix_pages::SRC_ATTR_HI][2].get(pad, 6), 0.0);
+    }
+
+    #[test]
+    fn matrix_chunks_cover_all_blocks() {
+        assert_eq!(matrix_chunks(1), vec![(0, 1)]);
+        assert_eq!(matrix_chunks(3).len(), 3);
+        let chunks = matrix_chunks(100);
+        assert_eq!(chunks.len(), MATRIX_MAX_CHUNKS);
+        assert_eq!(chunks.iter().map(|(_, c)| c).sum::<usize>(), 100);
+        assert_eq!(num_matrix_blocks(70), 3);
+        assert_eq!(num_matrix_blocks(64), 2);
     }
 }

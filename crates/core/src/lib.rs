@@ -27,10 +27,12 @@ pub use evaluator::{CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCa
 pub use layout::{split_tiles_to_cores, tilize_particles, HostArrays, TiledParticles};
 pub use multi_device::{MultiDevicePipeline, MultiDeviceTiming};
 pub use perf_model::{
-    paper_run, HostCpuModel, RunModel, WormholePerfModel, CPU_EFF_CYCLES_PER_PAIR,
+    arch_run, paper_run, HostCpuModel, RunModel, WormholePerfModel, CPU_EFF_CYCLES_PER_PAIR,
     DEVICE_CYCLES_PER_PAIR, PAPER_CYCLES, PAPER_N, STEPS_PER_CYCLE,
 };
-pub use pipeline::{DeviceForceKernel, DeviceForcePipeline, PipelineTiming, RetryPolicy};
+pub use pipeline::{
+    DeviceForceKernel, DeviceForcePipeline, ForceKernelKind, PipelineTiming, RetryPolicy,
+};
 pub use simulation::{
     latest_checkpoint, read_checkpoint, resume_simulation_resilient, run_cpu_simulation,
     run_device_simulation, run_device_simulation_resilient, run_ring_simulation_resilient,

@@ -28,13 +28,13 @@ use parking_lot::Mutex;
 use nbody::particle::{Forces, ParticleSystem};
 use tensix::ethernet::{EthLink, EthRing};
 use tensix::tile::TILE_ELEMS;
-use tensix::{Device, Result, TensixError};
+use tensix::{DataFormat, Device, Result, TensixError};
 use tt_telemetry::RetryCost;
 use ttmetal::{LaunchError, ProgramReport};
 
 use crate::evaluator::{retry_eval, ForceEvaluator};
 use crate::layout::split_tiles_to_cores;
-use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
+use crate::pipeline::{DeviceForcePipeline, ForceKernelKind, PipelineTiming, RetryPolicy};
 
 /// Timing of a multi-device evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -83,6 +83,7 @@ pub struct MultiDevicePipeline {
     n: usize,
     eps: f64,
     cores_per_device: usize,
+    kind: ForceKernelKind,
     timing: Mutex<MultiDeviceTiming>,
 }
 
@@ -122,13 +123,47 @@ impl MultiDevicePipeline {
         eps: f64,
         cores_per_device: usize,
     ) -> Result<Self> {
+        Self::with_spares_kernel(
+            devices,
+            spares,
+            n,
+            eps,
+            cores_per_device,
+            ForceKernelKind::default(),
+        )
+    }
+
+    /// Like [`Self::with_spares`], with an explicit per-card force kernel.
+    /// Failover and recovery rebuild replacement pipelines with the same
+    /// kind, so a matrix-pipe ring stays matrix-pipe across card losses.
+    ///
+    /// # Errors
+    /// DRAM exhaustion on any active card.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::new`].
+    pub fn with_spares_kernel(
+        devices: &[Arc<Device>],
+        spares: &[Arc<Device>],
+        n: usize,
+        eps: f64,
+        cores_per_device: usize,
+        kind: ForceKernelKind,
+    ) -> Result<Self> {
         assert!(!devices.is_empty(), "need at least one device");
         let num_tiles = n.div_ceil(TILE_ELEMS);
         let tile_split = split_tiles_to_cores(num_tiles, devices.len());
         let mut pipelines = Vec::with_capacity(devices.len());
         let mut ranges = Vec::with_capacity(devices.len());
         for (device, (tile_start, tile_count)) in devices.iter().zip(tile_split) {
-            pipelines.push(DeviceForcePipeline::new(Arc::clone(device), n, eps, cores_per_device)?);
+            pipelines.push(DeviceForcePipeline::new_with_kernel(
+                Arc::clone(device),
+                n,
+                eps,
+                cores_per_device,
+                DataFormat::Float32,
+                kind,
+            )?);
             let start = tile_start * TILE_ELEMS;
             let count = (tile_count * TILE_ELEMS).min(n.saturating_sub(start));
             ranges.push((start, count));
@@ -145,6 +180,7 @@ impl MultiDevicePipeline {
             n,
             eps,
             cores_per_device,
+            kind,
             timing: Mutex::new(MultiDeviceTiming::default()),
         })
     }
@@ -293,11 +329,13 @@ impl MultiDevicePipeline {
                         let Some(spare) = slots.spares.pop() else {
                             return Err(err);
                         };
-                        let fresh = DeviceForcePipeline::new(
+                        let fresh = DeviceForcePipeline::new_with_kernel(
                             Arc::clone(&spare),
                             self.n,
                             self.eps,
                             self.cores_per_device,
+                            DataFormat::Float32,
+                            self.kind,
                         )?;
                         let old = std::mem::replace(&mut slots.pipelines[idx], fresh);
                         slots.carried.absorb(old.timing());
@@ -375,11 +413,13 @@ impl ForceEvaluator for MultiDevicePipeline {
                 continue;
             }
             slots.devices[idx].reset().map_err(LaunchError::from)?;
-            let fresh = DeviceForcePipeline::new(
+            let fresh = DeviceForcePipeline::new_with_kernel(
                 Arc::clone(&slots.devices[idx]),
                 self.n,
                 self.eps,
                 self.cores_per_device,
+                DataFormat::Float32,
+                self.kind,
             )
             .map_err(LaunchError::from)?;
             let old = std::mem::replace(&mut slots.pipelines[idx], fresh);
@@ -426,6 +466,39 @@ mod tests {
         assert!(t.pipeline.busy_cycles > 0);
         assert_eq!(t.pipeline.wasted_cycles, 0);
         assert!(t.pipeline.device_seconds >= t.device_seconds, "sum bounds the critical path");
+    }
+
+    #[test]
+    fn matrix_kernel_ring_matches_single_card_bitwise() {
+        // The kernel kind must thread through the ring unchanged: a 2-card
+        // matrix-pipe ring reproduces the single-card matrix pipeline bit
+        // for bit (same arithmetic per owned slice, same gather order).
+        let n = 1100;
+        let sys = plummer(PlummerConfig { n, seed: 402, ..PlummerConfig::default() });
+        let eps = 0.02;
+        let single = DeviceForcePipeline::new_with_kernel(
+            cluster(1).pop().unwrap(),
+            n,
+            eps,
+            1,
+            DataFormat::Float32,
+            ForceKernelKind::Matrix,
+        )
+        .unwrap();
+        let single_forces = single.evaluate(&sys).unwrap();
+        let devices = cluster(2);
+        let multi = MultiDevicePipeline::with_spares_kernel(
+            &devices,
+            &[],
+            n,
+            eps,
+            1,
+            ForceKernelKind::Matrix,
+        )
+        .unwrap();
+        let multi_forces = multi.evaluate(&sys).unwrap();
+        assert_eq!(single_forces.acc, multi_forces.acc);
+        assert_eq!(single_forces.jerk, multi_forces.jerk);
     }
 
     #[test]

@@ -37,7 +37,8 @@
 //! ≈2.9 GB per step over PCIe keeps the memory subsystem busy; that term is
 //! `staging_power_w`.
 
-use tensix::cost::{CostModel, CLOCK_HZ};
+use tensix::catalog::DeviceArch;
+use tensix::cost::CostModel;
 use tensix::ethernet::{EthLink, EthRing};
 use tensix::power::{PowerParams, PowerState};
 use tensix::TILE_ELEMS;
@@ -49,12 +50,12 @@ pub const PAPER_N: usize = 102_400;
 pub const PAPER_CYCLES: usize = 10;
 /// Calibrated Hermite steps per time cycle (see module docs).
 pub const STEPS_PER_CYCLE: usize = 36;
-/// Measured compute cycles per pair interaction per Tensix core.
+/// Measured compute cycles per pair interaction per Tensix core
+/// (element-wise SFPU kernel; the matrix-pipe kernel is measured per run
+/// by `bench_gate` and must land strictly below this).
 pub const DEVICE_CYCLES_PER_PAIR: f64 = 2.727;
 /// Calibrated effective CPU cycles per pair per core (AVX-512 reference).
 pub const CPU_EFF_CYCLES_PER_PAIR: f64 = 21.1;
-/// Tensix cores per Wormhole chip.
-pub const DEVICE_CORES: usize = 64;
 /// Host-memory staging bandwidth for tilize/untilize, bytes/s.
 pub const HOST_STAGING_BYTES_PER_S: f64 = 20.0e9;
 
@@ -134,7 +135,10 @@ impl HostCpuModel {
     }
 }
 
-/// Analytic model of the device-side force evaluation.
+/// Analytic model of the device-side force evaluation. All hardware
+/// parameters (core count, clock, cost tables) come from a catalog entry
+/// via [`WormholePerfModel::for_arch`]; `Default` is one chip of the
+/// paper's n300, which reproduces every calibrated number exactly.
 #[derive(Debug, Clone, Copy)]
 pub struct WormholePerfModel {
     /// Device cost tables (for DRAM cross-checks).
@@ -143,19 +147,31 @@ pub struct WormholePerfModel {
     pub cores: usize,
     /// Compute cycles per pair per core.
     pub cycles_per_pair: f64,
+    /// Tensix clock, Hz.
+    pub clock_hz: f64,
 }
 
 impl Default for WormholePerfModel {
     fn default() -> Self {
-        WormholePerfModel {
-            costs: CostModel::default(),
-            cores: DEVICE_CORES,
-            cycles_per_pair: DEVICE_CYCLES_PER_PAIR,
-        }
+        Self::for_arch(&DeviceArch::n300())
     }
 }
 
 impl WormholePerfModel {
+    /// Per-chip model of a catalog part: grid, clock and cost tables come
+    /// from the entry; the measured cycles/pair calibration is unchanged
+    /// (it is a property of the kernel, not the part). Multi-chip cards
+    /// scale via [`RunModel::accel_seconds_multi_device`].
+    #[must_use]
+    pub fn for_arch(arch: &DeviceArch) -> Self {
+        WormholePerfModel {
+            costs: arch.cost_model(),
+            cores: arch.cores_per_chip(),
+            cycles_per_pair: DEVICE_CYCLES_PER_PAIR,
+            clock_hz: arch.clock_hz(),
+        }
+    }
+
     /// Device seconds for one evaluation: the slowest core owns
     /// ⌈T/cores⌉ target tiles, each interacting with all `n` sources.
     #[must_use]
@@ -163,7 +179,7 @@ impl WormholePerfModel {
         let tiles = n.div_ceil(TILE_ELEMS);
         let slowest_tiles = tiles.div_ceil(self.cores);
         let pairs = (slowest_tiles * TILE_ELEMS) as f64 * n as f64;
-        pairs * self.cycles_per_pair / CLOCK_HZ
+        pairs * self.cycles_per_pair / self.clock_hz
     }
 
     /// PCIe transfer seconds per evaluation: 7 source-broadcast buffers of
@@ -424,6 +440,14 @@ pub fn paper_run() -> RunModel {
     RunModel::default()
 }
 
+/// The representative run on an arbitrary catalog part: per-chip device
+/// model from the entry; evaluate multi-chip cards with
+/// [`RunModel::accel_seconds_multi_device`]`(arch.chips)`.
+#[must_use]
+pub fn arch_run(arch: &DeviceArch) -> RunModel {
+    RunModel { device: WormholePerfModel::for_arch(arch), ..RunModel::default() }
+}
+
 /// Map a simulated accelerated run onto card power states for one job:
 /// (pre-sleep idle, compute, post-sleep slightly-elevated idle).
 #[must_use]
@@ -449,6 +473,27 @@ mod tests {
         // Perfectly balanced at one tile per core for N = 65536.
         let t64 = m.eval_seconds(64 * 1024);
         assert!(t64 < t, "fewer tiles on the slowest core must be faster");
+    }
+
+    #[test]
+    fn arch_models_derive_from_the_catalog() {
+        // Default ≡ one n300 chip: the calibration is untouched.
+        let d = WormholePerfModel::default();
+        assert_eq!(d.cores, 64);
+        assert!((d.clock_hz - 1.0e9).abs() < 1.0);
+        // n150: 72 cores on one chip. At N = 72·1024 its grid fits exactly
+        // one tile per core while the 64-core chip's slowest core owns two.
+        let n150 = WormholePerfModel::for_arch(&DeviceArch::n150());
+        assert_eq!(n150.cores, 72);
+        assert!(n150.eval_seconds(72 * 1024) < d.eval_seconds(72 * 1024));
+        // A full n300 card (2 chips over the Ethernet ring) beats an n150.
+        let n150_card = arch_run(&DeviceArch::n150()).accel_seconds_multi_device(1);
+        let n300_card = arch_run(&DeviceArch::n300()).accel_seconds_multi_device(2);
+        assert!(n300_card < n150_card, "n300 {n300_card} vs n150 {n150_card}");
+        // A down-clocked custom part is slower than the stock n300 chip.
+        let slow = DeviceArch::parse("name=slow,clock_ghz=0.5").unwrap();
+        let s = WormholePerfModel::for_arch(&slow);
+        assert!(s.eval_seconds(PAPER_N) > d.eval_seconds(PAPER_N));
     }
 
     #[test]

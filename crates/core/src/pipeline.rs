@@ -20,11 +20,62 @@ use nbody::particle::{Forces, ParticleSystem};
 use tensix::cb::CircularBufferConfig;
 use tensix::grid::{CoreCoord, CoreRangeSet};
 use tensix::{DataFormat, Device, NocId, Result, TensixError, Tile};
-use ttmetal::cb_index::{IN0, IN1, INTERMED0, INTERMED1, INTERMED2, OUT0};
+use ttmetal::cb_index::{IN0, IN1, IN2, IN3, INTERMED0, INTERMED1, INTERMED2, OUT0};
 use ttmetal::{Buffer, CommandQueue, LaunchError, Program, ProgramReport};
 
-use crate::kernels::{ForceComputeKernel, ReaderKernel, WriterKernel};
-use crate::layout::{split_tiles_to_cores, tilize_particles, HostArrays};
+use crate::kernels::{
+    ForceComputeKernel, MatrixForceComputeKernel, MatrixReaderKernel, MatrixWriterKernel,
+    ReaderKernel, WriterKernel,
+};
+use crate::layout::matrix_pages::ATTR_COLS;
+use crate::layout::{
+    bf16_split, diag_damp_tile, matrix_chunks, matrix_operands, num_matrix_blocks,
+    split_tiles_to_cores, tilize_particles, HostArrays, MATRIX_BLOCK,
+};
+
+/// Which inner-loop formulation the device program runs.
+///
+/// Both kernels produce the same physics through different Tensix pipes:
+///
+/// * [`Elementwise`](ForceKernelKind::Elementwise) — the paper's port:
+///   displacement/distance math as SFPU vector ops, one source *particle*
+///   per inner step (lane-broadcast), 32 vector lanes per clock.
+/// * [`Matrix`](ForceKernelKind::Matrix) — the force block reformulated as
+///   blocked matmuls so the bulk of the MACs ride the FPU matrix pipe at
+///   2048 BF16 MACs/clk/core: one 32×32 *block pair* per inner step, with a
+///   compensated FP64 host combine preserving the mixed-precision accuracy
+///   contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ForceKernelKind {
+    /// SFPU vector-pipe formulation (the paper's kernel).
+    #[default]
+    Elementwise,
+    /// FPU matrix-pipe formulation (blocked matmuls + host combine).
+    Matrix,
+}
+
+impl ForceKernelKind {
+    /// CLI name of the kernel (`elementwise` / `matrix`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ForceKernelKind::Elementwise => "elementwise",
+            ForceKernelKind::Matrix => "matrix",
+        }
+    }
+}
+
+impl std::str::FromStr for ForceKernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "elementwise" => Ok(ForceKernelKind::Elementwise),
+            "matrix" => Ok(ForceKernelKind::Matrix),
+            other => Err(format!("unknown force kernel '{other}' (elementwise|matrix)")),
+        }
+    }
+}
 
 /// Accumulated virtual-time cost of the evaluations run so far.
 ///
@@ -51,6 +102,12 @@ pub struct PipelineTiming {
     /// Compute-kernel cycles of the slowest core in the most recent
     /// evaluation.
     pub last_eval_cycles: u64,
+    /// Matrix-pipe (FPU) cycles of the slowest compute instance in the most
+    /// recent evaluation — the per-pipe attribution behind `last_eval_cycles`.
+    pub last_matrix_cycles: u64,
+    /// Vector-pipe (SFPU) cycles of the slowest compute instance in the most
+    /// recent evaluation.
+    pub last_vector_cycles: u64,
     /// Transient-fault retries performed by
     /// [`DeviceForcePipeline::evaluate_with_retry`].
     pub retries: u64,
@@ -80,6 +137,12 @@ impl PipelineTiming {
         self.evaluations += other.evaluations;
         if other.last_eval_cycles > 0 {
             self.last_eval_cycles = other.last_eval_cycles;
+        }
+        if other.last_matrix_cycles > 0 {
+            self.last_matrix_cycles = other.last_matrix_cycles;
+        }
+        if other.last_vector_cycles > 0 {
+            self.last_vector_cycles = other.last_vector_cycles;
         }
         self.retries += other.retries;
         self.retry_backoff_seconds += other.retry_backoff_seconds;
@@ -211,9 +274,17 @@ pub struct DeviceForcePipeline {
     eps: f64,
     num_cores: usize,
     format: DataFormat,
-    target_bufs: [Buffer; 6],
-    source_bufs: [Buffer; 7],
-    output_bufs: [Buffer; 6],
+    kind: ForceKernelKind,
+    /// Source-chunk count of the matrix formulation (1 for elementwise):
+    /// each target block's moment sums are flushed once per chunk, so the
+    /// output buffers hold `num_blocks · num_chunks` partial pages.
+    num_chunks: usize,
+    target_bufs: Vec<Buffer>,
+    source_bufs: Vec<Buffer>,
+    output_bufs: Vec<Buffer>,
+    /// FP32 host view of the most recent input state — the matrix kernel's
+    /// host combine needs the exact quantized operands the device saw.
+    host: Mutex<Option<HostArrays>>,
     /// Per-core `(core, start_tile, tile_count)` of the Fig. 2 outer-loop
     /// split — the ground truth a partial redo validates fault inventories
     /// against.
@@ -260,6 +331,29 @@ impl DeviceForcePipeline {
         num_cores: usize,
         format: DataFormat,
     ) -> Result<Self> {
+        Self::new_with_kernel(device, n, eps, num_cores, format, ForceKernelKind::Elementwise)
+    }
+
+    /// Build the pipeline with an explicit force-kernel formulation (see
+    /// [`ForceKernelKind`]). The matrix kernel requires FP32 storage: its
+    /// FP32 cross matmuls are what keep the r² decomposition free of
+    /// catastrophic cancellation, while the W/G accumulation matmuls
+    /// quantize to BF16 internally regardless of the storage format.
+    ///
+    /// # Errors
+    /// DRAM exhaustion.
+    ///
+    /// # Panics
+    /// Same contract as [`DeviceForcePipeline::new`], plus
+    /// `kind == Matrix && format != Float32`.
+    pub fn new_with_kernel(
+        device: Arc<Device>,
+        n: usize,
+        eps: f64,
+        num_cores: usize,
+        format: DataFormat,
+        kind: ForceKernelKind,
+    ) -> Result<Self> {
         assert!(n > 0, "empty system");
         assert!(eps > 0.0, "device force kernel requires softening > 0");
         let grid = device.grid();
@@ -268,43 +362,66 @@ impl DeviceForcePipeline {
             "core count {num_cores} outside 1..={}",
             grid.num_cores()
         );
+        if kind == ForceKernelKind::Matrix {
+            assert!(
+                format == DataFormat::Float32,
+                "matrix force kernel requires Float32 storage (got {format:?})"
+            );
+        }
         let f = format;
         let num_tiles = n.div_ceil(tensix::TILE_ELEMS);
 
         let mk = |count: usize| Buffer::new(&device, f, count);
-        let target_bufs = [
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-        ];
-        let source_bufs = [mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?, mk(n)?];
-        let output_bufs = [
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-            mk(num_tiles)?,
-        ];
+        let (target_bufs, source_bufs, output_bufs, work_units, num_chunks) = match kind {
+            ForceKernelKind::Elementwise => {
+                let targets: Vec<Buffer> = (0..6).map(|_| mk(num_tiles)).collect::<Result<_>>()?;
+                let sources: Vec<Buffer> = (0..7).map(|_| mk(n)).collect::<Result<_>>()?;
+                let outputs: Vec<Buffer> = (0..6).map(|_| mk(num_tiles)).collect::<Result<_>>()?;
+                (targets, sources, outputs, num_tiles, 1)
+            }
+            ForceKernelKind::Matrix => {
+                let num_blocks = num_matrix_blocks(n);
+                let num_chunks = matrix_chunks(num_blocks).len();
+                let targets: Vec<Buffer> = (0..4).map(|_| mk(num_blocks)).collect::<Result<_>>()?;
+                // 7 per-block operand views + the 1-page diagonal-damping
+                // tile (index 7).
+                let mut sources: Vec<Buffer> =
+                    (0..7).map(|_| mk(num_blocks)).collect::<Result<_>>()?;
+                sources.push(mk(1)?);
+                let outputs: Vec<Buffer> =
+                    (0..2).map(|_| mk(num_blocks * num_chunks)).collect::<Result<_>>()?;
+                (targets, sources, outputs, num_blocks, num_chunks)
+            }
+        };
 
         let cores = CoreRangeSet::first_n(num_cores, grid.x);
-        let program = build_program(
-            &cores,
-            &target_bufs,
-            &source_bufs,
-            &output_bufs,
-            eps,
-            num_tiles,
-            n,
-            num_cores,
-            format,
-        );
+        let program = match kind {
+            ForceKernelKind::Elementwise => build_program(
+                &cores,
+                &target_bufs,
+                &source_bufs,
+                &output_bufs,
+                eps,
+                work_units,
+                n,
+                num_cores,
+                format,
+            ),
+            ForceKernelKind::Matrix => build_matrix_program(
+                &cores,
+                &target_bufs,
+                &source_bufs,
+                &output_bufs,
+                eps,
+                work_units,
+                n,
+                num_cores,
+                num_chunks,
+            ),
+        };
         let core_ranges = cores
             .iter()
-            .zip(split_tiles_to_cores(num_tiles, num_cores))
+            .zip(split_tiles_to_cores(work_units, num_cores))
             .map(|(core, (start, count))| (core, start, count))
             .collect();
 
@@ -316,12 +433,15 @@ impl DeviceForcePipeline {
             eps,
             num_cores,
             format,
+            kind,
+            num_chunks,
             target_bufs,
             source_bufs,
             output_bufs,
             core_ranges,
             timing: Mutex::new(PipelineTiming::default()),
             last_report: Mutex::new(None),
+            host: Mutex::new(None),
         })
     }
 
@@ -353,6 +473,23 @@ impl DeviceForcePipeline {
     #[must_use]
     pub fn format(&self) -> DataFormat {
         self.format
+    }
+
+    /// Which force-kernel formulation the program runs.
+    #[must_use]
+    pub fn kernel_kind(&self) -> ForceKernelKind {
+        self.kind
+    }
+
+    /// Particles per device work unit: the runtime-arg granularity of the
+    /// outer-loop split (a 1024-particle tile for the elementwise kernel, a
+    /// 32-particle block for the matrix kernel).
+    #[must_use]
+    pub fn work_unit_particles(&self) -> usize {
+        match self.kind {
+            ForceKernelKind::Elementwise => tensix::TILE_ELEMS,
+            ForceKernelKind::Matrix => MATRIX_BLOCK,
+        }
     }
 
     /// Accumulated timing.
@@ -420,13 +557,10 @@ impl DeviceForcePipeline {
             t.io_seconds = queue.io_seconds();
             t.evaluations += 1;
             t.busy_cycles += report.timings.iter().map(|k| k.cycles).sum::<u64>();
-            t.last_eval_cycles = report
-                .timings
-                .iter()
-                .filter(|k| k.label == "force-compute")
-                .map(|k| k.cycles)
-                .max()
-                .unwrap_or(0);
+            let compute = || report.timings.iter().filter(|k| k.label == "force-compute");
+            t.last_eval_cycles = compute().map(|k| k.cycles).max().unwrap_or(0);
+            t.last_matrix_cycles = compute().map(|k| k.matrix_cycles).max().unwrap_or(0);
+            t.last_vector_cycles = compute().map(|k| k.vector_cycles).max().unwrap_or(0);
         }
         *self.last_report.lock() = Some(report);
         Ok(forces)
@@ -439,36 +573,115 @@ impl DeviceForcePipeline {
         system: &ParticleSystem,
     ) -> std::result::Result<(), LaunchError> {
         let arrays = HostArrays::from_system(system);
-        let tiled = tilize_particles(&arrays);
-        for (buf, tiles) in self.target_bufs.iter().zip(&tiled.targets) {
-            queue.enqueue_write_buffer(buf, tiles)?;
-        }
-        for (buf, tiles) in self.source_bufs.iter().zip(&tiled.sources) {
-            queue.enqueue_write_buffer(buf, tiles)?;
+        match self.kind {
+            ForceKernelKind::Elementwise => {
+                let tiled = tilize_particles(&arrays);
+                for (buf, tiles) in self.target_bufs.iter().zip(&tiled.targets) {
+                    queue.enqueue_write_buffer(buf, tiles)?;
+                }
+                for (buf, tiles) in self.source_bufs.iter().zip(&tiled.sources) {
+                    queue.enqueue_write_buffer(buf, tiles)?;
+                }
+            }
+            ForceKernelKind::Matrix => {
+                let eps2 = (self.eps * self.eps) as f32;
+                let ops = matrix_operands(&arrays, eps2);
+                for (buf, tiles) in self.target_bufs.iter().zip(&ops.targets) {
+                    queue.enqueue_write_buffer(buf, tiles)?;
+                }
+                for (buf, tiles) in self.source_bufs.iter().zip(&ops.sources) {
+                    queue.enqueue_write_buffer(buf, tiles)?;
+                }
+                queue.enqueue_write_buffer(&self.source_bufs[7], &[diag_damp_tile()])?;
+                *self.host.lock() = Some(arrays);
+            }
         }
         Ok(())
     }
 
-    /// Read the six output buffers back and un-tilize: FP32 device results
-    /// promoted to the FP64 state.
+    /// Read the output buffers back into FP64 forces. Elementwise: six
+    /// per-axis acc/jerk buffers, un-tilized and promoted. Matrix: two
+    /// moment-sum buffers (`num_blocks · num_chunks` partial pages each),
+    /// combined on the host in compensated FP64 (see
+    /// [`Self::combine_moments`]).
     pub(crate) fn read_forces(
         &self,
         queue: &mut CommandQueue,
     ) -> std::result::Result<Forces, LaunchError> {
-        let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
-        for buf in &self.output_bufs {
-            result_tiles.push(queue.enqueue_read_buffer(buf)?);
-        }
-        let mut forces = Forces::zeros(self.n);
-        for axis in 0..3 {
-            let acc = tensix::tile::unpack_vector(&result_tiles[axis], self.n);
-            let jerk = tensix::tile::unpack_vector(&result_tiles[3 + axis], self.n);
-            for i in 0..self.n {
-                forces.acc[i][axis] = f64::from(acc[i]);
-                forces.jerk[i][axis] = f64::from(jerk[i]);
+        match self.kind {
+            ForceKernelKind::Elementwise => {
+                let mut result_tiles: Vec<Vec<Tile>> = Vec::with_capacity(6);
+                for buf in &self.output_bufs {
+                    result_tiles.push(queue.enqueue_read_buffer(buf)?);
+                }
+                let mut forces = Forces::zeros(self.n);
+                for axis in 0..3 {
+                    let acc = tensix::tile::unpack_vector(&result_tiles[axis], self.n);
+                    let jerk = tensix::tile::unpack_vector(&result_tiles[3 + axis], self.n);
+                    for i in 0..self.n {
+                        forces.acc[i][axis] = f64::from(acc[i]);
+                        forces.jerk[i][axis] = f64::from(jerk[i]);
+                    }
+                }
+                Ok(forces)
+            }
+            ForceKernelKind::Matrix => {
+                let w_tiles = queue.enqueue_read_buffer(&self.output_bufs[0])?;
+                let g_tiles = queue.enqueue_read_buffer(&self.output_bufs[1])?;
+                Ok(self.combine_moments(&w_tiles, &g_tiles))
             }
         }
-        Ok(forces)
+    }
+
+    /// The matrix kernel's host-side finish: fold the per-chunk moment sums
+    /// into accelerations and jerks in FP64.
+    ///
+    /// The device returns, per target row `i` of each `(block, chunk)` tile
+    /// pair, the seven W-moments `[Σ W r_j | Σ W v_j | Σ W]` and the G-tile's
+    /// `[Σ G r_j | · | Σ G]` (columns 0‑2, 3‑5, 6). The host completes
+    ///
+    /// ```text
+    /// acc_i  = Σ W r_j − r̃_i Σ W
+    /// jerk_i = (Σ W v_j − ṽ_i Σ W) − (Σ G r_j − r̃_i Σ G)
+    /// ```
+    ///
+    /// where `r̃_i = hi + lo`, `ṽ_i` likewise are the target coordinates
+    /// passed through the same [`bf16_split`] the device's hi/lo `SRC_ATTR`
+    /// pages carry — the exact values the accumulate matmuls multiplied
+    /// into the moments, so the subtraction is consistent to the split's
+    /// ~16 mantissa bits. Chunk partials are summed in FP64; the rounding
+    /// left is the device's own FP32 accumulate plus the BF16 quantization
+    /// of W and G (the accuracy-bound test budgets exactly that).
+    fn combine_moments(&self, w_tiles: &[Tile], g_tiles: &[Tile]) -> Forces {
+        let host = self.host.lock();
+        let arrays = host.as_ref().expect("matrix combine before write_inputs");
+        let mut forces = Forces::zeros(self.n);
+        for i in 0..self.n {
+            let (block, row) = (i / MATRIX_BLOCK, i % MATRIX_BLOCK);
+            let mut m = [0.0f64; ATTR_COLS]; // W-moments: Σ W r | Σ W v | Σ W
+            let mut g = [0.0f64; ATTR_COLS]; // G-moments: Σ G r | unused | Σ G
+            for c in 0..self.num_chunks {
+                let wt = &w_tiles[block * self.num_chunks + c];
+                let gt = &g_tiles[block * self.num_chunks + c];
+                for (k, acc) in m.iter_mut().enumerate() {
+                    *acc += f64::from(wt.get(row, k));
+                }
+                for (k, acc) in g.iter_mut().enumerate() {
+                    *acc += f64::from(gt.get(row, k));
+                }
+            }
+            let sum_w = m[6];
+            let sum_g = g[6];
+            for axis in 0..3 {
+                let (rh, rl) = bf16_split(arrays.pos[axis][i]);
+                let (vh, vl) = bf16_split(arrays.vel[axis][i]);
+                let rq = f64::from(rh) + f64::from(rl);
+                let vq = f64::from(vh) + f64::from(vl);
+                forces.acc[i][axis] = m[axis] - rq * sum_w;
+                forces.jerk[i][axis] = (m[3 + axis] - vq * sum_w) - (g[axis] - rq * sum_g);
+            }
+        }
+        forces
     }
 
     /// [`DeviceForcePipeline::evaluate_checked`] with bounded retries for
@@ -509,9 +722,9 @@ impl DeviceForcePipeline {
 #[allow(clippy::too_many_arguments)]
 fn build_program(
     cores: &CoreRangeSet,
-    targets: &[Buffer; 6],
-    sources: &[Buffer; 7],
-    outputs: &[Buffer; 6],
+    targets: &[Buffer],
+    sources: &[Buffer],
+    outputs: &[Buffer],
     eps: f64,
     num_tiles: usize,
     n: usize,
@@ -532,8 +745,8 @@ fn build_program(
         cores.clone(),
         NocId::Noc0,
         Arc::new(ReaderKernel {
-            targets: targets.each_ref().map(Buffer::reference),
-            sources: sources.each_ref().map(Buffer::reference),
+            targets: std::array::from_fn(|i| targets[i].reference()),
+            sources: std::array::from_fn(|i| sources[i].reference()),
         }),
     );
     let compute = program.add_compute_kernel(
@@ -546,10 +759,93 @@ fn build_program(
         "writer",
         cores.clone(),
         NocId::Noc1,
-        Arc::new(WriterKernel { outputs: outputs.each_ref().map(Buffer::reference) }),
+        Arc::new(WriterKernel { outputs: std::array::from_fn(|i| outputs[i].reference()) }),
     );
 
     let split = split_tiles_to_cores(num_tiles, num_cores);
+    for (core, (start, count)) in cores.iter().zip(split) {
+        let args = vec![start as u32, count as u32, n as u32];
+        program.set_runtime_args(reader, core, args.clone());
+        program.set_runtime_args(compute, core, args.clone());
+        program.set_runtime_args(writer, core, args);
+    }
+    program
+}
+
+/// Assemble the matrix-pipe force program: FP32 operand CBs, BF16 CBs for
+/// the quantized W/G and `SRC_ATTR` pages feeding the full-rate accumulate
+/// matmuls, and runtime args in 32-particle *block* units.
+#[allow(clippy::too_many_arguments)]
+fn build_matrix_program(
+    cores: &CoreRangeSet,
+    targets: &[Buffer],
+    sources: &[Buffer],
+    outputs: &[Buffer],
+    eps: f64,
+    num_blocks: usize,
+    n: usize,
+    num_cores: usize,
+    num_chunks: usize,
+) -> Program {
+    let f32f = DataFormat::Float32;
+    let bf16 = DataFormat::Float16b;
+    let mut program = Program::new();
+    // IN0: 4 target-operand pages per block (A_POS, A_VEL, COL_R2, COL_RV).
+    program.add_circular_buffer(cores.clone(), IN0, CircularBufferConfig::new(8, f32f));
+    // IN1: 5 FP32 source pages per source block.
+    program.add_circular_buffer(cores.clone(), IN1, CircularBufferConfig::new(10, f32f));
+    // IN2: the BF16 SRC_ATTR hi/lo pages (quantized once by the cached read).
+    program.add_circular_buffer(cores.clone(), IN2, CircularBufferConfig::new(4, bf16));
+    // IN3: the FP32 diagonal-damping page, read once and held.
+    program.add_circular_buffer(cores.clone(), IN3, CircularBufferConfig::new(1, f32f));
+    // INTERMED0: W and G, quantized to BF16 on pack for the matrix pipe.
+    program.add_circular_buffer(cores.clone(), INTERMED0, CircularBufferConfig::new(4, bf16));
+    // INTERMED1: FP32 W/G staging for the hi/lo residual pass.
+    program.add_circular_buffer(cores.clone(), INTERMED1, CircularBufferConfig::new(2, f32f));
+    // INTERMED2: the FP32 moment-accumulator ring (W-moments, G-moments).
+    program.add_circular_buffer(cores.clone(), INTERMED2, CircularBufferConfig::new(4, f32f));
+    program.add_circular_buffer(cores.clone(), OUT0, CircularBufferConfig::new(4, f32f));
+
+    let reader = program.add_data_movement_kernel(
+        "reader",
+        cores.clone(),
+        NocId::Noc0,
+        Arc::new(MatrixReaderKernel {
+            targets: [
+                targets[0].reference(),
+                targets[1].reference(),
+                targets[2].reference(),
+                targets[3].reference(),
+            ],
+            sources: [
+                sources[0].reference(),
+                sources[1].reference(),
+                sources[2].reference(),
+                sources[3].reference(),
+                sources[4].reference(),
+                sources[5].reference(),
+                sources[6].reference(),
+            ],
+            diag: sources[7].reference(),
+        }),
+    );
+    let compute = program.add_compute_kernel(
+        "force-compute",
+        cores.clone(),
+        f32f,
+        Arc::new(MatrixForceComputeKernel { eps_squared: (eps * eps) as f32 }),
+    );
+    let writer = program.add_data_movement_kernel(
+        "writer",
+        cores.clone(),
+        NocId::Noc1,
+        Arc::new(MatrixWriterKernel {
+            outputs: [outputs[0].reference(), outputs[1].reference()],
+            num_chunks,
+        }),
+    );
+
+    let split = split_tiles_to_cores(num_blocks, num_cores);
     for (core, (start, count)) in cores.iter().zip(split) {
         let args = vec![start as u32, count as u32, n as u32];
         program.set_runtime_args(reader, core, args.clone());
@@ -673,6 +969,81 @@ mod tests {
         let part = k.compute_range(&sys, 10, 20);
         assert_eq!(part.len(), 10);
         assert_eq!(part.acc[0], full.acc[10]);
+    }
+
+    #[test]
+    fn matrix_kernel_matches_golden() {
+        let sys = plummer(PlummerConfig { n: 96, seed: 90, ..PlummerConfig::default() });
+        let eps = 0.01;
+        let pipeline = DeviceForcePipeline::new_with_kernel(
+            device(),
+            sys.len(),
+            eps,
+            1,
+            DataFormat::Float32,
+            ForceKernelKind::Matrix,
+        )
+        .unwrap();
+        assert_eq!(pipeline.kernel_kind(), ForceKernelKind::Matrix);
+        assert_eq!(pipeline.work_unit_particles(), 32);
+        let dev = pipeline.evaluate(&sys).unwrap();
+        let golden = ReferenceKernel::new(eps).compute(&sys);
+        let cmp = compare_forces(&golden, &dev);
+        assert!(
+            cmp.passes(),
+            "acc err {:.2e}, jerk err {:.2e}",
+            cmp.max_acc_error,
+            cmp.max_jerk_error
+        );
+        let t = pipeline.timing();
+        assert_eq!(t.evaluations, 1);
+        assert!(t.last_matrix_cycles > 0, "matrix kernel must charge the matrix pipe");
+        assert!(t.last_vector_cycles > 0, "SFPU rsqrt chain must charge the vector pipe");
+    }
+
+    #[test]
+    fn matrix_kernel_multi_core_multi_block() {
+        // 3 target tiles' worth of blocks over 2 cores, n not a multiple of
+        // 32: exercises padding, chunking and the block-unit outer split.
+        // Tolerances are 5× the paper's: the decomposed quadratic forms
+        // (s² and d·dv from |r|²/r·v moments) amplify FP32 rounding by
+        // ~|r|²/s² at the closest pairs — the matrix formulation's
+        // systematic cost, budgeted precisely by the accuracy-bound test.
+        let n = 2048 + 500;
+        let sys = plummer(PlummerConfig { n, seed: 91, ..PlummerConfig::default() });
+        let eps = 0.02;
+        let pipeline = DeviceForcePipeline::new_with_kernel(
+            device(),
+            n,
+            eps,
+            2,
+            DataFormat::Float32,
+            ForceKernelKind::Matrix,
+        )
+        .unwrap();
+        let dev = pipeline.evaluate(&sys).unwrap();
+        let golden = ReferenceKernel::new(eps).compute(&sys);
+        let cmp = compare_forces(&golden, &dev);
+        assert!(
+            cmp.max_acc_error <= 5.0 * nbody::accuracy::ACC_TOLERANCE
+                && cmp.max_jerk_error <= 5.0 * nbody::accuracy::JERK_TOLERANCE,
+            "acc err {:.2e}, jerk err {:.2e}",
+            cmp.max_acc_error,
+            cmp.max_jerk_error
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires Float32 storage")]
+    fn matrix_kernel_rejects_bf16_storage() {
+        let _ = DeviceForcePipeline::new_with_kernel(
+            device(),
+            64,
+            0.01,
+            1,
+            DataFormat::Float16b,
+            ForceKernelKind::Matrix,
+        );
     }
 
     #[test]

@@ -467,9 +467,27 @@ mod tests {
         ProgramReport {
             seconds: 1e-6,
             timings: vec![
-                KernelTiming { core_index: 0, label: "reader".into(), cycles: 600 },
-                KernelTiming { core_index: 0, label: "force-compute".into(), cycles: 1000 },
-                KernelTiming { core_index: 0, label: "writer".into(), cycles: 400 },
+                KernelTiming {
+                    core_index: 0,
+                    label: "reader".into(),
+                    cycles: 600,
+                    matrix_cycles: 0,
+                    vector_cycles: 0,
+                },
+                KernelTiming {
+                    core_index: 0,
+                    label: "force-compute".into(),
+                    cycles: 1000,
+                    matrix_cycles: 400,
+                    vector_cycles: 600,
+                },
+                KernelTiming {
+                    core_index: 0,
+                    label: "writer".into(),
+                    cycles: 400,
+                    matrix_cycles: 0,
+                    vector_cycles: 0,
+                },
             ],
             cb_stats: vec![
                 CbReport {

@@ -41,6 +41,7 @@ use nbody_tt::{
     run_simulation_resilient, ForceEvaluator, MultiDevicePipeline, PipelineTiming, RecoveryConfig,
     ResilientOutcome, RetryPolicy, SingleCardEvaluator, SpillConfig, TreeForceEvaluator,
 };
+use tensix::catalog::DeviceArch;
 use tensix::{
     backend_storm, BackendStorm, Device, DeviceConfig, FaultClass, StormConfig, TensixError,
 };
@@ -156,6 +157,8 @@ pub struct ServerConfig {
     pub spill_dir: PathBuf,
     /// Flight-recorder tuning (always-on bounded ring + post-mortems).
     pub flight: FlightConfig,
+    /// Catalog part every fleet device is built as (grid + cost tables).
+    pub arch: DeviceArch,
 }
 
 impl Default for ServerConfig {
@@ -172,6 +175,7 @@ impl Default for ServerConfig {
             cpu_pairs_per_s: 2.0e8,
             spill_dir: std::env::temp_dir(),
             flight: FlightConfig::default(),
+            arch: DeviceArch::n300(),
         }
     }
 }
@@ -434,7 +438,7 @@ impl<'a> Campaign<'a> {
                         seed,
                         faults: self.slots[slot].storm.faults,
                         reset_failure_prob: 0.0,
-                        ..DeviceConfig::default()
+                        ..self.cfg.arch.device_config()
                     },
                 )
             })
@@ -592,7 +596,7 @@ impl<'a> Campaign<'a> {
             BackendClass::Device => {
                 let dev = Device::new(
                     usize::MAX / 2, // outside fleet ids; fault-free
-                    DeviceConfig { reset_failure_prob: 0.0, ..DeviceConfig::default() },
+                    DeviceConfig { reset_failure_prob: 0.0, ..self.cfg.arch.device_config() },
                 );
                 let eval = Arc::new(
                     SingleCardEvaluator::new(dev, req.n, req.sim.eps, req.sim.num_cores)

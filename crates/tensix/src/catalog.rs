@@ -1,0 +1,325 @@
+//! Declarative device catalog — hardware parts as data, not code.
+//!
+//! Modeled on tenstorrent/polaris' `tt_wh.yaml` device descriptions: one
+//! [`DeviceArch`] entry names a part (n150, n300, or a custom spec) and
+//! carries the per-pipe throughputs, core grid, clock and DRAM geometry
+//! that the cost tables and the analytic performance model derive from.
+//! The built-in entries reproduce the repo's calibrated n300 numbers
+//! exactly — [`DeviceArch::cost_model`] of either built-in part equals
+//! [`CostModel::default`] — so swapping the hard-coded constants for
+//! catalog lookups changes no paper-pinned result.
+//!
+//! Per-pipe throughputs (polaris `tt_wh.yaml`, Snippet 3): the matrix pipe
+//! retires 2048 bf16 MACs/clk per core (half rate in FP32), the vector
+//! (SFPU) pipe 32 fp32 lanes/clk. A 32×32×32 tile matmul is therefore
+//! 32768/2048 = 16 cycles in BF16 and 32 cycles in FP32; a 1024-lane
+//! element-wise SFPU op is 32 cycles.
+
+use crate::cost::{ComputeCosts, CostModel, DramCosts};
+use crate::device::DeviceConfig;
+use crate::grid::GridSize;
+use crate::tile::{TILE_DIM, TILE_ELEMS};
+
+/// MACs in one 32×32×32 tile matmul.
+const TILE_MACS: u64 = (TILE_DIM * TILE_DIM * TILE_DIM) as u64;
+
+/// One catalog entry: a Wormhole-family part described by data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceArch {
+    /// Part name (`n150`, `n300`, or a custom label).
+    pub name: String,
+    /// Chips on the card (n150: 1, n300: 2). Each chip is one simulated
+    /// [`crate::Device`]; a multi-chip card runs as an Ethernet ring of
+    /// per-chip devices.
+    pub chips: usize,
+    /// Tensix core grid per chip (n150: 8×9 = 72, n300: 8×8 = 64).
+    pub grid: GridSize,
+    /// Tensix clock in GHz.
+    pub clock_ghz: f64,
+    /// Matrix-pipe (FPU) throughput per core: bf16 MACs per clock. FP32
+    /// runs at half this rate.
+    pub matrix_bf16_macs_per_clk: u64,
+    /// Vector-pipe (SFPU) throughput per core: fp32 lanes per clock.
+    pub vector_fp32_lanes_per_clk: u64,
+    /// GDDR6 channels per chip.
+    pub dram_channels: usize,
+    /// Bandwidth per DRAM channel, GB/s.
+    pub dram_gbps_per_channel: f64,
+    /// Ethernet links per chip (for ring scaling).
+    pub eth_links: usize,
+}
+
+impl DeviceArch {
+    /// The n150 card: one chip, 8×9 = 72 Tensix cores, 6 GDDR6 channels.
+    #[must_use]
+    pub fn n150() -> Self {
+        DeviceArch {
+            name: "n150".into(),
+            chips: 1,
+            grid: GridSize { x: 8, y: 9 },
+            clock_ghz: 1.0,
+            matrix_bf16_macs_per_clk: 2048,
+            vector_fp32_lanes_per_clk: 32,
+            dram_channels: 6,
+            dram_gbps_per_channel: 48.0,
+            eth_links: 16,
+        }
+    }
+
+    /// The n300 card: two chips of 8×8 = 64 Tensix cores (128 total) — the
+    /// paper's part; its per-chip numbers are the repo's calibrated
+    /// defaults.
+    #[must_use]
+    pub fn n300() -> Self {
+        DeviceArch {
+            name: "n300".into(),
+            chips: 2,
+            grid: GridSize::WORMHOLE,
+            clock_ghz: 1.0,
+            matrix_bf16_macs_per_clk: 2048,
+            vector_fp32_lanes_per_clk: 32,
+            dram_channels: 6,
+            dram_gbps_per_channel: 48.0,
+            eth_links: 16,
+        }
+    }
+
+    /// Tensix cores on one chip.
+    #[must_use]
+    pub fn cores_per_chip(&self) -> usize {
+        self.grid.num_cores()
+    }
+
+    /// Tensix cores on the whole card (all chips).
+    #[must_use]
+    pub fn total_cores(&self) -> usize {
+        self.chips * self.cores_per_chip()
+    }
+
+    /// Clock in Hz.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1.0e9
+    }
+
+    /// Aggregate DRAM bandwidth per chip, bytes/s.
+    #[must_use]
+    pub fn dram_bytes_per_s(&self) -> f64 {
+        self.dram_channels as f64 * self.dram_gbps_per_channel * 1.0e9
+    }
+
+    /// Cycles for one tile matmul at the BF16 matrix-pipe rate.
+    #[must_use]
+    pub fn matmul_cycles_bf16(&self) -> u64 {
+        TILE_MACS.div_ceil(self.matrix_bf16_macs_per_clk)
+    }
+
+    /// Cycles for one tile matmul at the FP32 rate (half the BF16 MACs).
+    #[must_use]
+    pub fn matmul_cycles_fp32(&self) -> u64 {
+        TILE_MACS.div_ceil(self.matrix_bf16_macs_per_clk / 2)
+    }
+
+    /// Cycles for one 1024-lane SFPU op.
+    #[must_use]
+    pub fn sfpu_cycles(&self) -> u64 {
+        (TILE_ELEMS as u64).div_ceil(self.vector_fp32_lanes_per_clk)
+    }
+
+    /// Derive the cycle/bandwidth cost tables from the pipe throughputs.
+    /// For the built-in parts this equals [`CostModel::default`].
+    #[must_use]
+    pub fn cost_model(&self) -> CostModel {
+        let sfpu = self.sfpu_cycles();
+        CostModel {
+            compute: ComputeCosts {
+                sfpu_simple: sfpu,
+                sfpu_transcendental: 4 * sfpu,
+                sfpu_mad: sfpu,
+                fpu_matmul: self.matmul_cycles_fp32(),
+                fpu_matmul_bf16: self.matmul_cycles_bf16(),
+                ..ComputeCosts::default()
+            },
+            dram: DramCosts {
+                bandwidth_bytes_per_s: self.dram_bytes_per_s(),
+                ..DramCosts::default()
+            },
+            ..CostModel::default()
+        }
+    }
+
+    /// Device configuration for one chip of this part (grid + cost tables;
+    /// fault/seed fields at their defaults).
+    #[must_use]
+    pub fn device_config(&self) -> DeviceConfig {
+        DeviceConfig { grid: self.grid, costs: self.cost_model(), ..DeviceConfig::default() }
+    }
+
+    /// One-line human summary (grepped by the CI smoke).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "device catalog: {} | {} chip(s) x {} cores @ {:.2} GHz | \
+             matrix {} bf16 MACs/clk/core (fp32 half rate) | \
+             vector {} fp32 lanes/clk/core | DRAM {} ch, {:.0} GB/s | eth {} links",
+            self.name,
+            self.chips,
+            self.cores_per_chip(),
+            self.clock_ghz,
+            self.matrix_bf16_macs_per_clk,
+            self.vector_fp32_lanes_per_clk,
+            self.dram_channels,
+            self.dram_bytes_per_s() / 1.0e9,
+            self.eth_links
+        )
+    }
+
+    /// Parse an `--arch` spec: a built-in name (`n150`, `n300`) or a custom
+    /// `key=value` list, e.g.
+    /// `name=lab1,chips=1,grid=4x4,clock_ghz=0.8,bf16_macs=1024,vector_lanes=32,dram_channels=4,dram_gbps=32,eth_links=8`.
+    /// Unspecified custom keys inherit the n300 per-chip values.
+    ///
+    /// # Errors
+    /// A human-readable message for unknown names, malformed pairs or
+    /// out-of-range values.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(arch) = DeviceCatalog::builtin().get(spec) {
+            return Ok(arch.clone());
+        }
+        if !spec.contains('=') {
+            return Err(format!(
+                "unknown arch '{spec}'; expected one of [{}] or a key=value spec",
+                DeviceCatalog::builtin().names().join(", ")
+            ));
+        }
+        let mut arch = DeviceArch { name: "custom".into(), chips: 1, ..DeviceArch::n300() };
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed arch field '{pair}' (expected key=value)"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let int = |v: &str| v.parse::<u64>().map_err(|e| format!("arch field {key}: {e}"));
+            let float = |v: &str| v.parse::<f64>().map_err(|e| format!("arch field {key}: {e}"));
+            match key {
+                "name" => arch.name = value.to_string(),
+                "chips" => arch.chips = int(value)? as usize,
+                "grid" => {
+                    let (x, y) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("arch grid '{value}' (expected <x>x<y>)"))?;
+                    arch.grid = GridSize {
+                        x: x.parse().map_err(|e| format!("arch grid x: {e}"))?,
+                        y: y.parse().map_err(|e| format!("arch grid y: {e}"))?,
+                    };
+                }
+                "clock_ghz" => arch.clock_ghz = float(value)?,
+                "bf16_macs" => arch.matrix_bf16_macs_per_clk = int(value)?,
+                "vector_lanes" => arch.vector_fp32_lanes_per_clk = int(value)?,
+                "dram_channels" => arch.dram_channels = int(value)? as usize,
+                "dram_gbps" => arch.dram_gbps_per_channel = float(value)?,
+                "eth_links" => arch.eth_links = int(value)? as usize,
+                other => return Err(format!("unknown arch field '{other}'")),
+            }
+        }
+        if arch.chips == 0
+            || arch.grid.num_cores() == 0
+            || arch.clock_ghz <= 0.0
+            || arch.matrix_bf16_macs_per_clk < 2
+            || arch.vector_fp32_lanes_per_clk == 0
+            || arch.dram_channels == 0
+            || arch.dram_gbps_per_channel <= 0.0
+        {
+            return Err(format!("arch '{}' has a zero/negative capability", arch.name));
+        }
+        Ok(arch)
+    }
+}
+
+/// The set of known parts.
+#[derive(Debug, Clone)]
+pub struct DeviceCatalog {
+    entries: Vec<DeviceArch>,
+}
+
+impl DeviceCatalog {
+    /// The built-in catalog: n150 and n300.
+    #[must_use]
+    pub fn builtin() -> Self {
+        DeviceCatalog { entries: vec![DeviceArch::n150(), DeviceArch::n300()] }
+    }
+
+    /// Look up a part by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&DeviceArch> {
+        self.entries.iter().find(|a| a.name == name)
+    }
+
+    /// All part names.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// All entries.
+    #[must_use]
+    pub fn entries(&self) -> &[DeviceArch] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_parts_match_calibrated_defaults() {
+        // The catalog must not perturb any paper-pinned number: both parts
+        // derive exactly the repo's default cost tables.
+        for arch in DeviceCatalog::builtin().entries() {
+            assert_eq!(arch.cost_model(), CostModel::default(), "{}", arch.name);
+        }
+        assert_eq!(DeviceArch::n150().total_cores(), 72);
+        assert_eq!(DeviceArch::n300().total_cores(), 128);
+        assert_eq!(DeviceArch::n300().cores_per_chip(), 64);
+        assert_eq!(DeviceArch::n300().device_config().grid, GridSize::WORMHOLE);
+    }
+
+    #[test]
+    fn pipe_rates_follow_polaris_ratios() {
+        let a = DeviceArch::n300();
+        assert_eq!(a.matmul_cycles_bf16(), 16, "32768 MACs / 2048 per clk");
+        assert_eq!(a.matmul_cycles_fp32(), 32, "fp32 at half rate");
+        assert_eq!(a.sfpu_cycles(), 32, "1024 lanes / 32 per clk");
+        assert!((a.dram_bytes_per_s() - 288.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn parse_builtin_and_custom() {
+        assert_eq!(DeviceArch::parse("n150").unwrap(), DeviceArch::n150());
+        let custom = DeviceArch::parse(
+            "name=lab1,chips=1,grid=4x4,clock_ghz=0.8,bf16_macs=1024,dram_channels=4",
+        )
+        .unwrap();
+        assert_eq!(custom.name, "lab1");
+        assert_eq!(custom.cores_per_chip(), 16);
+        assert_eq!(custom.matmul_cycles_bf16(), 32, "half the MAC rate, twice the cycles");
+        assert!((custom.dram_bytes_per_s() - 4.0 * 48.0e9).abs() < 1.0);
+        assert_eq!(custom.vector_fp32_lanes_per_clk, 32, "unset keys inherit n300");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DeviceArch::parse("p100").unwrap_err().contains("unknown arch"));
+        assert!(DeviceArch::parse("name=x,grid=9").is_err());
+        assert!(DeviceArch::parse("name=x,teeth=9").unwrap_err().contains("unknown arch field"));
+        assert!(DeviceArch::parse("name=x,chips=0").unwrap_err().contains("zero/negative"));
+    }
+
+    #[test]
+    fn summary_names_the_part_and_pipes() {
+        let s = DeviceArch::n150().summary();
+        assert!(s.starts_with("device catalog: n150"));
+        assert!(s.contains("72 cores"));
+        assert!(s.contains("matrix 2048 bf16 MACs/clk"));
+    }
+}

@@ -16,6 +16,7 @@
 //! dataflow execution model described in the paper.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +32,44 @@ use crate::tile::Tile;
 /// [`CircularBuffer::with_timeout`] (the command queue wires in the device's
 /// `watchdog` setting).
 pub const CB_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Lock-free predicate re-checks before a blocked CB primitive takes the
+/// mutex and parks on the condvar. With zero-copy (`Arc`) pages the
+/// critical sections around a page hand-off are tens of nanoseconds, so a
+/// streaming producer/consumer pair otherwise degenerates into one futex
+/// park/wake per page. Polling the occupancy mirrors (maintained outside
+/// the lock) lets the peer's next push/pop land first and recovers the
+/// hand-off without that round trip — the software analogue of a Tensix
+/// core polling its CB read/write pointers in L1. A short `spin_loop`
+/// burst catches a peer running on another hardware thread; after that a
+/// bounded run of `yield_now` hands the timeslice directly to the peer,
+/// which is the case that matters on oversubscribed or single-CPU hosts
+/// (one `sched_yield` instead of a futex park *plus* the peer's wake).
+/// Stall *statistics* are unaffected (a failed first check counts as a
+/// stall either way).
+const SPIN_RECHECKS: usize = 16;
+
+/// `yield_now` handoffs after the spin burst; see [`SPIN_RECHECKS`].
+const YIELD_RECHECKS: usize = 256;
+
+/// Poll `ready` through the spin-then-yield ladder before the caller falls
+/// back to parking. Returns `true` if the predicate was ever observed
+/// unsatisfied (i.e. the caller stalled).
+fn poll_before_park(ready: impl Fn() -> bool) -> bool {
+    let mut stalled = false;
+    for round in 0..SPIN_RECHECKS + YIELD_RECHECKS {
+        if ready() {
+            return stalled;
+        }
+        stalled = true;
+        if round < SPIN_RECHECKS {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    stalled
+}
 
 /// Static configuration of one circular buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +128,21 @@ struct CbState {
     poisoned: bool,
 }
 
+/// The shared ring: guarded state plus lock-free occupancy mirrors that
+/// waiters spin on before parking (see [`SPIN_RECHECKS`]). The mirrors are
+/// only ever *written* under the mutex, so a reader that observes its
+/// predicate satisfied and then takes the lock re-checks against the exact
+/// state — the spin is a hint, never an authority.
+#[derive(Debug)]
+struct CbShared {
+    state: Mutex<CbState>,
+    cvar: Condvar,
+    /// Mirror of `state.visible.len()`.
+    visible_count: AtomicUsize,
+    /// Mirror of `state.visible.len() + state.reserved`.
+    used_count: AtomicUsize,
+}
+
 /// A circular buffer shared between the kernels of one core.
 ///
 /// Cloning the handle is cheap (an `Arc`); all clones refer to the same ring.
@@ -96,7 +150,7 @@ struct CbState {
 pub struct CircularBuffer {
     config: CircularBufferConfig,
     timeout: Duration,
-    inner: Arc<(Mutex<CbState>, Condvar)>,
+    inner: Arc<CbShared>,
 }
 
 impl CircularBuffer {
@@ -112,16 +166,18 @@ impl CircularBuffer {
         CircularBuffer {
             config,
             timeout,
-            inner: Arc::new((
-                Mutex::new(CbState {
+            inner: Arc::new(CbShared {
+                state: Mutex::new(CbState {
                     visible: VecDeque::with_capacity(config.num_pages),
                     staged: VecDeque::new(),
                     reserved: 0,
                     stats: CbStats::default(),
                     poisoned: false,
                 }),
-                Condvar::new(),
-            )),
+                cvar: Condvar::new(),
+                visible_count: AtomicUsize::new(0),
+                used_count: AtomicUsize::new(0),
+            }),
         }
     }
 
@@ -146,9 +202,13 @@ impl CircularBuffer {
             "cb_reserve_back({n}) exceeds capacity {} — permanent hang on hardware",
             self.config.num_pages
         );
-        let (lock, cvar) = &*self.inner;
-        let mut st = lock.lock();
-        let mut stalled = false;
+        let inner = &*self.inner;
+        // Lock-free fast path: poll the occupancy mirror while the ring
+        // looks full, so the consumer's next pop is caught without a park.
+        let mut stalled = poll_before_park(|| {
+            inner.used_count.load(Ordering::Acquire) + n <= self.config.num_pages
+        });
+        let mut st = inner.state.lock();
         while st.visible.len() + st.reserved + n > self.config.num_pages {
             if st.poisoned {
                 raise_interrupt(
@@ -157,7 +217,7 @@ impl CircularBuffer {
                 );
             }
             stalled = true;
-            let timed_out = cvar.wait_for(&mut st, self.timeout).timed_out();
+            let timed_out = inner.cvar.wait_for(&mut st, self.timeout).timed_out();
             if timed_out && !st.poisoned {
                 raise_interrupt(
                     InterruptKind::DeadlockTimeout,
@@ -170,6 +230,7 @@ impl CircularBuffer {
         }
         st.reserved += n;
         let occ = st.visible.len() + st.reserved;
+        inner.used_count.store(occ, Ordering::Release);
         st.stats.max_occupancy = st.stats.max_occupancy.max(occ);
         stalled
     }
@@ -181,8 +242,7 @@ impl CircularBuffer {
     /// # Panics
     /// Panics if no reserved space remains.
     pub fn write_tile(&self, tile: &Tile) {
-        let (lock, _) = &*self.inner;
-        let mut st = lock.lock();
+        let mut st = self.inner.state.lock();
         assert!(
             st.staged.len() < st.reserved,
             "write_tile without reserved space (staged {}, reserved {})",
@@ -202,8 +262,8 @@ impl CircularBuffer {
     /// # Panics
     /// Panics if fewer than `n` pages are staged.
     pub fn push_back(&self, n: usize) {
-        let (lock, cvar) = &*self.inner;
-        let mut st = lock.lock();
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
         assert!(
             st.staged.len() >= n && st.reserved >= n,
             "cb_push_back({n}) without matching reserve/write (staged {}, reserved {})",
@@ -216,7 +276,8 @@ impl CircularBuffer {
         }
         st.reserved -= n;
         st.stats.pages_pushed += n as u64;
-        cvar.notify_all();
+        inner.visible_count.store(st.visible.len(), Ordering::Release);
+        inner.cvar.notify_all();
     }
 
     /// Block until `n` pages are visible to the consumer. Returns `true`
@@ -232,9 +293,10 @@ impl CircularBuffer {
             "cb_wait_front({n}) exceeds capacity {} — permanent hang on hardware",
             self.config.num_pages
         );
-        let (lock, cvar) = &*self.inner;
-        let mut st = lock.lock();
-        let mut stalled = false;
+        let inner = &*self.inner;
+        // Lock-free fast path; see `reserve_back`.
+        let mut stalled = poll_before_park(|| inner.visible_count.load(Ordering::Acquire) >= n);
+        let mut st = inner.state.lock();
         while st.visible.len() < n {
             if st.poisoned {
                 raise_interrupt(
@@ -243,7 +305,7 @@ impl CircularBuffer {
                 );
             }
             stalled = true;
-            let timed_out = cvar.wait_for(&mut st, self.timeout).timed_out();
+            let timed_out = inner.cvar.wait_for(&mut st, self.timeout).timed_out();
             if timed_out && !st.poisoned {
                 raise_interrupt(
                     InterruptKind::DeadlockTimeout,
@@ -266,8 +328,7 @@ impl CircularBuffer {
     /// [`CircularBuffer::wait_front`] first).
     #[must_use]
     pub fn peek_tile(&self, idx: usize) -> Tile {
-        let (lock, _) = &*self.inner;
-        let st = lock.lock();
+        let st = self.inner.state.lock();
         st.visible
             .get(idx)
             .unwrap_or_else(|| {
@@ -281,8 +342,8 @@ impl CircularBuffer {
     /// # Panics
     /// Panics if fewer than `n` pages are visible.
     pub fn pop_front(&self, n: usize) {
-        let (lock, cvar) = &*self.inner;
-        let mut st = lock.lock();
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
         assert!(
             st.visible.len() >= n,
             "cb_pop_front({n}) with only {} visible pages",
@@ -290,19 +351,21 @@ impl CircularBuffer {
         );
         st.visible.drain(..n);
         st.stats.pages_popped += n as u64;
-        cvar.notify_all();
+        inner.visible_count.store(st.visible.len(), Ordering::Release);
+        inner.used_count.store(st.visible.len() + st.reserved, Ordering::Release);
+        inner.cvar.notify_all();
     }
 
     /// Pages currently visible to the consumer.
     #[must_use]
     pub fn pages_visible(&self) -> usize {
-        self.inner.0.lock().visible.len()
+        self.inner.state.lock().visible.len()
     }
 
     /// Lifetime statistics.
     #[must_use]
     pub fn stats(&self) -> CbStats {
-        self.inner.0.lock().stats
+        self.inner.state.lock().stats
     }
 
     /// Poison the CB, waking any blocked kernel with a typed
@@ -310,9 +373,8 @@ impl CircularBuffer {
     /// [`InterruptKind::Poisoned`]. Used on abnormal program teardown so
     /// sibling kernels unwind cleanly instead of deadlocking.
     pub fn poison(&self) {
-        let (lock, cvar) = &*self.inner;
-        lock.lock().poisoned = true;
-        cvar.notify_all();
+        self.inner.state.lock().poisoned = true;
+        self.inner.cvar.notify_all();
     }
 }
 

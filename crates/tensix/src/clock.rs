@@ -42,7 +42,7 @@ impl CycleCounter {
 }
 
 /// Timing record of one kernel run, labelled for reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct KernelTiming {
     /// Human-readable kernel label ("reader", "compute", "writer").
     pub label: String,
@@ -50,6 +50,12 @@ pub struct KernelTiming {
     pub core_index: usize,
     /// Cycles the kernel accumulated.
     pub cycles: u64,
+    /// Cycles attributed to the matrix (FPU) pipe: matmuls, FPU element-wise
+    /// and broadcast ops, reductions. Zero for data-movement kernels.
+    pub matrix_cycles: u64,
+    /// Cycles attributed to the vector (SFPU) pipe: transcendentals, unary
+    /// and binary lane ops, fills and scales. Zero for data-movement kernels.
+    pub vector_cycles: u64,
 }
 
 /// Device time for a set of concurrently executed kernels: the slowest
@@ -113,10 +119,15 @@ mod tests {
     fn program_time_is_slowest_kernel() {
         let model = CostModel::default();
         let timings = vec![
-            KernelTiming { label: "reader".into(), core_index: 0, cycles: 5_000 },
-            KernelTiming { label: "compute".into(), core_index: 0, cycles: 20_000 },
-            KernelTiming { label: "writer".into(), core_index: 0, cycles: 1_000 },
-            KernelTiming { label: "compute".into(), core_index: 1, cycles: 18_000 },
+            KernelTiming { label: "reader".into(), cycles: 5_000, ..KernelTiming::default() },
+            KernelTiming { label: "compute".into(), cycles: 20_000, ..KernelTiming::default() },
+            KernelTiming { label: "writer".into(), cycles: 1_000, ..KernelTiming::default() },
+            KernelTiming {
+                label: "compute".into(),
+                core_index: 1,
+                cycles: 18_000,
+                ..KernelTiming::default()
+            },
         ];
         assert!((program_seconds(&model, &timings) - 20e-6).abs() < 1e-12);
         assert_eq!(program_seconds(&model, &[]), 0.0);

@@ -27,6 +27,11 @@ pub struct ComputeCosts {
     /// rate in FP32 → 32 cycles; we charge the FP32 rate since the paper's
     /// kernel runs FP32).
     pub fpu_matmul: u64,
+    /// FPU tile×tile matmul at the full 16-bit MAC rate (32³ MACs at
+    /// 2048 MACs/cycle → 16 cycles), charged when both source operands are
+    /// 16-bit-or-narrower formats (BF16/FP16/BFP8). The matrix-pipe force
+    /// kernel rides this rate for its accumulation matmuls.
+    pub fpu_matmul_bf16: u64,
     /// FPU element-wise binary op via srcA/srcB (sub_tiles/add_tiles/
     /// mul_tiles); the tensor datapath retires 64 lanes/cycle.
     pub fpu_eltwise: u64,
@@ -52,6 +57,7 @@ impl Default for ComputeCosts {
             sfpu_transcendental: 128,
             sfpu_mad: 32,
             fpu_matmul: 32,
+            fpu_matmul_bf16: 16,
             fpu_eltwise: 16,
             fpu_reduce: 32,
             unpack_tile: 16,
@@ -142,6 +148,14 @@ mod tests {
         // 1024 elements / 32 lanes = 32 cycles.
         assert_eq!(c.sfpu_simple, 1024 / 32);
         assert!(c.sfpu_transcendental > c.sfpu_simple);
+    }
+
+    #[test]
+    fn bf16_matmul_is_double_rate() {
+        let c = ComputeCosts::default();
+        // 32768 MACs at 2048/clk in 16-bit, half rate in FP32.
+        assert_eq!(c.fpu_matmul_bf16, 32_768 / 2048);
+        assert_eq!(c.fpu_matmul, 2 * c.fpu_matmul_bf16);
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub enum BroadcastDim {
     Scalar,
 }
 
+/// Cycle cost of one tile matmul: the matrix pipe retires twice the MACs
+/// per clock when both source operands are 16-bit-or-narrower formats
+/// (BF16/FP16/BFP8 — the unpacker feeds srcA/srcB without widening the
+/// datapath), so those matmuls are charged the `fpu_matmul_bf16` rate.
+/// Mixed or FP32 operands pay the full-precision rate.
+fn matmul_cost(costs: &ComputeCosts, a: &Tile, b: &Tile) -> u64 {
+    let narrow = a.format().element_bytes() <= 2 && b.format().element_bytes() <= 2;
+    let rate = if narrow { costs.fpu_matmul_bf16 } else { costs.fpu_matmul };
+    costs.issue_overhead + rate
+}
+
 /// Dense tile matmul: `a (32×32) × b (32×32)`, accumulating into `acc` when
 /// `accumulate` is set (matmul with dst accumulation). Returns cycle cost.
 ///
@@ -52,7 +63,7 @@ pub fn matmul_tiles(
             }
         }
     }
-    costs.issue_overhead + costs.fpu_matmul
+    matmul_cost(costs, a, b)
 }
 
 /// Element-wise binary op through the FPU datapath (`sub_tiles` etc.):
@@ -197,7 +208,7 @@ pub mod reference {
                 out[i * TILE_DIM + j] = sum;
             }
         }
-        costs.issue_overhead + costs.fpu_matmul
+        super::matmul_cost(costs, a, b)
     }
 
     /// Original per-element-`match` form of [`super::eltwise_binary`].
@@ -319,6 +330,37 @@ mod tests {
         assert_eq!(out.get(0, 0), (32 * 33 / 2) as f32);
         assert_eq!(out.get(31, 0), (32 * 33 / 2) as f32);
         assert_eq!(out.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matmul_charges_bf16_rate_for_narrow_operands() {
+        let c = costs();
+        let mut out = Tile::zeros(DataFormat::Float32);
+        let f32_cost = matmul_tiles(
+            &c,
+            &Tile::splat(DataFormat::Float32, 1.0),
+            &Tile::splat(DataFormat::Float32, 1.0),
+            &mut out,
+            false,
+        );
+        assert_eq!(f32_cost, c.issue_overhead + c.fpu_matmul);
+        let bf16_cost = matmul_tiles(
+            &c,
+            &Tile::splat(DataFormat::Float16b, 1.0),
+            &Tile::splat(DataFormat::Float16b, 1.0),
+            &mut out,
+            false,
+        );
+        assert_eq!(bf16_cost, c.issue_overhead + c.fpu_matmul_bf16);
+        // Mixed precision pays the FP32 rate.
+        let mixed_cost = matmul_tiles(
+            &c,
+            &Tile::splat(DataFormat::Float16b, 1.0),
+            &Tile::splat(DataFormat::Float32, 1.0),
+            &mut out,
+            false,
+        );
+        assert_eq!(mixed_cost, f32_cost);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod cb;
 pub mod clock;
 pub mod cost;
@@ -48,6 +49,7 @@ pub mod srcreg;
 pub mod storm;
 pub mod tile;
 
+pub use catalog::{DeviceArch, DeviceCatalog};
 pub use cb::{CbStats, CircularBuffer, CircularBufferConfig};
 pub use clock::{CycleCounter, DeviceClock, KernelTiming};
 pub use cost::{CostModel, CLOCK_HZ};

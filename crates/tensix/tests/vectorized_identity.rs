@@ -178,6 +178,36 @@ proptest! {
         }
     }
 
+    /// The matrix force kernel's accumulate path: a *chain* of
+    /// `matmul_tiles(..., accumulate = true)` calls folding partial products
+    /// into one dst tile (the kernel's six hi/lo split matmuls), vectorized
+    /// vs reference, for every data format including the block-quantized
+    /// `Bfp8b`. The single-matmul identity above does not cover this: with
+    /// accumulation, dst carries bits *between* calls, so any reassociation
+    /// inside one matmul would compound across the chain. Cycle charges must
+    /// agree link by link as well.
+    #[test]
+    fn fpu_matmul_accumulate_chain_bitwise_identity(
+        links in vec((vec(finite_f32(), TILE_ELEMS), vec(finite_f32(), TILE_ELEMS)), 2..6),
+    ) {
+        let costs = ComputeCosts::default();
+        for format in
+            [DataFormat::Float32, DataFormat::Float16b, DataFormat::Float16, DataFormat::Bfp8b]
+        {
+            let mut fast = Tile::zeros(format);
+            let mut slow = Tile::zeros(format);
+            for (i, (a, b)) in links.iter().enumerate() {
+                let ta = Tile::from_rowmajor(format, a);
+                let tb = Tile::from_rowmajor(format, b);
+                // First link initializes dst, the rest accumulate into it.
+                let cf = fpu::matmul_tiles(&costs, &ta, &tb, &mut fast, i > 0);
+                let cs = fpu::reference::matmul_tiles(&costs, &ta, &tb, &mut slow, i > 0);
+                prop_assert_eq!(cf, cs, "{:?} link {} cycle cost", format, i);
+                prop_assert_eq!(bits(&fast), bits(&slow), "{:?} link {}", format, i);
+            }
+        }
+    }
+
     /// FPU element-wise binary (plain and every broadcast dim).
     #[test]
     fn fpu_eltwise_bitwise_identity(

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use tensix::cb::CircularBuffer;
 use tensix::dst::DstRegisters;
 use tensix::fault::DramReadFault;
-use tensix::fpu;
+use tensix::fpu::{self, BroadcastDim};
 use tensix::grid::CoreCoord;
 use tensix::sfpu::{self, BinaryOp, UnaryOp};
 use tensix::srcreg::{SrcReg, SrcRegisters};
@@ -435,6 +435,12 @@ pub struct ComputeCtx {
     dst: DstRegisters,
     src: SrcRegisters,
     counter: CycleCounter,
+    /// Cycles charged to the matrix (FPU) pipe: matmuls, FPU element-wise
+    /// and broadcast ops.
+    matrix_cycles: u64,
+    /// Cycles charged to the vector (SFPU) pipe: transcendentals, unary and
+    /// binary lane ops, fills, scales, register moves.
+    vector_cycles: u64,
     /// Per-instance trace emitter; `None` when tracing is off.
     tracer: Option<SpanEmitter>,
 }
@@ -458,8 +464,22 @@ impl ComputeCtx {
             dst: DstRegisters::new(format),
             src: SrcRegisters::new(),
             counter: CycleCounter::new(),
+            matrix_cycles: 0,
+            vector_cycles: 0,
             tracer,
         }
+    }
+
+    /// Charge `cycles` to the kernel total and to the matrix (FPU) pipe.
+    fn charge_matrix(&mut self, cycles: u64) {
+        self.counter.add(cycles);
+        self.matrix_cycles += cycles;
+    }
+
+    /// Charge `cycles` to the kernel total and to the vector (SFPU) pipe.
+    fn charge_vector(&mut self, cycles: u64) {
+        self.counter.add(cycles);
+        self.vector_cycles += cycles;
     }
 
     /// Open a named trace span at the current virtual time. No-op (and
@@ -533,6 +553,18 @@ impl ComputeCtx {
 
     pub(crate) fn take_cycles(&self) -> u64 {
         self.counter.cycles()
+    }
+
+    /// Cycles charged to the matrix (FPU) pipe so far.
+    #[must_use]
+    pub fn matrix_cycles(&self) -> u64 {
+        self.matrix_cycles
+    }
+
+    /// Cycles charged to the vector (SFPU) pipe so far.
+    #[must_use]
+    pub fn vector_cycles(&self) -> u64 {
+        self.vector_cycles
     }
 
     /// Dst capacity in tiles for the active math format (16 in BF16, 8 in
@@ -657,7 +689,8 @@ impl ComputeCtx {
             self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("sub lane bcast: {e}")).clone(),
         );
         let mut out = Tile::zeros(self.dst.format());
-        self.counter.add(fpu::eltwise_binary(&costs, BinaryOp::Sub, &sa, &sb, &mut out));
+        let cycles = fpu::eltwise_binary(&costs, BinaryOp::Sub, &sa, &sb, &mut out);
+        self.charge_matrix(cycles);
         self.dst.write(dst, out).unwrap_or_else(|e| panic!("sub lane bcast: {e}"));
     }
 
@@ -684,7 +717,8 @@ impl ComputeCtx {
             self.src.read(SrcReg::A).unwrap_or_else(|e| panic!("fpu binary: {e}")).clone(),
             self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("fpu binary: {e}")).clone(),
         );
-        self.counter.add(fpu::eltwise_binary(&costs, op, &sa, &sb, &mut out));
+        let cycles = fpu::eltwise_binary(&costs, op, &sa, &sb, &mut out);
+        self.charge_matrix(cycles);
         self.dst.write(dst, out).unwrap_or_else(|e| panic!("fpu binary: {e}"));
     }
 
@@ -729,8 +763,45 @@ impl ComputeCtx {
             self.src.read(SrcReg::A).unwrap_or_else(|e| panic!("matmul: {e}")).clone(),
             self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("matmul: {e}")).clone(),
         );
-        self.counter.add(fpu::matmul_tiles(&costs, &sa, &sb, &mut acc, accumulate));
+        let cycles = fpu::matmul_tiles(&costs, &sa, &sb, &mut acc, accumulate);
+        self.charge_matrix(cycles);
         self.dst.write(dst, acc).unwrap_or_else(|e| panic!("matmul: {e}"));
+    }
+
+    // --- FPU broadcast binary ops against dst ---
+
+    /// Shared body of the `*_tile_bcast` ops: `dst = op(dst, bcast(cb[idx]))`
+    /// with the broadcast operand unpacked into srcB (stride-0 row/column
+    /// address generation) and dst read back through the math port.
+    fn fpu_binary_bcast_dst(
+        &mut self,
+        op: BinaryOp,
+        dim: BroadcastDim,
+        dst: usize,
+        cb: u8,
+        idx: usize,
+    ) {
+        let b = cb_of(&self.cbs, self.core, cb).peek_tile(idx);
+        let costs = self.device.costs().compute;
+        self.counter.add(self.src.unpack_tile(&costs, SrcReg::B, b));
+        let sb = self.src.read(SrcReg::B).unwrap_or_else(|e| panic!("bcast: {e}")).clone();
+        let a = self.dst.read_math(dst).unwrap_or_else(|e| panic!("bcast: {e}"));
+        let mut out = Tile::zeros(self.dst.format());
+        let cycles = fpu::eltwise_binary_bcast(&costs, op, dim, &a, &sb, &mut out);
+        self.charge_matrix(cycles);
+        self.dst.write(dst, out).unwrap_or_else(|e| panic!("bcast: {e}"));
+    }
+
+    /// `add_tiles_bcast` against dst: `dst += bcast(cb[idx])` with row 0
+    /// (`BroadcastDim::Row`), column 0 (`Col`) or element (0,0) (`Scalar`)
+    /// of the CB page replicated across the tile.
+    pub fn add_tile_bcast(&mut self, dim: BroadcastDim, dst: usize, cb: u8, idx: usize) {
+        self.fpu_binary_bcast_dst(BinaryOp::Add, dim, dst, cb, idx);
+    }
+
+    /// `mul_tiles_bcast` against dst: `dst *= bcast(cb[idx])`.
+    pub fn mul_tile_bcast(&mut self, dim: BroadcastDim, dst: usize, cb: u8, idx: usize) {
+        self.fpu_binary_bcast_dst(BinaryOp::Mul, dim, dst, cb, idx);
     }
 
     // --- SFPU ops on dst ---
@@ -739,7 +810,7 @@ impl ComputeCtx {
         let costs = self.device.costs().compute;
         let tile = self.dst.modify(dst).unwrap_or_else(|e| panic!("sfpu unary: {e}"));
         let cycles = sfpu::apply_unary(&costs, op, tile);
-        self.counter.add(cycles);
+        self.charge_vector(cycles);
     }
 
     /// `square_tile(dst)` — x².
@@ -787,7 +858,7 @@ impl ComputeCtx {
         let costs = self.device.costs().compute;
         let a = self.dst.modify(dst_a).unwrap_or_else(|e| panic!("sfpu binary: {e}"));
         let cycles = sfpu::apply_binary(&costs, op, a, &b);
-        self.counter.add(cycles);
+        self.charge_vector(cycles);
     }
 
     /// `add_binary_tile(dst_a, dst_b)`: dst_a += dst_b.
@@ -813,7 +884,7 @@ impl ComputeCtx {
         let costs = self.device.costs().compute;
         let acc = self.dst.modify(dst_acc).unwrap_or_else(|e| panic!("mad: {e}"));
         let cycles = sfpu::apply_mad(&costs, &a, &b, acc);
-        self.counter.add(cycles);
+        self.charge_vector(cycles);
     }
 
     /// SFPU register move: copy dst segment `src` into dst segment `dst`
@@ -821,7 +892,7 @@ impl ComputeCtx {
     pub fn copy_dst_tile(&mut self, src: usize, dst: usize) {
         let tile = self.dst.read_math(src).unwrap_or_else(|e| panic!("copy_dst_tile: {e}"));
         let costs = self.device.costs().compute;
-        self.counter.add(costs.issue_overhead + costs.sfpu_simple);
+        self.charge_vector(costs.issue_overhead + costs.sfpu_simple);
         self.dst.write(dst, tile).unwrap_or_else(|e| panic!("copy_dst_tile: {e}"));
     }
 
@@ -830,7 +901,7 @@ impl ComputeCtx {
         let costs = self.device.costs().compute;
         let mut tile = Tile::zeros(self.dst.format());
         let cycles = sfpu::apply_fill(&costs, &mut tile, value);
-        self.counter.add(cycles);
+        self.charge_vector(cycles);
         self.dst.write(dst, tile).unwrap_or_else(|e| panic!("fill_tile: {e}"));
     }
 
@@ -840,7 +911,7 @@ impl ComputeCtx {
         let costs = self.device.costs().compute;
         let tile = self.dst.modify(dst).unwrap_or_else(|e| panic!("scale_tile: {e}"));
         let cycles = sfpu::apply_unary_scaled(&costs, UnaryOp::Identity, tile, scale, bias);
-        self.counter.add(cycles);
+        self.charge_vector(cycles);
     }
 
     /// Debug accessor for tests: read a dst segment during MATH.

@@ -401,7 +401,7 @@ impl CommandQueue {
                             core,
                             message: "kernel made no progress (injected stall)".to_string(),
                         };
-                        (KernelTiming { label, core_index, cycles: 0 }, Some(abort))
+                        (KernelTiming { label, core_index, ..KernelTiming::default() }, Some(abort))
                     }));
                     continue;
                 }
@@ -419,7 +419,15 @@ impl CommandQueue {
                                 teardown(&poison_cbs, &poison_sems, &cancel);
                                 classify_abort(&label, core, e)
                             });
-                            (KernelTiming { label, core_index, cycles: ctx.take_cycles() }, abort)
+                            (
+                                KernelTiming {
+                                    label,
+                                    core_index,
+                                    cycles: ctx.take_cycles(),
+                                    ..KernelTiming::default()
+                                },
+                                abort,
+                            )
                         }));
                     }
                     KernelBody::Compute { format, kernel } => {
@@ -435,7 +443,16 @@ impl CommandQueue {
                                 teardown(&poison_cbs, &poison_sems, &cancel);
                                 classify_abort(&label, core, e)
                             });
-                            (KernelTiming { label, core_index, cycles: ctx.take_cycles() }, abort)
+                            (
+                                KernelTiming {
+                                    label,
+                                    core_index,
+                                    cycles: ctx.take_cycles(),
+                                    matrix_cycles: ctx.matrix_cycles(),
+                                    vector_cycles: ctx.vector_cycles(),
+                                },
+                                abort,
+                            )
                         }));
                     }
                 }

@@ -98,6 +98,17 @@ TREE_OUT=$(cargo run --release --offline --bin tt-nbody -- run \
 echo "$TREE_OUT"
 echo "$TREE_OUT" | grep -q "tree-vs-direct agreement: PASS"
 
+echo "==> matrix-kernel / device-catalog smoke"
+# The matrix-pipe force kernel on an n150 catalog part, with the built-in
+# device-vs-direct accuracy verification: the run must print the catalog
+# summary for the part it was built as and PASS the accuracy check. Grep
+# both so a silently-skipped verification or a catalog regression fails CI.
+MATRIX_OUT=$(cargo run --release --offline --bin tt-nbody -- run \
+  --n 512 --steps 2 --cores 1 --arch n150 --force-kernel matrix --verify-direct)
+echo "$MATRIX_OUT"
+echo "$MATRIX_OUT" | grep -q "device catalog: n150"
+echo "$MATRIX_OUT" | grep -q "device-vs-direct accuracy: PASS"
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

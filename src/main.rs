@@ -7,6 +7,7 @@
 //!                [--devices 1] [--spares 0] [--resilient] [--inject-loss 0]
 //!                [--threads 4] [--seed 0]
 //!                [--theta 0.6] [--leaf 32] [--near host|device] [--verify-direct]
+//!                [--arch n150|n300|key=value,...] [--force-kernel elementwise|matrix]
 //! tt-nbody validate [--n 1024]
 //! tt-nbody model
 //! ```
@@ -28,6 +29,13 @@
 //! way). `--verify-direct` first compares one tree force evaluation
 //! against the FP64 direct sum and fails unless the worst relative error
 //! is within the θ-dependent bound — an O(N²) check meant for small N.
+//!
+//! `--arch` selects a device-catalog part (`n150`, `n300`, or a custom
+//! `key=value` spec) for every simulated card; the catalog summary line is
+//! printed before device runs. `--force-kernel matrix` runs the pairwise
+//! force/jerk loop as blocked matmuls on the FPU matrix pipe instead of
+//! the element-wise SFPU kernel; with `--verify-direct` the device forces
+//! are first checked against the FP64 direct sum at the kernel's bound.
 
 use std::sync::Arc;
 
@@ -41,11 +49,12 @@ use nbody::integrator::{BlockHermite, Hermite4, Integrator, Leapfrog};
 use nbody::particle::ParticleSystem;
 use nbody_tt::{
     run_device_simulation_resilient, run_ring_simulation_resilient, DeviceForceKernel,
-    DeviceForcePipeline, EvaluatorKernel, ForceEvaluator, RecoveryConfig, ResilientOutcome,
-    SimulationConfig, TreeConfig, TreeForceEvaluator,
+    DeviceForcePipeline, EvaluatorKernel, ForceEvaluator, ForceKernelKind, RecoveryConfig,
+    ResilientOutcome, SimulationConfig, TreeConfig, TreeForceEvaluator,
 };
+use tensix::catalog::DeviceArch;
 use tensix::fault::FaultClass;
-use tensix::{Device, DeviceConfig};
+use tensix::{DataFormat, Device, DeviceConfig};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +78,8 @@ struct Options {
     leaf: usize,
     near: String,
     verify_direct: bool,
+    arch: String,
+    force_kernel: ForceKernelKind,
 }
 
 impl Default for Options {
@@ -93,6 +104,8 @@ impl Default for Options {
             leaf: 32,
             near: "host".into(),
             verify_direct: false,
+            arch: "n300".into(),
+            force_kernel: ForceKernelKind::Elementwise,
         }
     }
 }
@@ -133,6 +146,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--leaf" => opts.leaf = value()?.parse().map_err(|e| format!("--leaf: {e}"))?,
             "--near" => opts.near = value()?,
             "--verify-direct" => opts.verify_direct = true,
+            "--arch" => opts.arch = value()?,
+            "--force-kernel" => opts.force_kernel = value()?.parse()?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -221,8 +236,9 @@ fn report_resilient(out: &ResilientOutcome) {
 /// last ring card at launch event `L`, then re-runs an unfaulted twin and
 /// verifies the surviving run against it bit for bit.
 fn run_ring(opts: &Options, sys: &mut ParticleSystem) -> Result<(), String> {
+    let arch = DeviceArch::parse(&opts.arch)?;
     let mk_devices = |base: usize, count: usize| -> Vec<Arc<Device>> {
-        (base..base + count).map(|id| Device::new(id, DeviceConfig::default())).collect()
+        (base..base + count).map(|id| Device::new(id, arch.device_config())).collect()
     };
     let config = sim_config(opts);
     let devices = mk_devices(0, opts.devices);
@@ -315,7 +331,7 @@ fn run_tree(opts: &Options, sys: &mut ParticleSystem) -> Result<(), String> {
     let eval = match opts.near.as_str() {
         "host" => Arc::new(TreeForceEvaluator::host(sys.len(), opts.eps, cfg)),
         "device" => {
-            let device = Device::new(0, DeviceConfig::default());
+            let device = Device::new(0, DeviceArch::parse(&opts.arch)?.device_config());
             Arc::new(TreeForceEvaluator::hybrid(device, sys.len(), opts.eps, opts.cores, cfg))
         }
         other => return Err(format!("unknown --near '{other}'; expected host|device")),
@@ -353,16 +369,74 @@ fn run_tree(opts: &Options, sys: &mut ParticleSystem) -> Result<(), String> {
     Ok(())
 }
 
+/// One pipeline force evaluation against the FP64 direct sum. The bound is
+/// the kernel's own: paper tolerances for the element-wise SFPU kernel; 5×
+/// those for the matrix-pipe kernel, whose decomposed quadratic forms
+/// amplify FP32 rounding at the closest pairs (see the pipeline tests).
+fn verify_device_against_direct(
+    pipeline: &DeviceForcePipeline,
+    sys: &ParticleSystem,
+    opts: &Options,
+) -> Result<(), String> {
+    let dev = pipeline.evaluate(sys).map_err(|e| e.to_string())?;
+    let reference = ReferenceKernel::new(opts.eps).compute(sys);
+    let cmp = nbody::accuracy::compare_forces(&reference, &dev);
+    let scale = match pipeline.kernel_kind() {
+        ForceKernelKind::Elementwise => 1.0,
+        ForceKernelKind::Matrix => 5.0,
+    };
+    let (acc_bound, jerk_bound) =
+        (scale * nbody::accuracy::ACC_TOLERANCE, scale * nbody::accuracy::JERK_TOLERANCE);
+    let ok = cmp.max_acc_error <= acc_bound && cmp.max_jerk_error <= jerk_bound;
+    let verdict = if ok { "PASS" } else { "FAIL" };
+    println!(
+        "device-vs-direct accuracy: {verdict} ({} kernel: acc err {:.3e} <= {acc_bound:.1e}, \
+         jerk err {:.3e} <= {jerk_bound:.1e})",
+        pipeline.kernel_kind().name(),
+        cmp.max_acc_error,
+        cmp.max_jerk_error
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "device force error (acc {:.3e}, jerk {:.3e}) exceeds the {} bound",
+            cmp.max_acc_error,
+            cmp.max_jerk_error,
+            pipeline.kernel_kind().name()
+        ))
+    }
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
+    let arch = DeviceArch::parse(&opts.arch)?;
     let mut sys = build_system(opts)?;
     println!(
         "{}-body {} cluster, backend {} ({}), integrator {}",
         opts.n, opts.ic, opts.backend, opts.cores, opts.integrator
     );
+    if opts.backend == "device" {
+        println!("{}", arch.summary());
+        if opts.cores > arch.cores_per_chip() {
+            return Err(format!(
+                "--cores {} exceeds the {} grid ({} cores per chip)",
+                opts.cores,
+                arch.name,
+                arch.cores_per_chip()
+            ));
+        }
+    }
+    if opts.force_kernel == ForceKernelKind::Matrix
+        && (opts.backend != "device" || opts.devices > 1 || opts.resilient)
+    {
+        return Err("--force-kernel matrix drives the direct device backend only \
+             (no --resilient, --devices 1)"
+            .into());
+    }
     match opts.backend.as_str() {
         "device" if opts.devices > 1 => run_ring(opts, &mut sys)?,
         "device" if opts.resilient => {
-            let device = Device::new(0, DeviceConfig::default());
+            let device = Device::new(0, arch.device_config());
             if opts.inject_loss > 0 {
                 device.faults().schedule(FaultClass::DeviceLoss, opts.inject_loss);
             }
@@ -376,9 +450,19 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             report_resilient(&out);
         }
         "device" => {
-            let device = Device::new(0, DeviceConfig::default());
-            let pipeline = DeviceForcePipeline::new(device, opts.n, opts.eps, opts.cores)
-                .map_err(|e| e.to_string())?;
+            let device = Device::new(0, arch.device_config());
+            let pipeline = DeviceForcePipeline::new_with_kernel(
+                device,
+                opts.n,
+                opts.eps,
+                opts.cores,
+                DataFormat::Float32,
+                opts.force_kernel,
+            )
+            .map_err(|e| e.to_string())?;
+            if opts.verify_direct {
+                verify_device_against_direct(&pipeline, &sys, opts)?;
+            }
             let kernel = DeviceForceKernel::new(pipeline);
             run_with_kernel(opts, &mut sys, kernel);
         }
@@ -500,6 +584,10 @@ mod tests {
             "--near",
             "device",
             "--verify-direct",
+            "--arch",
+            "n150",
+            "--force-kernel",
+            "matrix",
         ]))
         .unwrap();
         assert_eq!(o.ic, "king");
@@ -517,6 +605,28 @@ mod tests {
         assert_eq!(o.leaf, 16);
         assert_eq!(o.near, "device");
         assert!(o.verify_direct);
+        assert_eq!(o.arch, "n150");
+        assert_eq!(o.force_kernel, ForceKernelKind::Matrix);
+    }
+
+    #[test]
+    fn matrix_kernel_device_run_verifies() {
+        let o = Options {
+            n: 128,
+            steps: 2,
+            cores: 1,
+            arch: "n150".into(),
+            force_kernel: ForceKernelKind::Matrix,
+            verify_direct: true,
+            ..Options::default()
+        };
+        cmd_run(&o).unwrap();
+        // The matrix kernel drives the direct device path only.
+        assert!(cmd_run(&Options { devices: 2, ..o.clone() }).is_err());
+        assert!(cmd_run(&Options { resilient: true, ..o.clone() }).is_err());
+        // Unknown parts and oversubscribed grids are typed errors.
+        assert!(cmd_run(&Options { arch: "p100".into(), ..o.clone() }).is_err());
+        assert!(cmd_run(&Options { cores: 80, ..o }).is_err());
     }
 
     #[test]
