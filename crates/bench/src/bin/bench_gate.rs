@@ -35,11 +35,12 @@ use std::thread;
 use std::time::Instant;
 
 use nbody::force::{ForceKernel, SimdKernel};
-use nbody::ic::{plummer, PlummerConfig};
+use nbody::ic::{plummer, IcKind, PlummerConfig};
 use nbody_tt::pipeline::DeviceForcePipeline;
 use nbody_tt::{
-    arch_run, ForceEvaluator, ForceKernelKind, MultiDevicePipeline, TreeConfig, TreeForceEvaluator,
-    DEVICE_CYCLES_PER_PAIR,
+    arch_run, run_block_simulation, run_simulation, BlockStepConfig, ForceEvaluator,
+    ForceKernelKind, MultiDevicePipeline, SimulationConfig, SingleCardEvaluator, TreeConfig,
+    TreeForceEvaluator, DEVICE_CYCLES_PER_PAIR,
 };
 use tensix::catalog::DeviceArch;
 use tensix::cb::{CircularBuffer, CircularBufferConfig};
@@ -293,6 +294,64 @@ fn bench_tree_time_to_solution() -> (f64, u64) {
     (wall, ev.tree_cost().total_interactions())
 }
 
+/// Particle count for the block-step vs shared-step comparison: 4 target
+/// tiles on one core, so an active launch (gathered into its leading
+/// tiles) is genuinely smaller than the full-N grid.
+const BLOCK_N: usize = 4096;
+
+/// Hierarchical block steps vs the shared-step integrator at *equal
+/// energy error* on a cold collapse: the shared run must use the
+/// hierarchy's finest step everywhere to match the block run's accuracy,
+/// so it pays `2^levels` full-N launches per base step while the block
+/// scheduler launches only the due particles. Both runs are virtual-time
+/// deterministic (device + PCIe seconds from the same cost model), so the
+/// ratio is a behavioral gate, not machine noise. Returns
+/// (speedup, block dE/E, shared dE/E, mean active fraction).
+fn bench_block_step_speedup() -> (f64, f64, f64, f64) {
+    let levels = 3u32;
+    let dt = 1.0 / 16.0;
+    let config = SimulationConfig {
+        eps: 0.05,
+        cycles: 1,
+        steps_per_cycle: 4, // t_end = 0.25: well into the collapse
+        dt,
+        num_cores: 1,
+        blocks: Some(BlockStepConfig { eta: 0.02, levels }),
+    };
+    let make = || IcKind::ColdCollapse.build(BLOCK_N, 3);
+    let virtual_s = |t: &nbody_tt::PipelineTiming| t.device_seconds + t.io_seconds;
+
+    let mut block_sys = make();
+    let card = std::sync::Arc::new(
+        SingleCardEvaluator::new(Device::new(0, DeviceConfig::default()), BLOCK_N, config.eps, 1)
+            .unwrap(),
+    );
+    let block = run_block_simulation(&card, &mut block_sys, config).unwrap();
+    let block_s = virtual_s(&block.outcome.timing.expect("device run has timing"));
+
+    let refine = 1usize << levels;
+    let mut shared_sys = make();
+    let shared_card = std::sync::Arc::new(
+        SingleCardEvaluator::new(Device::new(1, DeviceConfig::default()), BLOCK_N, config.eps, 1)
+            .unwrap(),
+    );
+    let shared = run_simulation(
+        &shared_card,
+        &mut shared_sys,
+        SimulationConfig {
+            blocks: None,
+            dt: dt / refine as f64,
+            steps_per_cycle: config.steps_per_cycle * refine,
+            ..config
+        },
+    );
+    let shared_s = virtual_s(&shared.timing.expect("device run has timing"));
+
+    let active_frac = block.report.particle_evaluations as f64
+        / (block.report.iterations as f64 * BLOCK_N as f64);
+    (shared_s / block_s, block.outcome.energy_error, shared.energy_error, active_frac)
+}
+
 /// Tree vs direct sum at a matched N where both are timeable: the
 /// O(N log N) vs O(N²) evidence next to the 1M-particle number. Returns
 /// (tree wall, direct wall) per evaluation.
@@ -417,6 +476,23 @@ fn main() {
     eprintln!("bench_gate: serve_trace_overhead (flight-recorder ring on vs off)...");
     let trace_overhead = bench_serve_trace_overhead();
     eprintln!("bench_gate:   {trace_overhead:.3}x (ring on / ring off; must stay < 1.02)");
+    eprintln!("bench_gate: block_step_speedup (n = {BLOCK_N} cold collapse, virtual time)...");
+    let (block_speedup, block_de, shared_de, active_frac) = bench_block_step_speedup();
+    eprintln!(
+        "bench_gate:   {block_speedup:.2}x vs equal-accuracy shared step \
+         (dE/E {block_de:.2e} vs {shared_de:.2e}, mean active fraction {active_frac:.3})"
+    );
+    // The hierarchy's whole claim: strictly faster than the shared-step
+    // integrator once the shared run is forced to the accuracy-matching
+    // fine step, with both runs inside the energy budget.
+    assert!(
+        block_speedup > 1.0,
+        "block steps must beat the equal-accuracy shared run (got {block_speedup:.3}x)"
+    );
+    assert!(
+        block_de < 1e-4 && shared_de < 1e-4,
+        "both integrators must hold dE/E < 1e-4 (block {block_de:.2e}, shared {shared_de:.2e})"
+    );
     eprintln!("bench_gate: tree vs direct at matched n = {TREE_MATCHED_N}...");
     let (tree_matched, direct_matched) = bench_tree_vs_direct_matched();
     eprintln!(
@@ -437,10 +513,13 @@ fn main() {
     );
 
     // `job_p99_latency` reuses the `wall_s` slot for its (virtual) seconds,
-    // `serve_trace_overhead` for its on/off ratio, and the per-arch
-    // `time_to_solution_n150`/`_n300` entries for their modeled full-card
-    // seconds: same lower-is-better gate semantics.
+    // `serve_trace_overhead` for its on/off ratio, `block_step_time_ratio`
+    // for the block/shared virtual-time ratio (the reciprocal of the
+    // speedup, so a shrinking block-step advantage regresses the gate), and
+    // the per-arch `time_to_solution_n150`/`_n300` entries for their
+    // modeled full-card seconds: same lower-is-better gate semantics.
     let results = [
+        ("block_step_time_ratio", 1.0 / block_speedup),
         ("time_to_solution", tts),
         ("matrix_time_to_solution", matrix_tts),
         ("multi_device_time_to_solution", ring),
@@ -480,6 +559,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"device_cycles_per_pair\": {{ \"paper_calibrated\": {DEVICE_CYCLES_PER_PAIR}, \"elementwise\": {elementwise_cpp:.4}, \"matrix\": {matrix_cpp:.4} }},\n",
+    ));
+    json.push_str(&format!(
+        "  \"block_step\": {{ \"n\": {BLOCK_N}, \"speedup_vs_equal_accuracy_shared\": {block_speedup:.2}, \"block_energy_error\": {block_de:.3e}, \"shared_energy_error\": {shared_de:.3e}, \"mean_active_fraction\": {active_frac:.4} }},\n",
     ));
     json.push_str(&format!(
         "  \"seed_baseline\": {{ \"commit\": \"{}\", \"time_to_solution_wall_s\": {:.6}, \"cb_throughput_wall_s\": {:.6}, \"tile_ops_wall_s\": {:.6} }},\n",

@@ -26,6 +26,119 @@ use ttmetal::{LaunchError, Program, ProgramReport};
 
 use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
 
+/// The set of target particles due for a force evaluation — the primitive
+/// the block-timestep scheduler launches with. Indices are kept sorted and
+/// deduplicated; full-N is the special case [`ActiveSet::full`].
+///
+/// An active evaluation computes forces on *these* targets against **all**
+/// `n` sources, so row `k` of the result corresponds to particle
+/// `indices()[k]`. Backends pack the targets densely (gathered tiles on the
+/// device, a front-permutation on the CPU) so the launch costs O(|A|·N)
+/// instead of O(N²).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    indices: Vec<usize>,
+    n: usize,
+}
+
+impl ActiveSet {
+    /// Active set from target indices into a system of `n` particles.
+    /// Indices are sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= n`.
+    #[must_use]
+    pub fn from_indices(mut indices: Vec<usize>, n: usize) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        if let Some(&last) = indices.last() {
+            assert!(last < n, "active index {last} out of range for n = {n}");
+        }
+        ActiveSet { indices, n }
+    }
+
+    /// The full-N set: every particle active (the shared-step special case).
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        ActiveSet { indices: (0..n).collect(), n }
+    }
+
+    /// Whether every particle is active.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.indices.len() == self.n
+    }
+
+    /// Number of active targets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the set is empty (a degenerate block: nothing to launch).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Particle count of the system this set indexes into.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The sorted active indices.
+    #[must_use]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Pack the membership into little-endian `u64` words (bit `i % 64` of
+    /// word `i / 64` set iff particle `i` is active) — the checkpoint
+    /// format's view of the set.
+    #[must_use]
+    pub fn bitmap(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.n.div_ceil(64)];
+        for &i in &self.indices {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+        words
+    }
+
+    /// Rebuild a set from its [`Self::bitmap`] words.
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than `n` bits or a bit past `n` is set.
+    #[must_use]
+    pub fn from_bitmap(words: &[u64], n: usize) -> Self {
+        assert!(words.len() >= n.div_ceil(64), "bitmap too short for n = {n}");
+        let mut indices = Vec::new();
+        for (w, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let i = w * 64 + b;
+                assert!(i < n, "bitmap bit {i} past n = {n}");
+                indices.push(i);
+                bits &= bits - 1;
+            }
+        }
+        ActiveSet { indices, n }
+    }
+}
+
+/// Gather the active rows of a full-system force evaluation — the default
+/// `evaluate_active` fallback for backends without a packed-subset launch.
+#[must_use]
+pub(crate) fn gather_rows(full: &Forces, active: &ActiveSet) -> Forces {
+    let mut out = Forces::zeros(active.len());
+    for (k, &i) in active.indices().iter().enumerate() {
+        out.acc[k] = full.acc[i];
+        out.jerk[k] = full.jerk[i];
+    }
+    out
+}
+
 /// A backend that can evaluate gravitational forces and jerks for a fixed
 /// particle count, with structured errors, retries, and virtual-time
 /// accounting.
@@ -62,6 +175,30 @@ pub trait ForceEvaluator: Send + Sync {
         system: &ParticleSystem,
         policy: RetryPolicy,
     ) -> std::result::Result<Forces, LaunchError>;
+
+    /// Forces and jerks on the `active` targets only, against **all** `n`
+    /// sources: row `k` of the result is the force on particle
+    /// `active.indices()[k]`. This is the block-timestep scheduler's
+    /// primitive; full-N evaluation is the `active.is_full()` special case.
+    ///
+    /// The default falls back to a full evaluation and gathers the active
+    /// rows — always correct, never cheaper. Backends override it to launch
+    /// O(|A|·N) work instead (gathered target tiles on the device, a
+    /// front-permutation plus range compute on the CPU).
+    ///
+    /// # Errors
+    /// Same contract as [`Self::evaluate_checked`].
+    fn evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+    ) -> std::result::Result<Forces, LaunchError> {
+        if active.is_empty() {
+            return Ok(Forces::zeros(0));
+        }
+        let full = self.evaluate_checked(system)?;
+        Ok(gather_rows(&full, active))
+    }
 
     /// One evaluation with the legacy flat error type.
     ///
@@ -353,6 +490,14 @@ impl ForceEvaluator for DeviceForcePipeline {
         retry_eval(self, system, policy)
     }
 
+    fn evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+    ) -> std::result::Result<Forces, LaunchError> {
+        DeviceForcePipeline::evaluate_active_checked(self, system, active)
+    }
+
     fn timing(&self) -> Option<PipelineTiming> {
         Some(DeviceForcePipeline::timing(self))
     }
@@ -411,6 +556,36 @@ impl<K: ForceKernel> ForceEvaluator for CpuForceEvaluator<K> {
         Ok(self.kernel.compute(system))
     }
 
+    fn evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+    ) -> std::result::Result<Forces, LaunchError> {
+        if active.is_empty() {
+            return Ok(Forces::zeros(0));
+        }
+        if active.is_full() {
+            return Ok(self.kernel.compute(system));
+        }
+        // Permute the active targets to the front and compute the contiguous
+        // prefix against all sources — O(|A|·N). The permuted source order is
+        // deterministic in the active set, so block-step runs replay bitwise.
+        let n = system.len();
+        let mut in_active = vec![false; n];
+        for &i in active.indices() {
+            in_active[i] = true;
+        }
+        let mut permuted = ParticleSystem::with_capacity(n);
+        permuted.time = system.time;
+        for &i in active.indices() {
+            permuted.push(system.mass[i], system.pos[i], system.vel[i]);
+        }
+        for i in (0..n).filter(|i| !in_active[*i]) {
+            permuted.push(system.mass[i], system.pos[i], system.vel[i]);
+        }
+        Ok(self.kernel.compute_range(&permuted, 0, active.len()))
+    }
+
     fn timing(&self) -> Option<PipelineTiming> {
         None
     }
@@ -430,6 +605,7 @@ pub struct SingleCardEvaluator {
     n: usize,
     eps: f64,
     num_cores: usize,
+    kind: crate::pipeline::ForceKernelKind,
     pipeline: Mutex<DeviceForcePipeline>,
     /// Timing absorbed from pipelines retired by device loss.
     retired: Mutex<PipelineTiming>,
@@ -444,12 +620,45 @@ impl SingleCardEvaluator {
     /// # Panics
     /// Same contract as [`DeviceForcePipeline::new`].
     pub fn new(device: Arc<Device>, n: usize, eps: f64, num_cores: usize) -> Result<Self> {
-        let pipeline = DeviceForcePipeline::new(Arc::clone(&device), n, eps, num_cores)?;
+        Self::new_with_kernel(
+            device,
+            n,
+            eps,
+            num_cores,
+            crate::pipeline::ForceKernelKind::default(),
+        )
+    }
+
+    /// Like [`Self::new`] with an explicit force-kernel formulation.
+    /// Recovery after device loss rebuilds the pipeline with the same kind,
+    /// so a matrix-pipe evaluator stays matrix-pipe across card resets.
+    ///
+    /// # Errors
+    /// DRAM exhaustion.
+    ///
+    /// # Panics
+    /// Same contract as [`DeviceForcePipeline::new_with_kernel`].
+    pub fn new_with_kernel(
+        device: Arc<Device>,
+        n: usize,
+        eps: f64,
+        num_cores: usize,
+        kind: crate::pipeline::ForceKernelKind,
+    ) -> Result<Self> {
+        let pipeline = DeviceForcePipeline::new_with_kernel(
+            Arc::clone(&device),
+            n,
+            eps,
+            num_cores,
+            tensix::DataFormat::Float32,
+            kind,
+        )?;
         Ok(SingleCardEvaluator {
             device,
             n,
             eps,
             num_cores,
+            kind,
             pipeline: Mutex::new(pipeline),
             retired: Mutex::new(PipelineTiming::default()),
         })
@@ -459,6 +668,13 @@ impl SingleCardEvaluator {
     #[must_use]
     pub fn device(&self) -> &Arc<Device> {
         &self.device
+    }
+
+    /// The force-kernel formulation this evaluator launches (preserved
+    /// across recovery rebuilds).
+    #[must_use]
+    pub fn kernel_kind(&self) -> crate::pipeline::ForceKernelKind {
+        self.kind
     }
 }
 
@@ -490,6 +706,14 @@ impl ForceEvaluator for SingleCardEvaluator {
         retry_eval(&self.pipeline.lock(), system, policy)
     }
 
+    fn evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+    ) -> std::result::Result<Forces, LaunchError> {
+        self.pipeline.lock().evaluate_active_checked(system, active)
+    }
+
     fn timing(&self) -> Option<PipelineTiming> {
         let current = self.pipeline.lock().timing();
         let mut t = *self.retired.lock();
@@ -508,9 +732,15 @@ impl ForceEvaluator for SingleCardEvaluator {
         let mut slot = self.pipeline.lock();
         self.retired.lock().absorb(slot.timing());
         self.device.reset().map_err(LaunchError::from)?;
-        *slot =
-            DeviceForcePipeline::new(Arc::clone(&self.device), self.n, self.eps, self.num_cores)
-                .map_err(LaunchError::from)?;
+        *slot = DeviceForcePipeline::new_with_kernel(
+            Arc::clone(&self.device),
+            self.n,
+            self.eps,
+            self.num_cores,
+            tensix::DataFormat::Float32,
+            self.kind,
+        )
+        .map_err(LaunchError::from)?;
         Ok(())
     }
 }

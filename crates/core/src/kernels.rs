@@ -286,10 +286,11 @@ impl DataMovementKernel for WriterKernel {
 // BF16 and hit the matrix pipe's full 2048-MACs/clk rate in exactly two
 // accumulate matmuls per block pair: W × SRC_ATTR and G × SRC_ATTR, where
 // SRC_ATTR's columns are [r_j, v_j, 1]. The device therefore returns moment
-// sums (Σ W r_j, Σ W v_j, Σ W, Σ G r_j, Σ G) per target, flushed once per
-// source chunk; the host finishes acc_i = Σ W r_j − r_i Σ W (and the jerk
-// analogue) in compensated FP64 — the mixed-precision split that keeps the
-// energy goldens intact.
+// sums (Σ W r_j, Σ W v_j, Σ W, Σ G r_j, Σ G) per target — Kahan-compensated
+// across source blocks so the FP32 partials do not drift with N — flushed
+// once per source chunk; the host finishes acc_i = Σ W r_j − r_i Σ W (and
+// the jerk analogue) in compensated FP64 — the mixed-precision split that
+// keeps the energy goldens intact.
 // ---------------------------------------------------------------------------
 
 /// The matrix-kernel reader: the diagonal-damping page into IN3 once, then
@@ -419,26 +420,49 @@ impl MatrixForceComputeKernel {
         // --- Phase M2: BF16 accumulate matmuls into the moment ring ------
         // Six matmuls cover (W_hi + W_lo) × (ATTR_HI + ATTR_LO) per moment
         // tile minus the lo×lo term, which is ~2⁻¹⁸ relative — below the
-        // FP32 accumulator's own rounding.
+        // FP32 accumulator's own rounding. The block delta lands in its own
+        // zeroed registers and is folded into the running moments with a
+        // Kahan two-sum: the ring carries a compensation tile (cW, cG) next
+        // to each accumulator, so the per-chunk sums do not drift with
+        // source count the way naive FP32 accumulation does.
         ctx.cb_wait_front(INTERMED0, 4);
-        ctx.cb_wait_front(INTERMED2, 2);
-        ctx.cb_reserve_back(INTERMED2, 2);
+        ctx.cb_wait_front(INTERMED2, 4);
+        ctx.cb_reserve_back(INTERMED2, 4);
         ctx.tile_regs_acquire();
-        ctx.copy_tile(INTERMED2, 0, 0); // old W-moment accumulator
-        ctx.copy_tile(INTERMED2, 1, 1); // old G-moment accumulator
+        ctx.fill_tile(0, 0.0); // block delta, W moments
+        ctx.fill_tile(1, 0.0); // block delta, G moments
         ctx.matmul_tiles(INTERMED0, IN2, 0, 0, 0, true); // += W_hi × ATTR_HI
         ctx.matmul_tiles(INTERMED0, IN2, 0, 1, 0, true); // += W_hi × ATTR_LO
         ctx.matmul_tiles(INTERMED0, IN2, 2, 0, 0, true); // += W_lo × ATTR_HI
         ctx.matmul_tiles(INTERMED0, IN2, 1, 0, 1, true); // += G_hi × ATTR_HI
         ctx.matmul_tiles(INTERMED0, IN2, 1, 1, 1, true); // += G_hi × ATTR_LO
         ctx.matmul_tiles(INTERMED0, IN2, 3, 0, 1, true); // += G_lo × ATTR_HI
+                                                         // Kahan: y = delta − c; t = acc + y; c' = (t − acc) − y; acc = t.
+        ctx.copy_tile(INTERMED2, 2, 2); // cW
+        ctx.sub_binary_tile(0, 2); // y_W
+        ctx.copy_tile(INTERMED2, 0, 3); // accW
+        ctx.copy_dst_tile(3, 4);
+        ctx.add_binary_tile(4, 0); // t_W
+        ctx.copy_dst_tile(4, 5);
+        ctx.sub_binary_tile(5, 3);
+        ctx.sub_binary_tile(5, 0); // c'_W
+        ctx.copy_tile(INTERMED2, 3, 2); // cG
+        ctx.sub_binary_tile(1, 2); // y_G
+        ctx.copy_tile(INTERMED2, 1, 3); // accG
+        ctx.copy_dst_tile(3, 6);
+        ctx.add_binary_tile(6, 1); // t_G
+        ctx.copy_dst_tile(6, 7);
+        ctx.sub_binary_tile(7, 3);
+        ctx.sub_binary_tile(7, 1); // c'_G
         ctx.tile_regs_commit();
-        ctx.pack_tile(0, INTERMED2);
-        ctx.pack_tile(1, INTERMED2);
-        ctx.cb_push_back(INTERMED2, 2);
+        ctx.pack_tile(4, INTERMED2); // accW = t_W
+        ctx.pack_tile(6, INTERMED2); // accG = t_G
+        ctx.pack_tile(5, INTERMED2); // cW
+        ctx.pack_tile(7, INTERMED2); // cG
+        ctx.cb_push_back(INTERMED2, 4);
         ctx.tile_regs_release();
 
-        ctx.cb_pop_front(INTERMED2, 2);
+        ctx.cb_pop_front(INTERMED2, 4);
         ctx.cb_pop_front(INTERMED0, 4);
         ctx.cb_pop_front(IN1, 5);
         ctx.cb_pop_front(IN2, 2);
@@ -460,33 +484,42 @@ impl ComputeKernel for MatrixForceComputeKernel {
             ctx.trace_span_begin("tile");
             ctx.cb_wait_front(IN0, 4);
             for &(cs, cc) in &chunks {
-                // Zero the two moment accumulators for this chunk.
-                ctx.cb_reserve_back(INTERMED2, 2);
+                // Zero the moment accumulators and their Kahan compensation
+                // tiles for this chunk.
+                ctx.cb_reserve_back(INTERMED2, 4);
                 ctx.tile_regs_acquire();
-                ctx.fill_tile(0, 0.0);
-                ctx.fill_tile(1, 0.0);
+                for k in 0..4 {
+                    ctx.fill_tile(k, 0.0);
+                }
                 ctx.tile_regs_commit();
-                ctx.pack_tile(0, INTERMED2);
-                ctx.pack_tile(1, INTERMED2);
-                ctx.cb_push_back(INTERMED2, 2);
+                for k in 0..4 {
+                    ctx.pack_tile(k, INTERMED2);
+                }
+                ctx.cb_push_back(INTERMED2, 4);
                 ctx.tile_regs_release();
 
                 for j in cs..cs + cc {
                     self.interact(ctx, j == blk);
                 }
 
-                // Flush the chunk partials to the output CB.
-                ctx.cb_wait_front(INTERMED2, 2);
+                // Flush the chunk partials to the output CB, folding the
+                // compensation back in so the host combine sees one tile per
+                // moment accumulator, exactly as before.
+                ctx.cb_wait_front(INTERMED2, 4);
                 ctx.cb_reserve_back(OUT0, 2);
                 ctx.tile_regs_acquire();
                 ctx.copy_tile(INTERMED2, 0, 0);
-                ctx.copy_tile(INTERMED2, 1, 1);
+                ctx.copy_tile(INTERMED2, 2, 1);
+                ctx.add_binary_tile(0, 1); // accW + cW
+                ctx.copy_tile(INTERMED2, 1, 2);
+                ctx.copy_tile(INTERMED2, 3, 3);
+                ctx.add_binary_tile(2, 3); // accG + cG
                 ctx.tile_regs_commit();
                 ctx.pack_tile(0, OUT0);
-                ctx.pack_tile(1, OUT0);
+                ctx.pack_tile(2, OUT0);
                 ctx.cb_push_back(OUT0, 2);
                 ctx.tile_regs_release();
-                ctx.cb_pop_front(INTERMED2, 2);
+                ctx.cb_pop_front(INTERMED2, 4);
             }
             ctx.cb_pop_front(IN0, 4);
             ctx.trace_span_end("tile");

@@ -86,19 +86,47 @@ pub fn broadcast_tiles(format: DataFormat, values: &[f32]) -> Vec<Tile> {
     values.iter().map(|v| Tile::splat(format, *v)).collect()
 }
 
-/// Tilize the host arrays into both views (FP32 tiles — "the Tenstorrent
-/// Wormhole accelerator supports up to FP32").
+/// Pack the six target-quantity tile views of `arrays`: per-axis positions
+/// padded at [`PAD_POSITION`], velocities zero-padded. Shared by the full-N
+/// tilize and the active-subset gather path.
 #[must_use]
-pub fn tilize_particles(arrays: &HostArrays) -> TiledParticles {
+pub fn tilize_targets(arrays: &HostArrays) -> [Vec<Tile>; 6] {
     let f = DataFormat::Float32;
-    let targets = [
+    [
         pack_vector(f, &arrays.pos[0], PAD_POSITION),
         pack_vector(f, &arrays.pos[1], PAD_POSITION),
         pack_vector(f, &arrays.pos[2], PAD_POSITION),
         pack_vector(f, &arrays.vel[0], 0.0),
         pack_vector(f, &arrays.vel[1], 0.0),
         pack_vector(f, &arrays.vel[2], 0.0),
-    ];
+    ]
+}
+
+/// Gather the `active` targets of `arrays` into a dense prefix — the host
+/// side of dynamic tile packing. The result has `n = active.len()`; tilized
+/// (via [`tilize_targets`]), its pad lanes park at [`PAD_POSITION`] with
+/// zero velocity exactly like a full-N tail tile, so an active-set launch
+/// rounds up to whole tiles without contributing spurious forces.
+///
+/// # Panics
+/// Panics if an index is out of range.
+#[must_use]
+pub fn gather_active_targets(arrays: &HostArrays, active: &[usize]) -> HostArrays {
+    let pick = |src: &Vec<f32>| -> Vec<f32> { active.iter().map(|&i| src[i]).collect() };
+    HostArrays {
+        n: active.len(),
+        mass: pick(&arrays.mass),
+        pos: [pick(&arrays.pos[0]), pick(&arrays.pos[1]), pick(&arrays.pos[2])],
+        vel: [pick(&arrays.vel[0]), pick(&arrays.vel[1]), pick(&arrays.vel[2])],
+    }
+}
+
+/// Tilize the host arrays into both views (FP32 tiles — "the Tenstorrent
+/// Wormhole accelerator supports up to FP32").
+#[must_use]
+pub fn tilize_particles(arrays: &HostArrays) -> TiledParticles {
+    let f = DataFormat::Float32;
+    let targets = tilize_targets(arrays);
     let sources = [
         broadcast_tiles(f, &arrays.mass),
         broadcast_tiles(f, &arrays.pos[0]),

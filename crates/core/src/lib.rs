@@ -23,7 +23,9 @@ pub mod tree;
 pub mod validate;
 
 pub use broadcast::BroadcastForcePipeline;
-pub use evaluator::{CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCardEvaluator};
+pub use evaluator::{
+    ActiveSet, CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCardEvaluator,
+};
 pub use layout::{split_tiles_to_cores, tilize_particles, HostArrays, TiledParticles};
 pub use multi_device::{MultiDevicePipeline, MultiDeviceTiming};
 pub use perf_model::{
@@ -34,10 +36,14 @@ pub use pipeline::{
     DeviceForceKernel, DeviceForcePipeline, ForceKernelKind, PipelineTiming, RetryPolicy,
 };
 pub use simulation::{
-    latest_checkpoint, read_checkpoint, resume_simulation_resilient, run_cpu_simulation,
-    run_device_simulation, run_device_simulation_resilient, run_ring_simulation_resilient,
-    run_simulation, run_simulation_resilient, write_checkpoint, RecoveryConfig, ResilientOutcome,
-    SimulationConfig, SimulationOutcome, SpillConfig,
+    latest_checkpoint, read_block_checkpoint, read_checkpoint, resume_simulation_resilient,
+    run_block_simulation, run_block_simulation_resilient, run_cpu_block_simulation,
+    run_cpu_simulation, run_device_block_simulation_resilient, run_device_simulation,
+    run_device_simulation_resilient, run_device_simulation_resilient_kernel,
+    run_ring_simulation_resilient, run_ring_simulation_resilient_kernel, run_simulation,
+    run_simulation_resilient, write_block_checkpoint, write_checkpoint, BlockCheckpoint,
+    BlockOutcome, BlockResilientOutcome, BlockScheduler, BlockStepConfig, RecoveryConfig,
+    ResilientOutcome, SimulationConfig, SimulationOutcome, SpillConfig,
 };
 pub use tree::{run_tree_simulation, TreeConfig, TreeForceEvaluator};
 pub use validate::{validate_system, validation_suite, ValidationRow};

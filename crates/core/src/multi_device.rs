@@ -32,7 +32,7 @@ use tensix::{DataFormat, Device, Result, TensixError};
 use tt_telemetry::RetryCost;
 use ttmetal::{LaunchError, ProgramReport};
 
-use crate::evaluator::{retry_eval, ForceEvaluator};
+use crate::evaluator::{retry_eval, ActiveSet, ForceEvaluator};
 use crate::layout::split_tiles_to_cores;
 use crate::pipeline::{DeviceForcePipeline, ForceKernelKind, PipelineTiming, RetryPolicy};
 
@@ -358,6 +358,112 @@ impl MultiDevicePipeline {
         }
         Ok(gathered)
     }
+
+    /// Active-set evaluation across the ring: the active indices are split
+    /// evenly across cards (front-loaded, like the tile split), each card
+    /// runs a gathered, launch-grid-sized evaluation of its share against
+    /// all N sources, and the shares are scattered back in index order —
+    /// row `k` of the result is the force on `active.indices()[k]`, bitwise
+    /// identical to the single-card active path (each card's source order
+    /// is unchanged). Cards whose share is empty skip their launch, and the
+    /// all-gather is charged by the largest *share*, not the owned full-N
+    /// range. Fault handling matches [`Self::evaluate_checked`]: one flap
+    /// retransmits the share, a double flap downs the link and promotes a
+    /// spare; with a policy, transient faults re-run the card's whole
+    /// (already active-sized) launch.
+    fn ring_evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+        policy: Option<RetryPolicy>,
+    ) -> std::result::Result<Forces, LaunchError> {
+        assert_eq!(system.len(), self.n, "pipeline built for n = {}", self.n);
+        if active.is_empty() {
+            return Ok(Forces::zeros(0));
+        }
+        let mut slots = self.slots.lock();
+        let shares = split_tiles_to_cores(active.len(), slots.pipelines.len());
+        let mut gathered = Forces::zeros(active.len());
+        let mut slowest = 0.0f64;
+        let mut flap_comm = 0.0f64;
+        let mut failovers = 0u64;
+        for (idx, &(start, count)) in shares.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let share =
+                ActiveSet::from_indices(active.indices()[start..start + count].to_vec(), self.n);
+            loop {
+                let pipeline = &slots.pipelines[idx];
+                let device = &slots.devices[idx];
+                let before = pipeline.timing().device_seconds;
+                let mut attempts = 0u32;
+                let result = loop {
+                    match pipeline.evaluate_active_checked(system, &share) {
+                        Ok(f) => break Ok(f),
+                        Err(e)
+                            if e.is_transient()
+                                && policy.is_some_and(|p| attempts < p.max_retries) =>
+                        {
+                            attempts += 1;
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                let attempt = result.and_then(|part| {
+                    let plan = device.faults();
+                    if !plan.disarmed() && plan.roll_eth_flap() {
+                        flap_comm += EthLink::default().transfer_seconds((count * 6 * 4) as u64);
+                        if plan.roll_eth_flap() {
+                            return Err(LaunchError::Device(TensixError::EthLinkDown {
+                                link: idx,
+                            }));
+                        }
+                    }
+                    Ok(part)
+                });
+                match attempt {
+                    Ok(part) => {
+                        slowest =
+                            slowest.max(slots.pipelines[idx].timing().device_seconds - before);
+                        for (k, slot) in (start..start + count).enumerate() {
+                            gathered.acc[slot] = part.acc[k];
+                            gathered.jerk[slot] = part.jerk[k];
+                        }
+                        break;
+                    }
+                    Err(err) if err.is_card_loss() => {
+                        let Some(spare) = slots.spares.pop() else {
+                            return Err(err);
+                        };
+                        let fresh = DeviceForcePipeline::new_with_kernel(
+                            Arc::clone(&spare),
+                            self.n,
+                            self.eps,
+                            self.cores_per_device,
+                            DataFormat::Float32,
+                            self.kind,
+                        )?;
+                        let old = std::mem::replace(&mut slots.pipelines[idx], fresh);
+                        slots.carried.absorb(old.timing());
+                        slots.devices[idx] = spare;
+                        failovers += 1;
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+        let bytes_per_device = (shares.iter().map(|(_, c)| c).max().unwrap_or(&0) * 6 * 4) as u64;
+        let comm = self.ring.allgather_seconds(bytes_per_device) + flap_comm;
+        {
+            let mut t = self.timing.lock();
+            t.device_seconds += slowest;
+            t.comm_seconds += comm;
+            t.evaluations += 1;
+            t.failovers += failovers;
+        }
+        Ok(gathered)
+    }
 }
 
 impl ForceEvaluator for MultiDevicePipeline {
@@ -386,6 +492,17 @@ impl ForceEvaluator for MultiDevicePipeline {
         policy: RetryPolicy,
     ) -> std::result::Result<Forces, LaunchError> {
         self.ring_evaluate(system, Some(policy))
+    }
+
+    fn evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+    ) -> std::result::Result<Forces, LaunchError> {
+        // Transient-retry policy is the caller's call (the block scheduler
+        // re-runs the launch per its recovery config); flaps and spare
+        // failover are still absorbed here, like `evaluate_checked`.
+        self.ring_evaluate_active(system, active, None)
     }
 
     fn timing(&self) -> Option<PipelineTiming> {

@@ -18,14 +18,17 @@ use std::sync::Arc;
 
 use nbody::diagnostics::{relative_energy_error, total_energy};
 use nbody::force::{SimdKernel, ThreadedKernel};
-use nbody::integrator::{Hermite4, Integrator};
-use nbody::particle::ParticleSystem;
+use nbody::integrator::{aarseth_timestep, quantize_block_step, Hermite4, Integrator};
+use nbody::particle::{ParticleSystem, Vec3};
 use tensix::{Device, Result, TensixError};
+use tt_telemetry::BlockStepReport;
 use ttmetal::LaunchError;
 
-use crate::evaluator::{CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCardEvaluator};
+use crate::evaluator::{
+    ActiveSet, CpuForceEvaluator, EvaluatorKernel, ForceEvaluator, SingleCardEvaluator,
+};
 use crate::multi_device::MultiDevicePipeline;
-use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
+use crate::pipeline::{DeviceForcePipeline, ForceKernelKind, PipelineTiming, RetryPolicy};
 
 /// Configuration of a device-accelerated simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,10 +39,14 @@ pub struct SimulationConfig {
     pub cycles: usize,
     /// Hermite steps per cycle.
     pub steps_per_cycle: usize,
-    /// Fixed step size in N-body time units.
+    /// Fixed step size in N-body time units. For block-step runs this is
+    /// the *base* (largest) block step; particles subdivide below it.
     pub dt: f64,
     /// Tensix cores to use (per device, for multi-card runs).
     pub num_cores: usize,
+    /// Hierarchical block time-steps: `Some` switches the drivers from the
+    /// shared-step Hermite loop to the active-set block scheduler.
+    pub blocks: Option<BlockStepConfig>,
 }
 
 impl Default for SimulationConfig {
@@ -50,7 +57,24 @@ impl Default for SimulationConfig {
             steps_per_cycle: 4,
             dt: 1.0 / 512.0,
             num_cores: 4,
+            blocks: None,
         }
+    }
+}
+
+/// Parameters of the hierarchical block-time-step scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStepConfig {
+    /// Aarseth accuracy parameter η (per-particle dt = η |a| / |ȧ|).
+    pub eta: f64,
+    /// Power-of-two halvings allowed below the base step: particle steps
+    /// live on `dt / 2^k` for `k in 0..=levels`.
+    pub levels: u32,
+}
+
+impl Default for BlockStepConfig {
+    fn default() -> Self {
+        BlockStepConfig { eta: 0.02, levels: 6 }
     }
 }
 
@@ -635,11 +659,36 @@ pub fn run_device_simulation_resilient(
     config: SimulationConfig,
     recovery: RecoveryConfig,
 ) -> std::result::Result<ResilientOutcome, LaunchError> {
-    let evaluator = Arc::new(SingleCardEvaluator::new(
+    run_device_simulation_resilient_kernel(
+        device,
+        system,
+        config,
+        recovery,
+        ForceKernelKind::Elementwise,
+    )
+}
+
+/// [`run_device_simulation_resilient`] with an explicit force kernel; the
+/// kind survives device-loss recovery (the rebuilt pipeline keeps it).
+///
+/// # Errors
+/// Same contract as [`run_device_simulation_resilient`].
+///
+/// # Panics
+/// Same contract as [`run_simulation_resilient`].
+pub fn run_device_simulation_resilient_kernel(
+    device: &Arc<Device>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+    kind: ForceKernelKind,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
+    let evaluator = Arc::new(SingleCardEvaluator::new_with_kernel(
         Arc::clone(device),
         system.len(),
         config.eps,
         config.num_cores,
+        kind,
     )?);
     run_simulation_resilient(&evaluator, system, config, recovery)
 }
@@ -663,12 +712,41 @@ pub fn run_ring_simulation_resilient(
     config: SimulationConfig,
     recovery: RecoveryConfig,
 ) -> std::result::Result<ResilientOutcome, LaunchError> {
-    let ring = Arc::new(MultiDevicePipeline::with_spares(
+    run_ring_simulation_resilient_kernel(
+        devices,
+        spares,
+        system,
+        config,
+        recovery,
+        ForceKernelKind::Elementwise,
+    )
+}
+
+/// [`run_ring_simulation_resilient`] with an explicit per-card force kernel:
+/// the kind threads through every ring pipeline, survives spare promotion,
+/// and so holds for the whole run — a matrix-pipe ring stays matrix-pipe
+/// across card losses.
+///
+/// # Errors
+/// Same contract as [`run_ring_simulation_resilient`].
+///
+/// # Panics
+/// Same contract as [`run_simulation_resilient`].
+pub fn run_ring_simulation_resilient_kernel(
+    devices: &[Arc<Device>],
+    spares: &[Arc<Device>],
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+    kind: ForceKernelKind,
+) -> std::result::Result<ResilientOutcome, LaunchError> {
+    let ring = Arc::new(MultiDevicePipeline::with_spares_kernel(
         devices,
         spares,
         system.len(),
         config.eps,
         config.num_cores,
+        kind,
     )?);
     let mut out = run_simulation_resilient(&ring, system, config, recovery)?;
     out.failovers = ring.timing().failovers;
@@ -691,6 +769,684 @@ pub fn run_cpu_simulation(
     run_simulation(&evaluator, system, config)
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical block time-steps: the active-set scheduler.
+// ---------------------------------------------------------------------------
+
+/// Evaluate forces on `active` with transient faults retried in place.
+///
+/// Active-set retries always re-run the whole (already active-sized) launch:
+/// the partial-salvage machinery of [`ForceEvaluator::evaluate_with_retry`]
+/// exists to avoid repeating full-N grids, which an active launch never is.
+/// The failed attempt's cycles are already billed as wasted by the pipeline.
+fn eval_active_retrying<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
+    system: &ParticleSystem,
+    active: &ActiveSet,
+    retry: RetryPolicy,
+) -> std::result::Result<nbody::particle::Forces, LaunchError> {
+    let mut attempt = 0u32;
+    loop {
+        match evaluator.evaluate_active(system, active) {
+            Ok(f) => return Ok(f),
+            Err(e) if e.is_transient() && attempt < retry.max_retries => attempt += 1,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Hierarchical block-time-step Hermite scheduler over the evaluator seam.
+///
+/// The CPU-side twin of `nbody`'s `BlockHermite`, restructured around
+/// [`ForceEvaluator::evaluate_active`] so the *backend* sees the active set:
+/// a device pipeline packs the active particles into gathered tiles and
+/// sizes its launch grid to the block, the ring splits the block across
+/// cards, and the CPU kernel front-permutes — the scheduler itself is
+/// backend-agnostic. Each particle `i` carries its last-corrected state at
+/// `t[i]` and a power-of-two step `dt[i] = dt_max / 2^k`; every iteration
+/// advances the globally earliest due time, predicts all particles there in
+/// FP64, and force-evaluates + Hermite-corrects only the due block.
+///
+/// Unlike the shared-step drivers (whose faults unwind as panics through the
+/// `ForceKernel` seam), all force evaluation here is `Result`-typed, so the
+/// resilient block runner needs no `catch_unwind`.
+pub struct BlockScheduler<E> {
+    evaluator: Arc<E>,
+    blocks: BlockStepConfig,
+    /// Base (largest) block step.
+    dt_max: f64,
+    retry: RetryPolicy,
+    t_end: f64,
+    /// Origin of the block grid (start time of the run); step alignment is
+    /// judged relative to it, so it must survive checkpoint/restore.
+    t_origin: f64,
+    /// Last correction time per particle.
+    t: Vec<f64>,
+    /// Current block step per particle.
+    dt: Vec<f64>,
+    /// Corrected state at `t[i]` (the osculating data prediction uses;
+    /// `system` itself holds predictions between corrections).
+    pos0: Vec<Vec3>,
+    vel0: Vec<Vec3>,
+    acc0: Vec<Vec3>,
+    jerk0: Vec<Vec3>,
+    report: BlockStepReport,
+}
+
+impl<E: ForceEvaluator> BlockScheduler<E> {
+    /// Initialize the block hierarchy: one full-N force evaluation seeds
+    /// acc/jerk, then every particle's step comes from the Aarseth
+    /// criterion quantized to the grid. The run ends at
+    /// `system.time + cycles · steps_per_cycle · dt`.
+    ///
+    /// # Errors
+    /// Unrecovered faults from the initializing evaluation.
+    ///
+    /// # Panics
+    /// Panics on a particle-count mismatch with the evaluator or a
+    /// non-positive base step.
+    pub fn new(
+        evaluator: Arc<E>,
+        system: &mut ParticleSystem,
+        config: SimulationConfig,
+        retry: RetryPolicy,
+    ) -> std::result::Result<Self, LaunchError> {
+        assert_eq!(system.len(), evaluator.n(), "evaluator built for n = {}", evaluator.n());
+        assert!(config.dt > 0.0, "base block step must be positive");
+        let blocks = config.blocks.unwrap_or_default();
+        let n = system.len();
+        let t_end = system.time + (config.cycles * config.steps_per_cycle) as f64 * config.dt;
+
+        let forces = eval_active_retrying(&evaluator, system, &ActiveSet::full(n), retry)?;
+        system.set_forces(forces.acc.clone(), forces.jerk.clone());
+        let mut dt = Vec::with_capacity(n);
+        for i in 0..n {
+            let raw = aarseth_timestep(forces.acc[i], forces.jerk[i], blocks.eta, config.dt);
+            dt.push(quantize_block_step(raw, 0.0, config.dt, blocks.levels));
+        }
+        let mut report = BlockStepReport::new(n);
+        report.record(n, 0.0); // the initializing full-N launch
+
+        Ok(BlockScheduler {
+            evaluator,
+            blocks,
+            dt_max: config.dt,
+            retry,
+            t_end,
+            t_origin: system.time,
+            t: vec![system.time; n],
+            dt,
+            pos0: system.pos.clone(),
+            vel0: system.vel.clone(),
+            acc0: forces.acc,
+            jerk0: forces.jerk,
+            report,
+        })
+    }
+
+    /// Has the run reached `t_end`?
+    #[must_use]
+    pub fn done(&self, system: &ParticleSystem) -> bool {
+        system.time >= self.t_end - 1e-12
+    }
+
+    /// The launch ledger so far.
+    #[must_use]
+    pub fn report(&self) -> &BlockStepReport {
+        &self.report
+    }
+
+    /// Consume the scheduler, yielding the launch ledger.
+    #[must_use]
+    pub fn into_report(self) -> BlockStepReport {
+        self.report
+    }
+
+    /// One block iteration: advance to the earliest due time, predict all,
+    /// force-evaluate and correct the active block, re-choose its steps.
+    /// The final iteration (the one landing on `t_end`) force-synchronizes
+    /// every particle so the run ends with corrected state throughout.
+    ///
+    /// # Errors
+    /// Unrecovered evaluation faults. `system` is left in the predicted
+    /// (pre-correction) state; recovery must restore a checkpoint.
+    pub fn step(&mut self, system: &mut ParticleSystem) -> std::result::Result<(), LaunchError> {
+        debug_assert!(!self.done(system), "stepping past t_end");
+        let n = system.len();
+        let mut t_next = f64::INFINITY;
+        for i in 0..n {
+            t_next = t_next.min(self.t[i] + self.dt[i]);
+        }
+        let t_next = t_next.min(self.t_end);
+
+        // Predict every particle to t_next (host-side FP64 pass).
+        for i in 0..n {
+            let h = t_next - self.t[i];
+            let h2 = h * h / 2.0;
+            let h3 = h * h * h / 6.0;
+            for c in 0..3 {
+                system.pos[i][c] = self.pos0[i][c]
+                    + self.vel0[i][c] * h
+                    + self.acc0[i][c] * h2
+                    + self.jerk0[i][c] * h3;
+                system.vel[i][c] =
+                    self.vel0[i][c] + self.acc0[i][c] * h + self.jerk0[i][c] * h * h / 2.0;
+            }
+        }
+
+        // Active block: particles due at t_next (everyone on the final sync).
+        let forced_sync = t_next >= self.t_end - 1e-12;
+        let due: Vec<usize> =
+            (0..n).filter(|&i| forced_sync || self.t[i] + self.dt[i] <= t_next + 1e-12).collect();
+        let active = ActiveSet::from_indices(due, n);
+        let forces = eval_active_retrying(&self.evaluator, system, &active, self.retry)?;
+
+        // Hermite-correct the block; row `slot` of `forces` is particle
+        // `active.indices()[slot]` against all N sources.
+        let mut min_h = f64::INFINITY;
+        for (slot, &i) in active.indices().iter().enumerate() {
+            let h = t_next - self.t[i];
+            if h <= 0.0 {
+                continue;
+            }
+            min_h = min_h.min(h);
+            let half = h / 2.0;
+            let twelfth = h * h / 12.0;
+            let (a1, j1) = (forces.acc[slot], forces.jerk[slot]);
+            for c in 0..3 {
+                let v1 = self.vel0[i][c]
+                    + (self.acc0[i][c] + a1[c]) * half
+                    + (self.jerk0[i][c] - j1[c]) * twelfth;
+                let x1 = self.pos0[i][c]
+                    + (self.vel0[i][c] + v1) * half
+                    + (self.acc0[i][c] - a1[c]) * twelfth;
+                self.pos0[i][c] = x1;
+                self.vel0[i][c] = v1;
+                system.pos[i][c] = x1;
+                system.vel[i][c] = v1;
+            }
+            self.acc0[i] = a1;
+            self.jerk0[i] = j1;
+            self.t[i] = t_next;
+            let raw = aarseth_timestep(a1, j1, self.blocks.eta, self.dt_max);
+            self.dt[i] =
+                quantize_block_step(raw, t_next - self.t_origin, self.dt_max, self.blocks.levels);
+        }
+
+        system.time = t_next;
+        self.report.record(active.len(), if min_h.is_finite() { min_h } else { 0.0 });
+
+        if forced_sync {
+            // Leave the system fully synchronized: corrected state only.
+            system.pos.clone_from(&self.pos0);
+            system.vel.clone_from(&self.vel0);
+            system.set_forces(self.acc0.clone(), self.jerk0.clone());
+        }
+        Ok(())
+    }
+
+    /// Snapshot the full block hierarchy (corrected states, per-particle
+    /// times and steps, the grid origin) for bitwise resume.
+    #[must_use]
+    pub fn checkpoint(&self, system: &ParticleSystem) -> BlockCheckpoint {
+        BlockCheckpoint {
+            time: system.time,
+            t_origin: self.t_origin,
+            mass: system.mass.clone(),
+            pos0: self.pos0.clone(),
+            vel0: self.vel0.clone(),
+            acc0: self.acc0.clone(),
+            jerk0: self.jerk0.clone(),
+            t: self.t.clone(),
+            dt: self.dt.clone(),
+        }
+    }
+
+    /// Restore a [`checkpoint`](Self::checkpoint): the scheduler re-arms the
+    /// hierarchy and `system` is reset to the corrected state, so the next
+    /// [`step`](Self::step) replays exactly what the snapshotted run did.
+    ///
+    /// # Panics
+    /// Panics on a particle-count mismatch.
+    pub fn restore(&mut self, system: &mut ParticleSystem, ckpt: &BlockCheckpoint) {
+        let n = system.len();
+        assert_eq!(ckpt.mass.len(), n, "checkpoint holds a different particle count");
+        self.t_origin = ckpt.t_origin;
+        self.t.clone_from(&ckpt.t);
+        self.dt.clone_from(&ckpt.dt);
+        self.pos0.clone_from(&ckpt.pos0);
+        self.vel0.clone_from(&ckpt.vel0);
+        self.acc0.clone_from(&ckpt.acc0);
+        self.jerk0.clone_from(&ckpt.jerk0);
+        system.time = ckpt.time;
+        system.mass.clone_from(&ckpt.mass);
+        system.pos.clone_from(&ckpt.pos0);
+        system.vel.clone_from(&ckpt.vel0);
+        system.set_forces(ckpt.acc0.clone(), ckpt.jerk0.clone());
+    }
+}
+
+/// A point-in-time snapshot of a block-step run: the FP64 corrected state
+/// *and* the hierarchy (per-particle times/steps, grid origin) — everything
+/// [`BlockScheduler::restore`] needs for a bitwise-identical resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCheckpoint {
+    /// Simulation time of the snapshot.
+    pub time: f64,
+    /// Origin of the block grid (start of the run).
+    pub t_origin: f64,
+    /// Particle masses.
+    pub mass: Vec<f64>,
+    /// Corrected positions at `t[i]`.
+    pub pos0: Vec<Vec3>,
+    /// Corrected velocities at `t[i]`.
+    pub vel0: Vec<Vec3>,
+    /// Accelerations at `t[i]`.
+    pub acc0: Vec<Vec3>,
+    /// Jerks at `t[i]`.
+    pub jerk0: Vec<Vec3>,
+    /// Last correction time per particle.
+    pub t: Vec<f64>,
+    /// Current block step per particle.
+    pub dt: Vec<f64>,
+}
+
+impl BlockCheckpoint {
+    /// Bitmap (bit `i % 64` of word `i / 64`) of the particles due at the
+    /// next block time — the active set the first resumed iteration will
+    /// launch. Serialized into the spill payload (and its FNV hash) as a
+    /// consistency check on the hierarchy.
+    #[must_use]
+    pub fn next_due_bitmap(&self) -> Vec<u64> {
+        let n = self.mass.len();
+        let mut t_next = f64::INFINITY;
+        for i in 0..n {
+            t_next = t_next.min(self.t[i] + self.dt[i]);
+        }
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for i in 0..n {
+            if self.t[i] + self.dt[i] <= t_next + 1e-12 {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+}
+
+const SPILL_BLOCK_MAGIC: u64 = 0x4e42_5454_424c_4b53; // "NBTTBLKS"
+
+/// Serialize a block checkpoint: time and grid origin, then mass, the four
+/// corrected-state fields, per-particle times and steps (15 scalars per
+/// particle + 2), then the next-due active-set bitmap — all under one FNV
+/// content hash.
+fn block_spill_payload(ckpt: &BlockCheckpoint) -> Vec<u8> {
+    let n = ckpt.mass.len();
+    let mut buf = Vec::with_capacity(8 * (2 + 15 * n + n.div_ceil(64)));
+    buf.extend_from_slice(&ckpt.time.to_bits().to_le_bytes());
+    buf.extend_from_slice(&ckpt.t_origin.to_bits().to_le_bytes());
+    for &m in &ckpt.mass {
+        buf.extend_from_slice(&m.to_bits().to_le_bytes());
+    }
+    for field in [&ckpt.pos0, &ckpt.vel0, &ckpt.acc0, &ckpt.jerk0] {
+        for v in field {
+            for &c in v {
+                buf.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+    }
+    for series in [&ckpt.t, &ckpt.dt] {
+        for &x in series {
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    for w in ckpt.next_due_bitmap() {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    buf
+}
+
+/// Write the iteration-`iteration` block checkpoint to its spill file,
+/// returning the bytes written (for virtual-clock IO charging). The framing
+/// matches [`write_checkpoint`] but under a distinct magic, so a shared-step
+/// restore can never misread a block spill (or vice versa).
+///
+/// # Errors
+/// Same contract as [`write_checkpoint`].
+pub fn write_block_checkpoint(
+    spill: &SpillConfig,
+    ckpt: &BlockCheckpoint,
+    iteration: usize,
+) -> std::result::Result<u64, LaunchError> {
+    let payload = block_spill_payload(ckpt);
+    let mut out = Vec::with_capacity(32 + payload.len());
+    out.extend_from_slice(&SPILL_BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(iteration as u64).to_le_bytes());
+    out.extend_from_slice(&(ckpt.mass.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let file = spill.file_for(iteration);
+    std::fs::write(&file, &out).map_err(|e| spill_io_fault(&file, &e))?;
+    Ok(out.len() as u64)
+}
+
+/// Read back and verify the iteration-`iteration` block checkpoint: framing,
+/// content hash, and the serialized next-due bitmap against one re-derived
+/// from the per-particle times (a hierarchy-consistency check).
+///
+/// # Errors
+/// Same contract as [`read_checkpoint`].
+pub fn read_block_checkpoint(
+    spill: &SpillConfig,
+    iteration: usize,
+) -> std::result::Result<(BlockCheckpoint, usize), LaunchError> {
+    let file = spill.file_for(iteration);
+    let raw = std::fs::read(&file).map_err(|e| spill_io_fault(&file, &e))?;
+    let corrupt = |what: &str| spill_fault(format!("block checkpoint {file:?} corrupt: {what}"));
+    if raw.len() < 32 {
+        return Err(corrupt("truncated header"));
+    }
+    let word = |i: usize| u64::from_le_bytes(raw[8 * i..8 * (i + 1)].try_into().unwrap());
+    if word(0) != SPILL_BLOCK_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let header_iteration = word(1) as usize;
+    let n = word(2) as usize;
+    let payload = &raw[32..];
+    let words = n.div_ceil(64);
+    if payload.len() != 8 * (2 + 15 * n + words) {
+        return Err(corrupt("payload length does not match particle count"));
+    }
+    if fnv1a(payload) != word(3) {
+        return Err(corrupt("content hash mismatch"));
+    }
+    let scalar_bytes = 8 * (2 + 15 * n);
+    let mut scalars = payload[..scalar_bytes].chunks_exact(8).map(|c| {
+        f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+    });
+    let time = scalars.next().expect("length checked above");
+    let t_origin = scalars.next().expect("length checked above");
+    let mass: Vec<f64> = scalars.by_ref().take(n).collect();
+    let mut vec3s = || -> Vec<Vec3> {
+        (0..n)
+            .map(|_| {
+                let mut v = [0.0; 3];
+                for c in &mut v {
+                    *c = scalars.next().expect("length checked above");
+                }
+                v
+            })
+            .collect()
+    };
+    let pos0 = vec3s();
+    let vel0 = vec3s();
+    let acc0 = vec3s();
+    let jerk0 = vec3s();
+    let t: Vec<f64> = scalars.by_ref().take(n).collect();
+    let dt: Vec<f64> = scalars.take(n).collect();
+    let ckpt = BlockCheckpoint { time, t_origin, mass, pos0, vel0, acc0, jerk0, t, dt };
+    let stored: Vec<u64> = payload[scalar_bytes..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+        .collect();
+    if stored != ckpt.next_due_bitmap() {
+        return Err(corrupt("active-set bitmap inconsistent with block times"));
+    }
+    Ok((ckpt, header_iteration))
+}
+
+/// The block runner's checkpoint slot: in-memory clone or hashed spill
+/// files, with the same keep-last-K retention as [`CheckpointStore`].
+struct BlockCheckpointStore {
+    spill: Option<SpillConfig>,
+    memory: Option<BlockCheckpoint>,
+    iteration: usize,
+    on_disk: std::collections::VecDeque<usize>,
+    spills: u64,
+    seconds: f64,
+}
+
+impl BlockCheckpointStore {
+    fn new(spill: Option<SpillConfig>) -> Self {
+        BlockCheckpointStore {
+            spill,
+            memory: None,
+            iteration: 0,
+            on_disk: std::collections::VecDeque::new(),
+            spills: 0,
+            seconds: 0.0,
+        }
+    }
+
+    fn save(
+        &mut self,
+        ckpt: &BlockCheckpoint,
+        iteration: usize,
+    ) -> std::result::Result<(), LaunchError> {
+        self.iteration = iteration;
+        match &self.spill {
+            Some(spill) => {
+                let bytes = write_block_checkpoint(spill, ckpt, iteration)?;
+                self.spills += 1;
+                self.seconds += bytes as f64 / (spill.write_gbps * 1e9);
+                self.memory = None;
+                self.on_disk.push_back(iteration);
+                while self.on_disk.len() > spill.keep_last.max(1) {
+                    if let Some(old) = self.on_disk.pop_front() {
+                        let _ = std::fs::remove_file(spill.file_for(old));
+                    }
+                }
+            }
+            None => self.memory = Some(ckpt.clone()),
+        }
+        Ok(())
+    }
+
+    fn restore(&self) -> std::result::Result<(BlockCheckpoint, usize), LaunchError> {
+        match &self.spill {
+            Some(spill) => {
+                let (ckpt, iteration) = read_block_checkpoint(spill, self.iteration)?;
+                if iteration != self.iteration {
+                    return Err(spill_fault(format!(
+                        "block checkpoint {:?} is stale: holds iteration {iteration}, expected {}",
+                        spill.file_for(self.iteration),
+                        self.iteration
+                    )));
+                }
+                Ok((ckpt, iteration))
+            }
+            None => {
+                let ckpt = self.memory.as_ref().expect("restore before first save").clone();
+                Ok((ckpt, self.iteration))
+            }
+        }
+    }
+}
+
+/// Outcome of a block-time-step run: the physics plus the launch ledger.
+#[derive(Debug, Clone)]
+pub struct BlockOutcome {
+    /// Physics and timing, as the shared-step drivers report it.
+    /// `outcome.steps` counts block iterations (the initializing launch is
+    /// not a step).
+    pub outcome: SimulationOutcome,
+    /// Active-set launch accounting (init launch included).
+    pub report: BlockStepReport,
+}
+
+/// Outcome of a resilient block-time-step run.
+#[derive(Debug, Clone)]
+pub struct BlockResilientOutcome {
+    /// Physics and timing (timing includes replayed work and spill IO).
+    pub outcome: SimulationOutcome,
+    /// Active-set launch accounting, *including* replayed launches — like
+    /// the shared-step runner, recovery work is billed, not hidden.
+    pub report: BlockStepReport,
+    /// Card losses survived via evaluator recovery + checkpoint restore.
+    pub recoveries: u32,
+    /// Block iterations re-executed after rolling back to a checkpoint.
+    pub iterations_replayed: usize,
+    /// Checkpoints written to disk (zero without a [`SpillConfig`]).
+    pub checkpoint_spills: u64,
+    /// Virtual seconds charged for checkpoint spill writes.
+    pub spill_seconds: f64,
+}
+
+/// Evolve `system` to `cycles · steps_per_cycle · dt` past its current time
+/// with hierarchical block steps (`config.blocks`, defaulted when `None`)
+/// against any [`ForceEvaluator`]. Faults are not retried or recovered —
+/// see [`run_block_simulation_resilient`].
+///
+/// # Errors
+/// Any evaluation fault.
+///
+/// # Panics
+/// Panics on a particle-count mismatch with the evaluator.
+pub fn run_block_simulation<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+) -> std::result::Result<BlockOutcome, LaunchError> {
+    let e0 = total_energy(system, config.eps);
+    let mut sched =
+        BlockScheduler::new(Arc::clone(evaluator), system, config, RetryPolicy::disabled())?;
+    while !sched.done(system) {
+        sched.step(system)?;
+    }
+    let e1 = total_energy(system, config.eps);
+    let report = sched.into_report();
+    Ok(BlockOutcome {
+        outcome: SimulationOutcome {
+            steps: (report.iterations - 1) as usize,
+            final_time: system.time,
+            energy_error: relative_energy_error(e1, e0),
+            initial_energy: e0,
+            final_energy: e1,
+            timing: evaluator.timing(),
+            kernel: evaluator.backend(),
+        },
+        report,
+    })
+}
+
+/// [`run_block_simulation`] with fault survival: transient launch faults are
+/// retried in place, and a card loss goes through
+/// [`ForceEvaluator::recover_device_loss`] → restore of the last block
+/// checkpoint → replay. The checkpoint carries the whole hierarchy
+/// (per-particle times/steps, grid origin, active-set bitmap), so a
+/// recovered run is f64-bitwise identical to a fault-free one.
+///
+/// # Errors
+/// Non-transient faults the evaluator cannot recover from, checkpoint spill
+/// failures, or more than `recovery.max_recoveries` card losses.
+///
+/// # Panics
+/// Panics on a particle-count mismatch with the evaluator.
+pub fn run_block_simulation_resilient<E: ForceEvaluator>(
+    evaluator: &Arc<E>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+) -> std::result::Result<BlockResilientOutcome, LaunchError> {
+    let e0 = total_energy(system, config.eps);
+    let mut recoveries: u32 = 0;
+
+    // Initialization only mutates `system` after its evaluation succeeds,
+    // so on card loss we recover the evaluator and simply try again.
+    let mut sched = loop {
+        match BlockScheduler::new(Arc::clone(evaluator), system, config, recovery.retry) {
+            Ok(s) => break s,
+            Err(e) if e.is_card_loss() && recoveries < recovery.max_recoveries => {
+                recoveries += 1;
+                evaluator.recover_device_loss(e)?;
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    let mut store = BlockCheckpointStore::new(recovery.spill.clone());
+    store.save(&sched.checkpoint(system), 0)?;
+    let mut iteration = 0usize;
+    let mut replayed = 0usize;
+    while !sched.done(system) {
+        match sched.step(system) {
+            Ok(()) => {
+                iteration += 1;
+                if iteration - store.iteration >= recovery.checkpoint_every.max(1) {
+                    store.save(&sched.checkpoint(system), iteration)?;
+                }
+            }
+            Err(e) if e.is_card_loss() && recoveries < recovery.max_recoveries => {
+                recoveries += 1;
+                evaluator.recover_device_loss(e)?;
+                let (ckpt, restored) = store.restore()?;
+                sched.restore(system, &ckpt);
+                replayed += iteration - restored;
+                iteration = restored;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let e1 = total_energy(system, config.eps);
+    let mut timing = evaluator.timing();
+    if let Some(t) = timing.as_mut() {
+        t.io_seconds += store.seconds;
+    }
+    Ok(BlockResilientOutcome {
+        outcome: SimulationOutcome {
+            steps: iteration,
+            final_time: system.time,
+            energy_error: relative_energy_error(e1, e0),
+            initial_energy: e0,
+            final_energy: e1,
+            timing,
+            kernel: evaluator.backend(),
+        },
+        report: sched.into_report(),
+        recoveries,
+        iterations_replayed: replayed,
+        checkpoint_spills: store.spills,
+        spill_seconds: store.seconds,
+    })
+}
+
+/// [`run_block_simulation_resilient`] on one Wormhole card.
+///
+/// # Errors
+/// Pipeline construction failures plus the resilient-run contract.
+pub fn run_device_block_simulation_resilient(
+    device: &Arc<Device>,
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    recovery: RecoveryConfig,
+) -> std::result::Result<BlockResilientOutcome, LaunchError> {
+    let evaluator = Arc::new(SingleCardEvaluator::new(
+        Arc::clone(device),
+        system.len(),
+        config.eps,
+        config.num_cores,
+    )?);
+    run_block_simulation_resilient(&evaluator, system, config, recovery)
+}
+
+/// [`run_block_simulation`] with the CPU reference kernel through the same
+/// evaluator seam (active sets front-permuted into the SIMD range kernel).
+///
+/// # Errors
+/// Never fails on the CPU backend; `Result` keeps the driver surface
+/// uniform.
+pub fn run_cpu_block_simulation(
+    system: &mut ParticleSystem,
+    config: SimulationConfig,
+    threads: usize,
+) -> std::result::Result<BlockOutcome, LaunchError> {
+    let evaluator = Arc::new(CpuForceEvaluator::new(
+        ThreadedKernel::new(SimdKernel::new(config.eps), threads),
+        system.len(),
+    ));
+    run_block_simulation(&evaluator, system, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,7 +1454,14 @@ mod tests {
     use tensix::DeviceConfig;
 
     fn small_config() -> SimulationConfig {
-        SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
+        SimulationConfig {
+            eps: 0.05,
+            cycles: 2,
+            steps_per_cycle: 2,
+            dt: 1.0 / 256.0,
+            num_cores: 1,
+            blocks: None,
+        }
     }
 
     fn temp_spill(tag: &str) -> SpillConfig {
@@ -753,6 +1516,7 @@ mod tests {
             steps_per_cycle: 4,
             dt: 1.0 / 256.0,
             num_cores: 2,
+            blocks: None,
         };
         let mk = || plummer(PlummerConfig { n: 512, seed: 103, ..PlummerConfig::default() });
 
@@ -806,6 +1570,7 @@ mod tests {
             steps_per_cycle: 3,
             dt: 1.0 / 256.0,
             num_cores: 1,
+            blocks: None,
         };
         let total = cfg.cycles * cfg.steps_per_cycle;
         let recovery = RecoveryConfig { checkpoint_every: 2, ..RecoveryConfig::default() };
@@ -865,6 +1630,7 @@ mod tests {
             steps_per_cycle: 4,
             dt: 1.0 / 256.0,
             num_cores: 1,
+            blocks: None,
         };
         let mk = || plummer(PlummerConfig { n: 256, seed: 106, ..PlummerConfig::default() });
 
@@ -971,6 +1737,7 @@ mod tests {
             steps_per_cycle: 4,
             dt: 1.0 / 256.0,
             num_cores: 1,
+            blocks: None,
         };
         let mk = || plummer(PlummerConfig { n: 128, seed: 112, ..PlummerConfig::default() });
 

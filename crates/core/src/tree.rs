@@ -42,7 +42,7 @@ use tensix::{Device, TILE_ELEMS};
 use tt_telemetry::TreeCost;
 use ttmetal::{LaunchError, ProgramReport};
 
-use crate::evaluator::{retry_eval, ForceEvaluator};
+use crate::evaluator::{gather_rows, retry_eval, ActiveSet, ForceEvaluator};
 use crate::pipeline::{DeviceForcePipeline, PipelineTiming, RetryPolicy};
 use crate::simulation::{run_simulation, SimulationConfig, SimulationOutcome};
 
@@ -405,9 +405,12 @@ fn pairwise(
 /// Per-target results for one leaf chunk: `(original index, acc, jerk)`.
 type LeafRows = Vec<(u32, Vec3, Vec3)>;
 
-/// Evaluate one leaf's targets fully on the host (far multipoles + near
-/// direct pairs), appending rows to `out`. Returns (far, near) interaction
-/// counts.
+/// Evaluate one leaf's targets on the host (far multipoles + near direct
+/// pairs), appending rows to `out`. When `mask` is present only marked
+/// targets get rows — sources are unaffected, so each computed row is
+/// bitwise identical to the full-evaluation row. Returns (far, near)
+/// interaction counts.
+#[allow(clippy::too_many_arguments)]
 fn eval_leaf_host(
     tree: &Octree,
     sys: &ParticleSystem,
@@ -415,6 +418,7 @@ fn eval_leaf_host(
     e2: f64,
     far: &[u32],
     near: &[u32],
+    mask: Option<&[bool]>,
     out: &mut LeafRows,
 ) -> (u64, u64) {
     let node = &tree.nodes[leaf as usize];
@@ -423,6 +427,9 @@ fn eval_leaf_host(
     let mut near_count = 0u64;
     for &pi in &tree.order[start..end] {
         let i = pi as usize;
+        if mask.is_some_and(|m| !m[i]) {
+            continue;
+        }
         let (pos, vel) = (sys.pos[i], sys.vel[i]);
         let mut acc = [0.0; 3];
         let mut jerk = [0.0; 3];
@@ -552,11 +559,16 @@ impl TreeForceEvaluator {
     }
 
     /// Full evaluation: build, walk, far + near. `policy` routes device
-    /// patch launches through the shared retry driver when present.
+    /// patch launches through the shared retry driver when present. A
+    /// `mask` restricts which targets get rows (leaves with no marked
+    /// target are skipped outright); sources — and therefore the tree,
+    /// the interaction lists, and every computed row — are untouched, so
+    /// masked rows are bitwise identical to the full evaluation's.
     fn evaluate_tree(
         &self,
         sys: &ParticleSystem,
         policy: Option<RetryPolicy>,
+        mask: Option<&[bool]>,
     ) -> std::result::Result<Forces, LaunchError> {
         assert_eq!(sys.len(), self.n, "evaluator built for n = {}", self.n);
 
@@ -565,8 +577,8 @@ impl TreeForceEvaluator {
         let build_seconds = t0.elapsed().as_secs_f64();
 
         let (forces, walk_seconds, near_seconds, far_count, near_count) = match &self.near {
-            NearField::Host => self.near_host(sys, &tree),
-            NearField::Device(_) => self.near_device(sys, &tree, policy)?,
+            NearField::Host => self.near_host(sys, &tree, mask),
+            NearField::Device(_) => self.near_device(sys, &tree, policy, mask)?,
         };
 
         let mut cost = self.cost.lock();
@@ -583,14 +595,33 @@ impl TreeForceEvaluator {
 
     /// Host walk: leaves are chunked over threads; every thread writes
     /// rows for its own leaves only, so any thread count produces the
-    /// same bits.
-    fn near_host(&self, sys: &ParticleSystem, tree: &Octree) -> (Forces, f64, f64, u64, u64) {
+    /// same bits. A `mask` drops leaves with no marked target before the
+    /// thread split and skips unmarked targets inside surviving leaves.
+    fn near_host(
+        &self,
+        sys: &ParticleSystem,
+        tree: &Octree,
+        mask: Option<&[bool]>,
+    ) -> (Forces, f64, f64, u64, u64) {
         let t0 = Instant::now();
-        let threads = self.effective_threads().min(tree.leaf_ids.len()).max(1);
-        let chunk = tree.leaf_ids.len().div_ceil(threads);
-        let results: Vec<(LeafRows, u64, u64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = tree
+        let live: Vec<u32> = match mask {
+            None => tree.leaf_ids.clone(),
+            Some(m) => tree
                 .leaf_ids
+                .iter()
+                .copied()
+                .filter(|&lid| {
+                    let l = &tree.nodes[lid as usize];
+                    tree.order[l.start as usize..(l.start + l.count) as usize]
+                        .iter()
+                        .any(|&pi| m[pi as usize])
+                })
+                .collect(),
+        };
+        let threads = self.effective_threads().min(live.len()).max(1);
+        let chunk = live.len().div_ceil(threads).max(1);
+        let results: Vec<(LeafRows, u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = live
                 .chunks(chunk)
                 .map(|leaves| {
                     scope.spawn(move || {
@@ -608,6 +639,7 @@ impl TreeForceEvaluator {
                                 self.eps * self.eps,
                                 &far,
                                 &near,
+                                mask,
                                 &mut rows,
                             );
                             far_count += f;
@@ -636,12 +668,17 @@ impl TreeForceEvaluator {
 
     /// Hybrid walk: host far-field, device near-field patches. Sequential
     /// over leaves — patch launches serialize on the device queue anyway,
-    /// and the fixed order keeps timing/fault streams deterministic.
+    /// and the fixed order keeps timing/fault streams deterministic. A
+    /// `mask` skips leaves with no marked target entirely; surviving
+    /// leaves still launch their full patch (unmarked leaf members remain
+    /// sources for the marked ones), but only marked rows are read out —
+    /// so each produced row matches the full evaluation bitwise.
     fn near_device(
         &self,
         sys: &ParticleSystem,
         tree: &Octree,
         policy: Option<RetryPolicy>,
+        mask: Option<&[bool]>,
     ) -> std::result::Result<(Forces, f64, f64, u64, u64), LaunchError> {
         let NearField::Device(dn) = &self.near else {
             unreachable!("near_device called on host evaluator")
@@ -658,14 +695,23 @@ impl TreeForceEvaluator {
         let mut near_seconds = 0.0;
 
         for &leaf in &tree.leaf_ids {
-            let tw = Instant::now();
-            tree.gather(leaf, self.cfg.theta, &mut far, &mut near);
             let node = &tree.nodes[leaf as usize];
             let (start, end) = (node.start as usize, (node.start + node.count) as usize);
             let targets = &tree.order[start..end];
+            let is_live = |pi: u32| mask.is_none_or(|m| m[pi as usize]);
+            if !targets.iter().any(|&pi| is_live(pi)) {
+                continue;
+            }
+            let live_targets = targets.iter().filter(|&&pi| is_live(pi)).count();
 
-            // Far field on the host, FP64.
+            let tw = Instant::now();
+            tree.gather(leaf, self.cfg.theta, &mut far, &mut near);
+
+            // Far field on the host, FP64 — marked targets only.
             for &pi in targets {
+                if !is_live(pi) {
+                    continue;
+                }
                 let i = pi as usize;
                 let mut acc = [0.0; 3];
                 let mut jerk = [0.0; 3];
@@ -707,7 +753,7 @@ impl TreeForceEvaluator {
                 }
                 real += le - ls;
             }
-            near_count += (targets.len() * (real - 1)) as u64;
+            near_count += (live_targets * (real - 1)) as u64;
             let padded = real.div_ceil(PATCH_ROUND).max(1) * PATCH_ROUND;
             while patch.len() < padded {
                 // Zero mass → zero force contribution; the remote park
@@ -731,6 +777,9 @@ impl TreeForceEvaluator {
             drop(map);
 
             for (row, &pi) in targets.iter().enumerate() {
+                if !is_live(pi) {
+                    continue;
+                }
                 let i = pi as usize;
                 for k in 0..3 {
                     forces.acc[i][k] += patch_forces.acc[row][k];
@@ -763,7 +812,7 @@ impl ForceEvaluator for TreeForceEvaluator {
         &self,
         system: &ParticleSystem,
     ) -> std::result::Result<Forces, LaunchError> {
-        self.evaluate_tree(system, None)
+        self.evaluate_tree(system, None, None)
     }
 
     fn evaluate_with_retry(
@@ -771,7 +820,26 @@ impl ForceEvaluator for TreeForceEvaluator {
         system: &ParticleSystem,
         policy: RetryPolicy,
     ) -> std::result::Result<Forces, LaunchError> {
-        self.evaluate_tree(system, Some(policy))
+        self.evaluate_tree(system, Some(policy), None)
+    }
+
+    fn evaluate_active(
+        &self,
+        system: &ParticleSystem,
+        active: &ActiveSet,
+    ) -> std::result::Result<Forces, LaunchError> {
+        if active.is_empty() {
+            return Ok(Forces { acc: Vec::new(), jerk: Vec::new() });
+        }
+        if active.is_full() {
+            return self.evaluate_tree(system, None, None);
+        }
+        let mut mask = vec![false; self.n];
+        for &i in active.indices() {
+            mask[i] = true;
+        }
+        let full = self.evaluate_tree(system, None, Some(&mask))?;
+        Ok(gather_rows(&full, active))
     }
 
     fn timing(&self) -> Option<PipelineTiming> {
@@ -961,6 +1029,26 @@ mod tests {
         assert!(cost.nodes > 0 && cost.leaves > 0);
         assert!(cost.total_interactions() > 0);
         assert_eq!(cost.nodes % 2, 0, "same tree twice → even node total");
+    }
+
+    #[test]
+    fn active_subset_rows_match_full_tree_evaluation_bitwise() {
+        let sys = plummer(300, 13);
+        let ev = TreeForceEvaluator::host(
+            sys.len(),
+            1e-3,
+            TreeConfig { theta: 0.6, leaf_capacity: 16, threads: 0 },
+        );
+        let full = ev.evaluate(&sys).unwrap();
+        let active = ActiveSet::from_indices((0..sys.len()).step_by(7).collect(), sys.len());
+        let rows = ev.evaluate_active(&sys, &active).unwrap();
+        assert_eq!(rows.acc.len(), active.len());
+        for (row, &i) in active.indices().iter().enumerate() {
+            for k in 0..3 {
+                assert_eq!(rows.acc[row][k].to_bits(), full.acc[i][k].to_bits());
+                assert_eq!(rows.jerk[row][k].to_bits(), full.jerk[i][k].to_bits());
+            }
+        }
     }
 
     #[test]

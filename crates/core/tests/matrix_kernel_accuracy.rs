@@ -95,7 +95,8 @@ fn device_forces(sys: &ParticleSystem, eps: f64, kind: ForceKernelKind) -> nbody
 /// Matrix vs elementwise per-particle deviation stays inside the analytic
 /// quantization bound on random Plummer draws, and both kernels hold their
 /// E4-style tolerance against the FP64 reference (paper tolerances for the
-/// elementwise kernel, the documented 5× budget for the matrix kernel).
+/// elementwise kernel, the documented 2× budget for the matrix kernel —
+/// 5× before the moment accumulators grew on-device Kahan compensation).
 #[test]
 fn matrix_kernel_within_quantization_bound_on_plummer_draws() {
     let eps = 0.05;
@@ -135,9 +136,9 @@ fn matrix_kernel_within_quantization_bound_on_plummer_draws() {
         );
         let cmp_m = compare_forces(&golden, &matrix);
         assert!(
-            cmp_m.max_acc_error <= 5.0 * ACC_TOLERANCE
-                && cmp_m.max_jerk_error <= 5.0 * JERK_TOLERANCE,
-            "seed {seed}: matrix kernel must stay inside its documented 5× budget \
+            cmp_m.max_acc_error <= 2.0 * ACC_TOLERANCE
+                && cmp_m.max_jerk_error <= 2.0 * JERK_TOLERANCE,
+            "seed {seed}: matrix kernel must stay inside its documented 2× budget \
              (acc {:.2e}, jerk {:.2e})",
             cmp_m.max_acc_error,
             cmp_m.max_jerk_error
@@ -161,6 +162,7 @@ fn energy_run(kind: ForceKernelKind) -> SimulationOutcome {
             steps_per_cycle: 2,
             dt: 1.0 / 256.0,
             num_cores: 2,
+            blocks: None,
         },
     )
 }

@@ -20,7 +20,14 @@ use tensix::fault::FaultClass;
 use tensix::{Device, DeviceConfig};
 
 fn cfg() -> SimulationConfig {
-    SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 3, dt: 1.0 / 256.0, num_cores: 1 }
+    SimulationConfig {
+        eps: 0.05,
+        cycles: 2,
+        steps_per_cycle: 3,
+        dt: 1.0 / 256.0,
+        num_cores: 1,
+        blocks: None,
+    }
 }
 
 fn devices(ids: &[usize]) -> Vec<Arc<Device>> {

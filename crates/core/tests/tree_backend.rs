@@ -21,7 +21,14 @@ fn plummer_sys(n: usize, seed: u64) -> ParticleSystem {
 }
 
 fn sim(cycles: usize) -> SimulationConfig {
-    SimulationConfig { eps: 0.01, cycles, steps_per_cycle: 1, dt: 1.0 / 256.0, num_cores: 1 }
+    SimulationConfig {
+        eps: 0.01,
+        cycles,
+        steps_per_cycle: 1,
+        dt: 1.0 / 256.0,
+        num_cores: 1,
+        blocks: None,
+    }
 }
 
 fn tree_cfg(theta: f64) -> TreeConfig {

@@ -7,6 +7,7 @@
 //! value: the same `LoadConfig` always produces the same arrival list,
 //! which the job server replays to the same outcomes.
 
+use nbody::ic::IcKind;
 use nbody_tt::SimulationConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,8 @@ pub struct LoadConfig {
     pub rate_hz: f64,
     /// Particle counts drawn uniformly per job.
     pub n_choices: Vec<usize>,
+    /// Initial-condition catalog entries drawn uniformly per job.
+    pub ic_choices: Vec<IcKind>,
     /// Integration spec shared by all jobs.
     pub sim: SimulationConfig,
     /// Queue deadline per job, virtual seconds.
@@ -42,12 +45,14 @@ impl Default for LoadConfig {
             tenant_mix: vec![3.0, 2.0, 1.0],
             rate_hz: 100.0,
             n_choices: vec![48, 64, 96],
+            ic_choices: vec![IcKind::Plummer],
             sim: SimulationConfig {
                 eps: 0.05,
                 cycles: 2,
                 steps_per_cycle: 2,
                 dt: 1.0 / 256.0,
                 num_cores: 1,
+                blocks: None,
             },
             deadline_s: 1.0,
             max_migrations: 2,
@@ -75,6 +80,8 @@ pub enum LoadGenError {
     EmptySizeChoices,
     /// A particle count of zero (no backend accepts an empty system).
     ZeroParticleCount,
+    /// `ic_choices` is empty — jobs have no initial conditions to draw.
+    EmptyIcChoices,
     /// `rate_hz` is not a positive finite number.
     InvalidRate(
         /// The rate as configured.
@@ -92,6 +99,7 @@ impl std::fmt::Display for LoadGenError {
             LoadGenError::ZeroTotalWeight => write!(f, "all tenant weights are zero"),
             LoadGenError::EmptySizeChoices => write!(f, "particle-count choices are empty"),
             LoadGenError::ZeroParticleCount => write!(f, "particle count choices include 0"),
+            LoadGenError::EmptyIcChoices => write!(f, "initial-condition choices are empty"),
             LoadGenError::InvalidRate(r) => {
                 write!(f, "arrival rate {r} must be positive and finite")
             }
@@ -124,6 +132,9 @@ impl LoadConfig {
         }
         if self.n_choices.contains(&0) {
             return Err(LoadGenError::ZeroParticleCount);
+        }
+        if self.ic_choices.is_empty() {
+            return Err(LoadGenError::EmptyIcChoices);
         }
         if !self.rate_hz.is_finite() || self.rate_hz <= 0.0 {
             return Err(LoadGenError::InvalidRate(self.rate_hz));
@@ -158,12 +169,14 @@ pub fn generate_load(cfg: &LoadConfig) -> Result<Vec<(f64, JobRequest)>, LoadGen
                 })
                 .unwrap_or(cfg.tenant_mix.len() - 1);
             let n = cfg.n_choices[rng.gen_range(0..cfg.n_choices.len())];
+            let ic = cfg.ic_choices[rng.gen_range(0..cfg.ic_choices.len())];
             (
                 t,
                 JobRequest {
                     job_id,
                     tenant,
                     n,
+                    ic,
                     ic_seed: cfg.seed ^ (0x1c5 << 32) ^ job_id,
                     sim: cfg.sim,
                     deadline_s: cfg.deadline_s,
@@ -204,6 +217,7 @@ mod tests {
             (LoadConfig { tenant_mix: vec![0.0, 0.0], ..base() }, LoadGenError::ZeroTotalWeight),
             (LoadConfig { n_choices: vec![], ..base() }, LoadGenError::EmptySizeChoices),
             (LoadConfig { n_choices: vec![64, 0], ..base() }, LoadGenError::ZeroParticleCount),
+            (LoadConfig { ic_choices: vec![], ..base() }, LoadGenError::EmptyIcChoices),
             (LoadConfig { rate_hz: 0.0, ..base() }, LoadGenError::InvalidRate(0.0)),
             (LoadConfig { rate_hz: f64::NAN, ..base() }, LoadGenError::InvalidRate(f64::NAN)),
         ];
@@ -218,6 +232,21 @@ mod tests {
     fn nan_tenant_weight_is_rejected() {
         let cfg = LoadConfig { tenant_mix: vec![1.0, f64::NAN], ..LoadConfig::default() };
         assert!(matches!(cfg.validate(), Err(LoadGenError::InvalidTenantWeight { tenant: 1, .. })));
+    }
+
+    #[test]
+    fn ic_choices_are_drawn_and_deterministic() {
+        let cfg = LoadConfig {
+            jobs: 200,
+            ic_choices: vec![IcKind::Plummer, IcKind::BinaryRich, IcKind::ColdCollapse],
+            ..LoadConfig::default()
+        };
+        let load = generate_load(&cfg).unwrap();
+        for kind in &cfg.ic_choices {
+            let got = load.iter().filter(|(_, r)| r.ic == *kind).count();
+            assert!(got > 20, "{kind} drawn only {got}/200 times");
+        }
+        assert_eq!(load, generate_load(&cfg).unwrap());
     }
 
     #[test]

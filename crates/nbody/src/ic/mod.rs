@@ -4,12 +4,14 @@
 //! application — conventionally start from equilibrium cluster models. All
 //! generators are seeded and deterministic.
 
+mod binary_rich;
 mod cold_collapse;
 mod king;
 mod plummer;
 mod two_cluster;
 mod uniform;
 
+pub use binary_rich::{binary_rich, BinaryRichConfig};
 pub use cold_collapse::cold_collapse;
 pub use king::{king, solve_king_profile, KingConfig, KingProfile};
 pub use plummer::{plummer, PlummerConfig, PLUMMER_SCALE};
@@ -19,7 +21,88 @@ pub use uniform::{uniform_sphere, UniformConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::particle::Vec3;
+use crate::particle::{ParticleSystem, Vec3};
+
+/// The named initial-condition catalog, as CLIs and job specs select it.
+/// Every entry builds a seeded, bitwise-reproducible system of exactly `n`
+/// particles with total mass 1 in the center-of-mass frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IcKind {
+    /// Equilibrium Plummer sphere (the paper's configuration).
+    #[default]
+    Plummer,
+    /// King model (w0 = 6), the truncated cluster profile.
+    King,
+    /// Uniform-density sphere.
+    Uniform,
+    /// Cold (pressure-free) collapse — the core-collapse stress case.
+    ColdCollapse,
+    /// Two-cluster merger on an approach orbit.
+    Merger,
+    /// Plummer sphere with a fraction of stars replaced by tight binaries —
+    /// the block-time-step stress case.
+    BinaryRich,
+}
+
+impl IcKind {
+    /// Every catalog entry, in display order.
+    pub const ALL: [IcKind; 6] = [
+        IcKind::Plummer,
+        IcKind::King,
+        IcKind::Uniform,
+        IcKind::ColdCollapse,
+        IcKind::Merger,
+        IcKind::BinaryRich,
+    ];
+
+    /// The spec name (`--ic` value / job-spec string) of this entry.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IcKind::Plummer => "plummer",
+            IcKind::King => "king",
+            IcKind::Uniform => "uniform",
+            IcKind::ColdCollapse => "collapse",
+            IcKind::Merger => "merger",
+            IcKind::BinaryRich => "binary",
+        }
+    }
+
+    /// Build the catalog system of `n` particles from `seed`, with each
+    /// generator's standard shape parameters.
+    #[must_use]
+    pub fn build(self, n: usize, seed: u64) -> ParticleSystem {
+        match self {
+            IcKind::Plummer => plummer(PlummerConfig { n, seed, ..Default::default() }),
+            IcKind::King => king(KingConfig { n, seed, w0: 6.0 }),
+            IcKind::Uniform => uniform_sphere(UniformConfig { n, seed, ..Default::default() }),
+            IcKind::ColdCollapse => cold_collapse(n, seed, 1.0),
+            IcKind::Merger => two_cluster_merger(TwoClusterConfig {
+                n1: n / 2,
+                n2: n - n / 2,
+                seed,
+                ..Default::default()
+            }),
+            IcKind::BinaryRich => binary_rich(BinaryRichConfig { n, seed, ..Default::default() }),
+        }
+    }
+}
+
+impl std::str::FromStr for IcKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IcKind::ALL.into_iter().find(|k| k.name() == s).ok_or_else(|| {
+            format!("unknown IC '{s}'; expected plummer|king|uniform|collapse|merger|binary")
+        })
+    }
+}
+
+impl std::fmt::Display for IcKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Seeded RNG used by every generator.
 #[must_use]

@@ -19,6 +19,29 @@ use crate::force::ForceKernel;
 use crate::integrator::timestep::aarseth_timestep;
 use crate::particle::{ParticleSystem, Vec3};
 
+/// Largest power-of-two block step `dt_max / 2^k` that is ≤ `dt_raw`
+/// (clamped to `levels` halvings below `dt_max`) and whose next firing from
+/// relative time `t_rel` (time since the block grid's origin) stays on the
+/// block grid: `t_rel` must be a multiple of the chosen step.
+///
+/// This is the one quantization rule every block-timestep scheduler in the
+/// workspace shares — the CPU [`BlockHermite`] here and the evaluator-seam
+/// scheduler in the core crate — so checkpoint/resume of a block hierarchy
+/// re-derives identical steps.
+#[must_use]
+pub fn quantize_block_step(dt_raw: f64, t_rel: f64, dt_max: f64, levels: u32) -> f64 {
+    let dt_min = dt_max * 0.5f64.powi(levels.min(40) as i32);
+    let mut dt = dt_max;
+    while dt > dt_raw.max(dt_min) * (1.0 + 1e-12) {
+        dt /= 2.0;
+    }
+    // Block alignment: t_rel must be a multiple of dt (up to rounding).
+    while dt > dt_min && (t_rel / dt - (t_rel / dt).round()).abs() > 1e-9 {
+        dt /= 2.0;
+    }
+    dt
+}
+
 /// Block-timestep 4th-order Hermite integrator.
 #[derive(Debug, Clone, Copy)]
 pub struct BlockHermite<K> {
@@ -72,18 +95,7 @@ impl<K: ForceKernel> BlockHermite<K> {
     }
 
     fn quantize_step(&self, dt_raw: f64, t_now: f64) -> f64 {
-        // Largest power-of-two block step <= dt_raw, within [min, max],
-        // whose next firing stays on the block grid of t_now.
-        let dt_min = self.dt_max * 0.5f64.powi(self.levels as i32);
-        let mut dt = self.dt_max;
-        while dt > dt_raw.max(dt_min) * (1.0 + 1e-12) {
-            dt /= 2.0;
-        }
-        // Block alignment: t_now must be a multiple of dt (up to rounding).
-        while dt > dt_min && (t_now / dt - (t_now / dt).round()).abs() > 1e-9 {
-            dt /= 2.0;
-        }
-        dt
+        quantize_block_step(dt_raw, t_now, self.dt_max, self.levels)
     }
 
     fn initialize(&self, system: &mut ParticleSystem) -> BlockState {

@@ -12,7 +12,7 @@ mod hermite;
 mod leapfrog;
 mod timestep;
 
-pub use block::{BlockHermite, BlockRunStats};
+pub use block::{quantize_block_step, BlockHermite, BlockRunStats};
 pub use hermite::Hermite4;
 pub use leapfrog::Leapfrog;
 pub use timestep::{aarseth_timestep, shared_timestep};

@@ -1,5 +1,7 @@
 //! Job and tenant vocabulary of the serving layer.
 
+use nbody::ic::IcKind;
+use nbody::particle::ParticleSystem;
 use nbody_tt::SimulationConfig;
 
 /// One tenant's contract with the server.
@@ -32,7 +34,9 @@ pub struct JobRequest {
     pub tenant: usize,
     /// Particle count.
     pub n: usize,
-    /// Plummer-model seed for the initial conditions.
+    /// Initial-condition catalog entry the job integrates.
+    pub ic: IcKind,
+    /// Generator seed for the initial conditions.
     pub ic_seed: u64,
     /// Integration spec (cycles, steps per cycle, dt, eps, cores).
     pub sim: SimulationConfig,
@@ -53,10 +57,19 @@ impl JobRequest {
 
     /// WFQ cost estimate: pair interactions over the whole job
     /// (`n² × (steps + init)`), the quantity device time actually scales
-    /// with.
+    /// with. For block-time-step jobs (`sim.blocks` set) this is the
+    /// shared-step *ceiling* — the active fractions are not known until the
+    /// job runs, so admission charges the a-priori bound and execution
+    /// charges actual active-count launches.
     #[must_use]
     pub fn cost(&self) -> f64 {
         (self.n * self.n) as f64 * (self.total_steps() + 1) as f64
+    }
+
+    /// Build the job's initial conditions from its catalog entry and seed.
+    #[must_use]
+    pub fn ics(&self) -> ParticleSystem {
+        self.ic.build(self.n, self.ic_seed)
     }
 }
 
@@ -126,6 +139,7 @@ mod tests {
             job_id: 0,
             tenant: 0,
             n: 100,
+            ic: IcKind::Plummer,
             ic_seed: 1,
             sim,
             deadline_s: 100.0,

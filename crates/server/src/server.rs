@@ -34,12 +34,14 @@ use std::collections::{BinaryHeap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use nbody::ic::{plummer, PlummerConfig};
+use nbody::ic::IcKind;
 use nbody::particle::ParticleSystem;
 use nbody_tt::{
-    latest_checkpoint, resume_simulation_resilient, run_cpu_simulation, run_simulation,
-    run_simulation_resilient, ForceEvaluator, MultiDevicePipeline, PipelineTiming, RecoveryConfig,
-    ResilientOutcome, RetryPolicy, SingleCardEvaluator, SpillConfig, TreeForceEvaluator,
+    latest_checkpoint, resume_simulation_resilient, run_block_simulation,
+    run_block_simulation_resilient, run_cpu_block_simulation, run_cpu_simulation, run_simulation,
+    run_simulation_resilient, BlockResilientOutcome, ForceEvaluator, ForceKernelKind,
+    MultiDevicePipeline, PipelineTiming, RecoveryConfig, ResilientOutcome, RetryPolicy,
+    SingleCardEvaluator, SpillConfig, TreeForceEvaluator,
 };
 use tensix::catalog::DeviceArch;
 use tensix::{
@@ -159,6 +161,10 @@ pub struct ServerConfig {
     pub flight: FlightConfig,
     /// Catalog part every fleet device is built as (grid + cost tables).
     pub arch: DeviceArch,
+    /// Force kernel every device backend (and the device golden) launches.
+    /// Single cards and rings stay bitwise-compatible per kernel kind, so
+    /// the fleet runs one kind rather than mixing classes.
+    pub force_kernel: ForceKernelKind,
 }
 
 impl Default for ServerConfig {
@@ -176,6 +182,7 @@ impl Default for ServerConfig {
             spill_dir: std::env::temp_dir(),
             flight: FlightConfig::default(),
             arch: DeviceArch::n300(),
+            force_kernel: ForceKernelKind::Elementwise,
         }
     }
 }
@@ -310,12 +317,16 @@ struct Slot {
 struct GoldenKey {
     class: BackendClass,
     n: usize,
+    ic: IcKind,
     ic_seed: u64,
     cycles: usize,
     steps_per_cycle: usize,
     dt_bits: u64,
     eps_bits: u64,
     num_cores: usize,
+    /// Block-step spec, `(eta bits, levels)` — a block job and a shared-step
+    /// job with otherwise equal specs follow different trajectories.
+    blocks: Option<(u64, u32)>,
 }
 
 impl GoldenKey {
@@ -323,12 +334,14 @@ impl GoldenKey {
         GoldenKey {
             class,
             n: req.n,
+            ic: req.ic,
             ic_seed: req.ic_seed,
             cycles: req.sim.cycles,
             steps_per_cycle: req.sim.steps_per_cycle,
             dt_bits: req.sim.dt.to_bits(),
             eps_bits: req.sim.eps.to_bits(),
             num_cores: req.sim.num_cores,
+            blocks: req.sim.blocks.map(|b| (b.eta.to_bits(), b.levels)),
         }
     }
 }
@@ -361,8 +374,18 @@ fn timing_seconds(t: &PipelineTiming) -> f64 {
     t.device_seconds + t.io_seconds
 }
 
-fn ics(req: &JobRequest) -> ParticleSystem {
-    plummer(PlummerConfig { n: req.n, seed: req.ic_seed, ..PlummerConfig::default() })
+/// Adapt a block-step outcome to the shared-step resilient shape the
+/// serving loop accounts in; block iterations stand in for steps. Ring
+/// failovers are tallied by the caller from the pipeline's own counters.
+fn block_to_resilient(b: BlockResilientOutcome) -> ResilientOutcome {
+    ResilientOutcome {
+        outcome: b.outcome,
+        recoveries: b.recoveries,
+        steps_replayed: b.iterations_replayed,
+        failovers: 0,
+        checkpoint_spills: b.checkpoint_spills,
+        spill_seconds: b.spill_seconds,
+    }
 }
 
 /// Tree tuning for a fleet slot: θ from the backend kind, default leaf
@@ -464,7 +487,7 @@ impl<'a> Campaign<'a> {
         };
         let (mut system, start) = match resume {
             Some((system, step)) => (system, Some(step)),
-            None => (ics(req), None),
+            None => (req.ics(), None),
         };
 
         let kind = self.slots[slot].kind;
@@ -475,11 +498,12 @@ impl<'a> Campaign<'a> {
                 for &at in &scheduled {
                     dev.faults().schedule(FaultClass::DeviceLoss, at);
                 }
-                let eval = match SingleCardEvaluator::new(
+                let eval = match SingleCardEvaluator::new_with_kernel(
                     Arc::clone(&dev),
                     req.n,
                     req.sim.eps,
                     req.sim.num_cores,
+                    self.cfg.force_kernel,
                 ) {
                     Ok(e) => Arc::new(e),
                     Err(e) => {
@@ -490,9 +514,19 @@ impl<'a> Campaign<'a> {
                         }
                     }
                 };
-                let result = match start {
-                    None => run_simulation_resilient(&eval, &mut system, req.sim, recovery),
-                    Some(step) => {
+                // Block jobs always (re)run the hierarchy from its start —
+                // migration never hands them a mid-job resume point — so the
+                // device timing they accumulate reflects dynamically packed
+                // active-set launches, which is exactly what gets billed.
+                let result = match (start, req.sim.blocks.is_some()) {
+                    (_, true) => {
+                        run_block_simulation_resilient(&eval, &mut system, req.sim, recovery)
+                            .map(block_to_resilient)
+                    }
+                    (None, false) => {
+                        run_simulation_resilient(&eval, &mut system, req.sim, recovery)
+                    }
+                    (Some(step), false) => {
                         resume_simulation_resilient(&eval, &mut system, step, req.sim, recovery)
                     }
                 };
@@ -513,12 +547,13 @@ impl<'a> Campaign<'a> {
                 for &at in &scheduled {
                     devs[0].faults().schedule(FaultClass::DeviceLoss, at);
                 }
-                let ring = match MultiDevicePipeline::with_spares(
+                let ring = match MultiDevicePipeline::with_spares_kernel(
                     &devs,
                     &spare_devs,
                     req.n,
                     req.sim.eps,
                     req.sim.num_cores,
+                    self.cfg.force_kernel,
                 ) {
                     Ok(r) => Arc::new(r),
                     Err(e) => {
@@ -529,9 +564,15 @@ impl<'a> Campaign<'a> {
                         }
                     }
                 };
-                let result = match start {
-                    None => run_simulation_resilient(&ring, &mut system, req.sim, recovery),
-                    Some(step) => {
+                let result = match (start, req.sim.blocks.is_some()) {
+                    (_, true) => {
+                        run_block_simulation_resilient(&ring, &mut system, req.sim, recovery)
+                            .map(block_to_resilient)
+                    }
+                    (None, false) => {
+                        run_simulation_resilient(&ring, &mut system, req.sim, recovery)
+                    }
+                    (Some(step), false) => {
                         resume_simulation_resilient(&ring, &mut system, step, req.sim, recovery)
                     }
                 };
@@ -563,14 +604,23 @@ impl<'a> Campaign<'a> {
                     req.sim.eps,
                     tree_config(theta_milli),
                 ));
-                let result = match start {
-                    None => run_simulation_resilient(&eval, &mut system, req.sim, recovery),
-                    Some(step) => {
+                let result = match (start, req.sim.blocks.is_some()) {
+                    (_, true) => {
+                        run_block_simulation_resilient(&eval, &mut system, req.sim, recovery)
+                            .map(block_to_resilient)
+                    }
+                    (None, false) => {
+                        run_simulation_resilient(&eval, &mut system, req.sim, recovery)
+                    }
+                    (Some(step), false) => {
                         resume_simulation_resilient(&eval, &mut system, step, req.sim, recovery)
                     }
                 };
                 match result {
                     Ok(outcome) => {
+                        // The walk counters tally only evaluated (active)
+                        // targets, so block jobs are charged their actual
+                        // active-count interactions here with no extra case.
                         let service_s =
                             eval.tree_cost().total_interactions() as f64 / self.cfg.cpu_pairs_per_s;
                         Segment::Done { outcome: Box::new(outcome), system, service_s }
@@ -588,10 +638,15 @@ impl<'a> Campaign<'a> {
         if let Some(&h) = self.goldens.get(&key) {
             return h;
         }
-        let mut system = ics(req);
+        let mut system = req.ics();
+        let blocks = req.sim.blocks.is_some();
         match class {
             BackendClass::Cpu => {
-                let _ = run_cpu_simulation(&mut system, req.sim, 1);
+                if blocks {
+                    let _ = run_cpu_block_simulation(&mut system, req.sim, 1);
+                } else {
+                    let _ = run_cpu_simulation(&mut system, req.sim, 1);
+                }
             }
             BackendClass::Device => {
                 let dev = Device::new(
@@ -599,10 +654,20 @@ impl<'a> Campaign<'a> {
                     DeviceConfig { reset_failure_prob: 0.0, ..self.cfg.arch.device_config() },
                 );
                 let eval = Arc::new(
-                    SingleCardEvaluator::new(dev, req.n, req.sim.eps, req.sim.num_cores)
-                        .expect("fault-free golden pipeline construction"),
+                    SingleCardEvaluator::new_with_kernel(
+                        dev,
+                        req.n,
+                        req.sim.eps,
+                        req.sim.num_cores,
+                        self.cfg.force_kernel,
+                    )
+                    .expect("fault-free golden pipeline construction"),
                 );
-                let _ = run_simulation(&eval, &mut system, req.sim);
+                if blocks {
+                    let _ = run_block_simulation(&eval, &mut system, req.sim);
+                } else {
+                    let _ = run_simulation(&eval, &mut system, req.sim);
+                }
             }
             BackendClass::Tree { theta_milli } => {
                 let eval = Arc::new(TreeForceEvaluator::host(
@@ -610,7 +675,11 @@ impl<'a> Campaign<'a> {
                     req.sim.eps,
                     tree_config(theta_milli),
                 ));
-                let _ = run_simulation(&eval, &mut system, req.sim);
+                if blocks {
+                    let _ = run_block_simulation(&eval, &mut system, req.sim);
+                } else {
+                    let _ = run_simulation(&eval, &mut system, req.sim);
+                }
             }
         }
         let h = state_hash(&system);
@@ -618,8 +687,9 @@ impl<'a> Campaign<'a> {
         h
     }
 
-    /// CPU service model: pair interactions over the remaining work at the
-    /// modeled host rate.
+    /// CPU service model for *shared-step* jobs: pair interactions over the
+    /// whole job at the modeled host rate. Block jobs are charged from
+    /// their actual active-count evaluations in [`Campaign::finish_on_cpu`].
     fn cpu_service_s(&self, req: &JobRequest) -> f64 {
         req.cost() / self.cfg.cpu_pairs_per_s
     }
@@ -831,7 +901,14 @@ impl<'a> Campaign<'a> {
                         .flatten();
                     match target {
                         Some(next) => {
-                            if spill.checkpoints_on_disk().is_empty() {
+                            if req.sim.blocks.is_some() {
+                                // Block checkpoints carry the whole timestep
+                                // hierarchy in their own spill format; the
+                                // migrated segment replays the hierarchy from
+                                // its start, which keeps the final state on
+                                // the block golden (re-derived, not resumed).
+                                resume = None;
+                            } else if spill.checkpoints_on_disk().is_empty() {
                                 // The loss landed before the first checkpoint
                                 // (during init): nothing was computed yet, so
                                 // the migrated segment restarts from step 0.
@@ -908,6 +985,7 @@ impl<'a> Campaign<'a> {
     /// virtual time `start_service_s` (infallible; always accepted). `jb`
     /// is the job's span tree so far (queue + any device attempts); the
     /// CPU service becomes its closing degrade phase, numbered `attempt`.
+    /// Returns the virtual finish time so the caller can free the CPU slot.
     #[allow(clippy::too_many_arguments)]
     fn finish_on_cpu(
         &mut self,
@@ -920,11 +998,21 @@ impl<'a> Campaign<'a> {
         retries: u64,
         mut jb: JobSpanBuilder,
         attempt: u32,
-    ) {
+    ) -> f64 {
         self.cpu_fallbacks += 1;
-        let mut system = ics(&req);
-        let _ = run_cpu_simulation(&mut system, req.sim, 1);
-        let finish = start_service_s + self.cpu_service_s(&req);
+        let mut system = req.ics();
+        let service_s = if req.sim.blocks.is_some() {
+            // Active-count accounting: a block job is charged the particle
+            // evaluations its hierarchy actually ran (× n sources each), not
+            // the shared-step every-particle-every-step ceiling.
+            let out = run_cpu_block_simulation(&mut system, req.sim, 1)
+                .unwrap_or_else(|e| panic!("host CPU evaluator cannot fault: {e}"));
+            out.report.particle_evaluations as f64 * req.n as f64 / self.cfg.cpu_pairs_per_s
+        } else {
+            let _ = run_cpu_simulation(&mut system, req.sim, 1);
+            self.cpu_service_s(&req)
+        };
+        let finish = start_service_s + service_s;
         let golden = self.golden(BackendClass::Cpu, &req);
         let h = state_hash(&system);
         self.note(finish, "job_degraded_cpu", &[("job", req.job_id)]);
@@ -955,6 +1043,7 @@ impl<'a> Campaign<'a> {
             state_hash: h,
             bitwise_golden: Some(h == golden),
         });
+        finish
     }
 
     /// Dispatch as many queued jobs as the fleet can take at `now_s`.
@@ -968,12 +1057,12 @@ impl<'a> Campaign<'a> {
                 // on the CPU rather than let the queue rot to its deadlines.
                 let Some(job) = self.next_live_job(now_s) else { return };
                 self.cpu_busy += 1;
-                let service = self.cpu_service_s(&job.req);
-                self.push(now_s + service, EvKind::CpuFree);
                 let mut jb = JobSpanBuilder::new(job.req.job_id, job.req.tenant, job.arrival_s);
                 jb.begin(JobPhase::Queue, None, "-", 0, job.arrival_s);
                 jb.end(now_s, 0);
-                self.finish_on_cpu(job.req, job.arrival_s, now_s, now_s, 0, 0, 0, jb, 1);
+                let finish =
+                    self.finish_on_cpu(job.req, job.arrival_s, now_s, now_s, 0, 0, 0, jb, 1);
+                self.push(finish, EvKind::CpuFree);
             } else {
                 return;
             }

@@ -118,6 +118,7 @@ mod tests {
             job_id,
             tenant,
             n,
+            ic: nbody::ic::IcKind::Plummer,
             ic_seed: job_id,
             sim: SimulationConfig::default(),
             deadline_s: 1e9,

@@ -2,12 +2,20 @@
 
 use std::path::PathBuf;
 
-use nbody_tt::SimulationConfig;
+use nbody::ic::IcKind;
+use nbody_tt::{BlockStepConfig, SimulationConfig};
 use tensix::{ScrubConfig, StormConfig};
 use tt_server::{run_campaign, BackendClass, BackendKind, JobRequest, ServerConfig, TenantSpec};
 
 fn small_sim() -> SimulationConfig {
-    SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
+    SimulationConfig {
+        eps: 0.05,
+        cycles: 2,
+        steps_per_cycle: 2,
+        dt: 1.0 / 256.0,
+        num_cores: 1,
+        blocks: None,
+    }
 }
 
 fn spill_dir(tag: &str) -> PathBuf {
@@ -25,6 +33,7 @@ fn requests(jobs: u64, tenants: usize, n: usize) -> Vec<(f64, JobRequest)> {
                     job_id: id,
                     tenant: (id as usize) % tenants,
                     n,
+                    ic: IcKind::Plummer,
                     ic_seed: 1000 + id,
                     sim: small_sim(),
                     deadline_s: 1e6,
@@ -203,6 +212,85 @@ fn tree_and_device_classes_never_share_goldens_or_migrations() {
         BackendClass::Tree { theta_milli: 500 }
     );
     assert_ne!(BackendKind::TreeHost { theta_milli: 500 }.class(), BackendClass::Device);
+}
+
+/// Block-time-step variant of `small_sim` on the binary-rich catalog
+/// entry — the hierarchy-stressing spec a multi-rate serving mix uses.
+fn block_requests(jobs: u64, tenants: usize, n: usize) -> Vec<(f64, JobRequest)> {
+    requests(jobs, tenants, n)
+        .into_iter()
+        .map(|(t, mut req)| {
+            req.ic = IcKind::BinaryRich;
+            req.sim.blocks = Some(BlockStepConfig { eta: 0.02, levels: 4 });
+            (t, req)
+        })
+        .collect()
+}
+
+#[test]
+fn block_step_jobs_complete_bitwise_across_a_mixed_fleet() {
+    // Single card, ring, and tree slots all serve block-hierarchy jobs on
+    // binary-rich ICs; each class verifies against its own *block* golden
+    // (a shared-step golden would hash a different trajectory).
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default(); 2],
+        backends: vec![
+            BackendKind::SingleCard,
+            BackendKind::Ring { members: 2, spares: 1 },
+            BackendKind::TreeHost { theta_milli: 600 },
+        ],
+        storm: StormConfig {
+            seed: 31,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scheduled_loss_prob: 0.0,
+            ..StormConfig::default()
+        },
+        spill_dir: spill_dir("blocks-calm"),
+        ..ServerConfig::default()
+    };
+    let arrivals = block_requests(6, 2, 64);
+    let a = run_campaign(&cfg, &arrivals, None);
+    let b = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(a.digest, b.digest, "block campaigns must replay bitwise");
+    assert_eq!(a.census.completed, 6);
+    assert!(a.census.zero_lost_jobs(), "jobs: {:?}", a.jobs);
+    for j in &a.jobs {
+        assert_eq!(j.bitwise_golden, Some(true), "job {} not golden on {}", j.job_id, j.backend);
+        assert!(j.finish_s > j.start_s, "job {} has zero service time", j.job_id);
+    }
+}
+
+#[test]
+fn block_step_jobs_survive_faults_and_cpu_degradation() {
+    // A card that always dies with no migration target: block jobs must
+    // degrade to the CPU, where service is billed from the hierarchy's
+    // actual particle evaluations and verified against the CPU block golden.
+    let cfg = ServerConfig {
+        tenants: vec![TenantSpec::default()],
+        backends: vec![BackendKind::SingleCard],
+        storm: StormConfig {
+            seed: 17,
+            device_loss_prob: 0.0,
+            eth_flap_prob: 0.0,
+            dram_corruption_prob: 0.0,
+            scheduled_loss_prob: 1.0,
+            scheduled_loss_window: 1,
+            ..StormConfig::default()
+        },
+        recoveries_per_segment: 0,
+        spill_dir: spill_dir("blocks-degrade"),
+        ..ServerConfig::default()
+    };
+    let arrivals = block_requests(5, 1, 48);
+    let report = run_campaign(&cfg, &arrivals, None);
+    assert_eq!(report.census.total, 5);
+    assert!(report.census.zero_lost_jobs(), "jobs: {:?}", report.jobs);
+    assert!(report.census.degraded_cpu > 0, "no block job degraded: {:?}", report.jobs);
+    for j in &report.jobs {
+        assert_eq!(j.bitwise_golden, Some(true), "job {} not golden on {}", j.job_id, j.backend);
+    }
 }
 
 #[test]

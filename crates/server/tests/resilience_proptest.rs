@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use nbody::ic::{plummer, PlummerConfig};
+use nbody::ic::{plummer, IcKind, PlummerConfig};
 use nbody_tt::{
     latest_checkpoint, resume_simulation_resilient, run_simulation, run_simulation_resilient,
     RecoveryConfig, RetryPolicy, SimulationConfig, SingleCardEvaluator, SpillConfig,
@@ -20,7 +20,14 @@ use tt_server::{
 };
 
 fn sim() -> SimulationConfig {
-    SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 3, dt: 1.0 / 256.0, num_cores: 1 }
+    SimulationConfig {
+        eps: 0.05,
+        cycles: 2,
+        steps_per_cycle: 3,
+        dt: 1.0 / 256.0,
+        num_cores: 1,
+        blocks: None,
+    }
 }
 
 fn spill(tag: &str) -> SpillConfig {
@@ -128,6 +135,7 @@ proptest! {
                     job_id: id,
                     tenant: 0,
                     n: 48,
+                    ic: IcKind::Plummer,
                     ic_seed: seed ^ id,
                     sim: sim(),
                     deadline_s: 1e6,

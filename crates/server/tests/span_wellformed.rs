@@ -8,6 +8,7 @@
 
 use std::path::PathBuf;
 
+use nbody::ic::IcKind;
 use nbody_tt::SimulationConfig;
 use proptest::prelude::*;
 use tensix::{ScrubConfig, StormConfig};
@@ -18,7 +19,14 @@ use tt_telemetry::attribution::{attribute, attributions_to_csv, rollup_by_tenant
 use tt_trace::serving::virtual_ns;
 
 fn small_sim() -> SimulationConfig {
-    SimulationConfig { eps: 0.05, cycles: 2, steps_per_cycle: 2, dt: 1.0 / 256.0, num_cores: 1 }
+    SimulationConfig {
+        eps: 0.05,
+        cycles: 2,
+        steps_per_cycle: 2,
+        dt: 1.0 / 256.0,
+        num_cores: 1,
+        blocks: None,
+    }
 }
 
 fn spill_dir(tag: &str) -> PathBuf {
@@ -36,6 +44,7 @@ fn requests(jobs: u64, tenants: usize, gap_s: f64, deadline_s: f64) -> Vec<(f64,
                     job_id: id,
                     tenant: (id as usize) % tenants,
                     n: 48,
+                    ic: IcKind::Plummer,
                     ic_seed: 900 + id,
                     sim: small_sim(),
                     deadline_s,

@@ -1,0 +1,128 @@
+//! Block-time-step launch accounting.
+//!
+//! A block-step run launches the force backend once per block iteration
+//! with an *active subset* of the N particles; the launch cost scales with
+//! the active count, not N. [`BlockStepReport`] is the ledger every
+//! block-step driver fills in: how many launches, how much per-particle
+//! force work they summed to, and how the active fraction distributed —
+//! the inputs both the perf model (modeled seconds per launch) and the
+//! serving layer's attribution need to bill a block-step job by the work
+//! it actually dispatched instead of assuming full-N launches.
+
+/// Number of active-fraction deciles tracked by the histogram.
+pub const ACTIVE_FRACTION_BINS: usize = 10;
+
+/// Per-run ledger of active-set launches in a block-time-step simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStepReport {
+    /// Particle count of the system (the denominator of every fraction).
+    pub n: usize,
+    /// Block iterations executed (= backend launches).
+    pub iterations: u64,
+    /// Total per-particle force evaluations (Σ active-set sizes); each unit
+    /// is one i-particle against all N sources.
+    pub particle_evaluations: u64,
+    /// Smallest block step any particle advanced by.
+    pub min_dt_used: f64,
+    /// Histogram of the active fraction |A|/N per launch, in ten deciles:
+    /// bin `k` counts launches with `k/10 ≤ |A|/N < (k+1)/10` (a full-N
+    /// launch lands in the last bin).
+    pub histogram: [u64; ACTIVE_FRACTION_BINS],
+}
+
+impl BlockStepReport {
+    /// Empty report for a system of `n` particles.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "report needs a particle count");
+        BlockStepReport {
+            n,
+            iterations: 0,
+            particle_evaluations: 0,
+            min_dt_used: f64::INFINITY,
+            histogram: [0; ACTIVE_FRACTION_BINS],
+        }
+    }
+
+    /// Record one launch of `active` particles advancing by step `dt`.
+    pub fn record(&mut self, active: usize, dt: f64) {
+        debug_assert!(active <= self.n);
+        self.iterations += 1;
+        self.particle_evaluations += active as u64;
+        if dt > 0.0 {
+            self.min_dt_used = self.min_dt_used.min(dt);
+        }
+        let frac = active as f64 / self.n as f64;
+        let bin = ((frac * ACTIVE_FRACTION_BINS as f64) as usize).min(ACTIVE_FRACTION_BINS - 1);
+        self.histogram[bin] += 1;
+    }
+
+    /// Mean active fraction over all recorded launches (0 when none).
+    #[must_use]
+    pub fn mean_active_fraction(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.particle_evaluations as f64 / (self.iterations as f64 * self.n as f64)
+    }
+
+    /// The run's force work expressed in full-N launch equivalents:
+    /// `particle_evaluations / n`. A shared-step run of `s` steps costs
+    /// `s + 1` full equivalents (init included); the ratio of the two is
+    /// the block scheme's work saving.
+    #[must_use]
+    pub fn full_equivalents(&self) -> f64 {
+        self.particle_evaluations as f64 / self.n as f64
+    }
+
+    /// Smallest step used, or 0 when no launch advanced anyone.
+    #[must_use]
+    pub fn min_dt(&self) -> f64 {
+        if self.min_dt_used.is_finite() {
+            self.min_dt_used
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_launches_and_fractions() {
+        let mut r = BlockStepReport::new(100);
+        r.record(100, 0.25); // full launch → last bin
+        r.record(10, 0.125); // 10% → bin 1
+        r.record(1, 0.0625); // 1% → bin 0
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.particle_evaluations, 111);
+        assert_eq!(r.histogram[9], 1);
+        assert_eq!(r.histogram[1], 1);
+        assert_eq!(r.histogram[0], 1);
+        assert!((r.mean_active_fraction() - 111.0 / 300.0).abs() < 1e-12);
+        assert!((r.full_equivalents() - 1.11).abs() < 1e-12);
+        assert!((r.min_dt() - 0.0625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = BlockStepReport::new(8);
+        assert_eq!(r.mean_active_fraction(), 0.0);
+        assert_eq!(r.full_equivalents(), 0.0);
+        assert_eq!(r.min_dt(), 0.0);
+    }
+
+    #[test]
+    fn zero_advance_launch_does_not_poison_min_dt() {
+        let mut r = BlockStepReport::new(4);
+        r.record(4, 0.0);
+        assert_eq!(r.min_dt(), 0.0);
+        r.record(2, 0.5);
+        assert!((r.min_dt() - 0.5).abs() < 1e-15);
+    }
+}

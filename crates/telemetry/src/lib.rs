@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod blockstep;
 pub mod campaign;
 pub mod csvio;
 pub mod energy;
@@ -40,6 +41,7 @@ pub mod ttsmi;
 pub use attribution::{
     attribute, rollup_by_class, rollup_by_tenant, AttributionRollup, JobAttribution,
 };
+pub use blockstep::{BlockStepReport, ACTIVE_FRACTION_BINS};
 pub use campaign::{
     census, run_campaign, run_job, successes, CampaignCensus, FailurePhase, FaultPolicy, JobKind,
     JobOutcome, JobRecord, JobSpec,

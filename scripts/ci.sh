@@ -98,6 +98,20 @@ TREE_OUT=$(cargo run --release --offline --bin tt-nbody -- run \
 echo "$TREE_OUT"
 echo "$TREE_OUT" | grep -q "tree-vs-direct agreement: PASS"
 
+echo "==> block-time-step smoke"
+# Hierarchical block steps on a King-model cluster from the IC catalog,
+# with the built-in device-vs-direct accuracy verification. The run must
+# PASS the accuracy gate and print the active-set launch ledger — the
+# proof that launches were sized by the due block, not full-N. Grep all
+# three so a silently-skipped verification or a full-N fallback fails CI.
+BLOCK_OUT=$(cargo run --release --offline --bin tt-nbody -- run \
+  --n 512 --steps 4 --cores 2 --blocks --ic king --verify-direct)
+echo "$BLOCK_OUT"
+echo "$BLOCK_OUT" | grep -q "king cluster"
+echo "$BLOCK_OUT" | grep -q "device-vs-direct accuracy: PASS"
+echo "$BLOCK_OUT" | grep -q "active-set ledger:"
+echo "$BLOCK_OUT" | grep -Eq "mean active fraction 0\.[0-9]+," # strictly partial launches
+
 echo "==> matrix-kernel / device-catalog smoke"
 # The matrix-pipe force kernel on an n150 catalog part, with the built-in
 # device-vs-direct accuracy verification: the run must print the catalog

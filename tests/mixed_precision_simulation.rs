@@ -8,7 +8,14 @@ use nbody_tt::{run_cpu_simulation, run_device_simulation, SimulationConfig};
 use tensix::{Device, DeviceConfig};
 
 fn config() -> SimulationConfig {
-    SimulationConfig { eps: 0.03, cycles: 3, steps_per_cycle: 3, dt: 1.0 / 256.0, num_cores: 2 }
+    SimulationConfig {
+        eps: 0.03,
+        cycles: 3,
+        steps_per_cycle: 3,
+        dt: 1.0 / 256.0,
+        num_cores: 2,
+        blocks: None,
+    }
 }
 
 #[test]
@@ -54,7 +61,14 @@ fn conservation_laws_hold_through_offload() {
     let out = run_device_simulation(
         device,
         &mut sys,
-        SimulationConfig { eps, cycles: 2, steps_per_cycle: 4, dt: 1.0 / 512.0, num_cores: 1 },
+        SimulationConfig {
+            eps,
+            cycles: 2,
+            steps_per_cycle: 4,
+            dt: 1.0 / 512.0,
+            num_cores: 1,
+            blocks: None,
+        },
     )
     .unwrap();
     let l1 = angular_momentum(&sys);
@@ -78,6 +92,7 @@ fn longer_run_energy_stays_bounded() {
             steps_per_cycle: 8,
             dt: 1.0 / 256.0,
             num_cores: 1,
+            blocks: None,
         },
     )
     .unwrap();
